@@ -1,0 +1,85 @@
+// Ablation (beyond the paper's figures): how much each ingredient of
+// FilterRefineSky contributes.
+//  (a) bloom width sweep: wider filters prune more candidate pairs before
+//      the exact NBRcheck (Lemma 2's false-positive rate in action);
+//  (b) no-bloom variant: candidate filter only;
+//  (c) per-algorithm counter comparison on one dataset.
+#include "bench_util.h"
+#include "core/nsky.h"
+#include "datasets/registry.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace nsky;
+  bench::Banner("Ablation", "bloom-filter width and pruning counters");
+
+  graph::Graph g =
+      datasets::MakeStandin("youtube", datasets::StandinScale::kFull).value();
+  std::printf("dataset: youtube stand-in (n=%u, m=%llu, dmax=%u)\n\n",
+              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()),
+              g.MaxDegree());
+
+  bench::Table sweep({"bloom_bits", "time_s", "bloom_prunes",
+                      "exact_checks", "nbr_elems"},
+                     14);
+  std::printf("-- FilterRefineSky bloom width sweep --\n");
+  sweep.PrintHeader();
+  core::FilterRefineOptions options;
+  options.use_bloom = false;
+  {
+    util::Timer t;
+    auto r = core::FilterRefineSky(g, options);
+    sweep.PrintRow({"off", bench::FmtSecs(t.Seconds()),
+                    bench::FmtU(r.stats.bloom_prunes),
+                    bench::FmtU(r.stats.inclusion_tests),
+                    bench::FmtU(r.stats.nbr_elements_scanned)});
+  }
+  options.use_bloom = true;
+  for (uint32_t bits : {64u, 256u, 1024u, 4096u, 16384u}) {
+    options.bloom_bits = bits;
+    util::Timer t;
+    auto r = core::FilterRefineSky(g, options);
+    sweep.PrintRow({bench::FmtU(bits), bench::FmtSecs(t.Seconds()),
+                    bench::FmtU(r.stats.bloom_prunes),
+                    bench::FmtU(r.stats.inclusion_tests),
+                    bench::FmtU(r.stats.nbr_elements_scanned)});
+  }
+
+  std::printf("\n-- pruning counters across algorithms --\n");
+  bench::Table counters({"algorithm", "pairs", "degree_prunes",
+                         "bloom_prunes", "exact_checks", "candidates"},
+                        15);
+  counters.PrintHeader();
+  {
+    auto r = core::BaseSky(g);
+    counters.PrintRow({"BaseSky", bench::FmtU(r.stats.pairs_examined), "-",
+                       "-", "-", "-"});
+  }
+  {
+    auto r = core::BaseCSet(g);
+    counters.PrintRow({"BaseCSet", bench::FmtU(r.stats.pairs_examined), "-",
+                       "-", "-", bench::FmtU(r.stats.candidate_count)});
+  }
+  {
+    auto r = core::Base2Hop(g);
+    counters.PrintRow({"Base2Hop", bench::FmtU(r.stats.pairs_examined),
+                       bench::FmtU(r.stats.degree_prunes),
+                       bench::FmtU(r.stats.bloom_prunes),
+                       bench::FmtU(r.stats.inclusion_tests), "-"});
+  }
+  {
+    auto r = core::FilterRefineSky(g);
+    counters.PrintRow({"FilterRefine", bench::FmtU(r.stats.pairs_examined),
+                       bench::FmtU(r.stats.degree_prunes),
+                       bench::FmtU(r.stats.bloom_prunes),
+                       bench::FmtU(r.stats.inclusion_tests),
+                       bench::FmtU(r.stats.candidate_count)});
+  }
+
+  std::printf(
+      "\nExpectation: wider blooms monotonically shift work from exact\n"
+      "checks to filter rejections until saturation; the candidate filter\n"
+      "plus blooms cut the examined pairs by orders of magnitude vs\n"
+      "BaseSky.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 13: case studies on the Karate club (exact) and the Madrid train
+// bombing contact network (surrogate, see DESIGN.md). Prints the skyline
+// members and the |R| / |V| ratios the paper highlights (44% and 31%).
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/filter_refine_sky.h"
+#include "datasets/bombing.h"
+#include "datasets/karate.h"
+
+namespace {
+
+void CaseStudy(const char* name, const nsky::graph::Graph& g) {
+  using namespace nsky;
+  core::SkylineResult r = core::FilterRefineSky(g);
+  std::printf("%s: n = %u, m = %llu, |R| = %zu (%.0f%%)\n", name,
+              g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()),
+              r.skyline.size(),
+              100.0 * static_cast<double>(r.skyline.size()) / g.NumVertices());
+  std::printf("  skyline vertices:");
+  for (graph::VertexId u : r.skyline) std::printf(" %u", u);
+  std::printf("\n");
+  // Degree structure of dominated vs skyline vertices.
+  double sky_deg = 0, dom_deg = 0;
+  uint64_t dom_count = 0;
+  for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (r.dominator[u] == u) {
+      sky_deg += g.Degree(u);
+    } else {
+      dom_deg += g.Degree(u);
+      ++dom_count;
+    }
+  }
+  std::printf("  avg degree: skyline %.2f vs dominated %.2f\n",
+              sky_deg / static_cast<double>(r.skyline.size()),
+              dom_count == 0 ? 0.0 : dom_deg / static_cast<double>(dom_count));
+}
+
+}  // namespace
+
+int main() {
+  using namespace nsky;
+  bench::Banner("Fig. 13", "case studies: Karate (exact) and Bombing "
+                           "(surrogate)");
+  CaseStudy("Karate", datasets::MakeKarateClub());
+  std::printf("\n");
+  CaseStudy("Bombing", datasets::MakeBombingSurrogate());
+  std::printf(
+      "\nExpectation (paper): Karate ~44%% skyline (15 of 34), Bombing\n"
+      "~31%% (20 of 64); low-degree vertices are the dominated ones.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 9 (Exp-6): finding k maximum cliques -- BaseTopkMCC vs
+// NeiSkyTopkMCC on the Pokec and Orkut stand-ins, k in {1,3,5,7,9}.
+// Runtimes include the skyline computation, as in the paper.
+#include "bench_util.h"
+#include "clique/topk.h"
+#include "datasets/registry.h"
+
+int main() {
+  using namespace nsky;
+  bench::Banner("Fig. 9 (Exp-6)",
+                "BaseTopkMCC vs NeiSkyTopkMCC, k maximum cliques (s)");
+
+  bench::Table table({"dataset", "k", "BaseTopk_s", "NeiSkyTopk_s", "speedup",
+                      "sizes_equal"},
+                     14);
+  table.PrintHeader();
+  for (const char* name : {"pokec", "orkut"}) {
+    graph::Graph g =
+        datasets::MakeStandin(name, datasets::StandinScale::kSmall).value();
+    for (uint32_t k : {1u, 3u, 5u, 7u, 9u}) {
+      auto base = clique::BaseTopkMCC(g, k);
+      auto sky = clique::NeiSkyTopkMCC(g, k);
+      bool equal = base.cliques.size() == sky.cliques.size();
+      for (size_t i = 0; equal && i < base.cliques.size(); ++i) {
+        equal = base.cliques[i].size() == sky.cliques[i].size();
+      }
+      table.PrintRow({name, bench::FmtU(k), bench::FmtSecs(base.total_seconds),
+                      bench::FmtSecs(sky.total_seconds),
+                      bench::Fmt(base.total_seconds / sky.total_seconds,
+                                 "%.2f"),
+                      equal ? "yes" : "NO"});
+    }
+  }
+  std::printf(
+      "\nExpectation (paper): NeiSkyTopkMCC slightly slower at k = 1 (it\n"
+      "pays for the skyline first) and faster for k >= 2, with identical\n"
+      "clique sizes; both grow with k.\n");
+  return 0;
+}

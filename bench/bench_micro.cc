@@ -1,0 +1,97 @@
+// Google-benchmark micro suite for the library's kernels: skyline solvers
+// across graph sizes, the filter phase, the bloom subset test, BFS and the
+// containment joins. Complements the per-figure harnesses with
+// statistically-sampled timings.
+#include <benchmark/benchmark.h>
+
+#include "centrality/bfs.h"
+#include "core/nsky.h"
+#include "graph/generators.h"
+#include "setjoin/containment_join.h"
+#include "setjoin/records.h"
+
+namespace {
+
+using namespace nsky;
+
+graph::Graph SocialGraph(int n) {
+  return graph::MakeSocialGraph(static_cast<graph::VertexId>(n), 6.0, 0.6,
+                                0.4, 7, 0.3);
+}
+
+void BM_BaseSky(benchmark::State& state) {
+  graph::Graph g = SocialGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BaseSky(g).skyline.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_BaseSky)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_FilterRefineSky(benchmark::State& state) {
+  graph::Graph g = SocialGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FilterRefineSky(g).skyline.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_FilterRefineSky)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_FilterPhase(benchmark::State& state) {
+  graph::Graph g = SocialGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FilterPhase(g).skyline.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_FilterPhase)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BloomSubsetTest(benchmark::State& state) {
+  graph::Graph g = SocialGraph(1 << 12);
+  std::vector<uint8_t> member(g.NumVertices(), 1);
+  core::NeighborhoodBlooms blooms(g, member,
+                                  static_cast<uint32_t>(state.range(0)));
+  graph::VertexId u = 0, w = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blooms.SubsetTest(u, w));
+    u = (u + 1) & (g.NumVertices() - 1);
+    w = (w + 7) & (g.NumVertices() - 1);
+  }
+}
+BENCHMARK(BM_BloomSubsetTest)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Bfs(benchmark::State& state) {
+  graph::Graph g = SocialGraph(static_cast<int>(state.range(0)));
+  std::vector<uint32_t> dist;
+  graph::VertexId source = 0;
+  for (auto _ : state) {
+    centrality::BfsFrom(g, source, &dist);
+    benchmark::DoNotOptimize(dist.data());
+    source = (source + 1) % g.NumVertices();
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_Bfs)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_ContainmentJoinLC(benchmark::State& state) {
+  setjoin::RecordSet data = setjoin::RandomRecords(2000, 4000, 2, 12, 3);
+  setjoin::RecordSet queries = setjoin::RandomRecords(2000, 1000, 2, 5, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setjoin::ListCrosscuttingJoin(queries, data).size());
+  }
+}
+BENCHMARK(BM_ContainmentJoinLC);
+
+void BM_ContainmentJoinII(benchmark::State& state) {
+  setjoin::RecordSet data = setjoin::RandomRecords(2000, 4000, 2, 12, 3);
+  setjoin::RecordSet queries = setjoin::RandomRecords(2000, 1000, 2, 5, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setjoin::InvertedIndexJoin(queries, data).size());
+  }
+}
+BENCHMARK(BM_ContainmentJoinII);
+
+}  // namespace
+
+BENCHMARK_MAIN();

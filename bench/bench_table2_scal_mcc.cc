@@ -1,0 +1,59 @@
+// Table II (Exp-7): scalability of MC-BRB (stand-in: MaxClique) vs
+// NeiSkyMC on the LiveJournal stand-in, varying n and rho. Reported in
+// microseconds, as in the paper's table.
+#include "bench_util.h"
+#include "clique/max_clique.h"
+#include "clique/nei_sky_mc.h"
+#include "datasets/registry.h"
+#include "graph/sampling.h"
+#include "util/timer.h"
+
+namespace {
+
+void RunSeries(const nsky::graph::Graph& base_graph, bool vary_vertices) {
+  using namespace nsky;
+  bench::Table table({vary_vertices ? "n%" : "rho%", "n", "MC-BRB_us",
+                      "NeiSkyMC_us", "size_equal"},
+                     14);
+  table.PrintHeader();
+  for (int pct : {20, 40, 60, 80, 100}) {
+    double frac = pct / 100.0;
+    graph::Graph g = vary_vertices
+                         ? graph::SampleVertices(base_graph, frac, 55)
+                         : graph::SampleEdges(base_graph, frac, 55);
+    // The MC-BRB stand-in: the same seeded branch-and-bound engine
+    // NeiSkyMC uses, seeded from every vertex (the paper's BaseMCC
+    // semantics; see DESIGN.md).
+    std::vector<graph::VertexId> all(g.NumVertices());
+    for (graph::VertexId u = 0; u < g.NumVertices(); ++u) all[u] = u;
+    util::Timer t1;
+    auto base = clique::MaxCliqueSeeded(g, all, clique::HeuristicClique(g));
+    double base_us = t1.Micros();
+    auto sky = clique::NeiSkyMC(g);
+    double sky_us = sky.total_seconds * 1e6;
+    table.PrintRow({bench::FmtU(pct), bench::FmtU(g.NumVertices()),
+                    bench::Fmt(base_us, "%.0f"), bench::Fmt(sky_us, "%.0f"),
+                    base.clique.size() == sky.clique.clique.size() ? "yes"
+                                                                   : "NO"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace nsky;
+  graph::Graph lj =
+      datasets::MakeStandin("livejournal", datasets::StandinScale::kFull)
+          .value();
+
+  bench::Banner("Table II (Exp-7)", "MC-BRB vs NeiSkyMC scalability (us)");
+  std::printf("-- vary n --\n");
+  RunSeries(lj, /*vary_vertices=*/true);
+  std::printf("\n-- vary rho --\n");
+  RunSeries(lj, /*vary_vertices=*/false);
+
+  std::printf(
+      "\nExpectation (paper): the two are close, NeiSkyMC consistently a\n"
+      "few percent faster, both growing with n; identical clique sizes.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every bench binary prints (a) a header identifying the paper artifact it
+// regenerates, (b) a plain-text table with the same rows/series the paper
+// reports, and (c) a short expectation line describing the shape the paper
+// observed. Binaries are deterministic and sized to finish in seconds to a
+// few minutes on one core.
+#ifndef NSKY_BENCH_BENCH_UTIL_H_
+#define NSKY_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nsky::bench {
+
+// Prints the standard banner for a paper artifact.
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s -- %s\n", artifact, description);
+  std::printf("==============================================================\n");
+}
+
+// Fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void PrintHeader() const {
+    for (const auto& h : headers_) std::printf("%-*s", width_, h.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      for (int j = 0; j < width_ - 2; ++j) std::printf("-");
+      std::printf("  ");
+    }
+    std::printf("\n");
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+// Number formatting shortcuts.
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtU(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Seconds with adaptive precision (benchmark tables).
+inline std::string FmtSecs(double s) {
+  char buf[32];
+  if (s >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f", s);
+  } else if (s >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.2f", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", s);
+  }
+  return buf;
+}
+
+}  // namespace nsky::bench
+
+#endif  // NSKY_BENCH_BENCH_UTIL_H_

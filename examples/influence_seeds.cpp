@@ -1,0 +1,53 @@
+// Influence-seed selection: pick k monitoring/broadcast locations that
+// minimize the average shortest-path distance to everyone else (the group
+// closeness maximization application of Sec. IV-A), and show how the
+// neighborhood-skyline pruning accelerates the greedy without changing its
+// answer. Also demonstrates the CELF lazy-evaluation extension.
+//
+//   ./influence_seeds [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "centrality/greedy.h"
+#include "centrality/group_centrality.h"
+#include "datasets/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace nsky;
+  uint32_t k = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 8;
+
+  graph::Graph g =
+      datasets::MakeStandin("youtube", datasets::StandinScale::kSmall).value();
+  std::printf("youtube stand-in: n = %u, m = %llu\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()));
+
+  centrality::GreedyResult base = centrality::BaseGC(g, k);
+  centrality::GreedyResult pruned = centrality::NeiSkyGC(g, k);
+
+  std::printf("\nBaseGC   (pool = all %llu vertices): GC = %.6f, "
+              "%llu gain calls, %.3f s\n",
+              static_cast<unsigned long long>(base.pool_size), base.score,
+              static_cast<unsigned long long>(base.gain_calls), base.seconds);
+  std::printf("NeiSkyGC (pool = %llu skyline vertices): GC = %.6f, "
+              "%llu gain calls, %.3f s (skyline: %.3f s)\n",
+              static_cast<unsigned long long>(pruned.pool_size), pruned.score,
+              static_cast<unsigned long long>(pruned.gain_calls),
+              pruned.seconds, pruned.skyline_seconds);
+
+  std::printf("\nselected seeds (NeiSkyGC):");
+  for (graph::VertexId v : pruned.group) std::printf(" %u", v);
+  std::printf("\nscores match: %s\n",
+              std::abs(base.score - pruned.score) < 1e-9 ? "yes" : "no");
+
+  // CELF lazy evaluation on top of the skyline pruning: same score again,
+  // far fewer gain evaluations.
+  centrality::GreedyOptions lazy;
+  lazy.objective = centrality::Objective::kCloseness;
+  lazy.use_skyline_pruning = true;
+  lazy.lazy = true;
+  centrality::GreedyResult celf = centrality::GreedyGroupMaximization(g, k, lazy);
+  std::printf("\nCELF + skyline: GC = %.6f, %llu gain calls, %.3f s\n",
+              celf.score, static_cast<unsigned long long>(celf.gain_calls),
+              celf.seconds);
+  return 0;
+}

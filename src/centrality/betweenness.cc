@@ -1,0 +1,159 @@
+#include "centrality/betweenness.h"
+
+#include <algorithm>
+
+#include "core/filter_refine_sky.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace nsky::centrality {
+
+std::vector<double> BrandesBetweenness(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<VertexId> order;  // vertices in non-decreasing BFS distance
+  order.reserve(n);
+
+  for (VertexId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    order.push_back(s);
+    // BFS with path counting.
+    for (size_t head = 0; head < order.size(); ++head) {
+      VertexId v = order[head];
+      for (VertexId w : g.Neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          order.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (size_t i = order.size(); i-- > 1;) {
+      VertexId w = order[i];
+      for (VertexId v : g.Neighbors(w)) {
+        if (dist[v] == dist[w] - 1) {
+          delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      centrality[w] += delta[w];
+    }
+  }
+  // Each unordered pair was counted from both endpoints.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+namespace {
+
+// One source's contribution to GB(S): for every t not in S (t != s),
+// 1 - sigma_avoiding(t) / sigma(t) where sigma_avoiding counts paths of the
+// *original* shortest length that avoid S entirely. Runs one BFS in g and
+// one path-count sweep that refuses to enter S.
+double SourceContribution(const Graph& g, VertexId s,
+                          const std::vector<uint8_t>& in_group,
+                          std::vector<int64_t>& dist,
+                          std::vector<double>& sigma,
+                          std::vector<double>& sigma_avoid,
+                          std::vector<VertexId>& order) {
+  const VertexId n = g.NumVertices();
+  std::fill(dist.begin(), dist.end(), -1);
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(sigma_avoid.begin(), sigma_avoid.end(), 0.0);
+  order.clear();
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  sigma_avoid[s] = 1.0;  // s itself is not in S (callers guarantee)
+  order.push_back(s);
+  for (size_t head = 0; head < order.size(); ++head) {
+    VertexId v = order[head];
+    for (VertexId w : g.Neighbors(v)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        order.push_back(w);
+      }
+      if (dist[w] == dist[v] + 1) {
+        sigma[w] += sigma[v];
+        // Paths avoiding S never leave through a group member.
+        if (!in_group[v] && !in_group[w]) sigma_avoid[w] += sigma_avoid[v];
+      }
+    }
+  }
+  double total = 0.0;
+  for (VertexId t = 0; t < n; ++t) {
+    if (t == s || in_group[t] || dist[t] < 0) continue;
+    total += 1.0 - sigma_avoid[t] / sigma[t];
+  }
+  return total;
+}
+
+}  // namespace
+
+double GroupBetweenness(const Graph& g, std::span<const VertexId> group) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint8_t> in_group(n, 0);
+  for (VertexId v : group) {
+    NSKY_CHECK(v < n);
+    in_group[v] = 1;
+  }
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n), sigma_avoid(n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  double total = 0.0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (in_group[s]) continue;
+    total += SourceContribution(g, s, in_group, dist, sigma, sigma_avoid,
+                                order);
+  }
+  return total / 2.0;  // each unordered pair counted from both endpoints
+}
+
+GroupBetweennessResult GreedyGroupBetweenness(const Graph& g, uint32_t k,
+                                              std::vector<VertexId> pool) {
+  util::Timer timer;
+  GroupBetweennessResult result;
+  const VertexId n = g.NumVertices();
+  if (pool.empty()) {
+    pool.resize(n);
+    for (VertexId u = 0; u < n; ++u) pool[u] = u;
+  }
+  result.pool_size = pool.size();
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(pool.size()));
+
+  std::vector<uint8_t> in_group(n, 0);
+  for (uint32_t round = 0; round < k; ++round) {
+    double best_score = -1.0;
+    VertexId best = graph::VertexId(-1);
+    for (VertexId u : pool) {
+      if (in_group[u]) continue;
+      ++result.gain_calls;
+      std::vector<VertexId> trial = result.group;
+      trial.push_back(u);
+      double score = GroupBetweenness(g, trial);
+      if (best == graph::VertexId(-1) || score > best_score) {
+        best_score = score;
+        best = u;
+      }
+    }
+    NSKY_CHECK(best != graph::VertexId(-1));
+    in_group[best] = 1;
+    result.group.push_back(best);
+    result.score = best_score;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+GroupBetweennessResult NeiSkyGB(const Graph& g, uint32_t k) {
+  return GreedyGroupBetweenness(g, k, core::FilterRefineSky(g).skyline);
+}
+
+}  // namespace nsky::centrality

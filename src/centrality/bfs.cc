@@ -1,0 +1,85 @@
+#include "centrality/bfs.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nsky::centrality {
+
+void BfsFrom(const Graph& g, VertexId source, std::vector<uint32_t>* dist) {
+  const VertexId n = g.NumVertices();
+  NSKY_CHECK(source < n);
+  dist->assign(n, kUnreachable);
+  std::vector<VertexId> frontier = {source};
+  (*dist)[source] = 0;
+  std::vector<VertexId> next;
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : g.Neighbors(u)) {
+        if ((*dist)[v] == kUnreachable) {
+          (*dist)[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+void MultiSourceBfs(const Graph& g, std::span<const VertexId> sources,
+                    std::vector<uint32_t>* dist) {
+  const VertexId n = g.NumVertices();
+  dist->assign(n, kUnreachable);
+  std::vector<VertexId> frontier;
+  for (VertexId s : sources) {
+    NSKY_CHECK(s < n);
+    if ((*dist)[s] != 0) {
+      (*dist)[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<VertexId> next;
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : g.Neighbors(u)) {
+        if ((*dist)[v] == kUnreachable) {
+          (*dist)[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+void RelaxWithSource(const Graph& g, VertexId source,
+                     std::vector<uint32_t>* dist) {
+  NSKY_CHECK(source < g.NumVertices());
+  NSKY_CHECK(dist->size() == g.NumVertices());
+  if ((*dist)[source] == 0) return;
+  (*dist)[source] = 0;
+  std::vector<VertexId> frontier = {source};
+  std::vector<VertexId> next;
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : g.Neighbors(u)) {
+        if (level < (*dist)[v]) {
+          (*dist)[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace nsky::centrality

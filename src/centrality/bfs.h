@@ -1,0 +1,39 @@
+// Breadth-first-search engines for unweighted shortest-path distances.
+//
+// Distance conventions shared by the whole centrality layer: distances are
+// uint32_t hop counts; unreachable vertices get kUnreachable. The centrality
+// definitions cap unreachable distances at n (see group_centrality.h).
+#ifndef NSKY_CENTRALITY_BFS_H_
+#define NSKY_CENTRALITY_BFS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::centrality {
+
+using graph::Graph;
+using graph::VertexId;
+
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+
+// Fills `dist` (resized to n) with hop distances from `source`.
+void BfsFrom(const Graph& g, VertexId source, std::vector<uint32_t>* dist);
+
+// Fills `dist` with hop distances from the nearest vertex of `sources`,
+// i.e., d(v, S). Empty `sources` makes every vertex unreachable.
+void MultiSourceBfs(const Graph& g, std::span<const VertexId> sources,
+                    std::vector<uint32_t>* dist);
+
+// Relaxes an existing distance field with a new source:
+// dist[v] = min(dist[v], d(source, v)). A pruned BFS that never expands
+// beyond vertices it fails to improve, so the cost is proportional to the
+// improved region (the engine behind the greedy marginal-gain evaluation).
+void RelaxWithSource(const Graph& g, VertexId source,
+                     std::vector<uint32_t>* dist);
+
+}  // namespace nsky::centrality
+
+#endif  // NSKY_CENTRALITY_BFS_H_

@@ -1,0 +1,49 @@
+#include "centrality/centrality.h"
+
+#include "centrality/bfs.h"
+
+namespace nsky::centrality {
+
+namespace {
+
+// Shared single-vertex evaluation: one BFS, then fold distances.
+template <typename Fold>
+double EvaluateFrom(const Graph& g, VertexId u, Fold fold) {
+  std::vector<uint32_t> dist;
+  BfsFrom(g, u, &dist);
+  const uint64_t cap = g.NumVertices();
+  double acc = 0.0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (v == u) continue;
+    acc += fold(CappedDistance(dist[v], cap));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double VertexCloseness(const Graph& g, VertexId u) {
+  if (g.NumVertices() <= 1) return 0.0;
+  double total = EvaluateFrom(
+      g, u, [](uint64_t d) { return static_cast<double>(d); });
+  return total == 0.0 ? 0.0 : static_cast<double>(g.NumVertices()) / total;
+}
+
+double VertexHarmonic(const Graph& g, VertexId u) {
+  return EvaluateFrom(g, u,
+                      [](uint64_t d) { return 1.0 / static_cast<double>(d); });
+}
+
+std::vector<double> AllCloseness(const Graph& g) {
+  std::vector<double> out(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) out[u] = VertexCloseness(g, u);
+  return out;
+}
+
+std::vector<double> AllHarmonic(const Graph& g) {
+  std::vector<double> out(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) out[u] = VertexHarmonic(g, u);
+  return out;
+}
+
+}  // namespace nsky::centrality

@@ -1,0 +1,39 @@
+// Per-vertex closeness and harmonic centrality (Definitions 6 and 8).
+//
+// Distance convention: the paper assumes connected graphs; real datasets are
+// not. We cap d(u, v) at n for unreachable pairs, a finite penalty that
+// keeps C(u) = n / sum_v d(v, u) well defined and preserves the ranking on
+// each component. Harmonic centrality uses the same cap, so an unreachable
+// pair contributes 1/n (vanishing as n grows, consistent with the standard
+// 1/inf = 0 convention in the large-graph limit).
+#ifndef NSKY_CENTRALITY_CENTRALITY_H_
+#define NSKY_CENTRALITY_CENTRALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::centrality {
+
+using graph::Graph;
+using graph::VertexId;
+
+// The capped distance used in all centrality sums.
+inline uint64_t CappedDistance(uint32_t dist, uint64_t cap) {
+  return dist == static_cast<uint32_t>(-1) || dist > cap ? cap : dist;
+}
+
+// Closeness centrality C(u) = n / sum_{v != u} d(v, u) of one vertex.
+double VertexCloseness(const Graph& g, VertexId u);
+
+// Harmonic centrality H(u) = sum_{v != u} 1 / d(v, u) of one vertex.
+double VertexHarmonic(const Graph& g, VertexId u);
+
+// All-vertices variants (n BFS traversals; use on small graphs).
+std::vector<double> AllCloseness(const Graph& g);
+std::vector<double> AllHarmonic(const Graph& g);
+
+}  // namespace nsky::centrality
+
+#endif  // NSKY_CENTRALITY_CENTRALITY_H_

@@ -1,0 +1,205 @@
+#include "centrality/greedy.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "centrality/bfs.h"
+#include "centrality/centrality.h"
+#include "centrality/group_centrality.h"
+#include "core/filter_refine_sky.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace nsky::centrality {
+
+namespace {
+
+// Evaluates the marginal gain of adding `u` to the group whose distance
+// field is `dist`, with a BFS pruned to strictly-improving vertices.
+//
+// Closeness: gain = sum over improved v of (cd(v) - d_u(v)); v = u itself
+// contributes cd(u) - 0, which models u leaving the sum over V \ S.
+// Harmonic: gain = sum over improved v != u of (1/d_u(v) - 1/cd(v)) minus
+// 1/cd(u) for u leaving the sum.
+//
+// Pruning soundness: d(., S) is 1-Lipschitz along edges, so on a shortest
+// path from u to any improved vertex every intermediate vertex is improved
+// as well; expanding only improving vertices misses nothing.
+class GainEvaluator {
+ public:
+  GainEvaluator(const Graph& g, Objective objective)
+      : g_(g),
+        objective_(objective),
+        cap_(g.NumVertices()),
+        visited_mark_(g.NumVertices(), 0) {}
+
+  double Evaluate(VertexId u, const std::vector<uint32_t>& dist) {
+    ++stamp_;
+    const uint64_t cdu = CappedDistance(dist[u], cap_);
+    double gain = objective_ == Objective::kCloseness
+                      ? static_cast<double>(cdu)
+                      : -1.0 / static_cast<double>(cdu);
+    frontier_.clear();
+    frontier_.push_back(u);
+    visited_mark_[u] = stamp_;
+    uint32_t level = 0;
+    std::vector<VertexId>& next = scratch_;
+    while (!frontier_.empty()) {
+      ++level;
+      next.clear();
+      for (VertexId x : frontier_) {
+        for (VertexId v : g_.Neighbors(x)) {
+          if (visited_mark_[v] == stamp_) continue;
+          const uint64_t cdv = CappedDistance(dist[v], cap_);
+          if (level >= cdv) continue;  // not strictly improving
+          visited_mark_[v] = stamp_;
+          next.push_back(v);
+          if (objective_ == Objective::kCloseness) {
+            gain += static_cast<double>(cdv - level);
+          } else {
+            gain += 1.0 / static_cast<double>(level) -
+                    1.0 / static_cast<double>(cdv);
+          }
+        }
+      }
+      frontier_.swap(next);
+    }
+    return gain;
+  }
+
+ private:
+  const Graph& g_;
+  const Objective objective_;
+  const uint64_t cap_;
+  uint32_t stamp_ = 0;
+  std::vector<uint32_t> visited_mark_;
+  std::vector<VertexId> frontier_;
+  std::vector<VertexId> scratch_;
+};
+
+double ScoreFromDistances(const Graph& g, Objective objective,
+                          const std::vector<uint32_t>& dist,
+                          const std::vector<uint8_t>& in_group) {
+  return objective == Objective::kCloseness
+             ? GroupClosenessFromDistances(dist, in_group, g.NumVertices())
+             : GroupHarmonicFromDistances(dist, in_group, g.NumVertices());
+}
+
+}  // namespace
+
+GreedyResult GreedyGroupMaximization(const Graph& g, uint32_t k,
+                                     const GreedyOptions& options) {
+  util::Timer total_timer;
+  const VertexId n = g.NumVertices();
+  GreedyResult result;
+
+  // ---- Candidate pool: explicit, skyline, or all vertices. ----
+  std::vector<VertexId> pool;
+  if (!options.pool.empty()) {
+    pool = options.pool;
+  } else if (options.use_skyline_pruning) {
+    util::Timer sky_timer;
+    pool = core::FilterRefineSky(g).skyline;
+    result.skyline_seconds = sky_timer.Seconds();
+  } else {
+    pool.resize(n);
+    for (VertexId u = 0; u < n; ++u) pool[u] = u;
+  }
+  result.pool_size = pool.size();
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(pool.size()));
+
+  std::vector<uint32_t> dist(n, kUnreachable);  // d(v, S); S starts empty
+  std::vector<uint8_t> in_group(n, 0);
+  GainEvaluator evaluator(g, options.objective);
+
+  if (!options.lazy) {
+    // ---- Plain greedy: evaluate every pool member each round. ----
+    for (uint32_t round = 0; round < k; ++round) {
+      double best_gain = 0.0;
+      VertexId best = graph::VertexId(-1);
+      for (VertexId u : pool) {
+        if (in_group[u]) continue;
+        ++result.gain_calls;
+        double gain = evaluator.Evaluate(u, dist);
+        if (best == graph::VertexId(-1) || gain > best_gain) {
+          best_gain = gain;
+          best = u;
+        }
+      }
+      NSKY_CHECK(best != graph::VertexId(-1));
+      in_group[best] = 1;
+      result.group.push_back(best);
+      RelaxWithSource(g, best, &dist);
+      result.round_scores.push_back(
+          ScoreFromDistances(g, options.objective, dist, in_group));
+    }
+  } else {
+    // ---- CELF lazy greedy: gains only shrink as the group grows, so a
+    // stale gain is an upper bound and the top of the heap can be selected
+    // as soon as its gain is fresh. ----
+    struct Entry {
+      double gain;
+      VertexId vertex;
+      uint32_t round;  // round in which `gain` was computed
+      bool operator<(const Entry& other) const {
+        return gain < other.gain ||
+               (gain == other.gain && vertex > other.vertex);
+      }
+    };
+    std::priority_queue<Entry> heap;
+    for (VertexId u : pool) {
+      ++result.gain_calls;
+      heap.push({evaluator.Evaluate(u, dist), u, 0});
+    }
+    for (uint32_t round = 0; round < k && !heap.empty(); ++round) {
+      while (true) {
+        Entry top = heap.top();
+        heap.pop();
+        if (top.round == round) {
+          in_group[top.vertex] = 1;
+          result.group.push_back(top.vertex);
+          RelaxWithSource(g, top.vertex, &dist);
+          result.round_scores.push_back(
+              ScoreFromDistances(g, options.objective, dist, in_group));
+          break;
+        }
+        ++result.gain_calls;
+        top.gain = evaluator.Evaluate(top.vertex, dist);
+        top.round = round;
+        heap.push(top);
+      }
+    }
+  }
+
+  result.score = result.round_scores.empty() ? 0.0 : result.round_scores.back();
+  result.seconds = total_timer.Seconds();
+  return result;
+}
+
+GreedyResult BaseGC(const Graph& g, uint32_t k) {
+  GreedyOptions options;
+  options.objective = Objective::kCloseness;
+  return GreedyGroupMaximization(g, k, options);
+}
+
+GreedyResult NeiSkyGC(const Graph& g, uint32_t k) {
+  GreedyOptions options;
+  options.objective = Objective::kCloseness;
+  options.use_skyline_pruning = true;
+  return GreedyGroupMaximization(g, k, options);
+}
+
+GreedyResult BaseGH(const Graph& g, uint32_t k) {
+  GreedyOptions options;
+  options.objective = Objective::kHarmonic;
+  return GreedyGroupMaximization(g, k, options);
+}
+
+GreedyResult NeiSkyGH(const Graph& g, uint32_t k) {
+  GreedyOptions options;
+  options.objective = Objective::kHarmonic;
+  options.use_skyline_pruning = true;
+  return GreedyGroupMaximization(g, k, options);
+}
+
+}  // namespace nsky::centrality

@@ -1,0 +1,75 @@
+// Greedy group-centrality maximization (Sec. IV-A / IV-B).
+//
+// The greedy framework adds, for k rounds, the vertex with the largest
+// marginal gain of the group centrality. Marginal gains are evaluated with a
+// pruned BFS that only expands strictly-improving vertices (the engineering
+// of Greedy++ / Greedy-H), so a gain call costs O(improved region), not
+// O(m).
+//
+// The paper's pruning (Lemma 3 / Lemma 4): for v <= u the gain of u is at
+// least the gain of v, so the candidate pool can be restricted to the
+// neighborhood skyline R -- that is NeiSkyGC / NeiSkyGH. The pool shrinks
+// from n to |R| and the number of gain calls from k(2n-k+1)/2 to
+// k(2r-k+1)/2 while the achieved score is unchanged.
+//
+// An optional lazy-evaluation mode (CELF) exploits the diminishing-returns
+// property of both objectives; it is an engineering extension kept off by
+// default because the paper's accounting assumes the plain greedy.
+#ifndef NSKY_CENTRALITY_GREEDY_H_
+#define NSKY_CENTRALITY_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::centrality {
+
+using graph::Graph;
+using graph::VertexId;
+
+enum class Objective {
+  kCloseness,  // maximize GC(S) (Definition 7)
+  kHarmonic,   // maximize GH(S) (Definition 9)
+};
+
+struct GreedyOptions {
+  Objective objective = Objective::kCloseness;
+  // Restrict the candidate pool to the neighborhood skyline (NeiSky*).
+  bool use_skyline_pruning = false;
+  // CELF lazy gain evaluation (extension; same output score).
+  bool lazy = false;
+  // Explicit candidate pool; overrides use_skyline_pruning when non-empty.
+  std::vector<VertexId> pool;
+};
+
+struct GreedyResult {
+  // Selected group, in selection order.
+  std::vector<VertexId> group;
+  // Final group centrality score (GC or GH per the objective).
+  double score = 0.0;
+  // Score after each round.
+  std::vector<double> round_scores;
+  // Number of marginal-gain evaluations performed.
+  uint64_t gain_calls = 0;
+  // Candidate pool size (n for Base*, |R| for NeiSky*).
+  uint64_t pool_size = 0;
+  // Seconds spent computing the neighborhood skyline (0 for Base*).
+  double skyline_seconds = 0.0;
+  // Total seconds including skyline computation.
+  double seconds = 0.0;
+};
+
+// Runs the greedy for groups of size k. k is clamped to the pool size.
+GreedyResult GreedyGroupMaximization(const Graph& g, uint32_t k,
+                                     const GreedyOptions& options = {});
+
+// Paper-named wrappers.
+GreedyResult BaseGC(const Graph& g, uint32_t k);     // Greedy++ stand-in
+GreedyResult NeiSkyGC(const Graph& g, uint32_t k);   // Algorithm 4
+GreedyResult BaseGH(const Graph& g, uint32_t k);     // Greedy-H stand-in
+GreedyResult NeiSkyGH(const Graph& g, uint32_t k);
+
+}  // namespace nsky::centrality
+
+#endif  // NSKY_CENTRALITY_GREEDY_H_

@@ -1,0 +1,61 @@
+#include "centrality/group_centrality.h"
+
+#include "centrality/bfs.h"
+#include "centrality/centrality.h"
+
+namespace nsky::centrality {
+
+double GroupClosenessFromDistances(const std::vector<uint32_t>& dist,
+                                   const std::vector<uint8_t>& in_group,
+                                   uint64_t cap) {
+  double total = 0.0;
+  bool any_outside = false;
+  for (size_t v = 0; v < dist.size(); ++v) {
+    if (in_group[v]) continue;
+    any_outside = true;
+    total += static_cast<double>(CappedDistance(dist[v], cap));
+  }
+  if (!any_outside || total == 0.0) return 0.0;
+  return static_cast<double>(dist.size()) / total;
+}
+
+double GroupHarmonicFromDistances(const std::vector<uint32_t>& dist,
+                                  const std::vector<uint8_t>& in_group,
+                                  uint64_t cap) {
+  double total = 0.0;
+  for (size_t v = 0; v < dist.size(); ++v) {
+    if (in_group[v]) continue;
+    total += 1.0 / static_cast<double>(CappedDistance(dist[v], cap));
+  }
+  return total;
+}
+
+namespace {
+
+void GroupDistances(const Graph& g, std::span<const VertexId> group,
+                    std::vector<uint32_t>* dist,
+                    std::vector<uint8_t>* in_group) {
+  MultiSourceBfs(g, group, dist);
+  in_group->assign(g.NumVertices(), 0);
+  for (VertexId s : group) (*in_group)[s] = 1;
+}
+
+}  // namespace
+
+double GroupCloseness(const Graph& g, std::span<const VertexId> group) {
+  if (group.empty()) return 0.0;
+  std::vector<uint32_t> dist;
+  std::vector<uint8_t> in_group;
+  GroupDistances(g, group, &dist, &in_group);
+  return GroupClosenessFromDistances(dist, in_group, g.NumVertices());
+}
+
+double GroupHarmonic(const Graph& g, std::span<const VertexId> group) {
+  if (group.empty()) return 0.0;
+  std::vector<uint32_t> dist;
+  std::vector<uint8_t> in_group;
+  GroupDistances(g, group, &dist, &in_group);
+  return GroupHarmonicFromDistances(dist, in_group, g.NumVertices());
+}
+
+}  // namespace nsky::centrality

@@ -1,0 +1,37 @@
+// Group closeness and group harmonic centrality (Definitions 7 and 9).
+//
+// GC(S) = n / sum_{v not in S} d(v, S)    (Definition 7)
+// GH(S) = sum_{v not in S} 1 / d(v, S)    (Definition 9)
+// with d(v, S) capped at n for vertices unreachable from S (see
+// centrality.h for the rationale).
+#ifndef NSKY_CENTRALITY_GROUP_CENTRALITY_H_
+#define NSKY_CENTRALITY_GROUP_CENTRALITY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::centrality {
+
+using graph::Graph;
+using graph::VertexId;
+
+// Group closeness centrality of S (empty S yields 0).
+double GroupCloseness(const Graph& g, std::span<const VertexId> group);
+
+// Group harmonic centrality of S (empty S yields 0).
+double GroupHarmonic(const Graph& g, std::span<const VertexId> group);
+
+// Both scores from a precomputed distance field d(v, S) and membership
+// flags; used by the greedy solvers to avoid repeated BFS.
+double GroupClosenessFromDistances(const std::vector<uint32_t>& dist,
+                                   const std::vector<uint8_t>& in_group,
+                                   uint64_t cap);
+double GroupHarmonicFromDistances(const std::vector<uint32_t>& dist,
+                                  const std::vector<uint8_t>& in_group,
+                                  uint64_t cap);
+
+}  // namespace nsky::centrality
+
+#endif  // NSKY_CENTRALITY_GROUP_CENTRALITY_H_

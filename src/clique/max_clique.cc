@@ -1,0 +1,290 @@
+#include "clique/max_clique.h"
+
+#include <algorithm>
+
+#include "graph/cores.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace nsky::clique {
+
+namespace {
+
+// Tomita-style branch-and-bound engine with greedy-coloring bounds.
+class Solver {
+ public:
+  explicit Solver(const Graph& g)
+      : g_(g), mark_(g.NumVertices(), 0) {}
+
+  void PrimeIncumbent(std::span<const VertexId> clique) {
+    if (clique.size() > best_.size()) {
+      best_.assign(clique.begin(), clique.end());
+    }
+  }
+
+  // Branches from R = {seed}, P = candidates (all adjacent to seed).
+  void SearchFrom(VertexId seed, std::vector<VertexId> candidates) {
+    current_.clear();
+    current_.push_back(seed);
+    Expand(&candidates);
+    current_.clear();
+  }
+
+  const std::vector<VertexId>& best() const { return best_; }
+  uint64_t branches() const { return branches_; }
+
+ private:
+  // Greedy coloring of `p`: fills `ordered` with p's vertices sorted by
+  // color ascending and `bound[i]` = color number of ordered[i] (an upper
+  // bound on the clique size within ordered[0..i]).
+  void ColorSort(const std::vector<VertexId>& p,
+                 std::vector<VertexId>* ordered, std::vector<uint32_t>* bound) {
+    color_classes_.clear();
+    for (VertexId v : p) {
+      size_t c = 0;
+      for (; c < color_classes_.size(); ++c) {
+        bool conflict = false;
+        for (VertexId x : color_classes_[c]) {
+          if (g_.HasEdge(v, x)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) break;
+      }
+      if (c == color_classes_.size()) color_classes_.emplace_back();
+      color_classes_[c].push_back(v);
+    }
+    ordered->clear();
+    bound->clear();
+    for (size_t c = 0; c < color_classes_.size(); ++c) {
+      for (VertexId v : color_classes_[c]) {
+        ordered->push_back(v);
+        bound->push_back(static_cast<uint32_t>(c + 1));
+      }
+    }
+  }
+
+  void Expand(std::vector<VertexId>* p) {
+    ++branches_;
+    if (p->empty()) {
+      if (current_.size() > best_.size()) best_ = current_;
+      return;
+    }
+    std::vector<VertexId> ordered;
+    std::vector<uint32_t> bound;
+    ColorSort(*p, &ordered, &bound);
+    std::vector<VertexId> next;
+    for (size_t i = ordered.size(); i-- > 0;) {
+      if (current_.size() + bound[i] <= best_.size()) return;
+      VertexId v = ordered[i];
+      // next = ordered[0..i) intersect N(v), via a neighbor stamp.
+      ++stamp_;
+      for (VertexId x : g_.Neighbors(v)) mark_[x] = stamp_;
+      next.clear();
+      for (size_t j = 0; j < i; ++j) {
+        if (mark_[ordered[j]] == stamp_) next.push_back(ordered[j]);
+      }
+      current_.push_back(v);
+      Expand(&next);
+      current_.pop_back();
+    }
+  }
+
+  const Graph& g_;
+  std::vector<VertexId> best_;
+  std::vector<VertexId> current_;
+  std::vector<std::vector<VertexId>> color_classes_;
+  std::vector<uint32_t> mark_;
+  uint32_t stamp_ = 0;
+  uint64_t branches_ = 0;
+};
+
+}  // namespace
+
+bool IsClique(const Graph& g, std::span<const VertexId> vertices) {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      if (!g.HasEdge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<VertexId> HeuristicClique(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  if (n == 0) return {};
+  graph::CoreDecomposition cores = ComputeCores(g);
+
+  // Extend greedily from the highest-core vertices; a handful of trials is
+  // enough for a solid lower bound.
+  std::vector<VertexId> best;
+  const size_t kTrials = std::min<size_t>(n, 32);
+  std::vector<uint32_t> mark(n, 0);
+  uint32_t stamp = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    VertexId seed = cores.order[n - 1 - t];
+    if (cores.core[seed] + 1 <= best.size()) continue;
+    std::vector<VertexId> clique = {seed};
+    // Candidates sorted by core number descending: densest first.
+    std::vector<VertexId> cands(g.Neighbors(seed).begin(),
+                                g.Neighbors(seed).end());
+    std::sort(cands.begin(), cands.end(), [&](VertexId a, VertexId b) {
+      return cores.core[a] != cores.core[b] ? cores.core[a] > cores.core[b]
+                                            : a < b;
+    });
+    for (VertexId v : cands) {
+      // v joins if adjacent to every clique member.
+      ++stamp;
+      for (VertexId x : g.Neighbors(v)) mark[x] = stamp;
+      bool ok = true;
+      for (VertexId c : clique) {
+        if (mark[c] != stamp) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) clique.push_back(v);
+    }
+    if (clique.size() > best.size()) best = std::move(clique);
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+CliqueResult MaxClique(const Graph& g) {
+  util::Timer timer;
+  CliqueResult result;
+  const VertexId n = g.NumVertices();
+  if (n == 0) {
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  graph::CoreDecomposition cores = ComputeCores(g);
+  Solver solver(g);
+  solver.PrimeIncumbent(HeuristicClique(g));
+
+  // Degeneracy-order driver: every clique is found exactly once from its
+  // earliest vertex in the order, whose candidates are its later neighbors.
+  for (VertexId i = 0; i < n; ++i) {
+    VertexId u = cores.order[i];
+    // A clique through u has size <= core(u) + 1.
+    if (cores.core[u] + 1 <= solver.best().size()) continue;
+    std::vector<VertexId> candidates;
+    for (VertexId v : g.Neighbors(u)) {
+      if (cores.position[v] > i &&
+          cores.core[v] >= solver.best().size()) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.size() + 1 <= solver.best().size()) continue;
+    ++result.seeds_searched;
+    solver.SearchFrom(u, std::move(candidates));
+  }
+
+  result.clique = solver.best();
+  std::sort(result.clique.begin(), result.clique.end());
+  result.branches = solver.branches();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+CliqueResult MaxCliqueSeeded(const Graph& g, std::span<const VertexId> seeds,
+                             std::span<const VertexId> incumbent) {
+  util::Timer timer;
+  CliqueResult result;
+  const VertexId n = g.NumVertices();
+  if (n == 0) {
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  graph::CoreDecomposition cores = ComputeCores(g);
+  Solver solver(g);
+  solver.PrimeIncumbent(incumbent);
+
+  // Search dense seeds first so the incumbent grows early.
+  std::vector<VertexId> order(seeds.begin(), seeds.end());
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return cores.core[a] != cores.core[b] ? cores.core[a] > cores.core[b]
+                                          : a < b;
+  });
+
+  for (VertexId u : order) {
+    if (cores.core[u] + 1 <= solver.best().size()) continue;
+    std::vector<VertexId> candidates;
+    for (VertexId v : g.Neighbors(u)) {
+      // Members of a clique beating the incumbent need core >= |best|.
+      if (cores.core[v] >= solver.best().size()) candidates.push_back(v);
+    }
+    if (candidates.size() + 1 <= solver.best().size()) continue;
+    ++result.seeds_searched;
+    solver.SearchFrom(u, std::move(candidates));
+  }
+
+  result.clique = solver.best();
+  std::sort(result.clique.begin(), result.clique.end());
+  result.branches = solver.branches();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+namespace {
+
+// Bron-Kerbosch with pivoting; exponential, tests only.
+void BronKerbosch(const Graph& g, std::vector<VertexId>& r,
+                  std::vector<VertexId> p, std::vector<VertexId> x,
+                  std::vector<VertexId>* best) {
+  if (p.empty() && x.empty()) {
+    if (r.size() > best->size()) *best = r;
+    return;
+  }
+  // Pivot: vertex of p+x with most neighbors in p.
+  VertexId pivot = graph::VertexId(-1);
+  size_t best_cover = 0;
+  auto consider = [&](VertexId c) {
+    size_t cover = 0;
+    for (VertexId v : p) {
+      if (g.HasEdge(c, v)) ++cover;
+    }
+    if (pivot == graph::VertexId(-1) || cover > best_cover) {
+      pivot = c;
+      best_cover = cover;
+    }
+  };
+  for (VertexId c : p) consider(c);
+  for (VertexId c : x) consider(c);
+
+  std::vector<VertexId> frontier;
+  for (VertexId v : p) {
+    if (!g.HasEdge(pivot, v)) frontier.push_back(v);
+  }
+  for (VertexId v : frontier) {
+    std::vector<VertexId> p2, x2;
+    for (VertexId w : p) {
+      if (g.HasEdge(v, w)) p2.push_back(w);
+    }
+    for (VertexId w : x) {
+      if (g.HasEdge(v, w)) x2.push_back(w);
+    }
+    r.push_back(v);
+    BronKerbosch(g, r, std::move(p2), std::move(x2), best);
+    r.pop_back();
+    p.erase(std::find(p.begin(), p.end(), v));
+    x.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> BruteForceMaxClique(const Graph& g) {
+  std::vector<VertexId> r, best;
+  std::vector<VertexId> p(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) p[u] = u;
+  BronKerbosch(g, r, std::move(p), {}, &best);
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+}  // namespace nsky::clique

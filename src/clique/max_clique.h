@@ -1,0 +1,64 @@
+// Exact maximum clique computation (Sec. IV-C).
+//
+// The solver is a branch-and-bound in the Tomita style: candidates are
+// greedily colored and branches whose |clique| + color bound cannot beat the
+// incumbent are cut. Preprocessing uses the core decomposition (a clique of
+// size s lives in the (s-1)-core) and a degeneracy-order greedy heuristic
+// for the initial lower bound. This is the repository's stand-in for
+// MC-BRB [Chang, KDD'19].
+//
+// Two search drivers share the branch-and-bound engine:
+//  * MaxClique       -- BaseMCC: every vertex may seed the search; the
+//    degeneracy-order driver restricts each seed's candidates to its later
+//    neighbors, which covers every clique exactly once.
+//  * MaxCliqueSeeded -- Algorithm 5's driver: branch from H = {u},
+//    X = N(u) for each seed u in the given list. Exact whenever at least
+//    one maximum clique intersects the seed set (Lemma 5 guarantees this
+//    for the neighborhood skyline).
+#ifndef NSKY_CLIQUE_MAX_CLIQUE_H_
+#define NSKY_CLIQUE_MAX_CLIQUE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::clique {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct CliqueResult {
+  // A maximum clique, sorted ascending (empty for the empty graph).
+  std::vector<VertexId> clique;
+  // Branch-and-bound tree nodes expanded.
+  uint64_t branches = 0;
+  // Seeds actually searched (after bound-based skipping).
+  uint64_t seeds_searched = 0;
+  double seconds = 0.0;
+};
+
+// Exact maximum clique (BaseMCC / MC-BRB stand-in).
+CliqueResult MaxClique(const Graph& g);
+
+// Exact maximum clique containing at least one seed, branching from each
+// seed's full neighborhood. `incumbent` primes the search with an already
+// known clique (e.g., the heuristic one); the result is the better of the
+// incumbent and the best clique found through the seeds, so the output is a
+// true maximum clique whenever seeds cover one (Lemma 5).
+CliqueResult MaxCliqueSeeded(const Graph& g, std::span<const VertexId> seeds,
+                             std::span<const VertexId> incumbent = {});
+
+// Greedy degeneracy-order heuristic clique (lower bound; near-linear time).
+std::vector<VertexId> HeuristicClique(const Graph& g);
+
+// Brute-force maximum clique via Bron-Kerbosch enumeration; tests only.
+std::vector<VertexId> BruteForceMaxClique(const Graph& g);
+
+// True iff `vertices` forms a clique in g.
+bool IsClique(const Graph& g, std::span<const VertexId> vertices);
+
+}  // namespace nsky::clique
+
+#endif  // NSKY_CLIQUE_MAX_CLIQUE_H_

@@ -1,0 +1,26 @@
+#include "clique/nei_sky_mc.h"
+
+#include "core/filter_refine_sky.h"
+#include "util/timer.h"
+
+namespace nsky::clique {
+
+NeiSkyMcResult NeiSkyMC(const Graph& g) {
+  util::Timer total;
+  NeiSkyMcResult result;
+
+  util::Timer sky_timer;
+  core::SkylineResult skyline = core::FilterRefineSky(g);
+  result.skyline_seconds = sky_timer.Seconds();
+  result.skyline_size = skyline.skyline.size();
+
+  // The heuristic clique primes the incumbent; if nothing beats it the
+  // heuristic is already maximum (the seeded search is exhaustive above the
+  // incumbent size).
+  std::vector<VertexId> incumbent = HeuristicClique(g);
+  result.clique = MaxCliqueSeeded(g, skyline.skyline, incumbent);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace nsky::clique

@@ -1,0 +1,33 @@
+// NeiSkyMC (Algorithm 5): maximum clique computation seeded only from the
+// neighborhood skyline.
+//
+// Lemma 5 (and the companion existence argument): for every maximum clique H
+// and every v in H, any terminal dominator z of v yields a maximum clique
+// (H \ {v}) + {z}; hence some maximum clique intersects the skyline R and
+// branching only from R's vertices is exact.
+#ifndef NSKY_CLIQUE_NEI_SKY_MC_H_
+#define NSKY_CLIQUE_NEI_SKY_MC_H_
+
+#include <cstdint>
+
+#include "clique/max_clique.h"
+#include "graph/graph.h"
+
+namespace nsky::clique {
+
+struct NeiSkyMcResult {
+  CliqueResult clique;
+  // Size of the neighborhood skyline used as the seed set.
+  uint64_t skyline_size = 0;
+  // Seconds spent computing the skyline (included in total_seconds).
+  double skyline_seconds = 0.0;
+  // Skyline + search.
+  double total_seconds = 0.0;
+};
+
+// Computes a maximum clique of g with skyline-restricted seeding.
+NeiSkyMcResult NeiSkyMC(const Graph& g);
+
+}  // namespace nsky::clique
+
+#endif  // NSKY_CLIQUE_NEI_SKY_MC_H_

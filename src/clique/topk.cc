@@ -1,0 +1,93 @@
+#include "clique/topk.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "clique/max_clique.h"
+#include "core/filter_refine_sky.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace nsky::clique {
+
+namespace {
+
+// Induced subgraph on the vertices with alive[u] != 0, plus the map from
+// subgraph ids back to the original ids.
+graph::Graph AliveSubgraph(const Graph& g, const std::vector<uint8_t>& alive,
+                           std::vector<VertexId>* to_original) {
+  to_original->clear();
+  std::vector<VertexId> new_id(g.NumVertices(), graph::VertexId(-1));
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (alive[u]) {
+      new_id[u] = static_cast<VertexId>(to_original->size());
+      to_original->push_back(u);
+    }
+  }
+  std::vector<graph::Edge> edges;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (!alive[u]) continue;
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v && alive[v]) edges.emplace_back(new_id[u], new_id[v]);
+    }
+  }
+  return graph::Graph::FromEdges(static_cast<VertexId>(to_original->size()),
+                                 std::move(edges));
+}
+
+TopkCliquesResult TopkRounds(const Graph& g, uint32_t k, bool use_skyline) {
+  util::Timer total;
+  TopkCliquesResult result;
+  std::vector<uint8_t> alive(g.NumVertices(), 1);
+  uint64_t remaining = g.NumVertices();
+
+  for (uint32_t round = 0; round < k && remaining > 0; ++round) {
+    std::vector<VertexId> to_original;
+    Graph sub = AliveSubgraph(g, alive, &to_original);
+
+    // Both variants drive the same seeded branch-and-bound engine, as in
+    // Sec. IV-C.3: BaseTopkMCC seeds every vertex of the remaining graph,
+    // NeiSkyTopkMCC only its per-round skyline. (We recompute the skyline
+    // per round: FilterRefineSky is near-linear, whereas incremental
+    // maintenance under hub deletions touches 3-hop balls and measured
+    // slower -- see DynamicSkyline for the streaming use case.)
+    std::vector<VertexId> seeds;
+    if (use_skyline) {
+      util::Timer sky_timer;
+      seeds = core::FilterRefineSky(sub).skyline;
+      result.skyline_seconds += sky_timer.Seconds();
+    } else {
+      seeds.resize(sub.NumVertices());
+      for (VertexId s = 0; s < sub.NumVertices(); ++s) seeds[s] = s;
+    }
+    CliqueResult round_best =
+        MaxCliqueSeeded(sub, seeds, HeuristicClique(sub));
+    result.branches += round_best.branches;
+    if (round_best.clique.empty()) break;
+
+    std::vector<VertexId> original_clique;
+    original_clique.reserve(round_best.clique.size());
+    for (VertexId v : round_best.clique) {
+      VertexId original = to_original[v];
+      original_clique.push_back(original);
+      alive[original] = 0;
+      --remaining;
+    }
+    std::sort(original_clique.begin(), original_clique.end());
+    result.cliques.push_back(std::move(original_clique));
+  }
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace
+
+TopkCliquesResult BaseTopkMCC(const Graph& g, uint32_t k) {
+  return TopkRounds(g, k, /*use_skyline=*/false);
+}
+
+TopkCliquesResult NeiSkyTopkMCC(const Graph& g, uint32_t k) {
+  return TopkRounds(g, k, /*use_skyline=*/true);
+}
+
+}  // namespace nsky::clique

@@ -1,0 +1,112 @@
+#include "core/base_2hop.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/bloom.h"
+#include "core/subset_check.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace nsky::core {
+
+namespace {
+
+// Same exact verification as FilterRefineSky's NBRcheck.
+bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
+                        uint64_t* scanned) {
+  return SortedSubsetExcept(g.Neighbors(u), g.Neighbors(w), w, scanned);
+}
+
+}  // namespace
+
+SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
+  util::Timer timer;
+  const VertexId n = g.NumVertices();
+
+  SkylineResult result;
+  result.dominator.resize(n);
+  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
+  std::vector<VertexId>& dominator = result.dominator;
+
+  util::MemoryTally tally;
+  tally.Add(dominator.capacity() * sizeof(VertexId));
+
+  // ---- Materialize all 2-hop neighbor lists (the expensive part). ----
+  std::vector<std::vector<VertexId>> two_hop(n);
+  {
+    std::vector<VertexId> buffer;
+    for (VertexId u = 0; u < n; ++u) {
+      buffer.clear();
+      for (VertexId v : g.Neighbors(u)) {
+        buffer.push_back(v);
+        for (VertexId w : g.Neighbors(v)) {
+          if (w != u) buffer.push_back(w);
+        }
+      }
+      std::sort(buffer.begin(), buffer.end());
+      buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
+      two_hop[u].assign(buffer.begin(), buffer.end());
+      tally.Add(two_hop[u].capacity() * sizeof(VertexId));
+    }
+    tally.Add(two_hop.capacity() * sizeof(std::vector<VertexId>));
+  }
+
+  // ---- Bloom filters for every vertex. ----
+  std::unique_ptr<NeighborhoodBlooms> blooms;
+  if (options.use_bloom) {
+    std::vector<uint8_t> member(n, 1);
+    uint32_t bits = options.bloom_bits != 0
+                        ? options.bloom_bits
+                        : NeighborhoodBlooms::ChooseBitsAdaptive(
+                              g, options.bits_per_neighbor);
+    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits);
+    tally.Add(blooms->MemoryBytes());
+  }
+
+  // ---- Verify every vertex against its 2-hop list. ----
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] != u) continue;
+    const uint32_t deg_u = g.Degree(u);
+    for (VertexId w : two_hop[u]) {
+      ++result.stats.pairs_examined;
+      if (g.Degree(w) < deg_u) {
+        ++result.stats.degree_prunes;
+        continue;
+      }
+      if (dominator[w] != w) continue;
+      // The closed-neighborhood variant is required here: unlike in
+      // FilterRefineSky, w may be adjacent to u (no filter phase ran), and
+      // then w's own bit legitimately covers u's neighbor w.
+      if (blooms != nullptr && !blooms->SubsetTestClosed(u, w)) {
+        ++result.stats.bloom_prunes;
+        continue;
+      }
+      ++result.stats.inclusion_tests;
+      if (!OpenSubsetOfClosed(g, u, w, &result.stats.nbr_elements_scanned)) {
+        continue;
+      }
+      if (g.Degree(w) == deg_u) {
+        if (u > w) {
+          dominator[u] = w;
+          break;
+        }
+        if (dominator[w] == w) dominator[w] = u;
+      } else {
+        dominator[u] = w;
+        break;
+      }
+    }
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] == u) result.skyline.push_back(u);
+  }
+  tally.Add(result.skyline.capacity() * sizeof(VertexId));
+  result.stats.aux_peak_bytes = tally.peak_bytes();
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace nsky::core

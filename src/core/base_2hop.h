@@ -1,0 +1,20 @@
+// Base2Hop baseline (Sec. V-A): materializes the full 2-hop neighbor list of
+// every vertex up front, then identifies the skyline with the same degree /
+// bloom-filter / NBRcheck machinery as FilterRefineSky -- but without the
+// candidate filter. Its defining cost is memory: it stores sum_u |N2(u)|
+// vertex ids plus a bloom filter for every vertex, which is why the paper
+// reports it out-of-memory on WikiTalk.
+#ifndef NSKY_CORE_BASE_2HOP_H_
+#define NSKY_CORE_BASE_2HOP_H_
+
+#include "core/filter_refine_sky.h"
+#include "core/skyline.h"
+
+namespace nsky::core {
+
+// Computes the neighborhood skyline by 2-hop materialization.
+SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options = {});
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_BASE_2HOP_H_

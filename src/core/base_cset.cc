@@ -1,0 +1,68 @@
+#include "core/base_cset.h"
+
+#include <vector>
+
+#include "core/filter_phase.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace nsky::core {
+
+SkylineResult BaseCSet(const Graph& g) {
+  util::Timer timer;
+  const VertexId n = g.NumVertices();
+
+  SkylineResult result = FilterPhase(g);
+  std::vector<VertexId>& dominator = result.dominator;
+  const std::vector<VertexId> candidates = std::move(result.skyline);
+  result.skyline.clear();
+
+  util::MemoryTally tally;
+  tally.Add(result.stats.aux_peak_bytes);
+
+  std::vector<uint32_t> count(n, 0);
+  std::vector<VertexId> touched;
+  touched.reserve(256);
+  tally.Add(count.capacity() * sizeof(uint32_t));
+
+  // BaseSky's intersection counting, restricted to the candidates.
+  for (VertexId u : candidates) {
+    if (dominator[u] != u) continue;
+    const uint32_t deg_u = g.Degree(u);
+    bool done = false;
+    touched.clear();
+    for (VertexId v : g.Neighbors(u)) {
+      if (done) break;
+      auto process = [&](VertexId w) {
+        if (w == u || done) return;
+        if (count[w] == 0) touched.push_back(w);
+        ++result.stats.pairs_examined;
+        if (++count[w] != deg_u) return;
+        if (g.Degree(w) == deg_u) {
+          if (u > w) {
+            dominator[u] = w;
+            done = true;
+          } else if (dominator[w] == w) {
+            dominator[w] = u;
+          }
+        } else {
+          dominator[u] = w;
+          done = true;
+        }
+      };
+      for (VertexId w : g.Neighbors(v)) process(w);
+      process(v);
+    }
+    for (VertexId w : touched) count[w] = 0;
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] == u) result.skyline.push_back(u);
+  }
+  tally.Add(result.skyline.capacity() * sizeof(VertexId));
+  result.stats.aux_peak_bytes = tally.peak_bytes();
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace nsky::core

@@ -1,0 +1,17 @@
+// BaseCSet baseline (Sec. V-A): runs FilterPhase (Algorithm 2) to obtain the
+// candidate set C, then applies BaseSky's counting scheme (Algorithm 1) only
+// to the vertices of C -- candidate pruning without the bloom filter.
+// Time O(dmax * sum_{u in C} deg(u)).
+#ifndef NSKY_CORE_BASE_CSET_H_
+#define NSKY_CORE_BASE_CSET_H_
+
+#include "core/skyline.h"
+
+namespace nsky::core {
+
+// Computes the neighborhood skyline via FilterPhase + counting refinement.
+SkylineResult BaseCSet(const Graph& g);
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_BASE_CSET_H_

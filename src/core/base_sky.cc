@@ -1,0 +1,73 @@
+#include "core/base_sky.h"
+
+#include <vector>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace nsky::core {
+
+SkylineResult BaseSky(const Graph& g) {
+  util::Timer timer;
+  const VertexId n = g.NumVertices();
+
+  SkylineResult result;
+  result.dominator.resize(n);
+  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
+  std::vector<VertexId>& dominator = result.dominator;
+
+  // Shared intersection counters; reset sparsely via `touched` so that the
+  // per-vertex cost stays proportional to the explored 2-hop volume.
+  std::vector<uint32_t> count(n, 0);
+  std::vector<VertexId> touched;
+  touched.reserve(256);
+
+  util::MemoryTally tally;
+  tally.Add(dominator.capacity() * sizeof(VertexId));
+  tally.Add(count.capacity() * sizeof(uint32_t));
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] != u) continue;  // already dominated, skip (line 5)
+    const uint32_t deg_u = g.Degree(u);
+    bool done = false;
+    touched.clear();
+    for (VertexId v : g.Neighbors(u)) {
+      if (done) break;
+      // w ranges over N[v] \ {u}; the closed neighborhood is N(v) plus v.
+      auto process = [&](VertexId w) {
+        if (w == u || done) return;
+        if (count[w] == 0) touched.push_back(w);
+        ++result.stats.pairs_examined;
+        if (++count[w] != deg_u) return;
+        // N(u) subset-of N[w]: w neighborhood-includes u.
+        if (g.Degree(w) == deg_u) {
+          // Equal degrees + inclusion => mutual inclusion; the smaller id
+          // dominates (Definition 2, case 2).
+          if (u > w) {
+            dominator[u] = w;
+            done = true;
+          } else if (dominator[w] == w) {
+            dominator[w] = u;
+          }
+        } else {
+          // Strict domination: u is definitely not in the skyline.
+          dominator[u] = w;
+          done = true;
+        }
+      };
+      for (VertexId w : g.Neighbors(v)) process(w);
+      process(v);
+    }
+    for (VertexId w : touched) count[w] = 0;
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] == u) result.skyline.push_back(u);
+  }
+  tally.Add(result.skyline.capacity() * sizeof(VertexId));
+  result.stats.aux_peak_bytes = tally.peak_bytes();
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace nsky::core

@@ -1,0 +1,96 @@
+#include "core/bloom.h"
+
+#include <bit>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace nsky::core {
+
+uint32_t NeighborhoodBlooms::ChooseBits(uint32_t max_degree,
+                                        uint32_t bits_per_neighbor) {
+  uint64_t want = static_cast<uint64_t>(max_degree) * bits_per_neighbor;
+  uint64_t bits = 64;
+  while (bits < want && bits < (1u << 20)) bits <<= 1;
+  return static_cast<uint32_t>(bits);
+}
+
+uint32_t NeighborhoodBlooms::ChooseBitsAdaptive(const Graph& g,
+                                                uint32_t bits_per_neighbor) {
+  const double avg =
+      g.NumVertices() == 0
+          ? 0.0
+          : 2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+  uint64_t want = static_cast<uint64_t>(4.0 * bits_per_neighbor * avg) + 1;
+  uint64_t bits = 64;
+  while (bits < want && bits < (1u << 16)) bits <<= 1;
+  return static_cast<uint32_t>(bits);
+}
+
+NeighborhoodBlooms::NeighborhoodBlooms(const Graph& g,
+                                       const std::vector<uint8_t>& member,
+                                       uint32_t bits) {
+  NSKY_CHECK(bits >= 64 && std::has_single_bit(bits));
+  NSKY_CHECK(member.size() == g.NumVertices());
+  bits_ = bits;
+  words_per_filter_ = bits / 64;
+
+  const VertexId n = g.NumVertices();
+  slot_.assign(n, kNoSlot);
+  uint32_t num_filters = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (member[u]) slot_[u] = num_filters++;
+  }
+  words_.assign(static_cast<size_t>(num_filters) * words_per_filter_, 0);
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (slot_[u] == kNoSlot) continue;
+    uint64_t* filter =
+        words_.data() + static_cast<size_t>(slot_[u]) * words_per_filter_;
+    for (VertexId x : g.Neighbors(u)) {
+      uint64_t h = HashBit(x);
+      filter[(h >> 6) & (words_per_filter_ - 1)] |= uint64_t{1} << (h & 63);
+    }
+  }
+}
+
+uint64_t NeighborhoodBlooms::HashBit(VertexId x) const {
+  return util::Mix64(x) & (bits_ - 1);
+}
+
+bool NeighborhoodBlooms::SubsetTest(VertexId u, VertexId w) const {
+  NSKY_DCHECK(Has(u) && Has(w));
+  const uint64_t* fu = FilterOf(u);
+  const uint64_t* fw = FilterOf(w);
+  for (uint32_t i = 0; i < words_per_filter_; ++i) {
+    if ((fu[i] & fw[i]) != fu[i]) return false;
+  }
+  return true;
+}
+
+bool NeighborhoodBlooms::SubsetTestClosed(VertexId u, VertexId w) const {
+  NSKY_DCHECK(Has(u) && Has(w));
+  const uint64_t* fu = FilterOf(u);
+  const uint64_t* fw = FilterOf(w);
+  const uint64_t hw = HashBit(w);
+  const uint32_t self_word = static_cast<uint32_t>(hw >> 6);
+  const uint64_t self_bit = uint64_t{1} << (hw & 63);
+  for (uint32_t i = 0; i < words_per_filter_; ++i) {
+    uint64_t mask = fw[i] | (i == self_word ? self_bit : 0);
+    if ((fu[i] & mask) != fu[i]) return false;
+  }
+  return true;
+}
+
+bool NeighborhoodBlooms::TestBit(VertexId w, VertexId x) const {
+  NSKY_DCHECK(Has(w));
+  uint64_t h = HashBit(x);
+  return (FilterOf(w)[(h >> 6) & (words_per_filter_ - 1)] >> (h & 63)) & 1;
+}
+
+uint64_t NeighborhoodBlooms::MemoryBytes() const {
+  return words_.capacity() * sizeof(uint64_t) +
+         slot_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace nsky::core

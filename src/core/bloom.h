@@ -1,0 +1,91 @@
+// Single-hash bloom filters over vertex neighborhoods (Sec. III-B.2).
+//
+// The paper builds, for every candidate vertex u, a bit array BF(u) holding
+// one hashed bit per neighbor, and uses two tests:
+//  * whole-filter subset:  BF(u) & BF(w) == BF(u)  implies possibly
+//    N(u) subset-of N(w); a failed test *proves* the containment is false
+//    (no false negatives).
+//  * per-element bit test (BFcheck): bit h(x) of BF(w) for an x in N(u).
+// One hash function based on bit-wise operations is used (after [2] in the
+// paper); we use the SplitMix64 finalizer.
+//
+// Filters for all candidates are stored in one contiguous block of
+// `words_per_filter` 64-bit words each, which is what the O(|C| * dmax)
+// space term in Theorem 3 corresponds to.
+#ifndef NSKY_CORE_BLOOM_H_
+#define NSKY_CORE_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+class NeighborhoodBlooms {
+ public:
+  // Chooses the filter width (in bits, a power of two) from the maximum
+  // degree: the smallest power of two >= `bits_per_neighbor` * dmax, clamped
+  // to [64, 1 << 20]. `bits_per_neighbor` defaults to 2 which keeps the
+  // false-positive rate of the subset test low at ~dmax bits per filter.
+  static uint32_t ChooseBits(uint32_t max_degree, uint32_t bits_per_neighbor = 2);
+
+  // Width tuned to the *average* degree instead of dmax:
+  // next_pow2(4 * bits_per_neighbor * avg_degree), clamped to [64, 1 << 16].
+  // On power-law graphs this is far smaller than the dmax-based width (the
+  // paper's O(|C| dmax) bloom block), trading saturated filters on the few
+  // hubs -- whose exact checks gallop cheaply -- for one-or-two-word filters
+  // on everything else. Exactness is unaffected (no false negatives either
+  // way); the ablation bench sweeps both regimes.
+  static uint32_t ChooseBitsAdaptive(const Graph& g,
+                                     uint32_t bits_per_neighbor = 2);
+
+  // Builds filters over N(u) for every u with member[u] == true.
+  // `bits` must be a power of two >= 64.
+  NeighborhoodBlooms(const Graph& g, const std::vector<uint8_t>& member,
+                     uint32_t bits);
+
+  // True when a filter was built for u.
+  bool Has(VertexId u) const { return slot_[u] != kNoSlot; }
+
+  // Whole-filter subset test: false when some bit of BF(u) is missing from
+  // BF(w), which proves N(u) is not a subset of N(w). Both vertices must
+  // have filters.
+  bool SubsetTest(VertexId u, VertexId w) const;
+
+  // Subset test against the *closed* neighborhood of w: like SubsetTest but
+  // treats w's own hash bit as set in BF(w) (since w is in N[w]). Needed
+  // when the potential dominator w may be adjacent to u; still no false
+  // negatives for N(u) subset-of N[w].
+  bool SubsetTestClosed(VertexId u, VertexId w) const;
+
+  // Per-element test (BFcheck): true when the bit of x is set in BF(w).
+  // False proves x is not in N(w).
+  bool TestBit(VertexId w, VertexId x) const;
+
+  // Bits per filter.
+  uint32_t bits() const { return bits_; }
+
+  // Total heap bytes of all filters (for the memory ledger).
+  uint64_t MemoryBytes() const;
+
+ private:
+  static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+
+  uint64_t HashBit(VertexId x) const;
+  const uint64_t* FilterOf(VertexId u) const {
+    return words_.data() + static_cast<size_t>(slot_[u]) * words_per_filter_;
+  }
+
+  uint32_t bits_ = 64;
+  uint32_t words_per_filter_ = 1;
+  std::vector<uint32_t> slot_;   // vertex -> filter slot (kNoSlot if absent)
+  std::vector<uint64_t> words_;  // all filters, contiguous
+};
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_BLOOM_H_

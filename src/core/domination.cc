@@ -1,0 +1,117 @@
+#include "core/domination.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nsky::core {
+
+namespace {
+
+// True iff every element of `small` except `skip1`/`skip2` appears in
+// `big` (both sorted ascending). Linear two-pointer merge.
+bool SortedSubset(std::span<const VertexId> small,
+                  std::span<const VertexId> big, VertexId skip1,
+                  VertexId skip2) {
+  size_t j = 0;
+  for (VertexId x : small) {
+    if (x == skip1 || x == skip2) continue;
+    while (j < big.size() && big[j] < x) ++j;
+    if (j == big.size() || big[j] != x) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool NeighborhoodIncluded(const Graph& g, VertexId v, VertexId u) {
+  NSKY_DCHECK(u != v);
+  // N(v) subset-of N(u) + {u}: elements equal to u are trivially inside.
+  return SortedSubset(g.Neighbors(v), g.Neighbors(u), u, u);
+}
+
+bool ClosedNeighborhoodIncluded(const Graph& g, VertexId v, VertexId u) {
+  NSKY_DCHECK(u != v);
+  // N[v] subset-of N[u] requires v in N[u], i.e., the edge (u, v).
+  if (!g.HasEdge(u, v)) return false;
+  // u in N[u] holds trivially; remaining elements of N(v) must be in N(u).
+  return SortedSubset(g.Neighbors(v), g.Neighbors(u), u, v);
+}
+
+bool Dominates(const Graph& g, VertexId u, VertexId v) {
+  NSKY_DCHECK(u != v);
+  if (!NeighborhoodIncluded(g, v, u)) return false;
+  if (!NeighborhoodIncluded(g, u, v)) return true;  // strict
+  return u < v;  // mutual: the smaller id dominates
+}
+
+bool EdgeConstrainedDominates(const Graph& g, VertexId u, VertexId v) {
+  NSKY_DCHECK(u != v);
+  if (!ClosedNeighborhoodIncluded(g, v, u)) return false;
+  if (!ClosedNeighborhoodIncluded(g, u, v)) return true;  // strict
+  return u < v;  // N[u] == N[v]: the smaller id dominates
+}
+
+std::vector<VertexId> TwoHopNeighbors(const Graph& g, VertexId u) {
+  std::vector<VertexId> out;
+  for (VertexId v : g.Neighbors(u)) {
+    out.push_back(v);
+    for (VertexId w : g.Neighbors(v)) {
+      if (w != u) out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+SkylineResult BruteForceSkyline(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  SkylineResult result;
+  result.dominator.resize(n);
+  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : TwoHopNeighbors(g, u)) {
+      ++result.stats.pairs_examined;
+      if (Dominates(g, w, u)) {
+        result.dominator[u] = w;
+        break;
+      }
+    }
+    if (result.dominator[u] == u) result.skyline.push_back(u);
+  }
+  return result;
+}
+
+SkylineResult BruteForceCandidates(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  SkylineResult result;
+  result.dominator.resize(n);
+  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      ++result.stats.pairs_examined;
+      if (EdgeConstrainedDominates(g, v, u)) {
+        result.dominator[u] = v;
+        break;
+      }
+    }
+    if (result.dominator[u] == u) result.skyline.push_back(u);
+  }
+  result.stats.candidate_count = result.skyline.size();
+  return result;
+}
+
+std::vector<std::pair<VertexId, VertexId>> AllDominationPairs(const Graph& g) {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  const VertexId n = g.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : TwoHopNeighbors(g, v)) {
+      if (Dominates(g, w, v)) out.emplace_back(w, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace nsky::core

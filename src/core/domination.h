@@ -1,0 +1,60 @@
+// Pairwise domination predicates (Definitions 1-5 of the paper) and
+// brute-force oracles used to validate the optimized solvers.
+//
+// Conventions:
+//  * N(u) is the open neighborhood, N[u] = N(u) + {u} the closed one.
+//  * "v is neighborhood-included by u"        <=>  N(v) subset-of N[u].
+//  * Domination order v <= u (u dominates v)  <=>  N(v) subset-of N[u] and
+//    (not mutual, or mutual and u has the smaller id).
+//  * Edge-constrained variants use closed neighborhoods: N[v] subset-of N[u]
+//    (which forces the edge (u, v) to exist).
+//
+// Isolated vertices: by a literal reading of Definition 2 an isolated vertex
+// is dominated by everything, but the paper states (and its algorithms
+// assume) that domination only exists between 2-hop reachable vertices. We
+// follow the algorithmic semantics everywhere: a vertex with no 2-hop
+// reachable dominator is a skyline member, so isolated vertices are skyline
+// members. For vertices of degree >= 1 the two readings coincide.
+#ifndef NSKY_CORE_DOMINATION_H_
+#define NSKY_CORE_DOMINATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/skyline.h"
+#include "graph/graph.h"
+
+namespace nsky::core {
+
+// N(v) subset-of N[u] (Definition 1). Requires u != v.
+bool NeighborhoodIncluded(const Graph& g, VertexId v, VertexId u);
+
+// N[v] subset-of N[u] (Definition 4; implies the edge (u, v) exists).
+// Requires u != v.
+bool ClosedNeighborhoodIncluded(const Graph& g, VertexId v, VertexId u);
+
+// v <= u, i.e., u dominates v (Definition 2). Requires u != v.
+bool Dominates(const Graph& g, VertexId u, VertexId v);
+
+// Edge-constrained domination (Definition 5). Requires u != v.
+bool EdgeConstrainedDominates(const Graph& g, VertexId u, VertexId v);
+
+// Enumerates the distinct 2-hop reachable vertices of u (vertices w != u
+// with a common neighbor or an edge to u). Sorted ascending.
+std::vector<VertexId> TwoHopNeighbors(const Graph& g, VertexId u);
+
+// Reference skyline: for every u, scans all 2-hop reachable w and applies
+// Dominates(w, u). Quadratic-ish; only for tests and tiny graphs.
+SkylineResult BruteForceSkyline(const Graph& g);
+
+// Reference candidate set C under edge-constrained domination.
+SkylineResult BruteForceCandidates(const Graph& g);
+
+// All ordered domination pairs (u, v) with v <= u, u the dominator.
+// For tests on small graphs.
+std::vector<std::pair<VertexId, VertexId>> AllDominationPairs(const Graph& g);
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_DOMINATION_H_

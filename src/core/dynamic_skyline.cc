@@ -1,0 +1,130 @@
+#include "core/dynamic_skyline.h"
+
+#include <algorithm>
+
+#include "core/filter_refine_sky.h"
+#include "core/subset_check.h"
+#include "util/logging.h"
+
+namespace nsky::core {
+
+DynamicSkyline::DynamicSkyline(VertexId num_vertices)
+    : adj_(num_vertices), in_skyline_(num_vertices, 1) {}
+
+DynamicSkyline::DynamicSkyline(const Graph& g)
+    : adj_(g.NumVertices()), in_skyline_(g.NumVertices(), 0) {
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    adj_[u].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = g.NumEdges();
+  for (VertexId u : FilterRefineSky(g).skyline) in_skyline_[u] = 1;
+}
+
+bool DynamicSkyline::HasEdge(VertexId u, VertexId v) const {
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+bool DynamicSkyline::Dominates(VertexId w, VertexId x) const {
+  NSKY_DCHECK(w != x);
+  std::span<const VertexId> nx(adj_[x]);
+  std::span<const VertexId> nw(adj_[w]);
+  if (!SortedSubsetExcept(nx, nw, w)) return false;  // N(x) subset-of N[w]?
+  if (!SortedSubsetExcept(nw, nx, x)) return true;   // strict
+  return w < x;                                      // mutual: smaller id
+}
+
+void DynamicSkyline::Recheck(VertexId x) {
+  ++total_rechecks_;
+  in_skyline_[x] = 1;
+  if (adj_[x].empty()) return;  // isolated: skyline by the 2-hop convention
+  // Pivot narrowing: any dominator of x lies in N[pivot] for x's
+  // minimum-degree neighbor.
+  VertexId pivot = adj_[x][0];
+  for (VertexId y : adj_[x]) {
+    if (adj_[y].size() < adj_[pivot].size()) pivot = y;
+  }
+  const uint32_t deg_x = Degree(x);
+  auto consider = [&](VertexId w) -> bool {
+    if (w == x || Degree(w) < deg_x) return false;
+    if (Dominates(w, x)) {
+      in_skyline_[x] = 0;
+      return true;
+    }
+    return false;
+  };
+  if (consider(pivot)) return;
+  for (VertexId w : adj_[pivot]) {
+    if (consider(w)) return;
+  }
+}
+
+void DynamicSkyline::Collect2Hop(VertexId x, std::vector<VertexId>* out) const {
+  out->push_back(x);
+  for (VertexId y : adj_[x]) {
+    out->push_back(y);
+    for (VertexId z : adj_[y]) out->push_back(z);
+  }
+}
+
+void DynamicSkyline::RecheckAll(std::vector<VertexId>* affected) {
+  std::sort(affected->begin(), affected->end());
+  affected->erase(std::unique(affected->begin(), affected->end()),
+                  affected->end());
+  for (VertexId x : *affected) Recheck(x);
+}
+
+bool DynamicSkyline::AddEdge(VertexId u, VertexId v) {
+  NSKY_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v || HasEdge(u, v)) return false;
+  // Status can change for u, v and everyone who sees u or v within 2 hops
+  // in the old or the new graph; the union of old and new 2-hop
+  // neighborhoods of u and v (computed after insertion, which covers the
+  // old sets too -- insertion only grows them) is exactly that.
+  adj_[u].insert(std::upper_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::upper_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+  std::vector<VertexId> affected;
+  Collect2Hop(u, &affected);
+  Collect2Hop(v, &affected);
+  RecheckAll(&affected);
+  return true;
+}
+
+bool DynamicSkyline::RemoveEdge(VertexId u, VertexId v) {
+  NSKY_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v || !HasEdge(u, v)) return false;
+  // Collect before deletion: the old 2-hop sets are the larger ones here.
+  std::vector<VertexId> affected;
+  Collect2Hop(u, &affected);
+  Collect2Hop(v, &affected);
+  auto erase_from = [](std::vector<VertexId>& list, VertexId value) {
+    list.erase(std::lower_bound(list.begin(), list.end(), value));
+  };
+  erase_from(adj_[u], v);
+  erase_from(adj_[v], u);
+  --num_edges_;
+  RecheckAll(&affected);
+  return true;
+}
+
+std::vector<VertexId> DynamicSkyline::Skyline() const {
+  std::vector<VertexId> out;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    if (in_skyline_[u]) out.push_back(u);
+  }
+  return out;
+}
+
+Graph DynamicSkyline::ToGraph() const {
+  std::vector<graph::Edge> edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : adj_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(NumVertices(), std::move(edges));
+}
+
+}  // namespace nsky::core

@@ -1,0 +1,77 @@
+// Incremental neighborhood-skyline maintenance under edge updates
+// (extension beyond the paper, which only considers static graphs).
+//
+// Inserting or deleting an edge (u, v) changes only N(u) and N(v), so the
+// domination status can change only for u, v and the vertices that have u
+// or v inside their 2-hop neighborhood (in the old or the new graph) --
+// everything else keeps both sides of every domination test unchanged.
+// DynamicSkyline re-verifies exactly that affected set per update, using
+// the same pivot narrowing as FilterRefineSky's refine phase.
+//
+// Cost per update: O(vol2(u) + vol2(v)) to collect the affected set plus a
+// cheap pivot-narrowed recheck per affected vertex. Suited to maintaining
+// the skyline across streams of updates without full recomputation; a full
+// recompute remains the better choice after bulk changes.
+#ifndef NSKY_CORE_DYNAMIC_SKYLINE_H_
+#define NSKY_CORE_DYNAMIC_SKYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/skyline.h"
+#include "graph/graph.h"
+
+namespace nsky::core {
+
+class DynamicSkyline {
+ public:
+  // Starts from an empty graph on n vertices (all of them skyline members).
+  explicit DynamicSkyline(VertexId num_vertices);
+
+  // Starts from an existing graph (skyline computed once up front).
+  explicit DynamicSkyline(const Graph& g);
+
+  // Inserts the undirected edge (u, v); returns false (and changes nothing)
+  // when the edge already exists or u == v.
+  bool AddEdge(VertexId u, VertexId v);
+
+  // Deletes the undirected edge (u, v); returns false when absent.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  VertexId NumVertices() const { return static_cast<VertexId>(adj_.size()); }
+  uint64_t NumEdges() const { return num_edges_; }
+  uint32_t Degree(VertexId u) const {
+    return static_cast<uint32_t>(adj_[u].size());
+  }
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // True iff u is currently undominated.
+  bool InSkyline(VertexId u) const { return in_skyline_[u]; }
+
+  // Current skyline, sorted ascending.
+  std::vector<VertexId> Skyline() const;
+
+  // Snapshot of the current graph as an immutable CSR Graph.
+  Graph ToGraph() const;
+
+  // Vertices re-verified over the lifetime (instrumentation).
+  uint64_t total_rechecks() const { return total_rechecks_; }
+
+ private:
+  // Re-derives in_skyline_[x] from scratch (pivot-narrowed scan).
+  void Recheck(VertexId x);
+  // Appends x's 2-hop reachable vertices plus x itself to `out`.
+  void Collect2Hop(VertexId x, std::vector<VertexId>* out) const;
+  // Applies Recheck to every distinct vertex in `affected`.
+  void RecheckAll(std::vector<VertexId>* affected);
+  bool Dominates(VertexId w, VertexId x) const;
+
+  std::vector<std::vector<VertexId>> adj_;  // sorted adjacency
+  std::vector<uint8_t> in_skyline_;
+  uint64_t num_edges_ = 0;
+  uint64_t total_rechecks_ = 0;
+};
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_DYNAMIC_SKYLINE_H_

@@ -1,0 +1,75 @@
+#include "core/filter_phase.h"
+
+#include <vector>
+
+#include "core/subset_check.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace nsky::core {
+
+namespace {
+
+// Closed-neighborhood containment N[u] subset-of N[v] for an existing edge
+// (u, v): every x in N(u) other than v must appear in N(v) (u and v are in
+// N[v] trivially). Galloping containment keeps hub-edge tests cheap.
+bool ClosedSubsetAlongEdge(const Graph& g, VertexId u, VertexId v,
+                           uint64_t* scanned) {
+  return SortedSubsetExcept(g.Neighbors(u), g.Neighbors(v), v, scanned);
+}
+
+}  // namespace
+
+SkylineResult FilterPhase(const Graph& g) {
+  util::Timer timer;
+  const VertexId n = g.NumVertices();
+
+  SkylineResult result;
+  result.dominator.resize(n);
+  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
+  std::vector<VertexId>& dominator = result.dominator;
+
+  util::MemoryTally tally;
+  tally.Add(dominator.capacity() * sizeof(VertexId));
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] != u) continue;  // already dominated, skip
+    const uint32_t deg_u = g.Degree(u);
+    for (VertexId v : g.Neighbors(u)) {
+      ++result.stats.pairs_examined;
+      const uint32_t deg_v = g.Degree(v);
+      // N[u] subset-of N[v] forces deg(v) >= deg(u).
+      if (deg_v < deg_u) {
+        ++result.stats.degree_prunes;
+        continue;
+      }
+      ++result.stats.inclusion_tests;
+      if (!ClosedSubsetAlongEdge(g, u, v, &result.stats.nbr_elements_scanned)) {
+        continue;
+      }
+      if (deg_v == deg_u) {
+        // Same degree + containment => N[u] == N[v]; smaller id dominates.
+        if (u > v) {
+          dominator[u] = v;
+          break;
+        }
+        if (dominator[v] == v) dominator[v] = u;
+      } else {
+        // Strict edge-constrained domination.
+        dominator[u] = v;
+        break;
+      }
+    }
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] == u) result.skyline.push_back(u);
+  }
+  result.stats.candidate_count = result.skyline.size();
+  tally.Add(result.skyline.capacity() * sizeof(VertexId));
+  result.stats.aux_peak_bytes = tally.peak_bytes();
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace nsky::core

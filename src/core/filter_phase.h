@@ -1,0 +1,28 @@
+// FilterPhase (Algorithm 2): neighborhood-candidate computation.
+//
+// Evaluates the *edge-constrained* domination order (Definition 5), which
+// only relates adjacent vertices, and returns the candidate set
+// C = { u : no neighbor v has N[u] subset-of N[v] (strictly, or equal with
+// smaller id) }. By Lemma 1 the true skyline R is a subset of C, so C is a
+// cheap over-approximation used to prune FilterRefineSky's search space.
+//
+// Note on the paper: the printed pseudo-code of Algorithm 2 is garbled (its
+// counter T is bumped once per neighbor yet compared against deg(u)); we
+// implement the semantics of Definition 5 directly with merge-based
+// closed-neighborhood containment and the same one-write O(*) discipline.
+// Time is O(sum over edges of min work with first-hit early exit) --
+// effectively linear on sparse graphs, matching Theorem 2's O(m) intent.
+#ifndef NSKY_CORE_FILTER_PHASE_H_
+#define NSKY_CORE_FILTER_PHASE_H_
+
+#include "core/skyline.h"
+
+namespace nsky::core {
+
+// Computes the neighborhood candidates C of g. The result's `skyline`
+// member holds C (sorted) and `dominator` the edge-constrained O(*) array.
+SkylineResult FilterPhase(const Graph& g);
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_FILTER_PHASE_H_

@@ -1,0 +1,123 @@
+#include "core/filter_refine_sky.h"
+
+#include <memory>
+#include <vector>
+
+#include "core/bloom.h"
+#include "core/filter_phase.h"
+#include "core/subset_check.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace nsky::core {
+
+namespace {
+
+// Exact verification that N(u) subset-of N[w] (NBRcheck): every x in N(u)
+// except w itself must appear in N(w). Galloping containment with
+// first-miss exit.
+bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
+                        uint64_t* scanned) {
+  return SortedSubsetExcept(g.Neighbors(u), g.Neighbors(w), w, scanned);
+}
+
+}  // namespace
+
+SkylineResult FilterRefineSky(const Graph& g,
+                              const FilterRefineOptions& options) {
+  util::Timer timer;
+  const VertexId n = g.NumVertices();
+
+  // ---- Filter phase: candidate set C and its O(*) array. ----
+  SkylineResult result = FilterPhase(g);
+  std::vector<VertexId>& dominator = result.dominator;
+  const std::vector<VertexId> candidates = std::move(result.skyline);
+  result.skyline.clear();
+
+  util::MemoryTally tally;
+  tally.Add(result.stats.aux_peak_bytes);  // filter-phase structures
+
+  // ---- Bloom filters over N(u) for every candidate. ----
+  std::vector<uint8_t> member(n, 0);
+  for (VertexId u : candidates) member[u] = 1;
+  tally.Add(member.capacity());
+
+  std::unique_ptr<NeighborhoodBlooms> blooms;
+  if (options.use_bloom && !candidates.empty()) {
+    uint32_t bits = options.bloom_bits != 0
+                        ? options.bloom_bits
+                        : NeighborhoodBlooms::ChooseBitsAdaptive(
+                              g, options.bits_per_neighbor);
+    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits);
+    tally.Add(blooms->MemoryBytes());
+  }
+
+  // ---- Refine phase: verify candidates against potential dominators. ----
+  // Key narrowing (engineering refinement over Algorithm 3's full 2-hop
+  // scan): any dominator w of u satisfies N(u) subset-of N[w], so w is
+  // adjacent to *every* neighbor of u -- in particular to u's
+  // minimum-degree neighbor x*. Hence it is enough to scan w in N[x*],
+  // which is tiny whenever u touches any low-degree vertex. The candidate
+  // list is duplicate-free by construction, so no dedup stamps are needed.
+  for (VertexId u : candidates) {
+    if (dominator[u] != u) continue;  // dominated meanwhile (mutual marking)
+    const uint32_t deg_u = g.Degree(u);
+    if (deg_u == 0) continue;  // isolated: skyline by the 2-hop convention
+
+    VertexId pivot = g.Neighbors(u)[0];
+    for (VertexId x : g.Neighbors(u)) {
+      if (g.Degree(x) < g.Degree(pivot)) pivot = x;
+    }
+
+    auto consider = [&](VertexId w) -> bool {
+      // Returns true when u was shown to be dominated (stop scanning).
+      if (w == u) return false;
+      ++result.stats.pairs_examined;
+      // Degree test: N(u) subset-of N[w] forces deg(w) >= deg(u).
+      if (g.Degree(w) < deg_u) {
+        ++result.stats.degree_prunes;
+        return false;
+      }
+      // Dominated-w skip: if w is dominated, transitivity guarantees an
+      // undominated dominator of u is also reachable, so w is redundant.
+      if (dominator[w] != w) return false;
+      // Bloom subset pre-test (no false negatives). The closed variant is
+      // required: w may be adjacent to u here.
+      if (blooms != nullptr && blooms->Has(w) &&
+          !blooms->SubsetTestClosed(u, w)) {
+        ++result.stats.bloom_prunes;
+        return false;
+      }
+      // Exact verification (NBRcheck).
+      ++result.stats.inclusion_tests;
+      if (!OpenSubsetOfClosed(g, u, w, &result.stats.nbr_elements_scanned)) {
+        return false;
+      }
+      if (g.Degree(w) == deg_u) {
+        // Equal degree + inclusion => mutual; smaller id dominates.
+        if (u > w) {
+          dominator[u] = w;
+          return true;
+        }
+        return false;  // u has the smaller id; keep scanning
+      }
+      dominator[u] = w;  // strict domination
+      return true;
+    };
+
+    if (consider(pivot)) continue;
+    for (VertexId w : g.Neighbors(pivot)) {
+      if (consider(w)) break;
+    }
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (dominator[u] == u) result.skyline.push_back(u);
+  }
+  tally.Add(result.skyline.capacity() * sizeof(VertexId));
+  result.stats.aux_peak_bytes = tally.peak_bytes();
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace nsky::core

@@ -1,0 +1,39 @@
+// FilterRefineSky (Algorithm 3): the paper's filter-refine framework.
+//
+// Phase 1 (filter): FilterPhase computes the candidate set C under the
+// edge-constrained domination order; R subset-of C by Lemma 1.
+// Phase 2 (refine): for every candidate u, scan its 2-hop neighbors w and
+// test the domination N(u) subset-of N[w], pruning with
+//   (a) the degree test deg(w) >= deg(u) (necessary for inclusion),
+//   (b) the dominated-w skip (transitivity makes it safe), and
+//   (c) the bloom-filter subset test BF(u) & BF(w) == BF(u), which has no
+//       false negatives; survivors are verified exactly against the
+//       adjacency lists (NBRcheck).
+// Worst-case O(m + dmax * sum_{u in C} deg(u)^2) time and O(m + |C| dmax)
+// space (Theorem 3).
+#ifndef NSKY_CORE_FILTER_REFINE_SKY_H_
+#define NSKY_CORE_FILTER_REFINE_SKY_H_
+
+#include <cstdint>
+
+#include "core/skyline.h"
+
+namespace nsky::core {
+
+struct FilterRefineOptions {
+  // Bloom width in bits (power of two, >= 64); 0 picks
+  // NeighborhoodBlooms::ChooseBits(dmax, bits_per_neighbor).
+  uint32_t bloom_bits = 0;
+  // Sizing factor used when bloom_bits == 0.
+  uint32_t bits_per_neighbor = 2;
+  // Disables the bloom pre-test entirely (ablation).
+  bool use_bloom = true;
+};
+
+// Computes the neighborhood skyline of g with Algorithm 3.
+SkylineResult FilterRefineSky(const Graph& g,
+                              const FilterRefineOptions& options = {});
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_FILTER_REFINE_SKY_H_

@@ -1,0 +1,20 @@
+// Umbrella header for the neighborhood-skyline core library.
+//
+// Quick start:
+//   #include "core/nsky.h"
+//   nsky::graph::Graph g = nsky::graph::MakeChungLuPowerLaw(10000, 2.8, 8, 1);
+//   nsky::core::SkylineResult r = nsky::core::FilterRefineSky(g);
+//   // r.skyline now holds the vertices no other vertex dominates.
+#ifndef NSKY_CORE_NSKY_H_
+#define NSKY_CORE_NSKY_H_
+
+#include "core/base_2hop.h"
+#include "core/base_cset.h"
+#include "core/base_sky.h"
+#include "core/bloom.h"
+#include "core/domination.h"
+#include "core/filter_phase.h"
+#include "core/filter_refine_sky.h"
+#include "core/skyline.h"
+
+#endif  // NSKY_CORE_NSKY_H_

@@ -1,0 +1,60 @@
+// Common result types for the neighborhood-skyline algorithms.
+//
+// Every solver (BaseSky, FilterPhase, FilterRefineSky, Base2Hop, BaseCSet and
+// the set-containment-join adapter) returns a SkylineResult so benchmarks and
+// tests can compare them uniformly.
+#ifndef NSKY_CORE_SKYLINE_H_
+#define NSKY_CORE_SKYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+// Instrumentation collected while computing a skyline. Counters are
+// deterministic (independent of timing) so they can be asserted in tests and
+// reported by the ablation benchmarks.
+struct SkylineStats {
+  // |C| after the filter phase (0 when the algorithm has no filter phase).
+  uint64_t candidate_count = 0;
+  // Candidate dominator pairs (u, w) examined in the refine/verify stage.
+  uint64_t pairs_examined = 0;
+  // Pairs rejected by the whole-filter bloom subset test
+  // (BF(u) & BF(w) != BF(u)).
+  uint64_t bloom_prunes = 0;
+  // Pairs rejected by the degree test deg(w) < deg(u).
+  uint64_t degree_prunes = 0;
+  // Exact neighborhood-containment verifications performed (NBRcheck runs).
+  uint64_t inclusion_tests = 0;
+  // Adjacency-list elements touched during exact verifications.
+  uint64_t nbr_elements_scanned = 0;
+  // Peak auxiliary heap bytes (deterministic ledger, excludes the graph).
+  uint64_t aux_peak_bytes = 0;
+  // Wall-clock seconds for the whole computation.
+  double seconds = 0.0;
+};
+
+// Output of a skyline computation.
+struct SkylineResult {
+  // Skyline vertices R, sorted ascending.
+  std::vector<VertexId> skyline;
+  // dominator[u] != u exactly when the algorithm found a vertex dominating
+  // u; the paper calls this the O(*) array. Algorithms record only the first
+  // dominator they find.
+  std::vector<VertexId> dominator;
+  SkylineStats stats;
+};
+
+// True iff `u` is reported as a skyline member.
+inline bool InSkyline(const SkylineResult& r, VertexId u) {
+  return r.dominator[u] == u;
+}
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_SKYLINE_H_

@@ -1,0 +1,59 @@
+// Shared sorted-set containment kernels for the skyline solvers.
+//
+// The naive two-pointer merge walks the *larger* list, which is ruinous when
+// a low-degree vertex is checked against a hub (O(deg(hub)) per test, and
+// power-law graphs funnel most tests through hubs). The galloping variant
+// advances through the big list with exponential + binary search, giving
+// O(|small| * log |big|) with tiny constants and first-miss early exit.
+#ifndef NSKY_CORE_SUBSET_CHECK_H_
+#define NSKY_CORE_SUBSET_CHECK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace nsky::core {
+
+// True iff every element of `small` except `skip` appears in `big`.
+// Both spans sorted ascending, duplicate-free. `scanned` (optional)
+// accumulates an operation count proportional to the work done.
+inline bool SortedSubsetExcept(std::span<const graph::VertexId> small,
+                               std::span<const graph::VertexId> big,
+                               graph::VertexId skip,
+                               uint64_t* scanned = nullptr) {
+  size_t j = 0;
+  const size_t big_size = big.size();
+  uint64_t ops = 0;
+  bool ok = true;
+  for (graph::VertexId x : small) {
+    if (x == skip) continue;
+    // Gallop from j to the first position with big[pos] >= x.
+    size_t step = 1;
+    size_t hi = j;
+    while (hi < big_size && big[hi] < x) {
+      j = hi + 1;
+      hi += step;
+      step <<= 1;
+      ++ops;
+    }
+    if (hi > big_size) hi = big_size;
+    // Binary search within (j-1, hi].
+    const graph::VertexId* found =
+        std::lower_bound(big.data() + j, big.data() + hi, x);
+    ops += 2;
+    j = static_cast<size_t>(found - big.data());
+    if (j == big_size || big[j] != x) {
+      ok = false;
+      break;
+    }
+    ++j;
+  }
+  if (scanned != nullptr) *scanned += ops;
+  return ok;
+}
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_SUBSET_CHECK_H_

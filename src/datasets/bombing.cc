@@ -1,0 +1,49 @@
+#include "datasets/bombing.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/logging.h"
+
+namespace nsky::datasets {
+
+graph::Graph MakeBombingSurrogate() {
+  // Pendant-rich, clustered contact network (see MakeSocialGraph); the seed
+  // and parameters are fixed so that, after trimming to exactly 243 edges,
+  // the graph is connected and its skyline fraction sits near the ~31%
+  // the paper reports for the original network.
+  graph::Graph base =
+      graph::MakeSocialGraph(64, /*avg_degree=*/8.6, /*pendant_fraction=*/0.62,
+                             /*triad_prob=*/0.45, /*seed=*/11,
+                             /*copy_prob=*/0.33);
+  std::vector<graph::Edge> edges = base.Edges();
+  NSKY_CHECK(edges.size() >= 243);
+
+  // Trim deterministically from the lexicographic end, never dropping an
+  // edge whose removal would push an endpoint below degree 1 (every suspect
+  // keeps at least one contact; pendants are part of the structure).
+  std::vector<uint32_t> degree(64, 0);
+  for (const auto& e : edges) {
+    ++degree[e.first];
+    ++degree[e.second];
+  }
+  std::sort(edges.begin(), edges.end());
+  size_t to_remove = edges.size() - 243;
+  std::vector<graph::Edge> kept;
+  kept.reserve(243);
+  for (size_t i = edges.size(); i-- > 0;) {
+    const auto& [a, b] = edges[i];
+    if (to_remove > 0 && degree[a] > 2 && degree[b] > 2) {
+      --degree[a];
+      --degree[b];
+      --to_remove;
+      continue;
+    }
+    kept.push_back(edges[i]);
+  }
+  NSKY_CHECK(to_remove == 0);
+  return graph::Graph::FromEdges(64, std::move(kept));
+}
+
+}  // namespace nsky::datasets

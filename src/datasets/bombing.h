@@ -1,0 +1,20 @@
+// Surrogate for the Madrid train bombing contact network (Fig. 13 case
+// study). The original KONECT dataset (64 suspects, 243 contact edges) is
+// not redistributable here; this deterministic surrogate matches its size
+// (exactly 64 vertices and 243 edges), its heavy-tailed contact structure
+// (preferential attachment), and its connectivity -- the properties the
+// case study exercises (|R| well below |V|, low-degree vertices dominated).
+// The substitution is recorded in DESIGN.md.
+#ifndef NSKY_DATASETS_BOMBING_H_
+#define NSKY_DATASETS_BOMBING_H_
+
+#include "graph/graph.h"
+
+namespace nsky::datasets {
+
+// 64-vertex, 243-edge deterministic contact-network surrogate.
+graph::Graph MakeBombingSurrogate();
+
+}  // namespace nsky::datasets
+
+#endif  // NSKY_DATASETS_BOMBING_H_

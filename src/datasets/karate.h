@@ -1,0 +1,17 @@
+// Zachary's karate club network (Fig. 13 case study), embedded exactly.
+// 34 vertices, 78 edges. Vertex ids are 0-based here (the classic listing
+// is 1-based); vertex 0 is the instructor ("Mr. Hi"), vertex 33 the
+// administrator ("John A.").
+#ifndef NSKY_DATASETS_KARATE_H_
+#define NSKY_DATASETS_KARATE_H_
+
+#include "graph/graph.h"
+
+namespace nsky::datasets {
+
+// The exact Zachary karate club graph.
+graph::Graph MakeKarateClub();
+
+}  // namespace nsky::datasets
+
+#endif  // NSKY_DATASETS_KARATE_H_

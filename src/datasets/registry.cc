@@ -1,0 +1,71 @@
+#include "datasets/registry.h"
+
+#include "graph/generators.h"
+
+namespace nsky::datasets {
+
+const std::vector<StandinSpec>& AllStandins() {
+  // Calibration: pendant_fraction tracks the original's low-degree mass
+  // (WikiTalk's talk-page stars are the extreme), triad_prob its clustering
+  // (collaboration networks highest), copy_prob the duplicated-neighborhood
+  // mass that separates C from R; avg_degree is tuned so the *realized*
+  // average (duplication included) lands near the original's 2m/n.
+  static const std::vector<StandinSpec>& specs = *new std::vector<StandinSpec>{
+      {"notredame", "Web network", 325'731, 1'090'109, 10'721,
+       /*avg_degree=*/5.2, /*pendant_fraction=*/0.68, /*triad_prob=*/0.45,
+       /*copy_prob=*/0.35, /*full_n=*/36'000, /*small_n=*/4'000,
+       /*seed=*/101},
+      {"youtube", "Social network", 1'134'890, 2'987'624, 28'754,
+       /*avg_degree=*/4.0, /*pendant_fraction=*/0.72, /*triad_prob=*/0.35,
+       /*copy_prob=*/0.35, /*full_n=*/48'000, /*small_n=*/4'500,
+       /*seed=*/102},
+      {"wikitalk", "Communication network", 2'394'385, 4'659'565, 100'029,
+       /*avg_degree=*/3.0, /*pendant_fraction=*/0.84, /*triad_prob=*/0.15,
+       /*copy_prob=*/0.40, /*full_n=*/56'000, /*small_n=*/5'000,
+       /*seed=*/103},
+      {"flixster", "Social network", 2'523'386, 7'918'801, 1'474,
+       /*avg_degree=*/5.0, /*pendant_fraction=*/0.62, /*triad_prob=*/0.40,
+       /*copy_prob=*/0.30, /*full_n=*/48'000, /*small_n=*/4'500,
+       /*seed=*/104},
+      {"dblp", "Collaboration network", 1'843'617, 8'350'260, 2'213,
+       /*avg_degree=*/7.6, /*pendant_fraction=*/0.55, /*triad_prob=*/0.65,
+       /*copy_prob=*/0.30, /*full_n=*/40'000, /*small_n=*/4'000,
+       /*seed=*/105},
+      {"pokec", "Social network", 1'632'803, 22'301'964, 14'854,
+       /*avg_degree=*/10.0, /*pendant_fraction=*/0.40, /*triad_prob=*/0.60,
+       /*copy_prob=*/0.20, /*full_n=*/20'000, /*small_n=*/3'500,
+       /*seed=*/106},
+      {"orkut", "Social network", 3'072'441, 117'184'899, 33'313,
+       /*avg_degree=*/13.0, /*pendant_fraction=*/0.35, /*triad_prob=*/0.65,
+       /*copy_prob=*/0.20, /*full_n=*/16'000, /*small_n=*/3'000,
+       /*seed=*/107},
+      {"livejournal", "Social network", 3'997'962, 34'681'189, 14'815,
+       /*avg_degree=*/7.0, /*pendant_fraction=*/0.60, /*triad_prob=*/0.50,
+       /*copy_prob=*/0.30, /*full_n=*/38'000, /*small_n=*/3'500,
+       /*seed=*/108},
+  };
+  return specs;
+}
+
+util::Result<StandinSpec> FindStandin(std::string_view name) {
+  for (const StandinSpec& spec : AllStandins()) {
+    if (spec.name == name) return spec;
+  }
+  return util::Status::NotFound("no stand-in dataset named '" +
+                                std::string(name) + "'");
+}
+
+graph::Graph MakeStandin(const StandinSpec& spec, StandinScale scale) {
+  uint32_t n = scale == StandinScale::kFull ? spec.full_n : spec.small_n;
+  return graph::MakeSocialGraph(n, spec.avg_degree, spec.pendant_fraction,
+                                spec.triad_prob, spec.seed, spec.copy_prob);
+}
+
+util::Result<graph::Graph> MakeStandin(std::string_view name,
+                                       StandinScale scale) {
+  util::Result<StandinSpec> spec = FindStandin(name);
+  if (!spec.ok()) return spec.status();
+  return MakeStandin(spec.value(), scale);
+}
+
+}  // namespace nsky::datasets

@@ -1,0 +1,33 @@
+#include "graph/builder.h"
+
+#include <utility>
+
+namespace nsky::graph {
+
+VertexId GraphBuilder::InternLabel(uint64_t label) {
+  auto [it, inserted] =
+      label_to_id_.try_emplace(label, static_cast<VertexId>(id_to_label_.size()));
+  if (inserted) id_to_label_.push_back(label);
+  return it->second;
+}
+
+void GraphBuilder::AddEdge(uint64_t a, uint64_t b) {
+  VertexId u = InternLabel(a);
+  VertexId v = InternLabel(b);
+  edges_.emplace_back(u, v);
+}
+
+bool GraphBuilder::LookupLabel(uint64_t label, VertexId* id) const {
+  auto it = label_to_id_.find(label);
+  if (it == label_to_id_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+Graph GraphBuilder::Build() {
+  Graph g = Graph::FromEdges(NumVertices(), std::move(edges_));
+  edges_.clear();
+  return g;
+}
+
+}  // namespace nsky::graph

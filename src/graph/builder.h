@@ -1,0 +1,59 @@
+// Incremental construction of Graphs from streams of (possibly messy) edges.
+//
+// GraphBuilder accepts edges with arbitrary 64-bit external vertex labels
+// (as found in SNAP / KONECT edge-list files), relabels them densely in
+// first-appearance order, and produces a clean CSR Graph. Self-loops and
+// duplicate edges are handled by Graph::FromEdges.
+#ifndef NSKY_GRAPH_BUILDER_H_
+#define NSKY_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::graph {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  // Non-copyable (holds a large edge buffer); movable.
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+  GraphBuilder(GraphBuilder&&) = default;
+  GraphBuilder& operator=(GraphBuilder&&) = default;
+
+  // Adds an undirected edge between external labels `a` and `b`.
+  void AddEdge(uint64_t a, uint64_t b);
+
+  // Number of distinct labels seen so far.
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(label_to_id_.size());
+  }
+
+  // Number of edges added (before dedup).
+  uint64_t NumAddedEdges() const { return edges_.size(); }
+
+  // The dense id assigned to `label`; labels are assigned 0,1,2,... in
+  // first-appearance order. Returns true and fills `id` if seen.
+  bool LookupLabel(uint64_t label, VertexId* id) const;
+
+  // External label for a dense id (inverse of LookupLabel).
+  uint64_t LabelOf(VertexId id) const { return id_to_label_[id]; }
+
+  // Finalizes into an immutable Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  VertexId InternLabel(uint64_t label);
+
+  std::unordered_map<uint64_t, VertexId> label_to_id_;
+  std::vector<uint64_t> id_to_label_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_BUILDER_H_

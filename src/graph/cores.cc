@@ -1,0 +1,69 @@
+#include "graph/cores.h"
+
+#include <algorithm>
+
+namespace nsky::graph {
+
+CoreDecomposition ComputeCores(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  out.order.assign(n, 0);
+  out.position.assign(n, 0);
+  if (n == 0) return out;
+
+  // Bucket sort vertices by degree (Batagelj-Zaversnik).
+  const uint32_t max_deg = g.MaxDegree();
+  std::vector<uint32_t> degree(n);
+  std::vector<VertexId> bucket_start(max_deg + 2, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    degree[u] = g.Degree(u);
+    ++bucket_start[degree[u] + 1];
+  }
+  for (size_t i = 1; i < bucket_start.size(); ++i) {
+    bucket_start[i] += bucket_start[i - 1];
+  }
+  std::vector<VertexId> sorted(n);       // vertices sorted by current degree
+  std::vector<VertexId> pos(n);          // position of u in `sorted`
+  {
+    std::vector<VertexId> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (VertexId u = 0; u < n; ++u) {
+      pos[u] = cursor[degree[u]];
+      sorted[pos[u]] = u;
+      ++cursor[degree[u]];
+    }
+  }
+  // bucket_head[d] = index in `sorted` of the first vertex with degree d.
+  std::vector<VertexId> bucket_head(bucket_start.begin(),
+                                    bucket_start.end() - 1);
+
+  uint32_t degeneracy = 0;
+  for (VertexId i = 0; i < n; ++i) {
+    VertexId u = sorted[i];
+    degeneracy = std::max(degeneracy, degree[u]);
+    out.core[u] = degeneracy;
+    out.order[i] = u;
+    out.position[u] = i;
+    // Peel u: decrement the degree of unprocessed neighbours, moving each to
+    // the preceding bucket.
+    for (VertexId v : g.Neighbors(u)) {
+      if (degree[v] > degree[u] && pos[v] > i) {
+        uint32_t dv = degree[v];
+        // Swap v with the first element of its bucket, then shrink bucket.
+        VertexId head_idx = std::max<VertexId>(bucket_head[dv],
+                                               static_cast<VertexId>(i + 1));
+        VertexId w = sorted[head_idx];
+        std::swap(sorted[pos[v]], sorted[head_idx]);
+        std::swap(pos[v], pos[w]);
+        bucket_head[dv] = head_idx + 1;
+        --degree[v];
+      }
+      // Neighbours already at the peel level keep their degree: the core
+      // level of a vertex never drops below the current peel level.
+    }
+  }
+  out.degeneracy = degeneracy;
+  return out;
+}
+
+}  // namespace nsky::graph

@@ -1,0 +1,32 @@
+// k-core decomposition and degeneracy ordering.
+//
+// The clique solvers use core numbers as an upper bound (a clique of size s
+// lies in the (s-1)-core) and the degeneracy order to keep branch-and-bound
+// candidate sets small.
+#ifndef NSKY_GRAPH_CORES_H_
+#define NSKY_GRAPH_CORES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::graph {
+
+struct CoreDecomposition {
+  // core[u] = largest k such that u belongs to the k-core.
+  std::vector<uint32_t> core;
+  // Vertices in degeneracy order (peeling order of the bucket algorithm).
+  std::vector<VertexId> order;
+  // position[u] = index of u in `order`.
+  std::vector<VertexId> position;
+  // Degeneracy of the graph = max core number.
+  uint32_t degeneracy = 0;
+};
+
+// Computes the core decomposition with the O(n + m) bucket algorithm.
+CoreDecomposition ComputeCores(const Graph& g);
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_CORES_H_

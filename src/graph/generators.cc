@@ -1,0 +1,357 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace nsky::graph {
+
+namespace internal_generators {
+
+// Miller-Hagberg Chung-Lu realization for weights sorted descending: for
+// each u, walk candidate v > u with geometric skips using the upper-bound
+// probability q = w_u * w_(u+1) / sum, thinning by the true probability
+// ratio. O(n + m) expected time.
+std::vector<Edge> ChungLuRealize(const std::vector<double>& weights,
+                                 double sum, util::Rng& rng) {
+  const VertexId n = static_cast<VertexId>(weights.size());
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(sum / 2.0) + 16);
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    VertexId v = u + 1;
+    double p = std::min(1.0, weights[u] * weights[v] / sum);
+    while (v < n && p > 0.0) {
+      if (p != 1.0) {
+        double r = rng.NextDouble();
+        double skip = std::floor(std::log1p(-r) / std::log1p(-p));
+        // Guard against overflow of the vertex id range.
+        if (skip >= static_cast<double>(n - v)) break;
+        v += static_cast<VertexId>(skip);
+      }
+      if (v >= n) break;
+      double q = std::min(1.0, weights[u] * weights[v] / sum);
+      if (rng.NextDouble() < q / p) {
+        edges.emplace_back(u, v);
+      }
+      p = q;
+      ++v;
+    }
+  }
+  return edges;
+}
+
+}  // namespace internal_generators
+
+Graph MakeClique(VertexId n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeCompleteBinaryTree(uint32_t levels) {
+  NSKY_CHECK(levels >= 1 && levels < 31);
+  VertexId n = (VertexId{1} << levels) - 1;
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId child = 1; child < n; ++child) {
+    edges.emplace_back((child - 1) / 2, child);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeCycle(VertexId n) {
+  NSKY_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (VertexId u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakePath(VertexId n) {
+  NSKY_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  if (n > 1) edges.reserve(n - 1);
+  for (VertexId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeStar(VertexId n) {
+  NSKY_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  if (n > 1) edges.reserve(n - 1);
+  for (VertexId leaf = 1; leaf < n; ++leaf) edges.emplace_back(0, leaf);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeGrid(VertexId rows, VertexId cols) {
+  NSKY_CHECK(rows >= 1 && cols >= 1);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(rows) * cols * 2);
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::FromEdges(rows * cols, std::move(edges));
+}
+
+Graph MakeCaveman(VertexId num_caves, VertexId cave_size) {
+  NSKY_CHECK(num_caves >= 1 && cave_size >= 2);
+  VertexId n = num_caves * cave_size;
+  std::vector<Edge> edges;
+  for (VertexId cave = 0; cave < num_caves; ++cave) {
+    VertexId base = cave * cave_size;
+    for (VertexId i = 0; i < cave_size; ++i) {
+      for (VertexId j = i + 1; j < cave_size; ++j) {
+        edges.emplace_back(base + i, base + j);
+      }
+    }
+    if (num_caves > 1) {
+      // One bridge to the next cave (ring).
+      VertexId next_base = ((cave + 1) % num_caves) * cave_size;
+      edges.emplace_back(base, next_base);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeErdosRenyi(VertexId n, double p, uint64_t seed) {
+  NSKY_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<Edge> edges;
+  if (n >= 2 && p > 0.0) {
+    util::Rng rng(seed);
+    if (p >= 1.0) return MakeClique(n);
+    // Geometric skipping over the lexicographic enumeration of pairs.
+    const double log1mp = std::log1p(-p);
+    uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+    edges.reserve(static_cast<size_t>(p * static_cast<double>(total_pairs)) + 16);
+    uint64_t idx = 0;  // next candidate pair index
+    // Row u (pairs (u, v), v in (u, n)) starts at offset
+    // u*(n-1) - u*(u-1)/2 in the lexicographic pair enumeration.
+    auto row_begin = [n](uint64_t x) {
+      return x * (n - 1) - x * (x - 1) / 2;
+    };
+    while (true) {
+      double r = rng.NextDouble();
+      uint64_t skip =
+          static_cast<uint64_t>(std::floor(std::log1p(-r) / log1mp));
+      idx += skip;
+      if (idx >= total_pairs) break;
+      // Decode pair index -> (u, v) with u < v: binary search for the row.
+      uint64_t lo = 0, hi = n - 1;  // invariant: row_begin(lo) <= idx
+      while (lo + 1 < hi) {
+        uint64_t mid = (lo + hi) / 2;
+        if (row_begin(mid) <= idx) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      VertexId u = static_cast<VertexId>(lo);
+      VertexId v = static_cast<VertexId>(lo + 1 + (idx - row_begin(lo)));
+      edges.emplace_back(u, v);
+      ++idx;
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeErdosRenyiLogScaled(VertexId n, double dp, uint64_t seed) {
+  NSKY_CHECK(n >= 2);
+  double p = dp * std::log(static_cast<double>(n)) / static_cast<double>(n);
+  p = std::clamp(p, 0.0, 1.0);
+  return MakeErdosRenyi(n, p, seed);
+}
+
+Graph MakeBarabasiAlbert(VertexId n, uint32_t edges_per_vertex, uint64_t seed) {
+  NSKY_CHECK(edges_per_vertex >= 1);
+  NSKY_CHECK(n > edges_per_vertex);
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * edges_per_vertex);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling proportionally to degree.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(2 * static_cast<size_t>(n) * edges_per_vertex);
+
+  // Seed: a small clique on m0 = edges_per_vertex + 1 vertices.
+  VertexId m0 = edges_per_vertex + 1;
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      edges.emplace_back(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> picked;
+  for (VertexId u = m0; u < n; ++u) {
+    picked.clear();
+    // Sample `edges_per_vertex` distinct targets by degree.
+    while (picked.size() < edges_per_vertex) {
+      VertexId t = endpoint_pool[rng.NextUint64(endpoint_pool.size())];
+      if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+        picked.push_back(t);
+      }
+    }
+    for (VertexId t : picked) {
+      edges.emplace_back(u, t);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeChungLuPowerLaw(VertexId n, double beta, double avg_degree,
+                          uint64_t seed, double max_weight) {
+  NSKY_CHECK(n >= 2);
+  NSKY_CHECK(beta > 2.0);
+  NSKY_CHECK(avg_degree > 0.0);
+  // Expected degrees w_i = c * (i + i0)^(-1/(beta-1)), i = 0..n-1, scaled so
+  // that mean(w) == avg_degree. This yields a degree distribution with tail
+  // exponent beta (Aiello-Chung-Lu form).
+  const double gamma = 1.0 / (beta - 1.0);
+  const double i0 = 1.0;
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + i0, -gamma);
+    sum += weights[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] *= scale;
+    sum += weights[i];
+  }
+  // Cap weights to keep edge probabilities < 1 (standard Chung-Lu condition
+  // w_i * w_j <= sum w).
+  double cap = max_weight > 0.0 ? max_weight : std::sqrt(sum);
+  for (auto& w : weights) w = std::min(w, cap);
+  sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  // Weights are already sorted descending (w_0 largest).
+  util::Rng rng(seed);
+  return Graph::FromEdges(n, internal_generators::ChungLuRealize(weights, sum, rng));
+}
+
+Graph MakeParetoPowerLaw(VertexId n, double beta, uint64_t seed) {
+  NSKY_CHECK(n >= 2);
+  NSKY_CHECK(beta > 2.0);
+  util::Rng rng(seed);
+  // Pareto(xmin = 1, alpha = beta - 1) expected degrees via inverse CDF.
+  const double inv_alpha = 1.0 / (beta - 1.0);
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(1.0 - rng.NextDouble(), -inv_alpha);
+    sum += weights[i];
+  }
+  const double cap = std::sqrt(sum);
+  sum = 0.0;
+  for (auto& w : weights) {
+    w = std::min(w, cap);
+    sum += w;
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  return Graph::FromEdges(n, internal_generators::ChungLuRealize(weights, sum, rng));
+}
+
+Graph MakeSocialGraph(VertexId n, double avg_degree, double pendant_fraction,
+                      double triad_prob, uint64_t seed, double copy_prob) {
+  NSKY_CHECK(n >= 4);
+  NSKY_CHECK(pendant_fraction >= 0.0 && pendant_fraction < 1.0);
+  NSKY_CHECK(triad_prob >= 0.0 && triad_prob <= 1.0);
+  NSKY_CHECK(copy_prob >= 0.0 && copy_prob < 1.0);
+  // Each arriving vertex adds m_v edges; E[2 m_v] must equal avg_degree, so
+  // E[m_v] = avg_degree / 2 with m_v = 1 for pendants and a two-point
+  // mixture on {floor(m2), ceil(m2)} otherwise.
+  const double m_mean = avg_degree / 2.0;
+  NSKY_CHECK(m_mean > pendant_fraction + (1.0 - pendant_fraction));
+  const double m2 = (m_mean - pendant_fraction) / (1.0 - pendant_fraction);
+  NSKY_CHECK(m2 >= 1.0);
+
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(m_mean * n) + 16);
+  // Uniform sampling from this pool = degree-proportional sampling.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<size_t>(avg_degree * n) + 16);
+  // Adjacency so far, needed for triad closure.
+  std::vector<std::vector<VertexId>> adj(n);
+
+  auto add_edge = [&](VertexId a, VertexId b) {
+    edges.emplace_back(a, b);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    endpoint_pool.push_back(a);
+    endpoint_pool.push_back(b);
+  };
+
+  // Seed triangle.
+  add_edge(0, 1);
+  add_edge(1, 2);
+  add_edge(0, 2);
+
+  std::vector<VertexId> picked;
+  for (VertexId u = 3; u < n; ++u) {
+    if (copy_prob > 0.0 && rng.NextBool(copy_prob)) {
+      // Duplication step: copy most of a random prototype's neighborhood
+      // (capped so hub copies stay cheap). N(u) subset-of N(prototype)
+      // makes u dominated by the (typically non-adjacent) prototype.
+      VertexId prototype = static_cast<VertexId>(rng.NextUint64(u));
+      constexpr size_t kMaxCopied = 24;
+      picked.clear();
+      for (VertexId x : adj[prototype]) {
+        if (x == u) continue;
+        if (rng.NextBool(0.9)) picked.push_back(x);
+        if (picked.size() >= kMaxCopied) break;
+      }
+      if (!picked.empty()) {
+        for (VertexId x : picked) add_edge(u, x);
+        continue;
+      }
+      // Prototype had no usable neighbors: fall through to normal growth.
+    }
+    uint32_t m_v = 1;
+    if (!rng.NextBool(pendant_fraction)) {
+      m_v = static_cast<uint32_t>(m2);
+      if (rng.NextDouble() < m2 - static_cast<double>(m_v)) ++m_v;
+    }
+    picked.clear();
+    VertexId anchor = 0;
+    for (uint32_t e = 0; e < m_v; ++e) {
+      VertexId target;
+      bool found = false;
+      for (int attempt = 0; attempt < 32 && !found; ++attempt) {
+        if (e > 0 && rng.NextBool(triad_prob) && !adj[anchor].empty()) {
+          // Triad step: neighbor of the previous anchor.
+          target = adj[anchor][rng.NextUint64(adj[anchor].size())];
+        } else {
+          // Preferential attachment step.
+          target = endpoint_pool[rng.NextUint64(endpoint_pool.size())];
+        }
+        found = target != u && std::find(picked.begin(), picked.end(),
+                                         target) == picked.end();
+      }
+      if (!found) continue;  // extremely rare; drop the edge
+      picked.push_back(target);
+      anchor = target;
+      add_edge(u, target);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace nsky::graph

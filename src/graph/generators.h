@@ -1,0 +1,92 @@
+// Deterministic graph generators.
+//
+// These serve two purposes:
+//  * the special graphs of Fig. 2 (clique, complete binary tree, cycle,
+//    path) whose skyline sizes have closed forms used as test oracles;
+//  * the synthetic workloads of Fig. 6 (Erdos-Renyi with edge probability
+//    p = dp*log(n)/n, and power-law graphs with exponent beta) and the
+//    scaled-down stand-ins for the paper's SNAP/KONECT datasets.
+// All generators are seeded and fully reproducible.
+#ifndef NSKY_GRAPH_GENERATORS_H_
+#define NSKY_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace nsky::graph {
+
+// --- Deterministic structured graphs (Fig. 2) -----------------------------
+
+// Complete graph K_n.
+Graph MakeClique(VertexId n);
+
+// Complete binary tree with `levels` full levels (2^levels - 1 vertices),
+// root = vertex 0, children of i at 2i+1 / 2i+2.
+Graph MakeCompleteBinaryTree(uint32_t levels);
+
+// Cycle C_n (n >= 3).
+Graph MakeCycle(VertexId n);
+
+// Path P_n with n vertices, n-1 edges.
+Graph MakePath(VertexId n);
+
+// Star S_n: center 0 connected to n-1 leaves.
+Graph MakeStar(VertexId n);
+
+// rows x cols 4-neighbour grid.
+Graph MakeGrid(VertexId rows, VertexId cols);
+
+// `num_caves` disjoint cliques of size `cave_size` joined in a ring by one
+// edge between consecutive caves (connected caveman graph).
+Graph MakeCaveman(VertexId num_caves, VertexId cave_size);
+
+// --- Random models ---------------------------------------------------------
+
+// Erdos-Renyi G(n, p) via geometric edge skipping, O(n + m) expected time.
+Graph MakeErdosRenyi(VertexId n, double p, uint64_t seed);
+
+// Erdos-Renyi parameterised like the paper's Fig. 6(a): p = dp * log(n) / n.
+Graph MakeErdosRenyiLogScaled(VertexId n, double dp, uint64_t seed);
+
+// Barabasi-Albert preferential attachment: starts from a small clique and
+// attaches each new vertex to `edges_per_vertex` existing vertices chosen
+// proportionally to degree.
+Graph MakeBarabasiAlbert(VertexId n, uint32_t edges_per_vertex, uint64_t seed);
+
+// Chung-Lu power-law random graph: expected degree sequence
+// w_i ~ c * (i + i0)^(-1/(beta-1)) scaled so the expected average degree is
+// `avg_degree`, with expected degrees capped at `max_weight`
+// (0 = uncapped -> cap sqrt(sum w)). Degree distribution follows
+// P(deg = d) ~ d^-beta, matching the paper's PL graphs (vary beta).
+Graph MakeChungLuPowerLaw(VertexId n, double beta, double avg_degree,
+                          uint64_t seed, double max_weight = 0.0);
+
+// Power-law random graph in NetworKit's style (used by the paper's Fig. 6
+// synthetic experiment): every vertex draws an expected degree from a
+// Pareto distribution with minimum 1 and tail exponent beta (so the degree
+// density decays like d^-beta and the graph is pendant-rich), then edges
+// are realized Chung-Lu style. Weights are capped at sqrt(sum) to keep
+// probabilities valid.
+Graph MakeParetoPowerLaw(VertexId n, double beta, uint64_t seed);
+
+// Social-network stand-in generator: preferential attachment (power-law
+// hubs) enriched with the two structures that drive neighborhood domination
+// in real graphs and that Chung-Lu lacks:
+//  * pendants -- a `pendant_fraction` of vertices attach with one edge only
+//    (a pendant is always dominated by its neighbor);
+//  * triangles -- each non-first edge closes a triad with probability
+//    `triad_prob` (Holme-Kim style), so low-degree vertices with adjacent
+//    neighbors are dominated;
+//  * duplication -- with probability `copy_prob` an arriving vertex copies
+//    (most of) the neighborhood of a random earlier prototype, producing
+//    the 2-hop-dominated vertices that separate the candidate set C from
+//    the skyline R in real data.
+// The expected average degree is approximately `avg_degree`.
+Graph MakeSocialGraph(VertexId n, double avg_degree, double pendant_fraction,
+                      double triad_prob, uint64_t seed,
+                      double copy_prob = 0.0);
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_GENERATORS_H_

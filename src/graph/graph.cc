@@ -1,0 +1,86 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nsky::graph {
+
+Graph Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
+  Graph g;
+  g.num_vertices_ = num_vertices;
+
+  // Normalize: drop self-loops, validate endpoints.
+  std::vector<Edge> clean;
+  clean.reserve(edges.size());
+  for (const Edge& e : edges) {
+    NSKY_CHECK_MSG(e.first < num_vertices && e.second < num_vertices,
+                   "edge endpoint out of range");
+    if (e.first == e.second) continue;
+    clean.push_back(e);
+  }
+  edges.clear();
+  edges.shrink_to_fit();
+
+  // Count both directions, then fill a CSR and finally sort + dedup each row.
+  std::vector<uint64_t> counts(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : clean) {
+    ++counts[e.first + 1];
+    ++counts[e.second + 1];
+  }
+  for (size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+
+  std::vector<VertexId> adj(counts.back());
+  std::vector<uint64_t> cursor(counts.begin(), counts.end() - 1);
+  for (const Edge& e : clean) {
+    adj[cursor[e.first]++] = e.second;
+    adj[cursor[e.second]++] = e.first;
+  }
+
+  // Sort and deduplicate each adjacency row, compacting in place.
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_vertices) + 1, 0);
+  uint64_t write = 0;
+  uint32_t max_degree = 0;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    uint64_t begin = counts[u];
+    uint64_t end = counts[u + 1];
+    std::sort(adj.begin() + begin, adj.begin() + end);
+    uint64_t row_start = write;
+    for (uint64_t i = begin; i < end; ++i) {
+      if (i == begin || adj[i] != adj[i - 1]) adj[write++] = adj[i];
+    }
+    offsets[u + 1] = write;
+    max_degree = std::max(max_degree, static_cast<uint32_t>(write - row_start));
+  }
+  adj.resize(write);
+  adj.shrink_to_fit();
+
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adj);
+  g.max_degree_ = max_degree;
+  NSKY_CHECK(g.adjacency_.size() % 2 == 0);
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(NumEdges());
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    for (VertexId v : Neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+uint64_t Graph::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(uint64_t) +
+         adjacency_.capacity() * sizeof(VertexId);
+}
+
+}  // namespace nsky::graph

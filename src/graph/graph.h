@@ -1,0 +1,77 @@
+// Immutable undirected graph in Compressed Sparse Row form.
+//
+// This is the substrate every algorithm in the library runs on. Adjacency
+// lists are sorted, deduplicated and free of self-loops, which the skyline
+// algorithms rely on for merge-based containment tests (NBRcheck) and
+// O(log d) HasEdge queries.
+#ifndef NSKY_GRAPH_GRAPH_H_
+#define NSKY_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace nsky::graph {
+
+// Vertex identifier; vertices of a Graph are always [0, NumVertices()).
+using VertexId = uint32_t;
+
+// An undirected edge as a vertex pair.
+using Edge = std::pair<VertexId, VertexId>;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds a graph with `num_vertices` vertices from an edge list.
+  // Self-loops are dropped and duplicate/parallel edges are merged; the
+  // orientation of each pair is irrelevant. Endpoints must be
+  // < num_vertices (checked).
+  static Graph FromEdges(VertexId num_vertices, std::vector<Edge> edges);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // Number of vertices n.
+  VertexId NumVertices() const { return num_vertices_; }
+
+  // Number of undirected edges m.
+  uint64_t NumEdges() const { return adjacency_.size() / 2; }
+
+  // Degree of u: |N(u)|.
+  uint32_t Degree(VertexId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  // Maximum degree over all vertices (0 for the empty graph).
+  uint32_t MaxDegree() const { return max_degree_; }
+
+  // Open neighborhood N(u), sorted ascending.
+  std::span<const VertexId> Neighbors(VertexId u) const {
+    return {adjacency_.data() + offsets_[u],
+            adjacency_.data() + offsets_[u + 1]};
+  }
+
+  // True iff (u, v) in E. O(log Degree(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // All undirected edges with u < v, in CSR order.
+  std::vector<Edge> Edges() const;
+
+  // Heap bytes of the CSR arrays ("graph size" row in Fig. 4).
+  uint64_t MemoryBytes() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  uint32_t max_degree_ = 0;
+  // offsets_[u]..offsets_[u+1] delimit u's slice of adjacency_.
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> adjacency_;
+};
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_GRAPH_H_

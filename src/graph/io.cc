@@ -1,0 +1,74 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+#include "util/strings.h"
+
+namespace nsky::graph {
+
+namespace {
+
+// Shared line-by-line parser over any istream.
+util::Result<Graph> ParseStream(std::istream& in, const std::string& origin) {
+  GraphBuilder builder;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view view = util::Trim(line);
+    if (view.empty() || view[0] == '#' || view[0] == '%') continue;
+    auto fields = util::SplitFields(view);
+    if (fields.size() < 2) {
+      return util::Status::InvalidArgument(
+          origin + ": line " + std::to_string(line_no) +
+          ": expected two vertex labels");
+    }
+    uint64_t a = 0, b = 0;
+    if (!util::ParseUint64(fields[0], &a) || !util::ParseUint64(fields[1], &b)) {
+      return util::Status::InvalidArgument(
+          origin + ": line " + std::to_string(line_no) +
+          ": malformed vertex label");
+    }
+    builder.AddEdge(a, b);
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+util::Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  return ParseStream(in, path);
+}
+
+util::Result<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in, "<string>");
+}
+
+util::Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  out << "# undirected graph: " << g.NumVertices() << " vertices, "
+      << g.NumEdges() << " edges\n";
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+  out.flush();
+  if (!out.good()) {
+    return util::Status::IoError("write failed for " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace nsky::graph

@@ -1,0 +1,34 @@
+// Text edge-list IO in the SNAP / KONECT style.
+//
+// Format accepted by LoadEdgeList:
+//   * lines starting with '#' or '%' are comments,
+//   * each remaining line holds two whitespace-separated unsigned vertex
+//     labels (any extra columns, e.g. KONECT weights/timestamps, are
+//     ignored),
+//   * labels are arbitrary 64-bit values and are densely relabeled.
+// Directed inputs are treated as undirected, matching the paper's setup
+// ("we treat all datasets as undirected graphs").
+#ifndef NSKY_GRAPH_IO_H_
+#define NSKY_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace nsky::graph {
+
+// Loads a graph from an edge-list file.
+util::Result<Graph> LoadEdgeList(const std::string& path);
+
+// Writes `g` as "u v" lines (u < v), one edge per line, with a header
+// comment. Round-trips through LoadEdgeList.
+util::Status SaveEdgeList(const Graph& g, const std::string& path);
+
+// Parses an edge list from an in-memory string (same format as the file
+// loader); used by the embedded datasets and the tests.
+util::Result<Graph> ParseEdgeList(const std::string& text);
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_IO_H_

@@ -1,0 +1,77 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace nsky::graph {
+
+Graph SampleVertices(const Graph& g, double fraction, uint64_t seed) {
+  NSKY_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const VertexId n = g.NumVertices();
+  util::Rng rng(seed);
+
+  // Choose exactly round(fraction * n) vertices via a partial shuffle, then
+  // renumber in increasing original-id order for determinism of the result.
+  VertexId keep_count =
+      static_cast<VertexId>(fraction * static_cast<double>(n) + 0.5);
+  if (keep_count == 0) keep_count = 1;
+  if (keep_count > n) keep_count = n;
+
+  std::vector<VertexId> perm(n);
+  for (VertexId i = 0; i < n; ++i) perm[i] = i;
+  for (VertexId i = 0; i < keep_count; ++i) {
+    VertexId j = static_cast<VertexId>(i + rng.NextUint64(n - i));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<VertexId> kept(perm.begin(), perm.begin() + keep_count);
+  std::sort(kept.begin(), kept.end());
+
+  constexpr VertexId kDropped = static_cast<VertexId>(-1);
+  std::vector<VertexId> new_id(n, kDropped);
+  for (VertexId i = 0; i < keep_count; ++i) new_id[kept[i]] = i;
+
+  std::vector<Edge> edges;
+  for (VertexId u : kept) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v && new_id[v] != kDropped) {
+        edges.emplace_back(new_id[u], new_id[v]);
+      }
+    }
+  }
+  return Graph::FromEdges(keep_count, std::move(edges));
+}
+
+Graph RemoveIsolatedVertices(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> new_id(n, 0);
+  VertexId kept = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (g.Degree(u) > 0) new_id[u] = kept++;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(g.NumEdges());
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(new_id[u], new_id[v]);
+    }
+  }
+  return Graph::FromEdges(kept, std::move(edges));
+}
+
+Graph SampleEdges(const Graph& g, double fraction, uint64_t seed) {
+  NSKY_CHECK(fraction > 0.0 && fraction <= 1.0);
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(fraction * static_cast<double>(g.NumEdges())) + 16);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v && rng.NextBool(fraction)) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(g.NumVertices(), std::move(edges));
+}
+
+}  // namespace nsky::graph

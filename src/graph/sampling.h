@@ -1,0 +1,31 @@
+// Subgraph scalers for the scalability experiments (Exp-7).
+//
+// The paper builds four subgraphs per dataset by varying the number of
+// vertices (n = 20%..80%) and the density (rho = 20%..80%). We reproduce
+// both: vertex sampling keeps a uniform random fraction of vertices and
+// takes the induced subgraph; edge sampling keeps every vertex but a uniform
+// random fraction of edges.
+#ifndef NSKY_GRAPH_SAMPLING_H_
+#define NSKY_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace nsky::graph {
+
+// Induced subgraph on a uniform `fraction` of the vertices (0 < fraction
+// <= 1). Kept vertices are renumbered densely, preserving relative order.
+Graph SampleVertices(const Graph& g, double fraction, uint64_t seed);
+
+// Subgraph with all vertices and a uniform `fraction` of the edges.
+Graph SampleEdges(const Graph& g, double fraction, uint64_t seed);
+
+// Drops all degree-0 vertices and renumbers the rest densely, preserving
+// relative order. Edge-list datasets (SNAP/KONECT) contain no isolated
+// vertices, so the synthetic stand-ins apply this to match.
+Graph RemoveIsolatedVertices(const Graph& g);
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_SAMPLING_H_

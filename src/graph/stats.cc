@@ -1,0 +1,81 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+namespace nsky::graph {
+
+uint64_t ConnectedComponents(const Graph& g, std::vector<uint32_t>* component) {
+  const VertexId n = g.NumVertices();
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+  component->assign(n, kUnvisited);
+  uint64_t num_components = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if ((*component)[s] != kUnvisited) continue;
+    uint32_t id = static_cast<uint32_t>(num_components++);
+    (*component)[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId v : g.Neighbors(u)) {
+        if ((*component)[v] == kUnvisited) {
+          (*component)[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return num_components;
+}
+
+std::vector<VertexId> LargestComponentVertices(const Graph& g) {
+  std::vector<uint32_t> component;
+  uint64_t k = ConnectedComponents(g, &component);
+  std::vector<uint64_t> sizes(k, 0);
+  for (uint32_t c : component) ++sizes[c];
+  uint32_t best =
+      static_cast<uint32_t>(std::max_element(sizes.begin(), sizes.end()) -
+                            sizes.begin());
+  std::vector<VertexId> out;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (component[u] == best) out.push_back(u);
+  }
+  return out;
+}
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.NumVertices();
+  stats.num_edges = g.NumEdges();
+  stats.max_degree = g.MaxDegree();
+  stats.avg_degree = stats.num_vertices == 0
+                         ? 0.0
+                         : 2.0 * static_cast<double>(stats.num_edges) /
+                               static_cast<double>(stats.num_vertices);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (g.Degree(u) == 0) ++stats.num_isolated;
+  }
+  std::vector<uint32_t> component;
+  stats.num_components = ConnectedComponents(g, &component);
+  std::vector<uint64_t> sizes(stats.num_components, 0);
+  for (uint32_t c : component) ++sizes[c];
+  stats.largest_component =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return stats;
+}
+
+std::string StatsToString(const GraphStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu m=%llu dmax=%u davg=%.2f components=%llu",
+                static_cast<unsigned long long>(stats.num_vertices),
+                static_cast<unsigned long long>(stats.num_edges),
+                stats.max_degree, stats.avg_degree,
+                static_cast<unsigned long long>(stats.num_components));
+  return buf;
+}
+
+}  // namespace nsky::graph

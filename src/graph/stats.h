@@ -1,0 +1,38 @@
+// Whole-graph statistics (Table I columns and general reporting).
+#ifndef NSKY_GRAPH_STATS_H_
+#define NSKY_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::graph {
+
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  uint64_t num_isolated = 0;        // degree-0 vertices
+  uint64_t num_components = 0;      // connected components
+  uint64_t largest_component = 0;   // size of the largest component
+};
+
+// Computes all statistics in one pass plus one BFS sweep.
+GraphStats ComputeStats(const Graph& g);
+
+// Connected components via BFS; returns component id per vertex and the
+// number of components.
+uint64_t ConnectedComponents(const Graph& g, std::vector<uint32_t>* component);
+
+// Id of vertices in the largest connected component, sorted ascending.
+std::vector<VertexId> LargestComponentVertices(const Graph& g);
+
+// One-line rendering "n=.. m=.. dmax=..".
+std::string StatsToString(const GraphStats& stats);
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_STATS_H_

@@ -1,0 +1,76 @@
+#include "graph/threshold.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace nsky::graph {
+
+Graph MakeThresholdGraph(const std::vector<ThresholdOp>& ops) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < ops.size(); ++u) {
+    if (ops[u] == ThresholdOp::kDominating) {
+      for (VertexId v = 0; v < u; ++v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(static_cast<VertexId>(ops.size()),
+                          std::move(edges));
+}
+
+std::vector<ThresholdOp> ThresholdConstructionSequence(
+    const Graph& g, std::vector<VertexId>* creation_order) {
+  const VertexId n = g.NumVertices();
+  if (creation_order != nullptr) creation_order->clear();
+  if (n == 0) return {};
+
+  // Degree-based peeling. Threshold sequences have unique realizations, so
+  // working on degrees alone is sound: at each step the minimum-degree
+  // vertex is isolated (effective degree 0) or the maximum-degree vertex is
+  // universal (effective degree = alive - 1). Dominating removals decrement
+  // every alive vertex's degree by one, tracked lazily in `removed_dom`.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.Degree(a) != g.Degree(b) ? g.Degree(a) < g.Degree(b) : a < b;
+  });
+
+  std::vector<ThresholdOp> removal_ops;
+  std::vector<VertexId> removal_order;
+  removal_ops.reserve(n);
+  removal_order.reserve(n);
+  size_t lo = 0, hi = n;  // alive vertices are order[lo..hi)
+  uint32_t removed_dom = 0;
+  while (lo < hi) {
+    const size_t alive = hi - lo;
+    if (g.Degree(order[lo]) == removed_dom) {
+      removal_ops.push_back(ThresholdOp::kIsolated);
+      removal_order.push_back(order[lo]);
+      ++lo;
+    } else if (g.Degree(order[hi - 1]) ==
+               static_cast<uint32_t>(alive - 1) + removed_dom) {
+      removal_ops.push_back(ThresholdOp::kDominating);
+      removal_order.push_back(order[hi - 1]);
+      --hi;
+      ++removed_dom;
+    } else {
+      return {};  // not a threshold graph
+    }
+  }
+
+  // Creation order = reverse removal order; the first created vertex is
+  // always recorded as isolated.
+  std::vector<ThresholdOp> ops(removal_ops.rbegin(), removal_ops.rend());
+  ops[0] = ThresholdOp::kIsolated;
+  if (creation_order != nullptr) {
+    creation_order->assign(removal_order.rbegin(), removal_order.rend());
+  }
+  return ops;
+}
+
+bool IsThresholdGraph(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  return !ThresholdConstructionSequence(g).empty();
+}
+
+}  // namespace nsky::graph

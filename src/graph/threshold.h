@@ -1,0 +1,41 @@
+// Threshold graphs (Mahadev & Peled), the graph class on which the vicinal
+// preorder underlying neighborhood domination is *total*. The paper's
+// introduction ties neighborhood inclusion to threshold graphs [7], [8];
+// this module provides recognition and construction so the relationship can
+// be exercised and tested (on a connected threshold graph the neighborhood
+// skyline collapses to a single vertex).
+#ifndef NSKY_GRAPH_THRESHOLD_H_
+#define NSKY_GRAPH_THRESHOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::graph {
+
+// One step of a threshold construction sequence.
+enum class ThresholdOp : uint8_t {
+  kIsolated = 0,   // add a vertex with no edges
+  kDominating = 1, // add a vertex adjacent to all previous vertices
+};
+
+// Builds the threshold graph defined by `ops` (vertex i is created by
+// ops[i]; ops[0] is conventionally kIsolated). Vertices are numbered in
+// creation order.
+Graph MakeThresholdGraph(const std::vector<ThresholdOp>& ops);
+
+// True iff g is a threshold graph (recognizable by repeatedly removing an
+// isolated or a universal vertex). O(n log n + m).
+bool IsThresholdGraph(const Graph& g);
+
+// Recovers a construction sequence for g; empty result (for n > 0) means g
+// is not a threshold graph. The returned ops rebuild g up to isomorphism;
+// `creation_order` (optional) receives the vertex of g created at each
+// step.
+std::vector<ThresholdOp> ThresholdConstructionSequence(
+    const Graph& g, std::vector<VertexId>* creation_order = nullptr);
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_THRESHOLD_H_

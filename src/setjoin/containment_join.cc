@@ -1,0 +1,122 @@
+#include "setjoin/containment_join.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace nsky::setjoin {
+
+namespace {
+
+// Inverted index: postings[e] = sorted ids of data records containing e.
+std::vector<std::vector<uint32_t>> BuildInvertedIndex(const RecordSet& data) {
+  std::vector<std::vector<uint32_t>> postings(data.universe_size);
+  for (uint32_t sid = 0; sid < data.size(); ++sid) {
+    for (Element e : data.records[sid]) postings[e].push_back(sid);
+  }
+  return postings;
+}
+
+uint64_t IndexBytes(const std::vector<std::vector<uint32_t>>& postings) {
+  uint64_t total = postings.capacity() * sizeof(std::vector<uint32_t>);
+  for (const auto& p : postings) total += p.capacity() * sizeof(uint32_t);
+  return total;
+}
+
+void EmitAll(uint32_t qid, size_t data_size, JoinResult* out) {
+  for (uint32_t sid = 0; sid < data_size; ++sid) out->emplace_back(qid, sid);
+}
+
+}  // namespace
+
+JoinResult NestedLoopJoin(const RecordSet& queries, const RecordSet& data) {
+  JoinResult out;
+  for (uint32_t qid = 0; qid < queries.size(); ++qid) {
+    const auto& q = queries.records[qid];
+    for (uint32_t sid = 0; sid < data.size(); ++sid) {
+      const auto& s = data.records[sid];
+      if (std::includes(s.begin(), s.end(), q.begin(), q.end())) {
+        out.emplace_back(qid, sid);
+      }
+    }
+  }
+  return out;
+}
+
+JoinResult InvertedIndexJoin(const RecordSet& queries, const RecordSet& data,
+                             JoinStats* stats) {
+  util::Timer timer;
+  JoinResult out;
+  auto postings = BuildInvertedIndex(data);
+
+  std::vector<uint32_t> count(data.size(), 0);
+  std::vector<uint32_t> touched;
+  for (uint32_t qid = 0; qid < queries.size(); ++qid) {
+    const auto& q = queries.records[qid];
+    if (q.empty()) {
+      EmitAll(qid, data.size(), &out);
+      continue;
+    }
+    touched.clear();
+    for (Element e : q) {
+      for (uint32_t sid : postings[e]) {
+        if (stats != nullptr) ++stats->postings_scanned;
+        if (count[sid]++ == 0) touched.push_back(sid);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (uint32_t sid : touched) {
+      if (stats != nullptr) ++stats->candidates_examined;
+      if (count[sid] == q.size()) out.emplace_back(qid, sid);
+      count[sid] = 0;
+    }
+  }
+  if (stats != nullptr) {
+    stats->index_bytes = IndexBytes(postings) + count.capacity() * 4;
+    stats->seconds = timer.Seconds();
+  }
+  return out;
+}
+
+JoinResult ListCrosscuttingJoin(const RecordSet& queries,
+                                const RecordSet& data, JoinStats* stats) {
+  util::Timer timer;
+  JoinResult out;
+  auto postings = BuildInvertedIndex(data);
+
+  std::vector<uint32_t> current;
+  std::vector<uint32_t> next;
+  std::vector<Element> ordered;
+  for (uint32_t qid = 0; qid < queries.size(); ++qid) {
+    const auto& q = queries.records[qid];
+    if (q.empty()) {
+      EmitAll(qid, data.size(), &out);
+      continue;
+    }
+    // Crosscut the posting lists rarest-first: the candidate set shrinks as
+    // fast as possible and the loop exits on the first empty intersection.
+    ordered.assign(q.begin(), q.end());
+    std::sort(ordered.begin(), ordered.end(), [&](Element a, Element b) {
+      return postings[a].size() < postings[b].size();
+    });
+    current = postings[ordered[0]];
+    if (stats != nullptr) stats->postings_scanned += current.size();
+    for (size_t i = 1; i < ordered.size() && !current.empty(); ++i) {
+      const auto& p = postings[ordered[i]];
+      next.clear();
+      std::set_intersection(current.begin(), current.end(), p.begin(), p.end(),
+                            std::back_inserter(next));
+      if (stats != nullptr) stats->postings_scanned += p.size();
+      current.swap(next);
+    }
+    if (stats != nullptr) stats->candidates_examined += current.size();
+    for (uint32_t sid : current) out.emplace_back(qid, sid);
+  }
+  if (stats != nullptr) {
+    stats->index_bytes = IndexBytes(postings);
+    stats->seconds = timer.Seconds();
+  }
+  return out;
+}
+
+}  // namespace nsky::setjoin

@@ -1,0 +1,51 @@
+// Set containment joins: find all (query, data) pairs with query subset-of
+// data record.
+//
+// Three implementations with identical output:
+//  * NestedLoopJoin        -- O(|Q| * |S| * len) oracle, tests only.
+//  * InvertedIndexJoin     -- PRETTI-style: inverted index on S, per-query
+//                             candidate counting (a record containing all
+//                             elements of q appears |q| times across q's
+//                             posting lists).
+//  * ListCrosscuttingJoin  -- LC-Join-style [Deng et al., ICDE'19]: per
+//                             query, intersect the posting lists of q's
+//                             elements rarest-first with early exit; this is
+//                             the external baseline of Fig. 3/4.
+// Empty queries are contained in every record; the joins emit those pairs,
+// and the skyline adapter filters them (2-hop domination semantics).
+#ifndef NSKY_SETJOIN_CONTAINMENT_JOIN_H_
+#define NSKY_SETJOIN_CONTAINMENT_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "setjoin/records.h"
+
+namespace nsky::setjoin {
+
+// (query index, data index) result pairs, sorted lexicographically.
+using JoinResult = std::vector<std::pair<uint32_t, uint32_t>>;
+
+struct JoinStats {
+  uint64_t candidates_examined = 0;  // candidate (q, s) pairs scored
+  uint64_t postings_scanned = 0;     // posting-list elements touched
+  uint64_t index_bytes = 0;          // inverted index footprint
+  double seconds = 0.0;
+};
+
+// Reference implementation (tests only).
+JoinResult NestedLoopJoin(const RecordSet& queries, const RecordSet& data);
+
+// Inverted index + per-candidate occurrence counting.
+JoinResult InvertedIndexJoin(const RecordSet& queries, const RecordSet& data,
+                             JoinStats* stats = nullptr);
+
+// Rarest-first posting-list crosscutting with early exit.
+JoinResult ListCrosscuttingJoin(const RecordSet& queries,
+                                const RecordSet& data,
+                                JoinStats* stats = nullptr);
+
+}  // namespace nsky::setjoin
+
+#endif  // NSKY_SETJOIN_CONTAINMENT_JOIN_H_

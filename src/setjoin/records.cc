@@ -1,0 +1,82 @@
+#include "setjoin/records.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace nsky::setjoin {
+
+uint64_t RecordSet::TotalElements() const {
+  uint64_t total = 0;
+  for (const auto& r : records) total += r.size();
+  return total;
+}
+
+uint64_t RecordSet::MemoryBytes() const {
+  uint64_t total = records.capacity() * sizeof(std::vector<Element>);
+  for (const auto& r : records) total += r.capacity() * sizeof(Element);
+  return total;
+}
+
+RecordSet ClosedNeighborhoodRecords(const graph::Graph& g) {
+  RecordSet out;
+  out.universe_size = g.NumVertices();
+  out.records.resize(g.NumVertices());
+  for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto& rec = out.records[u];
+    rec.reserve(nbrs.size() + 1);
+    // Insert u in sorted position among its (sorted) neighbors.
+    bool placed = false;
+    for (graph::VertexId v : nbrs) {
+      if (!placed && u < v) {
+        rec.push_back(u);
+        placed = true;
+      }
+      rec.push_back(v);
+    }
+    if (!placed) rec.push_back(u);
+  }
+  return out;
+}
+
+RecordSet OpenNeighborhoodRecords(const graph::Graph& g) {
+  RecordSet out;
+  out.universe_size = g.NumVertices();
+  out.records.resize(g.NumVertices());
+  for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    out.records[u].assign(nbrs.begin(), nbrs.end());
+  }
+  return out;
+}
+
+RecordSet RandomRecords(Element universe, size_t count, size_t min_size,
+                        size_t max_size, uint64_t seed) {
+  NSKY_CHECK(universe > 0);
+  NSKY_CHECK(min_size <= max_size && max_size <= universe);
+  util::Rng rng(seed);
+  RecordSet out;
+  out.universe_size = universe;
+  out.records.resize(count);
+  for (auto& rec : out.records) {
+    size_t size = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(min_size),
+                    static_cast<int64_t>(max_size)));
+    rec.clear();
+    while (rec.size() < size) {
+      // Zipf-ish skew: squaring a uniform variate concentrates mass on the
+      // small element ids, creating overlapping records.
+      double r = rng.NextDouble();
+      Element e = static_cast<Element>(r * r * static_cast<double>(universe));
+      if (e >= universe) e = universe - 1;
+      if (std::find(rec.begin(), rec.end(), e) == rec.end()) rec.push_back(e);
+    }
+    std::sort(rec.begin(), rec.end());
+  }
+  return out;
+}
+
+}  // namespace nsky::setjoin

@@ -1,0 +1,50 @@
+// Set-record collections for the set-containment-join substrate.
+//
+// The paper frames neighborhood-inclusion discovery as a set containment
+// join: a data set S with records s_i = N[i] and a query set Q with records
+// q_i = N(i); q_i subset-of s_w (w != i) is exactly "i is
+// neighborhood-included by w". This module provides the record
+// representation, the graph adapters, and a random-record generator for
+// tests.
+#ifndef NSKY_SETJOIN_RECORDS_H_
+#define NSKY_SETJOIN_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::setjoin {
+
+using Element = uint32_t;
+
+// A collection of sets over the universe [0, universe_size). Each record is
+// sorted ascending and duplicate-free.
+struct RecordSet {
+  Element universe_size = 0;
+  std::vector<std::vector<Element>> records;
+
+  size_t size() const { return records.size(); }
+
+  // Total number of elements across records.
+  uint64_t TotalElements() const;
+
+  // Heap bytes of the record storage (for memory accounting).
+  uint64_t MemoryBytes() const;
+};
+
+// s_i = N[i] for every vertex (closed neighborhoods).
+RecordSet ClosedNeighborhoodRecords(const graph::Graph& g);
+
+// q_i = N(i) for every vertex (open neighborhoods).
+RecordSet OpenNeighborhoodRecords(const graph::Graph& g);
+
+// Random records for tests: `count` records over `universe`, each with a
+// size uniform in [min_size, max_size], elements Zipf-skewed so containments
+// actually occur.
+RecordSet RandomRecords(Element universe, size_t count, size_t min_size,
+                        size_t max_size, uint64_t seed);
+
+}  // namespace nsky::setjoin
+
+#endif  // NSKY_SETJOIN_RECORDS_H_

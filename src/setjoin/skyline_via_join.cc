@@ -1,0 +1,82 @@
+#include "setjoin/skyline_via_join.h"
+
+#include <algorithm>
+
+#include "setjoin/containment_join.h"
+#include "setjoin/records.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace nsky::setjoin {
+
+using core::SkylineResult;
+using graph::Graph;
+using graph::VertexId;
+
+SkylineResult SkylineViaJoin(const Graph& g, JoinAlgorithm algorithm) {
+  util::Timer timer;
+  const VertexId n = g.NumVertices();
+
+  SkylineResult result;
+  result.dominator.resize(n);
+  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
+
+  util::MemoryTally tally;
+
+  // Data records: closed neighborhoods of every vertex. Query records: open
+  // neighborhoods of the non-isolated vertices (isolated vertices have no
+  // 2-hop dominator and are skyline members by convention).
+  RecordSet data = ClosedNeighborhoodRecords(g);
+  RecordSet queries;
+  queries.universe_size = n;
+  std::vector<VertexId> query_vertex;
+  for (VertexId u = 0; u < n; ++u) {
+    if (g.Degree(u) == 0) continue;
+    auto nbrs = g.Neighbors(u);
+    queries.records.emplace_back(nbrs.begin(), nbrs.end());
+    query_vertex.push_back(u);
+  }
+  tally.Add(data.MemoryBytes());
+  tally.Add(queries.MemoryBytes());
+
+  JoinStats join_stats;
+  JoinResult pairs = algorithm == JoinAlgorithm::kInvertedIndex
+                         ? InvertedIndexJoin(queries, data, &join_stats)
+                         : ListCrosscuttingJoin(queries, data, &join_stats);
+  tally.Add(join_stats.index_bytes);
+  tally.Add(pairs.capacity() * sizeof(pairs[0]));
+
+  // Translate join pairs (query row, data row) to vertex pairs (u, w) with
+  // N(u) subset-of N[w], dropping the trivial u == w rows.
+  std::vector<std::pair<VertexId, VertexId>> inclusion;
+  inclusion.reserve(pairs.size());
+  for (const auto& [qrow, sid] : pairs) {
+    VertexId u = query_vertex[qrow];
+    if (u != sid) inclusion.emplace_back(u, sid);
+  }
+  std::sort(inclusion.begin(), inclusion.end());
+  tally.Add(inclusion.capacity() * sizeof(inclusion[0]));
+
+  auto included = [&](VertexId a, VertexId b) {
+    // True iff N(a) subset-of N[b] appeared in the join output.
+    return std::binary_search(inclusion.begin(), inclusion.end(),
+                              std::make_pair(a, b));
+  };
+
+  for (const auto& [u, w] : inclusion) {
+    if (result.dominator[u] != u) continue;  // first dominator only
+    const bool mutual = included(w, u);
+    if (!mutual || w < u) result.dominator[u] = w;
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.dominator[u] == u) result.skyline.push_back(u);
+  }
+  result.stats.pairs_examined = pairs.size();
+  result.stats.inclusion_tests = join_stats.candidates_examined;
+  result.stats.aux_peak_bytes = tally.peak_bytes();
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace nsky::setjoin

@@ -1,0 +1,32 @@
+// Neighborhood-skyline computation through a set containment join -- the
+// external baseline ("LC-Join") of Fig. 3 / Fig. 4.
+//
+// Pipeline: build S = { N[w] : w in V } and Q = { N(u) : u in V }, join
+// Q into S, and derive the domination order from the containment pairs:
+// u is dominated iff some w != u has N(u) subset-of N[w] and the relation is
+// strict or (mutual and w has the smaller id).
+//
+// Isolated vertices (empty queries) are skipped before the join to keep the
+// 2-hop domination semantics shared by all solvers (see domination.h).
+#ifndef NSKY_SETJOIN_SKYLINE_VIA_JOIN_H_
+#define NSKY_SETJOIN_SKYLINE_VIA_JOIN_H_
+
+#include "core/skyline.h"
+#include "graph/graph.h"
+
+namespace nsky::setjoin {
+
+enum class JoinAlgorithm {
+  kInvertedIndex,
+  kListCrosscutting,
+};
+
+// Computes the neighborhood skyline of g via a containment join. The
+// returned stats carry the join's index footprint in aux_peak_bytes.
+core::SkylineResult SkylineViaJoin(
+    const graph::Graph& g,
+    JoinAlgorithm algorithm = JoinAlgorithm::kListCrosscutting);
+
+}  // namespace nsky::setjoin
+
+#endif  // NSKY_SETJOIN_SKYLINE_VIA_JOIN_H_

@@ -1,0 +1,353 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "centrality/centrality.h"
+#include "centrality/greedy.h"
+#include "clique/max_clique.h"
+#include "clique/nei_sky_mc.h"
+#include "clique/topk.h"
+#include "core/nsky.h"
+#include "datasets/registry.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "setjoin/skyline_via_join.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace nsky::tools {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// Parsed command line: command plus --key value options (flags that take no
+// value are stored with an empty string).
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+// Options that do not take a value.
+bool IsBareFlag(const std::string& key) {
+  return key == "no-skyline-pruning" || key == "lazy";
+}
+
+std::optional<Args> ParseArgs(const std::vector<std::string>& raw,
+                              std::ostream& err) {
+  Args args;
+  if (raw.empty()) {
+    err << "error: missing command\n";
+    return std::nullopt;
+  }
+  args.command = raw[0];
+  for (size_t i = 1; i < raw.size(); ++i) {
+    const std::string& token = raw[i];
+    if (token.rfind("--", 0) != 0) {
+      err << "error: unexpected argument '" << token << "'\n";
+      return std::nullopt;
+    }
+    std::string key = token.substr(2);
+    if (IsBareFlag(key)) {
+      args.options[key] = "";
+      continue;
+    }
+    if (i + 1 >= raw.size()) {
+      err << "error: option --" << key << " needs a value\n";
+      return std::nullopt;
+    }
+    args.options[key] = raw[++i];
+  }
+  return args;
+}
+
+// Parses "name:a:b:..." generator specs.
+std::optional<Graph> ParseGenerateSpec(const std::string& spec,
+                                       std::ostream& err) {
+  std::vector<std::string> parts;
+  std::istringstream in(spec);
+  std::string piece;
+  while (std::getline(in, piece, ':')) parts.push_back(piece);
+  if (parts.empty()) {
+    err << "error: empty --generate spec\n";
+    return std::nullopt;
+  }
+  auto num = [&](size_t i, double fallback) {
+    return i < parts.size() ? std::atof(parts[i].c_str()) : fallback;
+  };
+  const std::string& kind = parts[0];
+  auto n = static_cast<VertexId>(num(1, 1000));
+  uint64_t seed = 1;
+  // A trailing field is the seed for the random models.
+  if (kind == "er" && parts.size() > 3) seed = static_cast<uint64_t>(num(3, 1));
+  if (kind == "ba" && parts.size() > 3) seed = static_cast<uint64_t>(num(3, 1));
+  if (kind == "pl" && parts.size() > 4) seed = static_cast<uint64_t>(num(4, 1));
+  if (kind == "social" && parts.size() > 3) {
+    seed = static_cast<uint64_t>(num(3, 1));
+  }
+
+  if (kind == "er") return graph::MakeErdosRenyi(n, num(2, 0.01), seed);
+  if (kind == "ba") {
+    return graph::MakeBarabasiAlbert(n, static_cast<uint32_t>(num(2, 3)),
+                                     seed);
+  }
+  if (kind == "pl") {
+    return graph::MakeChungLuPowerLaw(n, num(2, 2.5), num(3, 6.0), seed);
+  }
+  if (kind == "social") {
+    return graph::MakeSocialGraph(n, num(2, 6.0), 0.6, 0.4, seed, 0.3);
+  }
+  if (kind == "clique") return graph::MakeClique(n);
+  if (kind == "cycle") return graph::MakeCycle(n);
+  if (kind == "path") return graph::MakePath(n);
+  if (kind == "star") return graph::MakeStar(n);
+  if (kind == "tree") {
+    return graph::MakeCompleteBinaryTree(static_cast<uint32_t>(num(1, 5)));
+  }
+  err << "error: unknown generator '" << kind << "'\n";
+  return std::nullopt;
+}
+
+// Resolves the graph source options to a graph.
+std::optional<Graph> LoadInput(const Args& args, std::ostream& err) {
+  int sources = args.Has("input") + args.Has("standin") + args.Has("generate");
+  if (sources != 1) {
+    err << "error: provide exactly one of --input, --standin, --generate\n";
+    return std::nullopt;
+  }
+  if (args.Has("input")) {
+    auto r = graph::LoadEdgeList(args.Get("input"));
+    if (!r.ok()) {
+      err << "error: " << r.status().ToString() << "\n";
+      return std::nullopt;
+    }
+    return std::move(r).value();
+  }
+  if (args.Has("standin")) {
+    auto scale = args.Get("scale", "full") == "small"
+                     ? datasets::StandinScale::kSmall
+                     : datasets::StandinScale::kFull;
+    auto r = datasets::MakeStandin(args.Get("standin"), scale);
+    if (!r.ok()) {
+      err << "error: " << r.status().ToString() << "\n";
+      return std::nullopt;
+    }
+    return std::move(r).value();
+  }
+  return ParseGenerateSpec(args.Get("generate"), err);
+}
+
+int CmdStats(const Graph& g, std::ostream& out) {
+  out << graph::StatsToString(graph::ComputeStats(g)) << "\n";
+  return 0;
+}
+
+int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
+               std::ostream& err) {
+  const std::string algo = args.Get("algorithm", "filter-refine");
+  core::SkylineResult r;
+  if (algo == "filter-refine") {
+    r = core::FilterRefineSky(g);
+  } else if (algo == "base") {
+    r = core::BaseSky(g);
+  } else if (algo == "cset") {
+    r = core::BaseCSet(g);
+  } else if (algo == "2hop") {
+    r = core::Base2Hop(g);
+  } else if (algo == "join") {
+    r = setjoin::SkylineViaJoin(g);
+  } else {
+    err << "error: unknown --algorithm '" << algo << "'\n";
+    return 2;
+  }
+  out << "skyline " << r.skyline.size() << " of " << g.NumVertices()
+      << " vertices (" << algo << ", " << util::FormatSeconds(r.stats.seconds)
+      << ")\n";
+  if (args.Get("print", "no") == "yes") {
+    for (VertexId u : r.skyline) out << u << "\n";
+  }
+  return 0;
+}
+
+int CmdCandidates(const Graph& g, std::ostream& out) {
+  core::SkylineResult r = core::FilterPhase(g);
+  out << "candidates " << r.skyline.size() << " of " << g.NumVertices()
+      << " vertices (" << util::FormatSeconds(r.stats.seconds) << ")\n";
+  return 0;
+}
+
+int CmdGenerate(const Args& args, const Graph& g, std::ostream& out,
+                std::ostream& err) {
+  if (!args.Has("output")) {
+    err << "error: generate requires --output FILE\n";
+    return 2;
+  }
+  auto status = graph::SaveEdgeList(g, args.Get("output"));
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << g.NumVertices() << " vertices, " << g.NumEdges()
+      << " edges to " << args.Get("output") << "\n";
+  return 0;
+}
+
+int CmdCentrality(const Args& args, const Graph& g, std::ostream& out) {
+  uint32_t top = static_cast<uint32_t>(
+      std::atoi(args.Get("top", "10").c_str()));
+  std::vector<double> closeness = centrality::AllCloseness(g);
+  std::vector<double> harmonic = centrality::AllHarmonic(g);
+  std::vector<VertexId> order(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) order[u] = u;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return closeness[a] != closeness[b] ? closeness[a] > closeness[b] : a < b;
+  });
+  out << "vertex  closeness  harmonic  degree\n";
+  for (uint32_t i = 0; i < top && i < order.size(); ++i) {
+    VertexId u = order[i];
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-7u %-10.5f %-9.3f %u\n", u,
+                  closeness[u], harmonic[u], g.Degree(u));
+    out << line;
+  }
+  return 0;
+}
+
+int CmdGroupMax(const Args& args, const Graph& g, std::ostream& out,
+                std::ostream& err) {
+  uint32_t k = static_cast<uint32_t>(std::atoi(args.Get("k", "5").c_str()));
+  if (k == 0) {
+    err << "error: --k must be positive\n";
+    return 2;
+  }
+  centrality::GreedyOptions options;
+  const std::string objective = args.Get("objective", "closeness");
+  if (objective == "closeness") {
+    options.objective = centrality::Objective::kCloseness;
+  } else if (objective == "harmonic") {
+    options.objective = centrality::Objective::kHarmonic;
+  } else {
+    err << "error: unknown --objective '" << objective << "'\n";
+    return 2;
+  }
+  options.use_skyline_pruning = !args.Has("no-skyline-pruning");
+  options.lazy = args.Has("lazy");
+  centrality::GreedyResult r = centrality::GreedyGroupMaximization(g, k, options);
+  out << "group (" << objective << ", k=" << k << "):";
+  for (VertexId v : r.group) out << " " << v;
+  out << "\nscore " << r.score << ", " << r.gain_calls << " gain calls, pool "
+      << r.pool_size << ", " << util::FormatSeconds(r.seconds) << "\n";
+  return 0;
+}
+
+int CmdClique(const Args& args, const Graph& g, std::ostream& out) {
+  if (args.Has("no-skyline-pruning")) {
+    clique::CliqueResult r = clique::MaxClique(g);
+    out << "maximum clique size " << r.clique.size() << " ("
+        << util::FormatSeconds(r.seconds) << "):";
+    for (VertexId v : r.clique) out << " " << v;
+    out << "\n";
+  } else {
+    clique::NeiSkyMcResult r = clique::NeiSkyMC(g);
+    out << "maximum clique size " << r.clique.clique.size() << " (skyline "
+        << r.skyline_size << " seeds, "
+        << util::FormatSeconds(r.total_seconds) << "):";
+    for (VertexId v : r.clique.clique) out << " " << v;
+    out << "\n";
+  }
+  return 0;
+}
+
+int CmdTopkCliques(const Args& args, const Graph& g, std::ostream& out) {
+  uint32_t k = static_cast<uint32_t>(std::atoi(args.Get("k", "3").c_str()));
+  auto r = args.Has("no-skyline-pruning") ? clique::BaseTopkMCC(g, k)
+                                          : clique::NeiSkyTopkMCC(g, k);
+  out << r.cliques.size() << " vertex-disjoint cliques ("
+      << util::FormatSeconds(r.total_seconds) << ")\n";
+  for (size_t i = 0; i < r.cliques.size(); ++i) {
+    out << "  #" << (i + 1) << " size " << r.cliques[i].size() << ":";
+    for (VertexId v : r.cliques[i]) out << " " << v;
+    out << "\n";
+  }
+  return 0;
+}
+
+int CmdDatasets(std::ostream& out) {
+  out << "name          paper_n      paper_m      domain\n";
+  for (const auto& spec : datasets::AllStandins()) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-13s %-12llu %-12llu %s\n",
+                  spec.name.c_str(),
+                  static_cast<unsigned long long>(spec.paper_n),
+                  static_cast<unsigned long long>(spec.paper_m),
+                  spec.description.c_str());
+    out << line;
+  }
+  return 0;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: nsky <command> [options]\n"
+         "commands: stats skyline candidates generate centrality group-max\n"
+         "          clique topk-cliques datasets help\n"
+         "graph sources: --input FILE | --standin NAME [--scale small|full]\n"
+         "               | --generate SPEC (er:N:P, ba:N:M, pl:N:BETA:AVG,\n"
+         "                 social:N:AVG, clique:N, cycle:N, path:N, star:N,\n"
+         "                 tree:LEVELS; random models accept a trailing seed)\n"
+         "see src/tools/cli.h for per-command options\n";
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
+           std::ostream& err) {
+  auto parsed = ParseArgs(args_raw, err);
+  if (!parsed.has_value()) {
+    PrintUsage(err);
+    return 2;
+  }
+  const Args& args = *parsed;
+
+  if (args.command == "help") {
+    PrintUsage(out);
+    return 0;
+  }
+  if (args.command == "datasets") return CmdDatasets(out);
+
+  static const char* kGraphCommands[] = {
+      "stats",      "skyline", "candidates",   "generate",
+      "centrality", "group-max", "clique", "topk-cliques"};
+  bool known = false;
+  for (const char* c : kGraphCommands) known |= args.command == c;
+  if (!known) {
+    err << "error: unknown command '" << args.command << "'\n";
+    PrintUsage(err);
+    return 2;
+  }
+
+  auto g = LoadInput(args, err);
+  if (!g.has_value()) return 2;
+
+  if (args.command == "stats") return CmdStats(*g, out);
+  if (args.command == "skyline") return CmdSkyline(args, *g, out, err);
+  if (args.command == "candidates") return CmdCandidates(*g, out);
+  if (args.command == "generate") return CmdGenerate(args, *g, out, err);
+  if (args.command == "centrality") return CmdCentrality(args, *g, out);
+  if (args.command == "group-max") return CmdGroupMax(args, *g, out, err);
+  if (args.command == "clique") return CmdClique(args, *g, out);
+  return CmdTopkCliques(args, *g, out);
+}
+
+}  // namespace nsky::tools

@@ -1,0 +1,43 @@
+// The `nsky` command-line tool, structured as a library so the argument
+// handling and every subcommand can be unit-tested without spawning
+// processes.
+//
+// Usage:
+//   nsky <command> [options]
+//
+// Commands:
+//   stats      --input FILE | --standin NAME | --generate SPEC
+//   skyline    (same inputs) [--algorithm base|filter-refine|cset|2hop|join]
+//   candidates (same inputs)
+//   generate   --generate SPEC --output FILE
+//   centrality (same inputs) [--top K]           per-vertex closeness/harmonic
+//   group-max  (same inputs) --k K [--objective closeness|harmonic]
+//              [--no-skyline-pruning]
+//   clique     (same inputs) [--no-skyline-pruning]
+//   topk-cliques (same inputs) --k K [--no-skyline-pruning]
+//   datasets   (no options)                       list stand-in registry
+//
+// Graph sources (exactly one):
+//   --input FILE       SNAP/KONECT edge list
+//   --standin NAME     generated stand-in from the dataset registry
+//   --generate SPEC    synthetic graph, SPEC one of:
+//                        er:N:P | ba:N:M | pl:N:BETA:AVG | social:N:AVG
+//                        clique:N | cycle:N | path:N | star:N | tree:LEVELS
+//                      an optional trailing :SEED applies to random models.
+#ifndef NSKY_TOOLS_CLI_H_
+#define NSKY_TOOLS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nsky::tools {
+
+// Runs the CLI. `args` excludes the program name. Output (including error
+// messages) goes to `out` / `err`. Returns the process exit code.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace nsky::tools
+
+#endif  // NSKY_TOOLS_CLI_H_

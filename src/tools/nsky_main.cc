@@ -1,0 +1,12 @@
+// Entry point of the `nsky` command-line tool; all logic lives in cli.cc so
+// the tool is unit-testable.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return nsky::tools::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,77 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace nsky::util {
+
+namespace {
+size_t WordsFor(size_t num_bits) {
+  return (num_bits + Bitset::kBitsPerWord - 1) / Bitset::kBitsPerWord;
+}
+}  // namespace
+
+Bitset::Bitset(size_t num_bits)
+    : num_bits_(num_bits), words_(WordsFor(num_bits), 0) {}
+
+void Bitset::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize(WordsFor(num_bits), 0);
+  // Clear any stale bits beyond the new logical size in the last word.
+  const size_t rem = num_bits_ % kBitsPerWord;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << rem) - 1;
+  }
+}
+
+void Bitset::Set(size_t pos) {
+  NSKY_DCHECK(pos < num_bits_);
+  words_[pos / kBitsPerWord] |= Word{1} << (pos % kBitsPerWord);
+}
+
+void Bitset::Clear(size_t pos) {
+  NSKY_DCHECK(pos < num_bits_);
+  words_[pos / kBitsPerWord] &= ~(Word{1} << (pos % kBitsPerWord));
+}
+
+bool Bitset::Test(size_t pos) const {
+  NSKY_DCHECK(pos < num_bits_);
+  return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1;
+}
+
+void Bitset::Reset() {
+  std::fill(words_.begin(), words_.end(), Word{0});
+}
+
+size_t Bitset::Count() const {
+  size_t total = 0;
+  for (Word w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  NSKY_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != words_[i]) return false;
+  }
+  return true;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  NSKY_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  NSKY_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+}  // namespace nsky::util

@@ -1,0 +1,77 @@
+// A dynamic bitset sized at run time.
+//
+// std::vector<bool> hides its word layout, and std::bitset is fixed at
+// compile time; the skyline algorithms need word-level access for the
+// bloom-filter subset test (BF(u) & BF(w) == BF(u)), so we keep our own
+// small, predictable implementation backed by uint64_t words.
+#ifndef NSKY_UTIL_BITSET_H_
+#define NSKY_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nsky::util {
+
+// Fixed-capacity dynamic bitset. Bits are indexed [0, size()).
+class Bitset {
+ public:
+  using Word = uint64_t;
+  static constexpr size_t kBitsPerWord = 64;
+
+  Bitset() = default;
+  // Creates a bitset with `num_bits` bits, all clear.
+  explicit Bitset(size_t num_bits);
+
+  Bitset(const Bitset&) = default;
+  Bitset& operator=(const Bitset&) = default;
+  Bitset(Bitset&&) = default;
+  Bitset& operator=(Bitset&&) = default;
+
+  // Number of addressable bits.
+  size_t size() const { return num_bits_; }
+
+  // Resizes to `num_bits`; newly exposed bits are clear.
+  void Resize(size_t num_bits);
+
+  // Sets/clears/tests a single bit. `pos` must be < size().
+  void Set(size_t pos);
+  void Clear(size_t pos);
+  bool Test(size_t pos) const;
+
+  // Clears every bit (keeps the size).
+  void Reset();
+
+  // Number of set bits.
+  size_t Count() const;
+
+  // True when no bit is set.
+  bool None() const { return Count() == 0; }
+  bool Any() const { return !None(); }
+
+  // True when every set bit of *this is also set in `other`.
+  // Requires identical sizes.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  // Bitwise operations (sizes must match).
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator|=(const Bitset& other);
+  bool operator==(const Bitset& other) const;
+
+  // Word-level access used by hot loops.
+  size_t num_words() const { return words_.size(); }
+  Word word(size_t i) const { return words_[i]; }
+  Word* data() { return words_.data(); }
+  const Word* data() const { return words_.data(); }
+
+  // Heap bytes held by this bitset (for memory accounting).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(Word); }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_BITSET_H_

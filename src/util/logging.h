@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the library.
+//
+// NSKY_CHECK(cond) aborts with a diagnostic when `cond` is false, in every
+// build type. It is meant for programmer errors (broken invariants, misuse of
+// an API), not for recoverable conditions -- recoverable errors are reported
+// through util::Status instead.
+#ifndef NSKY_UTIL_LOGGING_H_
+#define NSKY_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NSKY_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "NSKY_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define NSKY_CHECK_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "NSKY_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Debug-only check; compiled out in release builds.
+#ifdef NDEBUG
+#define NSKY_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define NSKY_DCHECK(cond) NSKY_CHECK(cond)
+#endif
+
+#endif  // NSKY_UTIL_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace nsky::util {
+
+namespace {
+// Parses a "Vm...: 1234 kB" line from /proc/self/status.
+uint64_t ReadStatusFieldKb(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + field_len, ": %llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+}  // namespace
+
+uint64_t ProcessPeakRssBytes() { return ReadStatusFieldKb("VmHWM"); }
+
+uint64_t ProcessCurrentRssBytes() { return ReadStatusFieldKb("VmRSS"); }
+
+}  // namespace nsky::util

@@ -1,0 +1,56 @@
+// Memory accounting used by the Fig. 4 memory experiment.
+//
+// Two complementary mechanisms:
+//  * ProcessPeakRssBytes()/ProcessCurrentRssBytes() read /proc/self/status
+//    (Linux) and report what the OS has actually committed. Peak RSS is
+//    cumulative over the process lifetime, so a benchmark that compares
+//    several algorithms in one process cannot use it directly.
+//  * MemoryTally is a deterministic, per-algorithm ledger: every algorithm
+//    records the sizes of its auxiliary structures (arrays, bloom filters,
+//    indexes) as it allocates them. This is the number Fig. 4 reports per
+//    algorithm, independent of allocator behaviour and experiment ordering.
+#ifndef NSKY_UTIL_MEMORY_H_
+#define NSKY_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nsky::util {
+
+// Peak resident set size of this process in bytes (VmHWM). 0 if unavailable.
+uint64_t ProcessPeakRssBytes();
+
+// Current resident set size of this process in bytes (VmRSS). 0 if
+// unavailable.
+uint64_t ProcessCurrentRssBytes();
+
+// Deterministic ledger of live auxiliary bytes with a running peak.
+class MemoryTally {
+ public:
+  // Records an allocation of `bytes`.
+  void Add(uint64_t bytes) {
+    live_ += bytes;
+    if (live_ > peak_) peak_ = live_;
+  }
+
+  // Records a release of `bytes` (must not exceed the live total).
+  void Release(uint64_t bytes) { live_ = bytes > live_ ? 0 : live_ - bytes; }
+
+  uint64_t live_bytes() const { return live_; }
+  uint64_t peak_bytes() const { return peak_; }
+
+  // Convenience: record a std::vector-like container's heap footprint.
+  template <typename Container>
+  void AddContainer(const Container& c) {
+    Add(static_cast<uint64_t>(c.capacity()) *
+        sizeof(typename Container::value_type));
+  }
+
+ private:
+  uint64_t live_ = 0;
+  uint64_t peak_ = 0;
+};
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_MEMORY_H_

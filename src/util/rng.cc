@@ -1,0 +1,87 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nsky::util {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 stream to fill the xoshiro state; guarantees a nonzero state.
+  uint64_t z = seed;
+  for (auto& s : s_) {
+    z += 0x9E3779B97F4A7C15ull;
+    uint64_t t = z;
+    t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+    t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+    s = t ^ (t >> 31);
+  }
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  NSKY_CHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  NSKY_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+size_t Rng::NextWeighted(const std::vector<double>& cumulative_weights) {
+  NSKY_CHECK(!cumulative_weights.empty());
+  const double total = cumulative_weights.back();
+  NSKY_CHECK(total > 0);
+  double r = NextDouble() * total;
+  auto it = std::upper_bound(cumulative_weights.begin(),
+                             cumulative_weights.end(), r);
+  if (it == cumulative_weights.end()) --it;
+  return static_cast<size_t>(it - cumulative_weights.begin());
+}
+
+}  // namespace nsky::util

@@ -1,0 +1,31 @@
+// Small string helpers shared by the loaders and the benchmark tables.
+#ifndef NSKY_UTIL_STRINGS_H_
+#define NSKY_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nsky::util {
+
+// Splits `input` on any of the characters in `delims`, skipping empty pieces.
+std::vector<std::string_view> SplitFields(std::string_view input,
+                                          std::string_view delims = " \t\r");
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Parses a base-10 unsigned integer. Returns false on any malformed input or
+// overflow; `out` is untouched on failure.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+// "12.3 KB" / "4.5 MB" style rendering for memory columns.
+std::string HumanBytes(uint64_t bytes);
+
+// Groups digits with commas: 1234567 -> "1,234,567".
+std::string WithThousands(uint64_t value);
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_STRINGS_H_

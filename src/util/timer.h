@@ -1,0 +1,37 @@
+// Wall-clock timing helpers used by the benchmark harnesses.
+#ifndef NSKY_UTIL_TIMER_H_
+#define NSKY_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace nsky::util {
+
+// Monotonic wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double Seconds() const;
+
+  // Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+  // Microseconds elapsed.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Formats a duration like "1.23 s" / "45.6 ms" for human-readable tables.
+std::string FormatSeconds(double seconds);
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_TIMER_H_

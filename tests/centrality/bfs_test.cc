@@ -1,0 +1,92 @@
+#include "centrality/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::centrality {
+namespace {
+
+TEST(BfsFrom, PathDistances) {
+  graph::Graph g = graph::MakePath(6);
+  std::vector<uint32_t> dist;
+  BfsFrom(g, 0, &dist);
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsFrom, UnreachableMarked) {
+  graph::Graph g = graph::Graph::FromEdges(5, {{0, 1}, {2, 3}});
+  std::vector<uint32_t> dist;
+  BfsFrom(g, 0, &dist);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsFrom, CycleSymmetric) {
+  graph::Graph g = graph::MakeCycle(8);
+  std::vector<uint32_t> dist;
+  BfsFrom(g, 0, &dist);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[5], 3u);
+  EXPECT_EQ(dist[7], 1u);
+}
+
+TEST(MultiSourceBfs, NearestSourceWins) {
+  graph::Graph g = graph::MakePath(10);
+  std::vector<uint32_t> dist;
+  std::vector<graph::VertexId> sources = {0, 9};
+  MultiSourceBfs(g, sources, &dist);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[9], 0u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[5], 4u);
+  EXPECT_EQ(dist[7], 2u);
+}
+
+TEST(MultiSourceBfs, EmptySourcesAllUnreachable) {
+  graph::Graph g = graph::MakeCycle(5);
+  std::vector<uint32_t> dist;
+  MultiSourceBfs(g, {}, &dist);
+  for (uint32_t d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(MultiSourceBfs, DuplicateSourcesHarmless) {
+  graph::Graph g = graph::MakePath(5);
+  std::vector<uint32_t> dist;
+  std::vector<graph::VertexId> sources = {2, 2, 2};
+  MultiSourceBfs(g, sources, &dist);
+  EXPECT_EQ(dist[2], 0u);
+  EXPECT_EQ(dist[0], 2u);
+  EXPECT_EQ(dist[4], 2u);
+}
+
+TEST(RelaxWithSource, MatchesRecomputedMultiSource) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    graph::Graph g = graph::MakeErdosRenyi(150, 0.03, seed);
+    std::vector<graph::VertexId> group = {3, 77};
+    std::vector<uint32_t> incremental;
+    MultiSourceBfs(g, std::span<const graph::VertexId>(group.data(), 1),
+                   &incremental);
+    RelaxWithSource(g, 77, &incremental);
+    RelaxWithSource(g, 120, &incremental);
+
+    std::vector<uint32_t> recomputed;
+    std::vector<graph::VertexId> full_group = {3, 77, 120};
+    MultiSourceBfs(g, full_group, &recomputed);
+    EXPECT_EQ(incremental, recomputed) << "seed " << seed;
+  }
+}
+
+TEST(RelaxWithSource, NoOpWhenSourceAlreadyZero) {
+  graph::Graph g = graph::MakePath(4);
+  std::vector<uint32_t> dist;
+  BfsFrom(g, 1, &dist);
+  std::vector<uint32_t> copy = dist;
+  RelaxWithSource(g, 1, &dist);
+  EXPECT_EQ(dist, copy);
+}
+
+}  // namespace
+}  // namespace nsky::centrality

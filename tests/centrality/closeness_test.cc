@@ -1,0 +1,72 @@
+#include "centrality/centrality.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::centrality {
+namespace {
+
+TEST(VertexCloseness, StarCenterBeatsLeaves) {
+  graph::Graph g = graph::MakeStar(10);
+  double center = VertexCloseness(g, 0);
+  double leaf = VertexCloseness(g, 1);
+  EXPECT_GT(center, leaf);
+  // Center: all 9 others at distance 1 -> C = 10 / 9.
+  EXPECT_DOUBLE_EQ(center, 10.0 / 9.0);
+  // Leaf: center at 1, 8 leaves at 2 -> C = 10 / 17.
+  EXPECT_DOUBLE_EQ(leaf, 10.0 / 17.0);
+}
+
+TEST(VertexCloseness, PathMiddleHighest) {
+  graph::Graph g = graph::MakePath(7);
+  std::vector<double> c = AllCloseness(g);
+  auto best = std::max_element(c.begin(), c.end());
+  EXPECT_EQ(best - c.begin(), 3);  // middle of the path
+}
+
+TEST(VertexCloseness, DisconnectedUsesCap) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}});
+  // From 0: d(1)=1, d(2)=d(3)=cap=4 -> C = 4 / 9.
+  EXPECT_DOUBLE_EQ(VertexCloseness(g, 0), 4.0 / 9.0);
+}
+
+TEST(VertexCloseness, TrivialGraphs) {
+  EXPECT_DOUBLE_EQ(VertexCloseness(graph::Graph::FromEdges(1, {}), 0), 0.0);
+}
+
+TEST(VertexHarmonic, StarCenter) {
+  graph::Graph g = graph::MakeStar(10);
+  // Center: 9 neighbors at distance 1.
+  EXPECT_DOUBLE_EQ(VertexHarmonic(g, 0), 9.0);
+  // Leaf: 1 at distance 1, 8 at distance 2.
+  EXPECT_DOUBLE_EQ(VertexHarmonic(g, 1), 1.0 + 8.0 / 2.0);
+}
+
+TEST(VertexHarmonic, DisconnectedNearZeroContribution) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}});
+  // d(2)=d(3)=cap=4 contribute 1/4 each.
+  EXPECT_DOUBLE_EQ(VertexHarmonic(g, 0), 1.0 + 0.25 + 0.25);
+}
+
+TEST(AllVariants, ConsistentWithSingleVertex) {
+  graph::Graph g = graph::MakeErdosRenyi(60, 0.1, 5);
+  std::vector<double> all_c = AllCloseness(g);
+  std::vector<double> all_h = AllHarmonic(g);
+  for (graph::VertexId u = 0; u < g.NumVertices(); u += 7) {
+    EXPECT_DOUBLE_EQ(all_c[u], VertexCloseness(g, u));
+    EXPECT_DOUBLE_EQ(all_h[u], VertexHarmonic(g, u));
+  }
+}
+
+TEST(Centrality, CliqueAllEqual) {
+  graph::Graph g = graph::MakeClique(8);
+  std::vector<double> c = AllCloseness(g);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, c[0]);
+  EXPECT_DOUBLE_EQ(c[0], 8.0 / 7.0);
+}
+
+}  // namespace
+}  // namespace nsky::centrality

@@ -1,0 +1,124 @@
+#include "centrality/greedy.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "centrality/group_centrality.h"
+#include "core/filter_refine_sky.h"
+#include "graph/generators.h"
+
+namespace nsky::centrality {
+namespace {
+
+TEST(Greedy, GroupSizeAndUniqueness) {
+  graph::Graph g = graph::MakeErdosRenyi(120, 0.05, 1);
+  GreedyResult r = BaseGC(g, 5);
+  EXPECT_EQ(r.group.size(), 5u);
+  std::vector<graph::VertexId> sorted = r.group;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(Greedy, ReportedScoreMatchesGroupEvaluation) {
+  graph::Graph g = graph::MakeChungLuPowerLaw(300, 2.5, 6, 2);
+  GreedyResult gc = BaseGC(g, 4);
+  EXPECT_NEAR(gc.score, GroupCloseness(g, gc.group), 1e-9);
+  GreedyResult gh = BaseGH(g, 4);
+  EXPECT_NEAR(gh.score, GroupHarmonic(g, gh.group), 1e-9);
+}
+
+TEST(Greedy, RoundScoresNonDecreasingForCloseness) {
+  graph::Graph g = graph::MakeBarabasiAlbert(200, 3, 3);
+  GreedyResult r = BaseGC(g, 6);
+  for (size_t i = 1; i < r.round_scores.size(); ++i) {
+    EXPECT_GE(r.round_scores[i], r.round_scores[i - 1] - 1e-12);
+  }
+}
+
+TEST(Greedy, FirstPickIsClosenessMaximum) {
+  // Round one of the greedy must select the vertex with the highest
+  // closeness (equivalently, the smallest capped distance sum).
+  graph::Graph g = graph::MakeStar(15);
+  GreedyResult r = BaseGC(g, 1);
+  EXPECT_EQ(r.group[0], 0u);
+}
+
+TEST(Greedy, GainCallAccountingPlain) {
+  // Plain greedy: k rounds over a pool of size p evaluate
+  // k(2p - k + 1)/2 candidates (the paper's formula).
+  graph::Graph g = graph::MakeErdosRenyi(60, 0.08, 4);
+  uint32_t k = 5;
+  GreedyResult r = BaseGC(g, k);
+  uint64_t p = r.pool_size;
+  EXPECT_EQ(r.gain_calls, static_cast<uint64_t>(k) * (2 * p - k + 1) / 2);
+}
+
+TEST(Greedy, NeiSkyPoolIsSkyline) {
+  graph::Graph g = graph::MakeChungLuPowerLaw(400, 2.3, 6, 5);
+  GreedyResult r = NeiSkyGC(g, 3);
+  EXPECT_EQ(r.pool_size, core::FilterRefineSky(g).skyline.size());
+  EXPECT_LT(r.pool_size, g.NumVertices());
+  EXPECT_GT(r.skyline_seconds, 0.0);
+}
+
+TEST(Greedy, NeiSkyMatchesBaseScoreCloseness) {
+  // Lemma 3 makes skyline pruning lossless for the greedy: scores match.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    graph::Graph g = graph::MakeChungLuPowerLaw(250, 2.4, 6, seed);
+    GreedyResult base = BaseGC(g, 5);
+    GreedyResult pruned = NeiSkyGC(g, 5);
+    EXPECT_NEAR(base.score, pruned.score, 1e-9) << "seed " << seed;
+    EXPECT_LE(pruned.gain_calls, base.gain_calls);
+  }
+}
+
+TEST(Greedy, NeiSkyMatchesBaseScoreHarmonic) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    graph::Graph g = graph::MakeChungLuPowerLaw(250, 2.4, 6, seed);
+    GreedyResult base = BaseGH(g, 5);
+    GreedyResult pruned = NeiSkyGH(g, 5);
+    EXPECT_NEAR(base.score, pruned.score, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Greedy, LazyMatchesPlainScore) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    graph::Graph g = graph::MakeErdosRenyi(150, 0.04, seed);
+    GreedyOptions plain, lazy;
+    plain.objective = lazy.objective = Objective::kCloseness;
+    lazy.lazy = true;
+    GreedyResult a = GreedyGroupMaximization(g, 6, plain);
+    GreedyResult b = GreedyGroupMaximization(g, 6, lazy);
+    EXPECT_NEAR(a.score, b.score, 1e-9) << "seed " << seed;
+    EXPECT_LE(b.gain_calls, a.gain_calls) << "lazy should evaluate less";
+  }
+}
+
+TEST(Greedy, ExplicitPoolRespected) {
+  graph::Graph g = graph::MakeCycle(30);
+  GreedyOptions options;
+  options.pool = {3, 7, 11};
+  GreedyResult r = GreedyGroupMaximization(g, 2, options);
+  EXPECT_EQ(r.pool_size, 3u);
+  for (graph::VertexId v : r.group) {
+    EXPECT_TRUE(v == 3 || v == 7 || v == 11);
+  }
+}
+
+TEST(Greedy, KClampedToPool) {
+  graph::Graph g = graph::MakeClique(5);
+  GreedyResult r = BaseGC(g, 10);
+  EXPECT_EQ(r.group.size(), 5u);
+}
+
+TEST(Greedy, GreedyBeatsRandomGroup) {
+  graph::Graph g = graph::MakeChungLuPowerLaw(400, 2.5, 6, 8);
+  GreedyResult r = BaseGC(g, 5);
+  std::vector<graph::VertexId> random_group = {1, 2, 3, 4, 5};
+  EXPECT_GE(r.score, GroupCloseness(g, random_group));
+}
+
+}  // namespace
+}  // namespace nsky::centrality

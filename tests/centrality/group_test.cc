@@ -1,0 +1,88 @@
+#include "centrality/group_centrality.h"
+
+#include <gtest/gtest.h>
+
+#include "centrality/bfs.h"
+#include "graph/generators.h"
+
+namespace nsky::centrality {
+namespace {
+
+TEST(GroupCloseness, SingletonMatchesVertexDefinition) {
+  graph::Graph g = graph::MakeStar(10);
+  std::vector<graph::VertexId> s = {0};
+  // GC({0}) = n / sum of d(v, {0}) = 10 / 9.
+  EXPECT_DOUBLE_EQ(GroupCloseness(g, s), 10.0 / 9.0);
+}
+
+TEST(GroupCloseness, WholePathPair) {
+  graph::Graph g = graph::MakePath(6);
+  std::vector<graph::VertexId> s = {1, 4};
+  // Distances of 0,2,3,5 to {1,4}: 1,1,1,1 -> GC = 6/4.
+  EXPECT_DOUBLE_EQ(GroupCloseness(g, s), 6.0 / 4.0);
+}
+
+TEST(GroupCloseness, EmptyGroupIsZero) {
+  graph::Graph g = graph::MakeCycle(5);
+  EXPECT_DOUBLE_EQ(GroupCloseness(g, {}), 0.0);
+}
+
+TEST(GroupCloseness, GrowingGroupNeverHurts) {
+  graph::Graph g = graph::MakeErdosRenyi(80, 0.06, 3);
+  std::vector<graph::VertexId> s = {5};
+  double prev = GroupCloseness(g, s);
+  for (graph::VertexId v : {12u, 33u, 60u}) {
+    s.push_back(v);
+    double cur = GroupCloseness(g, s);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(GroupCloseness, DisconnectedCapApplied) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}});
+  std::vector<graph::VertexId> s = {0};
+  // d(1)=1, d(2)=d(3)=cap=4 -> GC = 4/9.
+  EXPECT_DOUBLE_EQ(GroupCloseness(g, s), 4.0 / 9.0);
+}
+
+TEST(GroupHarmonic, SingletonStarCenter) {
+  graph::Graph g = graph::MakeStar(10);
+  std::vector<graph::VertexId> s = {0};
+  EXPECT_DOUBLE_EQ(GroupHarmonic(g, s), 9.0);
+}
+
+TEST(GroupHarmonic, PairOnPath) {
+  graph::Graph g = graph::MakePath(6);
+  std::vector<graph::VertexId> s = {1, 4};
+  EXPECT_DOUBLE_EQ(GroupHarmonic(g, s), 4.0);
+}
+
+TEST(GroupHarmonic, EmptyGroupIsZero) {
+  EXPECT_DOUBLE_EQ(GroupHarmonic(graph::MakeCycle(4), {}), 0.0);
+}
+
+TEST(FromDistances, AgreesWithDirectEvaluation) {
+  graph::Graph g = graph::MakeErdosRenyi(100, 0.05, 9);
+  std::vector<graph::VertexId> s = {1, 50, 99};
+  std::vector<uint32_t> dist;
+  MultiSourceBfs(g, s, &dist);
+  std::vector<uint8_t> in_group(g.NumVertices(), 0);
+  for (auto v : s) in_group[v] = 1;
+  EXPECT_DOUBLE_EQ(
+      GroupClosenessFromDistances(dist, in_group, g.NumVertices()),
+      GroupCloseness(g, s));
+  EXPECT_DOUBLE_EQ(
+      GroupHarmonicFromDistances(dist, in_group, g.NumVertices()),
+      GroupHarmonic(g, s));
+}
+
+TEST(GroupCentrality, FullGroupDegenerate) {
+  graph::Graph g = graph::MakeClique(4);
+  std::vector<graph::VertexId> s = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(GroupCloseness(g, s), 0.0);  // nobody outside
+  EXPECT_DOUBLE_EQ(GroupHarmonic(g, s), 0.0);
+}
+
+}  // namespace
+}  // namespace nsky::centrality

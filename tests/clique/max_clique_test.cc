@@ -1,0 +1,114 @@
+#include "clique/max_clique.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::clique {
+namespace {
+
+using graph::Graph;
+
+TEST(IsClique, Basics) {
+  Graph g = graph::MakeClique(5);
+  std::vector<graph::VertexId> all = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(IsClique(g, all));
+  Graph path = graph::MakePath(4);
+  std::vector<graph::VertexId> not_clique = {0, 1, 2};
+  EXPECT_FALSE(IsClique(path, not_clique));
+  EXPECT_TRUE(IsClique(path, std::vector<graph::VertexId>{1, 2}));
+  EXPECT_TRUE(IsClique(path, std::vector<graph::VertexId>{3}));
+  EXPECT_TRUE(IsClique(path, std::vector<graph::VertexId>{}));
+}
+
+TEST(BruteForceMaxClique, KnownGraphs) {
+  EXPECT_EQ(BruteForceMaxClique(graph::MakeClique(6)).size(), 6u);
+  EXPECT_EQ(BruteForceMaxClique(graph::MakeCycle(7)).size(), 2u);
+  EXPECT_EQ(BruteForceMaxClique(graph::MakeCycle(3)).size(), 3u);
+  EXPECT_EQ(BruteForceMaxClique(graph::MakeCompleteBinaryTree(3)).size(), 2u);
+  EXPECT_EQ(BruteForceMaxClique(Graph::FromEdges(3, {})).size(), 1u);
+  EXPECT_TRUE(BruteForceMaxClique(Graph::FromEdges(0, {})).empty());
+}
+
+TEST(HeuristicClique, ReturnsARealClique) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = graph::MakeErdosRenyi(60, 0.25, seed);
+    auto h = HeuristicClique(g);
+    EXPECT_FALSE(h.empty());
+    EXPECT_TRUE(IsClique(g, h));
+  }
+}
+
+TEST(HeuristicClique, FindsPlantedClique) {
+  // Caveman graphs have their caves as maximum cliques.
+  Graph g = graph::MakeCaveman(4, 6);
+  auto h = HeuristicClique(g);
+  EXPECT_EQ(h.size(), 6u);
+}
+
+TEST(MaxClique, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Graph g = graph::MakeErdosRenyi(35, 0.35, seed);
+    CliqueResult r = MaxClique(g);
+    EXPECT_TRUE(IsClique(g, r.clique));
+    EXPECT_EQ(r.clique.size(), BruteForceMaxClique(g).size())
+        << "seed " << seed;
+  }
+}
+
+TEST(MaxClique, MatchesBruteForceOnPowerLaw) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = graph::MakeChungLuPowerLaw(80, 2.3, 8, seed);
+    CliqueResult r = MaxClique(g);
+    EXPECT_TRUE(IsClique(g, r.clique));
+    EXPECT_EQ(r.clique.size(), BruteForceMaxClique(g).size())
+        << "seed " << seed;
+  }
+}
+
+TEST(MaxClique, StructuredGraphs) {
+  EXPECT_EQ(MaxClique(graph::MakeClique(10)).clique.size(), 10u);
+  EXPECT_EQ(MaxClique(graph::MakeCycle(9)).clique.size(), 2u);
+  EXPECT_EQ(MaxClique(graph::MakeCaveman(3, 7)).clique.size(), 7u);
+  EXPECT_EQ(MaxClique(graph::MakeGrid(4, 4)).clique.size(), 2u);
+  EXPECT_EQ(MaxClique(Graph::FromEdges(0, {})).clique.size(), 0u);
+  EXPECT_EQ(MaxClique(Graph::FromEdges(5, {})).clique.size(), 1u);
+}
+
+TEST(MaxCliqueSeeded, AllSeedsMatchesMaxClique) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = graph::MakeErdosRenyi(40, 0.3, seed);
+    std::vector<graph::VertexId> all(g.NumVertices());
+    for (graph::VertexId u = 0; u < g.NumVertices(); ++u) all[u] = u;
+    CliqueResult seeded = MaxCliqueSeeded(g, all);
+    EXPECT_EQ(seeded.clique.size(), MaxClique(g).clique.size())
+        << "seed " << seed;
+    EXPECT_TRUE(IsClique(g, seeded.clique));
+  }
+}
+
+TEST(MaxCliqueSeeded, IncumbentReturnedWhenSeedsCannotBeat) {
+  Graph g = graph::MakeCaveman(3, 5);
+  // Seed only from a low-degree bridge region with a maximum incumbent.
+  std::vector<graph::VertexId> weak_seeds = {0};
+  std::vector<graph::VertexId> incumbent = {0, 1, 2, 3, 4};  // a cave
+  CliqueResult r = MaxCliqueSeeded(g, weak_seeds, incumbent);
+  EXPECT_EQ(r.clique.size(), 5u);
+}
+
+TEST(MaxCliqueSeeded, EmptySeedsReturnIncumbent) {
+  Graph g = graph::MakeClique(4);
+  std::vector<graph::VertexId> incumbent = {1, 2};
+  CliqueResult r = MaxCliqueSeeded(g, {}, incumbent);
+  EXPECT_EQ(r.clique, incumbent);
+}
+
+TEST(MaxClique, BranchCounterMoves) {
+  Graph g = graph::MakeErdosRenyi(50, 0.3, 2);
+  CliqueResult r = MaxClique(g);
+  EXPECT_GT(r.branches, 0u);
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace nsky::clique

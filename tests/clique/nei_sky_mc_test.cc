@@ -1,0 +1,80 @@
+#include "clique/nei_sky_mc.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "clique/max_clique.h"
+#include "core/domination.h"
+#include "core/filter_refine_sky.h"
+#include "graph/generators.h"
+
+namespace nsky::clique {
+namespace {
+
+using graph::Graph;
+
+TEST(NeiSkyMC, MatchesBaseMccOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Graph g = graph::MakeErdosRenyi(40, 0.3, seed);
+    NeiSkyMcResult pruned = NeiSkyMC(g);
+    CliqueResult base = MaxClique(g);
+    EXPECT_TRUE(IsClique(g, pruned.clique.clique));
+    EXPECT_EQ(pruned.clique.clique.size(), base.clique.size())
+        << "seed " << seed;
+  }
+}
+
+TEST(NeiSkyMC, MatchesBaseMccOnPowerLaw) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = graph::MakeChungLuPowerLaw(120, 2.4, 8, seed);
+    NeiSkyMcResult pruned = NeiSkyMC(g);
+    EXPECT_EQ(pruned.clique.clique.size(), MaxClique(g).clique.size())
+        << "seed " << seed;
+  }
+}
+
+TEST(NeiSkyMC, ReportsSkylineMetadata) {
+  Graph g = graph::MakeChungLuPowerLaw(300, 2.3, 7, 3);
+  NeiSkyMcResult r = NeiSkyMC(g);
+  EXPECT_GT(r.skyline_size, 0u);
+  EXPECT_LT(r.skyline_size, g.NumVertices());
+  EXPECT_GE(r.total_seconds, r.skyline_seconds);
+}
+
+TEST(Lemma5, SomeMaximumCliqueIntersectsSkyline) {
+  // The correctness basis of NeiSkyMC: swapping any member for its terminal
+  // dominator yields a maximum clique meeting R.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = graph::MakeErdosRenyi(35, 0.3, seed);
+    auto skyline = core::FilterRefineSky(g).skyline;
+    size_t max_size = BruteForceMaxClique(g).size();
+    // Search: does a maximum clique containing a skyline vertex exist?
+    // NeiSkyMC's seeded search with a zero incumbent answers exactly that.
+    CliqueResult r = MaxCliqueSeeded(g, skyline);
+    EXPECT_EQ(r.clique.size(), max_size) << "seed " << seed;
+  }
+}
+
+TEST(Lemma6, DominatedVertexCliqueNeverLarger) {
+  // |MC(v)| <= |MC(u)| when v <= u: check via per-vertex seeded searches.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::MakeErdosRenyi(25, 0.35, seed);
+    auto mc_size = [&](graph::VertexId s) {
+      std::vector<graph::VertexId> seeds = {s};
+      return MaxCliqueSeeded(g, seeds).clique.size();
+    };
+    for (auto [u, v] : core::AllDominationPairs(g)) {
+      EXPECT_LE(mc_size(v), mc_size(u))
+          << "v=" << v << " u=" << u << " seed=" << seed;
+    }
+  }
+}
+
+TEST(NeiSkyMC, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(NeiSkyMC(Graph::FromEdges(0, {})).clique.clique.empty());
+  EXPECT_EQ(NeiSkyMC(Graph::FromEdges(4, {})).clique.clique.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nsky::clique

@@ -1,0 +1,92 @@
+#include "clique/topk.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "clique/max_clique.h"
+#include "graph/generators.h"
+
+namespace nsky::clique {
+namespace {
+
+using graph::Graph;
+
+void CheckDisjointCliques(const Graph& g, const TopkCliquesResult& r) {
+  std::vector<graph::VertexId> used;
+  for (const auto& clique : r.cliques) {
+    EXPECT_TRUE(IsClique(g, clique));
+    for (graph::VertexId v : clique) {
+      EXPECT_TRUE(std::find(used.begin(), used.end(), v) == used.end())
+          << "vertex " << v << " reused across cliques";
+      used.push_back(v);
+    }
+  }
+}
+
+TEST(BaseTopkMCC, CavemanPicksTheCaves) {
+  Graph g = graph::MakeCaveman(4, 6);
+  TopkCliquesResult r = BaseTopkMCC(g, 4);
+  ASSERT_EQ(r.cliques.size(), 4u);
+  for (const auto& c : r.cliques) EXPECT_EQ(c.size(), 6u);
+  CheckDisjointCliques(g, r);
+}
+
+TEST(BaseTopkMCC, SizesNonIncreasing) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::MakeErdosRenyi(60, 0.2, seed);
+    TopkCliquesResult r = BaseTopkMCC(g, 5);
+    for (size_t i = 1; i < r.cliques.size(); ++i) {
+      EXPECT_LE(r.cliques[i].size(), r.cliques[i - 1].size());
+    }
+    CheckDisjointCliques(g, r);
+  }
+}
+
+TEST(BaseTopkMCC, FirstCliqueIsMaximum) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::MakeErdosRenyi(40, 0.3, seed);
+    TopkCliquesResult r = BaseTopkMCC(g, 1);
+    ASSERT_EQ(r.cliques.size(), 1u);
+    EXPECT_EQ(r.cliques[0].size(), BruteForceMaxClique(g).size());
+  }
+}
+
+TEST(NeiSkyTopkMCC, MatchesBaseSizes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = graph::MakeChungLuPowerLaw(100, 2.4, 8, seed);
+    TopkCliquesResult base = BaseTopkMCC(g, 4);
+    TopkCliquesResult pruned = NeiSkyTopkMCC(g, 4);
+    ASSERT_EQ(base.cliques.size(), pruned.cliques.size()) << "seed " << seed;
+    for (size_t i = 0; i < base.cliques.size(); ++i) {
+      EXPECT_EQ(base.cliques[i].size(), pruned.cliques[i].size())
+          << "round " << i << " seed " << seed;
+    }
+    CheckDisjointCliques(g, pruned);
+  }
+}
+
+TEST(NeiSkyTopkMCC, SkylineTimeAccounted) {
+  Graph g = graph::MakeChungLuPowerLaw(200, 2.4, 7, 2);
+  TopkCliquesResult r = NeiSkyTopkMCC(g, 3);
+  EXPECT_GT(r.skyline_seconds, 0.0);
+  EXPECT_GE(r.total_seconds, r.skyline_seconds);
+}
+
+TEST(TopkMCC, KLargerThanGraph) {
+  Graph g = graph::MakeClique(5);
+  TopkCliquesResult r = BaseTopkMCC(g, 10);
+  // First round removes the whole clique; nothing remains.
+  ASSERT_EQ(r.cliques.size(), 1u);
+  EXPECT_EQ(r.cliques[0].size(), 5u);
+}
+
+TEST(TopkMCC, EdgelessGraphYieldsSingletons) {
+  Graph g = Graph::FromEdges(3, {});
+  TopkCliquesResult r = BaseTopkMCC(g, 3);
+  ASSERT_EQ(r.cliques.size(), 3u);
+  for (const auto& c : r.cliques) EXPECT_EQ(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nsky::clique

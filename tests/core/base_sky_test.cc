@@ -1,0 +1,85 @@
+#include "core/base_sky.h"
+
+#include <gtest/gtest.h>
+
+#include "core/domination.h"
+#include "graph/generators.h"
+
+namespace nsky::core {
+namespace {
+
+using graph::Graph;
+
+TEST(BaseSky, EmptyGraph) {
+  SkylineResult r = BaseSky(Graph::FromEdges(0, {}));
+  EXPECT_TRUE(r.skyline.empty());
+}
+
+TEST(BaseSky, SingleVertex) {
+  SkylineResult r = BaseSky(Graph::FromEdges(1, {}));
+  EXPECT_EQ(r.skyline, (std::vector<graph::VertexId>{0}));
+}
+
+TEST(BaseSky, K2MutualPair) {
+  SkylineResult r = BaseSky(Graph::FromEdges(2, {{0, 1}}));
+  // Mutual inclusion; the smaller id survives.
+  EXPECT_EQ(r.skyline, (std::vector<graph::VertexId>{0}));
+  EXPECT_EQ(r.dominator[1], 0u);
+}
+
+TEST(BaseSky, StarCenterSurvives) {
+  SkylineResult r = BaseSky(graph::MakeStar(8));
+  EXPECT_EQ(r.skyline, (std::vector<graph::VertexId>{0}));
+  for (graph::VertexId leaf = 1; leaf < 8; ++leaf) {
+    EXPECT_NE(r.dominator[leaf], leaf);
+  }
+}
+
+TEST(BaseSky, DominatorArrayConsistentWithSkyline) {
+  Graph g = graph::MakeChungLuPowerLaw(300, 2.3, 6, 17);
+  SkylineResult r = BaseSky(g);
+  for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+    bool in_skyline = std::binary_search(r.skyline.begin(), r.skyline.end(), u);
+    EXPECT_EQ(in_skyline, r.dominator[u] == u);
+  }
+}
+
+TEST(BaseSky, RecordedDominatorsActuallyDominate) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::MakeErdosRenyi(100, 0.06, seed);
+    SkylineResult r = BaseSky(g);
+    for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+      if (r.dominator[u] != u) {
+        EXPECT_TRUE(Dominates(g, r.dominator[u], u))
+            << r.dominator[u] << " recorded as dominator of " << u;
+      }
+    }
+  }
+}
+
+TEST(BaseSky, MatchesBruteForce) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = graph::MakeErdosRenyi(120, 0.05, seed);
+    EXPECT_EQ(BaseSky(g).skyline, BruteForceSkyline(g).skyline)
+        << "seed " << seed;
+  }
+}
+
+TEST(BaseSky, StatsPopulated) {
+  Graph g = graph::MakeErdosRenyi(200, 0.05, 1);
+  SkylineResult r = BaseSky(g);
+  EXPECT_GT(r.stats.pairs_examined, 0u);
+  EXPECT_GT(r.stats.aux_peak_bytes, 0u);
+  EXPECT_GE(r.stats.seconds, 0.0);
+}
+
+TEST(BaseSky, IsolatedVerticesSurvive) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}});
+  SkylineResult r = BaseSky(g);
+  for (graph::VertexId u : {3u, 4u, 5u}) {
+    EXPECT_TRUE(std::binary_search(r.skyline.begin(), r.skyline.end(), u));
+  }
+}
+
+}  // namespace
+}  // namespace nsky::core

@@ -1,0 +1,109 @@
+#include "core/bloom.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::vector<uint8_t> AllMembers(const Graph& g) {
+  return std::vector<uint8_t>(g.NumVertices(), 1);
+}
+
+bool OpenSubset(const Graph& g, VertexId u, VertexId w) {
+  auto nu = g.Neighbors(u);
+  auto nw = g.Neighbors(w);
+  return std::includes(nw.begin(), nw.end(), nu.begin(), nu.end());
+}
+
+TEST(ChooseBits, PowerOfTwoAndClamped) {
+  EXPECT_EQ(NeighborhoodBlooms::ChooseBits(0), 64u);
+  EXPECT_EQ(NeighborhoodBlooms::ChooseBits(10, 2), 64u);
+  EXPECT_EQ(NeighborhoodBlooms::ChooseBits(100, 2), 256u);
+  EXPECT_EQ(NeighborhoodBlooms::ChooseBits(1000, 2), 2048u);
+  uint32_t big = NeighborhoodBlooms::ChooseBits(10'000'000, 4);
+  EXPECT_EQ(big, 1u << 20);  // clamp
+}
+
+TEST(Blooms, MembershipBitsNeverFalseNegative) {
+  Graph g = graph::MakeErdosRenyi(100, 0.08, 3);
+  NeighborhoodBlooms blooms(g, AllMembers(g), 256);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      EXPECT_TRUE(blooms.TestBit(u, v))
+          << "neighbor " << v << " missing from BF(" << u << ")";
+    }
+  }
+}
+
+TEST(Blooms, SubsetTestNeverFalseNegative) {
+  // If N(u) really is a subset of N(w), the filter test must pass.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::MakeErdosRenyi(60, 0.15, seed);
+    NeighborhoodBlooms blooms(g, AllMembers(g), 128);
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (VertexId w = 0; w < g.NumVertices(); ++w) {
+        if (u == w) continue;
+        if (OpenSubset(g, u, w)) {
+          EXPECT_TRUE(blooms.SubsetTest(u, w)) << u << " vs " << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(Blooms, SubsetTestRejectsMostNonSubsets) {
+  Graph g = graph::MakeErdosRenyi(200, 0.05, 5);
+  NeighborhoodBlooms blooms(g, AllMembers(g),
+                            NeighborhoodBlooms::ChooseBits(g.MaxDegree(), 4));
+  uint64_t non_subsets = 0, false_positives = 0;
+  for (VertexId u = 0; u < 50; ++u) {
+    for (VertexId w = 0; w < g.NumVertices(); ++w) {
+      if (u == w || g.Degree(u) == 0) continue;
+      if (!OpenSubset(g, u, w)) {
+        ++non_subsets;
+        false_positives += blooms.SubsetTest(u, w);
+      }
+    }
+  }
+  ASSERT_GT(non_subsets, 0u);
+  // The one-hash filter is coarse but must reject the vast majority.
+  EXPECT_LT(static_cast<double>(false_positives),
+            0.2 * static_cast<double>(non_subsets));
+}
+
+TEST(Blooms, ClosedSubsetAllowsDominatorOwnBit) {
+  // Adjacent dominator: N(u) = {w, x} subset of N[w]; the open test may
+  // fail (w not in N(w)) but the closed test must pass.
+  Graph g = graph::Graph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  NeighborhoodBlooms blooms(g, AllMembers(g), 64);
+  // N(0) = {1, 2}, N[1] = {0, 1, 2}: closed containment through bit of 1.
+  EXPECT_TRUE(blooms.SubsetTestClosed(0, 1));
+}
+
+TEST(Blooms, MemberSlotsOnlyForMembers) {
+  Graph g = graph::MakeErdosRenyi(50, 0.1, 7);
+  std::vector<uint8_t> member(g.NumVertices(), 0);
+  member[3] = member[10] = 1;
+  NeighborhoodBlooms blooms(g, member, 64);
+  EXPECT_TRUE(blooms.Has(3));
+  EXPECT_TRUE(blooms.Has(10));
+  EXPECT_FALSE(blooms.Has(0));
+  EXPECT_FALSE(blooms.Has(49));
+}
+
+TEST(Blooms, MemoryScalesWithMembersAndBits) {
+  Graph g = graph::MakeErdosRenyi(100, 0.05, 9);
+  NeighborhoodBlooms small(g, AllMembers(g), 64);
+  NeighborhoodBlooms big(g, AllMembers(g), 1024);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace nsky::core

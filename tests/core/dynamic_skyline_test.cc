@@ -1,0 +1,134 @@
+#include "core/dynamic_skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/filter_refine_sky.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace nsky::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// The differential check: the maintained skyline always equals the
+// recomputed one.
+void ExpectConsistent(const DynamicSkyline& dyn) {
+  EXPECT_EQ(dyn.Skyline(), FilterRefineSky(dyn.ToGraph()).skyline);
+}
+
+TEST(DynamicSkyline, EmptyGraphAllSkyline) {
+  DynamicSkyline dyn(5);
+  EXPECT_EQ(dyn.Skyline().size(), 5u);
+  EXPECT_EQ(dyn.NumEdges(), 0u);
+}
+
+TEST(DynamicSkyline, SingleEdgeCreatesMutualPair) {
+  DynamicSkyline dyn(4);
+  EXPECT_TRUE(dyn.AddEdge(1, 2));
+  // K2: smaller id dominates; isolated 0, 3 stay.
+  EXPECT_EQ(dyn.Skyline(), (std::vector<VertexId>{0, 1, 3}));
+  ExpectConsistent(dyn);
+}
+
+TEST(DynamicSkyline, DuplicateAndSelfEdgesRejected) {
+  DynamicSkyline dyn(3);
+  EXPECT_TRUE(dyn.AddEdge(0, 1));
+  EXPECT_FALSE(dyn.AddEdge(0, 1));
+  EXPECT_FALSE(dyn.AddEdge(1, 0));
+  EXPECT_FALSE(dyn.AddEdge(2, 2));
+  EXPECT_EQ(dyn.NumEdges(), 1u);
+}
+
+TEST(DynamicSkyline, RemoveRestoresPreviousState) {
+  DynamicSkyline dyn(4);
+  dyn.AddEdge(0, 1);
+  dyn.AddEdge(1, 2);
+  auto before = dyn.Skyline();
+  dyn.AddEdge(2, 3);
+  EXPECT_TRUE(dyn.RemoveEdge(2, 3));
+  EXPECT_EQ(dyn.Skyline(), before);
+  EXPECT_FALSE(dyn.RemoveEdge(2, 3));  // already gone
+  ExpectConsistent(dyn);
+}
+
+TEST(DynamicSkyline, SeededFromExistingGraph) {
+  Graph g = graph::MakeSocialGraph(300, 6.0, 0.5, 0.4, 3, 0.3);
+  DynamicSkyline dyn(g);
+  EXPECT_EQ(dyn.Skyline(), FilterRefineSky(g).skyline);
+  EXPECT_EQ(dyn.NumEdges(), g.NumEdges());
+}
+
+TEST(DynamicSkyline, StarGrowsIncrementally) {
+  DynamicSkyline dyn(8);
+  for (VertexId leaf = 1; leaf < 8; ++leaf) {
+    dyn.AddEdge(0, leaf);
+    ExpectConsistent(dyn);
+  }
+  EXPECT_EQ(dyn.Skyline(), (std::vector<VertexId>{0}));
+}
+
+TEST(DynamicSkyline, RandomInsertionStream) {
+  const VertexId n = 60;
+  DynamicSkyline dyn(n);
+  util::Rng rng(7);
+  for (int step = 0; step < 250; ++step) {
+    VertexId u = static_cast<VertexId>(rng.NextUint64(n));
+    VertexId v = static_cast<VertexId>(rng.NextUint64(n));
+    if (u == v) continue;
+    dyn.AddEdge(u, v);
+    if (step % 10 == 0) ExpectConsistent(dyn);
+  }
+  ExpectConsistent(dyn);
+  EXPECT_GT(dyn.total_rechecks(), 0u);
+}
+
+TEST(DynamicSkyline, RandomMixedStream) {
+  const VertexId n = 50;
+  DynamicSkyline dyn(n);
+  util::Rng rng(13);
+  std::vector<std::pair<VertexId, VertexId>> live_edges;
+  for (int step = 0; step < 300; ++step) {
+    bool remove = !live_edges.empty() && rng.NextBool(0.35);
+    if (remove) {
+      size_t i = rng.NextUint64(live_edges.size());
+      auto [u, v] = live_edges[i];
+      EXPECT_TRUE(dyn.RemoveEdge(u, v));
+      live_edges.erase(live_edges.begin() + static_cast<int64_t>(i));
+    } else {
+      VertexId u = static_cast<VertexId>(rng.NextUint64(n));
+      VertexId v = static_cast<VertexId>(rng.NextUint64(n));
+      if (u == v || dyn.HasEdge(u, v)) continue;
+      EXPECT_TRUE(dyn.AddEdge(u, v));
+      live_edges.emplace_back(u, v);
+    }
+    if (step % 7 == 0) ExpectConsistent(dyn);
+  }
+  ExpectConsistent(dyn);
+}
+
+TEST(DynamicSkyline, TearDownToEmpty) {
+  Graph g = graph::MakeErdosRenyi(30, 0.2, 5);
+  DynamicSkyline dyn(g);
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_TRUE(dyn.RemoveEdge(u, v));
+  }
+  EXPECT_EQ(dyn.NumEdges(), 0u);
+  // All vertices isolated again -> all skyline.
+  EXPECT_EQ(dyn.Skyline().size(), 30u);
+}
+
+TEST(DynamicSkyline, ToGraphRoundTrip) {
+  Graph g = graph::MakeBarabasiAlbert(100, 3, 9);
+  DynamicSkyline dyn(g);
+  Graph back = dyn.ToGraph();
+  EXPECT_EQ(back.NumVertices(), g.NumVertices());
+  EXPECT_EQ(back.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) EXPECT_TRUE(back.HasEdge(u, v));
+  }
+}
+
+}  // namespace
+}  // namespace nsky::core

@@ -1,0 +1,88 @@
+// Property suite: every skyline solver in the library agrees with the
+// brute-force oracle on every graph family and seed, and the structural
+// invariants (Lemma 1, degree monotonicity) hold.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/nsky.h"
+#include "setjoin/skyline_via_join.h"
+#include "testing/fixtures.h"
+
+namespace nsky::core {
+namespace {
+
+using nsky::testing::GraphCase;
+using nsky::testing::GraphCaseName;
+using nsky::testing::PropertySeeds;
+using nsky::testing::SmallGraphCases;
+
+class SkylineEquivalence : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(SkylineEquivalence, AllSolversMatchBruteForce) {
+  for (uint64_t seed : PropertySeeds()) {
+    graph::Graph g = GetParam().make(seed);
+    SkylineResult oracle = BruteForceSkyline(g);
+    EXPECT_EQ(BaseSky(g).skyline, oracle.skyline) << "BaseSky seed " << seed;
+    EXPECT_EQ(FilterRefineSky(g).skyline, oracle.skyline)
+        << "FilterRefineSky seed " << seed;
+    EXPECT_EQ(Base2Hop(g).skyline, oracle.skyline) << "Base2Hop seed " << seed;
+    EXPECT_EQ(BaseCSet(g).skyline, oracle.skyline) << "BaseCSet seed " << seed;
+    EXPECT_EQ(setjoin::SkylineViaJoin(
+                  g, setjoin::JoinAlgorithm::kListCrosscutting)
+                  .skyline,
+              oracle.skyline)
+        << "SkylineViaJoin(LC) seed " << seed;
+    EXPECT_EQ(
+        setjoin::SkylineViaJoin(g, setjoin::JoinAlgorithm::kInvertedIndex)
+            .skyline,
+        oracle.skyline)
+        << "SkylineViaJoin(II) seed " << seed;
+  }
+}
+
+TEST_P(SkylineEquivalence, Lemma1CandidatesContainSkyline) {
+  for (uint64_t seed : PropertySeeds()) {
+    graph::Graph g = GetParam().make(seed);
+    auto candidates = FilterPhase(g).skyline;
+    auto skyline = FilterRefineSky(g).skyline;
+    EXPECT_TRUE(std::includes(candidates.begin(), candidates.end(),
+                              skyline.begin(), skyline.end()))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(SkylineEquivalence, SkylineNeverEmptyOnNonEmptyGraph) {
+  for (uint64_t seed : PropertySeeds()) {
+    graph::Graph g = GetParam().make(seed);
+    if (g.NumVertices() == 0) continue;
+    // Domination is a partial order on mutual-classes; a maximal element
+    // always exists.
+    EXPECT_FALSE(FilterRefineSky(g).skyline.empty());
+  }
+}
+
+TEST_P(SkylineEquivalence, SkylineContainsAMaximumDegreeVertex) {
+  for (uint64_t seed : PropertySeeds()) {
+    graph::Graph g = GetParam().make(seed);
+    if (g.NumEdges() == 0) continue;
+    // A vertex of maximum degree can only be dominated by another vertex of
+    // maximum degree (degree monotonicity), so at least one survives.
+    auto skyline = FilterRefineSky(g).skyline;
+    bool found = false;
+    for (graph::VertexId u : skyline) {
+      if (g.Degree(u) == g.MaxDegree()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no max-degree vertex in skyline, seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphFamilies, SkylineEquivalence,
+                         ::testing::ValuesIn(SmallGraphCases()),
+                         GraphCaseName);
+
+}  // namespace
+}  // namespace nsky::core

@@ -1,0 +1,94 @@
+#include "core/filter_phase.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/domination.h"
+#include "graph/generators.h"
+
+namespace nsky::core {
+namespace {
+
+using graph::Graph;
+
+TEST(FilterPhase, MatchesBruteForceCandidates) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = graph::MakeErdosRenyi(100, 0.08, seed);
+    EXPECT_EQ(FilterPhase(g).skyline, BruteForceCandidates(g).skyline)
+        << "seed " << seed;
+  }
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::MakeChungLuPowerLaw(250, 2.3, 6, seed);
+    EXPECT_EQ(FilterPhase(g).skyline, BruteForceCandidates(g).skyline)
+        << "powerlaw seed " << seed;
+  }
+}
+
+TEST(FilterPhase, Lemma1SkylineSubsetOfCandidates) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = graph::MakeBarabasiAlbert(200, 3, seed);
+    auto candidates = FilterPhase(g).skyline;
+    auto skyline = BruteForceSkyline(g).skyline;
+    EXPECT_TRUE(std::includes(candidates.begin(), candidates.end(),
+                              skyline.begin(), skyline.end()))
+        << "seed " << seed;
+  }
+}
+
+TEST(FilterPhase, CliqueKeepsOnlySmallestId) {
+  // In a clique all closed neighborhoods are equal: vertex 0 dominates all.
+  SkylineResult r = FilterPhase(graph::MakeClique(9));
+  EXPECT_EQ(r.skyline, (std::vector<graph::VertexId>{0}));
+  EXPECT_EQ(r.stats.candidate_count, 1u);
+}
+
+TEST(FilterPhase, PendantsAreFiltered) {
+  // Every pendant's closed neighborhood is inside its neighbor's.
+  Graph g = graph::MakeStar(10);
+  SkylineResult r = FilterPhase(g);
+  EXPECT_EQ(r.skyline, (std::vector<graph::VertexId>{0}));
+}
+
+TEST(FilterPhase, CycleKeepsEverything) {
+  // On a cycle of length >= 5, no closed neighborhood contains another.
+  SkylineResult r = FilterPhase(graph::MakeCycle(8));
+  EXPECT_EQ(r.skyline.size(), 8u);
+}
+
+TEST(FilterPhase, CandidateCountMatchesSkylineField) {
+  Graph g = graph::MakeErdosRenyi(150, 0.05, 9);
+  SkylineResult r = FilterPhase(g);
+  EXPECT_EQ(r.stats.candidate_count, r.skyline.size());
+}
+
+TEST(FilterPhase, RecordedDominatorsEdgeConstrainedDominate) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::MakeChungLuPowerLaw(200, 2.5, 7, seed);
+    SkylineResult r = FilterPhase(g);
+    for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+      if (r.dominator[u] != u) {
+        EXPECT_TRUE(EdgeConstrainedDominates(g, r.dominator[u], u));
+        EXPECT_TRUE(g.HasEdge(u, r.dominator[u]));
+      }
+    }
+  }
+}
+
+TEST(FilterPhase, IsolatedVerticesAreCandidates) {
+  Graph g = Graph::FromEdges(5, {{0, 1}});
+  SkylineResult r = FilterPhase(g);
+  for (graph::VertexId u : {2u, 3u, 4u}) {
+    EXPECT_TRUE(std::binary_search(r.skyline.begin(), r.skyline.end(), u));
+  }
+}
+
+TEST(FilterPhase, DegreePruneCounterMoves) {
+  Graph g = graph::MakeStar(20);
+  SkylineResult r = FilterPhase(g);
+  // The center examines 19 leaves, all with smaller degree.
+  EXPECT_GT(r.stats.degree_prunes, 0u);
+}
+
+}  // namespace
+}  // namespace nsky::core

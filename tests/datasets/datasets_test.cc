@@ -1,0 +1,122 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/filter_refine_sky.h"
+#include "datasets/bombing.h"
+#include "datasets/karate.h"
+#include "datasets/registry.h"
+#include "graph/stats.h"
+
+namespace nsky::datasets {
+namespace {
+
+TEST(Karate, CanonicalStatistics) {
+  graph::Graph g = MakeKarateClub();
+  EXPECT_EQ(g.NumVertices(), 34u);
+  EXPECT_EQ(g.NumEdges(), 78u);
+  // Instructor (0) and administrator (33) are the two hubs.
+  EXPECT_EQ(g.Degree(0), 16u);
+  EXPECT_EQ(g.Degree(33), 17u);
+  EXPECT_EQ(g.MaxDegree(), 17u);
+  // The network is connected.
+  graph::GraphStats s = graph::ComputeStats(g);
+  EXPECT_EQ(s.num_components, 1u);
+}
+
+TEST(Karate, KnownAdjacencies) {
+  graph::Graph g = MakeKarateClub();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(32, 33));
+  EXPECT_FALSE(g.HasEdge(0, 33));  // the two leaders are not directly linked
+}
+
+TEST(Bombing, SurrogateSizeContract) {
+  graph::Graph g = MakeBombingSurrogate();
+  EXPECT_EQ(g.NumVertices(), 64u);
+  EXPECT_EQ(g.NumEdges(), 243u);
+  graph::GraphStats s = graph::ComputeStats(g);
+  EXPECT_EQ(s.num_components, 1u);
+  // Heavy-tailed: hubs well above the ~7.6 average degree.
+  EXPECT_GE(g.MaxDegree(), 15u);
+  // Every suspect keeps at least one contact.
+  for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+    EXPECT_GE(g.Degree(u), 1u);
+  }
+}
+
+TEST(Bombing, Deterministic) {
+  graph::Graph a = MakeBombingSurrogate();
+  graph::Graph b = MakeBombingSurrogate();
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(Registry, AllStandinsListed) {
+  const auto& all = AllStandins();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "notredame");
+  EXPECT_EQ(all[4].name, "dblp");
+  for (const auto& spec : all) {
+    EXPECT_GT(spec.full_n, spec.small_n);
+    EXPECT_GT(spec.avg_degree, 0.0);
+    EXPECT_GE(spec.pendant_fraction, 0.0);
+    EXPECT_LT(spec.pendant_fraction, 1.0);
+    EXPECT_GE(spec.triad_prob, 0.0);
+    EXPECT_LE(spec.triad_prob, 1.0);
+    EXPECT_GT(spec.paper_n, 0u);
+  }
+}
+
+TEST(Registry, FindByName) {
+  auto spec = FindStandin("wikitalk");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().paper_n, 2'394'385u);
+  EXPECT_FALSE(FindStandin("no-such-dataset").ok());
+}
+
+TEST(Registry, MakeStandinScales) {
+  auto full = MakeStandin("dblp", StandinScale::kFull);
+  auto small = MakeStandin("dblp", StandinScale::kSmall);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(full.value().NumVertices(), FindStandin("dblp").value().full_n);
+  EXPECT_EQ(small.value().NumVertices(), FindStandin("dblp").value().small_n);
+  EXPECT_GT(full.value().NumEdges(), small.value().NumEdges());
+}
+
+TEST(Registry, StandinsAreDeterministic) {
+  auto a = MakeStandin("youtube", StandinScale::kSmall);
+  auto b = MakeStandin("youtube", StandinScale::kSmall);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().Edges(), b.value().Edges());
+}
+
+TEST(Registry, AverageDegreeTracksSpec) {
+  // The duplication step adds edges on top of the attachment budget, so the
+  // realized average sits somewhat above avg_degree but within range.
+  for (const char* name : {"notredame", "flixster", "dblp"}) {
+    auto spec = FindStandin(name).value();
+    auto g = MakeStandin(name, StandinScale::kFull).value();
+    double avg = 2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+    EXPECT_GE(avg, spec.avg_degree * 0.9) << name;
+    EXPECT_LE(avg, spec.avg_degree * 1.8) << name;
+  }
+}
+
+TEST(Registry, SkylineRatioOrderingMatchesPaper) {
+  // Fig. 5's key ordering: WikiTalk is by far the most dominated dataset,
+  // DBLP the least. The stand-ins preserve that ordering.
+  auto ratio = [](const char* name) {
+    auto g = MakeStandin(name, StandinScale::kFull).value();
+    return static_cast<double>(core::FilterRefineSky(g).skyline.size()) /
+           g.NumVertices();
+  };
+  double wikitalk = ratio("wikitalk");
+  double dblp = ratio("dblp");
+  EXPECT_LT(wikitalk, dblp);
+  EXPECT_LT(wikitalk, 0.45);
+  EXPECT_LT(dblp, 0.75);
+}
+
+}  // namespace
+}  // namespace nsky::datasets

@@ -1,0 +1,61 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace nsky::graph {
+namespace {
+
+TEST(GraphBuilder, RelabelsInFirstAppearanceOrder) {
+  GraphBuilder b;
+  b.AddEdge(1000, 7);
+  b.AddEdge(7, 42);
+  EXPECT_EQ(b.NumVertices(), 3u);
+  VertexId id = 99;
+  ASSERT_TRUE(b.LookupLabel(1000, &id));
+  EXPECT_EQ(id, 0u);
+  ASSERT_TRUE(b.LookupLabel(7, &id));
+  EXPECT_EQ(id, 1u);
+  ASSERT_TRUE(b.LookupLabel(42, &id));
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(b.LabelOf(0), 1000u);
+  EXPECT_EQ(b.LabelOf(2), 42u);
+}
+
+TEST(GraphBuilder, UnknownLabelLookupFails) {
+  GraphBuilder b;
+  b.AddEdge(1, 2);
+  VertexId id;
+  EXPECT_FALSE(b.LookupLabel(3, &id));
+}
+
+TEST(GraphBuilder, BuildProducesCleanGraph) {
+  GraphBuilder b;
+  b.AddEdge(10, 20);
+  b.AddEdge(20, 10);  // duplicate (reversed)
+  b.AddEdge(30, 30);  // self-loop
+  b.AddEdge(20, 30);
+  EXPECT_EQ(b.NumAddedEdges(), 4u);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphBuilder, LargeSparseLabels) {
+  GraphBuilder b;
+  b.AddEdge(1ull << 60, 5);
+  b.AddEdge(5, 1ull << 61);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);  // label 5 interned second
+}
+
+TEST(GraphBuilder, EmptyBuild) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace nsky::graph

@@ -1,0 +1,124 @@
+#include "graph/cores.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::graph {
+namespace {
+
+// Reference core decomposition: repeatedly peel all vertices of minimum
+// remaining degree.
+std::vector<uint32_t> BruteForceCores(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint32_t> degree(n), core(n, 0);
+  std::vector<bool> removed(n, false);
+  for (VertexId u = 0; u < n; ++u) degree[u] = g.Degree(u);
+  uint32_t running_max = 0;  // core number = max min-degree seen while peeling
+  for (VertexId iter = 0; iter < n; ++iter) {
+    VertexId best = n;
+    for (VertexId u = 0; u < n; ++u) {
+      if (!removed[u] && (best == n || degree[u] < degree[best])) best = u;
+    }
+    if (best == n) break;
+    running_max = std::max(running_max, degree[best]);
+    core[best] = running_max;
+    removed[best] = true;
+    for (VertexId v : g.Neighbors(best)) {
+      if (!removed[v] && degree[v] > 0) --degree[v];
+    }
+  }
+  return core;
+}
+
+TEST(ComputeCores, CliqueCores) {
+  Graph g = MakeClique(7);
+  CoreDecomposition d = ComputeCores(g);
+  EXPECT_EQ(d.degeneracy, 6u);
+  for (VertexId u = 0; u < 7; ++u) EXPECT_EQ(d.core[u], 6u);
+}
+
+TEST(ComputeCores, TreeIsOneDegenerate) {
+  Graph g = MakeCompleteBinaryTree(5);
+  CoreDecomposition d = ComputeCores(g);
+  EXPECT_EQ(d.degeneracy, 1u);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) EXPECT_EQ(d.core[u], 1u);
+}
+
+TEST(ComputeCores, CycleIsTwoCore) {
+  Graph g = MakeCycle(11);
+  CoreDecomposition d = ComputeCores(g);
+  EXPECT_EQ(d.degeneracy, 2u);
+  for (VertexId u = 0; u < 11; ++u) EXPECT_EQ(d.core[u], 2u);
+}
+
+TEST(ComputeCores, CliqueWithTail) {
+  // Clique {0..4} + path 4-5-6: clique vertices are 4-core, tail 1-core.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) edges.emplace_back(i, j);
+  }
+  edges.emplace_back(4, 5);
+  edges.emplace_back(5, 6);
+  Graph g = Graph::FromEdges(7, edges);
+  CoreDecomposition d = ComputeCores(g);
+  EXPECT_EQ(d.degeneracy, 4u);
+  for (VertexId u = 0; u < 5; ++u) EXPECT_EQ(d.core[u], 4u);
+  EXPECT_EQ(d.core[5], 1u);
+  EXPECT_EQ(d.core[6], 1u);
+}
+
+TEST(ComputeCores, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = MakeErdosRenyi(60, 0.1, seed);
+    CoreDecomposition d = ComputeCores(g);
+    EXPECT_EQ(d.core, BruteForceCores(g)) << "seed " << seed;
+  }
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = MakeChungLuPowerLaw(120, 2.3, 6, seed);
+    CoreDecomposition d = ComputeCores(g);
+    EXPECT_EQ(d.core, BruteForceCores(g)) << "powerlaw seed " << seed;
+  }
+}
+
+TEST(ComputeCores, OrderIsAPermutationConsistentWithPosition) {
+  Graph g = MakeErdosRenyi(100, 0.08, 3);
+  CoreDecomposition d = ComputeCores(g);
+  std::vector<bool> seen(g.NumVertices(), false);
+  for (VertexId i = 0; i < g.NumVertices(); ++i) {
+    VertexId u = d.order[i];
+    ASSERT_LT(u, g.NumVertices());
+    EXPECT_FALSE(seen[u]);
+    seen[u] = true;
+    EXPECT_EQ(d.position[u], i);
+  }
+}
+
+TEST(ComputeCores, DegeneracyOrderProperty) {
+  // Each vertex has at most `degeneracy` neighbors later in the order.
+  Graph g = MakeChungLuPowerLaw(300, 2.4, 7, 5);
+  CoreDecomposition d = ComputeCores(g);
+  for (VertexId i = 0; i < g.NumVertices(); ++i) {
+    VertexId u = d.order[i];
+    uint32_t later = 0;
+    for (VertexId v : g.Neighbors(u)) {
+      if (d.position[v] > i) ++later;
+    }
+    EXPECT_LE(later, d.degeneracy);
+  }
+}
+
+TEST(ComputeCores, EmptyAndIsolated) {
+  Graph empty = Graph::FromEdges(0, {});
+  EXPECT_EQ(ComputeCores(empty).degeneracy, 0u);
+  Graph isolated = Graph::FromEdges(4, {});
+  CoreDecomposition d = ComputeCores(isolated);
+  EXPECT_EQ(d.degeneracy, 0u);
+  for (VertexId u = 0; u < 4; ++u) EXPECT_EQ(d.core[u], 0u);
+}
+
+}  // namespace
+}  // namespace nsky::graph

@@ -1,0 +1,233 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nsky::graph {
+namespace {
+
+TEST(MakeClique, AllPairsAdjacent) {
+  Graph g = MakeClique(6);
+  EXPECT_EQ(g.NumVertices(), 6u);
+  EXPECT_EQ(g.NumEdges(), 15u);
+  for (VertexId u = 0; u < 6; ++u) EXPECT_EQ(g.Degree(u), 5u);
+}
+
+TEST(MakeCompleteBinaryTree, StructureAndSize) {
+  Graph g = MakeCompleteBinaryTree(4);  // 15 vertices
+  EXPECT_EQ(g.NumVertices(), 15u);
+  EXPECT_EQ(g.NumEdges(), 14u);
+  EXPECT_EQ(g.Degree(0), 2u);                 // root
+  EXPECT_EQ(g.Degree(14), 1u);                // a leaf
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(3, 7));
+  EXPECT_TRUE(g.HasEdge(3, 8));
+}
+
+TEST(MakeCycle, EveryVertexDegreeTwo) {
+  Graph g = MakeCycle(9);
+  EXPECT_EQ(g.NumEdges(), 9u);
+  for (VertexId u = 0; u < 9; ++u) EXPECT_EQ(g.Degree(u), 2u);
+  EXPECT_TRUE(g.HasEdge(8, 0));
+}
+
+TEST(MakePath, Endpoints) {
+  Graph g = MakePath(7);
+  EXPECT_EQ(g.NumEdges(), 6u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(6), 1u);
+  EXPECT_EQ(g.Degree(3), 2u);
+}
+
+TEST(MakePath, SingleVertex) {
+  Graph g = MakePath(1);
+  EXPECT_EQ(g.NumVertices(), 1u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(MakeStar, CenterAndLeaves) {
+  Graph g = MakeStar(10);
+  EXPECT_EQ(g.NumEdges(), 9u);
+  EXPECT_EQ(g.Degree(0), 9u);
+  for (VertexId leaf = 1; leaf < 10; ++leaf) EXPECT_EQ(g.Degree(leaf), 1u);
+}
+
+TEST(MakeGrid, InteriorDegreeFour) {
+  Graph g = MakeGrid(4, 5);
+  EXPECT_EQ(g.NumVertices(), 20u);
+  EXPECT_EQ(g.NumEdges(), 4u * 4 + 3u * 5);
+  EXPECT_EQ(g.Degree(0), 2u);        // corner
+  EXPECT_EQ(g.Degree(1 * 5 + 2), 4u);  // interior
+}
+
+TEST(MakeCaveman, CliquesPlusBridges) {
+  Graph g = MakeCaveman(4, 5);
+  EXPECT_EQ(g.NumVertices(), 20u);
+  // 4 * C(5,2) + 4 bridges.
+  EXPECT_EQ(g.NumEdges(), 4u * 10 + 4);
+}
+
+TEST(MakeErdosRenyi, EdgeCountNearExpectation) {
+  const VertexId n = 400;
+  const double p = 0.02;
+  Graph g = MakeErdosRenyi(n, p, 7);
+  double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected,
+              4 * std::sqrt(expected));
+  EXPECT_EQ(g.NumVertices(), n);
+}
+
+TEST(MakeErdosRenyi, Deterministic) {
+  Graph a = MakeErdosRenyi(100, 0.05, 42);
+  Graph b = MakeErdosRenyi(100, 0.05, 42);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  Graph c = MakeErdosRenyi(100, 0.05, 43);
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(MakeErdosRenyi, ExtremeProbabilities) {
+  Graph empty = MakeErdosRenyi(50, 0.0, 1);
+  EXPECT_EQ(empty.NumEdges(), 0u);
+  Graph full = MakeErdosRenyi(20, 1.0, 1);
+  EXPECT_EQ(full.NumEdges(), 190u);
+}
+
+TEST(MakeErdosRenyi, NoSelfLoopsOrDuplicates) {
+  Graph g = MakeErdosRenyi(200, 0.05, 3);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], u);
+      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+}
+
+TEST(MakeErdosRenyiLogScaled, MatchesFormula) {
+  const VertexId n = 1000;
+  const double dp = 0.8;
+  Graph g = MakeErdosRenyiLogScaled(n, dp, 5);
+  double p = dp * std::log(n) / n;
+  double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(MakeBarabasiAlbert, SizeAndHubSkew) {
+  Graph g = MakeBarabasiAlbert(500, 3, 11);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  // C(4,2) + 496 * 3 edges.
+  EXPECT_EQ(g.NumEdges(), 6u + 496u * 3);
+  // Preferential attachment produces hubs well above the average degree.
+  EXPECT_GT(g.MaxDegree(), 20u);
+}
+
+TEST(MakeBarabasiAlbert, MinimumDegreeIsM) {
+  Graph g = MakeBarabasiAlbert(300, 4, 2);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    EXPECT_GE(g.Degree(u), 4u);
+  }
+}
+
+TEST(MakeChungLuPowerLaw, AverageDegreeRoughlyMatches) {
+  Graph g = MakeChungLuPowerLaw(5000, 2.5, 8.0, 9);
+  double avg = 2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+  EXPECT_NEAR(avg, 8.0, 2.0);
+}
+
+TEST(MakeChungLuPowerLaw, HeavierTailForSmallerBeta) {
+  Graph heavy = MakeChungLuPowerLaw(5000, 2.1, 6.0, 13);
+  Graph light = MakeChungLuPowerLaw(5000, 3.2, 6.0, 13);
+  EXPECT_GT(heavy.MaxDegree(), light.MaxDegree());
+}
+
+TEST(MakeChungLuPowerLaw, Deterministic) {
+  Graph a = MakeChungLuPowerLaw(1000, 2.5, 6.0, 21);
+  Graph b = MakeChungLuPowerLaw(1000, 2.5, 6.0, 21);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(MakeChungLuPowerLaw, HubCapRespectedApproximately) {
+  Graph g = MakeChungLuPowerLaw(20000, 2.2, 6.0, 5, /*max_weight=*/50.0);
+  // Realized degrees fluctuate around the capped expectation.
+  EXPECT_LT(g.MaxDegree(), 90u);
+}
+
+TEST(MakeParetoPowerLaw, PendantRichAndDeterministic) {
+  Graph a = MakeParetoPowerLaw(5000, 2.8, 3);
+  Graph b = MakeParetoPowerLaw(5000, 2.8, 3);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  // Pareto(xmin=1) expected degrees put a large mass at degree ~1.
+  uint64_t low_degree = 0;
+  for (VertexId u = 0; u < a.NumVertices(); ++u) low_degree += a.Degree(u) <= 1;
+  EXPECT_GT(low_degree, a.NumVertices() / 4);
+  // Average degree near (beta-1)/(beta-2) = 2.25 for beta = 2.8.
+  double avg = 2.0 * static_cast<double>(a.NumEdges()) / a.NumVertices();
+  EXPECT_GT(avg, 1.2);
+  EXPECT_LT(avg, 4.0);
+}
+
+TEST(MakeParetoPowerLaw, SmallerBetaHeavierTail) {
+  Graph heavy = MakeParetoPowerLaw(20000, 2.2, 5);
+  Graph light = MakeParetoPowerLaw(20000, 3.4, 5);
+  EXPECT_GT(heavy.MaxDegree(), light.MaxDegree());
+}
+
+TEST(MakeSocialGraph, SizeAndDeterminism) {
+  Graph a = MakeSocialGraph(2000, 6.0, 0.5, 0.4, 9, 0.3);
+  Graph b = MakeSocialGraph(2000, 6.0, 0.5, 0.4, 9, 0.3);
+  EXPECT_EQ(a.NumVertices(), 2000u);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(MakeSocialGraph, NoIsolatedVerticesAndConnectedish) {
+  Graph g = MakeSocialGraph(3000, 5.0, 0.6, 0.3, 4, 0.3);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    EXPECT_GE(g.Degree(u), 1u) << "vertex " << u;
+  }
+}
+
+TEST(MakeSocialGraph, PendantFractionShowsUp) {
+  Graph heavy = MakeSocialGraph(5000, 5.0, 0.7, 0.3, 7, 0.0);
+  Graph light = MakeSocialGraph(5000, 5.0, 0.1, 0.3, 7, 0.0);
+  auto pendant_count = [](const Graph& g) {
+    uint64_t c = 0;
+    for (VertexId u = 0; u < g.NumVertices(); ++u) c += g.Degree(u) == 1;
+    return c;
+  };
+  EXPECT_GT(pendant_count(heavy), 2 * pendant_count(light));
+}
+
+TEST(MakeSocialGraph, TriadProbabilityRaisesTriangles) {
+  auto triangles = [](const Graph& g) {
+    uint64_t t = 0;
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (VertexId v : g.Neighbors(u)) {
+        if (v <= u) continue;
+        for (VertexId w : g.Neighbors(v)) {
+          if (w > v && g.HasEdge(u, w)) ++t;
+        }
+      }
+    }
+    return t;
+  };
+  Graph clustered = MakeSocialGraph(3000, 6.0, 0.3, 0.8, 11, 0.0);
+  Graph random = MakeSocialGraph(3000, 6.0, 0.3, 0.0, 11, 0.0);
+  EXPECT_GT(triangles(clustered), 2 * triangles(random));
+}
+
+TEST(MakeSocialGraph, AverageDegreeNearTargetWithoutCopying) {
+  Graph g = MakeSocialGraph(8000, 6.0, 0.5, 0.4, 13, 0.0);
+  double avg = 2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+  EXPECT_NEAR(avg, 6.0, 1.0);
+}
+
+TEST(MakeSocialGraph, HubsEmerge) {
+  Graph g = MakeSocialGraph(10000, 6.0, 0.5, 0.4, 17, 0.2);
+  EXPECT_GT(g.MaxDegree(), 50u);
+}
+
+}  // namespace
+}  // namespace nsky::graph

@@ -1,0 +1,96 @@
+#include "graph/graph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nsky::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(Graph, VerticesWithoutEdges) {
+  Graph g = Graph::FromEdges(5, {});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId u = 0; u < 5; ++u) EXPECT_EQ(g.Degree(u), 0u);
+}
+
+TEST(Graph, BasicTriangle) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.NumEdges(), 3u);
+  for (VertexId u = 0; u < 3; ++u) EXPECT_EQ(g.Degree(u), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.MaxDegree(), 2u);
+}
+
+TEST(Graph, DropsSelfLoops) {
+  Graph g = Graph::FromEdges(3, {{0, 0}, {0, 1}, {2, 2}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(Graph, MergesDuplicateAndReversedEdges) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 0}, {0, 1}, {2, 3}, {3, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(Graph, NeighborsAreSortedAndComplete) {
+  Graph g = Graph::FromEdges(6, {{3, 1}, {3, 5}, {3, 0}, {3, 4}});
+  auto nbrs = g.Neighbors(3);
+  std::vector<VertexId> got(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(got, (std::vector<VertexId>{0, 1, 4, 5}));
+  EXPECT_EQ(g.Degree(3), 4u);
+  EXPECT_EQ(g.MaxDegree(), 4u);
+}
+
+TEST(Graph, HasEdgeNegativeCases) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  std::vector<Edge> in = {{0, 1}, {1, 2}, {0, 4}, {3, 4}};
+  Graph g = Graph::FromEdges(5, in);
+  std::vector<Edge> out = g.Edges();
+  ASSERT_EQ(out.size(), in.size());
+  for (const Edge& e : out) EXPECT_LT(e.first, e.second);
+  Graph g2 = Graph::FromEdges(5, out);
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < 5; ++u) EXPECT_EQ(g2.Degree(u), g.Degree(u));
+}
+
+TEST(Graph, MemoryBytesPositive) {
+  Graph g = Graph::FromEdges(10, {{0, 1}});
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(Graph, SymmetryInvariant) {
+  Graph g = Graph::FromEdges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0},
+          {0, 4}, {2, 6}});
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(v, u)) << u << "-" << v;
+    }
+  }
+  uint64_t degree_sum = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) degree_sum += g.Degree(u);
+  EXPECT_EQ(degree_sum, 2 * g.NumEdges());
+}
+
+}  // namespace
+}  // namespace nsky::graph

@@ -1,0 +1,94 @@
+#include "graph/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::graph {
+namespace {
+
+TEST(SampleVertices, KeepsRequestedFraction) {
+  Graph g = MakeErdosRenyi(1000, 0.01, 1);
+  Graph s = SampleVertices(g, 0.4, 7);
+  EXPECT_EQ(s.NumVertices(), 400u);
+  EXPECT_LT(s.NumEdges(), g.NumEdges());
+}
+
+TEST(SampleVertices, FullFractionIsIdentity) {
+  Graph g = MakeErdosRenyi(200, 0.05, 2);
+  Graph s = SampleVertices(g, 1.0, 7);
+  EXPECT_EQ(s.NumVertices(), g.NumVertices());
+  EXPECT_EQ(s.NumEdges(), g.NumEdges());
+}
+
+TEST(SampleVertices, InducedEdgesOnly) {
+  // On a clique, an induced subgraph of k vertices is a k-clique.
+  Graph g = MakeClique(20);
+  Graph s = SampleVertices(g, 0.5, 3);
+  EXPECT_EQ(s.NumVertices(), 10u);
+  EXPECT_EQ(s.NumEdges(), 45u);
+}
+
+TEST(SampleVertices, Deterministic) {
+  Graph g = MakeErdosRenyi(300, 0.03, 4);
+  Graph a = SampleVertices(g, 0.6, 11);
+  Graph b = SampleVertices(g, 0.6, 11);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(SampleVertices, EdgeCountScalesQuadratically) {
+  Graph g = MakeErdosRenyi(2000, 0.005, 5);
+  Graph half = SampleVertices(g, 0.5, 9);
+  // Induced sampling keeps ~ fraction^2 of the edges.
+  double expected = 0.25 * static_cast<double>(g.NumEdges());
+  EXPECT_NEAR(static_cast<double>(half.NumEdges()), expected, expected * 0.3);
+}
+
+TEST(SampleEdges, KeepsAllVerticesAndFractionOfEdges) {
+  Graph g = MakeErdosRenyi(500, 0.04, 6);
+  Graph s = SampleEdges(g, 0.3, 8);
+  EXPECT_EQ(s.NumVertices(), g.NumVertices());
+  double expected = 0.3 * static_cast<double>(g.NumEdges());
+  EXPECT_NEAR(static_cast<double>(s.NumEdges()), expected, expected * 0.25);
+}
+
+TEST(SampleEdges, FullFractionIsIdentity) {
+  Graph g = MakeErdosRenyi(100, 0.1, 10);
+  Graph s = SampleEdges(g, 1.0, 1);
+  EXPECT_EQ(s.NumEdges(), g.NumEdges());
+}
+
+TEST(RemoveIsolatedVertices, DropsOnlyIsolated) {
+  Graph g = Graph::FromEdges(7, {{1, 3}, {3, 5}});
+  Graph c = RemoveIsolatedVertices(g);
+  EXPECT_EQ(c.NumVertices(), 3u);
+  EXPECT_EQ(c.NumEdges(), 2u);
+  // Relative order preserved: 1->0, 3->1, 5->2.
+  EXPECT_TRUE(c.HasEdge(0, 1));
+  EXPECT_TRUE(c.HasEdge(1, 2));
+  EXPECT_FALSE(c.HasEdge(0, 2));
+}
+
+TEST(RemoveIsolatedVertices, NoopWhenNoneIsolated) {
+  Graph g = MakeCycle(6);
+  Graph c = RemoveIsolatedVertices(g);
+  EXPECT_EQ(c.NumVertices(), 6u);
+  EXPECT_EQ(c.NumEdges(), 6u);
+}
+
+TEST(RemoveIsolatedVertices, AllIsolated) {
+  Graph g = Graph::FromEdges(4, {});
+  Graph c = RemoveIsolatedVertices(g);
+  EXPECT_EQ(c.NumVertices(), 0u);
+}
+
+TEST(SampleEdges, SampledEdgesExistInOriginal) {
+  Graph g = MakeErdosRenyi(150, 0.05, 12);
+  Graph s = SampleEdges(g, 0.5, 13);
+  for (const Edge& e : s.Edges()) {
+    EXPECT_TRUE(g.HasEdge(e.first, e.second));
+  }
+}
+
+}  // namespace
+}  // namespace nsky::graph

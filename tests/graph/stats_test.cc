@@ -1,0 +1,64 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::graph {
+namespace {
+
+TEST(ComputeStats, ConnectedCycle) {
+  GraphStats s = ComputeStats(MakeCycle(12));
+  EXPECT_EQ(s.num_vertices, 12u);
+  EXPECT_EQ(s.num_edges, 12u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 12u);
+  EXPECT_EQ(s.num_isolated, 0u);
+}
+
+TEST(ComputeStats, TwoComponentsPlusIsolated) {
+  Graph g = Graph::FromEdges(8, {{0, 1}, {1, 2}, {3, 4}});
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_components, 5u);  // {0,1,2}, {3,4}, {5}, {6}, {7}
+  EXPECT_EQ(s.largest_component, 3u);
+  EXPECT_EQ(s.num_isolated, 3u);
+}
+
+TEST(ComputeStats, EmptyGraph) {
+  GraphStats s = ComputeStats(Graph::FromEdges(0, {}));
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_components, 0u);
+  EXPECT_EQ(s.largest_component, 0u);
+}
+
+TEST(ConnectedComponents, LabelsAreConsistent) {
+  Graph g = Graph::FromEdges(7, {{0, 1}, {2, 3}, {3, 4}, {5, 6}});
+  std::vector<uint32_t> comp;
+  EXPECT_EQ(ConnectedComponents(g, &comp), 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_EQ(comp[5], comp[6]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[5]);
+  EXPECT_NE(comp[2], comp[5]);
+}
+
+TEST(LargestComponentVertices, PicksTheBiggest) {
+  Graph g = Graph::FromEdges(9, {{0, 1}, {1, 2}, {2, 3}, {5, 6}});
+  std::vector<VertexId> big = LargestComponentVertices(g);
+  EXPECT_EQ(big, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(StatsToString, ContainsKeyNumbers) {
+  GraphStats s = ComputeStats(MakeClique(5));
+  std::string str = StatsToString(s);
+  EXPECT_NE(str.find("n=5"), std::string::npos);
+  EXPECT_NE(str.find("m=10"), std::string::npos);
+  EXPECT_NE(str.find("dmax=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsky::graph

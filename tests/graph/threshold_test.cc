@@ -1,0 +1,111 @@
+#include "graph/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "core/filter_refine_sky.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace nsky::graph {
+namespace {
+
+using Op = ThresholdOp;
+
+TEST(MakeThresholdGraph, BasicShapes) {
+  // isolated, isolated, dominating -> path-shaped K1,2 (a star).
+  Graph g = MakeThresholdGraph({Op::kIsolated, Op::kIsolated, Op::kDominating});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+
+  // All dominating -> clique.
+  Graph k4 = MakeThresholdGraph(
+      {Op::kIsolated, Op::kDominating, Op::kDominating, Op::kDominating});
+  EXPECT_EQ(k4.NumEdges(), 6u);
+}
+
+TEST(IsThresholdGraph, Positives) {
+  EXPECT_TRUE(IsThresholdGraph(Graph::FromEdges(0, {})));
+  EXPECT_TRUE(IsThresholdGraph(Graph::FromEdges(1, {})));
+  EXPECT_TRUE(IsThresholdGraph(Graph::FromEdges(5, {})));  // all isolated
+  EXPECT_TRUE(IsThresholdGraph(MakeClique(6)));
+  EXPECT_TRUE(IsThresholdGraph(MakeStar(7)));
+}
+
+TEST(IsThresholdGraph, ClassicNegatives) {
+  // P4, C4 and 2K2 are the three forbidden induced subgraphs.
+  EXPECT_FALSE(IsThresholdGraph(MakePath(4)));
+  EXPECT_FALSE(IsThresholdGraph(MakeCycle(4)));
+  EXPECT_FALSE(
+      IsThresholdGraph(Graph::FromEdges(4, {{0, 1}, {2, 3}})));  // 2K2
+  EXPECT_FALSE(IsThresholdGraph(MakeCycle(5)));
+  EXPECT_FALSE(IsThresholdGraph(MakeGrid(3, 3)));
+}
+
+TEST(ThresholdConstructionSequence, RoundTripsRandomSequences) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Op> ops = {Op::kIsolated};
+    size_t len = 2 + rng.NextUint64(12);
+    for (size_t i = 1; i < len; ++i) {
+      ops.push_back(rng.NextBool(0.5) ? Op::kIsolated : Op::kDominating);
+    }
+    Graph g = MakeThresholdGraph(ops);
+    ASSERT_TRUE(IsThresholdGraph(g)) << "trial " << trial;
+    auto recovered = ThresholdConstructionSequence(g);
+    ASSERT_FALSE(recovered.empty());
+    Graph rebuilt = MakeThresholdGraph(recovered);
+    // Threshold graphs are determined by their degree sequence; compare via
+    // sorted degree multisets.
+    auto degrees = [](const Graph& h) {
+      std::vector<uint32_t> d;
+      for (VertexId u = 0; u < h.NumVertices(); ++u) d.push_back(h.Degree(u));
+      std::sort(d.begin(), d.end());
+      return d;
+    };
+    EXPECT_EQ(degrees(rebuilt), degrees(g)) << "trial " << trial;
+  }
+}
+
+TEST(ThresholdConstructionSequence, CreationOrderIsPermutation) {
+  Graph g = MakeStar(6);
+  std::vector<VertexId> order;
+  auto ops = ThresholdConstructionSequence(g, &order);
+  ASSERT_EQ(ops.size(), 6u);
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<VertexId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{0, 1, 2, 3, 4, 5}));
+  // The star's center must be created last (as the dominating vertex).
+  EXPECT_EQ(order.back(), 0u);
+  EXPECT_EQ(ops.back(), Op::kDominating);
+}
+
+TEST(ThresholdAndSkyline, ConnectedThresholdGraphHasSingletonSkyline) {
+  // On a threshold graph the vicinal preorder is total, so exactly one
+  // vertex per connected structure survives; with a dominating vertex last
+  // the graph is connected and |R| = 1.
+  util::Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Op> ops = {Op::kIsolated};
+    size_t len = 3 + rng.NextUint64(15);
+    for (size_t i = 1; i + 1 < len; ++i) {
+      ops.push_back(rng.NextBool(0.5) ? Op::kIsolated : Op::kDominating);
+    }
+    ops.push_back(Op::kDominating);  // force connectivity
+    Graph g = MakeThresholdGraph(ops);
+    auto skyline = core::FilterRefineSky(g).skyline;
+    EXPECT_EQ(skyline.size(), 1u) << "trial " << trial;
+  }
+}
+
+TEST(ThresholdAndSkyline, IsolatedTailKeptByConvention) {
+  // Trailing isolated vertices are skyline members (2-hop convention).
+  Graph g = MakeThresholdGraph(
+      {Op::kIsolated, Op::kDominating, Op::kDominating, Op::kIsolated});
+  auto skyline = core::FilterRefineSky(g).skyline;
+  EXPECT_EQ(skyline.size(), 2u);  // one from the triangle, plus vertex 3
+}
+
+}  // namespace
+}  // namespace nsky::graph

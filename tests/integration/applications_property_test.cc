@@ -1,0 +1,94 @@
+// Cross-module property suite: the application-level guarantees (greedy
+// score preservation, clique size preservation) hold across every graph
+// family and seed, not just the stand-ins.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "centrality/greedy.h"
+#include "clique/max_clique.h"
+#include "clique/nei_sky_mc.h"
+#include "clique/topk.h"
+#include "core/filter_refine_sky.h"
+#include "testing/fixtures.h"
+
+namespace nsky {
+namespace {
+
+using nsky::testing::GraphCase;
+using nsky::testing::GraphCaseName;
+using nsky::testing::SmallGraphCases;
+
+class ApplicationProperties : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(ApplicationProperties, GreedyClosenessScorePreservedBySkylinePruning) {
+  for (uint64_t seed : {1ull, 5ull}) {
+    graph::Graph g = GetParam().make(seed);
+    if (g.NumVertices() < 8) continue;
+    centrality::GreedyResult base = centrality::BaseGC(g, 4);
+    centrality::GreedyResult pruned = centrality::NeiSkyGC(g, 4);
+    EXPECT_NEAR(base.score, pruned.score, 1e-9 * std::max(1.0, base.score))
+        << "seed " << seed;
+    EXPECT_LE(pruned.pool_size, base.pool_size);
+  }
+}
+
+TEST_P(ApplicationProperties, GreedyHarmonicScorePreservedBySkylinePruning) {
+  for (uint64_t seed : {2ull, 7ull}) {
+    graph::Graph g = GetParam().make(seed);
+    if (g.NumVertices() < 8) continue;
+    centrality::GreedyResult base = centrality::BaseGH(g, 4);
+    centrality::GreedyResult pruned = centrality::NeiSkyGH(g, 4);
+    EXPECT_NEAR(base.score, pruned.score, 1e-9 * std::max(1.0, base.score))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(ApplicationProperties, LazyGreedyMatchesPlain) {
+  graph::Graph g = GetParam().make(3);
+  if (g.NumVertices() < 8) return;
+  centrality::GreedyOptions plain, lazy;
+  lazy.lazy = true;
+  centrality::GreedyResult a = centrality::GreedyGroupMaximization(g, 4, plain);
+  centrality::GreedyResult b = centrality::GreedyGroupMaximization(g, 4, lazy);
+  EXPECT_NEAR(a.score, b.score, 1e-9 * std::max(1.0, a.score));
+}
+
+TEST_P(ApplicationProperties, MaxCliqueSizePreservedBySkylineSeeding) {
+  for (uint64_t seed : {1ull, 4ull}) {
+    graph::Graph g = GetParam().make(seed);
+    clique::CliqueResult base = clique::MaxClique(g);
+    clique::NeiSkyMcResult pruned = clique::NeiSkyMC(g);
+    EXPECT_EQ(base.clique.size(), pruned.clique.clique.size())
+        << "seed " << seed;
+    EXPECT_TRUE(clique::IsClique(g, pruned.clique.clique));
+  }
+}
+
+TEST_P(ApplicationProperties, TopkCliquesSizesPreserved) {
+  graph::Graph g = GetParam().make(6);
+  auto base = clique::BaseTopkMCC(g, 3);
+  auto pruned = clique::NeiSkyTopkMCC(g, 3);
+  ASSERT_EQ(base.cliques.size(), pruned.cliques.size());
+  for (size_t i = 0; i < base.cliques.size(); ++i) {
+    EXPECT_EQ(base.cliques[i].size(), pruned.cliques[i].size()) << i;
+  }
+}
+
+TEST_P(ApplicationProperties, SkylineSeedsSufficeForAnyMaximumClique) {
+  // Lemma 5's operative form on every family: the seeded search with *only*
+  // skyline seeds and no incumbent still reaches the maximum size.
+  graph::Graph g = GetParam().make(9);
+  auto skyline = core::FilterRefineSky(g).skyline;
+  clique::CliqueResult via_skyline = clique::MaxCliqueSeeded(g, skyline);
+  clique::CliqueResult base = clique::MaxClique(g);
+  EXPECT_EQ(via_skyline.clique.size(), base.clique.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphFamilies, ApplicationProperties,
+                         ::testing::ValuesIn(SmallGraphCases()),
+                         GraphCaseName);
+
+}  // namespace
+}  // namespace nsky

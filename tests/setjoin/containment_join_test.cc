@@ -1,0 +1,105 @@
+#include "setjoin/containment_join.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "setjoin/records.h"
+
+namespace nsky::setjoin {
+namespace {
+
+TEST(NestedLoopJoin, TinyHandChecked) {
+  RecordSet data;
+  data.universe_size = 5;
+  data.records = {{0, 1, 2}, {1, 2, 3}, {0, 4}};
+  RecordSet queries;
+  queries.universe_size = 5;
+  queries.records = {{1, 2}, {4}, {0, 3}};
+  JoinResult r = NestedLoopJoin(queries, data);
+  // q0={1,2} in s0 and s1; q1={4} in s2; q2={0,3} in none.
+  EXPECT_EQ(r, (JoinResult{{0, 0}, {0, 1}, {1, 2}}));
+}
+
+TEST(AllJoins, AgreeOnRandomRecords) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RecordSet data = RandomRecords(80, 120, 1, 10, seed);
+    RecordSet queries = RandomRecords(80, 60, 1, 4, seed + 100);
+    JoinResult oracle = NestedLoopJoin(queries, data);
+    EXPECT_EQ(InvertedIndexJoin(queries, data), oracle) << "seed " << seed;
+    EXPECT_EQ(ListCrosscuttingJoin(queries, data), oracle) << "seed " << seed;
+  }
+}
+
+TEST(AllJoins, EmptyQueryMatchesEverything) {
+  RecordSet data = RandomRecords(20, 10, 1, 5, 1);
+  RecordSet queries;
+  queries.universe_size = 20;
+  queries.records = {{}};
+  EXPECT_EQ(NestedLoopJoin(queries, data).size(), 10u);
+  EXPECT_EQ(InvertedIndexJoin(queries, data).size(), 10u);
+  EXPECT_EQ(ListCrosscuttingJoin(queries, data).size(), 10u);
+}
+
+TEST(AllJoins, NoMatches) {
+  RecordSet data;
+  data.universe_size = 10;
+  data.records = {{0, 1}, {2, 3}};
+  RecordSet queries;
+  queries.universe_size = 10;
+  queries.records = {{7}, {0, 2}};
+  EXPECT_TRUE(NestedLoopJoin(queries, data).empty());
+  EXPECT_TRUE(InvertedIndexJoin(queries, data).empty());
+  EXPECT_TRUE(ListCrosscuttingJoin(queries, data).empty());
+}
+
+TEST(AllJoins, ExactEqualityCounts) {
+  RecordSet data;
+  data.universe_size = 4;
+  data.records = {{0, 1, 2, 3}};
+  RecordSet queries;
+  queries.universe_size = 4;
+  queries.records = {{0, 1, 2, 3}};
+  EXPECT_EQ(InvertedIndexJoin(queries, data).size(), 1u);
+  EXPECT_EQ(ListCrosscuttingJoin(queries, data).size(), 1u);
+}
+
+TEST(JoinStats, Populated) {
+  RecordSet data = RandomRecords(50, 80, 1, 8, 2);
+  RecordSet queries = RandomRecords(50, 40, 1, 4, 3);
+  JoinStats ii_stats, lc_stats;
+  InvertedIndexJoin(queries, data, &ii_stats);
+  ListCrosscuttingJoin(queries, data, &lc_stats);
+  EXPECT_GT(ii_stats.postings_scanned, 0u);
+  EXPECT_GT(ii_stats.index_bytes, 0u);
+  EXPECT_GT(lc_stats.postings_scanned, 0u);
+  EXPECT_GT(lc_stats.index_bytes, 0u);
+}
+
+TEST(AllJoins, GraphNeighborhoodAdapters) {
+  // Join of open neighborhoods into closed neighborhoods must recover the
+  // neighborhood-inclusion pairs of Definition 1 (plus the trivial i==i).
+  graph::Graph g = graph::MakeStar(6);
+  RecordSet data = ClosedNeighborhoodRecords(g);
+  RecordSet queries = OpenNeighborhoodRecords(g);
+  JoinResult r = NestedLoopJoin(queries, data);
+  // Every leaf's N = {0} is in N[0] and in every other leaf's... no:
+  // N[leaf'] = {0, leaf'}, contains {0}: yes! So each leaf query matches
+  // s[0] and every s[leaf'] (including itself). Center query {1..5}
+  // matches only s[0].
+  uint64_t leaf_matches = 0, center_matches = 0;
+  for (auto [q, s] : r) {
+    if (q == 0) {
+      ++center_matches;
+      EXPECT_EQ(s, 0u);
+    } else {
+      ++leaf_matches;
+    }
+  }
+  EXPECT_EQ(center_matches, 1u);
+  EXPECT_EQ(leaf_matches, 5u * 6);
+  EXPECT_EQ(InvertedIndexJoin(queries, data), r);
+  EXPECT_EQ(ListCrosscuttingJoin(queries, data), r);
+}
+
+}  // namespace
+}  // namespace nsky::setjoin

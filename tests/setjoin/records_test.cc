@@ -1,0 +1,72 @@
+#include "setjoin/records.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace nsky::setjoin {
+namespace {
+
+TEST(ClosedNeighborhoodRecords, ContainsSelfSorted) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{1, 0}, {1, 2}, {1, 3}});
+  RecordSet s = ClosedNeighborhoodRecords(g);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.records[1], (std::vector<Element>{0, 1, 2, 3}));
+  EXPECT_EQ(s.records[0], (std::vector<Element>{0, 1}));
+  EXPECT_EQ(s.records[3], (std::vector<Element>{1, 3}));
+  for (const auto& rec : s.records) {
+    EXPECT_TRUE(std::is_sorted(rec.begin(), rec.end()));
+  }
+}
+
+TEST(ClosedNeighborhoodRecords, SelfInsertionAtBothEnds) {
+  // Vertex with all-smaller neighbors and vertex with all-larger neighbors.
+  graph::Graph g = graph::Graph::FromEdges(3, {{2, 0}, {2, 1}});
+  RecordSet s = ClosedNeighborhoodRecords(g);
+  EXPECT_EQ(s.records[2], (std::vector<Element>{0, 1, 2}));
+  EXPECT_EQ(s.records[0], (std::vector<Element>{0, 2}));
+}
+
+TEST(ClosedNeighborhoodRecords, IsolatedVertexIsSingleton) {
+  graph::Graph g = graph::Graph::FromEdges(2, {});
+  RecordSet s = ClosedNeighborhoodRecords(g);
+  EXPECT_EQ(s.records[0], (std::vector<Element>{0}));
+  EXPECT_EQ(s.records[1], (std::vector<Element>{1}));
+}
+
+TEST(OpenNeighborhoodRecords, MatchesAdjacency) {
+  graph::Graph g = graph::MakeCycle(5);
+  RecordSet q = OpenNeighborhoodRecords(g);
+  EXPECT_EQ(q.records[0], (std::vector<Element>{1, 4}));
+  EXPECT_EQ(q.records[2], (std::vector<Element>{1, 3}));
+}
+
+TEST(RecordSet, TotalsAndMemory) {
+  graph::Graph g = graph::MakeClique(5);
+  RecordSet s = ClosedNeighborhoodRecords(g);
+  EXPECT_EQ(s.TotalElements(), 25u);  // each closed neighborhood has 5
+  EXPECT_GT(s.MemoryBytes(), 0u);
+}
+
+TEST(RandomRecords, RespectsSizesAndSorted) {
+  RecordSet r = RandomRecords(100, 50, 2, 8, 3);
+  ASSERT_EQ(r.size(), 50u);
+  for (const auto& rec : r.records) {
+    EXPECT_GE(rec.size(), 2u);
+    EXPECT_LE(rec.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(rec.begin(), rec.end()));
+    EXPECT_TRUE(std::adjacent_find(rec.begin(), rec.end()) == rec.end());
+    for (Element e : rec) EXPECT_LT(e, 100u);
+  }
+}
+
+TEST(RandomRecords, Deterministic) {
+  RecordSet a = RandomRecords(64, 20, 1, 5, 9);
+  RecordSet b = RandomRecords(64, 20, 1, 5, 9);
+  EXPECT_EQ(a.records, b.records);
+}
+
+}  // namespace
+}  // namespace nsky::setjoin

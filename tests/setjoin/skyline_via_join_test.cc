@@ -1,0 +1,59 @@
+#include "setjoin/skyline_via_join.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_sky.h"
+#include "core/domination.h"
+#include "graph/generators.h"
+
+namespace nsky::setjoin {
+namespace {
+
+TEST(SkylineViaJoin, MatchesBruteForceBothAlgorithms) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    graph::Graph g = graph::MakeChungLuPowerLaw(200, 2.4, 6, seed);
+    auto oracle = core::BruteForceSkyline(g).skyline;
+    EXPECT_EQ(SkylineViaJoin(g, JoinAlgorithm::kListCrosscutting).skyline,
+              oracle)
+        << "LC seed " << seed;
+    EXPECT_EQ(SkylineViaJoin(g, JoinAlgorithm::kInvertedIndex).skyline, oracle)
+        << "II seed " << seed;
+  }
+}
+
+TEST(SkylineViaJoin, IsolatedVerticesKeptBy2HopConvention) {
+  graph::Graph g = graph::Graph::FromEdges(5, {{0, 1}});
+  auto r = SkylineViaJoin(g);
+  // 1 dominated by 0 (mutual K2); isolated 2,3,4 stay.
+  EXPECT_EQ(r.skyline, (std::vector<graph::VertexId>{0, 2, 3, 4}));
+}
+
+TEST(SkylineViaJoin, MutualPairsBreakById) {
+  // 2 and 3 share the neighborhood {0, 1}.
+  graph::Graph g = graph::Graph::FromEdges(
+      4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  auto r = SkylineViaJoin(g);
+  EXPECT_NE(r.dominator[3], 3u);
+  EXPECT_TRUE(std::binary_search(r.skyline.begin(), r.skyline.end(), 2u));
+}
+
+TEST(SkylineViaJoin, StatsCarryJoinFootprint) {
+  graph::Graph g = graph::MakeBarabasiAlbert(300, 3, 7);
+  auto r = SkylineViaJoin(g);
+  EXPECT_GT(r.stats.aux_peak_bytes, 0u);
+  EXPECT_GT(r.stats.pairs_examined, 0u);
+  EXPECT_GE(r.stats.seconds, 0.0);
+}
+
+TEST(SkylineViaJoin, DominatorsValid) {
+  graph::Graph g = graph::MakeErdosRenyi(120, 0.06, 11);
+  auto r = SkylineViaJoin(g);
+  for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (r.dominator[u] != u) {
+      EXPECT_TRUE(core::Dominates(g, r.dominator[u], u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsky::setjoin

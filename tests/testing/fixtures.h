@@ -1,0 +1,60 @@
+// Shared graph fixtures for the test suites.
+#ifndef NSKY_TESTS_TESTING_FIXTURES_H_
+#define NSKY_TESTS_TESTING_FIXTURES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace nsky::testing {
+
+// A named, seeded graph factory used by parameterized property suites.
+struct GraphCase {
+  std::string name;
+  std::function<graph::Graph(uint64_t seed)> make;
+};
+
+// Printable parameter name for INSTANTIATE_TEST_SUITE_P.
+inline std::string GraphCaseName(
+    const ::testing::TestParamInfo<GraphCase>& info) {
+  return info.param.name;
+}
+
+// A diverse family of small random and structured graphs. Every skyline
+// property test runs over all of these with several seeds.
+inline std::vector<GraphCase> SmallGraphCases() {
+  using graph::Graph;
+  return {
+      {"er_sparse", [](uint64_t s) { return graph::MakeErdosRenyi(120, 0.03, s); }},
+      {"er_medium", [](uint64_t s) { return graph::MakeErdosRenyi(80, 0.10, s); }},
+      {"er_dense", [](uint64_t s) { return graph::MakeErdosRenyi(40, 0.35, s); }},
+      {"powerlaw_heavy",
+       [](uint64_t s) { return graph::MakeChungLuPowerLaw(200, 2.1, 5, s); }},
+      {"powerlaw_light",
+       [](uint64_t s) { return graph::MakeChungLuPowerLaw(200, 3.0, 8, s); }},
+      {"barabasi_albert",
+       [](uint64_t s) { return graph::MakeBarabasiAlbert(150, 3, s); }},
+      {"caveman",
+       [](uint64_t s) { return graph::MakeCaveman(5 + s % 4, 6); }},
+      {"grid", [](uint64_t s) { return graph::MakeGrid(6 + s % 5, 7); }},
+      {"tree", [](uint64_t s) { return graph::MakeCompleteBinaryTree(4 + s % 3); }},
+      {"with_isolated",
+       [](uint64_t s) {
+         // Random graph plus guaranteed isolated vertices at the top ids.
+         graph::Graph base = graph::MakeErdosRenyi(60, 0.08, s);
+         std::vector<graph::Edge> edges = base.Edges();
+         return Graph::FromEdges(70, std::move(edges));
+       }},
+  };
+}
+
+// Seeds used with each case.
+inline std::vector<uint64_t> PropertySeeds() { return {1, 2, 3, 7, 42}; }
+
+}  // namespace nsky::testing
+
+#endif  // NSKY_TESTS_TESTING_FIXTURES_H_

@@ -1,0 +1,116 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace nsky::util {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Bitset, SetClearTest) {
+  Bitset b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(Bitset, ResetClearsEverything) {
+  Bitset b(200);
+  for (size_t i = 0; i < 200; i += 3) b.Set(i);
+  ASSERT_GT(b.Count(), 0u);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.size(), 200u);
+}
+
+TEST(Bitset, SubsetReflexiveAndStrict) {
+  Bitset a(128), b(128);
+  a.Set(3);
+  a.Set(77);
+  b.Set(3);
+  b.Set(77);
+  b.Set(100);
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+}
+
+TEST(Bitset, EmptyIsSubsetOfAnything) {
+  Bitset a(64), b(64);
+  b.Set(5);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(Bitset, AndOrOperators) {
+  Bitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  b.Set(2);
+  Bitset c = a;
+  c &= b;
+  EXPECT_EQ(c.Count(), 1u);
+  EXPECT_TRUE(c.Test(65));
+  Bitset d = a;
+  d |= b;
+  EXPECT_EQ(d.Count(), 3u);
+}
+
+TEST(Bitset, EqualityComparesSizeAndBits) {
+  Bitset a(64), b(64), c(65);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  a.Set(10);
+  EXPECT_FALSE(a == b);
+  b.Set(10);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Bitset, ResizeGrowKeepsBitsAndShrinkTruncates) {
+  Bitset b(10);
+  b.Set(3);
+  b.Resize(100);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_EQ(b.Count(), 1u);
+  b.Set(90);
+  b.Resize(10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_EQ(b.Count(), 1u);  // bit 90 gone
+}
+
+TEST(Bitset, WordAccess) {
+  Bitset b(128);
+  b.Set(0);
+  b.Set(64);
+  ASSERT_EQ(b.num_words(), 2u);
+  EXPECT_EQ(b.word(0), 1ull);
+  EXPECT_EQ(b.word(1), 1ull);
+}
+
+TEST(Bitset, ZeroSize) {
+  Bitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+}
+
+}  // namespace
+}  // namespace nsky::util

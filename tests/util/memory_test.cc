@@ -1,0 +1,64 @@
+#include "util/memory.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nsky::util {
+namespace {
+
+TEST(MemoryTally, TracksLiveAndPeak) {
+  MemoryTally t;
+  EXPECT_EQ(t.live_bytes(), 0u);
+  t.Add(100);
+  t.Add(50);
+  EXPECT_EQ(t.live_bytes(), 150u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.Release(120);
+  EXPECT_EQ(t.live_bytes(), 30u);
+  EXPECT_EQ(t.peak_bytes(), 150u);  // peak is sticky
+  t.Add(10);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.Add(200);
+  EXPECT_EQ(t.peak_bytes(), 240u);
+}
+
+TEST(MemoryTally, ReleaseClampsAtZero) {
+  MemoryTally t;
+  t.Add(10);
+  t.Release(100);
+  EXPECT_EQ(t.live_bytes(), 0u);
+}
+
+TEST(MemoryTally, AddContainerUsesCapacity) {
+  MemoryTally t;
+  std::vector<uint32_t> v;
+  v.reserve(100);
+  t.AddContainer(v);
+  EXPECT_EQ(t.live_bytes(), 400u);
+}
+
+TEST(ProcessMemory, ReportsPlausibleRss) {
+  uint64_t rss = ProcessCurrentRssBytes();
+  uint64_t peak = ProcessPeakRssBytes();
+  // On Linux both must be nonzero and peak >= current.
+  ASSERT_GT(rss, 0u);
+  ASSERT_GT(peak, 0u);
+  EXPECT_GE(peak, rss / 2);  // tolerate accounting jitter
+  EXPECT_LT(rss, 64ull << 30);
+}
+
+TEST(ProcessMemory, PeakGrowsWithAllocation) {
+  uint64_t before = ProcessPeakRssBytes();
+  {
+    std::vector<char> big(64 << 20, 1);
+    // Touch so the pages are really committed.
+    volatile char sink = big[13] + big[big.size() - 1];
+    (void)sink;
+  }
+  uint64_t after = ProcessPeakRssBytes();
+  EXPECT_GE(after, before + (32 << 20));
+}
+
+}  // namespace
+}  // namespace nsky::util

@@ -1,0 +1,69 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace nsky::util {
+namespace {
+
+TEST(SplitFields, BasicWhitespace) {
+  auto f = SplitFields("12 34\t56");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "12");
+  EXPECT_EQ(f[1], "34");
+  EXPECT_EQ(f[2], "56");
+}
+
+TEST(SplitFields, SkipsEmptyPieces) {
+  auto f = SplitFields("  a   b  ");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(SplitFields, EmptyInput) {
+  EXPECT_TRUE(SplitFields("").empty());
+  EXPECT_TRUE(SplitFields("   ").empty());
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(Trim("  x y \r\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(ParseUint64, ValidValues) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+}
+
+TEST(ParseUint64, RejectsMalformed) {
+  uint64_t v = 99;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_EQ(v, 99u);  // untouched on failure
+}
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(WithThousands, GroupsDigits) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(1000000000), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace nsky::util

@@ -1,0 +1,40 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace nsky::util {
+namespace {
+
+TEST(Timer, MonotoneNonNegative) {
+  Timer t;
+  double a = t.Seconds();
+  double b = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, RestartResets) {
+  Timer t;
+  // Burn a little time.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double before = t.Seconds();
+  t.Restart();
+  EXPECT_LE(t.Seconds(), before + 1e-3);
+}
+
+TEST(Timer, UnitConversions) {
+  Timer t;
+  double s = t.Seconds();
+  EXPECT_NEAR(t.Millis(), s * 1e3, s * 1e3 + 10.0);
+  EXPECT_GE(t.Micros(), 0.0);
+}
+
+TEST(FormatSeconds, PicksUnit) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FormatSeconds(0.0125), "12.500 ms");
+  EXPECT_EQ(FormatSeconds(0.0000425), "42.5 us");
+}
+
+}  // namespace
+}  // namespace nsky::util
