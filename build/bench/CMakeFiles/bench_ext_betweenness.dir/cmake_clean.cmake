@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_betweenness.dir/bench_ext_betweenness.cc.o"
+  "CMakeFiles/bench_ext_betweenness.dir/bench_ext_betweenness.cc.o.d"
+  "bench_ext_betweenness"
+  "bench_ext_betweenness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_betweenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_dynamic.cc" "bench/CMakeFiles/bench_ext_dynamic.dir/bench_ext_dynamic.cc.o" "gcc" "bench/CMakeFiles/bench_ext_dynamic.dir/bench_ext_dynamic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasets/CMakeFiles/nsky_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/clique/CMakeFiles/nsky_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/centrality/CMakeFiles/nsky_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/setjoin/CMakeFiles/nsky_setjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsky_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

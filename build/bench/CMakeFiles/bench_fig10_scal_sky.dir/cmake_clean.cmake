@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_scal_sky.dir/bench_fig10_scal_sky.cc.o"
+  "CMakeFiles/bench_fig10_scal_sky.dir/bench_fig10_scal_sky.cc.o.d"
+  "bench_fig10_scal_sky"
+  "bench_fig10_scal_sky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scal_sky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

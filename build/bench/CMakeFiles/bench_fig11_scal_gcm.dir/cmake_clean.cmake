@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scal_gcm.dir/bench_fig11_scal_gcm.cc.o"
+  "CMakeFiles/bench_fig11_scal_gcm.dir/bench_fig11_scal_gcm.cc.o.d"
+  "bench_fig11_scal_gcm"
+  "bench_fig11_scal_gcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scal_gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_scal_ghm.dir/bench_fig12_scal_ghm.cc.o"
+  "CMakeFiles/bench_fig12_scal_ghm.dir/bench_fig12_scal_ghm.cc.o.d"
+  "bench_fig12_scal_ghm"
+  "bench_fig12_scal_ghm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_scal_ghm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gcm.dir/bench_fig7_gcm.cc.o"
+  "CMakeFiles/bench_fig7_gcm.dir/bench_fig7_gcm.cc.o.d"
+  "bench_fig7_gcm"
+  "bench_fig7_gcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

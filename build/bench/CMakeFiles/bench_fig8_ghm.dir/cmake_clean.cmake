@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ghm.dir/bench_fig8_ghm.cc.o"
+  "CMakeFiles/bench_fig8_ghm.dir/bench_fig8_ghm.cc.o.d"
+  "bench_fig8_ghm"
+  "bench_fig8_ghm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ghm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

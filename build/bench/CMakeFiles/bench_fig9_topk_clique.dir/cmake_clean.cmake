@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_topk_clique.dir/bench_fig9_topk_clique.cc.o"
+  "CMakeFiles/bench_fig9_topk_clique.dir/bench_fig9_topk_clique.cc.o.d"
+  "bench_fig9_topk_clique"
+  "bench_fig9_topk_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_topk_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

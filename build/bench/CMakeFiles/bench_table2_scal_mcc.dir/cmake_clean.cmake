@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scal_mcc.dir/bench_table2_scal_mcc.cc.o"
+  "CMakeFiles/bench_table2_scal_mcc.dir/bench_table2_scal_mcc.cc.o.d"
+  "bench_table2_scal_mcc"
+  "bench_table2_scal_mcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scal_mcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

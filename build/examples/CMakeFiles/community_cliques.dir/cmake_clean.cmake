@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_cliques.dir/community_cliques.cpp.o"
+  "CMakeFiles/community_cliques.dir/community_cliques.cpp.o.d"
+  "community_cliques"
+  "community_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influence_seeds.dir/influence_seeds.cpp.o"
+  "CMakeFiles/influence_seeds.dir/influence_seeds.cpp.o.d"
+  "influence_seeds"
+  "influence_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influence_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/centrality/betweenness.cc" "src/centrality/CMakeFiles/nsky_centrality.dir/betweenness.cc.o" "gcc" "src/centrality/CMakeFiles/nsky_centrality.dir/betweenness.cc.o.d"
+  "/root/repo/src/centrality/bfs.cc" "src/centrality/CMakeFiles/nsky_centrality.dir/bfs.cc.o" "gcc" "src/centrality/CMakeFiles/nsky_centrality.dir/bfs.cc.o.d"
+  "/root/repo/src/centrality/centrality.cc" "src/centrality/CMakeFiles/nsky_centrality.dir/centrality.cc.o" "gcc" "src/centrality/CMakeFiles/nsky_centrality.dir/centrality.cc.o.d"
+  "/root/repo/src/centrality/greedy.cc" "src/centrality/CMakeFiles/nsky_centrality.dir/greedy.cc.o" "gcc" "src/centrality/CMakeFiles/nsky_centrality.dir/greedy.cc.o.d"
+  "/root/repo/src/centrality/group_centrality.cc" "src/centrality/CMakeFiles/nsky_centrality.dir/group_centrality.cc.o" "gcc" "src/centrality/CMakeFiles/nsky_centrality.dir/group_centrality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsky_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_centrality.dir/betweenness.cc.o"
+  "CMakeFiles/nsky_centrality.dir/betweenness.cc.o.d"
+  "CMakeFiles/nsky_centrality.dir/bfs.cc.o"
+  "CMakeFiles/nsky_centrality.dir/bfs.cc.o.d"
+  "CMakeFiles/nsky_centrality.dir/centrality.cc.o"
+  "CMakeFiles/nsky_centrality.dir/centrality.cc.o.d"
+  "CMakeFiles/nsky_centrality.dir/greedy.cc.o"
+  "CMakeFiles/nsky_centrality.dir/greedy.cc.o.d"
+  "CMakeFiles/nsky_centrality.dir/group_centrality.cc.o"
+  "CMakeFiles/nsky_centrality.dir/group_centrality.cc.o.d"
+  "libnsky_centrality.a"
+  "libnsky_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

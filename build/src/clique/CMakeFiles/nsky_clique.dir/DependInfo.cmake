@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clique/max_clique.cc" "src/clique/CMakeFiles/nsky_clique.dir/max_clique.cc.o" "gcc" "src/clique/CMakeFiles/nsky_clique.dir/max_clique.cc.o.d"
+  "/root/repo/src/clique/nei_sky_mc.cc" "src/clique/CMakeFiles/nsky_clique.dir/nei_sky_mc.cc.o" "gcc" "src/clique/CMakeFiles/nsky_clique.dir/nei_sky_mc.cc.o.d"
+  "/root/repo/src/clique/topk.cc" "src/clique/CMakeFiles/nsky_clique.dir/topk.cc.o" "gcc" "src/clique/CMakeFiles/nsky_clique.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsky_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_clique.dir/max_clique.cc.o"
+  "CMakeFiles/nsky_clique.dir/max_clique.cc.o.d"
+  "CMakeFiles/nsky_clique.dir/nei_sky_mc.cc.o"
+  "CMakeFiles/nsky_clique.dir/nei_sky_mc.cc.o.d"
+  "CMakeFiles/nsky_clique.dir/topk.cc.o"
+  "CMakeFiles/nsky_clique.dir/topk.cc.o.d"
+  "libnsky_clique.a"
+  "libnsky_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

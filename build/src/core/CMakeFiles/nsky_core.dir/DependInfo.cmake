@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/base_2hop.cc" "src/core/CMakeFiles/nsky_core.dir/base_2hop.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/base_2hop.cc.o.d"
+  "/root/repo/src/core/base_cset.cc" "src/core/CMakeFiles/nsky_core.dir/base_cset.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/base_cset.cc.o.d"
+  "/root/repo/src/core/base_sky.cc" "src/core/CMakeFiles/nsky_core.dir/base_sky.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/base_sky.cc.o.d"
+  "/root/repo/src/core/bloom.cc" "src/core/CMakeFiles/nsky_core.dir/bloom.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/bloom.cc.o.d"
+  "/root/repo/src/core/domination.cc" "src/core/CMakeFiles/nsky_core.dir/domination.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/domination.cc.o.d"
+  "/root/repo/src/core/dynamic_skyline.cc" "src/core/CMakeFiles/nsky_core.dir/dynamic_skyline.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/dynamic_skyline.cc.o.d"
+  "/root/repo/src/core/filter_phase.cc" "src/core/CMakeFiles/nsky_core.dir/filter_phase.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/filter_phase.cc.o.d"
+  "/root/repo/src/core/filter_refine_sky.cc" "src/core/CMakeFiles/nsky_core.dir/filter_refine_sky.cc.o" "gcc" "src/core/CMakeFiles/nsky_core.dir/filter_refine_sky.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

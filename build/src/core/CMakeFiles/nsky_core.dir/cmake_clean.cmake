@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_core.dir/base_2hop.cc.o"
+  "CMakeFiles/nsky_core.dir/base_2hop.cc.o.d"
+  "CMakeFiles/nsky_core.dir/base_cset.cc.o"
+  "CMakeFiles/nsky_core.dir/base_cset.cc.o.d"
+  "CMakeFiles/nsky_core.dir/base_sky.cc.o"
+  "CMakeFiles/nsky_core.dir/base_sky.cc.o.d"
+  "CMakeFiles/nsky_core.dir/bloom.cc.o"
+  "CMakeFiles/nsky_core.dir/bloom.cc.o.d"
+  "CMakeFiles/nsky_core.dir/domination.cc.o"
+  "CMakeFiles/nsky_core.dir/domination.cc.o.d"
+  "CMakeFiles/nsky_core.dir/dynamic_skyline.cc.o"
+  "CMakeFiles/nsky_core.dir/dynamic_skyline.cc.o.d"
+  "CMakeFiles/nsky_core.dir/filter_phase.cc.o"
+  "CMakeFiles/nsky_core.dir/filter_phase.cc.o.d"
+  "CMakeFiles/nsky_core.dir/filter_refine_sky.cc.o"
+  "CMakeFiles/nsky_core.dir/filter_refine_sky.cc.o.d"
+  "libnsky_core.a"
+  "libnsky_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/bombing.cc" "src/datasets/CMakeFiles/nsky_datasets.dir/bombing.cc.o" "gcc" "src/datasets/CMakeFiles/nsky_datasets.dir/bombing.cc.o.d"
+  "/root/repo/src/datasets/karate.cc" "src/datasets/CMakeFiles/nsky_datasets.dir/karate.cc.o" "gcc" "src/datasets/CMakeFiles/nsky_datasets.dir/karate.cc.o.d"
+  "/root/repo/src/datasets/registry.cc" "src/datasets/CMakeFiles/nsky_datasets.dir/registry.cc.o" "gcc" "src/datasets/CMakeFiles/nsky_datasets.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

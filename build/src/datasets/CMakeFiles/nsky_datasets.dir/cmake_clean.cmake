@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_datasets.dir/bombing.cc.o"
+  "CMakeFiles/nsky_datasets.dir/bombing.cc.o.d"
+  "CMakeFiles/nsky_datasets.dir/karate.cc.o"
+  "CMakeFiles/nsky_datasets.dir/karate.cc.o.d"
+  "CMakeFiles/nsky_datasets.dir/registry.cc.o"
+  "CMakeFiles/nsky_datasets.dir/registry.cc.o.d"
+  "libnsky_datasets.a"
+  "libnsky_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

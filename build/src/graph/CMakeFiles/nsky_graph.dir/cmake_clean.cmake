@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_graph.dir/builder.cc.o"
+  "CMakeFiles/nsky_graph.dir/builder.cc.o.d"
+  "CMakeFiles/nsky_graph.dir/cores.cc.o"
+  "CMakeFiles/nsky_graph.dir/cores.cc.o.d"
+  "CMakeFiles/nsky_graph.dir/generators.cc.o"
+  "CMakeFiles/nsky_graph.dir/generators.cc.o.d"
+  "CMakeFiles/nsky_graph.dir/graph.cc.o"
+  "CMakeFiles/nsky_graph.dir/graph.cc.o.d"
+  "CMakeFiles/nsky_graph.dir/io.cc.o"
+  "CMakeFiles/nsky_graph.dir/io.cc.o.d"
+  "CMakeFiles/nsky_graph.dir/sampling.cc.o"
+  "CMakeFiles/nsky_graph.dir/sampling.cc.o.d"
+  "CMakeFiles/nsky_graph.dir/stats.cc.o"
+  "CMakeFiles/nsky_graph.dir/stats.cc.o.d"
+  "CMakeFiles/nsky_graph.dir/threshold.cc.o"
+  "CMakeFiles/nsky_graph.dir/threshold.cc.o.d"
+  "libnsky_graph.a"
+  "libnsky_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

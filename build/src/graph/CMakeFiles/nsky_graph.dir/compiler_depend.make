@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nsky_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/setjoin/containment_join.cc" "src/setjoin/CMakeFiles/nsky_setjoin.dir/containment_join.cc.o" "gcc" "src/setjoin/CMakeFiles/nsky_setjoin.dir/containment_join.cc.o.d"
+  "/root/repo/src/setjoin/records.cc" "src/setjoin/CMakeFiles/nsky_setjoin.dir/records.cc.o" "gcc" "src/setjoin/CMakeFiles/nsky_setjoin.dir/records.cc.o.d"
+  "/root/repo/src/setjoin/skyline_via_join.cc" "src/setjoin/CMakeFiles/nsky_setjoin.dir/skyline_via_join.cc.o" "gcc" "src/setjoin/CMakeFiles/nsky_setjoin.dir/skyline_via_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsky_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_setjoin.dir/containment_join.cc.o"
+  "CMakeFiles/nsky_setjoin.dir/containment_join.cc.o.d"
+  "CMakeFiles/nsky_setjoin.dir/records.cc.o"
+  "CMakeFiles/nsky_setjoin.dir/records.cc.o.d"
+  "CMakeFiles/nsky_setjoin.dir/skyline_via_join.cc.o"
+  "CMakeFiles/nsky_setjoin.dir/skyline_via_join.cc.o.d"
+  "libnsky_setjoin.a"
+  "libnsky_setjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_setjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nsky_setjoin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky.dir/nsky_main.cc.o"
+  "CMakeFiles/nsky.dir/nsky_main.cc.o.d"
+  "nsky"
+  "nsky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_cli.dir/cli.cc.o"
+  "CMakeFiles/nsky_cli.dir/cli.cc.o.d"
+  "libnsky_cli.a"
+  "libnsky_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

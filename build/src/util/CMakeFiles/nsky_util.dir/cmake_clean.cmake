@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsky_util.dir/bitset.cc.o"
+  "CMakeFiles/nsky_util.dir/bitset.cc.o.d"
+  "CMakeFiles/nsky_util.dir/memory.cc.o"
+  "CMakeFiles/nsky_util.dir/memory.cc.o.d"
+  "CMakeFiles/nsky_util.dir/rng.cc.o"
+  "CMakeFiles/nsky_util.dir/rng.cc.o.d"
+  "CMakeFiles/nsky_util.dir/status.cc.o"
+  "CMakeFiles/nsky_util.dir/status.cc.o.d"
+  "CMakeFiles/nsky_util.dir/strings.cc.o"
+  "CMakeFiles/nsky_util.dir/strings.cc.o.d"
+  "CMakeFiles/nsky_util.dir/timer.cc.o"
+  "CMakeFiles/nsky_util.dir/timer.cc.o.d"
+  "libnsky_util.a"
+  "libnsky_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsky_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

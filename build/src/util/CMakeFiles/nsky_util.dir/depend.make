@@ -1,0 +1,2 @@
+# Empty dependencies file for nsky_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_tests.dir/centrality/betweenness_test.cc.o"
+  "CMakeFiles/centrality_tests.dir/centrality/betweenness_test.cc.o.d"
+  "CMakeFiles/centrality_tests.dir/centrality/bfs_test.cc.o"
+  "CMakeFiles/centrality_tests.dir/centrality/bfs_test.cc.o.d"
+  "CMakeFiles/centrality_tests.dir/centrality/closeness_test.cc.o"
+  "CMakeFiles/centrality_tests.dir/centrality/closeness_test.cc.o.d"
+  "CMakeFiles/centrality_tests.dir/centrality/greedy_test.cc.o"
+  "CMakeFiles/centrality_tests.dir/centrality/greedy_test.cc.o.d"
+  "CMakeFiles/centrality_tests.dir/centrality/group_test.cc.o"
+  "CMakeFiles/centrality_tests.dir/centrality/group_test.cc.o.d"
+  "CMakeFiles/centrality_tests.dir/centrality/lemma_test.cc.o"
+  "CMakeFiles/centrality_tests.dir/centrality/lemma_test.cc.o.d"
+  "centrality_tests"
+  "centrality_tests.pdb"
+  "centrality_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

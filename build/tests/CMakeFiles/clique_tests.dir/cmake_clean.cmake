@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_tests.dir/clique/max_clique_test.cc.o"
+  "CMakeFiles/clique_tests.dir/clique/max_clique_test.cc.o.d"
+  "CMakeFiles/clique_tests.dir/clique/nei_sky_mc_test.cc.o"
+  "CMakeFiles/clique_tests.dir/clique/nei_sky_mc_test.cc.o.d"
+  "CMakeFiles/clique_tests.dir/clique/topk_test.cc.o"
+  "CMakeFiles/clique_tests.dir/clique/topk_test.cc.o.d"
+  "clique_tests"
+  "clique_tests.pdb"
+  "clique_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

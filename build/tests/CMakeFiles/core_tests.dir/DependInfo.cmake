@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/base_sky_test.cc" "tests/CMakeFiles/core_tests.dir/core/base_sky_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/base_sky_test.cc.o.d"
+  "/root/repo/tests/core/bloom_test.cc" "tests/CMakeFiles/core_tests.dir/core/bloom_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bloom_test.cc.o.d"
+  "/root/repo/tests/core/domination_test.cc" "tests/CMakeFiles/core_tests.dir/core/domination_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/domination_test.cc.o.d"
+  "/root/repo/tests/core/dynamic_skyline_test.cc" "tests/CMakeFiles/core_tests.dir/core/dynamic_skyline_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dynamic_skyline_test.cc.o.d"
+  "/root/repo/tests/core/equivalence_test.cc" "tests/CMakeFiles/core_tests.dir/core/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/equivalence_test.cc.o.d"
+  "/root/repo/tests/core/filter_phase_test.cc" "tests/CMakeFiles/core_tests.dir/core/filter_phase_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/filter_phase_test.cc.o.d"
+  "/root/repo/tests/core/filter_refine_test.cc" "tests/CMakeFiles/core_tests.dir/core/filter_refine_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/filter_refine_test.cc.o.d"
+  "/root/repo/tests/core/special_graphs_test.cc" "tests/CMakeFiles/core_tests.dir/core/special_graphs_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/special_graphs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasets/CMakeFiles/nsky_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/clique/CMakeFiles/nsky_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/centrality/CMakeFiles/nsky_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/setjoin/CMakeFiles/nsky_setjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsky_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

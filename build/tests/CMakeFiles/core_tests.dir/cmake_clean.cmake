@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/base_sky_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/base_sky_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/bloom_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/bloom_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/domination_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/domination_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/dynamic_skyline_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/dynamic_skyline_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/equivalence_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/equivalence_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/filter_phase_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/filter_phase_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/filter_refine_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/filter_refine_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/special_graphs_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/special_graphs_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_tests.dir/datasets/datasets_test.cc.o"
+  "CMakeFiles/datasets_tests.dir/datasets/datasets_test.cc.o.d"
+  "datasets_tests"
+  "datasets_tests.pdb"
+  "datasets_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setjoin_tests.dir/setjoin/containment_join_test.cc.o"
+  "CMakeFiles/setjoin_tests.dir/setjoin/containment_join_test.cc.o.d"
+  "CMakeFiles/setjoin_tests.dir/setjoin/records_test.cc.o"
+  "CMakeFiles/setjoin_tests.dir/setjoin/records_test.cc.o.d"
+  "CMakeFiles/setjoin_tests.dir/setjoin/skyline_via_join_test.cc.o"
+  "CMakeFiles/setjoin_tests.dir/setjoin/skyline_via_join_test.cc.o.d"
+  "setjoin_tests"
+  "setjoin_tests.pdb"
+  "setjoin_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setjoin_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/bitset_test.cc" "tests/CMakeFiles/util_tests.dir/util/bitset_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/bitset_test.cc.o.d"
+  "/root/repo/tests/util/memory_test.cc" "tests/CMakeFiles/util_tests.dir/util/memory_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/memory_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/strings_test.cc" "tests/CMakeFiles/util_tests.dir/util/strings_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/strings_test.cc.o.d"
+  "/root/repo/tests/util/timer_test.cc" "tests/CMakeFiles/util_tests.dir/util/timer_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/timer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasets/CMakeFiles/nsky_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/clique/CMakeFiles/nsky_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/centrality/CMakeFiles/nsky_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/setjoin/CMakeFiles/nsky_setjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsky_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nsky_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsky_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

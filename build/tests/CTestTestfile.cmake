@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/setjoin_tests[1]_include.cmake")
+include("/root/repo/build/tests/centrality_tests[1]_include.cmake")
+include("/root/repo/build/tests/tools_tests[1]_include.cmake")
+include("/root/repo/build/tests/clique_tests[1]_include.cmake")
+include("/root/repo/build/tests/datasets_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
