@@ -5,13 +5,22 @@
 // reports, and (c) a short expectation line describing the shape the paper
 // observed. Binaries are deterministic and sized to finish in seconds to a
 // few minutes on one core.
+//
+// In addition to the text table, a binary can register rows with a
+// JsonReporter to emit a machine-readable record of the same measurements --
+// the input of the perf trajectory (BENCH_*.json). The report goes to a file
+// (never stdout), so the text output stays byte-identical.
 #ifndef NSKY_BENCH_BENCH_UTIL_H_
 #define NSKY_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/json_writer.h"
 
 namespace nsky::bench {
 
@@ -73,6 +82,119 @@ inline std::string FmtSecs(double s) {
   }
   return buf;
 }
+
+// Machine-readable report writer: {"bench":<name>,"schema":"nsky.bench.v1",
+// "rows":[{<field>:<value>,...},...]}. Rows hold scalar fields in insertion
+// order. The report is written by Write() (or the destructor as a fallback)
+// to, in order of preference:
+//   1. $NSKY_BENCH_JSON            -- exact output path
+//   2. $NSKY_BENCH_JSON_DIR/<bench>.json
+//   3. ./<bench>.json
+class JsonReporter {
+ public:
+  class Row {
+   public:
+    Row& Str(std::string key, std::string value) {
+      cells_.push_back({std::move(key), Cell::kStr, 0, 0.0, std::move(value)});
+      return *this;
+    }
+    Row& U64(std::string key, uint64_t value) {
+      cells_.push_back({std::move(key), Cell::kU64, value, 0.0, {}});
+      return *this;
+    }
+    Row& F64(std::string key, double value) {
+      cells_.push_back({std::move(key), Cell::kF64, 0, value, {}});
+      return *this;
+    }
+
+   private:
+    friend class JsonReporter;
+    struct Cell {
+      std::string key;
+      enum Kind { kStr, kU64, kF64 } kind;
+      uint64_t u64;
+      double f64;
+      std::string str;
+    };
+    std::vector<Cell> cells_;
+  };
+
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    if (!written_) Write();
+  }
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string ToJson() const {
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "nsky.bench.v1");
+    w.KV("bench", bench_name_);
+    w.Key("rows");
+    w.BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      for (const Row::Cell& c : row.cells_) {
+        switch (c.kind) {
+          case Row::Cell::kStr:
+            w.KV(c.key, c.str);
+            break;
+          case Row::Cell::kU64:
+            w.KV(c.key, c.u64);
+            break;
+          case Row::Cell::kF64:
+            w.KV(c.key, c.f64);
+            break;
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return std::move(w).Take();
+  }
+
+  std::string OutputPath() const {
+    if (const char* path = std::getenv("NSKY_BENCH_JSON")) return path;
+    if (const char* dir = std::getenv("NSKY_BENCH_JSON_DIR")) {
+      return std::string(dir) + "/" + bench_name_ + ".json";
+    }
+    return bench_name_ + ".json";
+  }
+
+  // Writes the report; on failure prints a warning to stderr (a bench run
+  // must not fail because the report directory is read-only).
+  bool Write() {
+    written_ = true;
+    std::string path = OutputPath();
+    std::string json = ToJson();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write bench report %s\n",
+                   path.c_str());
+      return false;
+    }
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    ok = std::fclose(f) == 0 && ok;
+    // stderr so the stdout table stays byte-identical with older runs.
+    if (ok) std::fprintf(stderr, "[json report: %s]\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace nsky::bench
 

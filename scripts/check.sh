@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-command correctness gate: sanitizer Debug build + full ctest run.
+#
+# Usage: scripts/check.sh [build-dir]
+#
+# Configures a Debug build with AddressSanitizer + UBSan (-DNSKY_SANITIZE=ON),
+# builds everything, and runs the whole test suite. Use before sending any PR
+# that touches a solver or the telemetry layer; a clean run means no memory
+# errors, no UB, and no behavioral regressions under the entire gtest suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DNSKY_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

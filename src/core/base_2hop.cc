@@ -6,8 +6,10 @@
 
 #include "core/bloom.h"
 #include "core/subset_check.h"
+#include "core/telemetry.h"
 #include "util/memory.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 
@@ -22,6 +24,7 @@ bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
 }  // namespace
 
 SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
+  NSKY_TRACE_SPAN("base_2hop");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
@@ -36,6 +39,7 @@ SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
   // ---- Materialize all 2-hop neighbor lists (the expensive part). ----
   std::vector<std::vector<VertexId>> two_hop(n);
   {
+    NSKY_TRACE_SPAN("two_hop_build");
     std::vector<VertexId> buffer;
     for (VertexId u = 0; u < n; ++u) {
       buffer.clear();
@@ -56,6 +60,7 @@ SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
   // ---- Bloom filters for every vertex. ----
   std::unique_ptr<NeighborhoodBlooms> blooms;
   if (options.use_bloom) {
+    NSKY_TRACE_SPAN("bloom_build");
     std::vector<uint8_t> member(n, 1);
     uint32_t bits = options.bloom_bits != 0
                         ? options.bloom_bits
@@ -66,38 +71,44 @@ SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
   }
 
   // ---- Verify every vertex against its 2-hop list. ----
-  for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] != u) continue;
-    const uint32_t deg_u = g.Degree(u);
-    for (VertexId w : two_hop[u]) {
-      ++result.stats.pairs_examined;
-      if (g.Degree(w) < deg_u) {
-        ++result.stats.degree_prunes;
-        continue;
-      }
-      if (dominator[w] != w) continue;
-      // The closed-neighborhood variant is required here: unlike in
-      // FilterRefineSky, w may be adjacent to u (no filter phase ran), and
-      // then w's own bit legitimately covers u's neighbor w.
-      if (blooms != nullptr && !blooms->SubsetTestClosed(u, w)) {
-        ++result.stats.bloom_prunes;
-        continue;
-      }
-      ++result.stats.inclusion_tests;
-      if (!OpenSubsetOfClosed(g, u, w, &result.stats.nbr_elements_scanned)) {
-        continue;
-      }
-      if (g.Degree(w) == deg_u) {
-        if (u > w) {
+  {
+    NSKY_TRACE_SPAN("verify");
+    for (VertexId u = 0; u < n; ++u) {
+      if (dominator[u] != u) continue;
+      const uint32_t deg_u = g.Degree(u);
+      for (VertexId w : two_hop[u]) {
+        ++result.stats.pairs_examined;
+        if (g.Degree(w) < deg_u) {
+          ++result.stats.degree_prunes;
+          continue;
+        }
+        if (dominator[w] != w) continue;
+        // The closed-neighborhood variant is required here: unlike in
+        // FilterRefineSky, w may be adjacent to u (no filter phase ran), and
+        // then w's own bit legitimately covers u's neighbor w.
+        if (blooms != nullptr && !blooms->SubsetTestClosed(u, w)) {
+          ++result.stats.bloom_prunes;
+          continue;
+        }
+        ++result.stats.inclusion_tests;
+        if (!OpenSubsetOfClosed(g, u, w,
+                                &result.stats.nbr_elements_scanned)) {
+          continue;
+        }
+        if (g.Degree(w) == deg_u) {
+          if (u > w) {
+            dominator[u] = w;
+            break;
+          }
+          if (dominator[w] == w) dominator[w] = u;
+        } else {
           dominator[u] = w;
           break;
         }
-        if (dominator[w] == w) dominator[w] = u;
-      } else {
-        dominator[u] = w;
-        break;
       }
     }
+    // Mirrored inside the span so "verify" carries its own counter deltas.
+    MirrorStatsCounters("nsky.base_2hop.verify", result.stats);
   }
 
   for (VertexId u = 0; u < n; ++u) {
@@ -106,6 +117,7 @@ SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
   tally.Add(result.skyline.capacity() * sizeof(VertexId));
   result.stats.aux_peak_bytes = tally.peak_bytes();
   result.stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("base_2hop", result.stats);
   return result;
 }
 

@@ -3,12 +3,15 @@
 #include <vector>
 
 #include "core/filter_phase.h"
+#include "core/telemetry.h"
 #include "util/memory.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 
 SkylineResult BaseCSet(const Graph& g) {
+  NSKY_TRACE_SPAN("base_cset");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
@@ -16,6 +19,7 @@ SkylineResult BaseCSet(const Graph& g) {
   std::vector<VertexId>& dominator = result.dominator;
   const std::vector<VertexId> candidates = std::move(result.skyline);
   result.skyline.clear();
+  const SkylineStats after_filter = result.stats;
 
   util::MemoryTally tally;
   tally.Add(result.stats.aux_peak_bytes);
@@ -26,34 +30,40 @@ SkylineResult BaseCSet(const Graph& g) {
   tally.Add(count.capacity() * sizeof(uint32_t));
 
   // BaseSky's intersection counting, restricted to the candidates.
-  for (VertexId u : candidates) {
-    if (dominator[u] != u) continue;
-    const uint32_t deg_u = g.Degree(u);
-    bool done = false;
-    touched.clear();
-    for (VertexId v : g.Neighbors(u)) {
-      if (done) break;
-      auto process = [&](VertexId w) {
-        if (w == u || done) return;
-        if (count[w] == 0) touched.push_back(w);
-        ++result.stats.pairs_examined;
-        if (++count[w] != deg_u) return;
-        if (g.Degree(w) == deg_u) {
-          if (u > w) {
+  {
+    NSKY_TRACE_SPAN("refine");
+    for (VertexId u : candidates) {
+      if (dominator[u] != u) continue;
+      const uint32_t deg_u = g.Degree(u);
+      bool done = false;
+      touched.clear();
+      for (VertexId v : g.Neighbors(u)) {
+        if (done) break;
+        auto process = [&](VertexId w) {
+          if (w == u || done) return;
+          if (count[w] == 0) touched.push_back(w);
+          ++result.stats.pairs_examined;
+          if (++count[w] != deg_u) return;
+          if (g.Degree(w) == deg_u) {
+            if (u > w) {
+              dominator[u] = w;
+              done = true;
+            } else if (dominator[w] == w) {
+              dominator[w] = u;
+            }
+          } else {
             dominator[u] = w;
             done = true;
-          } else if (dominator[w] == w) {
-            dominator[w] = u;
           }
-        } else {
-          dominator[u] = w;
-          done = true;
-        }
-      };
-      for (VertexId w : g.Neighbors(v)) process(w);
-      process(v);
+        };
+        for (VertexId w : g.Neighbors(v)) process(w);
+        process(v);
+      }
+      for (VertexId w : touched) count[w] = 0;
     }
-    for (VertexId w : touched) count[w] = 0;
+    // Mirrored inside the span so "refine" carries its own counter deltas.
+    MirrorStatsCounters("nsky.base_cset.refine",
+                        StatsSince(result.stats, after_filter));
   }
 
   for (VertexId u = 0; u < n; ++u) {
@@ -62,6 +72,7 @@ SkylineResult BaseCSet(const Graph& g) {
   tally.Add(result.skyline.capacity() * sizeof(VertexId));
   result.stats.aux_peak_bytes = tally.peak_bytes();
   result.stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("base_cset", result.stats);
   return result;
 }
 

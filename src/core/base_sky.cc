@@ -2,12 +2,15 @@
 
 #include <vector>
 
+#include "core/telemetry.h"
 #include "util/memory.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 
 SkylineResult BaseSky(const Graph& g) {
+  NSKY_TRACE_SPAN("base_sky");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
@@ -67,6 +70,7 @@ SkylineResult BaseSky(const Graph& g) {
   tally.Add(result.skyline.capacity() * sizeof(VertexId));
   result.stats.aux_peak_bytes = tally.peak_bytes();
   result.stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("base_sky", result.stats);
   return result;
 }
 

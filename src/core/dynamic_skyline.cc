@@ -5,6 +5,8 @@
 #include "core/filter_refine_sky.h"
 #include "core/subset_check.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 
@@ -36,6 +38,7 @@ bool DynamicSkyline::Dominates(VertexId w, VertexId x) const {
 
 void DynamicSkyline::Recheck(VertexId x) {
   ++total_rechecks_;
+  NSKY_COUNTER_INC("nsky.dynamic.rechecks");
   in_skyline_[x] = 1;
   if (adj_[x].empty()) return;  // isolated: skyline by the 2-hop convention
   // Pivot narrowing: any dominator of x lies in N[pivot] for x's
@@ -75,8 +78,10 @@ void DynamicSkyline::RecheckAll(std::vector<VertexId>* affected) {
 }
 
 bool DynamicSkyline::AddEdge(VertexId u, VertexId v) {
+  NSKY_TRACE_SPAN("dyn_add_edge");
   NSKY_CHECK(u < NumVertices() && v < NumVertices());
   if (u == v || HasEdge(u, v)) return false;
+  NSKY_COUNTER_INC("nsky.dynamic.edges_added");
   // Status can change for u, v and everyone who sees u or v within 2 hops
   // in the old or the new graph; the union of old and new 2-hop
   // neighborhoods of u and v (computed after insertion, which covers the
@@ -92,8 +97,10 @@ bool DynamicSkyline::AddEdge(VertexId u, VertexId v) {
 }
 
 bool DynamicSkyline::RemoveEdge(VertexId u, VertexId v) {
+  NSKY_TRACE_SPAN("dyn_remove_edge");
   NSKY_CHECK(u < NumVertices() && v < NumVertices());
   if (u == v || !HasEdge(u, v)) return false;
+  NSKY_COUNTER_INC("nsky.dynamic.edges_removed");
   // Collect before deletion: the old 2-hop sets are the larger ones here.
   std::vector<VertexId> affected;
   Collect2Hop(u, &affected);

@@ -3,8 +3,10 @@
 #include <vector>
 
 #include "core/subset_check.h"
+#include "core/telemetry.h"
 #include "util/memory.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 
@@ -21,6 +23,7 @@ bool ClosedSubsetAlongEdge(const Graph& g, VertexId u, VertexId v,
 }  // namespace
 
 SkylineResult FilterPhase(const Graph& g) {
+  NSKY_TRACE_SPAN("filter");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
@@ -69,6 +72,7 @@ SkylineResult FilterPhase(const Graph& g) {
   tally.Add(result.skyline.capacity() * sizeof(VertexId));
   result.stats.aux_peak_bytes = tally.peak_bytes();
   result.stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("filter_phase", result.stats);
   return result;
 }
 

@@ -6,8 +6,10 @@
 #include "core/bloom.h"
 #include "core/filter_phase.h"
 #include "core/subset_check.h"
+#include "core/telemetry.h"
 #include "util/memory.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 
@@ -25,6 +27,7 @@ bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
 
 SkylineResult FilterRefineSky(const Graph& g,
                               const FilterRefineOptions& options) {
+  NSKY_TRACE_SPAN("filter_refine");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
@@ -33,6 +36,7 @@ SkylineResult FilterRefineSky(const Graph& g,
   std::vector<VertexId>& dominator = result.dominator;
   const std::vector<VertexId> candidates = std::move(result.skyline);
   result.skyline.clear();
+  const SkylineStats after_filter = result.stats;
 
   util::MemoryTally tally;
   tally.Add(result.stats.aux_peak_bytes);  // filter-phase structures
@@ -44,6 +48,7 @@ SkylineResult FilterRefineSky(const Graph& g,
 
   std::unique_ptr<NeighborhoodBlooms> blooms;
   if (options.use_bloom && !candidates.empty()) {
+    NSKY_TRACE_SPAN("bloom_build");
     uint32_t bits = options.bloom_bits != 0
                         ? options.bloom_bits
                         : NeighborhoodBlooms::ChooseBitsAdaptive(
@@ -59,56 +64,62 @@ SkylineResult FilterRefineSky(const Graph& g,
   // minimum-degree neighbor x*. Hence it is enough to scan w in N[x*],
   // which is tiny whenever u touches any low-degree vertex. The candidate
   // list is duplicate-free by construction, so no dedup stamps are needed.
-  for (VertexId u : candidates) {
-    if (dominator[u] != u) continue;  // dominated meanwhile (mutual marking)
-    const uint32_t deg_u = g.Degree(u);
-    if (deg_u == 0) continue;  // isolated: skyline by the 2-hop convention
+  {
+    NSKY_TRACE_SPAN("refine");
+    for (VertexId u : candidates) {
+      if (dominator[u] != u) continue;  // dominated meanwhile (mutual marking)
+      const uint32_t deg_u = g.Degree(u);
+      if (deg_u == 0) continue;  // isolated: skyline by the 2-hop convention
 
-    VertexId pivot = g.Neighbors(u)[0];
-    for (VertexId x : g.Neighbors(u)) {
-      if (g.Degree(x) < g.Degree(pivot)) pivot = x;
-    }
+      VertexId pivot = g.Neighbors(u)[0];
+      for (VertexId x : g.Neighbors(u)) {
+        if (g.Degree(x) < g.Degree(pivot)) pivot = x;
+      }
 
-    auto consider = [&](VertexId w) -> bool {
-      // Returns true when u was shown to be dominated (stop scanning).
-      if (w == u) return false;
-      ++result.stats.pairs_examined;
-      // Degree test: N(u) subset-of N[w] forces deg(w) >= deg(u).
-      if (g.Degree(w) < deg_u) {
-        ++result.stats.degree_prunes;
-        return false;
-      }
-      // Dominated-w skip: if w is dominated, transitivity guarantees an
-      // undominated dominator of u is also reachable, so w is redundant.
-      if (dominator[w] != w) return false;
-      // Bloom subset pre-test (no false negatives). The closed variant is
-      // required: w may be adjacent to u here.
-      if (blooms != nullptr && blooms->Has(w) &&
-          !blooms->SubsetTestClosed(u, w)) {
-        ++result.stats.bloom_prunes;
-        return false;
-      }
-      // Exact verification (NBRcheck).
-      ++result.stats.inclusion_tests;
-      if (!OpenSubsetOfClosed(g, u, w, &result.stats.nbr_elements_scanned)) {
-        return false;
-      }
-      if (g.Degree(w) == deg_u) {
-        // Equal degree + inclusion => mutual; smaller id dominates.
-        if (u > w) {
-          dominator[u] = w;
-          return true;
+      auto consider = [&](VertexId w) -> bool {
+        // Returns true when u was shown to be dominated (stop scanning).
+        if (w == u) return false;
+        ++result.stats.pairs_examined;
+        // Degree test: N(u) subset-of N[w] forces deg(w) >= deg(u).
+        if (g.Degree(w) < deg_u) {
+          ++result.stats.degree_prunes;
+          return false;
         }
-        return false;  // u has the smaller id; keep scanning
-      }
-      dominator[u] = w;  // strict domination
-      return true;
-    };
+        // Dominated-w skip: if w is dominated, transitivity guarantees an
+        // undominated dominator of u is also reachable, so w is redundant.
+        if (dominator[w] != w) return false;
+        // Bloom subset pre-test (no false negatives). The closed variant is
+        // required: w may be adjacent to u here.
+        if (blooms != nullptr && blooms->Has(w) &&
+            !blooms->SubsetTestClosed(u, w)) {
+          ++result.stats.bloom_prunes;
+          return false;
+        }
+        // Exact verification (NBRcheck).
+        ++result.stats.inclusion_tests;
+        if (!OpenSubsetOfClosed(g, u, w, &result.stats.nbr_elements_scanned)) {
+          return false;
+        }
+        if (g.Degree(w) == deg_u) {
+          // Equal degree + inclusion => mutual; smaller id dominates.
+          if (u > w) {
+            dominator[u] = w;
+            return true;
+          }
+          return false;  // u has the smaller id; keep scanning
+        }
+        dominator[u] = w;  // strict domination
+        return true;
+      };
 
-    if (consider(pivot)) continue;
-    for (VertexId w : g.Neighbors(pivot)) {
-      if (consider(w)) break;
+      if (consider(pivot)) continue;
+      for (VertexId w : g.Neighbors(pivot)) {
+        if (consider(w)) break;
+      }
     }
+    // Mirrored inside the span so "refine" carries its own counter deltas.
+    MirrorStatsCounters("nsky.filter_refine.refine",
+                        StatsSince(result.stats, after_filter));
   }
 
   for (VertexId u = 0; u < n; ++u) {
@@ -117,6 +128,7 @@ SkylineResult FilterRefineSky(const Graph& g,
   tally.Add(result.skyline.capacity() * sizeof(VertexId));
   result.stats.aux_peak_bytes = tally.peak_bytes();
   result.stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("filter_refine", result.stats);
   return result;
 }
 

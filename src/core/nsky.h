@@ -16,5 +16,6 @@
 #include "core/filter_phase.h"
 #include "core/filter_refine_sky.h"
 #include "core/skyline.h"
+#include "core/telemetry.h"
 
 #endif  // NSKY_CORE_NSKY_H_

@@ -1,0 +1,78 @@
+// Bridges the solvers' deterministic SkylineStats into the global telemetry
+// subsystem (util/metrics.h, util/trace.h).
+//
+// Solvers keep accumulating their counters in plain SkylineStats fields --
+// the hot loops never touch an atomic -- and mirror them into the metrics
+// registry at phase boundaries. Mirroring inside a trace span is what gives
+// the span its counter deltas. Everything here is observation-only: with
+// metrics disabled the mirrors are no-ops, and SkylineStats values are
+// byte-identical either way (asserted by tests/core/equivalence_test.cc).
+//
+// Naming scheme:
+//   nsky.<algo>.runs                 counter, one per completed run
+//   nsky.<algo>.pairs_examined       counter   \
+//   nsky.<algo>.bloom_prunes         counter    |
+//   nsky.<algo>.degree_prunes        counter    | whole-run totals
+//   nsky.<algo>.inclusion_tests      counter    |
+//   nsky.<algo>.nbr_elements_scanned counter   /
+//   nsky.<algo>.candidate_count      gauge, last run
+//   nsky.<algo>.aux_peak_bytes       gauge, last run
+//   nsky.<algo>.run_us               histogram of run wall time (microseconds)
+//   nsky.<algo>.<phase>.*            counters: per-phase share of the totals
+#ifndef NSKY_CORE_TELEMETRY_H_
+#define NSKY_CORE_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/skyline.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace nsky::core {
+
+// Difference of the deterministic counter fields (now - before). Non-counter
+// fields (candidate_count, aux_peak_bytes, seconds) keep `now`'s values.
+inline SkylineStats StatsSince(const SkylineStats& now,
+                               const SkylineStats& before) {
+  SkylineStats d = now;
+  d.pairs_examined -= before.pairs_examined;
+  d.bloom_prunes -= before.bloom_prunes;
+  d.degree_prunes -= before.degree_prunes;
+  d.inclusion_tests -= before.inclusion_tests;
+  d.nbr_elements_scanned -= before.nbr_elements_scanned;
+  return d;
+}
+
+// Adds the five deterministic counters to "<prefix>.*" counters.
+inline void MirrorStatsCounters(const std::string& prefix,
+                                const SkylineStats& s) {
+  namespace m = util::metrics;
+  if (!m::Enabled()) return;
+  m::GetCounter(prefix + ".pairs_examined").Add(s.pairs_examined);
+  m::GetCounter(prefix + ".bloom_prunes").Add(s.bloom_prunes);
+  m::GetCounter(prefix + ".degree_prunes").Add(s.degree_prunes);
+  m::GetCounter(prefix + ".inclusion_tests").Add(s.inclusion_tests);
+  m::GetCounter(prefix + ".nbr_elements_scanned").Add(s.nbr_elements_scanned);
+}
+
+// Whole-run mirror under "nsky.<algo>.*"; call once per completed run, after
+// stats.seconds is final and while the solver's outer trace span is open.
+inline void MirrorStatsToMetrics(const std::string& algo,
+                                 const SkylineStats& s) {
+  namespace m = util::metrics;
+  if (!m::Enabled()) return;
+  const std::string prefix = "nsky." + algo;
+  m::GetCounter(prefix + ".runs").Add(1);
+  MirrorStatsCounters(prefix, s);
+  m::GetGauge(prefix + ".candidate_count")
+      .Set(static_cast<int64_t>(s.candidate_count));
+  m::GetGauge(prefix + ".aux_peak_bytes")
+      .Set(static_cast<int64_t>(s.aux_peak_bytes));
+  m::GetHistogram(prefix + ".run_us")
+      .Observe(static_cast<uint64_t>(s.seconds * 1e6));
+}
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_TELEMETRY_H_

@@ -17,8 +17,11 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "setjoin/skyline_via_join.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace nsky::tools {
 
@@ -42,7 +45,7 @@ struct Args {
 
 // Options that do not take a value.
 bool IsBareFlag(const std::string& key) {
-  return key == "no-skyline-pruning" || key == "lazy";
+  return key == "no-skyline-pruning" || key == "lazy" || key == "json";
 }
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& raw,
@@ -149,8 +152,51 @@ std::optional<Graph> LoadInput(const Args& args, std::ostream& err) {
   return ParseGenerateSpec(args.Get("generate"), err);
 }
 
-int CmdStats(const Graph& g, std::ostream& out) {
-  out << graph::StatsToString(graph::ComputeStats(g)) << "\n";
+// Writes the SkylineStats object of the skyline/candidates schemas.
+void WriteStatsJson(const core::SkylineStats& stats, util::JsonWriter* w) {
+  w->Key("stats");
+  w->BeginObject();
+  w->KV("candidate_count", stats.candidate_count);
+  w->KV("pairs_examined", stats.pairs_examined);
+  w->KV("bloom_prunes", stats.bloom_prunes);
+  w->KV("degree_prunes", stats.degree_prunes);
+  w->KV("inclusion_tests", stats.inclusion_tests);
+  w->KV("nbr_elements_scanned", stats.nbr_elements_scanned);
+  w->KV("aux_peak_bytes", stats.aux_peak_bytes);
+  w->KV("seconds", stats.seconds);
+  w->EndObject();
+}
+
+void WriteGraphJson(const Graph& g, util::JsonWriter* w) {
+  w->Key("graph");
+  w->BeginObject();
+  w->KV("n", static_cast<uint64_t>(g.NumVertices()));
+  w->KV("m", g.NumEdges());
+  w->EndObject();
+}
+
+int CmdStats(const Args& args, const Graph& g, std::ostream& out) {
+  graph::GraphStats s = graph::ComputeStats(g);
+  if (args.Has("json")) {
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "nsky.stats.v1");
+    w.KV("command", "stats");
+    w.Key("graph");
+    w.BeginObject();
+    w.KV("n", s.num_vertices);
+    w.KV("m", s.num_edges);
+    w.KV("max_degree", static_cast<uint64_t>(s.max_degree));
+    w.KV("avg_degree", s.avg_degree);
+    w.KV("num_isolated", s.num_isolated);
+    w.KV("num_components", s.num_components);
+    w.KV("largest_component", s.largest_component);
+    w.EndObject();
+    w.EndObject();
+    out << std::move(w).Take() << "\n";
+    return 0;
+  }
+  out << graph::StatsToString(s) << "\n";
   return 0;
 }
 
@@ -172,6 +218,26 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     err << "error: unknown --algorithm '" << algo << "'\n";
     return 2;
   }
+  if (args.Has("json")) {
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "nsky.skyline.v1");
+    w.KV("command", "skyline");
+    w.KV("algorithm", algo);
+    WriteGraphJson(g, &w);
+    w.Key("skyline");
+    w.BeginObject();
+    w.KV("size", static_cast<uint64_t>(r.skyline.size()));
+    w.Key("members");
+    w.BeginArray();
+    for (VertexId u : r.skyline) w.UInt(u);
+    w.EndArray();
+    w.EndObject();
+    WriteStatsJson(r.stats, &w);
+    w.EndObject();
+    out << std::move(w).Take() << "\n";
+    return 0;
+  }
   out << "skyline " << r.skyline.size() << " of " << g.NumVertices()
       << " vertices (" << algo << ", " << util::FormatSeconds(r.stats.seconds)
       << ")\n";
@@ -181,8 +247,23 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
   return 0;
 }
 
-int CmdCandidates(const Graph& g, std::ostream& out) {
+int CmdCandidates(const Args& args, const Graph& g, std::ostream& out) {
   core::SkylineResult r = core::FilterPhase(g);
+  if (args.Has("json")) {
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "nsky.candidates.v1");
+    w.KV("command", "candidates");
+    WriteGraphJson(g, &w);
+    w.Key("candidates");
+    w.BeginObject();
+    w.KV("size", static_cast<uint64_t>(r.skyline.size()));
+    w.EndObject();
+    WriteStatsJson(r.stats, &w);
+    w.EndObject();
+    out << std::move(w).Take() << "\n";
+    return 0;
+  }
   out << "candidates " << r.skyline.size() << " of " << g.NumVertices()
       << " vertices (" << util::FormatSeconds(r.stats.seconds) << ")\n";
   return 0;
@@ -306,7 +387,9 @@ void PrintUsage(std::ostream& out) {
          "               | --generate SPEC (er:N:P, ba:N:M, pl:N:BETA:AVG,\n"
          "                 social:N:AVG, clique:N, cycle:N, path:N, star:N,\n"
          "                 tree:LEVELS; random models accept a trailing seed)\n"
-         "see src/tools/cli.h for per-command options\n";
+         "telemetry: --json (stats/skyline/candidates: JSON on stdout)\n"
+         "           --trace FILE (write Chrome trace-event JSON)\n"
+         "see src/tools/cli.h for per-command options and JSON schemas\n";
 }
 
 }  // namespace
@@ -337,17 +420,55 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
     return 2;
   }
 
+  if (args.Has("json") && args.command != "stats" &&
+      args.command != "skyline" && args.command != "candidates") {
+    err << "error: --json is not supported for command '" << args.command
+        << "'\n";
+    return 2;
+  }
+
   auto g = LoadInput(args, err);
   if (!g.has_value()) return 2;
+  NSKY_COUNTER_INC("nsky.cli.runs");
 
-  if (args.command == "stats") return CmdStats(*g, out);
-  if (args.command == "skyline") return CmdSkyline(args, *g, out, err);
-  if (args.command == "candidates") return CmdCandidates(*g, out);
-  if (args.command == "generate") return CmdGenerate(args, *g, out, err);
-  if (args.command == "centrality") return CmdCentrality(args, *g, out);
-  if (args.command == "group-max") return CmdGroupMax(args, *g, out, err);
-  if (args.command == "clique") return CmdClique(args, *g, out);
-  return CmdTopkCliques(args, *g, out);
+  // --trace: collect phase spans for this command only, then dump them.
+  const bool tracing = args.Has("trace");
+  if (tracing) {
+    util::trace::Reset();
+    util::trace::SetEnabled(true);
+  }
+
+  int code;
+  {
+    NSKY_TRACE_SPAN(args.command.c_str());
+    if (args.command == "stats") {
+      code = CmdStats(args, *g, out);
+    } else if (args.command == "skyline") {
+      code = CmdSkyline(args, *g, out, err);
+    } else if (args.command == "candidates") {
+      code = CmdCandidates(args, *g, out);
+    } else if (args.command == "generate") {
+      code = CmdGenerate(args, *g, out, err);
+    } else if (args.command == "centrality") {
+      code = CmdCentrality(args, *g, out);
+    } else if (args.command == "group-max") {
+      code = CmdGroupMax(args, *g, out, err);
+    } else if (args.command == "clique") {
+      code = CmdClique(args, *g, out);
+    } else {
+      code = CmdTopkCliques(args, *g, out);
+    }
+  }
+
+  if (tracing) {
+    util::trace::SetEnabled(false);
+    util::Status status = util::trace::WriteChromeTrace(args.Get("trace"));
+    if (!status.ok()) {
+      err << "error: " << status.ToString() << "\n";
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
 }
 
 }  // namespace nsky::tools

@@ -24,6 +24,27 @@
 //                        er:N:P | ba:N:M | pl:N:BETA:AVG | social:N:AVG
 //                        clique:N | cycle:N | path:N | star:N | tree:LEVELS
 //                      an optional trailing :SEED applies to random models.
+//
+// Telemetry options (any graph command):
+//   --trace FILE       record RAII phase spans during the command and write
+//                      them to FILE as Chrome trace-event JSON (loadable in
+//                      chrome://tracing or Perfetto).
+//   --json             machine-readable output on stdout instead of the text
+//                      rendering; supported by stats, skyline and candidates.
+//
+// Stable JSON schemas (version bumps on breaking change):
+//   stats      {"schema":"nsky.stats.v1","command":"stats",
+//               "graph":{"n","m","max_degree","avg_degree","num_isolated",
+//                        "num_components","largest_component"}}
+//   skyline    {"schema":"nsky.skyline.v1","command":"skyline",
+//               "algorithm":<string>,"graph":{"n","m"},
+//               "skyline":{"size",<uint>,"members":[<uint>...]},
+//               "stats":{"candidate_count","pairs_examined","bloom_prunes",
+//                        "degree_prunes","inclusion_tests",
+//                        "nbr_elements_scanned","aux_peak_bytes","seconds"}}
+//   candidates {"schema":"nsky.candidates.v1","command":"candidates",
+//               "graph":{"n","m"},"candidates":{"size",<uint>},
+//               "stats":{...same as skyline...}}
 #ifndef NSKY_TOOLS_CLI_H_
 #define NSKY_TOOLS_CLI_H_
 

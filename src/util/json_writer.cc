@@ -1,0 +1,452 @@
+#include "util/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace nsky::util {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  NSKY_CHECK_MSG(!done_, "JsonWriter: value after complete document");
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top == Frame::kObjectValue) {
+    top = Frame::kObject;  // the value paired with the pending Key
+    return;
+  }
+  NSKY_CHECK_MSG(top == Frame::kArray,
+                 "JsonWriter: object members need Key() before the value");
+  if (counts_.back()++ > 0) out_ += ',';
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  NSKY_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                 "JsonWriter: unbalanced EndObject");
+  out_ += '}';
+  stack_.pop_back();
+  counts_.pop_back();
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  NSKY_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                 "JsonWriter: unbalanced EndArray");
+  out_ += ']';
+  stack_.pop_back();
+  counts_.pop_back();
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  NSKY_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                 "JsonWriter: Key() outside an object");
+  if (counts_.back()++ > 0) out_ += ',';
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  stack_.back() = Frame::kObjectValue;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    // Round-trippable but shorter when possible.
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.9g", value);
+    if (std::strtod(shorter, nullptr) == value) std::memcpy(buf, shorter, 40);
+    out_ += buf;
+  }
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::KV(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::KV(std::string_view key, const char* value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::KV(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+void JsonWriter::KV(std::string_view key, uint64_t value) {
+  Key(key);
+  UInt(value);
+}
+void JsonWriter::KV(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+void JsonWriter::KV(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+bool JsonWriter::Complete() const { return done_ && stack_.empty(); }
+
+std::string JsonWriter::Take() && {
+  NSKY_CHECK_MSG(Complete(), "JsonWriter: Take() on incomplete document");
+  return std::move(out_);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with an explicit cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    SkipWs();
+    JsonValue v;
+    if (!ParseValue(&v, 0)) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void Fail(const char* what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t len = std::strlen(lit);
+    if (text_.substr(pos_, len) != lit) {
+      Fail("invalid literal");
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail("expected string");
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape");
+              return false;
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs unsupported; the
+          // writer never emits them -- it only \u-escapes control bytes).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->type = JsonValue::Type::kNull;
+      return Literal("null");
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return false;
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      Fail("malformed number");
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        Fail("expected ':'");
+        return false;
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated object");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      Fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated array");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      Fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonParse(std::string_view text, std::string* error) {
+  return Parser(text, error).Run();
+}
+
+}  // namespace nsky::util

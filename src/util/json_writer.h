@@ -1,0 +1,112 @@
+// Dependency-free JSON emitter and (test-oriented) parser.
+//
+// JsonWriter builds a JSON document into a string with automatic comma and
+// nesting management:
+//
+//   util::JsonWriter w;
+//   w.BeginObject();
+//   w.Key("bench"); w.String("fig3_runtime");
+//   w.Key("rows");  w.BeginArray();
+//   ...
+//   w.EndArray();
+//   w.EndObject();
+//   std::string doc = std::move(w).Take();
+//
+// The writer is used by the metrics/trace exporters, the `nsky` CLI `--json`
+// mode and the benchmark JsonReporter. JsonParse is a small recursive-descent
+// parser used by tests to round-trip what the writer (or the CLI) emitted;
+// it is not meant for adversarial input.
+#ifndef NSKY_UTIL_JSON_WRITER_H_
+#define NSKY_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nsky::util {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes). Control characters become \uXXXX; quote and backslash are escaped.
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Writes an object key; must be inside an object, and must be followed by
+  // exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  // Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Convenience: Key(key) followed by the value.
+  void KV(std::string_view key, std::string_view value);
+  void KV(std::string_view key, const char* value);
+  void KV(std::string_view key, int64_t value);
+  void KV(std::string_view key, uint64_t value);
+  void KV(std::string_view key, double value);
+  void KV(std::string_view key, bool value);
+
+  // True when every container has been closed and one value was written.
+  bool Complete() const;
+
+  // The document so far. Take() requires Complete().
+  const std::string& str() const { return out_; }
+  std::string Take() &&;
+
+ private:
+  enum class Frame : uint8_t { kObject, kObjectValue, kArray };
+
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<uint32_t> counts_;
+  bool done_ = false;
+};
+
+// Parsed JSON value (tests and CLI round-trip checks).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion-ordered object members.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses a complete JSON document. On failure returns nullopt and, when
+// `error` is non-null, stores a short diagnostic with the offset.
+std::optional<JsonValue> JsonParse(std::string_view text,
+                                   std::string* error = nullptr);
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_JSON_WRITER_H_

@@ -1,0 +1,233 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace nsky::util::metrics {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+}  // namespace
+
+// Owns every metric object for the process lifetime. Registration is
+// mutex-protected; reads of already-registered objects are lock-free.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry();  // never destroyed
+    return *instance;
+  }
+
+  Counter& InternCounter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) {
+      NSKY_CHECK_MSG(it->second.kind == Kind::kCounter,
+                     "metric name reused with a different kind");
+      return *counters_[it->second.index];
+    }
+    counters_.push_back(std::unique_ptr<Counter>(new Counter(std::string(name))));
+    by_name_.emplace(std::string(name),
+                     Entry{Kind::kCounter, counters_.size() - 1});
+    num_counters_.store(counters_.size(), std::memory_order_release);
+    return *counters_.back();
+  }
+
+  Gauge& InternGauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) {
+      NSKY_CHECK_MSG(it->second.kind == Kind::kGauge,
+                     "metric name reused with a different kind");
+      return *gauges_[it->second.index];
+    }
+    gauges_.push_back(std::unique_ptr<Gauge>(new Gauge(std::string(name))));
+    by_name_.emplace(std::string(name), Entry{Kind::kGauge, gauges_.size() - 1});
+    return *gauges_.back();
+  }
+
+  Histogram& InternHistogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) {
+      NSKY_CHECK_MSG(it->second.kind == Kind::kHistogram,
+                     "metric name reused with a different kind");
+      return *histograms_[it->second.index];
+    }
+    histograms_.push_back(
+        std::unique_ptr<Histogram>(new Histogram(std::string(name))));
+    by_name_.emplace(std::string(name),
+                     Entry{Kind::kHistogram, histograms_.size() - 1});
+    return *histograms_.back();
+  }
+
+  Snapshot Snap() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& c : counters_) {
+      snap.counters.push_back({c->name(), c->Value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& g : gauges_) snap.gauges.push_back({g->name(), g->Value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& h : histograms_) {
+      HistogramSample s;
+      s.name = h->name();
+      s.count = h->Count();
+      s.sum = h->Sum();
+      s.max = h->Max();
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        uint64_t n = h->BucketCount(b);
+        if (n != 0) s.nonzero_buckets.emplace_back(b, n);
+      }
+      snap.histograms.push_back(std::move(s));
+    }
+    auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+    return snap;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : counters_) c->ResetValue();
+    for (const auto& g : gauges_) g->ResetValue();
+    for (const auto& h : histograms_) h->ResetValue();
+  }
+
+  size_t NumCounters() const {
+    return num_counters_.load(std::memory_order_acquire);
+  }
+
+  void SampleCounterValues(std::vector<uint64_t>* out) {
+    out->clear();
+    size_t n = NumCounters();
+    out->reserve(n);
+    // counters_ only grows and entries are stable unique_ptrs, so indexing
+    // the first n entries without the registration mutex is safe.
+    for (size_t i = 0; i < n; ++i) out->push_back(counters_[i]->Value());
+  }
+
+  const std::string& CounterName(size_t index) {
+    NSKY_CHECK(index < NumCounters());
+    return counters_[index]->name();
+  }
+
+ private:
+  struct Entry {
+    Kind kind;
+    size_t index;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<std::string, Entry> by_name_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::atomic<size_t> num_counters_{0};
+};
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Histogram::Observe(uint64_t value) {
+  if (!Enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+  int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::ResetValue() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(std::string_view name) {
+  return Registry::Instance().InternCounter(name);
+}
+
+Gauge& GetGauge(std::string_view name) {
+  return Registry::Instance().InternGauge(name);
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  return Registry::Instance().InternHistogram(name);
+}
+
+uint64_t Snapshot::CounterValue(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+Snapshot Snap() { return Registry::Instance().Snap(); }
+
+void Reset() { Registry::Instance().Reset(); }
+
+size_t NumCounters() { return Registry::Instance().NumCounters(); }
+
+void SampleCounterValues(std::vector<uint64_t>* out) {
+  Registry::Instance().SampleCounterValues(out);
+}
+
+const std::string& CounterName(size_t index) {
+  return Registry::Instance().CounterName(index);
+}
+
+std::string SnapshotToJson(const Snapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& c : snapshot.counters) w.KV(c.name, c.value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& g : snapshot.gauges) w.KV(g.name, static_cast<int64_t>(g.value));
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& h : snapshot.histograms) {
+    w.Key(h.name);
+    w.BeginObject();
+    w.KV("count", h.count);
+    w.KV("sum", h.sum);
+    w.KV("max", h.max);
+    w.Key("buckets");
+    w.BeginObject();
+    for (const auto& [bucket, n] : h.nonzero_buckets) {
+      w.KV(std::to_string(bucket), n);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace nsky::util::metrics

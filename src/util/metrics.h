@@ -1,0 +1,176 @@
+// Process-wide metrics registry: named counters, gauges and histograms.
+//
+// The registry is the telemetry backbone of the library: solvers mirror
+// their deterministic SkylineStats counters into it, RAII trace spans
+// (util/trace.h) attribute counter deltas to phases, and the CLI / bench
+// reporters export a snapshot as JSON.
+//
+// Design rules:
+//   * Metric objects are interned by name and never destroyed; a pointer
+//     returned by GetCounter() stays valid for the process lifetime, so hot
+//     paths can cache it (the NSKY_COUNTER_* macros cache in a function-local
+//     static).
+//   * Increments are relaxed atomics -- cheap enough for per-edge work, and
+//     safe if a future PR parallelizes a solver.
+//   * Instrumentation is observation-only: nothing in the library reads a
+//     metric to make a decision, and SetEnabled(false) turns every mutation
+//     into a no-op without perturbing any algorithm (asserted by the
+//     equivalence test suite).
+#ifndef NSKY_UTIL_METRICS_H_
+#define NSKY_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nsky::util::metrics {
+
+// Global instrumentation switch (default on). Disabling makes Add/Set/Observe
+// no-ops; registration still works.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    if (Enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  // For call sites that already checked Enabled() (the macros).
+  void AddUnchecked(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void ResetValue() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written value (sizes, byte counts, configuration).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (Enabled()) value_.store(value, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void ResetValue() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+// Power-of-two bucketed distribution of non-negative integer samples.
+// Bucket i counts samples v with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(uint64_t value);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Largest observed sample (0 when empty).
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void ResetValue();
+
+  std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+// Interns a metric by name: the first call registers, later calls with the
+// same name return the same object (duplicate registration is not an error).
+// A name may be used by at most one metric kind; reusing it for a different
+// kind is a programmer error (NSKY_CHECK).
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+
+// Point-in-time copy of every registered metric, sorted by name.
+struct CounterSample {
+  std::string name;
+  uint64_t value;
+};
+struct GaugeSample {
+  std::string name;
+  int64_t value;
+};
+struct HistogramSample {
+  std::string name;
+  uint64_t count;
+  uint64_t sum;
+  uint64_t max;
+  std::vector<std::pair<int, uint64_t>> nonzero_buckets;  // (bucket, count)
+};
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Counter value by name; 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+};
+
+Snapshot Snap();
+
+// Zeroes every registered metric's value. Objects stay registered and
+// pointers stay valid.
+void Reset();
+
+// Counter registry access in registration order, for cheap whole-registry
+// sampling (the tracer diffs these vectors around each span).
+size_t NumCounters();
+// Appends values of counters [0, NumCounters()) to `out` (cleared first).
+void SampleCounterValues(std::vector<uint64_t>* out);
+// Name of the counter with registration index `index`.
+const std::string& CounterName(size_t index);
+
+// JSON rendering of a snapshot:
+// {"counters":{name:value,...},"gauges":{...},
+//  "histograms":{name:{"count":..,"sum":..,"max":..,"buckets":{"i":n}}}}
+std::string SnapshotToJson(const Snapshot& snapshot);
+
+}  // namespace nsky::util::metrics
+
+// Cheap increment macros. The registry lookup happens once per call site
+// (function-local static); subsequent executions are one branch + one relaxed
+// atomic add.
+#define NSKY_METRICS_CONCAT_INNER_(a, b) a##b
+#define NSKY_METRICS_CONCAT_(a, b) NSKY_METRICS_CONCAT_INNER_(a, b)
+
+#define NSKY_COUNTER_ADD(name, delta)                                   \
+  do {                                                                  \
+    if (::nsky::util::metrics::Enabled()) {                             \
+      static ::nsky::util::metrics::Counter& NSKY_METRICS_CONCAT_(      \
+          nsky_counter_, __LINE__) = ::nsky::util::metrics::GetCounter( \
+          name);                                                        \
+      NSKY_METRICS_CONCAT_(nsky_counter_, __LINE__)                     \
+          .AddUnchecked(static_cast<uint64_t>(delta));                  \
+    }                                                                   \
+  } while (0)
+
+#define NSKY_COUNTER_INC(name) NSKY_COUNTER_ADD(name, 1)
+
+#endif  // NSKY_UTIL_METRICS_H_

@@ -8,6 +8,8 @@
 #include "core/nsky.h"
 #include "setjoin/skyline_via_join.h"
 #include "testing/fixtures.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 namespace {
@@ -77,6 +79,52 @@ TEST_P(SkylineEquivalence, SkylineContainsAMaximumDegreeVertex) {
       }
     }
     EXPECT_TRUE(found) << "no max-degree vertex in skyline, seed " << seed;
+  }
+}
+
+TEST_P(SkylineEquivalence, StatsIdenticalWithTelemetryOnAndOff) {
+  // Instrumentation is observation-only: the deterministic SkylineStats
+  // counters must not change when metrics and tracing are recording.
+  auto run_all = [](const graph::Graph& g) {
+    return std::vector<SkylineStats>{
+        BaseSky(g).stats, FilterRefineSky(g).stats, Base2Hop(g).stats,
+        BaseCSet(g).stats, FilterPhase(g).stats};
+  };
+  auto expect_same = [](const SkylineStats& a, const SkylineStats& b,
+                        uint64_t seed, size_t solver) {
+    EXPECT_EQ(a.candidate_count, b.candidate_count)
+        << "solver " << solver << " seed " << seed;
+    EXPECT_EQ(a.pairs_examined, b.pairs_examined)
+        << "solver " << solver << " seed " << seed;
+    EXPECT_EQ(a.bloom_prunes, b.bloom_prunes)
+        << "solver " << solver << " seed " << seed;
+    EXPECT_EQ(a.degree_prunes, b.degree_prunes)
+        << "solver " << solver << " seed " << seed;
+    EXPECT_EQ(a.inclusion_tests, b.inclusion_tests)
+        << "solver " << solver << " seed " << seed;
+    EXPECT_EQ(a.nbr_elements_scanned, b.nbr_elements_scanned)
+        << "solver " << solver << " seed " << seed;
+  };
+  namespace metrics = nsky::util::metrics;
+  namespace trace = nsky::util::trace;
+  for (uint64_t seed : PropertySeeds()) {
+    graph::Graph g = GetParam().make(seed);
+
+    metrics::SetEnabled(false);
+    trace::SetEnabled(false);
+    std::vector<SkylineStats> off = run_all(g);
+
+    metrics::SetEnabled(true);
+    trace::Reset();
+    trace::SetEnabled(true);
+    std::vector<SkylineStats> on = run_all(g);
+    trace::SetEnabled(false);
+    trace::Reset();
+
+    ASSERT_EQ(off.size(), on.size());
+    for (size_t i = 0; i < off.size(); ++i) {
+      expect_same(off[i], on[i], seed, i);
+    }
   }
 }
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/json_writer.h"
+
 namespace nsky::tools {
 namespace {
 
@@ -162,6 +164,101 @@ TEST(Cli, StandinSmallScale) {
 
 TEST(Cli, BadGeneratorSpecFails) {
   CliRun r = RunTool({"stats", "--generate", "torus:5"});
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(Cli, SkylineJsonMatchesTextModeAndSchema) {
+  const std::vector<std::string> source = {"--generate", "er:2000:0.01:5"};
+  CliRun text = RunTool({"skyline", source[0], source[1]});
+  ASSERT_EQ(text.exit_code, 0);
+  CliRun json = RunTool({"skyline", source[0], source[1], "--json"});
+  ASSERT_EQ(json.exit_code, 0) << json.err;
+
+  std::string error;
+  auto v = nsky::util::JsonParse(json.out, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("schema")->str, "nsky.skyline.v1");
+  EXPECT_EQ(v->Find("command")->str, "skyline");
+  EXPECT_EQ(v->Find("algorithm")->str, "filter-refine");
+  EXPECT_EQ(v->Find("graph")->Find("n")->number, 2000);
+
+  const nsky::util::JsonValue* skyline = v->Find("skyline");
+  ASSERT_NE(skyline, nullptr);
+  auto size = static_cast<uint64_t>(skyline->Find("size")->number);
+  EXPECT_EQ(skyline->Find("members")->array.size(), size);
+
+  // The documented stats fields all exist.
+  const nsky::util::JsonValue* stats = v->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  for (const char* field :
+       {"candidate_count", "pairs_examined", "bloom_prunes", "degree_prunes",
+        "inclusion_tests", "nbr_elements_scanned", "aux_peak_bytes",
+        "seconds"}) {
+    ASSERT_NE(stats->Find(field), nullptr) << field;
+    EXPECT_TRUE(stats->Find(field)->is_number()) << field;
+  }
+
+  // Same skyline count as the text rendering ("skyline N of 2000 ...").
+  std::string expected = "skyline " + std::to_string(size) + " of 2000";
+  EXPECT_NE(text.out.find(expected), std::string::npos) << text.out;
+}
+
+TEST(Cli, StatsAndCandidatesJson) {
+  CliRun stats = RunTool({"stats", "--generate", "cycle:10", "--json"});
+  ASSERT_EQ(stats.exit_code, 0);
+  auto sv = nsky::util::JsonParse(stats.out);
+  ASSERT_TRUE(sv.has_value());
+  EXPECT_EQ(sv->Find("schema")->str, "nsky.stats.v1");
+  EXPECT_EQ(sv->Find("graph")->Find("n")->number, 10);
+  EXPECT_EQ(sv->Find("graph")->Find("m")->number, 10);
+
+  CliRun cand = RunTool({"candidates", "--generate", "path:10", "--json"});
+  ASSERT_EQ(cand.exit_code, 0);
+  auto cv = nsky::util::JsonParse(cand.out);
+  ASSERT_TRUE(cv.has_value());
+  EXPECT_EQ(cv->Find("schema")->str, "nsky.candidates.v1");
+  EXPECT_EQ(cv->Find("candidates")->Find("size")->number, 8);
+}
+
+TEST(Cli, JsonUnsupportedCommandFails) {
+  CliRun r = RunTool({"clique", "--generate", "clique:5", "--json"});
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.err.find("--json"), std::string::npos);
+}
+
+TEST(Cli, TraceWritesChromeTraceEvents) {
+  std::string path = ::testing::TempDir() + "/cli_trace.json";
+  CliRun r = RunTool(
+      {"skyline", "--generate", "er:500:0.02:3", "--trace", path});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  std::remove(path.c_str());
+
+  auto v = nsky::util::JsonParse(content.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_array());
+  ASSERT_FALSE(v->array.empty());
+  bool saw_filter = false, saw_refine = false;
+  for (const auto& event : v->array) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_EQ(event.Find("ph")->str, "X");
+    EXPECT_TRUE(event.Find("ts")->is_number());
+    EXPECT_TRUE(event.Find("dur")->is_number());
+    saw_filter |= event.Find("name")->str == "filter";
+    saw_refine |= event.Find("name")->str == "refine";
+  }
+  // The solver phase tree made it into the trace.
+  EXPECT_TRUE(saw_filter);
+  EXPECT_TRUE(saw_refine);
+}
+
+TEST(Cli, TraceBadPathFails) {
+  CliRun r = RunTool({"stats", "--generate", "cycle:5", "--trace",
+                      "/no/such/dir/t.json"});
   EXPECT_NE(r.exit_code, 0);
 }
 

@@ -1,0 +1,146 @@
+#include "util/json_writer.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace nsky::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_TRUE(w.Complete());
+  EXPECT_EQ(std::move(w).Take(), "{}");
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "bench");
+  w.Key("rows");
+  w.BeginArray();
+  w.BeginObject();
+  w.KV("x", static_cast<uint64_t>(1));
+  w.KV("y", 2.5);
+  w.EndObject();
+  w.BeginObject();
+  w.KV("ok", true);
+  w.Key("null_field");
+  w.Null();
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            "{\"name\":\"bench\",\"rows\":[{\"x\":1,\"y\":2.5},"
+            "{\"ok\":true,\"null_field\":null}]}");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("we\"ird", "line\nbreak");
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(), "{\"we\\\"ird\":\"line\\nbreak\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[null,null]");
+}
+
+TEST(JsonWriter, NegativeAndLargeNumbers) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(-123);
+  w.UInt(18446744073709551615ull);
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[-123,18446744073709551615]");
+}
+
+TEST(JsonWriter, IncompleteDocumentIsNotComplete) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_FALSE(w.Complete());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("s", "a\"b\\c\nnewline");
+  w.KV("i", static_cast<int64_t>(-7));
+  w.KV("d", 0.125);
+  w.Key("arr");
+  w.BeginArray();
+  w.UInt(1);
+  w.UInt(2);
+  w.UInt(3);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.KV("deep", true);
+  w.EndObject();
+  w.EndObject();
+  std::string doc = std::move(w).Take();
+
+  std::string error;
+  auto v = JsonParse(doc, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("s")->str, "a\"b\\c\nnewline");
+  EXPECT_EQ(v->Find("i")->number, -7);
+  EXPECT_EQ(v->Find("d")->number, 0.125);
+  ASSERT_TRUE(v->Find("arr")->is_array());
+  EXPECT_EQ(v->Find("arr")->array.size(), 3u);
+  EXPECT_EQ(v->Find("arr")->array[1].number, 2);
+  EXPECT_TRUE(v->Find("nested")->Find("deep")->boolean);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParse, ParsesLiteralsAndWhitespace) {
+  auto v = JsonParse("  [ true , false , null , -1.5e2 ]  ");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->array.size(), 4u);
+  EXPECT_TRUE(v->array[0].boolean);
+  EXPECT_FALSE(v->array[1].boolean);
+  EXPECT_TRUE(v->array[2].is_null());
+  EXPECT_EQ(v->array[3].number, -150.0);
+}
+
+TEST(JsonParse, ParsesUnicodeEscapes) {
+  auto v = JsonParse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->str, "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(JsonParse("{", &error).has_value());
+  EXPECT_FALSE(JsonParse("[1,]", &error).has_value());
+  EXPECT_FALSE(JsonParse("{\"a\" 1}", &error).has_value());
+  EXPECT_FALSE(JsonParse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(JsonParse("[1] trailing", &error).has_value());
+  EXPECT_FALSE(JsonParse("", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsky::util

@@ -1,0 +1,124 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+
+namespace nsky::util::metrics {
+namespace {
+
+// The registry is process-global, so every test uses its own metric names.
+
+TEST(Metrics, CounterRegisterIncrementSnapshot) {
+  Counter& c = GetCounter("test.m1.counter");
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  Snapshot snap = Snap();
+  EXPECT_EQ(snap.CounterValue("test.m1.counter"), 42u);
+  EXPECT_EQ(snap.CounterValue("test.m1.never_registered"), 0u);
+}
+
+TEST(Metrics, DuplicateNameReturnsSameCounter) {
+  Counter& a = GetCounter("test.m2.dup");
+  Counter& b = GetCounter("test.m2.dup");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  EXPECT_EQ(b.Value(), 5u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistration) {
+  Counter& c = GetCounter("test.m3.counter");
+  Gauge& g = GetGauge("test.m3.gauge");
+  c.Add(7);
+  g.Set(-3);
+  Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  // Same object is still live and usable after Reset.
+  c.Add(2);
+  EXPECT_EQ(GetCounter("test.m3.counter").Value(), 2u);
+}
+
+TEST(Metrics, DisabledMutationsAreNoOps) {
+  Counter& c = GetCounter("test.m4.counter");
+  Gauge& g = GetGauge("test.m4.gauge");
+  Histogram& h = GetHistogram("test.m4.hist");
+  SetEnabled(false);
+  c.Add(10);
+  g.Set(10);
+  h.Observe(10);
+  SetEnabled(true);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.Count(), 0u);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  Histogram& h = GetHistogram("test.m5.hist");
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1024);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 1030u);
+  EXPECT_EQ(h.Max(), 1024u);
+  // Bucket index is the bit width of the value: bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(h.BucketCount(0), 1u);   // value 0
+  EXPECT_EQ(h.BucketCount(1), 1u);   // value 1
+  EXPECT_EQ(h.BucketCount(2), 2u);   // values 2 and 3
+  EXPECT_EQ(h.BucketCount(11), 1u);  // 1024 <= v < 2048
+}
+
+TEST(Metrics, CounterMacroIncrements) {
+  uint64_t before = GetCounter("test.m6.macro").Value();
+  for (int i = 0; i < 3; ++i) NSKY_COUNTER_INC("test.m6.macro");
+  NSKY_COUNTER_ADD("test.m6.macro", 4);
+  EXPECT_EQ(GetCounter("test.m6.macro").Value(), before + 7);
+}
+
+TEST(Metrics, SampleCounterValuesMatchesRegistrationOrder) {
+  Counter& c = GetCounter("test.m7.sampled");
+  c.Add(9);
+  std::vector<uint64_t> values;
+  SampleCounterValues(&values);
+  ASSERT_EQ(values.size(), NumCounters());
+  bool found = false;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (CounterName(i) == "test.m7.sampled") {
+      EXPECT_EQ(values[i], 9u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, SnapshotIsSortedAndRendersAsJson) {
+  GetCounter("test.m8.b").Add(2);
+  GetCounter("test.m8.a").Add(1);
+  GetGauge("test.m8.gauge").Set(5);
+  GetHistogram("test.m8.hist").Observe(3);
+  Snapshot snap = Snap();
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+
+  std::string json = SnapshotToJson(snap);
+  std::string error;
+  auto v = JsonParse(json, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  const JsonValue* counters = v->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("test.m8.a"), nullptr);
+  EXPECT_EQ(counters->Find("test.m8.a")->number, 1);
+  const JsonValue* hist = v->Find("histograms")->Find("test.m8.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number, 1);
+  EXPECT_EQ(hist->Find("sum")->number, 3);
+}
+
+}  // namespace
+}  // namespace nsky::util::metrics

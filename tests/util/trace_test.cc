@@ -1,0 +1,162 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+#include "util/metrics.h"
+
+namespace nsky::util::trace {
+namespace {
+
+// Tracing state is process-global; each test starts from a clean slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Reset();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Reset();
+  }
+};
+
+void SpinFor(std::chrono::microseconds d) {
+  auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST_F(TraceTest, DisabledSpansCollectNothing) {
+  SetEnabled(false);
+  {
+    NSKY_TRACE_SPAN("ghost");
+  }
+  EXPECT_TRUE(FinishedRoots().empty());
+}
+
+TEST_F(TraceTest, NestingBuildsTree) {
+  {
+    NSKY_TRACE_SPAN("root");
+    {
+      NSKY_TRACE_SPAN("child_a");
+      { NSKY_TRACE_SPAN("grandchild"); }
+    }
+    { NSKY_TRACE_SPAN("child_b"); }
+  }
+  std::vector<SpanNode> roots = FinishedRoots();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNode& root = roots[0];
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "child_a");
+  EXPECT_EQ(root.children[1].name, "child_b");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "grandchild");
+}
+
+TEST_F(TraceTest, SelfTimeExcludesChildren) {
+  {
+    NSKY_TRACE_SPAN("parent");
+    {
+      NSKY_TRACE_SPAN("child");
+      SpinFor(std::chrono::microseconds(2000));
+    }
+  }
+  std::vector<SpanNode> roots = FinishedRoots();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNode& parent = roots[0];
+  ASSERT_EQ(parent.children.size(), 1u);
+  const SpanNode& child = parent.children[0];
+  EXPECT_GE(child.dur_us, 1900.0);
+  // Parent wall time covers the child; parent self time does not.
+  EXPECT_GE(parent.dur_us, child.dur_us);
+  EXPECT_NEAR(parent.self_us, parent.dur_us - child.dur_us, 1.0);
+  EXPECT_LT(parent.self_us, 1000.0);
+  // Start offsets are non-decreasing down the tree.
+  EXPECT_LE(parent.start_us, child.start_us);
+}
+
+TEST_F(TraceTest, SpansCaptureCounterDeltas) {
+  metrics::Counter& c = metrics::GetCounter("test.trace.counter");
+  {
+    NSKY_TRACE_SPAN("outer");
+    c.Add(3);
+    {
+      NSKY_TRACE_SPAN("inner");
+      c.Add(4);
+    }
+  }
+  std::vector<SpanNode> roots = FinishedRoots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].CounterDelta("test.trace.counter"), 7u);
+  ASSERT_EQ(roots[0].children.size(), 1u);
+  EXPECT_EQ(roots[0].children[0].CounterDelta("test.trace.counter"), 4u);
+  EXPECT_EQ(roots[0].CounterDelta("test.trace.absent"), 0u);
+}
+
+TEST_F(TraceTest, ResetDropsOpenSpans) {
+  {
+    NSKY_TRACE_SPAN("doomed");
+    Reset();
+  }
+  EXPECT_TRUE(FinishedRoots().empty());
+  // New spans after the reset are collected normally.
+  { NSKY_TRACE_SPAN("alive"); }
+  ASSERT_EQ(FinishedRoots().size(), 1u);
+  EXPECT_EQ(FinishedRoots()[0].name, "alive");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValid) {
+  {
+    NSKY_TRACE_SPAN("filter");
+    { NSKY_TRACE_SPAN("refine"); }
+  }
+  { NSKY_TRACE_SPAN("second_root"); }
+  std::string json = ToChromeTraceJson();
+  std::string error;
+  auto v = JsonParse(json, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_TRUE(v->is_array());
+  ASSERT_EQ(v->array.size(), 3u);  // filter, refine, second_root
+  for (const JsonValue& event : v->array) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("ph"), nullptr);
+    EXPECT_EQ(event.Find("ph")->str, "X");
+    ASSERT_NE(event.Find("ts"), nullptr);
+    EXPECT_TRUE(event.Find("ts")->is_number());
+    ASSERT_NE(event.Find("dur"), nullptr);
+    EXPECT_TRUE(event.Find("dur")->is_number());
+    EXPECT_NE(event.Find("pid"), nullptr);
+    EXPECT_NE(event.Find("tid"), nullptr);
+  }
+  EXPECT_EQ(v->array[0].Find("name")->str, "filter");
+}
+
+TEST_F(TraceTest, WriteChromeTraceCreatesLoadableFile) {
+  { NSKY_TRACE_SPAN("io_span"); }
+  std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  auto v = JsonParse(content);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_array());
+}
+
+TEST_F(TraceTest, WriteChromeTraceFailsOnBadPath) {
+  EXPECT_FALSE(WriteChromeTrace("/no/such/dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace nsky::util::trace
