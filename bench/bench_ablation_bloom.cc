@@ -9,7 +9,7 @@
 #include "datasets/registry.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
   bench::Banner("Ablation", "bloom-filter width and pruning counters");
 
@@ -24,11 +24,12 @@ int main() {
                      14);
   std::printf("-- FilterRefineSky bloom width sweep --\n");
   sweep.PrintHeader();
-  core::FilterRefineOptions options;
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
   options.use_bloom = false;
   {
     util::Timer t;
-    auto r = core::FilterRefineSky(g, options);
+    auto r = core::Solve(g, options);
     sweep.PrintRow({"off", bench::FmtSecs(t.Seconds()),
                     bench::FmtU(r.stats.bloom_prunes),
                     bench::FmtU(r.stats.inclusion_tests),
@@ -38,7 +39,7 @@ int main() {
   for (uint32_t bits : {64u, 256u, 1024u, 4096u, 16384u}) {
     options.bloom_bits = bits;
     util::Timer t;
-    auto r = core::FilterRefineSky(g, options);
+    auto r = core::Solve(g, options);
     sweep.PrintRow({bench::FmtU(bits), bench::FmtSecs(t.Seconds()),
                     bench::FmtU(r.stats.bloom_prunes),
                     bench::FmtU(r.stats.inclusion_tests),
@@ -51,24 +52,24 @@ int main() {
                         15);
   counters.PrintHeader();
   {
-    auto r = core::BaseSky(g);
+    auto r = core::Solve(g, bench::With(options, core::Algorithm::kBaseSky));
     counters.PrintRow({"BaseSky", bench::FmtU(r.stats.pairs_examined), "-",
                        "-", "-", "-"});
   }
   {
-    auto r = core::BaseCSet(g);
+    auto r = core::Solve(g, bench::With(options, core::Algorithm::kBaseCSet));
     counters.PrintRow({"BaseCSet", bench::FmtU(r.stats.pairs_examined), "-",
                        "-", "-", bench::FmtU(r.stats.candidate_count)});
   }
   {
-    auto r = core::Base2Hop(g);
+    auto r = core::Solve(g, bench::With(options, core::Algorithm::kBase2Hop));
     counters.PrintRow({"Base2Hop", bench::FmtU(r.stats.pairs_examined),
                        bench::FmtU(r.stats.degree_prunes),
                        bench::FmtU(r.stats.bloom_prunes),
                        bench::FmtU(r.stats.inclusion_tests), "-"});
   }
   {
-    auto r = core::FilterRefineSky(g);
+    auto r = core::Solve(g, bench::With(options, core::Algorithm::kFilterRefine));
     counters.PrintRow({"FilterRefine", bench::FmtU(r.stats.pairs_examined),
                        bench::FmtU(r.stats.degree_prunes),
                        bench::FmtU(r.stats.bloom_prunes),

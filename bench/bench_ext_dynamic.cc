@@ -4,13 +4,15 @@
 // deletions on a social-graph stand-in.
 #include "bench_util.h"
 #include "core/dynamic_skyline.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
   bench::Banner("Extension: dynamic maintenance",
                 "per-update skyline maintenance vs full recomputation");
 
@@ -45,7 +47,7 @@ int main() {
     // Full recomputation cost per update (one representative recompute,
     // scaled to the update count).
     util::Timer rec_timer;
-    auto full = core::FilterRefineSky(dyn.ToGraph());
+    auto full = core::Solve(dyn.ToGraph(), options);
     double rec_s = rec_timer.Seconds() * kUpdates;
 
     // The maintained skyline must equal the recomputed one.

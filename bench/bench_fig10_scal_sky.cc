@@ -2,15 +2,15 @@
 // LiveJournal stand-in, varying (a) the number of vertices n and (b) the
 // density rho from 20% to 100%.
 #include "bench_util.h"
-#include "core/base_sky.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "datasets/registry.h"
 #include "graph/sampling.h"
 #include "util/timer.h"
 
 namespace {
 
-void RunSeries(const nsky::graph::Graph& base_graph, bool vary_vertices) {
+void RunSeries(const nsky::graph::Graph& base_graph, bool vary_vertices,
+               const nsky::core::SolverOptions& options) {
   using namespace nsky;
   bench::Table table({vary_vertices ? "n%" : "rho%", "n", "m", "BaseSky_s",
                       "FilterRefine_s", "speedup"},
@@ -22,10 +22,11 @@ void RunSeries(const nsky::graph::Graph& base_graph, bool vary_vertices) {
                          ? graph::SampleVertices(base_graph, frac, 77)
                          : graph::SampleEdges(base_graph, frac, 77);
     util::Timer t1;
-    auto bs = core::BaseSky(g);
+    auto bs = core::Solve(g, bench::With(options, core::Algorithm::kBaseSky));
     double bs_s = t1.Seconds();
     util::Timer t2;
-    auto fr = core::FilterRefineSky(g);
+    auto fr =
+        core::Solve(g, bench::With(options, core::Algorithm::kFilterRefine));
     double fr_s = t2.Seconds();
     if (bs.skyline != fr.skyline) {
       std::fprintf(stderr, "FATAL: solvers disagree at %d%%\n", pct);
@@ -39,19 +40,21 @@ void RunSeries(const nsky::graph::Graph& base_graph, bool vary_vertices) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
   graph::Graph lj =
       datasets::MakeStandin("livejournal", datasets::StandinScale::kFull)
           .value();
 
   bench::Banner("Fig. 10(a) (Exp-7)",
                 "scalability on LiveJournal stand-in, vary n");
-  RunSeries(lj, /*vary_vertices=*/true);
+  RunSeries(lj, /*vary_vertices=*/true, options);
   std::printf("\n");
   bench::Banner("Fig. 10(b) (Exp-7)",
                 "scalability on LiveJournal stand-in, vary rho");
-  RunSeries(lj, /*vary_vertices=*/false);
+  RunSeries(lj, /*vary_vertices=*/false, options);
 
   std::printf(
       "\nExpectation (paper): FilterRefineSky grows smoothly and stays\n"

@@ -4,15 +4,16 @@
 #include <algorithm>
 
 #include "bench_util.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "datasets/bombing.h"
 #include "datasets/karate.h"
 
 namespace {
 
-void CaseStudy(const char* name, const nsky::graph::Graph& g) {
+void CaseStudy(const char* name, const nsky::graph::Graph& g,
+               const nsky::core::SolverOptions& options) {
   using namespace nsky;
-  core::SkylineResult r = core::FilterRefineSky(g);
+  core::SkylineResult r = core::Solve(g, options);
   std::printf("%s: n = %u, m = %llu, |R| = %zu (%.0f%%)\n", name,
               g.NumVertices(),
               static_cast<unsigned long long>(g.NumEdges()),
@@ -39,13 +40,15 @@ void CaseStudy(const char* name, const nsky::graph::Graph& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
   bench::Banner("Fig. 13", "case studies: Karate (exact) and Bombing "
                            "(surrogate)");
-  CaseStudy("Karate", datasets::MakeKarateClub());
+  CaseStudy("Karate", datasets::MakeKarateClub(), options);
   std::printf("\n");
-  CaseStudy("Bombing", datasets::MakeBombingSurrogate());
+  CaseStudy("Bombing", datasets::MakeBombingSurrogate(), options);
   std::printf(
       "\nExpectation (paper): Karate ~44%% skyline (15 of 34), Bombing\n"
       "~31%% (20 of 64); low-degree vertices are the dominated ones.\n");

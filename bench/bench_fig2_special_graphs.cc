@@ -2,12 +2,14 @@
 // (clique, complete binary tree, circle, path).
 #include "bench_util.h"
 #include "core/filter_phase.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
   bench::Banner("Fig. 2", "|R| and |C| on special graphs");
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
 
   struct Row {
     const char* name;
@@ -24,8 +26,8 @@ int main() {
   bench::Table table({"graph", "n", "m", "|R|", "|C|", "closed_form"}, 16);
   table.PrintHeader();
   for (const auto& row : rows) {
-    auto skyline = core::FilterRefineSky(row.g);
-    auto candidates = core::FilterPhase(row.g);
+    auto skyline = core::Solve(row.g, options);
+    auto candidates = core::FilterPhase(row.g, options);
     table.PrintRow({row.name, bench::FmtU(row.g.NumVertices()),
                     bench::FmtU(row.g.NumEdges()),
                     bench::FmtU(skyline.skyline.size()),

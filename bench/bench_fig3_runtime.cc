@@ -7,10 +7,12 @@
 #include "setjoin/skyline_via_join.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
   bench::Banner("Fig. 3 (Exp-1)",
                 "runtime of neighborhood skyline computation algorithms (s)");
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
 
   const char* names[] = {"notredame", "youtube", "wikitalk", "flixster",
                          "dblp"};
@@ -28,19 +30,19 @@ int main() {
     double lc_s = t1.Seconds();
 
     util::Timer t2;
-    auto bs = core::BaseSky(g);
+    auto bs = core::Solve(g, bench::With(options, core::Algorithm::kBaseSky));
     double bs_s = t2.Seconds();
 
     util::Timer t3;
-    auto b2 = core::Base2Hop(g);
+    auto b2 = core::Solve(g, bench::With(options, core::Algorithm::kBase2Hop));
     double b2_s = t3.Seconds();
 
     util::Timer t4;
-    auto bc = core::BaseCSet(g);
+    auto bc = core::Solve(g, bench::With(options, core::Algorithm::kBaseCSet));
     double bc_s = t4.Seconds();
 
     util::Timer t5;
-    auto fr = core::FilterRefineSky(g);
+    auto fr = core::Solve(g, bench::With(options, core::Algorithm::kFilterRefine));
     double fr_s = t5.Seconds();
 
     // All five must agree -- a silent mismatch would invalidate the bench.
@@ -66,7 +68,8 @@ int main() {
           .U64("degree_prunes", stats.degree_prunes)
           .U64("inclusion_tests", stats.inclusion_tests)
           .U64("nbr_elements_scanned", stats.nbr_elements_scanned)
-          .U64("aux_peak_bytes", stats.aux_peak_bytes);
+          .U64("aux_peak_bytes", stats.aux_peak_bytes)
+          .U64("threads", stats.threads);
     };
     add_row("LC-Join", lc_s, lc.stats);
     add_row("BaseSky", bs_s, bs.stats);

@@ -8,10 +8,12 @@
 #include "setjoin/skyline_via_join.h"
 #include "util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
   bench::Banner("Fig. 4 (Exp-2)",
                 "memory usage of skyline computation algorithms");
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
 
   const char* names[] = {"notredame", "youtube", "wikitalk", "flixster",
                          "dblp"};
@@ -23,10 +25,10 @@ int main() {
     graph::Graph g =
         datasets::MakeStandin(name, datasets::StandinScale::kFull).value();
     auto lc = setjoin::SkylineViaJoin(g);
-    auto bs = core::BaseSky(g);
-    auto b2 = core::Base2Hop(g);
-    auto bc = core::BaseCSet(g);
-    auto fr = core::FilterRefineSky(g);
+    auto bs = core::Solve(g, bench::With(options, core::Algorithm::kBaseSky));
+    auto b2 = core::Solve(g, bench::With(options, core::Algorithm::kBase2Hop));
+    auto bc = core::Solve(g, bench::With(options, core::Algorithm::kBaseCSet));
+    auto fr = core::Solve(g, bench::With(options, core::Algorithm::kFilterRefine));
     table.PrintRow({name, util::HumanBytes(g.MemoryBytes()),
                     util::HumanBytes(lc.stats.aux_peak_bytes),
                     util::HumanBytes(bs.stats.aux_peak_bytes),

@@ -2,12 +2,14 @@
 // and the vertex set V on the five stand-in datasets.
 #include "bench_util.h"
 #include "core/filter_phase.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "datasets/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
   bench::Banner("Fig. 5 (Exp-3)", "|R| vs |C| vs |V| on real-life stand-ins");
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
 
   const char* names[] = {"notredame", "youtube", "wikitalk", "flixster",
                          "dblp"};
@@ -19,8 +21,8 @@ int main() {
   for (const char* name : names) {
     graph::Graph g =
         datasets::MakeStandin(name, datasets::StandinScale::kFull).value();
-    uint64_t r = core::FilterRefineSky(g).skyline.size();
-    uint64_t c = core::FilterPhase(g).skyline.size();
+    uint64_t r = core::Solve(g, options).skyline.size();
+    uint64_t c = core::FilterPhase(g, options).skyline.size();
     uint64_t v = g.NumVertices();
     table.PrintRow({name, bench::FmtU(r), bench::FmtU(c), bench::FmtU(v),
                     bench::Fmt(static_cast<double>(r) / v, "%.3f"),

@@ -4,12 +4,14 @@
 // n = 100,000 as in the paper.
 #include "bench_util.h"
 #include "core/filter_phase.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsky;
   const graph::VertexId n = 100'000;
+  core::SolverOptions options;
+  options.threads = bench::BenchThreads(argc, argv);
 
   bench::Banner("Fig. 6(a) (Exp-3)",
                 "ER graphs, n = 1e5, p = dp*log(n)/n, vary dp");
@@ -18,8 +20,8 @@ int main() {
   er_table.PrintHeader();
   for (double dp : {0.2, 0.4, 0.6, 0.8, 1.0}) {
     graph::Graph g = graph::MakeErdosRenyiLogScaled(n, dp, 60);
-    uint64_t r = core::FilterRefineSky(g).skyline.size();
-    uint64_t c = core::FilterPhase(g).skyline.size();
+    uint64_t r = core::Solve(g, options).skyline.size();
+    uint64_t c = core::FilterPhase(g, options).skyline.size();
     er_table.PrintRow({bench::Fmt(dp, "%.1f"), bench::FmtU(g.NumEdges()),
                        bench::FmtU(r), bench::FmtU(c), bench::FmtU(n)});
   }
@@ -31,8 +33,8 @@ int main() {
   pl_table.PrintHeader();
   for (double beta : {2.6, 2.8, 3.0, 3.2, 3.4}) {
     graph::Graph g = graph::MakeParetoPowerLaw(n, beta, 61);
-    uint64_t r = core::FilterRefineSky(g).skyline.size();
-    uint64_t c = core::FilterPhase(g).skyline.size();
+    uint64_t r = core::Solve(g, options).skyline.size();
+    uint64_t c = core::FilterPhase(g, options).skyline.size();
     pl_table.PrintRow({bench::Fmt(beta, "%.1f"), bench::FmtU(g.NumEdges()),
                        bench::FmtU(r), bench::FmtU(c), bench::FmtU(n)});
   }

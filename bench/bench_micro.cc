@@ -4,6 +4,7 @@
 // statistically-sampled timings.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "centrality/bfs.h"
 #include "core/nsky.h"
 #include "graph/generators.h"
@@ -19,10 +20,20 @@ graph::Graph SocialGraph(int n) {
                                 0.4, 7, 0.3);
 }
 
+// Worker count shared by the solver benchmarks ($NSKY_THREADS, default 1);
+// google-benchmark owns argv, so the env var is the knob here.
+core::SolverOptions SolverOpts(core::Algorithm algorithm) {
+  core::SolverOptions options;
+  options.algorithm = algorithm;
+  options.threads = bench::BenchThreads(0, nullptr);
+  return options;
+}
+
 void BM_BaseSky(benchmark::State& state) {
   graph::Graph g = SocialGraph(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::BaseSky(g).skyline.size());
+    benchmark::DoNotOptimize(
+        core::Solve(g, SolverOpts(core::Algorithm::kBaseSky)).skyline.size());
   }
   state.SetItemsProcessed(state.iterations() * g.NumVertices());
 }
@@ -31,7 +42,9 @@ BENCHMARK(BM_BaseSky)->Arg(1 << 12)->Arg(1 << 14);
 void BM_FilterRefineSky(benchmark::State& state) {
   graph::Graph g = SocialGraph(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::FilterRefineSky(g).skyline.size());
+    benchmark::DoNotOptimize(
+        core::Solve(g, SolverOpts(core::Algorithm::kFilterRefine))
+            .skyline.size());
   }
   state.SetItemsProcessed(state.iterations() * g.NumVertices());
 }
@@ -40,7 +53,9 @@ BENCHMARK(BM_FilterRefineSky)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
 void BM_FilterPhase(benchmark::State& state) {
   graph::Graph g = SocialGraph(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::FilterPhase(g).skyline.size());
+    benchmark::DoNotOptimize(
+        core::FilterPhase(g, SolverOpts(core::Algorithm::kFilterRefine))
+            .skyline.size());
   }
   state.SetItemsProcessed(state.iterations() * g.NumEdges());
 }

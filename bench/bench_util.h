@@ -20,9 +20,17 @@
 #include <utility>
 #include <vector>
 
+#include "core/solver.h"
 #include "util/json_writer.h"
 
 namespace nsky::bench {
+
+// Returns a copy of `base` with the algorithm switched -- keeps the option
+// plumbing in per-bench code to one-liners around core::Solve().
+inline core::SolverOptions With(core::SolverOptions base, core::Algorithm a) {
+  base.algorithm = a;
+  return base;
+}
 
 // Prints the standard banner for a paper artifact.
 inline void Banner(const char* artifact, const char* description) {
@@ -56,6 +64,23 @@ class Table {
   std::vector<std::string> headers_;
   int width_;
 };
+
+// Worker count for solver benches: first "--threads N" on the command line,
+// else $NSKY_THREADS, else 1 (the deterministic sequential default). Solver
+// results are bit-identical for any value; only wall time changes.
+inline uint32_t BenchThreads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      long v = std::strtol(argv[i + 1], nullptr, 10);
+      if (v >= 0 && v <= 4096) return static_cast<uint32_t>(v);
+    }
+  }
+  if (const char* env = std::getenv("NSKY_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 0 && v <= 4096) return static_cast<uint32_t>(v);
+  }
+  return 1;
+}
 
 // Number formatting shortcuts.
 inline std::string Fmt(double v, const char* fmt = "%.3f") {

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "datasets/bombing.h"
 #include "datasets/karate.h"
 
@@ -15,7 +15,7 @@ namespace {
 
 void Report(const char* name, const nsky::graph::Graph& g) {
   using namespace nsky;
-  core::SkylineResult r = core::FilterRefineSky(g);
+  core::SkylineResult r = core::Solve(g, core::SolverOptions{});
   std::printf("=== %s (n = %u, m = %llu) ===\n", name, g.NumVertices(),
               static_cast<unsigned long long>(g.NumEdges()));
   std::printf("skyline (%zu vertices, %.0f%%):\n", r.skyline.size(),

@@ -12,6 +12,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace nsky;
@@ -36,7 +37,11 @@ int main(int argc, char** argv) {
   std::printf("graph: %s\n", graph::StatsToString(graph::ComputeStats(g)).c_str());
 
   // ---- 2. Compute the neighborhood skyline. ----
-  core::SkylineResult result = core::FilterRefineSky(g);
+  // Solve() is the unified entry point; options pick the algorithm and
+  // worker count (the result is identical for any thread count).
+  core::SolverOptions options;
+  options.threads = util::ThreadPool::HardwareThreads();
+  core::SkylineResult result = core::Solve(g, options);
   std::printf("neighborhood skyline: %zu of %u vertices (%.1f%%)\n",
               result.skyline.size(), g.NumVertices(),
               100.0 * static_cast<double>(result.skyline.size()) /

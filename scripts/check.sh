@@ -1,19 +1,55 @@
 #!/usr/bin/env bash
-# One-command correctness gate: sanitizer Debug build + full ctest run.
+# One-command correctness gate: sanitizer Debug build + full ctest run +
+# a parallel-solver CLI smoke test.
 #
-# Usage: scripts/check.sh [build-dir]
+# Usage: scripts/check.sh [--tsan] [build-dir]
 #
-# Configures a Debug build with AddressSanitizer + UBSan (-DNSKY_SANITIZE=ON),
-# builds everything, and runs the whole test suite. Use before sending any PR
+# Default mode configures a Debug build with AddressSanitizer + UBSan
+# (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
+# then smoke-runs the CLI's parallel skyline path. Use before sending any PR
 # that touches a solver or the telemetry layer; a clean run means no memory
 # errors, no UB, and no behavioral regressions under the entire gtest suite.
+#
+# --tsan switches to ThreadSanitizer (-DNSKY_SANITIZE=thread) and runs the
+# suites that exercise the thread pool (util, core, tools) instead of the
+# full matrix -- the right gate for changes to src/util/thread_pool.* or the
+# parallel sections of the solvers. Data races in the engine surface here
+# even on a single-core host.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-check}"
+
+SANITIZE=address
+TEST_FILTER=()
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --tsan)
+      SANITIZE=thread
+      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool')
+      ;;
+    *)
+      BUILD_DIR="$arg"
+      ;;
+  esac
+done
+if [[ -z "$BUILD_DIR" ]]; then
+  BUILD_DIR="build-check"
+  [[ "$SANITIZE" == thread ]] && BUILD_DIR="build-check-tsan"
+fi
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
-  -DNSKY_SANITIZE=ON
+  -DNSKY_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  ${TEST_FILTER[@]+"${TEST_FILTER[@]}"}
+
+# Smoke: the full CLI path through the parallel engine, JSON mode. Catches
+# wiring regressions (flag parsing, solver dispatch, schema emission) that
+# unit tests on RunCli may miss, and races under --tsan.
+SMOKE_OUT="$("$BUILD_DIR"/src/tools/nsky skyline --generate pl:20000:2.6:10:7 \
+  --algo filter-refine --threads 4 --json)"
+echo "$SMOKE_OUT" | grep -q '"schema":"nsky.skyline.v1"'
+echo "$SMOKE_OUT" | grep -q '"threads":4'
+echo "check.sh: CLI smoke OK (--algo filter-refine --threads 4 --json)"

@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "core/bloom.h"
+#include "core/solver_internal.h"
 #include "core/subset_check.h"
 #include "core/telemetry.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -23,37 +25,48 @@ bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
 
 }  // namespace
 
-SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
+namespace internal {
+
+SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
+                          util::ThreadPool& pool) {
   NSKY_TRACE_SPAN("base_2hop");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
   SkylineResult result;
   result.dominator.resize(n);
-  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
   std::vector<VertexId>& dominator = result.dominator;
 
   util::MemoryTally tally;
   tally.Add(dominator.capacity() * sizeof(VertexId));
 
   // ---- Materialize all 2-hop neighbor lists (the expensive part). ----
+  // Slot u is written only by the worker owning u; the per-vertex lists are
+  // identical for any partition. Byte accounting is accumulated per worker
+  // and merged in worker order, so the ledger is deterministic too.
   std::vector<std::vector<VertexId>> two_hop(n);
   {
     NSKY_TRACE_SPAN("two_hop_build");
-    std::vector<VertexId> buffer;
-    for (VertexId u = 0; u < n; ++u) {
-      buffer.clear();
-      for (VertexId v : g.Neighbors(u)) {
-        buffer.push_back(v);
-        for (VertexId w : g.Neighbors(v)) {
-          if (w != u) buffer.push_back(w);
+    std::vector<uint64_t> bytes_per_worker(pool.num_threads(), 0);
+    pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+      NSKY_TRACE_SPAN("two_hop_build.worker");
+      std::vector<VertexId> buffer;
+      for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+        buffer.clear();
+        for (VertexId v : g.Neighbors(u)) {
+          buffer.push_back(v);
+          for (VertexId w : g.Neighbors(v)) {
+            if (w != u) buffer.push_back(w);
+          }
         }
+        std::sort(buffer.begin(), buffer.end());
+        buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
+        two_hop[u].assign(buffer.begin(), buffer.end());
+        bytes_per_worker[worker] +=
+            two_hop[u].capacity() * sizeof(VertexId);
       }
-      std::sort(buffer.begin(), buffer.end());
-      buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
-      two_hop[u].assign(buffer.begin(), buffer.end());
-      tally.Add(two_hop[u].capacity() * sizeof(VertexId));
-    }
+    });
+    for (uint64_t bytes : bytes_per_worker) tally.Add(bytes);
     tally.Add(two_hop.capacity() * sizeof(std::vector<VertexId>));
   }
 
@@ -66,47 +79,49 @@ SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
                         ? options.bloom_bits
                         : NeighborhoodBlooms::ChooseBitsAdaptive(
                               g, options.bits_per_neighbor);
-    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits);
+    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
     tally.Add(blooms->MemoryBytes());
   }
 
   // ---- Verify every vertex against its 2-hop list. ----
+  // Pure per-vertex scan: the first w in 2-hop order that passes degree,
+  // id-tiebreak, bloom and NBRcheck becomes dominator[u]. Workers write
+  // only their own chunk's slots.
   {
     NSKY_TRACE_SPAN("verify");
-    for (VertexId u = 0; u < n; ++u) {
-      if (dominator[u] != u) continue;
-      const uint32_t deg_u = g.Degree(u);
-      for (VertexId w : two_hop[u]) {
-        ++result.stats.pairs_examined;
-        if (g.Degree(w) < deg_u) {
-          ++result.stats.degree_prunes;
-          continue;
-        }
-        if (dominator[w] != w) continue;
-        // The closed-neighborhood variant is required here: unlike in
-        // FilterRefineSky, w may be adjacent to u (no filter phase ran), and
-        // then w's own bit legitimately covers u's neighbor w.
-        if (blooms != nullptr && !blooms->SubsetTestClosed(u, w)) {
-          ++result.stats.bloom_prunes;
-          continue;
-        }
-        ++result.stats.inclusion_tests;
-        if (!OpenSubsetOfClosed(g, u, w,
-                                &result.stats.nbr_elements_scanned)) {
-          continue;
-        }
-        if (g.Degree(w) == deg_u) {
-          if (u > w) {
-            dominator[u] = w;
-            break;
+    std::vector<SkylineStats> per_worker(pool.num_threads());
+    pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+      NSKY_TRACE_SPAN("verify.worker");
+      SkylineStats& stats = per_worker[worker];
+      for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+        dominator[u] = u;
+        const uint32_t deg_u = g.Degree(u);
+        for (VertexId w : two_hop[u]) {
+          ++stats.pairs_examined;
+          if (g.Degree(w) < deg_u) {
+            ++stats.degree_prunes;
+            continue;
           }
-          if (dominator[w] == w) dominator[w] = u;
-        } else {
-          dominator[u] = w;
+          // Equal degree + inclusion would be mutual; only a smaller id
+          // dominates.
+          if (g.Degree(w) == deg_u && w > u) continue;
+          // The closed-neighborhood variant is required here: unlike in
+          // FilterRefineSky, w may be adjacent to u (no filter phase ran),
+          // and then w's own bit legitimately covers u's neighbor w.
+          if (blooms != nullptr && !blooms->SubsetTestClosed(u, w)) {
+            ++stats.bloom_prunes;
+            continue;
+          }
+          ++stats.inclusion_tests;
+          if (!OpenSubsetOfClosed(g, u, w, &stats.nbr_elements_scanned)) {
+            continue;
+          }
+          dominator[u] = w;  // strict, or equal-degree with w < u
           break;
         }
       }
-    }
+    });
+    MergeWorkerStats(&result.stats, per_worker);
     // Mirrored inside the span so "verify" carries its own counter deltas.
     MirrorStatsCounters("nsky.base_2hop.verify", result.stats);
   }
@@ -119,6 +134,14 @@ SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
   result.stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("base_2hop", result.stats);
   return result;
+}
+
+}  // namespace internal
+
+SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
+  SolverOptions resolved = options;
+  resolved.algorithm = Algorithm::kBase2Hop;
+  return Solve(g, resolved);
 }
 
 }  // namespace nsky::core

@@ -3,16 +3,21 @@
 // bloom-filter / NBRcheck machinery as FilterRefineSky -- but without the
 // candidate filter. Its defining cost is memory: it stores sum_u |N2(u)|
 // vertex ids plus a bloom filter for every vertex, which is why the paper
-// reports it out-of-memory on WikiTalk.
+// reports it out-of-memory on WikiTalk. Both the materialization and the
+// verification run on the parallel engine (core/solver.h); bit-identical
+// for every thread count.
 #ifndef NSKY_CORE_BASE_2HOP_H_
 #define NSKY_CORE_BASE_2HOP_H_
 
 #include "core/filter_refine_sky.h"
 #include "core/skyline.h"
+#include "core/solver.h"
 
 namespace nsky::core {
 
-// Computes the neighborhood skyline by 2-hop materialization.
+// Deprecated: use Solve(g, options) with Algorithm::kBase2Hop.
+// Computes the neighborhood skyline by 2-hop materialization; honors
+// options.threads (FilterRefineOptions is an alias of SolverOptions).
 SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options = {});
 
 }  // namespace nsky::core

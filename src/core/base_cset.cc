@@ -3,19 +3,24 @@
 #include <vector>
 
 #include "core/filter_phase.h"
+#include "core/solver_internal.h"
 #include "core/telemetry.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
 namespace nsky::core {
 
-SkylineResult BaseCSet(const Graph& g) {
+namespace internal {
+
+SkylineResult RunBaseCSet(const Graph& g, const SolverOptions& options,
+                          util::ThreadPool& pool) {
   NSKY_TRACE_SPAN("base_cset");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
-  SkylineResult result = FilterPhase(g);
+  SkylineResult result = RunFilterPhase(g, options, pool);
   std::vector<VertexId>& dominator = result.dominator;
   const std::vector<VertexId> candidates = std::move(result.skyline);
   result.skyline.clear();
@@ -23,44 +28,48 @@ SkylineResult BaseCSet(const Graph& g) {
 
   util::MemoryTally tally;
   tally.Add(result.stats.aux_peak_bytes);
+  // Per-worker intersection counters; charged once (threads=1 footprint).
+  tally.Add(static_cast<uint64_t>(n) * sizeof(uint32_t));
 
-  std::vector<uint32_t> count(n, 0);
-  std::vector<VertexId> touched;
-  touched.reserve(256);
-  tally.Add(count.capacity() * sizeof(uint32_t));
-
-  // BaseSky's intersection counting, restricted to the candidates.
+  // BaseSky's intersection counting, restricted to the candidates. As in
+  // RunBaseSky each candidate's verdict is a pure function of its 2-hop
+  // neighborhood, so candidates are partitioned across workers and each
+  // worker writes only its own candidates' dominator slots.
   {
     NSKY_TRACE_SPAN("refine");
-    for (VertexId u : candidates) {
-      if (dominator[u] != u) continue;
-      const uint32_t deg_u = g.Degree(u);
-      bool done = false;
-      touched.clear();
-      for (VertexId v : g.Neighbors(u)) {
-        if (done) break;
-        auto process = [&](VertexId w) {
-          if (w == u || done) return;
-          if (count[w] == 0) touched.push_back(w);
-          ++result.stats.pairs_examined;
-          if (++count[w] != deg_u) return;
-          if (g.Degree(w) == deg_u) {
-            if (u > w) {
-              dominator[u] = w;
-              done = true;
-            } else if (dominator[w] == w) {
-              dominator[w] = u;
+    std::vector<SkylineStats> per_worker(pool.num_threads());
+    pool.ParallelFor(
+        candidates.size(), [&](unsigned worker, uint64_t begin, uint64_t end) {
+          NSKY_TRACE_SPAN("refine.worker");
+          SkylineStats& stats = per_worker[worker];
+          std::vector<uint32_t> count(n, 0);
+          std::vector<VertexId> touched;
+          touched.reserve(256);
+          for (uint64_t i = begin; i < end; ++i) {
+            const VertexId u = candidates[i];
+            const uint32_t deg_u = g.Degree(u);
+            bool done = false;
+            touched.clear();
+            for (VertexId v : g.Neighbors(u)) {
+              if (done) break;
+              auto process = [&](VertexId w) {
+                if (w == u || done) return;
+                if (count[w] == 0) touched.push_back(w);
+                ++stats.pairs_examined;
+                if (++count[w] != deg_u) return;
+                if (g.Degree(w) > deg_u ||
+                    (g.Degree(w) == deg_u && w < u)) {
+                  dominator[u] = w;
+                  done = true;
+                }
+              };
+              for (VertexId w : g.Neighbors(v)) process(w);
+              process(v);
             }
-          } else {
-            dominator[u] = w;
-            done = true;
+            for (VertexId w : touched) count[w] = 0;
           }
-        };
-        for (VertexId w : g.Neighbors(v)) process(w);
-        process(v);
-      }
-      for (VertexId w : touched) count[w] = 0;
-    }
+        });
+    MergeWorkerStats(&result.stats, per_worker);
     // Mirrored inside the span so "refine" carries its own counter deltas.
     MirrorStatsCounters("nsky.base_cset.refine",
                         StatsSince(result.stats, after_filter));
@@ -74,6 +83,20 @@ SkylineResult BaseCSet(const Graph& g) {
   result.stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("base_cset", result.stats);
   return result;
+}
+
+}  // namespace internal
+
+SkylineResult BaseCSet(const Graph& g) {
+  SolverOptions options;
+  options.algorithm = Algorithm::kBaseCSet;
+  return Solve(g, options);
+}
+
+SkylineResult BaseCSet(const Graph& g, const SolverOptions& options) {
+  SolverOptions resolved = options;
+  resolved.algorithm = Algorithm::kBaseCSet;
+  return Solve(g, resolved);
 }
 
 }  // namespace nsky::core

@@ -1,16 +1,23 @@
 // BaseCSet baseline (Sec. V-A): runs FilterPhase (Algorithm 2) to obtain the
 // candidate set C, then applies BaseSky's counting scheme (Algorithm 1) only
 // to the vertices of C -- candidate pruning without the bloom filter.
-// Time O(dmax * sum_{u in C} deg(u)).
+// Time O(dmax * sum_{u in C} deg(u)). Runs on the parallel engine
+// (core/solver.h); bit-identical for every thread count.
 #ifndef NSKY_CORE_BASE_CSET_H_
 #define NSKY_CORE_BASE_CSET_H_
 
 #include "core/skyline.h"
+#include "core/solver.h"
 
 namespace nsky::core {
 
+// Deprecated: use Solve(g, options) with Algorithm::kBaseCSet.
 // Computes the neighborhood skyline via FilterPhase + counting refinement.
 SkylineResult BaseCSet(const Graph& g);
+
+// As above with execution options (options.threads; options.algorithm is
+// ignored).
+SkylineResult BaseCSet(const Graph& g, const SolverOptions& options);
 
 }  // namespace nsky::core
 

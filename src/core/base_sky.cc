@@ -2,67 +2,77 @@
 
 #include <vector>
 
+#include "core/solver_internal.h"
 #include "core/telemetry.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
 namespace nsky::core {
 
-SkylineResult BaseSky(const Graph& g) {
+namespace internal {
+
+SkylineResult RunBaseSky(const Graph& g, const SolverOptions& options,
+                         util::ThreadPool& pool) {
+  (void)options;
   NSKY_TRACE_SPAN("base_sky");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
   SkylineResult result;
   result.dominator.resize(n);
-  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
   std::vector<VertexId>& dominator = result.dominator;
-
-  // Shared intersection counters; reset sparsely via `touched` so that the
-  // per-vertex cost stays proportional to the explored 2-hop volume.
-  std::vector<uint32_t> count(n, 0);
-  std::vector<VertexId> touched;
-  touched.reserve(256);
 
   util::MemoryTally tally;
   tally.Add(dominator.capacity() * sizeof(VertexId));
-  tally.Add(count.capacity() * sizeof(uint32_t));
+  // Per-worker intersection counters; charged once (threads=1 footprint)
+  // to keep the ledger thread-count-invariant.
+  tally.Add(static_cast<uint64_t>(n) * sizeof(uint32_t));
 
-  for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] != u) continue;  // already dominated, skip (line 5)
-    const uint32_t deg_u = g.Degree(u);
-    bool done = false;
-    touched.clear();
-    for (VertexId v : g.Neighbors(u)) {
-      if (done) break;
-      // w ranges over N[v] \ {u}; the closed neighborhood is N(v) plus v.
-      auto process = [&](VertexId w) {
-        if (w == u || done) return;
-        if (count[w] == 0) touched.push_back(w);
-        ++result.stats.pairs_examined;
-        if (++count[w] != deg_u) return;
-        // N(u) subset-of N[w]: w neighborhood-includes u.
-        if (g.Degree(w) == deg_u) {
-          // Equal degrees + inclusion => mutual inclusion; the smaller id
-          // dominates (Definition 2, case 2).
-          if (u > w) {
+  // Each vertex's verdict is a pure function of its 2-hop neighborhood:
+  // u is dominated iff some w with |N(u) /\ N[w]| = deg(u) beats it on
+  // degree or ties with a smaller id. The first such w in the fixed scan
+  // order (v ascending in N(u); within v, N(v) ascending then v itself)
+  // becomes dominator[u]. No cross-vertex marking, so workers write only
+  // their own chunk's slots and the result is partition-independent.
+  std::vector<SkylineStats> per_worker(pool.num_threads());
+  pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+    NSKY_TRACE_SPAN("base_sky.worker");
+    SkylineStats& stats = per_worker[worker];
+    // Worker-local counters, reset sparsely via `touched` so the cost per
+    // vertex stays proportional to the explored 2-hop volume.
+    std::vector<uint32_t> count(n, 0);
+    std::vector<VertexId> touched;
+    touched.reserve(256);
+    for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+      dominator[u] = u;
+      const uint32_t deg_u = g.Degree(u);
+      bool done = false;
+      touched.clear();
+      for (VertexId v : g.Neighbors(u)) {
+        if (done) break;
+        // w ranges over N[v] \ {u}; the closed neighborhood is N(v) plus v.
+        auto process = [&](VertexId w) {
+          if (w == u || done) return;
+          if (count[w] == 0) touched.push_back(w);
+          ++stats.pairs_examined;
+          if (++count[w] != deg_u) return;
+          // N(u) subset-of N[w]: w neighborhood-includes u. Strict degree
+          // advantage dominates; an equal-degree tie (mutual inclusion,
+          // Definition 2 case 2) is won by the smaller id.
+          if (g.Degree(w) > deg_u || (g.Degree(w) == deg_u && w < u)) {
             dominator[u] = w;
             done = true;
-          } else if (dominator[w] == w) {
-            dominator[w] = u;
           }
-        } else {
-          // Strict domination: u is definitely not in the skyline.
-          dominator[u] = w;
-          done = true;
-        }
-      };
-      for (VertexId w : g.Neighbors(v)) process(w);
-      process(v);
+        };
+        for (VertexId w : g.Neighbors(v)) process(w);
+        process(v);
+      }
+      for (VertexId w : touched) count[w] = 0;
     }
-    for (VertexId w : touched) count[w] = 0;
-  }
+  });
+  MergeWorkerStats(&result.stats, per_worker);
 
   for (VertexId u = 0; u < n; ++u) {
     if (dominator[u] == u) result.skyline.push_back(u);
@@ -72,6 +82,20 @@ SkylineResult BaseSky(const Graph& g) {
   result.stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("base_sky", result.stats);
   return result;
+}
+
+}  // namespace internal
+
+SkylineResult BaseSky(const Graph& g) {
+  SolverOptions options;
+  options.algorithm = Algorithm::kBaseSky;
+  return Solve(g, options);
+}
+
+SkylineResult BaseSky(const Graph& g, const SolverOptions& options) {
+  SolverOptions resolved = options;
+  resolved.algorithm = Algorithm::kBaseSky;
+  return Solve(g, resolved);
 }
 
 }  // namespace nsky::core

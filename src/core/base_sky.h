@@ -1,20 +1,28 @@
 // BaseSky (Algorithm 1): the baseline neighborhood-skyline algorithm,
 // adapted from Brandes et al.'s partial-order computation.
 //
-// For each vertex u it counts, with one shared array T, the intersection
+// For each vertex u it counts, with a per-worker array T, the intersection
 // sizes T(w) = |N(u) /\ N[w]| over all 2-hop reachable w; T(w) reaching
 // deg(u) certifies N(u) subset-of N[w], after which the domination order is
-// resolved by degrees and ids. Each vertex's dominator indicator O(u) is
-// written at most once. O(m * dmax) time, O(m + n) space (Theorem 1).
+// resolved by degrees and ids. Each vertex's verdict is independent of
+// every other's, so the scan runs on the parallel engine (core/solver.h)
+// and is bit-identical for every thread count. O(m * dmax) time,
+// O(m + n) space per worker (Theorem 1).
 #ifndef NSKY_CORE_BASE_SKY_H_
 #define NSKY_CORE_BASE_SKY_H_
 
 #include "core/skyline.h"
+#include "core/solver.h"
 
 namespace nsky::core {
 
+// Deprecated: use Solve(g, options) with Algorithm::kBaseSky.
 // Computes the neighborhood skyline of g with Algorithm 1.
 SkylineResult BaseSky(const Graph& g);
+
+// As above with execution options (options.threads; options.algorithm is
+// ignored).
+SkylineResult BaseSky(const Graph& g, const SolverOptions& options);
 
 }  // namespace nsky::core
 

@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace nsky::core {
 
@@ -29,7 +30,8 @@ uint32_t NeighborhoodBlooms::ChooseBitsAdaptive(const Graph& g,
 
 NeighborhoodBlooms::NeighborhoodBlooms(const Graph& g,
                                        const std::vector<uint8_t>& member,
-                                       uint32_t bits) {
+                                       uint32_t bits,
+                                       util::ThreadPool* pool) {
   NSKY_CHECK(bits >= 64 && std::has_single_bit(bits));
   NSKY_CHECK(member.size() == g.NumVertices());
   bits_ = bits;
@@ -43,14 +45,23 @@ NeighborhoodBlooms::NeighborhoodBlooms(const Graph& g,
   }
   words_.assign(static_cast<size_t>(num_filters) * words_per_filter_, 0);
 
-  for (VertexId u = 0; u < n; ++u) {
-    if (slot_[u] == kNoSlot) continue;
-    uint64_t* filter =
-        words_.data() + static_cast<size_t>(slot_[u]) * words_per_filter_;
-    for (VertexId x : g.Neighbors(u)) {
-      uint64_t h = HashBit(x);
-      filter[(h >> 6) & (words_per_filter_ - 1)] |= uint64_t{1} << (h & 63);
+  // Row u is written only by the worker owning u, so the parallel build
+  // produces the exact words of the sequential one.
+  auto build_range = [&](unsigned, uint64_t begin, uint64_t end) {
+    for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+      if (slot_[u] == kNoSlot) continue;
+      uint64_t* filter =
+          words_.data() + static_cast<size_t>(slot_[u]) * words_per_filter_;
+      for (VertexId x : g.Neighbors(u)) {
+        uint64_t h = HashBit(x);
+        filter[(h >> 6) & (words_per_filter_ - 1)] |= uint64_t{1} << (h & 63);
+      }
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, build_range);
+  } else {
+    build_range(0, 0, n);
   }
 }
 

@@ -20,6 +20,10 @@
 
 #include "graph/graph.h"
 
+namespace nsky::util {
+class ThreadPool;
+}  // namespace nsky::util
+
 namespace nsky::core {
 
 using graph::Graph;
@@ -44,9 +48,12 @@ class NeighborhoodBlooms {
                                      uint32_t bits_per_neighbor = 2);
 
   // Builds filters over N(u) for every u with member[u] == true.
-  // `bits` must be a power of two >= 64.
+  // `bits` must be a power of two >= 64. When `pool` is non-null the
+  // per-vertex filter rows are hashed in parallel; each row is written by
+  // exactly one worker, so the filter block is identical for any thread
+  // count.
   NeighborhoodBlooms(const Graph& g, const std::vector<uint8_t>& member,
-                     uint32_t bits);
+                     uint32_t bits, util::ThreadPool* pool = nullptr);
 
   // True when a filter was built for u.
   bool Has(VertexId u) const { return slot_[u] != kNoSlot; }

@@ -2,9 +2,11 @@
 
 #include <vector>
 
+#include "core/solver_internal.h"
 #include "core/subset_check.h"
 #include "core/telemetry.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -22,48 +24,58 @@ bool ClosedSubsetAlongEdge(const Graph& g, VertexId u, VertexId v,
 
 }  // namespace
 
-SkylineResult FilterPhase(const Graph& g) {
+namespace internal {
+
+SkylineResult RunFilterPhase(const Graph& g, const SolverOptions& options,
+                             util::ThreadPool& pool) {
+  (void)options;
   NSKY_TRACE_SPAN("filter");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
   SkylineResult result;
   result.dominator.resize(n);
-  for (VertexId u = 0; u < n; ++u) result.dominator[u] = u;
   std::vector<VertexId>& dominator = result.dominator;
 
   util::MemoryTally tally;
   tally.Add(dominator.capacity() * sizeof(VertexId));
 
-  for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] != u) continue;  // already dominated, skip
-    const uint32_t deg_u = g.Degree(u);
-    for (VertexId v : g.Neighbors(u)) {
-      ++result.stats.pairs_examined;
-      const uint32_t deg_v = g.Degree(v);
-      // N[u] subset-of N[v] forces deg(v) >= deg(u).
-      if (deg_v < deg_u) {
-        ++result.stats.degree_prunes;
-        continue;
-      }
-      ++result.stats.inclusion_tests;
-      if (!ClosedSubsetAlongEdge(g, u, v, &result.stats.nbr_elements_scanned)) {
-        continue;
-      }
-      if (deg_v == deg_u) {
-        // Same degree + containment => N[u] == N[v]; smaller id dominates.
-        if (u > v) {
-          dominator[u] = v;
-          break;
+  // Each vertex's edge-constrained domination status is a pure function of
+  // its adjacency (Definition 5): u is a candidate unless some neighbor v
+  // with N[u] subset-of N[v] beats it on degree, or ties on degree with a
+  // smaller id. Evaluating it independently per vertex (no cross-vertex
+  // marking, no evolving-dominator skips) is what makes the scan
+  // partitionable: every worker writes only its own chunk's dominator
+  // slots, and the recorded dominator is the first qualifying neighbor in
+  // adjacency order regardless of the partition.
+  std::vector<SkylineStats> per_worker(pool.num_threads());
+  pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+    NSKY_TRACE_SPAN("filter.worker");
+    SkylineStats& stats = per_worker[worker];
+    for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+      dominator[u] = u;
+      const uint32_t deg_u = g.Degree(u);
+      for (VertexId v : g.Neighbors(u)) {
+        ++stats.pairs_examined;
+        const uint32_t deg_v = g.Degree(v);
+        // N[u] subset-of N[v] forces deg(v) >= deg(u).
+        if (deg_v < deg_u) {
+          ++stats.degree_prunes;
+          continue;
         }
-        if (dominator[v] == v) dominator[v] = u;
-      } else {
-        // Strict edge-constrained domination.
-        dominator[u] = v;
+        // Equal degree + containment would mean N[u] == N[v]; the smaller
+        // id dominates, so a larger-id v can never dominate u.
+        if (deg_v == deg_u && v > u) continue;
+        ++stats.inclusion_tests;
+        if (!ClosedSubsetAlongEdge(g, u, v, &stats.nbr_elements_scanned)) {
+          continue;
+        }
+        dominator[u] = v;  // strict, or mutual resolved by smaller id
         break;
       }
     }
-  }
+  });
+  MergeWorkerStats(&result.stats, per_worker);
 
   for (VertexId u = 0; u < n; ++u) {
     if (dominator[u] == u) result.skyline.push_back(u);
@@ -73,6 +85,20 @@ SkylineResult FilterPhase(const Graph& g) {
   result.stats.aux_peak_bytes = tally.peak_bytes();
   result.stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("filter_phase", result.stats);
+  return result;
+}
+
+}  // namespace internal
+
+SkylineResult FilterPhase(const Graph& g) {
+  util::ThreadPool pool(1);
+  return internal::RunFilterPhase(g, SolverOptions{}, pool);
+}
+
+SkylineResult FilterPhase(const Graph& g, const SolverOptions& options) {
+  util::ThreadPool pool(internal::ResolveThreads(options.threads));
+  SkylineResult result = internal::RunFilterPhase(g, options, pool);
+  result.stats.threads = pool.num_threads();
   return result;
 }
 

@@ -16,12 +16,17 @@
 #define NSKY_CORE_FILTER_PHASE_H_
 
 #include "core/skyline.h"
+#include "core/solver.h"
 
 namespace nsky::core {
 
 // Computes the neighborhood candidates C of g. The result's `skyline`
 // member holds C (sorted) and `dominator` the edge-constrained O(*) array.
 SkylineResult FilterPhase(const Graph& g);
+
+// As above with execution options (options.threads drives the parallel
+// engine; options.algorithm is ignored -- this always runs the filter).
+SkylineResult FilterPhase(const Graph& g, const SolverOptions& options);
 
 }  // namespace nsky::core
 

@@ -5,9 +5,11 @@
 
 #include "core/bloom.h"
 #include "core/filter_phase.h"
+#include "core/solver_internal.h"
 #include "core/subset_check.h"
 #include "core/telemetry.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -25,14 +27,16 @@ bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
 
 }  // namespace
 
-SkylineResult FilterRefineSky(const Graph& g,
-                              const FilterRefineOptions& options) {
+namespace internal {
+
+SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
+                              util::ThreadPool& pool) {
   NSKY_TRACE_SPAN("filter_refine");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
   // ---- Filter phase: candidate set C and its O(*) array. ----
-  SkylineResult result = FilterPhase(g);
+  SkylineResult result = RunFilterPhase(g, options, pool);
   std::vector<VertexId>& dominator = result.dominator;
   const std::vector<VertexId> candidates = std::move(result.skyline);
   result.skyline.clear();
@@ -41,11 +45,15 @@ SkylineResult FilterRefineSky(const Graph& g,
   util::MemoryTally tally;
   tally.Add(result.stats.aux_peak_bytes);  // filter-phase structures
 
-  // ---- Bloom filters over N(u) for every candidate. ----
+  // Candidate-membership snapshot. Immutable once built, it serves two
+  // jobs in the refine scan: the non-candidate skip, and -- because it is
+  // frozen pre-refine rather than read from the concurrently-written
+  // dominator array -- the determinism of that skip for every thread count.
   std::vector<uint8_t> member(n, 0);
   for (VertexId u : candidates) member[u] = 1;
   tally.Add(member.capacity());
 
+  // ---- Bloom filters over N(u) for every candidate. ----
   std::unique_ptr<NeighborhoodBlooms> blooms;
   if (options.use_bloom && !candidates.empty()) {
     NSKY_TRACE_SPAN("bloom_build");
@@ -53,7 +61,7 @@ SkylineResult FilterRefineSky(const Graph& g,
                         ? options.bloom_bits
                         : NeighborhoodBlooms::ChooseBitsAdaptive(
                               g, options.bits_per_neighbor);
-    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits);
+    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
     tally.Add(blooms->MemoryBytes());
   }
 
@@ -62,61 +70,70 @@ SkylineResult FilterRefineSky(const Graph& g,
   // scan): any dominator w of u satisfies N(u) subset-of N[w], so w is
   // adjacent to *every* neighbor of u -- in particular to u's
   // minimum-degree neighbor x*. Hence it is enough to scan w in N[x*],
-  // which is tiny whenever u touches any low-degree vertex. The candidate
-  // list is duplicate-free by construction, so no dedup stamps are needed.
+  // which is tiny whenever u touches any low-degree vertex.
+  //
+  // Each candidate's verdict is a pure function of the graph and the
+  // filter-phase snapshot: the scan order (x*, then N(x*) ascending) is
+  // fixed, and the first w that passes degree, id-tiebreak, membership and
+  // NBRcheck becomes dominator[u]. Workers therefore race on nothing --
+  // they write only their own candidates' dominator slots -- and the
+  // result is bit-identical for any partition of the candidate range.
   {
     NSKY_TRACE_SPAN("refine");
-    for (VertexId u : candidates) {
-      if (dominator[u] != u) continue;  // dominated meanwhile (mutual marking)
-      const uint32_t deg_u = g.Degree(u);
-      if (deg_u == 0) continue;  // isolated: skyline by the 2-hop convention
+    std::vector<SkylineStats> per_worker(pool.num_threads());
+    pool.ParallelFor(
+        candidates.size(), [&](unsigned worker, uint64_t begin, uint64_t end) {
+          NSKY_TRACE_SPAN("refine.worker");
+          SkylineStats& stats = per_worker[worker];
+          for (uint64_t i = begin; i < end; ++i) {
+            const VertexId u = candidates[i];
+            const uint32_t deg_u = g.Degree(u);
+            if (deg_u == 0) continue;  // isolated: skyline by convention
 
-      VertexId pivot = g.Neighbors(u)[0];
-      for (VertexId x : g.Neighbors(u)) {
-        if (g.Degree(x) < g.Degree(pivot)) pivot = x;
-      }
+            VertexId pivot = g.Neighbors(u)[0];
+            for (VertexId x : g.Neighbors(u)) {
+              if (g.Degree(x) < g.Degree(pivot)) pivot = x;
+            }
 
-      auto consider = [&](VertexId w) -> bool {
-        // Returns true when u was shown to be dominated (stop scanning).
-        if (w == u) return false;
-        ++result.stats.pairs_examined;
-        // Degree test: N(u) subset-of N[w] forces deg(w) >= deg(u).
-        if (g.Degree(w) < deg_u) {
-          ++result.stats.degree_prunes;
-          return false;
-        }
-        // Dominated-w skip: if w is dominated, transitivity guarantees an
-        // undominated dominator of u is also reachable, so w is redundant.
-        if (dominator[w] != w) return false;
-        // Bloom subset pre-test (no false negatives). The closed variant is
-        // required: w may be adjacent to u here.
-        if (blooms != nullptr && blooms->Has(w) &&
-            !blooms->SubsetTestClosed(u, w)) {
-          ++result.stats.bloom_prunes;
-          return false;
-        }
-        // Exact verification (NBRcheck).
-        ++result.stats.inclusion_tests;
-        if (!OpenSubsetOfClosed(g, u, w, &result.stats.nbr_elements_scanned)) {
-          return false;
-        }
-        if (g.Degree(w) == deg_u) {
-          // Equal degree + inclusion => mutual; smaller id dominates.
-          if (u > w) {
-            dominator[u] = w;
-            return true;
+            auto consider = [&](VertexId w) -> bool {
+              // Returns true when u was shown to be dominated (stop).
+              if (w == u) return false;
+              ++stats.pairs_examined;
+              // Degree test: N(u) subset-of N[w] forces deg(w) >= deg(u).
+              if (g.Degree(w) < deg_u) {
+                ++stats.degree_prunes;
+                return false;
+              }
+              // Equal degree + inclusion would be mutual; only a smaller
+              // id dominates.
+              if (g.Degree(w) == deg_u && w > u) return false;
+              // Non-candidate skip: a filter-dominated w is redundant --
+              // transitivity guarantees an undominated dominator of u is
+              // also in scan range.
+              if (!member[w]) return false;
+              // Bloom subset pre-test (no false negatives). The closed
+              // variant is required: w may be adjacent to u here.
+              if (blooms != nullptr && !blooms->SubsetTestClosed(u, w)) {
+                ++stats.bloom_prunes;
+                return false;
+              }
+              // Exact verification (NBRcheck).
+              ++stats.inclusion_tests;
+              if (!OpenSubsetOfClosed(g, u, w,
+                                      &stats.nbr_elements_scanned)) {
+                return false;
+              }
+              dominator[u] = w;  // strict, or equal-degree with w < u
+              return true;
+            };
+
+            if (consider(pivot)) continue;
+            for (VertexId w : g.Neighbors(pivot)) {
+              if (consider(w)) break;
+            }
           }
-          return false;  // u has the smaller id; keep scanning
-        }
-        dominator[u] = w;  // strict domination
-        return true;
-      };
-
-      if (consider(pivot)) continue;
-      for (VertexId w : g.Neighbors(pivot)) {
-        if (consider(w)) break;
-      }
-    }
+        });
+    MergeWorkerStats(&result.stats, per_worker);
     // Mirrored inside the span so "refine" carries its own counter deltas.
     MirrorStatsCounters("nsky.filter_refine.refine",
                         StatsSince(result.stats, after_filter));
@@ -130,6 +147,15 @@ SkylineResult FilterRefineSky(const Graph& g,
   result.stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("filter_refine", result.stats);
   return result;
+}
+
+}  // namespace internal
+
+SkylineResult FilterRefineSky(const Graph& g,
+                              const FilterRefineOptions& options) {
+  SolverOptions resolved = options;
+  resolved.algorithm = Algorithm::kFilterRefine;
+  return Solve(g, resolved);
 }
 
 }  // namespace nsky::core

@@ -5,32 +5,34 @@
 // Phase 2 (refine): for every candidate u, scan its 2-hop neighbors w and
 // test the domination N(u) subset-of N[w], pruning with
 //   (a) the degree test deg(w) >= deg(u) (necessary for inclusion),
-//   (b) the dominated-w skip (transitivity makes it safe), and
-//   (c) the bloom-filter subset test BF(u) & BF(w) == BF(u), which has no
+//   (b) the equal-degree id test (a larger-id tie can never dominate),
+//   (c) the non-candidate skip (a filter-dominated w is redundant: some
+//       undominated dominator of u is also in scan range, by transitivity),
+//   (d) the bloom-filter subset test BF(u) & BF(w) == BF(u), which has no
 //       false negatives; survivors are verified exactly against the
 //       adjacency lists (NBRcheck).
 // Worst-case O(m + dmax * sum_{u in C} deg(u)^2) time and O(m + |C| dmax)
-// space (Theorem 3).
+// space (Theorem 3). The refine scan runs on the parallel engine
+// (core/solver.h) and is bit-identical for every thread count.
 #ifndef NSKY_CORE_FILTER_REFINE_SKY_H_
 #define NSKY_CORE_FILTER_REFINE_SKY_H_
 
 #include <cstdint>
 
 #include "core/skyline.h"
+#include "core/solver.h"
 
 namespace nsky::core {
 
-struct FilterRefineOptions {
-  // Bloom width in bits (power of two, >= 64); 0 picks
-  // NeighborhoodBlooms::ChooseBits(dmax, bits_per_neighbor).
-  uint32_t bloom_bits = 0;
-  // Sizing factor used when bloom_bits == 0.
-  uint32_t bits_per_neighbor = 2;
-  // Disables the bloom pre-test entirely (ablation).
-  bool use_bloom = true;
-};
+// Deprecated: the per-solver options struct was folded into SolverOptions
+// (the bloom fields kept their names, `threads` was added). The alias keeps
+// old call sites compiling for one release; new code should build a
+// SolverOptions and call Solve().
+using FilterRefineOptions = SolverOptions;
 
-// Computes the neighborhood skyline of g with Algorithm 3.
+// Deprecated: use Solve(g, options) with Algorithm::kFilterRefine.
+// Computes the neighborhood skyline of g with Algorithm 3; honors
+// options.threads.
 SkylineResult FilterRefineSky(const Graph& g,
                               const FilterRefineOptions& options = {});
 

@@ -3,7 +3,9 @@
 // Quick start:
 //   #include "core/nsky.h"
 //   nsky::graph::Graph g = nsky::graph::MakeChungLuPowerLaw(10000, 2.8, 8, 1);
-//   nsky::core::SkylineResult r = nsky::core::FilterRefineSky(g);
+//   nsky::core::SolverOptions options;   // algorithm, threads, bloom knobs
+//   options.threads = 8;                 // bit-identical for any value
+//   nsky::core::SkylineResult r = nsky::core::Solve(g, options);
 //   // r.skyline now holds the vertices no other vertex dominates.
 #ifndef NSKY_CORE_NSKY_H_
 #define NSKY_CORE_NSKY_H_
@@ -13,9 +15,11 @@
 #include "core/base_sky.h"
 #include "core/bloom.h"
 #include "core/domination.h"
+#include "core/dynamic_skyline.h"
 #include "core/filter_phase.h"
 #include "core/filter_refine_sky.h"
 #include "core/skyline.h"
+#include "core/solver.h"
 #include "core/telemetry.h"
 
 #endif  // NSKY_CORE_NSKY_H_

@@ -34,7 +34,14 @@ struct SkylineStats {
   // Adjacency-list elements touched during exact verifications.
   uint64_t nbr_elements_scanned = 0;
   // Peak auxiliary heap bytes (deterministic ledger, excludes the graph).
+  // Thread-count-invariant: per-worker scratch of the parallel engine is
+  // charged once, so this reports the canonical threads=1 footprint (see
+  // core/solver.h).
   uint64_t aux_peak_bytes = 0;
+  // Worker count the run actually used (core/solver.h). Configuration, not
+  // a counter: the only field besides `seconds` allowed to differ between
+  // otherwise-identical runs.
+  uint32_t threads = 1;
   // Wall-clock seconds for the whole computation.
   double seconds = 0.0;
 };

@@ -1,0 +1,61 @@
+#include "core/solver.h"
+
+#include "core/solver_internal.h"
+#include "util/thread_pool.h"
+
+namespace nsky::core {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFilterRefine:
+      return "filter-refine";
+    case Algorithm::kBaseSky:
+      return "base";
+    case Algorithm::kBaseCSet:
+      return "cset";
+    case Algorithm::kBase2Hop:
+      return "2hop";
+  }
+  return "unknown";
+}
+
+std::optional<Algorithm> ParseAlgorithm(std::string_view name) {
+  if (name == "filter-refine" || name == "filter_refine") {
+    return Algorithm::kFilterRefine;
+  }
+  if (name == "base") return Algorithm::kBaseSky;
+  if (name == "cset") return Algorithm::kBaseCSet;
+  if (name == "2hop") return Algorithm::kBase2Hop;
+  return std::nullopt;
+}
+
+namespace internal {
+
+unsigned ResolveThreads(uint32_t threads) {
+  return threads == 0 ? util::ThreadPool::HardwareThreads() : threads;
+}
+
+}  // namespace internal
+
+SkylineResult Solve(const Graph& g, const SolverOptions& options) {
+  util::ThreadPool pool(internal::ResolveThreads(options.threads));
+  SkylineResult result;
+  switch (options.algorithm) {
+    case Algorithm::kFilterRefine:
+      result = internal::RunFilterRefine(g, options, pool);
+      break;
+    case Algorithm::kBaseSky:
+      result = internal::RunBaseSky(g, options, pool);
+      break;
+    case Algorithm::kBaseCSet:
+      result = internal::RunBaseCSet(g, options, pool);
+      break;
+    case Algorithm::kBase2Hop:
+      result = internal::RunBase2Hop(g, options, pool);
+      break;
+  }
+  result.stats.threads = pool.num_threads();
+  return result;
+}
+
+}  // namespace nsky::core

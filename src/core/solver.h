@@ -1,0 +1,86 @@
+// Unified solver entry point: one options struct, one Solve() call.
+//
+//   nsky::core::SolverOptions options;
+//   options.algorithm = nsky::core::Algorithm::kFilterRefine;
+//   options.threads = 8;
+//   nsky::core::SkylineResult r = nsky::core::Solve(g, options);
+//
+// Solve() replaces the historical per-solver free functions (BaseSky,
+// Base2Hop, BaseCSet, FilterRefineSky), which remain as thin deprecated
+// wrappers for one release. Every execution knob -- algorithm choice,
+// thread count, bloom sizing -- lives in SolverOptions, so new knobs reach
+// all solvers, the CLI, the benches and the tests through a single struct.
+//
+// Parallel execution & determinism guarantee
+// ------------------------------------------
+// With options.threads = T, the per-vertex domination scans run on a
+// fixed-size thread pool (util/thread_pool.h) that partitions the vertex /
+// candidate range into T contiguous chunks with a fixed formula. Each
+// worker accumulates into thread-local SkylineStats and writes only
+// dominator slots it owns; shared inputs (graph, candidate snapshot, bloom
+// filters) are read-only during the scan. Worker results are merged at a
+// barrier in worker order. Because every per-vertex decision is a pure
+// function of the graph (plus the immutable filter-phase snapshot), the
+// returned SkylineResult -- skyline order, dominator array, and every
+// deterministic SkylineStats counter -- is bit-identical for every value of
+// T, including T = 1. Only stats.seconds (wall time) and stats.threads (the
+// resolved thread count) vary.
+//
+// stats.aux_peak_bytes is part of the guarantee: per-worker scratch is
+// charged to the ledger once (the canonical single-worker footprint), so
+// the reported figure is the T = 1 footprint. Real resident scratch grows
+// with T; the deterministic ledger deliberately does not.
+#ifndef NSKY_CORE_SOLVER_H_
+#define NSKY_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "core/skyline.h"
+
+namespace nsky::core {
+
+// The neighborhood-skyline algorithms selectable through Solve().
+enum class Algorithm {
+  kFilterRefine,  // Algorithm 3: filter + pruned refine (the paper's best)
+  kBaseSky,       // Algorithm 1: counting over 2-hop neighborhoods
+  kBaseCSet,      // filter + counting refine restricted to candidates
+  kBase2Hop,      // materialized 2-hop lists + bloom/NBRcheck verification
+};
+
+// Stable CLI-facing name of an algorithm ("filter-refine", "base", "cset",
+// "2hop").
+const char* AlgorithmName(Algorithm algorithm);
+
+// Inverse of AlgorithmName; also accepts the historical spelling
+// "filter_refine". Returns nullopt for unknown names.
+std::optional<Algorithm> ParseAlgorithm(std::string_view name);
+
+// Execution options for Solve(). The bloom fields subsume the former
+// FilterRefineOptions (kept as a deprecated alias below).
+struct SolverOptions {
+  Algorithm algorithm = Algorithm::kFilterRefine;
+
+  // Worker count for the parallel engine. 1 = sequential (default);
+  // 0 = one worker per hardware thread. The result is bit-identical for
+  // every value (see the determinism guarantee above).
+  uint32_t threads = 1;
+
+  // Bloom width in bits (power of two, >= 64); 0 picks
+  // NeighborhoodBlooms::ChooseBitsAdaptive(g, bits_per_neighbor).
+  uint32_t bloom_bits = 0;
+  // Sizing factor used when bloom_bits == 0.
+  uint32_t bits_per_neighbor = 2;
+  // Disables the bloom pre-test entirely (ablation). Only meaningful for
+  // kFilterRefine and kBase2Hop.
+  bool use_bloom = true;
+};
+
+// Computes the neighborhood skyline of g with the selected algorithm and
+// thread count. stats.threads records the resolved worker count.
+SkylineResult Solve(const Graph& g, const SolverOptions& options = {});
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_SOLVER_H_

@@ -1,0 +1,61 @@
+// Private plumbing of the unified solver engine (core/solver.h).
+//
+// Each solver translation unit implements one Run* function taking the
+// shared SolverOptions plus the run's thread pool; Solve() owns the pool
+// and dispatches. Not part of the public API (not in core/nsky.h) -- the
+// deprecated per-solver free functions and Solve() are the supported
+// surface.
+//
+// Determinism contract every Run* implementation follows:
+//  * ParallelFor partitions a vertex/candidate index range; a worker writes
+//    only dominator slots of vertices in its own chunk.
+//  * Every per-vertex decision is a pure function of the graph and of
+//    immutable pre-phase snapshots (candidate membership, bloom filters) --
+//    never of dominator slots another worker may be writing.
+//  * Counters accumulate into per-worker SkylineStats and are merged with
+//    AddCounters in worker order; sums are independent of the partition.
+//  * Per-worker scratch is charged to the MemoryTally once (canonical
+//    threads=1 footprint), keeping aux_peak_bytes thread-count-invariant.
+#ifndef NSKY_CORE_SOLVER_INTERNAL_H_
+#define NSKY_CORE_SOLVER_INTERNAL_H_
+
+#include "core/skyline.h"
+#include "core/solver.h"
+#include "util/thread_pool.h"
+
+namespace nsky::core::internal {
+
+// Adds the five deterministic counters of `from` into `*into`.
+inline void AddCounters(SkylineStats* into, const SkylineStats& from) {
+  into->pairs_examined += from.pairs_examined;
+  into->bloom_prunes += from.bloom_prunes;
+  into->degree_prunes += from.degree_prunes;
+  into->inclusion_tests += from.inclusion_tests;
+  into->nbr_elements_scanned += from.nbr_elements_scanned;
+}
+
+// Merges per-worker stats in worker order into `*into`.
+inline void MergeWorkerStats(SkylineStats* into,
+                             const std::vector<SkylineStats>& per_worker) {
+  for (const SkylineStats& s : per_worker) AddCounters(into, s);
+}
+
+// Resolved worker count for options.threads (0 = hardware concurrency).
+unsigned ResolveThreads(uint32_t threads);
+
+// Algorithm bodies. Each fills stats.seconds and mirrors telemetry itself;
+// stats.threads is stamped by the caller (Solve or a wrapper).
+SkylineResult RunFilterPhase(const Graph& g, const SolverOptions& options,
+                             util::ThreadPool& pool);
+SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
+                              util::ThreadPool& pool);
+SkylineResult RunBaseSky(const Graph& g, const SolverOptions& options,
+                         util::ThreadPool& pool);
+SkylineResult RunBaseCSet(const Graph& g, const SolverOptions& options,
+                          util::ThreadPool& pool);
+SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
+                          util::ThreadPool& pool);
+
+}  // namespace nsky::core::internal
+
+#endif  // NSKY_CORE_SOLVER_INTERNAL_H_

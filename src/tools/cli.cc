@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -163,6 +164,7 @@ void WriteStatsJson(const core::SkylineStats& stats, util::JsonWriter* w) {
   w->KV("inclusion_tests", stats.inclusion_tests);
   w->KV("nbr_elements_scanned", stats.nbr_elements_scanned);
   w->KV("aux_peak_bytes", stats.aux_peak_bytes);
+  w->KV("threads", static_cast<uint64_t>(stats.threads));
   w->KV("seconds", stats.seconds);
   w->EndObject();
 }
@@ -200,22 +202,38 @@ int CmdStats(const Args& args, const Graph& g, std::ostream& out) {
   return 0;
 }
 
+// Reads --threads (default 1; 0 = hardware concurrency). Returns false on a
+// malformed value.
+bool ParseThreads(const Args& args, uint32_t* threads, std::ostream& err) {
+  const std::string raw = args.Get("threads", "1");
+  char* end = nullptr;
+  long v = std::strtol(raw.c_str(), &end, 10);
+  if (raw.empty() || *end != '\0' || v < 0 || v > 4096) {
+    err << "error: --threads must be an integer in [0, 4096], got '" << raw
+        << "'\n";
+    return false;
+  }
+  *threads = static_cast<uint32_t>(v);
+  return true;
+}
+
 int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
                std::ostream& err) {
-  const std::string algo = args.Get("algorithm", "filter-refine");
+  // --algo is the preferred spelling; --algorithm stays as an alias.
+  const std::string algo =
+      args.Has("algo") ? args.Get("algo") : args.Get("algorithm", "filter-refine");
+  core::SolverOptions options;
+  if (!ParseThreads(args, &options.threads, err)) return 2;
   core::SkylineResult r;
-  if (algo == "filter-refine") {
-    r = core::FilterRefineSky(g);
-  } else if (algo == "base") {
-    r = core::BaseSky(g);
-  } else if (algo == "cset") {
-    r = core::BaseCSet(g);
-  } else if (algo == "2hop") {
-    r = core::Base2Hop(g);
-  } else if (algo == "join") {
+  if (algo == "join") {
+    // The set-containment-join adapter lives outside the core engine and
+    // ignores --threads.
     r = setjoin::SkylineViaJoin(g);
+  } else if (auto parsed = core::ParseAlgorithm(algo)) {
+    options.algorithm = *parsed;
+    r = core::Solve(g, options);
   } else {
-    err << "error: unknown --algorithm '" << algo << "'\n";
+    err << "error: unknown --algo '" << algo << "'\n";
     return 2;
   }
   if (args.Has("json")) {
@@ -239,16 +257,19 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     return 0;
   }
   out << "skyline " << r.skyline.size() << " of " << g.NumVertices()
-      << " vertices (" << algo << ", " << util::FormatSeconds(r.stats.seconds)
-      << ")\n";
+      << " vertices (" << algo << ", threads " << r.stats.threads << ", "
+      << util::FormatSeconds(r.stats.seconds) << ")\n";
   if (args.Get("print", "no") == "yes") {
     for (VertexId u : r.skyline) out << u << "\n";
   }
   return 0;
 }
 
-int CmdCandidates(const Args& args, const Graph& g, std::ostream& out) {
-  core::SkylineResult r = core::FilterPhase(g);
+int CmdCandidates(const Args& args, const Graph& g, std::ostream& out,
+                  std::ostream& err) {
+  core::SolverOptions options;
+  if (!ParseThreads(args, &options.threads, err)) return 2;
+  core::SkylineResult r = core::FilterPhase(g, options);
   if (args.Has("json")) {
     util::JsonWriter w;
     w.BeginObject();
@@ -387,6 +408,9 @@ void PrintUsage(std::ostream& out) {
          "               | --generate SPEC (er:N:P, ba:N:M, pl:N:BETA:AVG,\n"
          "                 social:N:AVG, clique:N, cycle:N, path:N, star:N,\n"
          "                 tree:LEVELS; random models accept a trailing seed)\n"
+         "solver:    --algo base|filter-refine|cset|2hop|join (skyline)\n"
+         "           --threads N (skyline/candidates; 0 = all cores;\n"
+         "             results are bit-identical for every N)\n"
          "telemetry: --json (stats/skyline/candidates: JSON on stdout)\n"
          "           --trace FILE (write Chrome trace-event JSON)\n"
          "see src/tools/cli.h for per-command options and JSON schemas\n";
@@ -446,7 +470,7 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
     } else if (args.command == "skyline") {
       code = CmdSkyline(args, *g, out, err);
     } else if (args.command == "candidates") {
-      code = CmdCandidates(args, *g, out);
+      code = CmdCandidates(args, *g, out, err);
     } else if (args.command == "generate") {
       code = CmdGenerate(args, *g, out, err);
     } else if (args.command == "centrality") {

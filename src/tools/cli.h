@@ -7,8 +7,9 @@
 //
 // Commands:
 //   stats      --input FILE | --standin NAME | --generate SPEC
-//   skyline    (same inputs) [--algorithm base|filter-refine|cset|2hop|join]
-//   candidates (same inputs)
+//   skyline    (same inputs) [--algo base|filter-refine|cset|2hop|join]
+//              [--threads N]  (--algorithm is a deprecated alias of --algo)
+//   candidates (same inputs) [--threads N]
 //   generate   --generate SPEC --output FILE
 //   centrality (same inputs) [--top K]           per-vertex closeness/harmonic
 //   group-max  (same inputs) --k K [--objective closeness|harmonic]
@@ -24,6 +25,12 @@
 //                        er:N:P | ba:N:M | pl:N:BETA:AVG | social:N:AVG
 //                        clique:N | cycle:N | path:N | star:N | tree:LEVELS
 //                      an optional trailing :SEED applies to random models.
+//
+// Solver options (skyline, candidates):
+//   --threads N        worker count for the parallel engine (core/solver.h);
+//                      1 = sequential (default), 0 = one per hardware
+//                      thread. Results are bit-identical for every N; the
+//                      resolved count is reported as stats.threads.
 //
 // Telemetry options (any graph command):
 //   --trace FILE       record RAII phase spans during the command and write
@@ -41,7 +48,8 @@
 //               "skyline":{"size",<uint>,"members":[<uint>...]},
 //               "stats":{"candidate_count","pairs_examined","bloom_prunes",
 //                        "degree_prunes","inclusion_tests",
-//                        "nbr_elements_scanned","aux_peak_bytes","seconds"}}
+//                        "nbr_elements_scanned","aux_peak_bytes","threads",
+//                        "seconds"}}
 //   candidates {"schema":"nsky.candidates.v1","command":"candidates",
 //               "graph":{"n","m"},"candidates":{"size",<uint>},
 //               "stats":{...same as skyline...}}

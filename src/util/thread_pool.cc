@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <exception>
+#include <utility>
+
+namespace nsky::util {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+unsigned ThreadPool::HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+void RunChunk(const ThreadPool::ChunkBody& body, unsigned chunk,
+              uint64_t begin, uint64_t end, std::exception_ptr* error) {
+  try {
+    body(chunk, begin, end);
+  } catch (...) {
+    *error = std::current_exception();
+  }
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(uint64_t n, const ChunkBody& body) {
+  const unsigned t = num_threads_;
+  if (n == 0) return;
+  if (t == 1 || workers_.empty()) {
+    // Sequential engine: one chunk, inline, exceptions propagate directly.
+    body(0, 0, n);
+    return;
+  }
+
+  // One exception slot per chunk; the lowest-index failure wins so a
+  // multi-failure run rethrows deterministically.
+  std::vector<std::exception_ptr> errors(t);
+
+  unsigned enqueued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (unsigned i = 1; i < t; ++i) {
+      const uint64_t begin = ChunkBegin(n, t, i);
+      const uint64_t end = ChunkBegin(n, t, i + 1);
+      if (begin == end) continue;
+      tasks_.emplace_back([&body, i, begin, end, error = &errors[i]] {
+        RunChunk(body, i, begin, end, error);
+      });
+      ++enqueued;
+    }
+    pending_ += enqueued;
+  }
+  if (enqueued > 0) task_ready_.notify_all();
+
+  // The calling thread is worker 0.
+  const uint64_t end0 = ChunkBegin(n, t, 1);
+  if (end0 > 0) RunChunk(body, 0, 0, end0, &errors[0]);
+
+  if (enqueued > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace nsky::util

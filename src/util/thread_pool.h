@@ -1,0 +1,90 @@
+// Fixed-size thread pool with deterministic static partitioning.
+//
+// The pool is the execution substrate of the parallel solver engine
+// (core/solver.h). It is deliberately work-stealing-free: ParallelFor()
+// splits an index range [0, n) into exactly num_threads() contiguous chunks
+// with a fixed formula, and worker i always processes chunk i. Because the
+// assignment is a pure function of (n, num_threads()), any per-worker
+// accumulation that is merged in worker order -- or merged with a
+// commutative+associative operation such as counter summation -- yields
+// bit-identical results on every run and for every thread count.
+//
+//   util::ThreadPool pool(8);
+//   std::vector<Acc> acc(pool.num_threads());
+//   pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+//     for (uint64_t i = begin; i < end; ++i) acc[worker].Consume(i);
+//   });
+//   // merge acc[0..T) in index order
+//
+// A pool constructed with one thread spawns no workers at all: ParallelFor()
+// runs the single chunk inline on the calling thread, so `threads = 1`
+// really is the sequential engine (no queue, no synchronization).
+//
+// Exceptions thrown by a chunk body are captured per worker and the one from
+// the lowest worker index is rethrown from ParallelFor() after every chunk
+// has finished -- deterministic even when several chunks throw. The pool
+// remains usable afterwards.
+#ifndef NSKY_UTIL_THREAD_POOL_H_
+#define NSKY_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsky::util {
+
+class ThreadPool {
+ public:
+  // Body of one ParallelFor chunk: (worker index, begin, end).
+  using ChunkBody = std::function<void(unsigned, uint64_t, uint64_t)>;
+
+  // Spawns `num_threads - 1` worker threads (the calling thread always
+  // executes chunk 0 itself). `num_threads == 0` is clamped to 1.
+  explicit ThreadPool(unsigned num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  unsigned num_threads() const { return num_threads_; }
+
+  // Runs body(i, begin_i, end_i) for every chunk i of [0, n), where
+  //   begin_i = i * n / T,  end_i = (i + 1) * n / T,  T = num_threads().
+  // Chunks are at most one item apart in size and empty chunks are skipped.
+  // Blocks until every chunk has finished; rethrows the captured exception
+  // of the lowest-index failing worker, if any. Not reentrant: do not call
+  // ParallelFor from inside a chunk body.
+  void ParallelFor(uint64_t n, const ChunkBody& body);
+
+  // std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned HardwareThreads();
+
+  // Chunk boundary formula used by ParallelFor, exposed for tests and for
+  // callers that pre-size per-chunk outputs.
+  static uint64_t ChunkBegin(uint64_t n, unsigned num_threads, unsigned chunk) {
+    return n * chunk / num_threads;
+  }
+
+ private:
+  void WorkerLoop();
+
+  const unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> tasks_;
+  unsigned pending_ = 0;  // tasks enqueued or running in the current batch
+  bool stopping_ = false;
+};
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_THREAD_POOL_H_

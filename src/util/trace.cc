@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <utility>
 
 #include "util/json_writer.h"
@@ -17,7 +18,7 @@ using Clock = std::chrono::steady_clock;
 
 std::atomic<bool> g_enabled{false};
 
-// An open (not yet closed) span on the stack.
+// An open (not yet closed) span on a thread's stack.
 struct OpenSpan {
   SpanNode node;
   Clock::time_point start;
@@ -28,19 +29,34 @@ struct OpenSpan {
   uint64_t generation = 0;
 };
 
-struct Tracer {
+// State shared by every thread; guarded by mu (generation is additionally
+// atomic so Span close can check staleness cheaply).
+struct SharedTracer {
+  std::mutex mu;
   Clock::time_point epoch = Clock::now();
   bool epoch_set = false;
-  uint64_t generation = 0;
-  std::vector<OpenSpan> stack;
+  std::atomic<uint64_t> generation{0};
+  std::atomic<uint32_t> next_tid{1};
   std::vector<SpanNode> roots;
-  // Scratch buffer reused across span closes.
+};
+
+SharedTracer& shared() {
+  static SharedTracer* t = new SharedTracer();  // never destroyed
+  return *t;
+}
+
+// Per-thread span stack plus scratch for counter sampling. Nesting is a
+// per-thread notion: worker spans never become children of another thread's
+// open span.
+struct ThreadTracer {
+  uint32_t tid = 0;  // assigned on first span
+  std::vector<OpenSpan> stack;
   std::vector<uint64_t> sample;
 };
 
-Tracer& tracer() {
-  static Tracer* t = new Tracer();  // never destroyed
-  return *t;
+ThreadTracer& thread_tracer() {
+  thread_local ThreadTracer t;
+  return t;
 }
 
 double MicrosBetween(Clock::time_point a, Clock::time_point b) {
@@ -54,7 +70,7 @@ void EmitEvents(const SpanNode& node, JsonWriter* w) {
   w->KV("ts", node.start_us);
   w->KV("dur", node.dur_us);
   w->KV("pid", static_cast<uint64_t>(1));
-  w->KV("tid", static_cast<uint64_t>(1));
+  w->KV("tid", static_cast<uint64_t>(node.tid));
   w->Key("args");
   w->BeginObject();
   w->KV("self_us", node.self_us);
@@ -73,10 +89,11 @@ void SetEnabled(bool enabled) {
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void Reset() {
-  Tracer& t = tracer();
+  SharedTracer& t = shared();
+  std::lock_guard<std::mutex> lock(t.mu);
   t.roots.clear();
   t.epoch_set = false;
-  ++t.generation;
+  t.generation.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t SpanNode::CounterDelta(std::string_view counter_name) const {
@@ -86,27 +103,44 @@ uint64_t SpanNode::CounterDelta(std::string_view counter_name) const {
   return 0;
 }
 
-std::vector<SpanNode> FinishedRoots() { return tracer().roots; }
+std::vector<SpanNode> FinishedRoots() {
+  SharedTracer& t = shared();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.roots;
+}
 
 Span::Span(const char* name) : active_(Enabled()) {
   if (!active_) return;
-  Tracer& t = tracer();
-  if (!t.epoch_set) {
-    t.epoch = Clock::now();
-    t.epoch_set = true;
+  SharedTracer& s = shared();
+  ThreadTracer& t = thread_tracer();
+  if (t.tid == 0) t.tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+
+  Clock::time_point epoch;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.epoch_set) {
+      s.epoch = Clock::now();
+      s.epoch_set = true;
+    }
+    epoch = s.epoch;
+    generation = s.generation.load(std::memory_order_relaxed);
   }
+
   OpenSpan open;
   open.node.name = name;
-  open.generation = t.generation;
+  open.node.tid = t.tid;
+  open.generation = generation;
   metrics::SampleCounterValues(&open.counters_at_start);
   open.start = Clock::now();
-  open.node.start_us = MicrosBetween(t.epoch, open.start);
+  open.node.start_us = MicrosBetween(epoch, open.start);
   t.stack.push_back(std::move(open));
 }
 
 Span::~Span() {
   if (!active_) return;
-  Tracer& t = tracer();
+  SharedTracer& s = shared();
+  ThreadTracer& t = thread_tracer();
   NSKY_CHECK_MSG(!t.stack.empty(), "trace span stack underflow");
   Clock::time_point end = Clock::now();
   OpenSpan open = std::move(t.stack.back());
@@ -115,7 +149,10 @@ Span::~Span() {
   open.node.dur_us = MicrosBetween(open.start, end);
   open.node.self_us = open.node.dur_us - open.children_dur_us;
 
-  // Counter deltas: counters registered mid-span start from zero.
+  // Counter deltas: counters registered mid-span start from zero. With
+  // concurrent workers the deltas attribute *global* counter growth to the
+  // span's wall-time window; exact per-phase attribution lives in the
+  // deterministic SkylineStats, not here.
   metrics::SampleCounterValues(&t.sample);
   for (size_t i = 0; i < t.sample.size(); ++i) {
     uint64_t before =
@@ -126,20 +163,24 @@ Span::~Span() {
     }
   }
 
-  if (open.generation != t.generation) return;  // trace was Reset() meanwhile
-  if (!t.stack.empty() && t.stack.back().generation == t.generation) {
+  const uint64_t generation = s.generation.load(std::memory_order_relaxed);
+  if (open.generation != generation) return;  // trace was Reset() meanwhile
+  if (!t.stack.empty() && t.stack.back().generation == generation) {
     OpenSpan& parent = t.stack.back();
     parent.children_dur_us += open.node.dur_us;
     parent.node.children.push_back(std::move(open.node));
   } else {
-    t.roots.push_back(std::move(open.node));
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.generation.load(std::memory_order_relaxed) != generation) return;
+    s.roots.push_back(std::move(open.node));
   }
 }
 
 std::string ToChromeTraceJson() {
+  std::vector<SpanNode> roots = FinishedRoots();
   JsonWriter w;
   w.BeginArray();
-  for (const SpanNode& root : tracer().roots) EmitEvents(root, &w);
+  for (const SpanNode& root : roots) EmitEvents(root, &w);
   w.EndArray();
   return std::move(w).Take();
 }

@@ -11,10 +11,13 @@
 // is exportable as Chrome trace_event JSON (chrome://tracing, Perfetto).
 //
 // Tracing is off by default; Span construction is then a single atomic load.
-// The tracer keeps one global span stack and is meant for the single-threaded
-// solvers and tools in this repository; concurrent spans from multiple
-// threads are not supported (the metrics registry, in contrast, is
-// thread-safe).
+// The tracer keeps one span stack *per thread* (thread-local), so worker
+// threads of the parallel solver engine can open their own spans
+// concurrently. Nesting is tracked within each thread: a span opened on a
+// worker thread becomes a root of that thread's track (identified by
+// SpanNode::tid) rather than a child of whatever span the spawning thread
+// has open. Only the attach-to-shared-trace step on close takes a mutex, so
+// spans stay cheap enough for per-chunk (not per-item) granularity.
 #ifndef NSKY_UTIL_TRACE_H_
 #define NSKY_UTIL_TRACE_H_
 
@@ -38,6 +41,11 @@ void Reset();
 // One closed span in the phase tree.
 struct SpanNode {
   std::string name;
+  // Track id: 1 for the first thread that ever opened a span (normally the
+  // main thread), 2, 3, ... for each further thread in first-span order.
+  // Chrome trace events carry it as "tid" so worker spans render as
+  // separate tracks.
+  uint32_t tid = 1;
   // Microseconds since the tracer epoch (first span after Reset()).
   double start_us = 0.0;
   // Wall-clock duration.

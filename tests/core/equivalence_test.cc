@@ -21,15 +21,25 @@ using nsky::testing::SmallGraphCases;
 
 class SkylineEquivalence : public ::testing::TestWithParam<GraphCase> {};
 
+// All core solvers route through the unified dispatcher.
+SkylineResult SolveWith(const graph::Graph& g, Algorithm algorithm) {
+  SolverOptions options;
+  options.algorithm = algorithm;
+  return Solve(g, options);
+}
+
 TEST_P(SkylineEquivalence, AllSolversMatchBruteForce) {
   for (uint64_t seed : PropertySeeds()) {
     graph::Graph g = GetParam().make(seed);
     SkylineResult oracle = BruteForceSkyline(g);
-    EXPECT_EQ(BaseSky(g).skyline, oracle.skyline) << "BaseSky seed " << seed;
-    EXPECT_EQ(FilterRefineSky(g).skyline, oracle.skyline)
+    EXPECT_EQ(SolveWith(g, Algorithm::kBaseSky).skyline, oracle.skyline)
+        << "BaseSky seed " << seed;
+    EXPECT_EQ(SolveWith(g, Algorithm::kFilterRefine).skyline, oracle.skyline)
         << "FilterRefineSky seed " << seed;
-    EXPECT_EQ(Base2Hop(g).skyline, oracle.skyline) << "Base2Hop seed " << seed;
-    EXPECT_EQ(BaseCSet(g).skyline, oracle.skyline) << "BaseCSet seed " << seed;
+    EXPECT_EQ(SolveWith(g, Algorithm::kBase2Hop).skyline, oracle.skyline)
+        << "Base2Hop seed " << seed;
+    EXPECT_EQ(SolveWith(g, Algorithm::kBaseCSet).skyline, oracle.skyline)
+        << "BaseCSet seed " << seed;
     EXPECT_EQ(setjoin::SkylineViaJoin(
                   g, setjoin::JoinAlgorithm::kListCrosscutting)
                   .skyline,
@@ -47,7 +57,7 @@ TEST_P(SkylineEquivalence, Lemma1CandidatesContainSkyline) {
   for (uint64_t seed : PropertySeeds()) {
     graph::Graph g = GetParam().make(seed);
     auto candidates = FilterPhase(g).skyline;
-    auto skyline = FilterRefineSky(g).skyline;
+    auto skyline = SolveWith(g, Algorithm::kFilterRefine).skyline;
     EXPECT_TRUE(std::includes(candidates.begin(), candidates.end(),
                               skyline.begin(), skyline.end()))
         << "seed " << seed;
@@ -60,7 +70,7 @@ TEST_P(SkylineEquivalence, SkylineNeverEmptyOnNonEmptyGraph) {
     if (g.NumVertices() == 0) continue;
     // Domination is a partial order on mutual-classes; a maximal element
     // always exists.
-    EXPECT_FALSE(FilterRefineSky(g).skyline.empty());
+    EXPECT_FALSE(SolveWith(g, Algorithm::kFilterRefine).skyline.empty());
   }
 }
 
@@ -70,7 +80,7 @@ TEST_P(SkylineEquivalence, SkylineContainsAMaximumDegreeVertex) {
     if (g.NumEdges() == 0) continue;
     // A vertex of maximum degree can only be dominated by another vertex of
     // maximum degree (degree monotonicity), so at least one survives.
-    auto skyline = FilterRefineSky(g).skyline;
+    auto skyline = SolveWith(g, Algorithm::kFilterRefine).skyline;
     bool found = false;
     for (graph::VertexId u : skyline) {
       if (g.Degree(u) == g.MaxDegree()) {
@@ -87,8 +97,10 @@ TEST_P(SkylineEquivalence, StatsIdenticalWithTelemetryOnAndOff) {
   // counters must not change when metrics and tracing are recording.
   auto run_all = [](const graph::Graph& g) {
     return std::vector<SkylineStats>{
-        BaseSky(g).stats, FilterRefineSky(g).stats, Base2Hop(g).stats,
-        BaseCSet(g).stats, FilterPhase(g).stats};
+        SolveWith(g, Algorithm::kBaseSky).stats,
+        SolveWith(g, Algorithm::kFilterRefine).stats,
+        SolveWith(g, Algorithm::kBase2Hop).stats,
+        SolveWith(g, Algorithm::kBaseCSet).stats, FilterPhase(g).stats};
   };
   auto expect_same = [](const SkylineStats& a, const SkylineStats& b,
                         uint64_t seed, size_t solver) {

@@ -1,0 +1,141 @@
+// Determinism contract of the parallel engine (core/solver.h): for every
+// algorithm, graph family, seed and thread count, Solve() returns the same
+// SkylineResult -- same skyline order, same dominator array, and the same
+// deterministic SkylineStats counters. Only stats.threads (configuration)
+// and stats.seconds (wall time) may differ between runs.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nsky.h"
+#include "testing/fixtures.h"
+
+namespace nsky::core {
+namespace {
+
+using nsky::testing::GraphCase;
+using nsky::testing::GraphCaseName;
+using nsky::testing::PropertySeeds;
+using nsky::testing::SmallGraphCases;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kFilterRefine, Algorithm::kBaseSky, Algorithm::kBaseCSet,
+    Algorithm::kBase2Hop};
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 8};
+
+// Asserts everything except the two fields documented as run-dependent.
+void ExpectSameResult(const SkylineResult& base, const SkylineResult& run,
+                      Algorithm algorithm, uint64_t seed, uint32_t threads) {
+  SCOPED_TRACE(::testing::Message()
+               << AlgorithmName(algorithm) << " seed " << seed << " threads "
+               << threads);
+  EXPECT_EQ(base.skyline, run.skyline);
+  EXPECT_EQ(base.dominator, run.dominator);
+  EXPECT_EQ(base.stats.candidate_count, run.stats.candidate_count);
+  EXPECT_EQ(base.stats.pairs_examined, run.stats.pairs_examined);
+  EXPECT_EQ(base.stats.bloom_prunes, run.stats.bloom_prunes);
+  EXPECT_EQ(base.stats.degree_prunes, run.stats.degree_prunes);
+  EXPECT_EQ(base.stats.inclusion_tests, run.stats.inclusion_tests);
+  EXPECT_EQ(base.stats.nbr_elements_scanned, run.stats.nbr_elements_scanned);
+  EXPECT_EQ(base.stats.aux_peak_bytes, run.stats.aux_peak_bytes);
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(ParallelDeterminism, IdenticalResultForEveryThreadCount) {
+  for (uint64_t seed : PropertySeeds()) {
+    graph::Graph g = GetParam().make(seed);
+    for (Algorithm algorithm : kAllAlgorithms) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = 1;
+      SkylineResult base = Solve(g, options);
+      EXPECT_EQ(base.stats.threads, 1u);
+      for (uint32_t threads : kThreadCounts) {
+        options.threads = threads;
+        SkylineResult run = Solve(g, options);
+        EXPECT_EQ(run.stats.threads, threads);
+        ExpectSameResult(base, run, algorithm, seed, threads);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, IdenticalResultWithoutBloom) {
+  // The no-bloom path takes different branches; it must be deterministic too.
+  for (uint64_t seed : {PropertySeeds().front(), PropertySeeds().back()}) {
+    graph::Graph g = GetParam().make(seed);
+    for (Algorithm algorithm : {Algorithm::kFilterRefine,
+                                Algorithm::kBase2Hop}) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.use_bloom = false;
+      options.threads = 1;
+      SkylineResult base = Solve(g, options);
+      for (uint32_t threads : kThreadCounts) {
+        options.threads = threads;
+        ExpectSameResult(base, Solve(g, options), algorithm, seed, threads);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, RepeatedRunsAreIdentical) {
+  // Same thread count twice: no run-to-run scheduling sensitivity.
+  graph::Graph g = GetParam().make(7);
+  SolverOptions options;
+  options.threads = 4;
+  SkylineResult first = Solve(g, options);
+  SkylineResult second = Solve(g, options);
+  ExpectSameResult(first, second, options.algorithm, 7, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphFamilies, ParallelDeterminism,
+                         ::testing::ValuesIn(SmallGraphCases()),
+                         GraphCaseName);
+
+TEST(SolverApiTest, ParseAlgorithmAcceptsCanonicalAndAliasNames) {
+  EXPECT_EQ(ParseAlgorithm("filter-refine"), Algorithm::kFilterRefine);
+  EXPECT_EQ(ParseAlgorithm("filter_refine"), Algorithm::kFilterRefine);
+  EXPECT_EQ(ParseAlgorithm("base"), Algorithm::kBaseSky);
+  EXPECT_EQ(ParseAlgorithm("cset"), Algorithm::kBaseCSet);
+  EXPECT_EQ(ParseAlgorithm("2hop"), Algorithm::kBase2Hop);
+  EXPECT_EQ(ParseAlgorithm("join"), std::nullopt);
+  EXPECT_EQ(ParseAlgorithm(""), std::nullopt);
+  EXPECT_EQ(ParseAlgorithm("nope"), std::nullopt);
+}
+
+TEST(SolverApiTest, AlgorithmNameRoundTrips) {
+  for (Algorithm a : kAllAlgorithms) {
+    EXPECT_EQ(ParseAlgorithm(AlgorithmName(a)), a);
+  }
+}
+
+TEST(SolverApiTest, ThreadsZeroResolvesToHardwareCount) {
+  graph::Graph g = graph::MakeErdosRenyi(50, 0.1, 3);
+  SolverOptions options;
+  options.threads = 0;
+  SkylineResult r = Solve(g, options);
+  EXPECT_GE(r.stats.threads, 1u);
+  // And it still matches the sequential result.
+  options.threads = 1;
+  EXPECT_EQ(Solve(g, options).skyline, r.skyline);
+}
+
+TEST(SolverApiTest, DeprecatedWrappersMatchSolve) {
+  graph::Graph g = graph::MakeChungLuPowerLaw(150, 2.5, 6, 11);
+  SolverOptions options;
+  options.algorithm = Algorithm::kFilterRefine;
+  EXPECT_EQ(FilterRefineSky(g).skyline, Solve(g, options).skyline);
+  options.algorithm = Algorithm::kBaseSky;
+  EXPECT_EQ(BaseSky(g).skyline, Solve(g, options).skyline);
+  options.algorithm = Algorithm::kBaseCSet;
+  EXPECT_EQ(BaseCSet(g).skyline, Solve(g, options).skyline);
+  options.algorithm = Algorithm::kBase2Hop;
+  EXPECT_EQ(Base2Hop(g).skyline, Solve(g, options).skyline);
+}
+
+}  // namespace
+}  // namespace nsky::core

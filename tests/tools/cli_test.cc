@@ -77,6 +77,36 @@ TEST(Cli, SkylineAlgorithmsAgree) {
   }
 }
 
+TEST(Cli, SkylineAlgoAliasAndThreads) {
+  // --algo is the canonical flag; any --threads value gives the same count.
+  CliRun base = RunTool({"skyline", "--generate", "ba:200:3:7"});
+  ASSERT_EQ(base.exit_code, 0);
+  for (const char* threads : {"1", "4", "8"}) {
+    CliRun r = RunTool({"skyline", "--generate", "ba:200:3:7", "--algo",
+                        "filter-refine", "--threads", threads});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("threads " + std::string(threads)),
+              std::string::npos)
+        << r.out;
+    // "skyline N of 200" prefix identical to the sequential default run.
+    EXPECT_EQ(r.out.substr(0, r.out.find("(")),
+              base.out.substr(0, base.out.find("(")));
+  }
+}
+
+TEST(Cli, SkylineRejectsBadThreads) {
+  CliRun r = RunTool({"skyline", "--generate", "cycle:5", "--threads", "-2"});
+  EXPECT_NE(r.exit_code, 0);
+  CliRun nan = RunTool({"skyline", "--generate", "cycle:5", "--threads", "x"});
+  EXPECT_NE(nan.exit_code, 0);
+}
+
+TEST(Cli, CandidatesAcceptsThreads) {
+  CliRun r = RunTool({"candidates", "--generate", "path:10", "--threads", "3"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("candidates 8 of 10"), std::string::npos);
+}
+
 TEST(Cli, SkylineRejectsBadAlgorithm) {
   CliRun r = RunTool({"skyline", "--generate", "cycle:5", "--algorithm", "magic"});
   EXPECT_NE(r.exit_code, 0);
@@ -194,10 +224,11 @@ TEST(Cli, SkylineJsonMatchesTextModeAndSchema) {
   for (const char* field :
        {"candidate_count", "pairs_examined", "bloom_prunes", "degree_prunes",
         "inclusion_tests", "nbr_elements_scanned", "aux_peak_bytes",
-        "seconds"}) {
+        "threads", "seconds"}) {
     ASSERT_NE(stats->Find(field), nullptr) << field;
     EXPECT_TRUE(stats->Find(field)->is_number()) << field;
   }
+  EXPECT_EQ(stats->Find("threads")->number, 1);
 
   // Same skyline count as the text rendering ("skyline N of 2000 ...").
   std::string expected = "skyline " + std::to_string(size) + " of 2000";
@@ -219,6 +250,15 @@ TEST(Cli, StatsAndCandidatesJson) {
   ASSERT_TRUE(cv.has_value());
   EXPECT_EQ(cv->Find("schema")->str, "nsky.candidates.v1");
   EXPECT_EQ(cv->Find("candidates")->Find("size")->number, 8);
+}
+
+TEST(Cli, SkylineJsonRecordsThreads) {
+  CliRun r = RunTool({"skyline", "--generate", "er:500:0.02:3", "--algo",
+                      "filter-refine", "--threads", "4", "--json"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  auto v = nsky::util::JsonParse(r.out);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("stats")->Find("threads")->number, 4);
 }
 
 TEST(Cli, JsonUnsupportedCommandFails) {

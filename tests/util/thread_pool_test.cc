@@ -1,0 +1,159 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nsky::util {
+namespace {
+
+TEST(ThreadPoolTest, ChunkBoundsPartitionTheRange) {
+  // Chunks tile [0, n) exactly: contiguous, disjoint, no gaps.
+  for (uint64_t n : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+    for (unsigned t : {1u, 2u, 3u, 8u, 16u}) {
+      EXPECT_EQ(ThreadPool::ChunkBegin(n, t, 0), 0u);
+      EXPECT_EQ(ThreadPool::ChunkBegin(n, t, t), n);
+      for (unsigned c = 0; c < t; ++c) {
+        EXPECT_LE(ThreadPool::ChunkBegin(n, t, c),
+                  ThreadPool::ChunkBegin(n, t, c + 1));
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkSizesAreBalanced) {
+  // No chunk is more than one element larger than any other.
+  const uint64_t n = 1003;
+  const unsigned t = 8;
+  uint64_t min_size = n, max_size = 0;
+  for (unsigned c = 0; c < t; ++c) {
+    uint64_t size =
+        ThreadPool::ChunkBegin(n, t, c + 1) - ThreadPool::ChunkBegin(n, t, c);
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(10, [&](unsigned worker, uint64_t begin, uint64_t end) {
+    EXPECT_EQ(worker, 0u);
+    for (uint64_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  for (unsigned t : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(t);
+    const uint64_t n = 257;  // prime-ish, not a multiple of any t
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](unsigned, uint64_t begin, uint64_t end) {
+      for (uint64_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndexMatchesChunk) {
+  // Determinism hinges on worker i always executing chunk i.
+  ThreadPool pool(4);
+  const uint64_t n = 100;
+  pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+    EXPECT_EQ(begin, ThreadPool::ChunkBegin(n, 4, worker));
+    EXPECT_EQ(end, ThreadPool::ChunkBegin(n, 4, worker + 1));
+  });
+}
+
+TEST(ThreadPoolTest, EmptyRangeInvokesNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](unsigned, uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanItems) {
+  // 8 chunks over 3 items: most chunks are empty ranges; all items covered.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](unsigned, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](unsigned worker, uint64_t, uint64_t) {
+                         if (worker == 2) throw std::runtime_error("chunk 2");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestChunkExceptionWins) {
+  // When several chunks throw, the caller sees the lowest-indexed one --
+  // the same error a sequential run would have hit first.
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [&](unsigned worker, uint64_t, uint64_t) {
+      throw std::runtime_error("chunk " + std::to_string(worker));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](unsigned, uint64_t, uint64_t) { throw 42; }),
+               int);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&](unsigned, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ManySmallBatches) {
+  // Stress the ready/done handshake: many batches back to back.
+  ThreadPool pool(4);
+  uint64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(round % 7, [&](unsigned, uint64_t begin, uint64_t end) {
+      sum.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    total += sum.load();
+    ASSERT_EQ(sum.load(), static_cast<uint64_t>(round % 7));
+  }
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace nsky::util
