@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
           .U64("inclusion_tests", stats.inclusion_tests)
           .U64("nbr_elements_scanned", stats.nbr_elements_scanned)
           .U64("aux_peak_bytes", stats.aux_peak_bytes)
-          .U64("threads", stats.threads);
+          .U64("threads", stats.threads)
+          .Str("degraded_from", stats.degraded_from);
     };
     add_row("LC-Join", lc_s, lc.stats);
     add_row("BaseSky", bs_s, bs.stats);

@@ -2,7 +2,7 @@
 # One-command correctness gate: sanitizer Debug build + full ctest run +
 # a parallel-solver CLI smoke test.
 #
-# Usage: scripts/check.sh [--tsan] [build-dir]
+# Usage: scripts/check.sh [--tsan | --faults] [build-dir]
 #
 # Default mode configures a Debug build with AddressSanitizer + UBSan
 # (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
@@ -15,18 +15,31 @@
 # full matrix -- the right gate for changes to src/util/thread_pool.* or the
 # parallel sections of the solvers. Data races in the engine surface here
 # even on a single-core host.
+#
+# --faults keeps the ASan build but runs only the robustness-labeled suites
+# (ctest -L robustness: execution context, fault injector, IO corpus,
+# interruption, degradation, CLI failure paths) and then smoke-runs the CLI
+# under NSKY_FAULTS-injected failures, asserting the documented exit codes
+# and the nsky.error.v1 schema. The right gate for changes to the hardened
+# runtime (deadlines, cancellation, byte budgets, fault sites).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE=address
+MODE=full
 TEST_FILTER=()
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --tsan)
       SANITIZE=thread
-      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool')
+      MODE=tsan
+      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness')
+      ;;
+    --faults)
+      MODE=faults
+      TEST_FILTER=(-L robustness)
       ;;
     *)
       BUILD_DIR="$arg"
@@ -35,7 +48,7 @@ for arg in "$@"; do
 done
 if [[ -z "$BUILD_DIR" ]]; then
   BUILD_DIR="build-check"
-  [[ "$SANITIZE" == thread ]] && BUILD_DIR="build-check-tsan"
+  [[ "$MODE" == tsan ]] && BUILD_DIR="build-check-tsan"
 fi
 
 cmake -B "$BUILD_DIR" -S . \
@@ -45,10 +58,52 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   ${TEST_FILTER[@]+"${TEST_FILTER[@]}"}
 
+NSKY="$BUILD_DIR"/src/tools/nsky
+
+if [[ "$MODE" == faults ]]; then
+  # Fault-injected CLI smoke: each armed site must produce its documented
+  # exit code, and --json failures must emit the nsky.error.v1 document.
+  # `|| code=$?` keeps set -e from killing the script on the expected
+  # non-zero exits.
+
+  # Deadline: per-slice delays guarantee a 1ms deadline cannot be met.
+  code=0
+  OUT="$(NSKY_FAULTS=pool.chunk_delay_ms=5 "$NSKY" skyline \
+    --generate ba:5000:3:7 --timeout-ms 1 --json)" || code=$?
+  [[ "$code" == 4 ]]
+  echo "$OUT" | grep -q '"schema":"nsky.error.v1"'
+  echo "$OUT" | grep -q '"code":"DEADLINE_EXCEEDED"'
+
+  # Budget: the ctx.budget site trips the first budgeted check.
+  code=0
+  NSKY_FAULTS=ctx.budget=1 "$NSKY" skyline --generate ba:2000:3:7 \
+    --algo base --max-memory-mb 1024 2>/dev/null >/dev/null || code=$?
+  [[ "$code" == 6 ]]
+
+  # IO: a short read surfaces as a load error, strict or not.
+  TMP_EDGES="$(mktemp)"
+  printf '0 1\n1 2\n2 3\n' > "$TMP_EDGES"
+  code=0
+  NSKY_FAULTS=io.short_read=2 "$NSKY" stats --input "$TMP_EDGES" \
+    2>/dev/null >/dev/null || code=$?
+  rm -f "$TMP_EDGES"
+  [[ "$code" != 0 ]]
+
+  # Degradation: 2hop under a tight budget completes exactly via
+  # filter-refine and records where it degraded from.
+  OUT="$("$NSKY" skyline --generate ba:3000:4:7 --algo 2hop \
+    --max-memory-mb 1 --json)"
+  echo "$OUT" | grep -q '"degraded_from":"2hop"'
+
+  echo "check.sh: fault-injection smoke OK (exit codes 4/6, error schema," \
+       "2hop degradation)"
+  exit 0
+fi
+
 # Smoke: the full CLI path through the parallel engine, JSON mode. Catches
 # wiring regressions (flag parsing, solver dispatch, schema emission) that
 # unit tests on RunCli may miss, and races under --tsan.
-SMOKE_OUT="$("$BUILD_DIR"/src/tools/nsky skyline --generate pl:20000:2.6:10:7 \
+SMOKE_OUT="$("$NSKY" skyline --generate pl:20000:2.6:10:7 \
   --algo filter-refine --threads 4 --json)"
 echo "$SMOKE_OUT" | grep -q '"schema":"nsky.skyline.v1"'
 echo "$SMOKE_OUT" | grep -q '"threads":4'

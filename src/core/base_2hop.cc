@@ -27,15 +27,38 @@ bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
 
 namespace internal {
 
-SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
-                          util::ThreadPool& pool) {
+uint64_t EstimateBase2HopBytes(const Graph& g, const SolverOptions& options) {
+  const VertexId n = g.NumVertices();
+  // Pre-dedup 2-hop buffer volume: for each u the materializer pushes
+  // sum_{v in N(u)} deg(v) elements before dedup, so the deduped lists can
+  // only be smaller. An O(m) degree scan, no allocation.
+  uint64_t elements = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.Neighbors(u)) elements += g.Degree(v);
+  }
+  uint64_t bytes = elements * sizeof(VertexId) +
+                   static_cast<uint64_t>(n) * sizeof(std::vector<VertexId>) +
+                   static_cast<uint64_t>(n) * sizeof(VertexId);  // dominator
+  if (options.use_bloom) {
+    uint32_t bits = options.bloom_bits != 0
+                        ? options.bloom_bits
+                        : NeighborhoodBlooms::ChooseBitsAdaptive(
+                              g, options.bits_per_neighbor);
+    bytes += NeighborhoodBlooms::EstimateBytes(n, n, bits);
+  }
+  return bytes;
+}
+
+util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
+                         const util::ExecutionContext& ctx,
+                         util::ThreadPool& pool, SkylineResult* result) {
   NSKY_TRACE_SPAN("base_2hop");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
-  SkylineResult result;
-  result.dominator.resize(n);
-  std::vector<VertexId>& dominator = result.dominator;
+  *result = SkylineResult{};
+  result->dominator.resize(n);
+  std::vector<VertexId>& dominator = result->dominator;
 
   util::MemoryTally tally;
   tally.Add(dominator.capacity() * sizeof(VertexId));
@@ -48,26 +71,36 @@ SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
   {
     NSKY_TRACE_SPAN("two_hop_build");
     std::vector<uint64_t> bytes_per_worker(pool.num_threads(), 0);
-    pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
-      NSKY_TRACE_SPAN("two_hop_build.worker");
-      std::vector<VertexId> buffer;
-      for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
-        buffer.clear();
-        for (VertexId v : g.Neighbors(u)) {
-          buffer.push_back(v);
-          for (VertexId w : g.Neighbors(v)) {
-            if (w != u) buffer.push_back(w);
+    util::Status scan = pool.ParallelFor(
+        n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
+          NSKY_TRACE_SPAN("two_hop_build.worker");
+          std::vector<VertexId> buffer;
+          for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+            buffer.clear();
+            for (VertexId v : g.Neighbors(u)) {
+              buffer.push_back(v);
+              for (VertexId w : g.Neighbors(v)) {
+                if (w != u) buffer.push_back(w);
+              }
+            }
+            std::sort(buffer.begin(), buffer.end());
+            buffer.erase(std::unique(buffer.begin(), buffer.end()),
+                         buffer.end());
+            two_hop[u].assign(buffer.begin(), buffer.end());
+            bytes_per_worker[worker] +=
+                two_hop[u].capacity() * sizeof(VertexId);
           }
-        }
-        std::sort(buffer.begin(), buffer.end());
-        buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
-        two_hop[u].assign(buffer.begin(), buffer.end());
-        bytes_per_worker[worker] +=
-            two_hop[u].capacity() * sizeof(VertexId);
-      }
-    });
+        });
     for (uint64_t bytes : bytes_per_worker) tally.Add(bytes);
     tally.Add(two_hop.capacity() * sizeof(std::vector<VertexId>));
+    if (!scan.ok()) {
+      result->stats.seconds = timer.Seconds();
+      return scan;
+    }
+  }
+  if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
   }
 
   // ---- Bloom filters for every vertex. ----
@@ -82,6 +115,14 @@ SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
     blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
     tally.Add(blooms->MemoryBytes());
   }
+  if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
+  if (util::Status s = ctx.CheckHealth(); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
 
   // ---- Verify every vertex against its 2-hop list. ----
   // Pure per-vertex scan: the first w in 2-hop order that passes degree,
@@ -90,7 +131,8 @@ SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
   {
     NSKY_TRACE_SPAN("verify");
     std::vector<SkylineStats> per_worker(pool.num_threads());
-    pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+    util::Status scan = pool.ParallelFor(
+        n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
       NSKY_TRACE_SPAN("verify.worker");
       SkylineStats& stats = per_worker[worker];
       for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
@@ -120,20 +162,24 @@ SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
           break;
         }
       }
-    });
-    MergeWorkerStats(&result.stats, per_worker);
+        });
+    MergeWorkerStats(&result->stats, per_worker);
+    if (!scan.ok()) {
+      result->stats.seconds = timer.Seconds();
+      return scan;
+    }
     // Mirrored inside the span so "verify" carries its own counter deltas.
-    MirrorStatsCounters("nsky.base_2hop.verify", result.stats);
+    MirrorStatsCounters("nsky.base_2hop.verify", result->stats);
   }
 
   for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] == u) result.skyline.push_back(u);
+    if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result.skyline.capacity() * sizeof(VertexId));
-  result.stats.aux_peak_bytes = tally.peak_bytes();
-  result.stats.seconds = timer.Seconds();
-  MirrorStatsToMetrics("base_2hop", result.stats);
-  return result;
+  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  result->stats.aux_peak_bytes = tally.peak_bytes();
+  result->stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("base_2hop", result->stats);
+  return util::Status::Ok();
 }
 
 }  // namespace internal

@@ -14,22 +14,31 @@ namespace nsky::core {
 
 namespace internal {
 
-SkylineResult RunBaseCSet(const Graph& g, const SolverOptions& options,
-                          util::ThreadPool& pool) {
+util::Status RunBaseCSet(const Graph& g, const SolverOptions& options,
+                         const util::ExecutionContext& ctx,
+                         util::ThreadPool& pool, SkylineResult* result) {
   NSKY_TRACE_SPAN("base_cset");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
-  SkylineResult result = RunFilterPhase(g, options, pool);
-  std::vector<VertexId>& dominator = result.dominator;
-  const std::vector<VertexId> candidates = std::move(result.skyline);
-  result.skyline.clear();
-  const SkylineStats after_filter = result.stats;
+  if (util::Status s = RunFilterPhase(g, options, ctx, pool, result);
+      !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
+  std::vector<VertexId>& dominator = result->dominator;
+  const std::vector<VertexId> candidates = std::move(result->skyline);
+  result->skyline.clear();
+  const SkylineStats after_filter = result->stats;
 
   util::MemoryTally tally;
-  tally.Add(result.stats.aux_peak_bytes);
+  tally.Add(result->stats.aux_peak_bytes);
   // Per-worker intersection counters; charged once (threads=1 footprint).
   tally.Add(static_cast<uint64_t>(n) * sizeof(uint32_t));
+  if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
 
   // BaseSky's intersection counting, restricted to the candidates. As in
   // RunBaseSky each candidate's verdict is a pure function of its 2-hop
@@ -38,12 +47,19 @@ SkylineResult RunBaseCSet(const Graph& g, const SolverOptions& options,
   {
     NSKY_TRACE_SPAN("refine");
     std::vector<SkylineStats> per_worker(pool.num_threads());
-    pool.ParallelFor(
-        candidates.size(), [&](unsigned worker, uint64_t begin, uint64_t end) {
+    std::vector<std::vector<uint32_t>> count_per_worker(pool.num_threads());
+    std::vector<std::vector<VertexId>> touched_per_worker(pool.num_threads());
+    util::Status scan = pool.ParallelFor(
+        candidates.size(), ctx,
+        [&](unsigned worker, uint64_t begin, uint64_t end) {
           NSKY_TRACE_SPAN("refine.worker");
           SkylineStats& stats = per_worker[worker];
-          std::vector<uint32_t> count(n, 0);
-          std::vector<VertexId> touched;
+          // Per-worker scratch (see RunBaseSky): the sliced ParallelFor
+          // invokes the body once per slice, so the O(n) counters must not
+          // be reallocated inside it.
+          std::vector<uint32_t>& count = count_per_worker[worker];
+          if (count.empty()) count.assign(n, 0);
+          std::vector<VertexId>& touched = touched_per_worker[worker];
           touched.reserve(256);
           for (uint64_t i = begin; i < end; ++i) {
             const VertexId u = candidates[i];
@@ -69,20 +85,24 @@ SkylineResult RunBaseCSet(const Graph& g, const SolverOptions& options,
             for (VertexId w : touched) count[w] = 0;
           }
         });
-    MergeWorkerStats(&result.stats, per_worker);
+    MergeWorkerStats(&result->stats, per_worker);
+    if (!scan.ok()) {
+      result->stats.seconds = timer.Seconds();
+      return scan;
+    }
     // Mirrored inside the span so "refine" carries its own counter deltas.
     MirrorStatsCounters("nsky.base_cset.refine",
-                        StatsSince(result.stats, after_filter));
+                        StatsSince(result->stats, after_filter));
   }
 
   for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] == u) result.skyline.push_back(u);
+    if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result.skyline.capacity() * sizeof(VertexId));
-  result.stats.aux_peak_bytes = tally.peak_bytes();
-  result.stats.seconds = timer.Seconds();
-  MirrorStatsToMetrics("base_cset", result.stats);
-  return result;
+  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  result->stats.aux_peak_bytes = tally.peak_bytes();
+  result->stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("base_cset", result->stats);
+  return util::Status::Ok();
 }
 
 }  // namespace internal

@@ -13,22 +13,27 @@ namespace nsky::core {
 
 namespace internal {
 
-SkylineResult RunBaseSky(const Graph& g, const SolverOptions& options,
-                         util::ThreadPool& pool) {
+util::Status RunBaseSky(const Graph& g, const SolverOptions& options,
+                        const util::ExecutionContext& ctx,
+                        util::ThreadPool& pool, SkylineResult* result) {
   (void)options;
   NSKY_TRACE_SPAN("base_sky");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
-  SkylineResult result;
-  result.dominator.resize(n);
-  std::vector<VertexId>& dominator = result.dominator;
+  *result = SkylineResult{};
+  result->dominator.resize(n);
+  std::vector<VertexId>& dominator = result->dominator;
 
   util::MemoryTally tally;
   tally.Add(dominator.capacity() * sizeof(VertexId));
   // Per-worker intersection counters; charged once (threads=1 footprint)
   // to keep the ledger thread-count-invariant.
   tally.Add(static_cast<uint64_t>(n) * sizeof(uint32_t));
+  if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
 
   // Each vertex's verdict is a pure function of its 2-hop neighborhood:
   // u is dominated iff some w with |N(u) /\ N[w]| = deg(u) beats it on
@@ -37,13 +42,20 @@ SkylineResult RunBaseSky(const Graph& g, const SolverOptions& options,
   // becomes dominator[u]. No cross-vertex marking, so workers write only
   // their own chunk's slots and the result is partition-independent.
   std::vector<SkylineStats> per_worker(pool.num_threads());
-  pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
+  std::vector<std::vector<uint32_t>> count_per_worker(pool.num_threads());
+  std::vector<std::vector<VertexId>> touched_per_worker(pool.num_threads());
+  util::Status scan = pool.ParallelFor(
+      n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
     NSKY_TRACE_SPAN("base_sky.worker");
     SkylineStats& stats = per_worker[worker];
     // Worker-local counters, reset sparsely via `touched` so the cost per
-    // vertex stays proportional to the explored 2-hop volume.
-    std::vector<uint32_t> count(n, 0);
-    std::vector<VertexId> touched;
+    // vertex stays proportional to the explored 2-hop volume. Kept outside
+    // the body in per-worker slots because the sliced ParallelFor invokes
+    // the body once per slice; worker i runs its slices sequentially, so
+    // the lazy init is race-free.
+    std::vector<uint32_t>& count = count_per_worker[worker];
+    if (count.empty()) count.assign(n, 0);
+    std::vector<VertexId>& touched = touched_per_worker[worker];
     touched.reserve(256);
     for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
       dominator[u] = u;
@@ -72,16 +84,20 @@ SkylineResult RunBaseSky(const Graph& g, const SolverOptions& options,
       for (VertexId w : touched) count[w] = 0;
     }
   });
-  MergeWorkerStats(&result.stats, per_worker);
+  MergeWorkerStats(&result->stats, per_worker);
+  if (!scan.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return scan;
+  }
 
   for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] == u) result.skyline.push_back(u);
+    if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result.skyline.capacity() * sizeof(VertexId));
-  result.stats.aux_peak_bytes = tally.peak_bytes();
-  result.stats.seconds = timer.Seconds();
-  MirrorStatsToMetrics("base_sky", result.stats);
-  return result;
+  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  result->stats.aux_peak_bytes = tally.peak_bytes();
+  result->stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("base_sky", result->stats);
+  return util::Status::Ok();
 }
 
 }  // namespace internal

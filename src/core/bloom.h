@@ -79,6 +79,15 @@ class NeighborhoodBlooms {
   // Total heap bytes of all filters (for the memory ledger).
   uint64_t MemoryBytes() const;
 
+  // Exact heap bytes a build over `num_filters` members of an `n`-vertex
+  // graph at width `bits` will occupy -- MemoryBytes() without building.
+  // Used by the solver runtime for byte-budget prechecks (core/solver.h).
+  static uint64_t EstimateBytes(VertexId n, uint64_t num_filters,
+                                uint32_t bits) {
+    return num_filters * (bits / 64) * sizeof(uint64_t) +
+           static_cast<uint64_t>(n) * sizeof(uint32_t);
+  }
+
  private:
   static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
 

@@ -5,6 +5,7 @@
 #include "core/solver_internal.h"
 #include "core/subset_check.h"
 #include "core/telemetry.h"
+#include "util/logging.h"
 #include "util/memory.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -26,19 +27,24 @@ bool ClosedSubsetAlongEdge(const Graph& g, VertexId u, VertexId v,
 
 namespace internal {
 
-SkylineResult RunFilterPhase(const Graph& g, const SolverOptions& options,
-                             util::ThreadPool& pool) {
+util::Status RunFilterPhase(const Graph& g, const SolverOptions& options,
+                            const util::ExecutionContext& ctx,
+                            util::ThreadPool& pool, SkylineResult* result) {
   (void)options;
   NSKY_TRACE_SPAN("filter");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
-  SkylineResult result;
-  result.dominator.resize(n);
-  std::vector<VertexId>& dominator = result.dominator;
+  *result = SkylineResult{};
+  result->dominator.resize(n);
+  std::vector<VertexId>& dominator = result->dominator;
 
   util::MemoryTally tally;
   tally.Add(dominator.capacity() * sizeof(VertexId));
+  if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
 
   // Each vertex's edge-constrained domination status is a pure function of
   // its adjacency (Definition 5): u is a candidate unless some neighbor v
@@ -49,57 +55,82 @@ SkylineResult RunFilterPhase(const Graph& g, const SolverOptions& options,
   // slots, and the recorded dominator is the first qualifying neighbor in
   // adjacency order regardless of the partition.
   std::vector<SkylineStats> per_worker(pool.num_threads());
-  pool.ParallelFor(n, [&](unsigned worker, uint64_t begin, uint64_t end) {
-    NSKY_TRACE_SPAN("filter.worker");
-    SkylineStats& stats = per_worker[worker];
-    for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
-      dominator[u] = u;
-      const uint32_t deg_u = g.Degree(u);
-      for (VertexId v : g.Neighbors(u)) {
-        ++stats.pairs_examined;
-        const uint32_t deg_v = g.Degree(v);
-        // N[u] subset-of N[v] forces deg(v) >= deg(u).
-        if (deg_v < deg_u) {
-          ++stats.degree_prunes;
-          continue;
+  util::Status scan = pool.ParallelFor(
+      n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
+        NSKY_TRACE_SPAN("filter.worker");
+        SkylineStats& stats = per_worker[worker];
+        for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+          dominator[u] = u;
+          const uint32_t deg_u = g.Degree(u);
+          for (VertexId v : g.Neighbors(u)) {
+            ++stats.pairs_examined;
+            const uint32_t deg_v = g.Degree(v);
+            // N[u] subset-of N[v] forces deg(v) >= deg(u).
+            if (deg_v < deg_u) {
+              ++stats.degree_prunes;
+              continue;
+            }
+            // Equal degree + containment would mean N[u] == N[v]; the
+            // smaller id dominates, so a larger-id v can never dominate u.
+            if (deg_v == deg_u && v > u) continue;
+            ++stats.inclusion_tests;
+            if (!ClosedSubsetAlongEdge(g, u, v,
+                                       &stats.nbr_elements_scanned)) {
+              continue;
+            }
+            dominator[u] = v;  // strict, or mutual resolved by smaller id
+            break;
+          }
         }
-        // Equal degree + containment would mean N[u] == N[v]; the smaller
-        // id dominates, so a larger-id v can never dominate u.
-        if (deg_v == deg_u && v > u) continue;
-        ++stats.inclusion_tests;
-        if (!ClosedSubsetAlongEdge(g, u, v, &stats.nbr_elements_scanned)) {
-          continue;
-        }
-        dominator[u] = v;  // strict, or mutual resolved by smaller id
-        break;
-      }
-    }
-  });
-  MergeWorkerStats(&result.stats, per_worker);
+      });
+  MergeWorkerStats(&result->stats, per_worker);
+  if (!scan.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return scan;
+  }
 
   for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] == u) result.skyline.push_back(u);
+    if (dominator[u] == u) result->skyline.push_back(u);
   }
-  result.stats.candidate_count = result.skyline.size();
-  tally.Add(result.skyline.capacity() * sizeof(VertexId));
-  result.stats.aux_peak_bytes = tally.peak_bytes();
-  result.stats.seconds = timer.Seconds();
-  MirrorStatsToMetrics("filter_phase", result.stats);
-  return result;
+  result->stats.candidate_count = result->skyline.size();
+  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  result->stats.aux_peak_bytes = tally.peak_bytes();
+  result->stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("filter_phase", result->stats);
+  return util::Status::Ok();
 }
 
 }  // namespace internal
 
 SkylineResult FilterPhase(const Graph& g) {
   util::ThreadPool pool(1);
-  return internal::RunFilterPhase(g, SolverOptions{}, pool);
+  SkylineResult result;
+  util::Status status = internal::RunFilterPhase(
+      g, SolverOptions{}, util::ExecutionContext::Unlimited(), pool, &result);
+  NSKY_CHECK_MSG(status.ok(), "unlimited FilterPhase cannot fail");
+  return result;
 }
 
 SkylineResult FilterPhase(const Graph& g, const SolverOptions& options) {
-  util::ThreadPool pool(internal::ResolveThreads(options.threads));
-  SkylineResult result = internal::RunFilterPhase(g, options, pool);
-  result.stats.threads = pool.num_threads();
+  SkylineResult result;
+  util::Status status = FilterPhaseInto(
+      g, options, util::ExecutionContext::Unlimited(), &result);
+  NSKY_CHECK_MSG(status.ok(), "unlimited FilterPhase cannot fail");
   return result;
+}
+
+util::Status FilterPhaseInto(const Graph& g, const SolverOptions& options,
+                             const util::ExecutionContext& ctx,
+                             SkylineResult* result) {
+  util::ThreadPool pool(internal::ResolveThreads(options.threads));
+  util::Status status =
+      internal::RunFilterPhase(g, options, ctx, pool, result);
+  result->stats.threads = pool.num_threads();
+  if (!status.ok()) {
+    result->skyline.clear();
+    result->dominator.clear();
+  }
+  return status;
 }
 
 }  // namespace nsky::core

@@ -28,6 +28,13 @@ SkylineResult FilterPhase(const Graph& g);
 // engine; options.algorithm is ignored -- this always runs the filter).
 SkylineResult FilterPhase(const Graph& g, const SolverOptions& options);
 
+// Context-aware variant with SolveInto's partial-result contract
+// (core/solver.h): honors ctx's cancel token, deadline and byte budget; on
+// failure *result has empty skyline/dominator and partial stats.
+util::Status FilterPhaseInto(const Graph& g, const SolverOptions& options,
+                             const util::ExecutionContext& ctx,
+                             SkylineResult* result);
+
 }  // namespace nsky::core
 
 #endif  // NSKY_CORE_FILTER_PHASE_H_

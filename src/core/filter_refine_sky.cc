@@ -29,21 +29,26 @@ bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
 
 namespace internal {
 
-SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
-                              util::ThreadPool& pool) {
+util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
+                             const util::ExecutionContext& ctx,
+                             util::ThreadPool& pool, SkylineResult* result) {
   NSKY_TRACE_SPAN("filter_refine");
   util::Timer timer;
   const VertexId n = g.NumVertices();
 
   // ---- Filter phase: candidate set C and its O(*) array. ----
-  SkylineResult result = RunFilterPhase(g, options, pool);
-  std::vector<VertexId>& dominator = result.dominator;
-  const std::vector<VertexId> candidates = std::move(result.skyline);
-  result.skyline.clear();
-  const SkylineStats after_filter = result.stats;
+  if (util::Status s = RunFilterPhase(g, options, ctx, pool, result);
+      !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
+  std::vector<VertexId>& dominator = result->dominator;
+  const std::vector<VertexId> candidates = std::move(result->skyline);
+  result->skyline.clear();
+  const SkylineStats after_filter = result->stats;
 
   util::MemoryTally tally;
-  tally.Add(result.stats.aux_peak_bytes);  // filter-phase structures
+  tally.Add(result->stats.aux_peak_bytes);  // filter-phase structures
 
   // Candidate-membership snapshot. Immutable once built, it serves two
   // jobs in the refine scan: the non-candidate skip, and -- because it is
@@ -52,8 +57,17 @@ SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
   std::vector<uint8_t> member(n, 0);
   for (VertexId u : candidates) member[u] = 1;
   tally.Add(member.capacity());
+  if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
+  }
 
   // ---- Bloom filters over N(u) for every candidate. ----
+  // The bloom block is the one optional structure: when it alone would
+  // cross the byte budget the run degrades to a bloomless refine (exactness
+  // is unaffected -- the bloom is a pure pre-test) instead of failing. The
+  // skip decision compares the deterministic ledger against an exact size
+  // precomputation, so it is identical at every thread count.
   std::unique_ptr<NeighborhoodBlooms> blooms;
   if (options.use_bloom && !candidates.empty()) {
     NSKY_TRACE_SPAN("bloom_build");
@@ -61,8 +75,20 @@ SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
                         ? options.bloom_bits
                         : NeighborhoodBlooms::ChooseBitsAdaptive(
                               g, options.bits_per_neighbor);
-    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
-    tally.Add(blooms->MemoryBytes());
+    if (ctx.WouldExceedBudget(tally.live_bytes(),
+                              NeighborhoodBlooms::EstimateBytes(
+                                  n, candidates.size(), bits))) {
+      if (util::metrics::Enabled()) {
+        util::metrics::GetCounter("nsky.filter_refine.bloom_skipped").Add(1);
+      }
+    } else {
+      blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
+      tally.Add(blooms->MemoryBytes());
+    }
+  }
+  if (util::Status s = ctx.CheckHealth(); !s.ok()) {
+    result->stats.seconds = timer.Seconds();
+    return s;
   }
 
   // ---- Refine phase: verify candidates against potential dominators. ----
@@ -81,8 +107,9 @@ SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
   {
     NSKY_TRACE_SPAN("refine");
     std::vector<SkylineStats> per_worker(pool.num_threads());
-    pool.ParallelFor(
-        candidates.size(), [&](unsigned worker, uint64_t begin, uint64_t end) {
+    util::Status scan = pool.ParallelFor(
+        candidates.size(), ctx,
+        [&](unsigned worker, uint64_t begin, uint64_t end) {
           NSKY_TRACE_SPAN("refine.worker");
           SkylineStats& stats = per_worker[worker];
           for (uint64_t i = begin; i < end; ++i) {
@@ -133,20 +160,24 @@ SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
             }
           }
         });
-    MergeWorkerStats(&result.stats, per_worker);
+    MergeWorkerStats(&result->stats, per_worker);
+    if (!scan.ok()) {
+      result->stats.seconds = timer.Seconds();
+      return scan;
+    }
     // Mirrored inside the span so "refine" carries its own counter deltas.
     MirrorStatsCounters("nsky.filter_refine.refine",
-                        StatsSince(result.stats, after_filter));
+                        StatsSince(result->stats, after_filter));
   }
 
   for (VertexId u = 0; u < n; ++u) {
-    if (dominator[u] == u) result.skyline.push_back(u);
+    if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result.skyline.capacity() * sizeof(VertexId));
-  result.stats.aux_peak_bytes = tally.peak_bytes();
-  result.stats.seconds = timer.Seconds();
-  MirrorStatsToMetrics("filter_refine", result.stats);
-  return result;
+  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  result->stats.aux_peak_bytes = tally.peak_bytes();
+  result->stats.seconds = timer.Seconds();
+  MirrorStatsToMetrics("filter_refine", result->stats);
+  return util::Status::Ok();
 }
 
 }  // namespace internal

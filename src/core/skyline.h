@@ -7,6 +7,7 @@
 #define NSKY_CORE_SKYLINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -42,6 +43,13 @@ struct SkylineStats {
   // a counter: the only field besides `seconds` allowed to differ between
   // otherwise-identical runs.
   uint32_t threads = 1;
+  // AlgorithmName of the originally requested algorithm when the runtime
+  // degraded the run to fit the execution context's byte budget
+  // (core/solver.h); empty when the run executed as requested. Like
+  // `threads` this is configuration, and it is deterministic: the
+  // degradation decision is a pure function of the graph, the options and
+  // the budget.
+  std::string degraded_from;
   // Wall-clock seconds for the whole computation.
   double seconds = 0.0;
 };

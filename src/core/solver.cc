@@ -1,6 +1,10 @@
 #include "core/solver.h"
 
+#include <utility>
+
 #include "core/solver_internal.h"
+#include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace nsky::core {
@@ -37,24 +41,66 @@ unsigned ResolveThreads(uint32_t threads) {
 
 }  // namespace internal
 
-SkylineResult Solve(const Graph& g, const SolverOptions& options) {
+util::Status SolveInto(const Graph& g, const SolverOptions& options,
+                       const util::ExecutionContext& ctx,
+                       SkylineResult* result) {
   util::ThreadPool pool(internal::ResolveThreads(options.threads));
-  SkylineResult result;
-  switch (options.algorithm) {
+  *result = SkylineResult{};
+
+  // Predictive degradation: a kBase2Hop run that cannot fit the budget is
+  // re-routed to kFilterRefine before any work happens. The estimate is a
+  // pure function of (g, options, budget), so the decision is identical at
+  // every thread count.
+  Algorithm algorithm = options.algorithm;
+  std::string degraded_from;
+  if (algorithm == Algorithm::kBase2Hop && ctx.has_byte_budget() &&
+      internal::EstimateBase2HopBytes(g, options) > ctx.byte_budget()) {
+    degraded_from = AlgorithmName(algorithm);
+    algorithm = Algorithm::kFilterRefine;
+    if (util::metrics::Enabled()) {
+      util::metrics::GetCounter("nsky.solve.degraded").Add(1);
+    }
+  }
+
+  util::Status status;
+  switch (algorithm) {
     case Algorithm::kFilterRefine:
-      result = internal::RunFilterRefine(g, options, pool);
+      status = internal::RunFilterRefine(g, options, ctx, pool, result);
       break;
     case Algorithm::kBaseSky:
-      result = internal::RunBaseSky(g, options, pool);
+      status = internal::RunBaseSky(g, options, ctx, pool, result);
       break;
     case Algorithm::kBaseCSet:
-      result = internal::RunBaseCSet(g, options, pool);
+      status = internal::RunBaseCSet(g, options, ctx, pool, result);
       break;
     case Algorithm::kBase2Hop:
-      result = internal::RunBase2Hop(g, options, pool);
+      status = internal::RunBase2Hop(g, options, ctx, pool, result);
       break;
   }
-  result.stats.threads = pool.num_threads();
+  result->stats.threads = pool.num_threads();
+  result->stats.degraded_from = std::move(degraded_from);
+  if (!status.ok()) {
+    // Well-defined partial result: empty outputs, populated stats.
+    result->skyline.clear();
+    result->dominator.clear();
+  }
+  return status;
+}
+
+util::Result<SkylineResult> SolveOrError(const Graph& g,
+                                         const SolverOptions& options,
+                                         const util::ExecutionContext& ctx) {
+  SkylineResult result;
+  util::Status status = SolveInto(g, options, ctx, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+SkylineResult Solve(const Graph& g, const SolverOptions& options) {
+  SkylineResult result;
+  util::Status status =
+      SolveInto(g, options, util::ExecutionContext::Unlimited(), &result);
+  NSKY_CHECK_MSG(status.ok(), "Solve with an unlimited context cannot fail");
   return result;
 }
 

@@ -38,6 +38,8 @@
 #include <string_view>
 
 #include "core/skyline.h"
+#include "util/execution_context.h"
+#include "util/status.h"
 
 namespace nsky::core {
 
@@ -79,7 +81,43 @@ struct SolverOptions {
 
 // Computes the neighborhood skyline of g with the selected algorithm and
 // thread count. stats.threads records the resolved worker count.
+//
+// Infallible by construction: a thin wrapper over SolveInto with an
+// unlimited ExecutionContext, preserving the historical contract (and the
+// bit-identical-results guarantee) exactly.
 SkylineResult Solve(const Graph& g, const SolverOptions& options = {});
+
+// Hardened runtime entry points
+// -----------------------------
+// SolveOrError is Solve with cooperative limits: the run honors ctx's
+// CancelToken, wall-clock deadline and auxiliary-byte budget, checked at
+// phase boundaries and between slices of every parallel scan, and returns
+// kCancelled / kDeadlineExceeded / kResourceExhausted instead of hanging or
+// OOMing. A run that completes under a context is bit-identical to the
+// plain Solve() result at every thread count.
+//
+// Graceful degradation: a kBase2Hop request whose materialized 2-hop lists
+// or bloom block cannot fit the byte budget (decided upfront from a
+// deterministic estimate, EstimateBase2HopBytes) is transparently re-routed
+// to kFilterRefine -- same exact skyline, bounded memory -- and the
+// original algorithm is recorded in stats.degraded_from ("2hop").
+// Similarly kFilterRefine skips its optional bloom filters when they alone
+// would cross the budget; correctness is unaffected (the bloom is a pure
+// pre-test). A budget too small even for the fallback's mandatory
+// structures yields kResourceExhausted.
+util::Result<SkylineResult> SolveOrError(
+    const Graph& g, const SolverOptions& options = {},
+    const util::ExecutionContext& ctx = {});
+
+// Like SolveOrError but with well-defined partial results: *result is
+// always filled. On success it is the complete SkylineResult; on failure
+// skyline and dominator are empty and stats holds the counters of the work
+// actually performed before the early exit (plus threads, seconds and
+// degraded_from), which is what the CLI and the telemetry report for
+// interrupted runs.
+util::Status SolveInto(const Graph& g, const SolverOptions& options,
+                       const util::ExecutionContext& ctx,
+                       SkylineResult* result);
 
 }  // namespace nsky::core
 

@@ -21,6 +21,8 @@
 
 #include "core/skyline.h"
 #include "core/solver.h"
+#include "util/execution_context.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace nsky::core::internal {
@@ -43,18 +45,36 @@ inline void MergeWorkerStats(SkylineStats* into,
 // Resolved worker count for options.threads (0 = hardware concurrency).
 unsigned ResolveThreads(uint32_t threads);
 
-// Algorithm bodies. Each fills stats.seconds and mirrors telemetry itself;
-// stats.threads is stamped by the caller (Solve or a wrapper).
-SkylineResult RunFilterPhase(const Graph& g, const SolverOptions& options,
-                             util::ThreadPool& pool);
-SkylineResult RunFilterRefine(const Graph& g, const SolverOptions& options,
-                              util::ThreadPool& pool);
-SkylineResult RunBaseSky(const Graph& g, const SolverOptions& options,
-                         util::ThreadPool& pool);
-SkylineResult RunBaseCSet(const Graph& g, const SolverOptions& options,
-                          util::ThreadPool& pool);
-SkylineResult RunBase2Hop(const Graph& g, const SolverOptions& options,
-                          util::ThreadPool& pool);
+// Algorithm bodies. Each fills *result, sets stats.seconds and mirrors
+// telemetry itself; stats.threads is stamped by the caller (SolveInto or a
+// wrapper). On a non-OK return *result holds a partial run: skyline may be
+// empty or incomplete and dominator partially written -- SolveInto
+// normalizes that to the documented empty-outputs shape -- but the stats
+// counters always reflect the work actually done and stats.seconds the time
+// actually spent. The context is consulted at every phase boundary and, via
+// the context-aware ParallelFor, between slices inside every parallel scan.
+util::Status RunFilterPhase(const Graph& g, const SolverOptions& options,
+                            const util::ExecutionContext& ctx,
+                            util::ThreadPool& pool, SkylineResult* result);
+util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
+                             const util::ExecutionContext& ctx,
+                             util::ThreadPool& pool, SkylineResult* result);
+util::Status RunBaseSky(const Graph& g, const SolverOptions& options,
+                        const util::ExecutionContext& ctx,
+                        util::ThreadPool& pool, SkylineResult* result);
+util::Status RunBaseCSet(const Graph& g, const SolverOptions& options,
+                         const util::ExecutionContext& ctx,
+                         util::ThreadPool& pool, SkylineResult* result);
+util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
+                         const util::ExecutionContext& ctx,
+                         util::ThreadPool& pool, SkylineResult* result);
+
+// Deterministic upper bound on RunBase2Hop's auxiliary bytes: the
+// pre-dedup 2-hop buffer volume (an O(m) degree scan, no allocation) plus
+// the bloom block and the dominator array. SolveInto compares it against
+// the context's byte budget to decide -- identically at every thread count
+// -- whether to degrade a kBase2Hop request to kFilterRefine.
+uint64_t EstimateBase2HopBytes(const Graph& g, const SolverOptions& options);
 
 }  // namespace nsky::core::internal
 

@@ -2,54 +2,107 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "graph/builder.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace nsky::graph {
 
 namespace {
 
+util::Status LineError(const std::string& origin, uint64_t line_no,
+                       const std::string& what) {
+  return util::Status::InvalidArgument(
+      origin + ": line " + std::to_string(line_no) + ": " + what);
+}
+
+// Validates one vertex token: unsigned decimal that fits uint32_t (the
+// Graph's VertexId after dense relabeling caps the vertex count, but a
+// label beyond 32 bits is virtually always a corrupt file, so it is
+// rejected up front with a precise diagnostic). Fills `reason` on failure.
+bool ParseVertexLabel(std::string_view token, uint64_t* out,
+                      std::string* reason) {
+  if (!token.empty() && token[0] == '-') {
+    *reason = "negative vertex id '" + std::string(token) + "'";
+    return false;
+  }
+  uint64_t value = 0;
+  if (!util::ParseUint64(token, &value)) {
+    *reason = "malformed vertex label '" + std::string(token) + "'";
+    return false;
+  }
+  if (value > std::numeric_limits<uint32_t>::max()) {
+    *reason = "vertex id " + std::string(token) + " overflows uint32_t";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 // Shared line-by-line parser over any istream.
-util::Result<Graph> ParseStream(std::istream& in, const std::string& origin) {
+util::Result<Graph> ParseStream(std::istream& in, const std::string& origin,
+                                const EdgeListOptions& options,
+                                EdgeListReport* report) {
   GraphBuilder builder;
+  EdgeListReport local;
+  EdgeListReport& rep = report != nullptr ? *report : local;
+  rep = EdgeListReport{};
+  const bool faults = util::FaultInjector::Enabled();
+
   std::string line;
-  uint64_t line_no = 0;
   while (std::getline(in, line)) {
-    ++line_no;
+    ++rep.lines;
     std::string_view view = util::Trim(line);
     if (view.empty() || view[0] == '#' || view[0] == '%') continue;
-    auto fields = util::SplitFields(view);
-    if (fields.size() < 2) {
-      return util::Status::InvalidArgument(
-          origin + ": line " + std::to_string(line_no) +
-          ": expected two vertex labels");
+    if (faults && util::FaultInjector::ShouldFail("io.short_read")) {
+      return util::Status::IoError(
+          origin + ": short read (fault injection at data line " +
+          std::to_string(rep.edges_added + rep.skipped_lines + 1) + ")");
     }
+    std::string reason;
+    auto fields = util::SplitFields(view);
     uint64_t a = 0, b = 0;
-    if (!util::ParseUint64(fields[0], &a) || !util::ParseUint64(fields[1], &b)) {
-      return util::Status::InvalidArgument(
-          origin + ": line " + std::to_string(line_no) +
-          ": malformed vertex label");
+    if (fields.size() < 2) {
+      reason = "expected two vertex labels";
+    } else {
+      (void)(ParseVertexLabel(fields[0], &a, &reason) &&
+             ParseVertexLabel(fields[1], &b, &reason));
+    }
+    if (!reason.empty()) {
+      if (options.strict) return LineError(origin, rep.lines, reason);
+      ++rep.skipped_lines;
+      continue;
     }
     builder.AddEdge(a, b);
+    ++rep.edges_added;
+  }
+  if (in.bad()) {
+    return util::Status::IoError(origin + ": read error at line " +
+                                 std::to_string(rep.lines));
   }
   return builder.Build();
 }
 
 }  // namespace
 
-util::Result<Graph> LoadEdgeList(const std::string& path) {
+util::Result<Graph> LoadEdgeList(const std::string& path,
+                                 const EdgeListOptions& options,
+                                 EdgeListReport* report) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return util::Status::IoError("cannot open " + path);
   }
-  return ParseStream(in, path);
+  return ParseStream(in, path, options, report);
 }
 
-util::Result<Graph> ParseEdgeList(const std::string& text) {
+util::Result<Graph> ParseEdgeList(const std::string& text,
+                                  const EdgeListOptions& options,
+                                  EdgeListReport* report) {
   std::istringstream in(text);
-  return ParseStream(in, "<string>");
+  return ParseStream(in, "<string>", options, report);
 }
 
 util::Status SaveEdgeList(const Graph& g, const std::string& path) {
@@ -57,11 +110,20 @@ util::Status SaveEdgeList(const Graph& g, const std::string& path) {
   if (!out.is_open()) {
     return util::Status::IoError("cannot open " + path + " for writing");
   }
+  const bool faults = util::FaultInjector::Enabled();
   out << "# undirected graph: " << g.NumVertices() << " vertices, "
       << g.NumEdges() << " edges\n";
+  uint64_t written = 0;
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
     for (VertexId v : g.Neighbors(u)) {
-      if (u < v) out << u << ' ' << v << '\n';
+      if (u >= v) continue;
+      if (faults && util::FaultInjector::ShouldFail("io.short_write")) {
+        return util::Status::IoError(
+            path + ": short write (fault injection after " +
+            std::to_string(written) + " edges)");
+      }
+      out << u << ' ' << v << '\n';
+      ++written;
     }
   }
   out.flush();

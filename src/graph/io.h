@@ -5,12 +5,21 @@
 //   * each remaining line holds two whitespace-separated unsigned vertex
 //     labels (any extra columns, e.g. KONECT weights/timestamps, are
 //     ignored),
-//   * labels are arbitrary 64-bit values and are densely relabeled.
+//   * labels must fit uint32_t and are densely relabeled.
 // Directed inputs are treated as undirected, matching the paper's setup
 // ("we treat all datasets as undirected graphs").
+//
+// Malformed input handling: in strict mode (the default) the first bad line
+// -- missing column, garbage token, negative id, or a label that overflows
+// uint32_t -- aborts the load with a line-numbered kInvalidArgument error.
+// Permissive mode (EdgeListOptions::strict = false) skips bad lines and
+// counts them in EdgeListReport::skipped_lines instead, for salvaging real
+// crawled datasets. Stream-level failures (unreadable file, disk errors,
+// and the "io.short_read" fault-injection site) are kIoError in both modes.
 #ifndef NSKY_GRAPH_IO_H_
 #define NSKY_GRAPH_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "graph/graph.h"
@@ -18,8 +27,25 @@
 
 namespace nsky::graph {
 
+// Parsing policy for the edge-list loaders.
+struct EdgeListOptions {
+  // Strict (default): any malformed line is a line-numbered
+  // kInvalidArgument error. Permissive: malformed lines are skipped and
+  // counted.
+  bool strict = true;
+};
+
+// What a load actually consumed; filled (when non-null) even on failure.
+struct EdgeListReport {
+  uint64_t lines = 0;          // lines read, including comments/blanks
+  uint64_t edges_added = 0;    // well-formed edge lines accepted
+  uint64_t skipped_lines = 0;  // malformed lines skipped (permissive mode)
+};
+
 // Loads a graph from an edge-list file.
-util::Result<Graph> LoadEdgeList(const std::string& path);
+util::Result<Graph> LoadEdgeList(const std::string& path,
+                                 const EdgeListOptions& options = {},
+                                 EdgeListReport* report = nullptr);
 
 // Writes `g` as "u v" lines (u < v), one edge per line, with a header
 // comment. Round-trips through LoadEdgeList.
@@ -27,7 +53,9 @@ util::Status SaveEdgeList(const Graph& g, const std::string& path);
 
 // Parses an edge list from an in-memory string (same format as the file
 // loader); used by the embedded datasets and the tests.
-util::Result<Graph> ParseEdgeList(const std::string& text);
+util::Result<Graph> ParseEdgeList(const std::string& text,
+                                  const EdgeListOptions& options = {},
+                                  EdgeListReport* report = nullptr);
 
 }  // namespace nsky::graph
 

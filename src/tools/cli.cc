@@ -18,8 +18,10 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "setjoin/skyline_via_join.h"
+#include "util/execution_context.h"
 #include "util/json_writer.h"
 #include "util/metrics.h"
+#include "util/status.h"
 #include "util/strings.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -131,11 +133,23 @@ std::optional<Graph> LoadInput(const Args& args, std::ostream& err) {
     err << "error: provide exactly one of --input, --standin, --generate\n";
     return std::nullopt;
   }
+  const std::string strict = args.Get("strict-io", "yes");
+  if (strict != "yes" && strict != "no") {
+    err << "error: --strict-io must be yes or no, got '" << strict << "'\n";
+    return std::nullopt;
+  }
   if (args.Has("input")) {
-    auto r = graph::LoadEdgeList(args.Get("input"));
+    graph::EdgeListOptions io_options;
+    io_options.strict = strict == "yes";
+    graph::EdgeListReport report;
+    auto r = graph::LoadEdgeList(args.Get("input"), io_options, &report);
     if (!r.ok()) {
       err << "error: " << r.status().ToString() << "\n";
       return std::nullopt;
+    }
+    if (report.skipped_lines > 0) {
+      err << "note: skipped " << report.skipped_lines
+          << " malformed line(s) in " << args.Get("input") << "\n";
     }
     return std::move(r).value();
   }
@@ -165,8 +179,72 @@ void WriteStatsJson(const core::SkylineStats& stats, util::JsonWriter* w) {
   w->KV("nbr_elements_scanned", stats.nbr_elements_scanned);
   w->KV("aux_peak_bytes", stats.aux_peak_bytes);
   w->KV("threads", static_cast<uint64_t>(stats.threads));
+  w->KV("degraded_from", stats.degraded_from);
   w->KV("seconds", stats.seconds);
   w->EndObject();
+}
+
+// Exit codes: 0 ok, 1 runtime/IO error, 2 usage, then one code per
+// cooperative-limit status so scripts can distinguish them.
+int ExitCodeForStatus(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kOk:
+      return 0;
+    case util::StatusCode::kDeadlineExceeded:
+      return 4;
+    case util::StatusCode::kCancelled:
+      return 5;
+    case util::StatusCode::kResourceExhausted:
+      return 6;
+    default:
+      return 1;
+  }
+}
+
+// Renders a failed solver run: the stable nsky.error.v1 object on --json
+// (instead of partial output), a plain error line otherwise.
+int EmitFailure(const Args& args, const util::Status& status,
+                std::ostream& out, std::ostream& err) {
+  const int code = ExitCodeForStatus(status);
+  if (args.Has("json")) {
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "nsky.error.v1");
+    w.KV("command", args.command);
+    w.KV("code", util::StatusCodeName(status.code()));
+    w.KV("message", status.message());
+    w.KV("exit_code", static_cast<uint64_t>(code));
+    w.EndObject();
+    out << std::move(w).Take() << "\n";
+  } else {
+    err << "error: " << status.ToString() << "\n";
+  }
+  return code;
+}
+
+// Reads --timeout-ms and --max-memory-mb into an ExecutionContext. Returns
+// false on malformed values.
+bool ParseContext(const Args& args, util::ExecutionContext* ctx,
+                  std::ostream& err) {
+  if (args.Has("timeout-ms")) {
+    uint64_t ms = 0;
+    if (!util::ParseUint64(args.Get("timeout-ms"), &ms)) {
+      err << "error: --timeout-ms must be a non-negative integer, got '"
+          << args.Get("timeout-ms") << "'\n";
+      return false;
+    }
+    ctx->set_timeout_ms(ms);
+  }
+  if (args.Has("max-memory-mb")) {
+    uint64_t mb = 0;
+    if (!util::ParseUint64(args.Get("max-memory-mb"), &mb) || mb == 0) {
+      err << "error: --max-memory-mb must be a positive integer, got '"
+          << args.Get("max-memory-mb") << "'\n";
+      return false;
+    }
+    ctx->set_byte_budget(mb * 1024 * 1024);
+  }
+  return true;
 }
 
 void WriteGraphJson(const Graph& g, util::JsonWriter* w) {
@@ -224,14 +302,22 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
       args.Has("algo") ? args.Get("algo") : args.Get("algorithm", "filter-refine");
   core::SolverOptions options;
   if (!ParseThreads(args, &options.threads, err)) return 2;
+  util::ExecutionContext ctx;
+  if (!ParseContext(args, &ctx, err)) return 2;
   core::SkylineResult r;
   if (algo == "join") {
     // The set-containment-join adapter lives outside the core engine and
-    // ignores --threads.
+    // ignores --threads; the hardened runtime does not cover it.
+    if (args.Has("timeout-ms") || args.Has("max-memory-mb")) {
+      err << "error: --timeout-ms/--max-memory-mb are not supported for "
+             "--algo join\n";
+      return 2;
+    }
     r = setjoin::SkylineViaJoin(g);
   } else if (auto parsed = core::ParseAlgorithm(algo)) {
     options.algorithm = *parsed;
-    r = core::Solve(g, options);
+    util::Status status = core::SolveInto(g, options, ctx, &r);
+    if (!status.ok()) return EmitFailure(args, status, out, err);
   } else {
     err << "error: unknown --algo '" << algo << "'\n";
     return 2;
@@ -259,6 +345,10 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
   out << "skyline " << r.skyline.size() << " of " << g.NumVertices()
       << " vertices (" << algo << ", threads " << r.stats.threads << ", "
       << util::FormatSeconds(r.stats.seconds) << ")\n";
+  if (!r.stats.degraded_from.empty()) {
+    err << "note: degraded from " << r.stats.degraded_from
+        << " to filter-refine (byte budget)\n";
+  }
   if (args.Get("print", "no") == "yes") {
     for (VertexId u : r.skyline) out << u << "\n";
   }
@@ -269,7 +359,13 @@ int CmdCandidates(const Args& args, const Graph& g, std::ostream& out,
                   std::ostream& err) {
   core::SolverOptions options;
   if (!ParseThreads(args, &options.threads, err)) return 2;
-  core::SkylineResult r = core::FilterPhase(g, options);
+  util::ExecutionContext ctx;
+  if (!ParseContext(args, &ctx, err)) return 2;
+  core::SkylineResult r;
+  if (util::Status status = core::FilterPhaseInto(g, options, ctx, &r);
+      !status.ok()) {
+    return EmitFailure(args, status, out, err);
+  }
   if (args.Has("json")) {
     util::JsonWriter w;
     w.BeginObject();
@@ -411,8 +507,16 @@ void PrintUsage(std::ostream& out) {
          "solver:    --algo base|filter-refine|cset|2hop|join (skyline)\n"
          "           --threads N (skyline/candidates; 0 = all cores;\n"
          "             results are bit-identical for every N)\n"
-         "telemetry: --json (stats/skyline/candidates: JSON on stdout)\n"
+         "limits:    --timeout-ms N (skyline/candidates; exit 4 on deadline)\n"
+         "           --max-memory-mb N (aux byte budget; exit 6 when\n"
+         "             exhausted; 2hop degrades to filter-refine first)\n"
+         "           --strict-io yes|no (default yes: reject malformed\n"
+         "             edge-list lines; no: skip and count them)\n"
+         "telemetry: --json (stats/skyline/candidates: JSON on stdout;\n"
+         "             failures emit nsky.error.v1)\n"
          "           --trace FILE (write Chrome trace-event JSON)\n"
+         "exit codes: 0 ok, 1 runtime/io, 2 usage, 4 deadline, 5 cancelled,\n"
+         "            6 resource exhausted\n"
          "see src/tools/cli.h for per-command options and JSON schemas\n";
 }
 

@@ -32,6 +32,24 @@
 //                      thread. Results are bit-identical for every N; the
 //                      resolved count is reported as stats.threads.
 //
+// Resource limits (skyline, candidates; not --algo join):
+//   --timeout-ms N     wall-clock deadline for the solve; an overrun exits
+//                      with code 4 (DEADLINE_EXCEEDED).
+//   --max-memory-mb N  auxiliary byte budget (N > 0), checked against the
+//                      solver's deterministic memory ledger; exhaustion
+//                      exits with code 6 (RESOURCE_EXHAUSTED). A 2hop run
+//                      that cannot fit the budget degrades to filter-refine
+//                      first (exact result, stats.degraded_from = "2hop").
+//
+// IO options (--input only):
+//   --strict-io yes|no strict (default) rejects any malformed edge-list
+//                      line with a line-numbered error; "no" skips bad
+//                      lines, counts them, and notes the count on stderr.
+//
+// Exit codes:
+//   0 success, 1 runtime/IO error, 2 usage or load error,
+//   4 deadline exceeded, 5 cancelled, 6 resource exhausted.
+//
 // Telemetry options (any graph command):
 //   --trace FILE       record RAII phase spans during the command and write
 //                      them to FILE as Chrome trace-event JSON (loadable in
@@ -49,10 +67,16 @@
 //               "stats":{"candidate_count","pairs_examined","bloom_prunes",
 //                        "degree_prunes","inclusion_tests",
 //                        "nbr_elements_scanned","aux_peak_bytes","threads",
-//                        "seconds"}}
+//                        "degraded_from","seconds"}}
 //   candidates {"schema":"nsky.candidates.v1","command":"candidates",
 //               "graph":{"n","m"},"candidates":{"size",<uint>},
 //               "stats":{...same as skyline...}}
+//   error      {"schema":"nsky.error.v1","command":<string>,
+//               "code":<StatusCodeName>,"message":<string>,
+//               "exit_code":<uint>}
+//              emitted (alone, replacing the result document) when a
+//              --json skyline/candidates run fails; the process exits with
+//              the embedded exit_code.
 #ifndef NSKY_TOOLS_CLI_H_
 #define NSKY_TOOLS_CLI_H_
 

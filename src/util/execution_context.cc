@@ -1,0 +1,35 @@
+#include "util/execution_context.h"
+
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+namespace nsky::util {
+
+Status ExecutionContext::CheckHealth() const {
+  if (cancel_ != nullptr && cancel_->IsCancelled()) {
+    return Status::Cancelled("run cancelled via CancelToken");
+  }
+  if (has_deadline_ && Clock::now() > deadline_) {
+    return Status::DeadlineExceeded("wall-clock deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+Status ExecutionContext::CheckBudget(uint64_t bytes_in_use) const {
+  // Unlimited contexts never consult the fault site either: the infallible
+  // Solve() wrapper must stay infallible even under NSKY_FAULTS.
+  if (!has_byte_budget()) return Status::Ok();
+  if (FaultInjector::Enabled() && FaultInjector::ShouldFail("ctx.budget")) {
+    return Status::ResourceExhausted(
+        "byte budget tripped by fault injection (site ctx.budget)");
+  }
+  if (has_byte_budget() && bytes_in_use > byte_budget_) {
+    return Status::ResourceExhausted("auxiliary bytes " +
+                                     HumanBytes(bytes_in_use) +
+                                     " exceed budget " +
+                                     HumanBytes(byte_budget_));
+  }
+  return Status::Ok();
+}
+
+}  // namespace nsky::util

@@ -1,0 +1,119 @@
+// Cooperative execution limits for long-running solver work.
+//
+// An ExecutionContext bundles the three ways a caller can bound a run:
+//  * a CancelToken -- an external thread flips it and the run unwinds at the
+//    next check point with kCancelled;
+//  * a wall-clock deadline (steady clock) -- checks after the deadline
+//    return kDeadlineExceeded;
+//  * a byte budget for auxiliary structures -- solvers compare their
+//    deterministic MemoryTally ledger against it and return
+//    kResourceExhausted (or degrade, see core/solver.h) instead of OOMing.
+//
+// Checks are cooperative and cheap: CheckHealth() is one relaxed atomic load
+// plus, only when a deadline is set, one steady_clock read. The thread pool
+// calls it between slices of every parallel chunk
+// (util/thread_pool.h, ParallelFor with a context) and the solvers call it
+// at phase boundaries, so a stuck run returns within one slice of work.
+//
+// The default-constructed context is unlimited; every check returns OK and
+// Solve()-style wrappers rely on that to stay infallible.
+//
+// Budget checks are deterministic by construction: they compare the
+// *deterministic* ledger (never the allocator or the RSS) against the
+// budget, so whether a run trips its budget is a pure function of the graph
+// and the options -- identical at every thread count.
+#ifndef NSKY_UTIL_EXECUTION_CONTEXT_H_
+#define NSKY_UTIL_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace nsky::util {
+
+// Thread-safe cooperative cancellation flag. The owner keeps the token
+// alive for the duration of every run that references it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // May be called from any thread, any number of times.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr uint64_t kUnlimitedBytes = ~uint64_t{0};
+
+  // Unlimited: no token, no deadline, no budget; all checks return OK.
+  ExecutionContext() = default;
+
+  static ExecutionContext Unlimited() { return ExecutionContext(); }
+
+  // Setters return *this so contexts can be built inline:
+  //   SolveOrError(g, opts, ExecutionContext().set_timeout_ms(50));
+  ExecutionContext& set_cancel_token(const CancelToken* token) {
+    cancel_ = token;
+    return *this;
+  }
+  ExecutionContext& set_deadline(Clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+    return *this;
+  }
+  // Deadline `ms` milliseconds from now.
+  ExecutionContext& set_timeout_ms(uint64_t ms) {
+    return set_deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  ExecutionContext& set_byte_budget(uint64_t bytes) {
+    byte_budget_ = bytes;
+    return *this;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool has_byte_budget() const { return byte_budget_ != kUnlimitedBytes; }
+  uint64_t byte_budget() const { return byte_budget_; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
+  // True when the context can never fail a check; the fast paths skip the
+  // sliced execution entirely in that case.
+  bool unlimited() const {
+    return cancel_ == nullptr && !has_deadline_ && !has_byte_budget();
+  }
+
+  // kCancelled / kDeadlineExceeded / OK. Cancellation wins when both apply.
+  Status CheckHealth() const;
+
+  // kResourceExhausted when `bytes_in_use` (a deterministic ledger figure)
+  // exceeds the budget, or when the "ctx.budget" fault-injection site is
+  // armed and trips. OK otherwise.
+  Status CheckBudget(uint64_t bytes_in_use) const;
+
+  // True when allocating `bytes` on top of `bytes_in_use` would cross the
+  // budget; used for predictive degradation decisions (core/solver.h).
+  bool WouldExceedBudget(uint64_t bytes_in_use, uint64_t bytes) const {
+    return has_byte_budget() && bytes_in_use + bytes > byte_budget_;
+  }
+
+ private:
+  const CancelToken* cancel_ = nullptr;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  uint64_t byte_budget_ = kUnlimitedBytes;
+};
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_EXECUTION_CONTEXT_H_

@@ -1,0 +1,109 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace nsky::util {
+
+namespace {
+
+struct Site {
+  std::string name;
+  uint64_t value = 0;
+  // Hit counter for failure-style sites; atomic so workers can count
+  // concurrently. Stored per site, reset on (re)arming.
+  std::atomic<uint64_t> hits{0};
+
+  Site(std::string n, uint64_t v) : name(std::move(n)), value(v) {}
+};
+
+struct Config {
+  // A handful of sites at most: linear scan beats a map and keeps lookup
+  // allocation-free. A deque because Site holds an atomic (not movable).
+  std::deque<Site> sites;
+  std::atomic<bool> enabled{false};
+
+  Site* Find(const char* name) {
+    for (Site& s : sites) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+bool Arm(Config& config, const std::string& spec) {
+  config.enabled.store(false, std::memory_order_release);
+  config.sites.clear();
+  if (spec.empty()) return true;
+  for (std::string_view entry : SplitFields(spec, ",")) {
+    entry = Trim(entry);
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) return false;
+    uint64_t value = 0;
+    if (!ParseUint64(Trim(entry.substr(eq + 1)), &value) || value == 0) {
+      return false;
+    }
+    config.sites.emplace_back(std::string(Trim(entry.substr(0, eq))), value);
+  }
+  config.enabled.store(!config.sites.empty(), std::memory_order_release);
+  return true;
+}
+
+Config& GetConfig() {
+  static Config* config = [] {
+    auto* c = new Config();
+    const char* env = std::getenv("NSKY_FAULTS");
+    if (env != nullptr && env[0] != '\0') {
+      // A malformed env spec silently disarms; callers are tests/operators
+      // who can check with ArmForTest() directly.
+      if (!Arm(*c, env)) c->sites.clear();
+    }
+    return c;
+  }();
+  return *config;
+}
+
+}  // namespace
+
+bool FaultInjector::Enabled() {
+  return GetConfig().enabled.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::ShouldFail(const char* site) {
+  Config& config = GetConfig();
+  if (!config.enabled.load(std::memory_order_acquire)) return false;
+  Site* s = config.Find(site);
+  if (s == nullptr) return false;
+  return s->hits.fetch_add(1, std::memory_order_relaxed) + 1 >= s->value;
+}
+
+uint64_t FaultInjector::DelayMs(const char* site) {
+  Config& config = GetConfig();
+  if (!config.enabled.load(std::memory_order_acquire)) return 0;
+  Site* s = config.Find(site);
+  return s == nullptr ? 0 : s->value;
+}
+
+void FaultInjector::MaybeDelay(const char* site) {
+  uint64_t ms = DelayMs(site);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool FaultInjector::ArmForTest(const std::string& spec) {
+  Config& config = GetConfig();
+  if (!Arm(config, spec)) {
+    config.sites.clear();
+    config.enabled.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void FaultInjector::Disarm() { ArmForTest(""); }
+
+}  // namespace nsky::util

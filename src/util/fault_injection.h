@@ -1,0 +1,69 @@
+// Deterministic fault injection for exercising failure paths.
+//
+// Production failure handling (deadlines, budget trips, IO truncation) is
+// dead code unless something actually fails. The FaultInjector lets tests
+// and operators force failures at *named sites* without touching the real
+// environment. It is configured once from the NSKY_FAULTS environment
+// variable and is disabled -- a single cached boolean test -- when the
+// variable is absent, so instrumented call sites cost nothing in normal
+// runs.
+//
+// Spec grammar (comma-separated site=value pairs):
+//   NSKY_FAULTS="io.short_read=3,pool.chunk_delay_ms=10,ctx.budget=1"
+//
+// Site semantics (the value is a positive integer):
+//   ctx.budget          ExecutionContext::CheckBudget trips from its Nth
+//                       call on (1 = first call). Only contexts that carry
+//                       a byte budget consult the site, so the infallible
+//                       Solve() wrapper is unaffected.
+//   io.short_read       LoadEdgeList/ParseEdgeList report a truncated
+//                       stream (IO_ERROR) from the Nth data line on.
+//   io.short_write      SaveEdgeList reports a failed write from the Nth
+//                       edge line on.
+//   pool.chunk_delay_ms every thread-pool slice sleeps N milliseconds
+//                       before running (drives deadline paths).
+//
+// Failure sites count their hits with ShouldFail(site): the site fires on
+// every call once the hit count reaches the armed value, so "=1" means
+// "always fail" and "=3" means "the third and later calls fail". Delay
+// sites read their value with DelayMs(site) on every call.
+//
+// Tests arm sites programmatically with ArmForTest()/Disarm(); arming
+// resets all hit counters. Arming is not thread-safe and must happen while
+// no instrumented code runs (hit counting itself is thread-safe).
+#ifndef NSKY_UTIL_FAULT_INJECTION_H_
+#define NSKY_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nsky::util {
+
+class FaultInjector {
+ public:
+  // True when any site is armed. Call sites guard with this so the disabled
+  // path is one branch on a cached bool.
+  static bool Enabled();
+
+  // True when `site` is armed and its hit count (incremented by this call)
+  // has reached the armed threshold. Unarmed sites never fail and do not
+  // count.
+  static bool ShouldFail(const char* site);
+
+  // Armed delay in milliseconds for `site`, 0 when unarmed.
+  static uint64_t DelayMs(const char* site);
+
+  // Sleeps DelayMs(site) milliseconds; no-op when unarmed.
+  static void MaybeDelay(const char* site);
+
+  // Replaces the active configuration with `spec` (same grammar as
+  // NSKY_FAULTS) and resets all hit counters. An empty spec disarms
+  // everything, same as Disarm(). Returns false (and disarms) when the spec
+  // does not parse.
+  static bool ArmForTest(const std::string& spec);
+  static void Disarm();
+};
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_FAULT_INJECTION_H_

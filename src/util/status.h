@@ -19,6 +19,12 @@ enum class StatusCode {
   kNotFound,
   kIoError,
   kOutOfRange,
+  // Cooperative runtime limits (util/execution_context.h): the run hit its
+  // wall-clock deadline, was cancelled via a CancelToken, or would have
+  // crossed its auxiliary-byte budget.
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -43,6 +49,15 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

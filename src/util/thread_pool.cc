@@ -1,7 +1,11 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
 #include <utility>
+
+#include "util/fault_injection.h"
 
 namespace nsky::util {
 
@@ -99,6 +103,40 @@ void ThreadPool::ParallelFor(uint64_t n, const ChunkBody& body) {
   for (std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+Status ThreadPool::ParallelFor(uint64_t n, const ExecutionContext& ctx,
+                               const ChunkBody& body) {
+  // With nothing to check the sliced wrapper is pure overhead.
+  if (ctx.unlimited() && !FaultInjector::Enabled()) {
+    ParallelFor(n, body);
+    return Status::Ok();
+  }
+
+  // One status slot per chunk, merged in worker order after the barrier so
+  // a multi-failure run reports deterministically.
+  std::vector<Status> failures(num_threads_);
+  std::atomic<bool> stop{false};
+  const bool faults = FaultInjector::Enabled();
+
+  ParallelFor(n, [&](unsigned chunk, uint64_t begin, uint64_t end) {
+    for (uint64_t s = begin; s < end; s += kSliceItems) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      Status health = ctx.CheckHealth();
+      if (!health.ok()) {
+        failures[chunk] = std::move(health);
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (faults) FaultInjector::MaybeDelay("pool.chunk_delay_ms");
+      body(chunk, s, std::min(end, s + kSliceItems));
+    }
+  });
+
+  for (Status& failure : failures) {
+    if (!failure.ok()) return std::move(failure);
+  }
+  return Status::Ok();
 }
 
 }  // namespace nsky::util

@@ -35,6 +35,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/execution_context.h"
+#include "util/status.h"
+
 namespace nsky::util {
 
 class ThreadPool {
@@ -61,6 +64,32 @@ class ThreadPool {
   // of the lowest-index failing worker, if any. Not reentrant: do not call
   // ParallelFor from inside a chunk body.
   void ParallelFor(uint64_t n, const ChunkBody& body);
+
+  // Context-aware ParallelFor: identical partitioning (worker i still owns
+  // chunk i), but each chunk is executed in slices of kSliceItems and
+  // ctx.CheckHealth() runs before every slice. On the first failed check
+  // every worker stops at its next slice boundary and the failing status is
+  // returned (the lowest worker index wins when several fail -- same
+  // determinism rule as exception propagation). Items of completed slices
+  // have been processed exactly once; on an early return the remainder has
+  // not been touched, so callers must treat their outputs as partial.
+  //
+  // A run that completes (returns OK) is indistinguishable from the plain
+  // overload: slicing never changes which worker processes which item or
+  // the per-worker accumulation order, so the bit-identical-results
+  // guarantee of core/solver.h is preserved.
+  //
+  // The "pool.chunk_delay_ms" fault-injection site (util/fault_injection.h)
+  // delays every slice when armed, which is how tests make runs slow enough
+  // to trip deadlines deterministically.
+  Status ParallelFor(uint64_t n, const ExecutionContext& ctx,
+                     const ChunkBody& body);
+
+  // Slice granularity of the context-aware ParallelFor, in items. Small
+  // enough that a deadline is noticed within a few milliseconds of work on
+  // any solver loop, large enough that the per-slice check (one atomic
+  // load, one clock read) is noise.
+  static constexpr uint64_t kSliceItems = 1024;
 
   // std::thread::hardware_concurrency() with a floor of 1.
   static unsigned HardwareThreads();

@@ -1,0 +1,149 @@
+// Graceful degradation under byte budgets (core/solver.h): a kBase2Hop
+// request that cannot fit its materialized 2-hop lists falls back
+// deterministically to kFilterRefine with stats.degraded_from = "2hop" and
+// the exact skyline; a budget too small even for the fallback returns
+// kResourceExhausted.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nsky.h"
+#include "core/solver_internal.h"
+#include "graph/generators.h"
+#include "util/execution_context.h"
+
+namespace nsky::core {
+namespace {
+
+using util::ExecutionContext;
+using util::StatusCode;
+
+graph::Graph TestGraph() { return graph::MakeChungLuPowerLaw(400, 2.3, 7, 13); }
+
+TEST(EstimateBase2HopBytes, GrowsWithTwoHopVolume) {
+  SolverOptions options;
+  options.use_bloom = false;
+  graph::Graph sparse = graph::MakeErdosRenyi(200, 0.02, 3);
+  graph::Graph dense = graph::MakeErdosRenyi(200, 0.30, 3);
+  EXPECT_LT(internal::EstimateBase2HopBytes(sparse, options),
+            internal::EstimateBase2HopBytes(dense, options));
+}
+
+TEST(EstimateBase2HopBytes, BloomAddsToTheEstimate) {
+  graph::Graph g = TestGraph();
+  SolverOptions with_bloom;
+  SolverOptions without_bloom;
+  without_bloom.use_bloom = false;
+  EXPECT_GT(internal::EstimateBase2HopBytes(g, with_bloom),
+            internal::EstimateBase2HopBytes(g, without_bloom));
+}
+
+TEST(Degradation, Base2HopUnderBudgetFallsBackToFilterRefine) {
+  graph::Graph g = TestGraph();
+  SolverOptions options;
+  options.algorithm = Algorithm::kBase2Hop;
+  const SkylineResult oracle = Solve(g, SolverOptions{});  // filter-refine
+  // Below the 2-hop estimate but plenty for filter-refine's structures.
+  ExecutionContext ctx;
+  ctx.set_byte_budget(internal::EstimateBase2HopBytes(g, options) - 1);
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    options.threads = threads;
+    util::Result<SkylineResult> run = SolveOrError(g, options, ctx);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.value().stats.degraded_from, "2hop") << threads;
+    EXPECT_EQ(run.value().skyline, oracle.skyline) << threads;
+    EXPECT_EQ(run.value().dominator, oracle.dominator) << threads;
+  }
+}
+
+TEST(Degradation, GenerousBudgetDoesNotDegrade) {
+  graph::Graph g = TestGraph();
+  SolverOptions options;
+  options.algorithm = Algorithm::kBase2Hop;
+  ExecutionContext ctx;
+  ctx.set_byte_budget(internal::EstimateBase2HopBytes(g, options) * 2);
+  util::Result<SkylineResult> run = SolveOrError(g, options, ctx);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run.value().stats.degraded_from.empty());
+  EXPECT_EQ(run.value().skyline, Solve(g, SolverOptions{}).skyline);
+}
+
+TEST(Degradation, TinyBudgetExhaustsEvenTheFallback) {
+  graph::Graph g = TestGraph();
+  SolverOptions options;
+  options.algorithm = Algorithm::kBase2Hop;
+  ExecutionContext ctx;
+  ctx.set_byte_budget(16);  // not even the dominator array fits
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    options.threads = threads;
+    SkylineResult r;
+    util::Status s = SolveInto(g, options, ctx, &r);
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << threads;
+    EXPECT_TRUE(r.skyline.empty());
+    EXPECT_TRUE(r.dominator.empty());
+    EXPECT_EQ(r.stats.degraded_from, "2hop");
+  }
+}
+
+TEST(Degradation, TinyBudgetExhaustsEveryAlgorithm) {
+  graph::Graph g = TestGraph();
+  ExecutionContext ctx;
+  ctx.set_byte_budget(16);
+  for (Algorithm algorithm :
+       {Algorithm::kFilterRefine, Algorithm::kBaseSky, Algorithm::kBaseCSet}) {
+    SolverOptions options;
+    options.algorithm = algorithm;
+    SkylineResult r;
+    util::Status s = SolveInto(g, options, ctx, &r);
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted)
+        << AlgorithmName(algorithm);
+    EXPECT_TRUE(r.stats.degraded_from.empty()) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(Degradation, FilterRefineSkipsBloomUnderTightBudget) {
+  // A budget that fits filter-refine's mandatory structures but not its
+  // bloom block: the solver drops the bloom pre-test, not the run. The
+  // skyline is exact either way (the bloom is a pure pre-filter).
+  graph::Graph g = TestGraph();
+  SolverOptions options;  // kFilterRefine
+  const SkylineResult oracle = Solve(g, options);
+  // The ledger's peak without bloom is a safe "mandatory" proxy.
+  SolverOptions no_bloom = options;
+  no_bloom.use_bloom = false;
+  const uint64_t mandatory = Solve(g, no_bloom).stats.aux_peak_bytes;
+  ExecutionContext ctx;
+  ctx.set_byte_budget(mandatory + 64);  // headroom far below the bloom size
+  util::Result<SkylineResult> run = SolveOrError(g, options, ctx);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().skyline, oracle.skyline);
+  EXPECT_EQ(run.value().stats.bloom_prunes, 0u);
+  EXPECT_TRUE(run.value().stats.degraded_from.empty());
+}
+
+TEST(Degradation, DegradationDecisionIsThreadCountInvariant) {
+  // The fall-back decision is made from a deterministic upfront estimate,
+  // so the same budget always picks the same path regardless of threads.
+  graph::Graph g = TestGraph();
+  SolverOptions options;
+  options.algorithm = Algorithm::kBase2Hop;
+  const uint64_t estimate = internal::EstimateBase2HopBytes(g, options);
+  for (uint64_t budget : {estimate - 1, estimate, estimate + 1}) {
+    std::vector<std::string> paths;
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      options.threads = threads;
+      ExecutionContext ctx;
+      ctx.set_byte_budget(budget);
+      util::Result<SkylineResult> run = SolveOrError(g, options, ctx);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      paths.push_back(run.value().stats.degraded_from);
+    }
+    EXPECT_EQ(paths[0], paths[1]) << "budget " << budget;
+    EXPECT_EQ(paths[0], paths[2]) << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace nsky::core

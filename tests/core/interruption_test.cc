@@ -1,0 +1,201 @@
+// Interruption contract of the hardened runtime (core/solver.h):
+//  * cancellation and deadlines abort a run promptly with the right code,
+//  * partial results are well-defined (empty skyline, populated stats),
+//  * a run that completes under a context is bit-identical to plain Solve()
+//    at every thread count.
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nsky.h"
+#include "graph/generators.h"
+#include "testing/fixtures.h"
+#include "util/execution_context.h"
+#include "util/fault_injection.h"
+
+namespace nsky::core {
+namespace {
+
+using nsky::testing::GraphCase;
+using nsky::testing::GraphCaseName;
+using nsky::testing::SmallGraphCases;
+using util::CancelToken;
+using util::ExecutionContext;
+using util::FaultInjector;
+using util::StatusCode;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kFilterRefine, Algorithm::kBaseSky, Algorithm::kBaseCSet,
+    Algorithm::kBase2Hop};
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 8};
+
+// On failure the partial-result contract holds: empty outputs, stamped
+// configuration, and a populated (possibly zero) stats block.
+void ExpectWellFormedPartial(const SkylineResult& r, uint32_t threads) {
+  EXPECT_TRUE(r.skyline.empty());
+  EXPECT_TRUE(r.dominator.empty());
+  EXPECT_EQ(r.stats.threads, threads);
+  EXPECT_GE(r.stats.seconds, 0.0);
+}
+
+class Interruption : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(Interruption, PreCancelledRunReturnsCancelled) {
+  graph::Graph g = GetParam().make(7);
+  CancelToken token;
+  token.Cancel();
+  ExecutionContext ctx;
+  ctx.set_cancel_token(&token);
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (uint32_t threads : kThreadCounts) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      SkylineResult r;
+      util::Status s = SolveInto(g, options, ctx, &r);
+      EXPECT_EQ(s.code(), StatusCode::kCancelled)
+          << AlgorithmName(algorithm) << " threads " << threads;
+      ExpectWellFormedPartial(r, threads);
+    }
+  }
+}
+
+TEST_P(Interruption, ExpiredDeadlineReturnsDeadlineExceeded) {
+  graph::Graph g = GetParam().make(7);
+  ExecutionContext ctx;
+  ctx.set_deadline(ExecutionContext::Clock::now() -
+                   std::chrono::milliseconds(1));
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (uint32_t threads : kThreadCounts) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      SkylineResult r;
+      util::Status s = SolveInto(g, options, ctx, &r);
+      EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded)
+          << AlgorithmName(algorithm) << " threads " << threads;
+      ExpectWellFormedPartial(r, threads);
+    }
+  }
+}
+
+TEST_P(Interruption, CompletedRunMatchesPlainSolve) {
+  // A generous context must not perturb the bit-identical contract.
+  graph::Graph g = GetParam().make(42);
+  ExecutionContext ctx;
+  ctx.set_timeout_ms(600000);
+  CancelToken token;  // live but never cancelled
+  ctx.set_cancel_token(&token);
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SolverOptions options;
+    options.algorithm = algorithm;
+    options.threads = 1;
+    const SkylineResult base = Solve(g, options);
+    for (uint32_t threads : kThreadCounts) {
+      options.threads = threads;
+      util::Result<SkylineResult> run = SolveOrError(g, options, ctx);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run.value().skyline, base.skyline)
+          << AlgorithmName(algorithm) << " threads " << threads;
+      EXPECT_EQ(run.value().dominator, base.dominator);
+      EXPECT_EQ(run.value().stats.pairs_examined, base.stats.pairs_examined);
+      EXPECT_EQ(run.value().stats.aux_peak_bytes, base.stats.aux_peak_bytes);
+      EXPECT_TRUE(run.value().stats.degraded_from.empty());
+    }
+  }
+}
+
+TEST_P(Interruption, MidSolveCancellationAborts) {
+  // A sibling thread cancels shortly after the solve starts; the run must
+  // come back cancelled (or finished, on a tiny graph) and well-formed.
+  graph::Graph g = GetParam().make(3);
+  for (uint32_t threads : kThreadCounts) {
+    CancelToken token;
+    ExecutionContext ctx;
+    ctx.set_cancel_token(&token);
+    SolverOptions options;
+    options.algorithm = Algorithm::kBaseSky;
+    options.threads = threads;
+    std::thread canceller([&token] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      token.Cancel();
+    });
+    SkylineResult r;
+    util::Status s = SolveInto(g, options, ctx, &r);
+    canceller.join();
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kCancelled);
+      ExpectWellFormedPartial(r, threads);
+    } else {
+      EXPECT_EQ(r.skyline, Solve(g, options).skyline);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphFamilies, Interruption,
+                         ::testing::ValuesIn(SmallGraphCases()),
+                         GraphCaseName);
+
+TEST(InterruptionLargeGraph, OneMsDeadlineReturnsPromptly) {
+  // Acceptance bar: a 1ms deadline on a >= 100k-vertex graph comes back
+  // kDeadlineExceeded within ~100ms at every thread count. The chunk-delay
+  // fault keeps even the fastest scan from finishing inside 1ms.
+  graph::Graph g = graph::MakeChungLuPowerLaw(120000, 2.5, 8, 9);
+  ASSERT_GE(g.NumVertices(), 100000u);
+  ASSERT_TRUE(FaultInjector::ArmForTest("pool.chunk_delay_ms=2"));
+  for (uint32_t threads : kThreadCounts) {
+    SolverOptions options;
+    options.algorithm = Algorithm::kFilterRefine;
+    options.threads = threads;
+    ExecutionContext ctx;
+    ctx.set_timeout_ms(1);
+    const auto start = std::chrono::steady_clock::now();
+    SkylineResult r;
+    util::Status s = SolveInto(g, options, ctx, &r);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << threads;
+    // Generous 10x headroom over the 100ms bar to stay robust on loaded CI.
+    EXPECT_LE(elapsed.count(), 1000) << "threads " << threads;
+    ExpectWellFormedPartial(r, threads);
+  }
+  FaultInjector::Disarm();
+}
+
+TEST(InterruptionFaults, ChunkDelayStretchesRuntimeDeterministically) {
+  // The delay site slows execution without changing the answer.
+  graph::Graph g = graph::MakeErdosRenyi(300, 0.05, 5);
+  SolverOptions options;
+  options.threads = 2;
+  const SkylineResult base = Solve(g, options);
+  ASSERT_TRUE(FaultInjector::ArmForTest("pool.chunk_delay_ms=1"));
+  ExecutionContext ctx;
+  ctx.set_timeout_ms(600000);
+  util::Result<SkylineResult> run = SolveOrError(g, options, ctx);
+  FaultInjector::Disarm();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().skyline, base.skyline);
+  EXPECT_EQ(run.value().dominator, base.dominator);
+}
+
+TEST(InterruptionFaults, BudgetFaultSiteTripsBudgetedSolve) {
+  graph::Graph g = graph::MakeErdosRenyi(200, 0.05, 5);
+  ASSERT_TRUE(FaultInjector::ArmForTest("ctx.budget=1"));
+  ExecutionContext ctx;
+  ctx.set_byte_budget(uint64_t{1} << 40);  // huge: only the fault can trip it
+  SolverOptions options;
+  SkylineResult r;
+  util::Status s = SolveInto(g, options, ctx, &r);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // The infallible wrapper must remain immune to the armed site.
+  SkylineResult plain = Solve(g, options);
+  FaultInjector::Disarm();
+  EXPECT_FALSE(plain.skyline.empty());
+}
+
+}  // namespace
+}  // namespace nsky::core

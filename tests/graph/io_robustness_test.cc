@@ -1,0 +1,129 @@
+// Malformed-input corpus for the edge-list loaders plus the IO fault sites.
+//
+// Strict mode (default) must reject every corrupt line with a line-numbered
+// kInvalidArgument; permissive mode must skip and count the same lines and
+// still build the graph from the well-formed remainder.
+#include "graph/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/fault_injection.h"
+
+namespace nsky::graph {
+namespace {
+
+struct BadLine {
+  const char* name;
+  const char* text;       // one corrupt data line
+  const char* fragment;   // expected substring of the strict-mode message
+};
+
+// One entry per malformation class the loader distinguishes.
+const BadLine kCorpus[] = {
+    {"missing_column", "17", "expected two vertex labels"},
+    {"garbage_token", "0 abc", "malformed vertex label"},
+    {"garbage_first_token", "x7 3", "malformed vertex label"},
+    {"trailing_junk_in_label", "0 1z", "malformed vertex label"},
+    {"negative_first_id", "-1 2", "negative vertex id"},
+    {"negative_second_id", "0 -2", "negative vertex id"},
+    {"uint32_overflow", "0 4294967296", "overflows uint32_t"},
+    {"uint64_overflow", "0 99999999999999999999", "malformed vertex label"},
+    {"float_label", "0 1.5e3", "malformed vertex label"},
+};
+
+TEST(EdgeListCorpus, StrictModeRejectsWithLineNumbers) {
+  for (const BadLine& bad : kCorpus) {
+    // The corrupt line sits at line 3, after a comment and a good edge.
+    const std::string text =
+        std::string("# header\n0 1\n") + bad.text + "\n1 2\n";
+    auto r = ParseEdgeList(text);
+    ASSERT_FALSE(r.ok()) << bad.name;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument)
+        << bad.name;
+    EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+        << bad.name << ": " << r.status().message();
+    EXPECT_NE(r.status().message().find(bad.fragment), std::string::npos)
+        << bad.name << ": " << r.status().message();
+  }
+}
+
+TEST(EdgeListCorpus, PermissiveModeSkipsAndCounts) {
+  EdgeListOptions permissive;
+  permissive.strict = false;
+  for (const BadLine& bad : kCorpus) {
+    const std::string text =
+        std::string("# header\n0 1\n") + bad.text + "\n1 2\n";
+    EdgeListReport report;
+    auto r = ParseEdgeList(text, permissive, &report);
+    ASSERT_TRUE(r.ok()) << bad.name << ": " << r.status().ToString();
+    EXPECT_EQ(report.skipped_lines, 1u) << bad.name;
+    EXPECT_EQ(report.edges_added, 2u) << bad.name;
+    EXPECT_EQ(report.lines, 4u) << bad.name;
+    EXPECT_EQ(r.value().NumEdges(), 2u) << bad.name;
+  }
+}
+
+TEST(EdgeListCorpus, PermissiveModeCountsEverySkip) {
+  EdgeListOptions permissive;
+  permissive.strict = false;
+  std::string text = "0 1\n";
+  for (const BadLine& bad : kCorpus) text += std::string(bad.text) + "\n";
+  EdgeListReport report;
+  auto r = ParseEdgeList(text, permissive, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(report.skipped_lines, std::size(kCorpus));
+  EXPECT_EQ(report.edges_added, 1u);
+}
+
+TEST(EdgeListCorpus, MaxVertexIdIsAccepted) {
+  auto r = ParseEdgeList("0 4294967295\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().NumVertices(), 2u);
+}
+
+TEST(EdgeListCorpus, ReportFilledOnStrictFailure) {
+  EdgeListReport report;
+  auto r = ParseEdgeList("0 1\n1 2\nbad\n", EdgeListOptions{}, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(report.lines, 3u);
+  EXPECT_EQ(report.edges_added, 2u);
+}
+
+class IoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Disarm(); }
+  void TearDown() override { util::FaultInjector::Disarm(); }
+};
+
+TEST_F(IoFaultTest, ShortReadSurfacesAsIoError) {
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("io.short_read=3"));
+  // Comments and blanks do not count as data lines: the third *data* line
+  // trips the fault.
+  auto r = ParseEdgeList("# c\n0 1\n\n1 2\n2 3\n3 4\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("short read"), std::string::npos);
+}
+
+TEST_F(IoFaultTest, ShortWriteSurfacesAsIoError) {
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("io.short_write=2"));
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::string path = ::testing::TempDir() + "/nsky_short_write.txt";
+  util::Status s = SaveEdgeList(g, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kIoError);
+  EXPECT_NE(s.message().find("short write"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFaultTest, DisarmedFaultsDoNotFire) {
+  auto r = ParseEdgeList("0 1\n1 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumEdges(), 2u);
+}
+
+}  // namespace
+}  // namespace nsky::graph

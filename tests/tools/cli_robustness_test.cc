@@ -1,0 +1,177 @@
+// CLI surface of the hardened runtime: --timeout-ms / --max-memory-mb /
+// --strict-io flags, the distinct failure exit codes, and the stable
+// nsky.error.v1 JSON emitted on --json failures.
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fault_injection.h"
+
+namespace nsky::tools {
+namespace {
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunTool(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+
+class CliRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Disarm(); }
+  void TearDown() override { util::FaultInjector::Disarm(); }
+};
+
+TEST_F(CliRobustness, GenerousLimitsSucceed) {
+  CliRun r = RunTool({"skyline", "--generate", "ba:200:3:7", "--timeout-ms",
+                      "600000", "--max-memory-mb", "4096"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find(" of 200 vertices"), std::string::npos);
+}
+
+TEST_F(CliRobustness, TimeoutExitsWithCode4) {
+  // The chunk-delay fault guarantees the solve cannot finish within 1ms.
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("pool.chunk_delay_ms=5"));
+  CliRun r = RunTool(
+      {"skyline", "--generate", "ba:5000:3:7", "--timeout-ms", "1"});
+  EXPECT_EQ(r.exit_code, 4) << r.err;
+  EXPECT_NE(r.err.find("DEADLINE_EXCEEDED"), std::string::npos) << r.err;
+  EXPECT_EQ(r.out.find("skyline"), std::string::npos);  // no partial output
+}
+
+TEST_F(CliRobustness, TimeoutWithJsonEmitsErrorSchema) {
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("pool.chunk_delay_ms=5"));
+  CliRun r = RunTool({"skyline", "--generate", "ba:5000:3:7", "--timeout-ms",
+                      "1", "--json"});
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.out.find("\"schema\":\"nsky.error.v1\""), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"command\":\"skyline\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"code\":\"DEADLINE_EXCEEDED\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"exit_code\":4"), std::string::npos);
+  // The error document replaces, not accompanies, the result document.
+  EXPECT_EQ(r.out.find("nsky.skyline.v1"), std::string::npos);
+}
+
+TEST_F(CliRobustness, MemoryBudgetExitsWithCode6) {
+  // The budget fault site trips the first CheckBudget of any budgeted run,
+  // independent of graph size.
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("ctx.budget=1"));
+  CliRun r = RunTool({"skyline", "--generate", "ba:5000:3:7", "--algo", "base",
+                      "--max-memory-mb", "1024"});
+  EXPECT_EQ(r.exit_code, 6) << r.err;
+  EXPECT_NE(r.err.find("RESOURCE_EXHAUSTED"), std::string::npos) << r.err;
+}
+
+TEST_F(CliRobustness, MemoryBudgetJsonErrorSchema) {
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("ctx.budget=1"));
+  CliRun r = RunTool({"candidates", "--generate", "ba:2000:3:7",
+                      "--max-memory-mb", "1024", "--json"});
+  EXPECT_EQ(r.exit_code, 6);
+  EXPECT_NE(r.out.find("\"schema\":\"nsky.error.v1\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"command\":\"candidates\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"code\":\"RESOURCE_EXHAUSTED\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"exit_code\":6"), std::string::npos);
+}
+
+TEST_F(CliRobustness, TwoHopDegradesUnderBudgetAndStaysExact) {
+  // A modest budget forces 2hop onto the filter-refine path; the JSON
+  // records where the run degraded from and the skyline is unchanged.
+  CliRun full = RunTool({"skyline", "--generate", "ba:3000:4:7", "--algo",
+                         "filter-refine", "--json"});
+  ASSERT_EQ(full.exit_code, 0);
+  CliRun r = RunTool({"skyline", "--generate", "ba:3000:4:7", "--algo", "2hop",
+                      "--max-memory-mb", "1", "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"degraded_from\":\"2hop\""), std::string::npos)
+      << r.out;
+  // Same members array as the native filter-refine run.
+  auto members = [](const std::string& json) {
+    size_t b = json.find("\"members\":");
+    size_t e = json.find(']', b);
+    return json.substr(b, e - b);
+  };
+  EXPECT_EQ(members(r.out), members(full.out));
+}
+
+TEST_F(CliRobustness, BadLimitValuesAreUsageErrors) {
+  for (auto args : std::vector<std::vector<std::string>>{
+           {"skyline", "--generate", "cycle:10", "--timeout-ms", "abc"},
+           {"skyline", "--generate", "cycle:10", "--timeout-ms", "-5"},
+           {"skyline", "--generate", "cycle:10", "--max-memory-mb", "x"},
+           {"skyline", "--generate", "cycle:10", "--max-memory-mb", "0"}}) {
+    CliRun r = RunTool(args);
+    EXPECT_EQ(r.exit_code, 2) << args[3] << "=" << args[4];
+    EXPECT_NE(r.err.find("error:"), std::string::npos);
+  }
+}
+
+TEST_F(CliRobustness, JoinRejectsLimits) {
+  CliRun r = RunTool({"skyline", "--generate", "cycle:10", "--algo", "join",
+                      "--timeout-ms", "1000"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("not supported"), std::string::npos);
+}
+
+TEST_F(CliRobustness, StrictIoRejectsMalformedFileByDefault) {
+  std::string path =
+      WriteTempFile("nsky_cli_bad.txt", "0 1\n1 garbage\n1 2\n");
+  CliRun r = RunTool({"stats", "--input", path});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("line 2"), std::string::npos) << r.err;
+  std::remove(path.c_str());
+}
+
+TEST_F(CliRobustness, PermissiveIoSkipsAndReports) {
+  std::string path =
+      WriteTempFile("nsky_cli_bad2.txt", "0 1\n1 garbage\n1 2\n");
+  CliRun r = RunTool({"stats", "--input", path, "--strict-io", "no"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("n=3"), std::string::npos);
+  EXPECT_NE(r.err.find("skipped 1 malformed line"), std::string::npos)
+      << r.err;
+  std::remove(path.c_str());
+}
+
+TEST_F(CliRobustness, BadStrictIoValueIsUsageError) {
+  CliRun r = RunTool(
+      {"stats", "--generate", "cycle:5", "--strict-io", "maybe"});
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(CliRobustness, ShortReadFaultIsRuntimeError) {
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("io.short_read=2"));
+  std::string path = WriteTempFile("nsky_cli_sr.txt", "0 1\n1 2\n2 3\n");
+  CliRun r = RunTool({"stats", "--input", path});
+  EXPECT_EQ(r.exit_code, 2);  // load failures are reported as usage-stage
+  EXPECT_NE(r.err.find("short read"), std::string::npos) << r.err;
+  std::remove(path.c_str());
+}
+
+TEST_F(CliRobustness, SuccessJsonCarriesDegradedFromField) {
+  CliRun r = RunTool({"skyline", "--generate", "cycle:10", "--json"});
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("\"degraded_from\":\"\""), std::string::npos) << r.out;
+}
+
+}  // namespace
+}  // namespace nsky::tools

@@ -1,0 +1,91 @@
+#include "util/execution_context.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace nsky::util {
+namespace {
+
+TEST(ExecutionContext, DefaultIsUnlimited) {
+  ExecutionContext ctx;
+  EXPECT_TRUE(ctx.unlimited());
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.has_byte_budget());
+  EXPECT_TRUE(ctx.CheckHealth().ok());
+  EXPECT_TRUE(ctx.CheckBudget(~uint64_t{0} - 1).ok());
+  EXPECT_FALSE(ctx.WouldExceedBudget(1u << 30, 1u << 30));
+}
+
+TEST(ExecutionContext, UnlimitedFactoryMatchesDefault) {
+  EXPECT_TRUE(ExecutionContext::Unlimited().unlimited());
+}
+
+TEST(ExecutionContext, CancelTokenTripsCheckHealth) {
+  CancelToken token;
+  ExecutionContext ctx;
+  ctx.set_cancel_token(&token);
+  EXPECT_FALSE(ctx.unlimited());
+  EXPECT_TRUE(ctx.CheckHealth().ok());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+  Status s = ctx.CheckHealth();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContext, ExpiredDeadlineTripsCheckHealth) {
+  ExecutionContext ctx;
+  ctx.set_deadline(ExecutionContext::Clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx.has_deadline());
+  Status s = ctx.CheckHealth();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecutionContext, FutureDeadlinePasses) {
+  ExecutionContext ctx;
+  ctx.set_timeout_ms(60000);
+  EXPECT_TRUE(ctx.CheckHealth().ok());
+}
+
+TEST(ExecutionContext, CancellationWinsOverDeadline) {
+  CancelToken token;
+  token.Cancel();
+  ExecutionContext ctx;
+  ctx.set_cancel_token(&token)
+      .set_deadline(ExecutionContext::Clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_EQ(ctx.CheckHealth().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContext, ByteBudgetTripsCheckBudget) {
+  ExecutionContext ctx;
+  ctx.set_byte_budget(1024);
+  EXPECT_TRUE(ctx.has_byte_budget());
+  EXPECT_EQ(ctx.byte_budget(), 1024u);
+  EXPECT_TRUE(ctx.CheckBudget(1024).ok());  // at the budget is fine
+  Status s = ctx.CheckBudget(1025);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecutionContext, WouldExceedBudgetIsPredictive) {
+  ExecutionContext ctx;
+  ctx.set_byte_budget(1000);
+  EXPECT_FALSE(ctx.WouldExceedBudget(400, 600));
+  EXPECT_TRUE(ctx.WouldExceedBudget(400, 601));
+}
+
+TEST(ExecutionContext, SettersChain) {
+  CancelToken token;
+  ExecutionContext ctx = ExecutionContext()
+                             .set_cancel_token(&token)
+                             .set_timeout_ms(60000)
+                             .set_byte_budget(1 << 20);
+  EXPECT_FALSE(ctx.unlimited());
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.has_byte_budget());
+  EXPECT_TRUE(ctx.CheckHealth().ok());
+}
+
+}  // namespace
+}  // namespace nsky::util

@@ -1,0 +1,83 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/execution_context.h"
+
+namespace nsky::util {
+namespace {
+
+// Every test disarms on entry and exit so suites can run in any order and
+// an aborted test cannot leak an armed site into its neighbors.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Disarm(); }
+  void TearDown() override { FaultInjector::Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault) {
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_FALSE(FaultInjector::ShouldFail("io.short_read"));
+  EXPECT_EQ(FaultInjector::DelayMs("pool.chunk_delay_ms"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ArmedSiteFailsFromThresholdOn) {
+  ASSERT_TRUE(FaultInjector::ArmForTest("io.short_read=3"));
+  EXPECT_TRUE(FaultInjector::Enabled());
+  EXPECT_FALSE(FaultInjector::ShouldFail("io.short_read"));  // hit 1
+  EXPECT_FALSE(FaultInjector::ShouldFail("io.short_read"));  // hit 2
+  EXPECT_TRUE(FaultInjector::ShouldFail("io.short_read"));   // hit 3 fires
+  EXPECT_TRUE(FaultInjector::ShouldFail("io.short_read"));   // and stays fired
+}
+
+TEST_F(FaultInjectionTest, UnarmedSiteNeverFails) {
+  ASSERT_TRUE(FaultInjector::ArmForTest("io.short_read=1"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("io.short_write"));
+}
+
+TEST_F(FaultInjectionTest, RearmingResetsHitCounters) {
+  ASSERT_TRUE(FaultInjector::ArmForTest("io.short_read=2"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("io.short_read"));
+  ASSERT_TRUE(FaultInjector::ArmForTest("io.short_read=2"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("io.short_read"));  // counter is fresh
+  EXPECT_TRUE(FaultInjector::ShouldFail("io.short_read"));
+}
+
+TEST_F(FaultInjectionTest, MultiSiteSpecParses) {
+  ASSERT_TRUE(
+      FaultInjector::ArmForTest("io.short_read=1, pool.chunk_delay_ms=7"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("io.short_read"));
+  EXPECT_EQ(FaultInjector::DelayMs("pool.chunk_delay_ms"), 7u);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecDisarms) {
+  ASSERT_TRUE(FaultInjector::ArmForTest("io.short_read=1"));
+  EXPECT_FALSE(FaultInjector::ArmForTest("io.short_read"));       // no '='
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_FALSE(FaultInjector::ArmForTest("io.short_read=zero"));  // bad value
+  EXPECT_FALSE(FaultInjector::ArmForTest("io.short_read=0"));     // zero value
+  EXPECT_FALSE(FaultInjector::ArmForTest("=3"));                  // empty site
+  EXPECT_FALSE(FaultInjector::Enabled());
+}
+
+TEST_F(FaultInjectionTest, DisarmClearsEverything) {
+  ASSERT_TRUE(FaultInjector::ArmForTest("io.short_read=1"));
+  FaultInjector::Disarm();
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_FALSE(FaultInjector::ShouldFail("io.short_read"));
+}
+
+TEST_F(FaultInjectionTest, BudgetSiteTripsOnlyBudgetedContexts) {
+  ASSERT_TRUE(FaultInjector::ArmForTest("ctx.budget=1"));
+  ExecutionContext unlimited;
+  // The infallible Solve() path runs with an unlimited context; the fault
+  // site must not reach it.
+  EXPECT_TRUE(unlimited.CheckBudget(0).ok());
+  ExecutionContext budgeted;
+  budgeted.set_byte_budget(1u << 30);
+  Status s = budgeted.CheckBudget(0);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace nsky::util

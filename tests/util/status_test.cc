@@ -25,11 +25,29 @@ TEST(Status, FactoryCodes) {
   EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusCodeName, AllNamed) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(Status, RuntimeErrorToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DEADLINE_EXCEEDED: late");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "CANCELLED: stop");
+  EXPECT_EQ(Status::ResourceExhausted("oom").ToString(),
+            "RESOURCE_EXHAUSTED: oom");
 }
 
 TEST(Result, HoldsValue) {

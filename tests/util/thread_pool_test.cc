@@ -1,10 +1,13 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "util/execution_context.h"
 
 #include <gtest/gtest.h>
 
@@ -138,6 +141,95 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
 
 TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ContextOverloadCoversEveryIndexOnce) {
+  // The sliced (context-aware) overload must visit exactly the same indices
+  // as the plain one, slice boundaries included.
+  ExecutionContext ctx;
+  ctx.set_timeout_ms(60000);  // non-unlimited so the sliced path runs
+  for (unsigned t : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(t);
+    const uint64_t n = 3 * ThreadPool::kSliceItems + 17;
+    std::vector<std::atomic<int>> hits(n);
+    Status s =
+        pool.ParallelFor(n, ctx, [&](unsigned, uint64_t begin, uint64_t end) {
+          for (uint64_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    ASSERT_TRUE(s.ok());
+    for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ContextOverloadSlicesRespectChunkBounds) {
+  // Slices stay within the worker's deterministic chunk and arrive in order.
+  ExecutionContext ctx;
+  ctx.set_timeout_ms(60000);
+  ThreadPool pool(4);
+  const uint64_t n = 4 * ThreadPool::kSliceItems + 100;
+  std::vector<uint64_t> next_begin(4);
+  for (unsigned c = 0; c < 4; ++c) {
+    next_begin[c] = ThreadPool::ChunkBegin(n, 4, c);
+  }
+  Status s = pool.ParallelFor(
+      n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
+        EXPECT_EQ(begin, next_begin[worker]);
+        EXPECT_LE(end, ThreadPool::ChunkBegin(n, 4, worker + 1));
+        EXPECT_LE(end - begin, ThreadPool::kSliceItems);
+        next_begin[worker] = end;
+      });
+  ASSERT_TRUE(s.ok());
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_EQ(next_begin[c], ThreadPool::ChunkBegin(n, 4, c + 1));
+  }
+}
+
+TEST(ThreadPoolTest, CancellationStopsBetweenSlices) {
+  CancelToken token;
+  ExecutionContext ctx;
+  ctx.set_cancel_token(&token);
+  for (unsigned t : {1u, 2u, 8u}) {
+    ThreadPool pool(t);
+    std::atomic<uint64_t> items{0};
+    const uint64_t n = 100 * ThreadPool::kSliceItems;
+    Status s = pool.ParallelFor(
+        n, ctx, [&](unsigned, uint64_t begin, uint64_t end) {
+          items.fetch_add(end - begin, std::memory_order_relaxed);
+          token.Cancel();  // first slice of any worker cancels the run
+        });
+    EXPECT_EQ(s.code(), StatusCode::kCancelled) << t;
+    // Each worker processes at most one slice after the flag flips.
+    EXPECT_LE(items.load(), uint64_t{t} * ThreadPool::kSliceItems) << t;
+  }
+}
+
+TEST(ThreadPoolTest, ExpiredDeadlineFailsBeforeAnyWork) {
+  ExecutionContext ctx;
+  ctx.set_deadline(ExecutionContext::Clock::now() -
+                   std::chrono::milliseconds(1));
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  Status s = pool.ParallelFor(
+      1 << 20, ctx, [&](unsigned, uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, UnlimitedContextMatchesPlainOverload) {
+  // Same coverage, and OK status, when the context can never fail.
+  ThreadPool pool(4);
+  const uint64_t n = 10000;
+  std::atomic<uint64_t> sum{0};
+  Status s = pool.ParallelFor(n, ExecutionContext(),
+                              [&](unsigned, uint64_t begin, uint64_t end) {
+                                for (uint64_t i = begin; i < end; ++i) {
+                                  sum.fetch_add(i, std::memory_order_relaxed);
+                                }
+                              });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
 TEST(ThreadPoolTest, ManySmallBatches) {
