@@ -2,7 +2,7 @@
 # One-command correctness gate: sanitizer Debug build + full ctest run +
 # a parallel-solver CLI smoke test.
 #
-# Usage: scripts/check.sh [--tsan | --faults] [build-dir]
+# Usage: scripts/check.sh [--tsan | --faults | --engine] [build-dir]
 #
 # Default mode configures a Debug build with AddressSanitizer + UBSan
 # (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
@@ -22,6 +22,13 @@
 # under NSKY_FAULTS-injected failures, asserting the documented exit codes
 # and the nsky.error.v1 schema. The right gate for changes to the hardened
 # runtime (deadlines, cancellation, byte budgets, fault sites).
+#
+# --engine keeps the ASan build but runs only the engine-labeled suites
+# (ctest -L engine: PreparedGraph artifact reuse, pooled workspaces,
+# warm-query equivalence, poisoned scratch) and then smoke-runs the CLI's
+# --engine/--repeat serving path, asserting warm output equals the cold
+# solve. The right gate for changes to core/engine.*, core/prepared_graph.*
+# or core/workspace.*.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +47,10 @@ for arg in "$@"; do
     --faults)
       MODE=faults
       TEST_FILTER=(-L robustness)
+      ;;
+    --engine)
+      MODE=engine
+      TEST_FILTER=(-L engine)
       ;;
     *)
       BUILD_DIR="$arg"
@@ -97,6 +108,33 @@ if [[ "$MODE" == faults ]]; then
 
   echo "check.sh: fault-injection smoke OK (exit codes 4/6, error schema," \
        "2hop degradation)"
+  exit 0
+fi
+
+if [[ "$MODE" == engine ]]; then
+  # Serving-path smoke: --repeat routes through core::Engine (first query
+  # cold, the rest warm); the warm answer must match the one-shot solve
+  # exactly, including the aux_peak_bytes ledger.
+  GEN="pl:20000:2.6:10:7"
+  COLD="$("$NSKY" skyline --generate "$GEN" --algo 2hop --threads 2 --json)"
+  WARM="$("$NSKY" skyline --generate "$GEN" --algo 2hop --threads 2 \
+    --engine --repeat 5 --json)"
+  echo "$WARM" | grep -q '"engine":true'
+  echo "$WARM" | grep -q '"repeat":5'
+  # Strip the additive engine keys and the wall-time field; everything else
+  # (skyline members, every deterministic stat) must be byte-identical.
+  NORM_COLD="$(echo "$COLD" | sed -E 's/"seconds":[0-9.e+-]+//')"
+  NORM_WARM="$(echo "$WARM" | sed -E 's/"engine":true,"repeat":5,//; s/"seconds":[0-9.e+-]+//')"
+  [[ "$NORM_COLD" == "$NORM_WARM" ]]
+
+  # --engine with --algo join is a contradiction the CLI must reject.
+  code=0
+  "$NSKY" skyline --generate ba:500:3:7 --algo join --engine \
+    2>/dev/null >/dev/null || code=$?
+  [[ "$code" == 2 ]]
+
+  echo "check.sh: engine smoke OK (--repeat 5 warm output identical to" \
+       "cold solve, join+engine rejected)"
   exit 0
 fi
 

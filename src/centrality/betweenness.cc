@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "core/filter_refine_sky.h"
+#include "core/engine.h"
+#include "core/solver.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -153,7 +154,14 @@ GroupBetweennessResult GreedyGroupBetweenness(const Graph& g, uint32_t k,
 }
 
 GroupBetweennessResult NeiSkyGB(const Graph& g, uint32_t k) {
-  return GreedyGroupBetweenness(g, k, core::FilterRefineSky(g).skyline);
+  return GreedyGroupBetweenness(g, k, core::Solve(g).skyline);
+}
+
+GroupBetweennessResult NeiSkyGB(core::Engine& engine, uint32_t k) {
+  // Shared pool: the engine's cached skyline, so running NeiSkyGB after
+  // NeiSkyGC/GH (or any other consumer) on the same engine does not
+  // recompute it.
+  return GreedyGroupBetweenness(engine.graph(), k, engine.SkylineCache());
 }
 
 }  // namespace nsky::centrality

@@ -23,6 +23,10 @@
 
 #include "graph/graph.h"
 
+namespace nsky::core {
+class Engine;
+}  // namespace nsky::core
+
 namespace nsky::centrality {
 
 using graph::Graph;
@@ -54,6 +58,11 @@ GroupBetweennessResult GreedyGroupBetweenness(const Graph& g, uint32_t k,
 
 // Skyline-pruned variant (pool = neighborhood skyline).
 GroupBetweennessResult NeiSkyGB(const Graph& g, uint32_t k);
+
+// Engine-seeded variant: the pool comes from the engine's shared skyline
+// cache, fixing the historical duplicated solve when closeness/harmonic
+// greedy and group betweenness run on the same graph.
+GroupBetweennessResult NeiSkyGB(core::Engine& engine, uint32_t k);
 
 }  // namespace nsky::centrality
 

@@ -6,7 +6,8 @@
 #include "centrality/bfs.h"
 #include "centrality/centrality.h"
 #include "centrality/group_centrality.h"
-#include "core/filter_refine_sky.h"
+#include "core/engine.h"
+#include "core/solver.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -99,7 +100,8 @@ GreedyResult GreedyGroupMaximization(const Graph& g, uint32_t k,
     pool = options.pool;
   } else if (options.use_skyline_pruning) {
     util::Timer sky_timer;
-    pool = core::FilterRefineSky(g).skyline;
+    pool = options.engine != nullptr ? options.engine->SkylineCache()
+                                     : core::Solve(g).skyline;
     result.skyline_seconds = sky_timer.Seconds();
   } else {
     pool.resize(n);

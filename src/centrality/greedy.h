@@ -23,6 +23,10 @@
 
 #include "graph/graph.h"
 
+namespace nsky::core {
+class Engine;
+}  // namespace nsky::core
+
 namespace nsky::centrality {
 
 using graph::Graph;
@@ -41,6 +45,12 @@ struct GreedyOptions {
   bool lazy = false;
   // Explicit candidate pool; overrides use_skyline_pruning when non-empty.
   std::vector<VertexId> pool;
+  // Optional shared query engine. When set and use_skyline_pruning is on,
+  // the pool is read from engine->SkylineCache() instead of being solved
+  // privately, so every consumer of the engine (closeness, harmonic,
+  // betweenness, clique) computes the skyline at most once. Must serve the
+  // same graph as `g`.
+  core::Engine* engine = nullptr;
 };
 
 struct GreedyResult {

@@ -1,6 +1,7 @@
 #include "clique/nei_sky_mc.h"
 
-#include "core/filter_refine_sky.h"
+#include "core/engine.h"
+#include "core/solver.h"
 #include "util/timer.h"
 
 namespace nsky::clique {
@@ -10,7 +11,7 @@ NeiSkyMcResult NeiSkyMC(const Graph& g) {
   NeiSkyMcResult result;
 
   util::Timer sky_timer;
-  core::SkylineResult skyline = core::FilterRefineSky(g);
+  core::SkylineResult skyline = core::Solve(g);
   result.skyline_seconds = sky_timer.Seconds();
   result.skyline_size = skyline.skyline.size();
 
@@ -19,6 +20,24 @@ NeiSkyMcResult NeiSkyMC(const Graph& g) {
   // incumbent size).
   std::vector<VertexId> incumbent = HeuristicClique(g);
   result.clique = MaxCliqueSeeded(g, skyline.skyline, incumbent);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+NeiSkyMcResult NeiSkyMC(core::Engine& engine) {
+  util::Timer total;
+  NeiSkyMcResult result;
+
+  // Shared skyline pool: computed at most once per engine lifetime, no
+  // matter how many consumers (clique, centrality, setjoin) ask for it.
+  util::Timer sky_timer;
+  const std::vector<VertexId>& skyline = engine.SkylineCache();
+  result.skyline_seconds = sky_timer.Seconds();
+  result.skyline_size = skyline.size();
+
+  const Graph& g = engine.graph();
+  std::vector<VertexId> incumbent = HeuristicClique(g);
+  result.clique = MaxCliqueSeeded(g, skyline, incumbent);
   result.total_seconds = total.Seconds();
   return result;
 }

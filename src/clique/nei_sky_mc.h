@@ -13,6 +13,10 @@
 #include "clique/max_clique.h"
 #include "graph/graph.h"
 
+namespace nsky::core {
+class Engine;
+}  // namespace nsky::core
+
 namespace nsky::clique {
 
 struct NeiSkyMcResult {
@@ -27,6 +31,11 @@ struct NeiSkyMcResult {
 
 // Computes a maximum clique of g with skyline-restricted seeding.
 NeiSkyMcResult NeiSkyMC(const Graph& g);
+
+// Engine-seeded variant: reads the skyline from the engine's shared cache
+// (core::Engine::SkylineCache), so repeated invocations -- or other
+// consumers of the same engine -- compute it at most once.
+NeiSkyMcResult NeiSkyMC(core::Engine& engine);
 
 }  // namespace nsky::clique
 

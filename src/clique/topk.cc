@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "clique/max_clique.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -48,13 +48,13 @@ TopkCliquesResult TopkRounds(const Graph& g, uint32_t k, bool use_skyline) {
     // Both variants drive the same seeded branch-and-bound engine, as in
     // Sec. IV-C.3: BaseTopkMCC seeds every vertex of the remaining graph,
     // NeiSkyTopkMCC only its per-round skyline. (We recompute the skyline
-    // per round: FilterRefineSky is near-linear, whereas incremental
+    // per round: the filter-refine solve is near-linear, whereas incremental
     // maintenance under hub deletions touches 3-hop balls and measured
     // slower -- see DynamicSkyline for the streaming use case.)
     std::vector<VertexId> seeds;
     if (use_skyline) {
       util::Timer sky_timer;
-      seeds = core::FilterRefineSky(sub).skyline;
+      seeds = core::Solve(sub).skyline;
       result.skyline_seconds += sky_timer.Seconds();
     } else {
       seeds.resize(sub.NumVertices());

@@ -1,5 +1,3 @@
-#include "core/base_2hop.h"
-
 #include <algorithm>
 #include <memory>
 #include <vector>
@@ -17,7 +15,7 @@ namespace nsky::core {
 
 namespace {
 
-// Same exact verification as FilterRefineSky's NBRcheck.
+// Same exact verification as the filter-refine NBRcheck.
 bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
                         uint64_t* scanned) {
   return SortedSubsetExcept(g.Neighbors(u), g.Neighbors(w), w, scanned);
@@ -50,27 +48,37 @@ uint64_t EstimateBase2HopBytes(const Graph& g, const SolverOptions& options) {
 }
 
 util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
-                         const util::ExecutionContext& ctx,
-                         util::ThreadPool& pool, SkylineResult* result) {
+                         SolveEnv& env, SkylineResult* result) {
   NSKY_TRACE_SPAN("base_2hop");
   util::Timer timer;
+  const util::ExecutionContext& ctx = *env.ctx;
+  util::ThreadPool& pool = *env.pool;
   const VertexId n = g.NumVertices();
 
-  *result = SkylineResult{};
+  ResetResult(result);
   result->dominator.resize(n);
   std::vector<VertexId>& dominator = result->dominator;
 
   util::MemoryTally tally;
-  tally.Add(dominator.capacity() * sizeof(VertexId));
+  tally.Add(static_cast<uint64_t>(n) * sizeof(VertexId));  // dominator
 
   // ---- Materialize all 2-hop neighbor lists (the expensive part). ----
   // Slot u is written only by the worker owning u; the per-vertex lists are
-  // identical for any partition. Byte accounting is accumulated per worker
-  // and merged in worker order, so the ledger is deterministic too.
-  std::vector<std::vector<VertexId>> two_hop(n);
-  {
+  // identical for any partition. Byte accounting uses the logical list
+  // sizes, accumulated per worker and merged in worker order, so the ledger
+  // is deterministic and independent of buffer reuse. Warm runs take the
+  // PreparedGraph's cached lists and replay the build's recorded charge.
+  const std::vector<std::vector<VertexId>>* two_hop_ptr = nullptr;
+  if (env.prepared != nullptr) {
+    const PreparedGraph::TwoHopArtifacts& art = env.prepared->TwoHop(pool);
+    two_hop_ptr = &art.lists;
+    tally.Add(art.charged_bytes);
+  } else {
     NSKY_TRACE_SPAN("two_hop_build");
-    std::vector<uint64_t> bytes_per_worker(pool.num_threads(), 0);
+    std::vector<std::vector<VertexId>>& two_hop =
+        env.workspace->PrepareTwoHop(n);
+    std::vector<uint64_t>& bytes_per_worker =
+        env.workspace->PrepareWorkerBytes(pool.num_threads());
     util::Status scan = pool.ParallelFor(
         n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
           NSKY_TRACE_SPAN("two_hop_build.worker");
@@ -87,32 +95,41 @@ util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
             buffer.erase(std::unique(buffer.begin(), buffer.end()),
                          buffer.end());
             two_hop[u].assign(buffer.begin(), buffer.end());
-            bytes_per_worker[worker] +=
-                two_hop[u].capacity() * sizeof(VertexId);
+            bytes_per_worker[worker] += two_hop[u].size() * sizeof(VertexId);
           }
         });
     for (uint64_t bytes : bytes_per_worker) tally.Add(bytes);
-    tally.Add(two_hop.capacity() * sizeof(std::vector<VertexId>));
+    tally.Add(static_cast<uint64_t>(n) * sizeof(std::vector<VertexId>));
     if (!scan.ok()) {
       result->stats.seconds = timer.Seconds();
       return scan;
     }
+    two_hop_ptr = &two_hop;
   }
+  const std::vector<std::vector<VertexId>>& two_hop = *two_hop_ptr;
   if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
     result->stats.seconds = timer.Seconds();
     return s;
   }
 
   // ---- Bloom filters for every vertex. ----
-  std::unique_ptr<NeighborhoodBlooms> blooms;
+  const NeighborhoodBlooms* blooms = nullptr;
+  std::unique_ptr<NeighborhoodBlooms> owned_blooms;
   if (options.use_bloom) {
     NSKY_TRACE_SPAN("bloom_build");
-    std::vector<uint8_t> member(n, 1);
     uint32_t bits = options.bloom_bits != 0
                         ? options.bloom_bits
                         : NeighborhoodBlooms::ChooseBitsAdaptive(
                               g, options.bits_per_neighbor);
-    blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
+    if (env.prepared != nullptr) {
+      blooms = &env.prepared->FullBlooms(bits, pool);
+    } else {
+      std::vector<uint8_t>& member = env.workspace->PrepareMember(n);
+      std::fill(member.begin(), member.end(), 1);
+      owned_blooms =
+          std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
+      blooms = owned_blooms.get();
+    }
     tally.Add(blooms->MemoryBytes());
   }
   if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
@@ -130,7 +147,8 @@ util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
   // only their own chunk's slots.
   {
     NSKY_TRACE_SPAN("verify");
-    std::vector<SkylineStats> per_worker(pool.num_threads());
+    std::vector<SkylineStats>& per_worker =
+        env.workspace->PrepareWorkerStats(pool.num_threads());
     util::Status scan = pool.ParallelFor(
         n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
       NSKY_TRACE_SPAN("verify.worker");
@@ -148,8 +166,9 @@ util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
           // dominates.
           if (g.Degree(w) == deg_u && w > u) continue;
           // The closed-neighborhood variant is required here: unlike in
-          // FilterRefineSky, w may be adjacent to u (no filter phase ran),
-          // and then w's own bit legitimately covers u's neighbor w.
+          // the filter-refine path, w may be adjacent to u (no filter
+          // phase ran), and then w's own bit legitimately covers u's
+          // neighbor w.
           if (blooms != nullptr && !blooms->SubsetTestClosed(u, w)) {
             ++stats.bloom_prunes;
             continue;
@@ -175,7 +194,7 @@ util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
   for (VertexId u = 0; u < n; ++u) {
     if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  tally.Add(result->skyline.size() * sizeof(VertexId));
   result->stats.aux_peak_bytes = tally.peak_bytes();
   result->stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("base_2hop", result->stats);
@@ -183,11 +202,5 @@ util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
 }
 
 }  // namespace internal
-
-SkylineResult Base2Hop(const Graph& g, const FilterRefineOptions& options) {
-  SolverOptions resolved = options;
-  resolved.algorithm = Algorithm::kBase2Hop;
-  return Solve(g, resolved);
-}
 
 }  // namespace nsky::core

@@ -1,5 +1,3 @@
-#include "core/base_cset.h"
-
 #include <vector>
 
 #include "core/filter_phase.h"
@@ -15,20 +13,24 @@ namespace nsky::core {
 namespace internal {
 
 util::Status RunBaseCSet(const Graph& g, const SolverOptions& options,
-                         const util::ExecutionContext& ctx,
-                         util::ThreadPool& pool, SkylineResult* result) {
+                         SolveEnv& env, SkylineResult* result) {
   NSKY_TRACE_SPAN("base_cset");
   util::Timer timer;
+  const util::ExecutionContext& ctx = *env.ctx;
+  util::ThreadPool& pool = *env.pool;
   const VertexId n = g.NumVertices();
 
-  if (util::Status s = RunFilterPhase(g, options, ctx, pool, result);
+  std::vector<VertexId> candidate_storage;
+  const std::vector<VertexId>* candidates_ptr = nullptr;
+  if (util::Status s = PrepareFilterOutput(g, options, env, result,
+                                           &candidate_storage,
+                                           &candidates_ptr);
       !s.ok()) {
     result->stats.seconds = timer.Seconds();
     return s;
   }
+  const std::vector<VertexId>& candidates = *candidates_ptr;
   std::vector<VertexId>& dominator = result->dominator;
-  const std::vector<VertexId> candidates = std::move(result->skyline);
-  result->skyline.clear();
   const SkylineStats after_filter = result->stats;
 
   util::MemoryTally tally;
@@ -46,19 +48,22 @@ util::Status RunBaseCSet(const Graph& g, const SolverOptions& options,
   // worker writes only its own candidates' dominator slots.
   {
     NSKY_TRACE_SPAN("refine");
-    std::vector<SkylineStats> per_worker(pool.num_threads());
-    std::vector<std::vector<uint32_t>> count_per_worker(pool.num_threads());
-    std::vector<std::vector<VertexId>> touched_per_worker(pool.num_threads());
+    const unsigned workers = pool.num_threads();
+    std::vector<SkylineStats>& per_worker =
+        env.workspace->PrepareWorkerStats(workers);
+    std::vector<std::vector<uint32_t>>& count_per_worker =
+        env.workspace->PrepareWorkerCounts(workers, n);
+    std::vector<std::vector<VertexId>>& touched_per_worker =
+        env.workspace->PrepareWorkerTouched(workers);
     util::Status scan = pool.ParallelFor(
         candidates.size(), ctx,
         [&](unsigned worker, uint64_t begin, uint64_t end) {
           NSKY_TRACE_SPAN("refine.worker");
           SkylineStats& stats = per_worker[worker];
           // Per-worker scratch (see RunBaseSky): the sliced ParallelFor
-          // invokes the body once per slice, so the O(n) counters must not
-          // be reallocated inside it.
+          // invokes the body once per slice, so the O(n) counters live in
+          // workspace slots, zero-filled by Prepare* before the scan.
           std::vector<uint32_t>& count = count_per_worker[worker];
-          if (count.empty()) count.assign(n, 0);
           std::vector<VertexId>& touched = touched_per_worker[worker];
           touched.reserve(256);
           for (uint64_t i = begin; i < end; ++i) {
@@ -98,7 +103,7 @@ util::Status RunBaseCSet(const Graph& g, const SolverOptions& options,
   for (VertexId u = 0; u < n; ++u) {
     if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  tally.Add(result->skyline.size() * sizeof(VertexId));
   result->stats.aux_peak_bytes = tally.peak_bytes();
   result->stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("base_cset", result->stats);
@@ -106,17 +111,5 @@ util::Status RunBaseCSet(const Graph& g, const SolverOptions& options,
 }
 
 }  // namespace internal
-
-SkylineResult BaseCSet(const Graph& g) {
-  SolverOptions options;
-  options.algorithm = Algorithm::kBaseCSet;
-  return Solve(g, options);
-}
-
-SkylineResult BaseCSet(const Graph& g, const SolverOptions& options) {
-  SolverOptions resolved = options;
-  resolved.algorithm = Algorithm::kBaseCSet;
-  return Solve(g, resolved);
-}
 
 }  // namespace nsky::core

@@ -1,5 +1,3 @@
-#include "core/base_sky.h"
-
 #include <vector>
 
 #include "core/solver_internal.h"
@@ -14,19 +12,20 @@ namespace nsky::core {
 namespace internal {
 
 util::Status RunBaseSky(const Graph& g, const SolverOptions& options,
-                        const util::ExecutionContext& ctx,
-                        util::ThreadPool& pool, SkylineResult* result) {
+                        SolveEnv& env, SkylineResult* result) {
   (void)options;
   NSKY_TRACE_SPAN("base_sky");
   util::Timer timer;
+  const util::ExecutionContext& ctx = *env.ctx;
+  util::ThreadPool& pool = *env.pool;
   const VertexId n = g.NumVertices();
 
-  *result = SkylineResult{};
+  ResetResult(result);
   result->dominator.resize(n);
   std::vector<VertexId>& dominator = result->dominator;
 
   util::MemoryTally tally;
-  tally.Add(dominator.capacity() * sizeof(VertexId));
+  tally.Add(static_cast<uint64_t>(n) * sizeof(VertexId));  // dominator
   // Per-worker intersection counters; charged once (threads=1 footprint)
   // to keep the ledger thread-count-invariant.
   tally.Add(static_cast<uint64_t>(n) * sizeof(uint32_t));
@@ -41,20 +40,26 @@ util::Status RunBaseSky(const Graph& g, const SolverOptions& options,
   // order (v ascending in N(u); within v, N(v) ascending then v itself)
   // becomes dominator[u]. No cross-vertex marking, so workers write only
   // their own chunk's slots and the result is partition-independent.
-  std::vector<SkylineStats> per_worker(pool.num_threads());
-  std::vector<std::vector<uint32_t>> count_per_worker(pool.num_threads());
-  std::vector<std::vector<VertexId>> touched_per_worker(pool.num_threads());
+  //
+  // The counters must be zero-filled by Prepare*, not lazily in-run: a
+  // cancelled earlier query can abandon them mid-sparse-reset.
+  const unsigned workers = pool.num_threads();
+  std::vector<SkylineStats>& per_worker =
+      env.workspace->PrepareWorkerStats(workers);
+  std::vector<std::vector<uint32_t>>& count_per_worker =
+      env.workspace->PrepareWorkerCounts(workers, n);
+  std::vector<std::vector<VertexId>>& touched_per_worker =
+      env.workspace->PrepareWorkerTouched(workers);
   util::Status scan = pool.ParallelFor(
       n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
     NSKY_TRACE_SPAN("base_sky.worker");
     SkylineStats& stats = per_worker[worker];
     // Worker-local counters, reset sparsely via `touched` so the cost per
-    // vertex stays proportional to the explored 2-hop volume. Kept outside
-    // the body in per-worker slots because the sliced ParallelFor invokes
+    // vertex stays proportional to the explored 2-hop volume. Kept in
+    // per-worker workspace slots because the sliced ParallelFor invokes
     // the body once per slice; worker i runs its slices sequentially, so
-    // the lazy init is race-free.
+    // the shared slot is race-free.
     std::vector<uint32_t>& count = count_per_worker[worker];
-    if (count.empty()) count.assign(n, 0);
     std::vector<VertexId>& touched = touched_per_worker[worker];
     touched.reserve(256);
     for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
@@ -93,7 +98,7 @@ util::Status RunBaseSky(const Graph& g, const SolverOptions& options,
   for (VertexId u = 0; u < n; ++u) {
     if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  tally.Add(result->skyline.size() * sizeof(VertexId));
   result->stats.aux_peak_bytes = tally.peak_bytes();
   result->stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("base_sky", result->stats);
@@ -101,17 +106,5 @@ util::Status RunBaseSky(const Graph& g, const SolverOptions& options,
 }
 
 }  // namespace internal
-
-SkylineResult BaseSky(const Graph& g) {
-  SolverOptions options;
-  options.algorithm = Algorithm::kBaseSky;
-  return Solve(g, options);
-}
-
-SkylineResult BaseSky(const Graph& g, const SolverOptions& options) {
-  SolverOptions resolved = options;
-  resolved.algorithm = Algorithm::kBaseSky;
-  return Solve(g, resolved);
-}
 
 }  // namespace nsky::core

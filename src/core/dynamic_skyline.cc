@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "core/subset_check.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -20,7 +20,7 @@ DynamicSkyline::DynamicSkyline(const Graph& g)
     adj_[u].assign(nbrs.begin(), nbrs.end());
   }
   num_edges_ = g.NumEdges();
-  for (VertexId u : FilterRefineSky(g).skyline) in_skyline_[u] = 1;
+  for (VertexId u : Solve(g).skyline) in_skyline_[u] = 1;
 }
 
 bool DynamicSkyline::HasEdge(VertexId u, VertexId v) const {
@@ -93,6 +93,7 @@ bool DynamicSkyline::AddEdge(VertexId u, VertexId v) {
   Collect2Hop(u, &affected);
   Collect2Hop(v, &affected);
   RecheckAll(&affected);
+  NotifyInvalidation(/*bulk=*/false);
   return true;
 }
 
@@ -112,7 +113,58 @@ bool DynamicSkyline::RemoveEdge(VertexId u, VertexId v) {
   erase_from(adj_[v], u);
   --num_edges_;
   RecheckAll(&affected);
+  NotifyInvalidation(/*bulk=*/false);
   return true;
+}
+
+bool DynamicSkyline::ApplyStructural(const EdgeUpdate& update) {
+  const VertexId u = update.u;
+  const VertexId v = update.v;
+  NSKY_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v) return false;
+  if (update.insert) {
+    if (HasEdge(u, v)) return false;
+    adj_[u].insert(std::upper_bound(adj_[u].begin(), adj_[u].end(), v), v);
+    adj_[v].insert(std::upper_bound(adj_[v].begin(), adj_[v].end(), u), u);
+    ++num_edges_;
+  } else {
+    if (!HasEdge(u, v)) return false;
+    auto erase_from = [](std::vector<VertexId>& list, VertexId value) {
+      list.erase(std::lower_bound(list.begin(), list.end(), value));
+    };
+    erase_from(adj_[u], v);
+    erase_from(adj_[v], u);
+    --num_edges_;
+  }
+  return true;
+}
+
+size_t DynamicSkyline::ApplyBatch(std::span<const EdgeUpdate> updates) {
+  NSKY_TRACE_SPAN("dyn_apply_batch");
+  if (updates.size() < kBulkThreshold) {
+    // Small batch: incremental repair per update, as for single edges. Each
+    // applied update fires the hook with bulk=false through Add/RemoveEdge.
+    size_t applied = 0;
+    for (const EdgeUpdate& e : updates) {
+      const bool changed = e.insert ? AddEdge(e.u, e.v)
+                                    : RemoveEdge(e.u, e.v);
+      if (changed) ++applied;
+    }
+    return applied;
+  }
+
+  // Bulk: per-update 2-hop rechecks would dwarf one full solve, so mutate
+  // the adjacency structurally and recompute the skyline once.
+  size_t applied = 0;
+  for (const EdgeUpdate& e : updates) {
+    if (ApplyStructural(e)) ++applied;
+  }
+  if (applied == 0) return 0;
+  NSKY_COUNTER_INC("nsky.dynamic.bulk_rebuilds");
+  std::fill(in_skyline_.begin(), in_skyline_.end(), 0);
+  for (VertexId u : Solve(ToGraph()).skyline) in_skyline_[u] = 1;
+  NotifyInvalidation(/*bulk=*/true);
+  return applied;
 }
 
 std::vector<VertexId> DynamicSkyline::Skyline() const {

@@ -11,17 +11,34 @@
 // Cost per update: O(vol2(u) + vol2(v)) to collect the affected set plus a
 // cheap pivot-narrowed recheck per affected vertex. Suited to maintaining
 // the skyline across streams of updates without full recomputation; a full
-// recompute remains the better choice after bulk changes.
+// recompute remains the better choice after bulk changes -- ApplyBatch
+// switches between the two automatically.
+//
+// Invalidation contract with the artifact caches: anything derived from the
+// graph (a core::Engine / PreparedGraph serving this graph's queries) goes
+// stale on every mutation. set_invalidation_hook() registers a callback
+// fired after each applied update -- with bulk=false for single-edge
+// incremental updates and bulk=true when ApplyBatch recomputed from scratch
+// -- so the owner can invalidate (and lazily rebuild) its artifacts.
 #ifndef NSKY_CORE_DYNAMIC_SKYLINE_H_
 #define NSKY_CORE_DYNAMIC_SKYLINE_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "core/skyline.h"
 #include "graph/graph.h"
 
 namespace nsky::core {
+
+// One undirected edge update for DynamicSkyline::ApplyBatch.
+struct EdgeUpdate {
+  VertexId u = 0;
+  VertexId v = 0;
+  bool insert = true;  // false = delete
+};
 
 class DynamicSkyline {
  public:
@@ -37,6 +54,24 @@ class DynamicSkyline {
 
   // Deletes the undirected edge (u, v); returns false when absent.
   bool RemoveEdge(VertexId u, VertexId v);
+
+  // Applies a stream of updates and returns how many actually changed the
+  // graph (duplicates / absent edges are skipped, as in AddEdge /
+  // RemoveEdge). Below kBulkThreshold updates the stream is applied
+  // incrementally; at or above it the edges are applied structurally and
+  // the skyline recomputed once via Solve() -- the documented
+  // bulk-update-rebuild half of the invalidation contract. The hook fires
+  // once per incremental update (bulk=false) or once per batch (bulk=true).
+  static constexpr size_t kBulkThreshold = 32;
+  size_t ApplyBatch(std::span<const EdgeUpdate> updates);
+
+  // Called after every applied mutation; bulk=true means the skyline was
+  // recomputed from scratch (artifact caches must rebuild), bulk=false
+  // means a single-edge incremental repair ran.
+  using InvalidationHook = std::function<void(bool bulk)>;
+  void set_invalidation_hook(InvalidationHook hook) {
+    invalidation_hook_ = std::move(hook);
+  }
 
   VertexId NumVertices() const { return static_cast<VertexId>(adj_.size()); }
   uint64_t NumEdges() const { return num_edges_; }
@@ -66,10 +101,17 @@ class DynamicSkyline {
   void RecheckAll(std::vector<VertexId>* affected);
   bool Dominates(VertexId w, VertexId x) const;
 
+  // Mutates adjacency only (no recheck); returns false for no-op updates.
+  bool ApplyStructural(const EdgeUpdate& update);
+  void NotifyInvalidation(bool bulk) {
+    if (invalidation_hook_) invalidation_hook_(bulk);
+  }
+
   std::vector<std::vector<VertexId>> adj_;  // sorted adjacency
   std::vector<uint8_t> in_skyline_;
   uint64_t num_edges_ = 0;
   uint64_t total_rechecks_ = 0;
+  InvalidationHook invalidation_hook_;
 };
 
 }  // namespace nsky::core

@@ -1,0 +1,108 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "core/solver_internal.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace nsky::core {
+
+Engine::Engine(Graph g, EngineOptions options)
+    : graph_(std::move(g)), options_(options), prepared_(&graph_) {}
+
+Engine::Resources& Engine::ResourcesFor(unsigned resolved_threads) {
+  auto it = resources_.find(resolved_threads);
+  if (it == resources_.end()) {
+    it = resources_
+             .emplace(resolved_threads,
+                      std::make_unique<Resources>(resolved_threads))
+             .first;
+  }
+  return *it->second;
+}
+
+util::Status Engine::QueryInto(const SolverOptions& options,
+                               const util::ExecutionContext& ctx,
+                               SkylineResult* result) {
+  Resources& res = ResourcesFor(internal::ResolveThreads(options.threads));
+  internal::SolveEnv env{&ctx, &res.pool, &res.workspace, &prepared_};
+  util::Status status = internal::DispatchSolve(graph_, options, env, result);
+  ++queries_served_;
+  if (util::metrics::Enabled()) {
+    util::metrics::GetCounter("nsky.engine.queries").Add(1);
+  }
+  return status;
+}
+
+SkylineResult Engine::Query(const SolverOptions& options) {
+  SkylineResult result;
+  util::Status status =
+      QueryInto(options, util::ExecutionContext::Unlimited(), &result);
+  NSKY_CHECK_MSG(status.ok(),
+                 "Query with an unlimited context cannot fail");
+  return result;
+}
+
+util::Result<SkylineResult> Engine::QueryOrError(
+    const SolverOptions& options, const util::ExecutionContext& ctx) {
+  SkylineResult result;
+  util::Status status = QueryInto(options, ctx, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+std::vector<SkylineResult> Engine::QueryBatch(
+    const std::vector<SolverOptions>& batch) {
+  std::vector<SkylineResult> results;
+  results.reserve(batch.size());
+  for (const SolverOptions& options : batch) {
+    results.push_back(Query(options));
+  }
+  return results;
+}
+
+const std::vector<VertexId>& Engine::SkylineCache() {
+  if (!has_skyline_cache_) {
+    skyline_cache_ = Query(options_.defaults).skyline;
+    has_skyline_cache_ = true;
+  }
+  return skyline_cache_;
+}
+
+const PreparedGraph::FilterArtifacts& Engine::Filter() {
+  Resources& res =
+      ResourcesFor(internal::ResolveThreads(options_.defaults.threads));
+  return prepared_.Filter(res.pool);
+}
+
+void Engine::InvalidateArtifacts() {
+  prepared_.Invalidate();
+  skyline_cache_.clear();
+  has_skyline_cache_ = false;
+}
+
+void Engine::RefreshFrom(Graph g) {
+  // graph_ is a member, so its address -- the pointer prepared_ holds --
+  // stays valid across the move-assign; only the contents change.
+  graph_ = std::move(g);
+  InvalidateArtifacts();
+}
+
+uint64_t Engine::WorkspaceAllocationEvents(uint32_t threads) {
+  return ResourcesFor(internal::ResolveThreads(threads))
+      .workspace.allocation_events();
+}
+
+uint64_t Engine::WorkspaceAllocatedBytes(uint32_t threads) {
+  return ResourcesFor(internal::ResolveThreads(threads))
+      .workspace.allocated_bytes();
+}
+
+void Engine::PoisonScratchForTesting() {
+  for (auto& [threads, res] : resources_) {
+    res->workspace.PoisonForTesting();
+  }
+}
+
+}  // namespace nsky::core

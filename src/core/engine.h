@@ -1,0 +1,133 @@
+// core::Engine: the serving entry point for repeated skyline queries.
+//
+//   nsky::core::Engine engine(std::move(g));
+//   nsky::core::SkylineResult a = engine.Query();            // cold: builds
+//   nsky::core::SkylineResult b = engine.Query(options);     // warm: cached
+//
+// An Engine owns a graph, a PreparedGraph artifact cache built from it, and
+// one {ThreadPool, SolverWorkspace} pair per distinct resolved thread
+// count. Query() routes through the same dispatch body as Solve(), so every
+// result -- skyline order, dominator array, every deterministic
+// SkylineStats counter including aux_peak_bytes -- is bit-identical to a
+// cold Solve() call with the same options at any thread count. What changes
+// is the cost profile: graph-derived artifacts (filter candidates, blooms,
+// 2-hop lists) are computed once and shared across queries, and per-query
+// scratch comes from the pooled workspace, so a warm query of a
+// previously-seen shape performs no heap allocation in the solver hot path
+// (QueryInto with a reused result extends that to the outputs; the
+// workspace allocation ledger verifies it in tests).
+//
+// Semantics that differ from cold Solve(), by design:
+//  * Artifact builds run under an unlimited context (shared state must not
+//    be left half-built by one query's deadline), so a warm query can
+//    succeed where the equivalent cold run would have been cancelled
+//    mid-build. Per-query deadlines/budgets still apply at every solver
+//    phase boundary and between parallel slices.
+//  * ThreadPool workers live across queries instead of being spawned and
+//    joined per call.
+//
+// Concurrency: an Engine serves one caller at a time (the underlying
+// ThreadPool is not reentrant); queries are not internally synchronized.
+// Use one Engine per serving thread, or serialize externally.
+#ifndef NSKY_CORE_ENGINE_H_
+#define NSKY_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/prepared_graph.h"
+#include "core/solver.h"
+#include "core/workspace.h"
+#include "graph/graph.h"
+#include "util/execution_context.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace nsky::core {
+
+struct EngineOptions {
+  // Options used by Query() / SkylineCache() when the caller passes none.
+  SolverOptions defaults;
+};
+
+class Engine {
+ public:
+  // Takes ownership of the graph; artifacts build lazily on first use.
+  explicit Engine(Graph g, EngineOptions options = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const EngineOptions& options() const { return options_; }
+  PreparedGraph& prepared() { return prepared_; }
+
+  // Unlimited-context queries; infallible like Solve().
+  SkylineResult Query() { return Query(options_.defaults); }
+  SkylineResult Query(const SolverOptions& options);
+
+  // Context-honoring queries, mirroring SolveOrError / SolveInto. A query
+  // interrupted by its context leaves the engine fully serviceable: the
+  // next query re-initializes all scratch it reads.
+  util::Result<SkylineResult> QueryOrError(
+      const SolverOptions& options, const util::ExecutionContext& ctx = {});
+  util::Status QueryInto(const SolverOptions& options,
+                         const util::ExecutionContext& ctx,
+                         SkylineResult* result);
+
+  // Runs the batch serially in order against the shared artifacts; entry i
+  // equals Query(batch[i]).
+  std::vector<SkylineResult> QueryBatch(
+      const std::vector<SolverOptions>& batch);
+
+  // The skyline under the engine's default options, computed on first call
+  // and cached. The shared pool the clique / centrality / setjoin
+  // consumers read instead of privately re-solving.
+  const std::vector<VertexId>& SkylineCache();
+
+  // The cached filter-phase artifacts (candidates, O(*) array, membership
+  // map), built on first use with the default thread count's pool. The
+  // setjoin baseline seeds its query set from these.
+  const PreparedGraph::FilterArtifacts& Filter();
+
+  // Drops the PreparedGraph artifacts and the skyline cache; the graph is
+  // unchanged. Next query rebuilds.
+  void InvalidateArtifacts();
+
+  // Replaces the graph (e.g. after a DynamicSkyline bulk update) and
+  // invalidates everything derived from the old one.
+  void RefreshFrom(Graph g);
+
+  uint64_t queries_served() const { return queries_served_; }
+
+  // Workspace allocation ledger for the resources serving `threads`
+  // (resolved as in SolverOptions). Tests assert these stay flat across
+  // warm queries.
+  uint64_t WorkspaceAllocationEvents(uint32_t threads);
+  uint64_t WorkspaceAllocatedBytes(uint32_t threads);
+
+  // Fills every pooled workspace with garbage; see
+  // SolverWorkspace::PoisonForTesting.
+  void PoisonScratchForTesting();
+
+ private:
+  struct Resources {
+    explicit Resources(unsigned threads) : pool(threads) {}
+    util::ThreadPool pool;
+    SolverWorkspace workspace;
+  };
+  Resources& ResourcesFor(unsigned resolved_threads);
+
+  Graph graph_;
+  EngineOptions options_;
+  PreparedGraph prepared_;
+  std::map<unsigned, std::unique_ptr<Resources>> resources_;
+  std::vector<VertexId> skyline_cache_;
+  bool has_skyline_cache_ = false;
+  uint64_t queries_served_ = 0;
+};
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_ENGINE_H_

@@ -28,19 +28,20 @@ bool ClosedSubsetAlongEdge(const Graph& g, VertexId u, VertexId v,
 namespace internal {
 
 util::Status RunFilterPhase(const Graph& g, const SolverOptions& options,
-                            const util::ExecutionContext& ctx,
-                            util::ThreadPool& pool, SkylineResult* result) {
+                            SolveEnv& env, SkylineResult* result) {
   (void)options;
   NSKY_TRACE_SPAN("filter");
   util::Timer timer;
+  const util::ExecutionContext& ctx = *env.ctx;
+  util::ThreadPool& pool = *env.pool;
   const VertexId n = g.NumVertices();
 
-  *result = SkylineResult{};
+  ResetResult(result);
   result->dominator.resize(n);
   std::vector<VertexId>& dominator = result->dominator;
 
   util::MemoryTally tally;
-  tally.Add(dominator.capacity() * sizeof(VertexId));
+  tally.Add(static_cast<uint64_t>(n) * sizeof(VertexId));  // dominator
   if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
     result->stats.seconds = timer.Seconds();
     return s;
@@ -54,7 +55,8 @@ util::Status RunFilterPhase(const Graph& g, const SolverOptions& options,
   // partitionable: every worker writes only its own chunk's dominator
   // slots, and the recorded dominator is the first qualifying neighbor in
   // adjacency order regardless of the partition.
-  std::vector<SkylineStats> per_worker(pool.num_threads());
+  std::vector<SkylineStats>& per_worker =
+      env.workspace->PrepareWorkerStats(pool.num_threads());
   util::Status scan = pool.ParallelFor(
       n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
         NSKY_TRACE_SPAN("filter.worker");
@@ -93,10 +95,42 @@ util::Status RunFilterPhase(const Graph& g, const SolverOptions& options,
     if (dominator[u] == u) result->skyline.push_back(u);
   }
   result->stats.candidate_count = result->skyline.size();
-  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  tally.Add(result->skyline.size() * sizeof(VertexId));
   result->stats.aux_peak_bytes = tally.peak_bytes();
   result->stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("filter_phase", result->stats);
+  return util::Status::Ok();
+}
+
+util::Status PrepareFilterOutput(const Graph& g, const SolverOptions& options,
+                                 SolveEnv& env, SkylineResult* result,
+                                 std::vector<VertexId>* storage,
+                                 const std::vector<VertexId>** candidates) {
+  if (env.prepared == nullptr) {
+    if (util::Status s = RunFilterPhase(g, options, env, result); !s.ok()) {
+      return s;
+    }
+    *storage = std::move(result->skyline);
+    result->skyline.clear();
+    *candidates = storage;
+    return util::Status::Ok();
+  }
+
+  // Warm path: the PreparedGraph already holds the phase's outputs, built
+  // with the same code above. Copy the dominator array (the refine phase
+  // mutates it) and replay the deterministic stats so the final result is
+  // bit-identical to a cold run; the candidate set is shared by reference.
+  const PreparedGraph::FilterArtifacts& fa = env.prepared->Filter(*env.pool);
+  ResetResult(result);
+  if (util::Status s = env.ctx->CheckBudget(fa.stats.aux_peak_bytes);
+      !s.ok()) {
+    return s;
+  }
+  result->dominator = fa.dominator;
+  AddCounters(&result->stats, fa.stats);
+  result->stats.candidate_count = fa.stats.candidate_count;
+  result->stats.aux_peak_bytes = fa.stats.aux_peak_bytes;
+  *candidates = &fa.candidates;
   return util::Status::Ok();
 }
 
@@ -104,9 +138,12 @@ util::Status RunFilterPhase(const Graph& g, const SolverOptions& options,
 
 SkylineResult FilterPhase(const Graph& g) {
   util::ThreadPool pool(1);
+  SolverWorkspace workspace;
+  const util::ExecutionContext ctx;
+  internal::SolveEnv env{&ctx, &pool, &workspace, nullptr};
   SkylineResult result;
-  util::Status status = internal::RunFilterPhase(
-      g, SolverOptions{}, util::ExecutionContext::Unlimited(), pool, &result);
+  util::Status status =
+      internal::RunFilterPhase(g, SolverOptions{}, env, &result);
   NSKY_CHECK_MSG(status.ok(), "unlimited FilterPhase cannot fail");
   return result;
 }
@@ -123,8 +160,9 @@ util::Status FilterPhaseInto(const Graph& g, const SolverOptions& options,
                              const util::ExecutionContext& ctx,
                              SkylineResult* result) {
   util::ThreadPool pool(internal::ResolveThreads(options.threads));
-  util::Status status =
-      internal::RunFilterPhase(g, options, ctx, pool, result);
+  SolverWorkspace workspace;
+  internal::SolveEnv env{&ctx, &pool, &workspace, nullptr};
+  util::Status status = internal::RunFilterPhase(g, options, env, result);
   result->stats.threads = pool.num_threads();
   if (!status.ok()) {
     result->skyline.clear();

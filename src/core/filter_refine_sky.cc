@@ -1,5 +1,3 @@
-#include "core/filter_refine_sky.h"
-
 #include <memory>
 #include <vector>
 
@@ -30,21 +28,25 @@ bool OpenSubsetOfClosed(const Graph& g, VertexId u, VertexId w,
 namespace internal {
 
 util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
-                             const util::ExecutionContext& ctx,
-                             util::ThreadPool& pool, SkylineResult* result) {
+                             SolveEnv& env, SkylineResult* result) {
   NSKY_TRACE_SPAN("filter_refine");
   util::Timer timer;
+  const util::ExecutionContext& ctx = *env.ctx;
+  util::ThreadPool& pool = *env.pool;
   const VertexId n = g.NumVertices();
 
   // ---- Filter phase: candidate set C and its O(*) array. ----
-  if (util::Status s = RunFilterPhase(g, options, ctx, pool, result);
+  std::vector<VertexId> candidate_storage;
+  const std::vector<VertexId>* candidates_ptr = nullptr;
+  if (util::Status s = PrepareFilterOutput(g, options, env, result,
+                                           &candidate_storage,
+                                           &candidates_ptr);
       !s.ok()) {
     result->stats.seconds = timer.Seconds();
     return s;
   }
+  const std::vector<VertexId>& candidates = *candidates_ptr;
   std::vector<VertexId>& dominator = result->dominator;
-  const std::vector<VertexId> candidates = std::move(result->skyline);
-  result->skyline.clear();
   const SkylineStats after_filter = result->stats;
 
   util::MemoryTally tally;
@@ -54,9 +56,18 @@ util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
   // jobs in the refine scan: the non-candidate skip, and -- because it is
   // frozen pre-refine rather than read from the concurrently-written
   // dominator array -- the determinism of that skip for every thread count.
-  std::vector<uint8_t> member(n, 0);
-  for (VertexId u : candidates) member[u] = 1;
-  tally.Add(member.capacity());
+  // Warm runs share the PreparedGraph's map; the ledger charges the same
+  // logical n bytes either way.
+  const std::vector<uint8_t>* member_ptr = nullptr;
+  if (env.prepared != nullptr) {
+    member_ptr = &env.prepared->Filter(pool).member;
+  } else {
+    std::vector<uint8_t>& local = env.workspace->PrepareMember(n);
+    for (VertexId u : candidates) local[u] = 1;
+    member_ptr = &local;
+  }
+  const std::vector<uint8_t>& member = *member_ptr;
+  tally.Add(n);
   if (util::Status s = ctx.CheckBudget(tally.peak_bytes()); !s.ok()) {
     result->stats.seconds = timer.Seconds();
     return s;
@@ -67,8 +78,11 @@ util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
   // cross the byte budget the run degrades to a bloomless refine (exactness
   // is unaffected -- the bloom is a pure pre-test) instead of failing. The
   // skip decision compares the deterministic ledger against an exact size
-  // precomputation, so it is identical at every thread count.
-  std::unique_ptr<NeighborhoodBlooms> blooms;
+  // precomputation, so it is identical at every thread count -- and it is
+  // taken before consulting the PreparedGraph cache, so warm runs skip (and
+  // count bloom_prunes) exactly when cold runs would.
+  const NeighborhoodBlooms* blooms = nullptr;
+  std::unique_ptr<NeighborhoodBlooms> owned_blooms;
   if (options.use_bloom && !candidates.empty()) {
     NSKY_TRACE_SPAN("bloom_build");
     uint32_t bits = options.bloom_bits != 0
@@ -81,8 +95,13 @@ util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
       if (util::metrics::Enabled()) {
         util::metrics::GetCounter("nsky.filter_refine.bloom_skipped").Add(1);
       }
+    } else if (env.prepared != nullptr) {
+      blooms = &env.prepared->CandidateBlooms(bits, pool);
+      tally.Add(blooms->MemoryBytes());
     } else {
-      blooms = std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
+      owned_blooms =
+          std::make_unique<NeighborhoodBlooms>(g, member, bits, &pool);
+      blooms = owned_blooms.get();
       tally.Add(blooms->MemoryBytes());
     }
   }
@@ -106,7 +125,8 @@ util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
   // result is bit-identical for any partition of the candidate range.
   {
     NSKY_TRACE_SPAN("refine");
-    std::vector<SkylineStats> per_worker(pool.num_threads());
+    std::vector<SkylineStats>& per_worker =
+        env.workspace->PrepareWorkerStats(pool.num_threads());
     util::Status scan = pool.ParallelFor(
         candidates.size(), ctx,
         [&](unsigned worker, uint64_t begin, uint64_t end) {
@@ -173,7 +193,7 @@ util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
   for (VertexId u = 0; u < n; ++u) {
     if (dominator[u] == u) result->skyline.push_back(u);
   }
-  tally.Add(result->skyline.capacity() * sizeof(VertexId));
+  tally.Add(result->skyline.size() * sizeof(VertexId));
   result->stats.aux_peak_bytes = tally.peak_bytes();
   result->stats.seconds = timer.Seconds();
   MirrorStatsToMetrics("filter_refine", result->stats);
@@ -181,12 +201,5 @@ util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
 }
 
 }  // namespace internal
-
-SkylineResult FilterRefineSky(const Graph& g,
-                              const FilterRefineOptions& options) {
-  SolverOptions resolved = options;
-  resolved.algorithm = Algorithm::kFilterRefine;
-  return Solve(g, resolved);
-}
 
 }  // namespace nsky::core

@@ -7,19 +7,21 @@
 //   options.threads = 8;                 // bit-identical for any value
 //   nsky::core::SkylineResult r = nsky::core::Solve(g, options);
 //   // r.skyline now holds the vertices no other vertex dominates.
+//
+// Serving repeated queries against one graph? Use nsky::core::Engine
+// (core/engine.h): same results, cached artifacts, pooled scratch.
 #ifndef NSKY_CORE_NSKY_H_
 #define NSKY_CORE_NSKY_H_
 
-#include "core/base_2hop.h"
-#include "core/base_cset.h"
-#include "core/base_sky.h"
 #include "core/bloom.h"
 #include "core/domination.h"
 #include "core/dynamic_skyline.h"
+#include "core/engine.h"
 #include "core/filter_phase.h"
-#include "core/filter_refine_sky.h"
+#include "core/prepared_graph.h"
 #include "core/skyline.h"
 #include "core/solver.h"
 #include "core/telemetry.h"
+#include "core/workspace.h"
 
 #endif  // NSKY_CORE_NSKY_H_

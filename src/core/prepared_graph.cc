@@ -1,0 +1,179 @@
+#include "core/prepared_graph.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/solver_internal.h"
+#include "core/workspace.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace nsky::core {
+
+namespace {
+
+void CountBuild(const char* artifact) {
+  if (util::metrics::Enabled()) {
+    util::metrics::GetCounter("nsky.prepared.builds").Add(1);
+    util::metrics::GetCounter(std::string("nsky.prepared.build.") + artifact)
+        .Add(1);
+  }
+}
+
+}  // namespace
+
+const PreparedGraph::FilterArtifacts& PreparedGraph::Filter(
+    util::ThreadPool& pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (filter_.has_value()) return *filter_;
+  NSKY_TRACE_SPAN("prepared.filter_build");
+  CountBuild("filter");
+  ++builds_;
+
+  // Built with the exact cold-path code (internal::RunFilterPhase) under an
+  // unlimited context, so the cached counters / candidate_count /
+  // aux_peak_bytes are the ones any cold run would have produced.
+  const util::ExecutionContext ctx;
+  SolverWorkspace workspace;
+  internal::SolveEnv env{&ctx, &pool, &workspace, nullptr};
+  SkylineResult result;
+  util::Status status =
+      internal::RunFilterPhase(*g_, SolverOptions{}, env, &result);
+  NSKY_CHECK_MSG(status.ok(), "unlimited filter-phase build cannot fail");
+
+  FilterArtifacts fa;
+  fa.candidates = std::move(result.skyline);
+  fa.dominator = std::move(result.dominator);
+  fa.stats = result.stats;
+  fa.member.assign(g_->NumVertices(), 0);
+  for (VertexId u : fa.candidates) fa.member[u] = 1;
+  filter_ = std::move(fa);
+  return *filter_;
+}
+
+const NeighborhoodBlooms& PreparedGraph::CandidateBlooms(
+    uint32_t bits, util::ThreadPool& pool) {
+  // Membership map first; Filter() takes the same mutex.
+  const std::vector<uint8_t>& member = Filter(pool).member;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = candidate_blooms_.find(bits);
+  if (it != candidate_blooms_.end()) return *it->second;
+  NSKY_TRACE_SPAN("prepared.bloom_build");
+  CountBuild("candidate_blooms");
+  ++builds_;
+  auto blooms = std::make_unique<NeighborhoodBlooms>(*g_, member, bits, &pool);
+  return *candidate_blooms_.emplace(bits, std::move(blooms)).first->second;
+}
+
+const NeighborhoodBlooms& PreparedGraph::FullBlooms(uint32_t bits,
+                                                    util::ThreadPool& pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = full_blooms_.find(bits);
+  if (it != full_blooms_.end()) return *it->second;
+  NSKY_TRACE_SPAN("prepared.bloom_build");
+  CountBuild("full_blooms");
+  ++builds_;
+  std::vector<uint8_t> member(g_->NumVertices(), 1);
+  auto blooms = std::make_unique<NeighborhoodBlooms>(*g_, member, bits, &pool);
+  return *full_blooms_.emplace(bits, std::move(blooms)).first->second;
+}
+
+const PreparedGraph::TwoHopArtifacts& PreparedGraph::TwoHop(
+    util::ThreadPool& pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (two_hop_.has_value()) return *two_hop_;
+  NSKY_TRACE_SPAN("prepared.two_hop_build");
+  CountBuild("two_hop");
+  ++builds_;
+
+  // The same deterministic materialization RunBase2Hop performs cold: slot
+  // u is written only by the worker owning u, and the recorded charge is
+  // the per-worker logical byte sum merged in worker order plus the outer
+  // array -- the exact value a cold run adds to its ledger.
+  const Graph& g = *g_;
+  const VertexId n = g.NumVertices();
+  TwoHopArtifacts art;
+  art.lists.resize(n);
+  std::vector<uint64_t> bytes_per_worker(pool.num_threads(), 0);
+  const util::ExecutionContext ctx;
+  util::Status scan = pool.ParallelFor(
+      n, ctx, [&](unsigned worker, uint64_t begin, uint64_t end) {
+        std::vector<VertexId> buffer;
+        for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+          buffer.clear();
+          for (VertexId v : g.Neighbors(u)) {
+            buffer.push_back(v);
+            for (VertexId w : g.Neighbors(v)) {
+              if (w != u) buffer.push_back(w);
+            }
+          }
+          std::sort(buffer.begin(), buffer.end());
+          buffer.erase(std::unique(buffer.begin(), buffer.end()),
+                       buffer.end());
+          art.lists[u].assign(buffer.begin(), buffer.end());
+          bytes_per_worker[worker] += art.lists[u].size() * sizeof(VertexId);
+        }
+      });
+  NSKY_CHECK_MSG(scan.ok(), "unlimited 2-hop build cannot fail");
+  for (uint64_t bytes : bytes_per_worker) art.charged_bytes += bytes;
+  art.charged_bytes += static_cast<uint64_t>(n) * sizeof(std::vector<VertexId>);
+  two_hop_ = std::move(art);
+  return *two_hop_;
+}
+
+const std::vector<VertexId>& PreparedGraph::DegreeOrder() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (degree_order_.has_value()) return *degree_order_;
+  CountBuild("degree_order");
+  ++builds_;
+  const VertexId n = g_->NumVertices();
+  std::vector<VertexId> order(n);
+  for (VertexId u = 0; u < n; ++u) order[u] = u;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g_->Degree(a) < g_->Degree(b);
+  });
+  degree_order_ = std::move(order);
+  return *degree_order_;
+}
+
+const graph::CoreDecomposition& PreparedGraph::Cores() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cores_.has_value()) return *cores_;
+  CountBuild("cores");
+  ++builds_;
+  cores_ = graph::ComputeCores(*g_);
+  return *cores_;
+}
+
+void PreparedGraph::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  filter_.reset();
+  candidate_blooms_.clear();
+  full_blooms_.clear();
+  two_hop_.reset();
+  degree_order_.reset();
+  cores_.reset();
+  if (util::metrics::Enabled()) {
+    util::metrics::GetCounter("nsky.prepared.invalidations").Add(1);
+  }
+}
+
+uint64_t PreparedGraph::builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+bool PreparedGraph::has_filter() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filter_.has_value();
+}
+
+bool PreparedGraph::has_two_hop() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return two_hop_.has_value();
+}
+
+}  // namespace nsky::core

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/solver_internal.h"
+#include "core/workspace.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -39,22 +40,18 @@ unsigned ResolveThreads(uint32_t threads) {
   return threads == 0 ? util::ThreadPool::HardwareThreads() : threads;
 }
 
-}  // namespace internal
-
-util::Status SolveInto(const Graph& g, const SolverOptions& options,
-                       const util::ExecutionContext& ctx,
-                       SkylineResult* result) {
-  util::ThreadPool pool(internal::ResolveThreads(options.threads));
-  *result = SkylineResult{};
+util::Status DispatchSolve(const Graph& g, const SolverOptions& options,
+                           SolveEnv& env, SkylineResult* result) {
+  ResetResult(result);
 
   // Predictive degradation: a kBase2Hop run that cannot fit the budget is
   // re-routed to kFilterRefine before any work happens. The estimate is a
   // pure function of (g, options, budget), so the decision is identical at
-  // every thread count.
+  // every thread count -- and identical cold and warm.
   Algorithm algorithm = options.algorithm;
   std::string degraded_from;
-  if (algorithm == Algorithm::kBase2Hop && ctx.has_byte_budget() &&
-      internal::EstimateBase2HopBytes(g, options) > ctx.byte_budget()) {
+  if (algorithm == Algorithm::kBase2Hop && env.ctx->has_byte_budget() &&
+      EstimateBase2HopBytes(g, options) > env.ctx->byte_budget()) {
     degraded_from = AlgorithmName(algorithm);
     algorithm = Algorithm::kFilterRefine;
     if (util::metrics::Enabled()) {
@@ -65,19 +62,19 @@ util::Status SolveInto(const Graph& g, const SolverOptions& options,
   util::Status status;
   switch (algorithm) {
     case Algorithm::kFilterRefine:
-      status = internal::RunFilterRefine(g, options, ctx, pool, result);
+      status = RunFilterRefine(g, options, env, result);
       break;
     case Algorithm::kBaseSky:
-      status = internal::RunBaseSky(g, options, ctx, pool, result);
+      status = RunBaseSky(g, options, env, result);
       break;
     case Algorithm::kBaseCSet:
-      status = internal::RunBaseCSet(g, options, ctx, pool, result);
+      status = RunBaseCSet(g, options, env, result);
       break;
     case Algorithm::kBase2Hop:
-      status = internal::RunBase2Hop(g, options, ctx, pool, result);
+      status = RunBase2Hop(g, options, env, result);
       break;
   }
-  result->stats.threads = pool.num_threads();
+  result->stats.threads = env.pool->num_threads();
   result->stats.degraded_from = std::move(degraded_from);
   if (!status.ok()) {
     // Well-defined partial result: empty outputs, populated stats.
@@ -85,6 +82,17 @@ util::Status SolveInto(const Graph& g, const SolverOptions& options,
     result->dominator.clear();
   }
   return status;
+}
+
+}  // namespace internal
+
+util::Status SolveInto(const Graph& g, const SolverOptions& options,
+                       const util::ExecutionContext& ctx,
+                       SkylineResult* result) {
+  util::ThreadPool pool(internal::ResolveThreads(options.threads));
+  SolverWorkspace workspace;
+  internal::SolveEnv env{&ctx, &pool, &workspace, nullptr};
+  return internal::DispatchSolve(g, options, env, result);
 }
 
 util::Result<SkylineResult> SolveOrError(const Graph& g,

@@ -5,11 +5,13 @@
 //   options.threads = 8;
 //   nsky::core::SkylineResult r = nsky::core::Solve(g, options);
 //
-// Solve() replaces the historical per-solver free functions (BaseSky,
-// Base2Hop, BaseCSet, FilterRefineSky), which remain as thin deprecated
-// wrappers for one release. Every execution knob -- algorithm choice,
-// thread count, bloom sizing -- lives in SolverOptions, so new knobs reach
-// all solvers, the CLI, the benches and the tests through a single struct.
+// Solve() replaced the historical per-solver free functions (BaseSky,
+// Base2Hop, BaseCSet, FilterRefineSky), now removed. Every execution knob
+// -- algorithm choice, thread count, bloom sizing -- lives in
+// SolverOptions, so new knobs reach all solvers, the CLI, the benches and
+// the tests through a single struct. For repeated queries against one
+// graph, prefer core::Engine (core/engine.h): same results, but
+// graph-derived artifacts are cached and scratch is pooled.
 //
 // Parallel execution & determinism guarantee
 // ------------------------------------------
@@ -60,7 +62,7 @@ const char* AlgorithmName(Algorithm algorithm);
 std::optional<Algorithm> ParseAlgorithm(std::string_view name);
 
 // Execution options for Solve(). The bloom fields subsume the former
-// FilterRefineOptions (kept as a deprecated alias below).
+// FilterRefineOptions.
 struct SolverOptions {
   Algorithm algorithm = Algorithm::kFilterRefine;
 

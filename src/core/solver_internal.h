@@ -1,10 +1,11 @@
 // Private plumbing of the unified solver engine (core/solver.h).
 //
 // Each solver translation unit implements one Run* function taking the
-// shared SolverOptions plus the run's thread pool; Solve() owns the pool
-// and dispatches. Not part of the public API (not in core/nsky.h) -- the
-// deprecated per-solver free functions and Solve() are the supported
-// surface.
+// shared SolverOptions plus a SolveEnv bundling the run's execution context,
+// thread pool, scratch workspace and (optionally) a PreparedGraph artifact
+// cache. Solve() owns a per-call pool + workspace; core::Engine owns pooled
+// ones and adds the PreparedGraph. Not part of the public API (not in
+// core/nsky.h) -- Solve() and Engine are the supported surface.
 //
 // Determinism contract every Run* implementation follows:
 //  * ParallelFor partitions a vertex/candidate index range; a worker writes
@@ -16,16 +17,47 @@
 //    AddCounters in worker order; sums are independent of the partition.
 //  * Per-worker scratch is charged to the MemoryTally once (canonical
 //    threads=1 footprint), keeping aux_peak_bytes thread-count-invariant.
+//  * Ledger charges use logical sizes (element counts), never reused
+//    capacities, so a warm workspace run reports bit-identical
+//    aux_peak_bytes to a cold run.
+//  * Scratch borrowed from the workspace is initialized through the
+//    Prepare*() methods before any read -- a previous query (possibly
+//    cancelled mid-scan) leaves arbitrary contents behind.
 #ifndef NSKY_CORE_SOLVER_INTERNAL_H_
 #define NSKY_CORE_SOLVER_INTERNAL_H_
 
+#include <vector>
+
+#include "core/prepared_graph.h"
 #include "core/skyline.h"
 #include "core/solver.h"
+#include "core/workspace.h"
 #include "util/execution_context.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace nsky::core::internal {
+
+// Everything a solver run borrows from its caller. Solve() stacks a fresh
+// pool + workspace per call (prepared == nullptr: every artifact is built
+// in-run, the historical cold path); Engine::Query() lends its pooled
+// resources and the shared artifact cache. All pointers are non-owning and
+// must outlive the run; prepared is mutable because artifact builds are
+// lazy.
+struct SolveEnv {
+  const util::ExecutionContext* ctx;
+  util::ThreadPool* pool;
+  SolverWorkspace* workspace;
+  PreparedGraph* prepared = nullptr;
+};
+
+// Clears a result's outputs while keeping their capacity, so a reused
+// result (Engine::QueryInto) reaches steady-state allocation-free.
+inline void ResetResult(SkylineResult* result) {
+  result->skyline.clear();
+  result->dominator.clear();
+  result->stats = SkylineStats{};
+}
 
 // Adds the five deterministic counters of `from` into `*into`.
 inline void AddCounters(SkylineStats* into, const SkylineStats& from) {
@@ -45,35 +77,50 @@ inline void MergeWorkerStats(SkylineStats* into,
 // Resolved worker count for options.threads (0 = hardware concurrency).
 unsigned ResolveThreads(uint32_t threads);
 
+// Filter-phase front half shared by RunFilterRefine and RunBaseCSet. Leaves
+// *result holding the filter phase's outputs -- dominator array, the five
+// counters, candidate_count, and aux_peak_bytes set to the filter-phase
+// ledger peak -- with result->skyline empty, and points *candidates at the
+// sorted candidate set. Cold (env.prepared == nullptr) it runs the phase
+// and parks the candidates in *storage; warm it copies the PreparedGraph's
+// cached artifacts (candidates then point into the cache and *storage is
+// untouched). Both paths are bit-identical in every deterministic field.
+util::Status PrepareFilterOutput(const Graph& g, const SolverOptions& options,
+                                 SolveEnv& env, SkylineResult* result,
+                                 std::vector<VertexId>* storage,
+                                 const std::vector<VertexId>** candidates);
+
 // Algorithm bodies. Each fills *result, sets stats.seconds and mirrors
-// telemetry itself; stats.threads is stamped by the caller (SolveInto or a
-// wrapper). On a non-OK return *result holds a partial run: skyline may be
-// empty or incomplete and dominator partially written -- SolveInto
-// normalizes that to the documented empty-outputs shape -- but the stats
-// counters always reflect the work actually done and stats.seconds the time
-// actually spent. The context is consulted at every phase boundary and, via
-// the context-aware ParallelFor, between slices inside every parallel scan.
+// telemetry itself; stats.threads is stamped by DispatchSolve. On a non-OK
+// return *result holds a partial run: skyline may be empty or incomplete
+// and dominator partially written -- DispatchSolve normalizes that to the
+// documented empty-outputs shape -- but the stats counters always reflect
+// the work actually done and stats.seconds the time actually spent. The
+// context is consulted at every phase boundary and, via the context-aware
+// ParallelFor, between slices inside every parallel scan.
 util::Status RunFilterPhase(const Graph& g, const SolverOptions& options,
-                            const util::ExecutionContext& ctx,
-                            util::ThreadPool& pool, SkylineResult* result);
+                            SolveEnv& env, SkylineResult* result);
 util::Status RunFilterRefine(const Graph& g, const SolverOptions& options,
-                             const util::ExecutionContext& ctx,
-                             util::ThreadPool& pool, SkylineResult* result);
+                             SolveEnv& env, SkylineResult* result);
 util::Status RunBaseSky(const Graph& g, const SolverOptions& options,
-                        const util::ExecutionContext& ctx,
-                        util::ThreadPool& pool, SkylineResult* result);
+                        SolveEnv& env, SkylineResult* result);
 util::Status RunBaseCSet(const Graph& g, const SolverOptions& options,
-                         const util::ExecutionContext& ctx,
-                         util::ThreadPool& pool, SkylineResult* result);
+                         SolveEnv& env, SkylineResult* result);
 util::Status RunBase2Hop(const Graph& g, const SolverOptions& options,
-                         const util::ExecutionContext& ctx,
-                         util::ThreadPool& pool, SkylineResult* result);
+                         SolveEnv& env, SkylineResult* result);
+
+// The shared dispatch body behind SolveInto and Engine::QueryInto: resets
+// the result, applies predictive 2hop degradation against the context's
+// byte budget, routes to the Run* implementation, stamps stats.threads /
+// stats.degraded_from, and normalizes failures to empty outputs.
+util::Status DispatchSolve(const Graph& g, const SolverOptions& options,
+                           SolveEnv& env, SkylineResult* result);
 
 // Deterministic upper bound on RunBase2Hop's auxiliary bytes: the
 // pre-dedup 2-hop buffer volume (an O(m) degree scan, no allocation) plus
-// the bloom block and the dominator array. SolveInto compares it against
-// the context's byte budget to decide -- identically at every thread count
-// -- whether to degrade a kBase2Hop request to kFilterRefine.
+// the bloom block and the dominator array. DispatchSolve compares it
+// against the context's byte budget to decide -- identically at every
+// thread count -- whether to degrade a kBase2Hop request to kFilterRefine.
 uint64_t EstimateBase2HopBytes(const Graph& g, const SolverOptions& options);
 
 }  // namespace nsky::core::internal

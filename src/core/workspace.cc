@@ -1,0 +1,74 @@
+#include "core/workspace.h"
+
+#include <cstring>
+
+namespace nsky::core {
+
+std::vector<uint8_t>& SolverWorkspace::PrepareMember(uint64_t n) {
+  Reserve(member_, n);
+  member_.assign(n, 0);
+  return member_;
+}
+
+std::vector<std::vector<VertexId>>& SolverWorkspace::PrepareTwoHop(
+    uint64_t n) {
+  Reserve(two_hop_, n);
+  if (two_hop_.size() < n) two_hop_.resize(n);
+  for (uint64_t u = 0; u < n; ++u) two_hop_[u].clear();
+  return two_hop_;
+}
+
+std::vector<SkylineStats>& SolverWorkspace::PrepareWorkerStats(
+    unsigned workers) {
+  Reserve(worker_stats_, workers);
+  worker_stats_.clear();
+  worker_stats_.resize(workers);
+  return worker_stats_;
+}
+
+std::vector<std::vector<uint32_t>>& SolverWorkspace::PrepareWorkerCounts(
+    unsigned workers, uint64_t n) {
+  Reserve(worker_counts_, workers);
+  if (worker_counts_.size() < workers) worker_counts_.resize(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    Reserve(worker_counts_[w], n);
+    worker_counts_[w].assign(n, 0);
+  }
+  return worker_counts_;
+}
+
+std::vector<std::vector<VertexId>>& SolverWorkspace::PrepareWorkerTouched(
+    unsigned workers) {
+  Reserve(worker_touched_, workers);
+  if (worker_touched_.size() < workers) worker_touched_.resize(workers);
+  for (unsigned w = 0; w < workers; ++w) worker_touched_[w].clear();
+  return worker_touched_;
+}
+
+std::vector<uint64_t>& SolverWorkspace::PrepareWorkerBytes(unsigned workers) {
+  Reserve(worker_bytes_, workers);
+  worker_bytes_.assign(workers, 0);
+  return worker_bytes_;
+}
+
+void SolverWorkspace::PoisonForTesting() {
+  auto poison = [](auto& v) {
+    using T = typename std::remove_reference_t<decltype(v)>::value_type;
+    v.resize(v.capacity());
+    if (!v.empty()) std::memset(v.data(), 0xAB, v.size() * sizeof(T));
+  };
+  poison(member_);
+  for (auto& t : two_hop_) poison(t);
+  for (auto& c : worker_counts_) poison(c);
+  for (auto& t : worker_touched_) poison(t);
+  poison(worker_bytes_);
+  for (auto& s : worker_stats_) {
+    s.pairs_examined = 0xABABABABULL;
+    s.bloom_prunes = 0xABABABABULL;
+    s.degree_prunes = 0xABABABABULL;
+    s.inclusion_tests = 0xABABABABULL;
+    s.nbr_elements_scanned = 0xABABABABULL;
+  }
+}
+
+}  // namespace nsky::core

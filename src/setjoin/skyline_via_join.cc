@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/engine.h"
+#include "core/subset_check.h"
 #include "setjoin/containment_join.h"
 #include "setjoin/records.h"
 #include "util/memory.h"
@@ -72,6 +74,74 @@ SkylineResult SkylineViaJoin(const Graph& g, JoinAlgorithm algorithm) {
   for (VertexId u = 0; u < n; ++u) {
     if (result.dominator[u] == u) result.skyline.push_back(u);
   }
+  result.stats.pairs_examined = pairs.size();
+  result.stats.inclusion_tests = join_stats.candidates_examined;
+  result.stats.aux_peak_bytes = tally.peak_bytes();
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+SkylineResult SkylineViaJoin(core::Engine& engine, JoinAlgorithm algorithm) {
+  util::Timer timer;
+  const Graph& g = engine.graph();
+  const VertexId n = g.NumVertices();
+  const core::PreparedGraph::FilterArtifacts& fa = engine.Filter();
+
+  SkylineResult result;
+  // Non-candidates are already dominated by the filter phase and keep their
+  // filter dominator; only the candidates need join verification.
+  result.dominator = fa.dominator;
+
+  util::MemoryTally tally;
+
+  // Query records: open neighborhoods of the non-isolated filter
+  // candidates. The candidate set is a superset of the skyline, so every
+  // vertex whose verdict the join must decide still has a query row; the
+  // data side (all closed neighborhoods) is unchanged, so each surviving
+  // query sees the exact pair set it would have seen unseeded.
+  RecordSet data = ClosedNeighborhoodRecords(g);
+  RecordSet queries;
+  queries.universe_size = n;
+  std::vector<VertexId> query_vertex;
+  for (VertexId u : fa.candidates) {
+    if (g.Degree(u) == 0) continue;
+    auto nbrs = g.Neighbors(u);
+    queries.records.emplace_back(nbrs.begin(), nbrs.end());
+    query_vertex.push_back(u);
+  }
+  tally.Add(data.MemoryBytes());
+  tally.Add(queries.MemoryBytes());
+
+  JoinStats join_stats;
+  JoinResult pairs = algorithm == JoinAlgorithm::kInvertedIndex
+                         ? InvertedIndexJoin(queries, data, &join_stats)
+                         : ListCrosscuttingJoin(queries, data, &join_stats);
+  tally.Add(join_stats.index_bytes);
+  tally.Add(pairs.capacity() * sizeof(pairs[0]));
+
+  std::vector<std::pair<VertexId, VertexId>> inclusion;
+  inclusion.reserve(pairs.size());
+  for (const auto& [qrow, sid] : pairs) {
+    VertexId u = query_vertex[qrow];
+    if (u != sid) inclusion.emplace_back(u, sid);
+  }
+  std::sort(inclusion.begin(), inclusion.end());
+  tally.Add(inclusion.capacity() * sizeof(inclusion[0]));
+
+  for (const auto& [u, w] : inclusion) {
+    if (result.dominator[u] != u) continue;  // first dominator only
+    // Mutual-inclusion check directly on the adjacency: w need not be a
+    // candidate, so its own query row may be absent from the join output
+    // (the unseeded variant's binary search over the pairs would miss it).
+    const bool mutual =
+        core::SortedSubsetExcept(g.Neighbors(w), g.Neighbors(u), u);
+    if (!mutual || w < u) result.dominator[u] = w;
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.dominator[u] == u) result.skyline.push_back(u);
+  }
+  result.stats.candidate_count = fa.candidates.size();
   result.stats.pairs_examined = pairs.size();
   result.stats.inclusion_tests = join_stats.candidates_examined;
   result.stats.aux_peak_bytes = tally.peak_bytes();

@@ -14,6 +14,10 @@
 #include "core/skyline.h"
 #include "graph/graph.h"
 
+namespace nsky::core {
+class Engine;
+}  // namespace nsky::core
+
 namespace nsky::setjoin {
 
 enum class JoinAlgorithm {
@@ -25,6 +29,16 @@ enum class JoinAlgorithm {
 // returned stats carry the join's index footprint in aux_peak_bytes.
 core::SkylineResult SkylineViaJoin(
     const graph::Graph& g,
+    JoinAlgorithm algorithm = JoinAlgorithm::kListCrosscutting);
+
+// Filter-seeded variant: the join's query set is restricted to the
+// engine's cached filter-phase candidates (every vertex the filter already
+// dominated keeps its filter dominator), which shrinks the join input
+// while producing the exact same skyline. The dominator array may differ
+// from the unseeded variant for non-candidates (it records the filter's
+// dominator instead of the join's first pair) -- both are valid dominators.
+core::SkylineResult SkylineViaJoin(
+    core::Engine& engine,
     JoinAlgorithm algorithm = JoinAlgorithm::kListCrosscutting);
 
 }  // namespace nsky::setjoin

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -140,7 +140,7 @@ TEST(MaxGainOnSkylineForBetweenness, EmpiricalCheck) {
   util::Rng rng(5);
   for (uint64_t seed = 1; seed <= 3; ++seed) {
     Graph g = graph::MakeSocialGraph(50, 5.0, 0.5, 0.4, seed, 0.2);
-    auto skyline = core::FilterRefineSky(g).skyline;
+    auto skyline = core::Solve(g).skyline;
     std::vector<VertexId> s;
     for (int trial = 0; trial < 3; ++trial) {
       double best_all = -1, best_sky = -1;

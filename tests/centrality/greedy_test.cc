@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "centrality/group_centrality.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 
 namespace nsky::centrality {
@@ -58,7 +58,7 @@ TEST(Greedy, GainCallAccountingPlain) {
 TEST(Greedy, NeiSkyPoolIsSkyline) {
   graph::Graph g = graph::MakeChungLuPowerLaw(400, 2.3, 6, 5);
   GreedyResult r = NeiSkyGC(g, 3);
-  EXPECT_EQ(r.pool_size, core::FilterRefineSky(g).skyline.size());
+  EXPECT_EQ(r.pool_size, core::Solve(g).skyline.size());
   EXPECT_LT(r.pool_size, g.NumVertices());
   EXPECT_GT(r.skyline_seconds, 0.0);
 }

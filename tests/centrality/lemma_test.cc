@@ -16,7 +16,7 @@
 
 #include "centrality/group_centrality.h"
 #include "core/domination.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -38,7 +38,7 @@ TEST(Lemma3, LiteralCounterexample) {
   EXPECT_DOUBLE_EQ(GroupCloseness(g, with_v), 2.0);
   // The pruning is nevertheless safe: the max gain (vertex x, also 2) is
   // attained at a skyline vertex.
-  auto skyline = core::FilterRefineSky(g).skyline;
+  auto skyline = core::Solve(g).skyline;
   EXPECT_TRUE(std::binary_search(skyline.begin(), skyline.end(), 2u));
   std::vector<VertexId> with_x = {0, 2};
   EXPECT_DOUBLE_EQ(GroupCloseness(g, with_x), 2.0);
@@ -95,7 +95,7 @@ TEST(Lemma34, HoldsForTheVastMajorityOfPairs) {
 // gain over all candidates is attained at a skyline vertex -- for both
 // objectives.
 void CheckMaxGainOnSkyline(const Graph& g, uint64_t seed) {
-  auto skyline = core::FilterRefineSky(g).skyline;
+  auto skyline = core::Solve(g).skyline;
   util::Rng rng(seed);
   for (int trial = 0; trial < 8; ++trial) {
     std::vector<VertexId> s;

@@ -6,7 +6,7 @@
 
 #include "clique/max_clique.h"
 #include "core/domination.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 
 namespace nsky::clique {
@@ -47,7 +47,7 @@ TEST(Lemma5, SomeMaximumCliqueIntersectsSkyline) {
   // dominator yields a maximum clique meeting R.
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     Graph g = graph::MakeErdosRenyi(35, 0.3, seed);
-    auto skyline = core::FilterRefineSky(g).skyline;
+    auto skyline = core::Solve(g).skyline;
     size_t max_size = BruteForceMaxClique(g).size();
     // Search: does a maximum clique containing a skyline vertex exist?
     // NeiSkyMC's seeded search with a zero incumbent answers exactly that.

@@ -1,14 +1,19 @@
-#include "core/base_sky.h"
-
 #include <gtest/gtest.h>
 
 #include "core/domination.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 
 namespace nsky::core {
 namespace {
 
 using graph::Graph;
+
+// The historical BaseSky(g) wrapper is gone; the suite drives the same
+// algorithm through the unified Solve() entry point.
+SkylineResult BaseSky(const Graph& g) {
+  return Solve(g, SolverOptions{.algorithm = Algorithm::kBaseSky});
+}
 
 TEST(BaseSky, EmptyGraph) {
   SkylineResult r = BaseSky(Graph::FromEdges(0, {}));

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -15,7 +15,7 @@ using graph::VertexId;
 // The differential check: the maintained skyline always equals the
 // recomputed one.
 void ExpectConsistent(const DynamicSkyline& dyn) {
-  EXPECT_EQ(dyn.Skyline(), FilterRefineSky(dyn.ToGraph()).skyline);
+  EXPECT_EQ(dyn.Skyline(), Solve(dyn.ToGraph()).skyline);
 }
 
 TEST(DynamicSkyline, EmptyGraphAllSkyline) {
@@ -56,7 +56,7 @@ TEST(DynamicSkyline, RemoveRestoresPreviousState) {
 TEST(DynamicSkyline, SeededFromExistingGraph) {
   Graph g = graph::MakeSocialGraph(300, 6.0, 0.5, 0.4, 3, 0.3);
   DynamicSkyline dyn(g);
-  EXPECT_EQ(dyn.Skyline(), FilterRefineSky(g).skyline);
+  EXPECT_EQ(dyn.Skyline(), Solve(g).skyline);
   EXPECT_EQ(dyn.NumEdges(), g.NumEdges());
 }
 

@@ -1,0 +1,335 @@
+// Serving-engine contract (core/engine.h): a warm Engine::Query() is
+// bit-identical to a cold Solve() for every algorithm and thread count, no
+// matter how many queries -- of any mix of shapes -- the engine served
+// before, whether earlier queries were cancelled mid-run, and whether the
+// pooled scratch was poisoned in between. Plus: artifact sharing across the
+// clique / centrality / setjoin consumers, invalidation via DynamicSkyline,
+// and the batch API.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "centrality/betweenness.h"
+#include "centrality/greedy.h"
+#include "clique/nei_sky_mc.h"
+#include "core/nsky.h"
+#include "core/solver_internal.h"
+#include "graph/generators.h"
+#include "setjoin/skyline_via_join.h"
+#include "testing/fixtures.h"
+#include "util/execution_context.h"
+
+namespace nsky::core {
+namespace {
+
+using graph::Graph;
+using nsky::testing::GraphCase;
+using nsky::testing::GraphCaseName;
+using nsky::testing::SmallGraphCases;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kFilterRefine, Algorithm::kBaseSky, Algorithm::kBaseCSet,
+    Algorithm::kBase2Hop};
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 8};
+
+// Everything except stats.threads (configuration) and stats.seconds (wall
+// time) must match -- including the aux_peak_bytes ledger, which is charged
+// from logical sizes precisely so warm runs can reproduce it.
+void ExpectSameResult(const SkylineResult& cold, const SkylineResult& warm,
+                      Algorithm algorithm, uint32_t threads) {
+  SCOPED_TRACE(::testing::Message() << AlgorithmName(algorithm) << " threads "
+                                    << threads);
+  EXPECT_EQ(cold.skyline, warm.skyline);
+  EXPECT_EQ(cold.dominator, warm.dominator);
+  EXPECT_EQ(cold.stats.candidate_count, warm.stats.candidate_count);
+  EXPECT_EQ(cold.stats.pairs_examined, warm.stats.pairs_examined);
+  EXPECT_EQ(cold.stats.bloom_prunes, warm.stats.bloom_prunes);
+  EXPECT_EQ(cold.stats.degree_prunes, warm.stats.degree_prunes);
+  EXPECT_EQ(cold.stats.inclusion_tests, warm.stats.inclusion_tests);
+  EXPECT_EQ(cold.stats.nbr_elements_scanned, warm.stats.nbr_elements_scanned);
+  EXPECT_EQ(cold.stats.aux_peak_bytes, warm.stats.aux_peak_bytes);
+  EXPECT_EQ(cold.stats.degraded_from, warm.stats.degraded_from);
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(EngineEquivalence, RepeatedMixedQueriesMatchFreshSolve) {
+  // One engine serves 3 rounds of every (algorithm, thread count) pair; the
+  // artifact caches go from cold to warm along the way, and every single
+  // answer must match a dedicated cold Solve().
+  Graph g = GetParam().make(7);
+  Engine engine{Graph(g)};
+  for (int round = 0; round < 3; ++round) {
+    for (Algorithm algorithm : kAllAlgorithms) {
+      for (uint32_t threads : kThreadCounts) {
+        SolverOptions options;
+        options.algorithm = algorithm;
+        options.threads = threads;
+        SkylineResult cold = Solve(g, options);
+        SkylineResult warm = engine.Query(options);
+        EXPECT_EQ(warm.stats.threads, threads);
+        ExpectSameResult(cold, warm, algorithm, threads);
+      }
+    }
+  }
+  EXPECT_EQ(engine.queries_served(),
+            3u * std::size(kAllAlgorithms) * std::size(kThreadCounts));
+}
+
+TEST_P(EngineEquivalence, PoisonedScratchDoesNotLeakBetweenQueries) {
+  // Garbage left in the pooled buffers by a previous query must never be
+  // read: fill everything with 0xAB between queries and re-compare.
+  Graph g = GetParam().make(3);
+  Engine engine{Graph(g)};
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SolverOptions options;
+    options.algorithm = algorithm;
+    options.threads = 2;
+    SkylineResult cold = Solve(g, options);
+    ExpectSameResult(cold, engine.Query(options), algorithm, 2);
+    engine.PoisonScratchForTesting();
+    ExpectSameResult(cold, engine.Query(options), algorithm, 2);
+  }
+}
+
+TEST_P(EngineEquivalence, CancelledQueryLeavesEngineServiceable) {
+  // A query killed by an immediate deadline abandons scratch mid-write; the
+  // next (unlimited) query must still be bit-identical to a cold solve.
+  Graph g = GetParam().make(5);
+  Engine engine{Graph(g)};
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SolverOptions options;
+    options.algorithm = algorithm;
+    options.threads = 2;
+    util::ExecutionContext expired;
+    expired.set_timeout_ms(0);
+    SkylineResult scratch;
+    util::Status status = engine.QueryInto(options, expired, &scratch);
+    if (!status.ok()) {
+      // Failed queries must not leave partial output behind.
+      EXPECT_TRUE(scratch.skyline.empty());
+    }
+    ExpectSameResult(Solve(g, options), engine.Query(options), algorithm, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphFamilies, EngineEquivalence,
+                         ::testing::ValuesIn(SmallGraphCases()),
+                         GraphCaseName);
+
+TEST(Engine, WarmQueriesAllocateNothing) {
+  // The headline serving property: once the engine has served one query of
+  // a given shape, identical queries never grow the pooled scratch. (Result
+  // reuse via QueryInto keeps the outputs allocation-free too.)
+  Graph g = graph::MakeChungLuPowerLaw(400, 2.3, 6, 9);
+  Engine engine{std::move(g)};
+  SkylineResult result;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SolverOptions options;
+    options.algorithm = algorithm;
+    options.threads = 2;
+    // Warm-up: artifact builds plus first-shape scratch growth.
+    ASSERT_TRUE(engine
+                    .QueryInto(options, util::ExecutionContext::Unlimited(),
+                               &result)
+                    .ok());
+  }
+  const uint64_t events = engine.WorkspaceAllocationEvents(2);
+  const uint64_t bytes = engine.WorkspaceAllocatedBytes(2);
+  for (int round = 0; round < 3; ++round) {
+    for (Algorithm algorithm : kAllAlgorithms) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = 2;
+      ASSERT_TRUE(engine
+                      .QueryInto(options, util::ExecutionContext::Unlimited(),
+                                 &result)
+                      .ok());
+    }
+  }
+  EXPECT_EQ(engine.WorkspaceAllocationEvents(2), events);
+  EXPECT_EQ(engine.WorkspaceAllocatedBytes(2), bytes);
+}
+
+TEST(Engine, QueryBatchMatchesIndividualQueries) {
+  Graph g = graph::MakeErdosRenyi(150, 0.05, 4);
+  Engine engine{Graph(g)};
+  std::vector<SolverOptions> batch;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SolverOptions options;
+    options.algorithm = algorithm;
+    batch.push_back(options);
+  }
+  std::vector<SkylineResult> results = engine.QueryBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameResult(Solve(g, batch[i]), results[i], batch[i].algorithm, 1);
+  }
+}
+
+TEST(Engine, WarmDegradationMatchesCold) {
+  // The predictive 2hop degradation consults the byte budget before the
+  // artifact cache, so a warm engine degrades exactly when a cold solve
+  // would -- even though the cached 2-hop lists already exist.
+  Graph g = graph::MakeChungLuPowerLaw(300, 2.2, 7, 2);
+  SolverOptions options;
+  options.algorithm = Algorithm::kBase2Hop;
+  Engine engine{Graph(g)};
+  engine.Query(options);  // builds the 2-hop artifacts
+
+  util::ExecutionContext tight;
+  tight.set_byte_budget(internal::EstimateBase2HopBytes(g, options) - 1);
+  SkylineResult cold;
+  ASSERT_TRUE(SolveInto(g, options, tight, &cold).ok());
+  EXPECT_EQ(cold.stats.degraded_from, "2hop");
+  SkylineResult warm;
+  ASSERT_TRUE(engine.QueryInto(options, tight, &warm).ok());
+  ExpectSameResult(cold, warm, options.algorithm, 1);
+}
+
+TEST(Engine, SkylineCacheIsComputedOnceAcrossConsumers) {
+  // The duplicated-solve fix: clique search, greedy closeness and group
+  // betweenness on one engine share a single skyline computation.
+  Graph g = graph::MakeChungLuPowerLaw(120, 2.4, 5, 6);
+  Engine engine{Graph(g)};
+  clique::NeiSkyMcResult mc = clique::NeiSkyMC(engine);
+  EXPECT_EQ(engine.queries_served(), 1u);
+
+  centrality::GreedyOptions greedy_options;
+  greedy_options.use_skyline_pruning = true;
+  greedy_options.engine = &engine;
+  centrality::GreedyResult gc =
+      centrality::GreedyGroupMaximization(engine.graph(), 2, greedy_options);
+  centrality::GroupBetweennessResult gb = centrality::NeiSkyGB(engine, 2);
+  EXPECT_EQ(engine.queries_served(), 1u);
+
+  // Same answers as the self-solving variants.
+  EXPECT_EQ(mc.clique.clique.size(), clique::NeiSkyMC(g).clique.clique.size());
+  EXPECT_EQ(gc.group, centrality::NeiSkyGC(g, 2).group);
+  EXPECT_EQ(gb.group, centrality::NeiSkyGB(g, 2).group);
+}
+
+TEST(Engine, SeededSetJoinMatchesUnseeded) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = graph::MakeChungLuPowerLaw(200, 2.4, 6, seed);
+    Engine engine{Graph(g)};
+    for (auto algorithm : {setjoin::JoinAlgorithm::kListCrosscutting,
+                           setjoin::JoinAlgorithm::kInvertedIndex}) {
+      SkylineResult unseeded = setjoin::SkylineViaJoin(g, algorithm);
+      SkylineResult seeded = setjoin::SkylineViaJoin(engine, algorithm);
+      EXPECT_EQ(unseeded.skyline, seeded.skyline) << "seed " << seed;
+      // Every recorded dominator must be a real dominator (the arrays may
+      // differ entry-wise: the seeded variant keeps filter dominators).
+      for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+        if (seeded.dominator[u] != u) {
+          EXPECT_TRUE(Dominates(g, seeded.dominator[u], u))
+              << seeded.dominator[u] << " vs " << u << " seed " << seed;
+        }
+      }
+      // Seeding the queries from the filter candidates must shrink (or at
+      // worst match) the join's pair volume.
+      EXPECT_LE(seeded.stats.pairs_examined, unseeded.stats.pairs_examined);
+    }
+  }
+}
+
+TEST(Engine, InvalidateArtifactsForcesRebuild) {
+  Graph g = graph::MakeErdosRenyi(100, 0.08, 3);
+  Engine engine{Graph(g)};
+  engine.Query();
+  const uint64_t builds = engine.prepared().builds();
+  EXPECT_GT(builds, 0u);
+  engine.Query();  // warm: no new builds
+  EXPECT_EQ(engine.prepared().builds(), builds);
+  engine.InvalidateArtifacts();
+  EXPECT_FALSE(engine.prepared().has_filter());
+  SkylineResult rebuilt = engine.Query();
+  EXPECT_GT(engine.prepared().builds(), builds);
+  ExpectSameResult(Solve(g), rebuilt, Algorithm::kFilterRefine, 1);
+}
+
+TEST(Engine, RefreshFromServesTheNewGraph) {
+  Graph before = graph::MakeErdosRenyi(80, 0.06, 1);
+  Graph after = graph::MakeBarabasiAlbert(120, 3, 2);
+  Engine engine{Graph(before)};
+  engine.Query();
+  engine.RefreshFrom(Graph(after));
+  ExpectSameResult(Solve(after), engine.Query(), Algorithm::kFilterRefine, 1);
+  EXPECT_EQ(engine.graph().NumVertices(), after.NumVertices());
+}
+
+TEST(Engine, DynamicSkylineInvalidationHookKeepsEngineFresh) {
+  // The documented wiring: incremental updates refresh the engine's graph
+  // snapshot; a bulk batch does the same but arrives as one bulk=true call.
+  Graph g = graph::MakeErdosRenyi(60, 0.08, 9);
+  DynamicSkyline dyn(g);
+  Engine engine{dyn.ToGraph()};
+  uint64_t incremental_calls = 0;
+  uint64_t bulk_calls = 0;
+  dyn.set_invalidation_hook([&](bool bulk) {
+    (bulk ? bulk_calls : incremental_calls)++;
+    engine.RefreshFrom(dyn.ToGraph());
+  });
+
+  // Small batch: applied incrementally, one hook call per applied update.
+  std::vector<EdgeUpdate> small;
+  for (graph::VertexId u = 0; u < 5; ++u) {
+    small.push_back({u, static_cast<graph::VertexId>(u + 30), true});
+  }
+  size_t applied = dyn.ApplyBatch(small);
+  EXPECT_EQ(incremental_calls, applied);
+  EXPECT_EQ(bulk_calls, 0u);
+  EXPECT_EQ(engine.Query().skyline, dyn.Skyline());
+
+  // Bulk batch: structural apply + one recompute, one bulk hook call.
+  std::vector<EdgeUpdate> bulk;
+  for (graph::VertexId u = 0; u < DynamicSkyline::kBulkThreshold + 4; ++u) {
+    bulk.push_back({u % 50, static_cast<graph::VertexId>(50 + u % 9), true});
+  }
+  dyn.ApplyBatch(bulk);
+  EXPECT_EQ(bulk_calls, 1u);
+  EXPECT_EQ(engine.Query().skyline, dyn.Skyline());
+}
+
+TEST(DynamicSkylineBatch, NoOpUpdatesAreNotApplied) {
+  DynamicSkyline dyn(10);
+  ASSERT_TRUE(dyn.AddEdge(0, 1));
+  std::vector<EdgeUpdate> updates = {
+      {0, 1, true},   // duplicate insert
+      {2, 2, true},   // self loop
+      {3, 4, false},  // absent delete
+      {0, 1, false},  // real delete
+      {5, 6, true},   // real insert
+  };
+  EXPECT_EQ(dyn.ApplyBatch(updates), 2u);
+  EXPECT_FALSE(dyn.HasEdge(0, 1));
+  EXPECT_TRUE(dyn.HasEdge(5, 6));
+}
+
+TEST(DynamicSkylineBatch, BulkBatchMatchesIncrementalReplay) {
+  // The two ApplyBatch regimes must converge to the same skyline.
+  Graph g = graph::MakeErdosRenyi(70, 0.05, 12);
+  std::vector<EdgeUpdate> updates;
+  for (graph::VertexId u = 0; u < DynamicSkyline::kBulkThreshold + 8; ++u) {
+    updates.push_back({u % 60, static_cast<graph::VertexId>((u * 7 + 3) % 60),
+                       u % 3 != 0});
+  }
+  DynamicSkyline batched(g);
+  batched.ApplyBatch(updates);
+  DynamicSkyline incremental(g);
+  for (const EdgeUpdate& e : updates) {
+    if (e.u == e.v) continue;
+    if (e.insert) {
+      incremental.AddEdge(e.u, e.v);
+    } else {
+      incremental.RemoveEdge(e.u, e.v);
+    }
+  }
+  EXPECT_EQ(batched.Skyline(), incremental.Skyline());
+  EXPECT_EQ(batched.NumEdges(), incremental.NumEdges());
+}
+
+}  // namespace
+}  // namespace nsky::core

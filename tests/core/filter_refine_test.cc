@@ -1,8 +1,7 @@
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 
 #include <gtest/gtest.h>
 
-#include "core/base_sky.h"
 #include "core/domination.h"
 #include "graph/generators.h"
 
@@ -12,26 +11,26 @@ namespace {
 using graph::Graph;
 
 TEST(FilterRefineSky, EmptyAndTinyGraphs) {
-  EXPECT_TRUE(FilterRefineSky(Graph::FromEdges(0, {})).skyline.empty());
-  EXPECT_EQ(FilterRefineSky(Graph::FromEdges(1, {})).skyline.size(), 1u);
-  EXPECT_EQ(FilterRefineSky(Graph::FromEdges(2, {{0, 1}})).skyline,
+  EXPECT_TRUE(Solve(Graph::FromEdges(0, {})).skyline.empty());
+  EXPECT_EQ(Solve(Graph::FromEdges(1, {})).skyline.size(), 1u);
+  EXPECT_EQ(Solve(Graph::FromEdges(2, {{0, 1}})).skyline,
             (std::vector<graph::VertexId>{0}));
 }
 
 TEST(FilterRefineSky, MatchesBruteForceAcrossSeeds) {
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     Graph g = graph::MakeChungLuPowerLaw(250, 2.3, 6, seed);
-    EXPECT_EQ(FilterRefineSky(g).skyline, BruteForceSkyline(g).skyline)
+    EXPECT_EQ(Solve(g).skyline, BruteForceSkyline(g).skyline)
         << "seed " << seed;
   }
 }
 
 TEST(FilterRefineSky, BloomDisabledSameResult) {
-  FilterRefineOptions no_bloom;
+  SolverOptions no_bloom;
   no_bloom.use_bloom = false;
   for (uint64_t seed = 1; seed <= 4; ++seed) {
     Graph g = graph::MakeErdosRenyi(150, 0.05, seed);
-    EXPECT_EQ(FilterRefineSky(g).skyline, FilterRefineSky(g, no_bloom).skyline)
+    EXPECT_EQ(Solve(g).skyline, Solve(g, no_bloom).skyline)
         << "seed " << seed;
   }
 }
@@ -39,22 +38,22 @@ TEST(FilterRefineSky, BloomDisabledSameResult) {
 TEST(FilterRefineSky, TinyBloomStillExact) {
   // A deliberately undersized filter floods with false positives; NBRcheck
   // must still keep the result exact.
-  FilterRefineOptions tiny;
+  SolverOptions tiny;
   tiny.bloom_bits = 64;
   for (uint64_t seed = 1; seed <= 4; ++seed) {
     Graph g = graph::MakeBarabasiAlbert(180, 4, seed);
-    EXPECT_EQ(FilterRefineSky(g, tiny).skyline, BruteForceSkyline(g).skyline)
+    EXPECT_EQ(Solve(g, tiny).skyline, BruteForceSkyline(g).skyline)
         << "seed " << seed;
   }
 }
 
 TEST(FilterRefineSky, LargeBloomPrunesMore) {
   Graph g = graph::MakeChungLuPowerLaw(600, 2.2, 7, 3);
-  FilterRefineOptions tiny, large;
+  SolverOptions tiny, large;
   tiny.bloom_bits = 64;
   large.bloom_bits = 4096;
-  SkylineResult with_tiny = FilterRefineSky(g, tiny);
-  SkylineResult with_large = FilterRefineSky(g, large);
+  SkylineResult with_tiny = Solve(g, tiny);
+  SkylineResult with_large = Solve(g, large);
   EXPECT_EQ(with_tiny.skyline, with_large.skyline);
   // A wider filter rejects no fewer pairs before the exact check.
   EXPECT_GE(with_large.stats.bloom_prunes, with_tiny.stats.bloom_prunes / 2);
@@ -63,7 +62,7 @@ TEST(FilterRefineSky, LargeBloomPrunesMore) {
 
 TEST(FilterRefineSky, CandidateCountRecorded) {
   Graph g = graph::MakeChungLuPowerLaw(400, 2.4, 6, 11);
-  SkylineResult r = FilterRefineSky(g);
+  SkylineResult r = Solve(g);
   EXPECT_GT(r.stats.candidate_count, 0u);
   EXPECT_GE(r.stats.candidate_count, r.skyline.size());
   EXPECT_LE(r.stats.candidate_count, g.NumVertices());
@@ -72,7 +71,7 @@ TEST(FilterRefineSky, CandidateCountRecorded) {
 TEST(FilterRefineSky, DominatorsActuallyDominate) {
   for (uint64_t seed = 1; seed <= 4; ++seed) {
     Graph g = graph::MakeErdosRenyi(120, 0.07, seed);
-    SkylineResult r = FilterRefineSky(g);
+    SkylineResult r = Solve(g);
     for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
       if (r.dominator[u] != u) {
         EXPECT_TRUE(Dominates(g, r.dominator[u], u))
@@ -86,8 +85,8 @@ TEST(FilterRefineSky, ExaminesFewerPairsThanBaseSky) {
   // The headline claim on power-law graphs: the filter phase plus blooms
   // shrink the verification work dramatically.
   Graph g = graph::MakeChungLuPowerLaw(3000, 2.3, 7, 5);
-  SkylineResult fr = FilterRefineSky(g);
-  SkylineResult bs = BaseSky(g);
+  SkylineResult fr = Solve(g);
+  SkylineResult bs = Solve(g, {.algorithm = Algorithm::kBaseSky});
   EXPECT_EQ(fr.skyline, bs.skyline);
   EXPECT_LT(fr.stats.inclusion_tests + fr.stats.pairs_examined,
             bs.stats.pairs_examined);

@@ -124,17 +124,19 @@ TEST(SolverApiTest, ThreadsZeroResolvesToHardwareCount) {
   EXPECT_EQ(Solve(g, options).skyline, r.skyline);
 }
 
-TEST(SolverApiTest, DeprecatedWrappersMatchSolve) {
+TEST(SolverApiTest, EngineQueryMatchesSolveForEveryAlgorithm) {
+  // The serving path (Engine::Query, warm artifacts) and the one-shot path
+  // (Solve, cold) share one dispatch body and must agree bit-for-bit.
   graph::Graph g = graph::MakeChungLuPowerLaw(150, 2.5, 6, 11);
-  SolverOptions options;
-  options.algorithm = Algorithm::kFilterRefine;
-  EXPECT_EQ(FilterRefineSky(g).skyline, Solve(g, options).skyline);
-  options.algorithm = Algorithm::kBaseSky;
-  EXPECT_EQ(BaseSky(g).skyline, Solve(g, options).skyline);
-  options.algorithm = Algorithm::kBaseCSet;
-  EXPECT_EQ(BaseCSet(g).skyline, Solve(g, options).skyline);
-  options.algorithm = Algorithm::kBase2Hop;
-  EXPECT_EQ(Base2Hop(g).skyline, Solve(g, options).skyline);
+  Engine engine{graph::Graph(g)};
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SolverOptions options;
+    options.algorithm = algorithm;
+    SkylineResult cold = Solve(g, options);
+    // Twice: first query may build artifacts, second is fully warm.
+    ExpectSameResult(cold, engine.Query(options), algorithm, 11, 1);
+    ExpectSameResult(cold, engine.Query(options), algorithm, 11, 1);
+  }
 }
 
 }  // namespace

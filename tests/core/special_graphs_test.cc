@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/filter_phase.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 
 namespace nsky::core {
@@ -14,7 +14,7 @@ class CliqueSizes : public ::testing::TestWithParam<graph::VertexId> {};
 
 TEST_P(CliqueSizes, SkylineAndCandidatesAreSingletons) {
   graph::Graph g = graph::MakeClique(GetParam());
-  EXPECT_EQ(FilterRefineSky(g).skyline.size(), 1u);
+  EXPECT_EQ(Solve(g).skyline.size(), 1u);
   EXPECT_EQ(FilterPhase(g).skyline.size(), 1u);
 }
 
@@ -26,7 +26,7 @@ class CycleSizes : public ::testing::TestWithParam<graph::VertexId> {};
 TEST_P(CycleSizes, EverythingSurvives) {
   // For n >= 5 no cycle vertex's neighborhood is contained in another's.
   graph::Graph g = graph::MakeCycle(GetParam());
-  EXPECT_EQ(FilterRefineSky(g).skyline.size(), g.NumVertices());
+  EXPECT_EQ(Solve(g).skyline.size(), g.NumVertices());
   EXPECT_EQ(FilterPhase(g).skyline.size(), g.NumVertices());
 }
 
@@ -37,7 +37,7 @@ class PathSizes : public ::testing::TestWithParam<graph::VertexId> {};
 TEST_P(PathSizes, EndpointsAreDominated) {
   // For n >= 4 exactly the two endpoints are dominated: |R| = n - 2.
   graph::Graph g = graph::MakePath(GetParam());
-  SkylineResult r = FilterRefineSky(g);
+  SkylineResult r = Solve(g);
   EXPECT_EQ(r.skyline.size(), g.NumVertices() - 2);
   EXPECT_NE(r.dominator[0], 0u);
   EXPECT_NE(r.dominator[g.NumVertices() - 1], g.NumVertices() - 1);
@@ -53,7 +53,7 @@ TEST_P(TreeLevels, InternalVerticesSurvive) {
   // vertices survive. Internal count = 2^(levels-1) - 1.
   uint32_t levels = GetParam();
   graph::Graph g = graph::MakeCompleteBinaryTree(levels);
-  SkylineResult r = FilterRefineSky(g);
+  SkylineResult r = Solve(g);
   graph::VertexId internal = (graph::VertexId{1} << (levels - 1)) - 1;
   EXPECT_EQ(r.skyline.size(), internal);
   for (graph::VertexId u : r.skyline) {
@@ -67,19 +67,19 @@ INSTANTIATE_TEST_SUITE_P(Fig2b, TreeLevels, ::testing::Values(3, 4, 5, 7, 10));
 TEST(SpecialGraphs, SmallCyclesAreFullyMutual) {
   // Triangle = K3: one survivor. C4: opposite vertices have equal
   // neighborhoods, so ids break ties and two survive.
-  EXPECT_EQ(FilterRefineSky(graph::MakeCycle(3)).skyline.size(), 1u);
-  EXPECT_EQ(FilterRefineSky(graph::MakeCycle(4)).skyline.size(), 2u);
+  EXPECT_EQ(Solve(graph::MakeCycle(3)).skyline.size(), 1u);
+  EXPECT_EQ(Solve(graph::MakeCycle(4)).skyline.size(), 2u);
 }
 
 TEST(SpecialGraphs, ShortPaths) {
   // P2 = K2 -> 1 survivor; P3: the middle dominates both endpoints.
-  EXPECT_EQ(FilterRefineSky(graph::MakePath(2)).skyline.size(), 1u);
-  EXPECT_EQ(FilterRefineSky(graph::MakePath(3)).skyline.size(), 1u);
+  EXPECT_EQ(Solve(graph::MakePath(2)).skyline.size(), 1u);
+  EXPECT_EQ(Solve(graph::MakePath(3)).skyline.size(), 1u);
 }
 
 TEST(SpecialGraphs, StarIsDominatedByCenter) {
   graph::Graph g = graph::MakeStar(12);
-  SkylineResult r = FilterRefineSky(g);
+  SkylineResult r = Solve(g);
   EXPECT_EQ(r.skyline, (std::vector<graph::VertexId>{0}));
 }
 
@@ -90,9 +90,9 @@ TEST(SpecialGraphs, SocialGraphSkylineMuchSmallerThanErdosRenyi) {
   graph::Graph social = graph::MakeSocialGraph(5000, 6.0, 0.6, 0.4, 42, 0.3);
   graph::Graph er = graph::MakeErdosRenyi(5000, 7.0 / 4999.0 /*same avg*/, 42);
   double social_ratio =
-      static_cast<double>(FilterRefineSky(social).skyline.size()) /
+      static_cast<double>(Solve(social).skyline.size()) /
       social.NumVertices();
-  double er_ratio = static_cast<double>(FilterRefineSky(er).skyline.size()) /
+  double er_ratio = static_cast<double>(Solve(er).skyline.size()) /
                     er.NumVertices();
   EXPECT_LT(social_ratio, 0.6);
   EXPECT_GT(er_ratio, 0.8);

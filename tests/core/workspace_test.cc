@@ -1,0 +1,116 @@
+// SolverWorkspace contract (core/workspace.h): Prepare*() hands back
+// correctly sized, correctly initialized buffers; capacity growth is the
+// only allocation and is fully visible through the ledger counters.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/workspace.h"
+
+namespace nsky::core {
+namespace {
+
+TEST(SolverWorkspace, PrepareMemberIsSizedAndZeroFilled) {
+  SolverWorkspace ws;
+  auto& member = ws.PrepareMember(64);
+  ASSERT_EQ(member.size(), 64u);
+  for (uint8_t b : member) EXPECT_EQ(b, 0);
+  member[10] = 1;
+  // Re-preparing must clear what the previous query wrote.
+  auto& again = ws.PrepareMember(64);
+  EXPECT_EQ(again[10], 0);
+}
+
+TEST(SolverWorkspace, PrepareWorkerCountsZeroedEveryTime) {
+  SolverWorkspace ws;
+  auto& counts = ws.PrepareWorkerCounts(3, 32);
+  ASSERT_EQ(counts.size(), 3u);
+  for (auto& per_worker : counts) {
+    ASSERT_EQ(per_worker.size(), 32u);
+  }
+  counts[1][7] = 99;
+  auto& again = ws.PrepareWorkerCounts(3, 32);
+  EXPECT_EQ(again[1][7], 0u);
+}
+
+TEST(SolverWorkspace, PrepareWorkerStatsResets) {
+  SolverWorkspace ws;
+  auto& stats = ws.PrepareWorkerStats(2);
+  ASSERT_EQ(stats.size(), 2u);
+  stats[0].pairs_examined = 123;
+  auto& again = ws.PrepareWorkerStats(2);
+  EXPECT_EQ(again[0].pairs_examined, 0u);
+}
+
+TEST(SolverWorkspace, PrepareTwoHopClearsInnerListsKeepsCapacity) {
+  SolverWorkspace ws;
+  auto& two_hop = ws.PrepareTwoHop(8);
+  ASSERT_EQ(two_hop.size(), 8u);
+  two_hop[3] = {1, 2, 3, 4, 5};
+  const uint64_t events = ws.allocation_events();
+  auto& again = ws.PrepareTwoHop(8);
+  EXPECT_TRUE(again[3].empty());
+  EXPECT_GE(again[3].capacity(), 5u);
+  EXPECT_EQ(ws.allocation_events(), events);
+}
+
+TEST(SolverWorkspace, GrowthIsTheOnlyAllocation) {
+  SolverWorkspace ws;
+  ws.PrepareMember(100);
+  ws.PrepareWorkerCounts(4, 100);
+  ws.PrepareWorkerTouched(4);
+  ws.PrepareWorkerBytes(4);
+  const uint64_t events = ws.allocation_events();
+  const uint64_t bytes = ws.allocated_bytes();
+  EXPECT_GT(events, 0u);
+  EXPECT_GT(bytes, 0u);
+  // Same shape again, and smaller shapes: no growth.
+  ws.PrepareMember(100);
+  ws.PrepareMember(40);
+  ws.PrepareWorkerCounts(4, 100);
+  ws.PrepareWorkerCounts(2, 50);
+  ws.PrepareWorkerTouched(3);
+  ws.PrepareWorkerBytes(1);
+  EXPECT_EQ(ws.allocation_events(), events);
+  EXPECT_EQ(ws.allocated_bytes(), bytes);
+  // A larger shape must grow and must say so.
+  ws.PrepareMember(200);
+  EXPECT_GT(ws.allocation_events(), events);
+  EXPECT_GT(ws.allocated_bytes(), bytes);
+}
+
+TEST(SolverWorkspace, PoisonedBuffersComeBackInitialized) {
+  SolverWorkspace ws;
+  ws.PrepareMember(32);
+  ws.PrepareWorkerCounts(2, 32);
+  ws.PrepareWorkerStats(2);
+  ws.PrepareWorkerBytes(2);
+  ws.PoisonForTesting();
+  auto& member = ws.PrepareMember(32);
+  for (uint8_t b : member) EXPECT_EQ(b, 0);
+  auto& counts = ws.PrepareWorkerCounts(2, 32);
+  for (auto& per_worker : counts) {
+    for (uint32_t c : per_worker) EXPECT_EQ(c, 0u);
+  }
+  auto& stats = ws.PrepareWorkerStats(2);
+  for (const SkylineStats& s : stats) {
+    EXPECT_EQ(s.pairs_examined, 0u);
+    EXPECT_EQ(s.inclusion_tests, 0u);
+  }
+  auto& worker_bytes = ws.PrepareWorkerBytes(2);
+  for (uint64_t b : worker_bytes) EXPECT_EQ(b, 0u);
+}
+
+TEST(SolverWorkspace, PoisonDoesNotCountAsAllocation) {
+  SolverWorkspace ws;
+  ws.PrepareMember(64);
+  ws.PrepareTwoHop(16);
+  const uint64_t events = ws.allocation_events();
+  ws.PoisonForTesting();
+  ws.PrepareMember(64);
+  ws.PrepareTwoHop(16);
+  EXPECT_EQ(ws.allocation_events(), events);
+}
+
+}  // namespace
+}  // namespace nsky::core

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "datasets/bombing.h"
 #include "datasets/karate.h"
 #include "datasets/registry.h"
@@ -108,7 +108,7 @@ TEST(Registry, SkylineRatioOrderingMatchesPaper) {
   // DBLP the least. The stand-ins preserve that ordering.
   auto ratio = [](const char* name) {
     auto g = MakeStandin(name, StandinScale::kFull).value();
-    return static_cast<double>(core::FilterRefineSky(g).skyline.size()) /
+    return static_cast<double>(core::Solve(g).skyline.size()) /
            g.NumVertices();
   };
   double wikitalk = ratio("wikitalk");

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -94,7 +94,7 @@ TEST(ThresholdAndSkyline, ConnectedThresholdGraphHasSingletonSkyline) {
     }
     ops.push_back(Op::kDominating);  // force connectivity
     Graph g = MakeThresholdGraph(ops);
-    auto skyline = core::FilterRefineSky(g).skyline;
+    auto skyline = core::Solve(g).skyline;
     EXPECT_EQ(skyline.size(), 1u) << "trial " << trial;
   }
 }
@@ -103,7 +103,7 @@ TEST(ThresholdAndSkyline, IsolatedTailKeptByConvention) {
   // Trailing isolated vertices are skyline members (2-hop convention).
   Graph g = MakeThresholdGraph(
       {Op::kIsolated, Op::kDominating, Op::kDominating, Op::kIsolated});
-  auto skyline = core::FilterRefineSky(g).skyline;
+  auto skyline = core::Solve(g).skyline;
   EXPECT_EQ(skyline.size(), 2u);  // one from the triangle, plus vertex 3
 }
 

@@ -10,7 +10,7 @@
 #include "clique/max_clique.h"
 #include "clique/nei_sky_mc.h"
 #include "clique/topk.h"
-#include "core/filter_refine_sky.h"
+#include "core/solver.h"
 #include "testing/fixtures.h"
 
 namespace nsky {
@@ -80,7 +80,7 @@ TEST_P(ApplicationProperties, SkylineSeedsSufficeForAnyMaximumClique) {
   // Lemma 5's operative form on every family: the seeded search with *only*
   // skyline seeds and no incumbent still reaches the maximum size.
   graph::Graph g = GetParam().make(9);
-  auto skyline = core::FilterRefineSky(g).skyline;
+  auto skyline = core::Solve(g).skyline;
   clique::CliqueResult via_skyline = clique::MaxCliqueSeeded(g, skyline);
   clique::CliqueResult base = clique::MaxClique(g);
   EXPECT_EQ(via_skyline.clique.size(), base.clique.size());

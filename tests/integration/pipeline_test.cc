@@ -23,9 +23,9 @@ namespace {
 TEST(Pipeline, SkylineSolversAgreeOnStandinDataset) {
   graph::Graph g =
       datasets::MakeStandin("dblp", datasets::StandinScale::kSmall).value();
-  core::SkylineResult fr = core::FilterRefineSky(g);
-  EXPECT_EQ(core::BaseSky(g).skyline, fr.skyline);
-  EXPECT_EQ(core::BaseCSet(g).skyline, fr.skyline);
+  core::SkylineResult fr = core::Solve(g);
+  EXPECT_EQ(core::Solve(g, {.algorithm = core::Algorithm::kBaseSky}).skyline, fr.skyline);
+  EXPECT_EQ(core::Solve(g, {.algorithm = core::Algorithm::kBaseCSet}).skyline, fr.skyline);
   EXPECT_EQ(setjoin::SkylineViaJoin(g).skyline, fr.skyline);
   // Power-law stand-in: skyline clearly below n (Exp-3's key observation).
   EXPECT_LT(fr.skyline.size(), g.NumVertices());
@@ -35,7 +35,7 @@ TEST(Pipeline, KarateCaseStudy) {
   // Fig. 13 reports 15 skyline vertices (44%) on Karate. Exact graph, so
   // the exact count is reproducible.
   graph::Graph g = datasets::MakeKarateClub();
-  core::SkylineResult r = core::FilterRefineSky(g);
+  core::SkylineResult r = core::Solve(g);
   EXPECT_EQ(core::BruteForceSkyline(g).skyline, r.skyline);
   double ratio = static_cast<double>(r.skyline.size()) / g.NumVertices();
   EXPECT_GT(ratio, 0.25);
@@ -51,7 +51,7 @@ TEST(Pipeline, KarateCaseStudy) {
 
 TEST(Pipeline, BombingCaseStudy) {
   graph::Graph g = datasets::MakeBombingSurrogate();
-  core::SkylineResult r = core::FilterRefineSky(g);
+  core::SkylineResult r = core::Solve(g);
   EXPECT_EQ(core::BruteForceSkyline(g).skyline, r.skyline);
   // Fig. 13 reports ~31% on the original; the surrogate should also be
   // well below the vertex count.
@@ -97,9 +97,9 @@ TEST(Pipeline, ScalabilitySamplersPreserveAgreement) {
   for (double frac : {0.4, 0.8}) {
     graph::Graph by_n = graph::SampleVertices(g, frac, 1);
     graph::Graph by_rho = graph::SampleEdges(g, frac, 1);
-    EXPECT_EQ(core::BaseSky(by_n).skyline, core::FilterRefineSky(by_n).skyline);
-    EXPECT_EQ(core::BaseSky(by_rho).skyline,
-              core::FilterRefineSky(by_rho).skyline);
+    EXPECT_EQ(core::Solve(by_n, {.algorithm = core::Algorithm::kBaseSky}).skyline, core::Solve(by_n).skyline);
+    EXPECT_EQ(core::Solve(by_rho, {.algorithm = core::Algorithm::kBaseSky}).skyline,
+              core::Solve(by_rho).skyline);
   }
 }
 
@@ -113,8 +113,8 @@ TEST(Pipeline, SaveLoadThenAnalyze) {
   EXPECT_EQ(loaded.value().NumEdges(), g.NumEdges());
   // The loader relabels by first appearance, which permutes ids; the
   // skyline *size* is relabeling-invariant (one survivor per mutual class).
-  EXPECT_EQ(core::FilterRefineSky(loaded.value()).skyline.size(),
-            core::FilterRefineSky(g).skyline.size());
+  EXPECT_EQ(core::Solve(loaded.value()).skyline.size(),
+            core::Solve(g).skyline.size());
   std::remove(path.c_str());
 }
 

@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include "core/base_sky.h"
 #include "core/domination.h"
 #include "graph/generators.h"
 

@@ -112,6 +112,49 @@ TEST(Cli, SkylineRejectsBadAlgorithm) {
   EXPECT_NE(r.exit_code, 0);
 }
 
+TEST(Cli, SkylineEngineRepeatMatchesSingleSolve) {
+  // --repeat serves all iterations from one engine (first cold, rest warm);
+  // the printed result must match the plain one-shot run.
+  CliRun cold = RunTool({"skyline", "--generate", "ba:300:3:7"});
+  ASSERT_EQ(cold.exit_code, 0) << cold.err;
+  for (auto warm_args : {std::vector<std::string>{"skyline", "--generate",
+                                                  "ba:300:3:7", "--engine"},
+                         std::vector<std::string>{"skyline", "--generate",
+                                                  "ba:300:3:7", "--repeat",
+                                                  "4"}}) {
+    CliRun warm = RunTool(warm_args);
+    EXPECT_EQ(warm.exit_code, 0) << warm.err;
+    // "skyline N of 300" prefix identical to the one-shot run.
+    EXPECT_EQ(warm.out.substr(0, warm.out.find("(")),
+              cold.out.substr(0, cold.out.find("(")));
+  }
+}
+
+TEST(Cli, SkylineEngineJsonCarriesAdditiveKeys) {
+  CliRun r = RunTool({"skyline", "--generate", "ba:200:3:7", "--repeat", "3",
+                      "--json"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"schema\":\"nsky.skyline.v1\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"engine\":true"), std::string::npos);
+  EXPECT_NE(r.out.find("\"repeat\":3"), std::string::npos);
+  // Plain runs must not grow the schema.
+  CliRun plain = RunTool({"skyline", "--generate", "ba:200:3:7", "--json"});
+  EXPECT_EQ(plain.out.find("\"engine\""), std::string::npos);
+}
+
+TEST(Cli, SkylineRejectsBadRepeatAndJoinWithEngine) {
+  CliRun zero =
+      RunTool({"skyline", "--generate", "cycle:5", "--repeat", "0"});
+  EXPECT_EQ(zero.exit_code, 2);
+  CliRun nan =
+      RunTool({"skyline", "--generate", "cycle:5", "--repeat", "x"});
+  EXPECT_EQ(nan.exit_code, 2);
+  CliRun join = RunTool(
+      {"skyline", "--generate", "cycle:5", "--algo", "join", "--engine"});
+  EXPECT_EQ(join.exit_code, 2);
+  EXPECT_NE(join.err.find("--engine/--repeat"), std::string::npos);
+}
+
 TEST(Cli, SkylinePrintsMembers) {
   CliRun r = RunTool({"skyline", "--generate", "star:5", "--print", "yes"});
   EXPECT_EQ(r.exit_code, 0);
