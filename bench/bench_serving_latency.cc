@@ -1,0 +1,120 @@
+// Serving latency trajectory: per-query percentiles and QPS of a warm
+// core::Engine on Table-1 stand-in graphs.
+//
+// This is the first perf-trajectory bench: its report is committed to the
+// repo as BENCH_serving.json so successive revisions can be diffed for
+// serving-path regressions. For each dataset x algorithm it measures one
+// cold query (artifact builds included), then a warm loop timed per query
+// (exact p50/p99 from the raw samples, plus QPS) and a QueryBatch pass.
+// The engine's own latency histogram (StatsSnapshot) is sampled alongside,
+// so the log-linear EstimateQuantile numbers can be cross-checked against
+// the exact nearest-rank percentiles in one report.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/nsky.h"
+#include "datasets/registry.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace nsky;
+  bench::Banner("Serving latency",
+                "warm Engine::Query p50/p99 + QPS, stand-in datasets");
+
+  const uint32_t threads = bench::BenchThreads(argc, argv);
+  constexpr int kWarmQueries = 50;
+  constexpr int kBatchSize = 16;
+  constexpr core::Algorithm kAlgorithms[] = {core::Algorithm::kFilterRefine,
+                                             core::Algorithm::kBase2Hop};
+
+  bench::JsonReporter report("bench_serving_latency", "BENCH_serving");
+  bench::Table table({"dataset", "algo", "cold_us", "p50_us", "p99_us",
+                      "qps", "batch_qps", "skyline"},
+                     12);
+  table.PrintHeader();
+
+  for (const auto& spec : datasets::AllStandins()) {
+    graph::Graph g =
+        datasets::MakeStandin(spec, datasets::StandinScale::kSmall);
+    for (core::Algorithm algorithm : kAlgorithms) {
+      core::SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+
+      core::Engine engine{graph::Graph(g)};
+      util::Timer cold_timer;
+      core::SkylineResult cold = engine.Query(options);
+      const double cold_us = cold_timer.Micros();
+
+      std::vector<double> warm_us;
+      warm_us.reserve(kWarmQueries);
+      util::Timer loop_timer;
+      for (int i = 0; i < kWarmQueries; ++i) {
+        util::Timer query_timer;
+        core::SkylineResult warm = engine.Query(options);
+        warm_us.push_back(query_timer.Micros());
+        if (warm.skyline != cold.skyline ||
+            warm.stats.aux_peak_bytes != cold.stats.aux_peak_bytes) {
+          std::printf("ERROR: warm result diverged on %s\n",
+                      spec.name.c_str());
+          return 1;
+        }
+      }
+      const double loop_s = loop_timer.Seconds();
+      const double qps = loop_s > 0 ? kWarmQueries / loop_s : 0.0;
+      const double p50 = bench::Percentile(warm_us, 0.50);
+      const double p99 = bench::Percentile(warm_us, 0.99);
+
+      std::vector<core::SolverOptions> batch(kBatchSize, options);
+      util::Timer batch_timer;
+      std::vector<core::SkylineResult> batch_results =
+          engine.QueryBatch(batch);
+      const double batch_s = batch_timer.Seconds();
+      const double batch_qps = batch_s > 0 ? kBatchSize / batch_s : 0.0;
+      if (batch_results.back().skyline != cold.skyline) {
+        std::printf("ERROR: batch result diverged on %s\n", spec.name.c_str());
+        return 1;
+      }
+
+      // The engine's own view of the same distribution (bucketed estimate).
+      core::EngineStats stats = engine.StatsSnapshot();
+      double engine_p50 = 0.0, engine_p99 = 0.0;
+      for (const core::EngineStats::AlgorithmLatency& al : stats.latency) {
+        if (al.algorithm == core::AlgorithmName(algorithm)) {
+          engine_p50 = util::metrics::EstimateQuantile(al.latency_us, 0.50);
+          engine_p99 = util::metrics::EstimateQuantile(al.latency_us, 0.99);
+        }
+      }
+
+      table.PrintRow({spec.name, core::AlgorithmName(algorithm),
+                      bench::Fmt(cold_us, "%.0f"), bench::Fmt(p50, "%.0f"),
+                      bench::Fmt(p99, "%.0f"), bench::Fmt(qps, "%.0f"),
+                      bench::Fmt(batch_qps, "%.0f"),
+                      bench::FmtU(cold.skyline.size())});
+      report.AddRow()
+          .Str("dataset", spec.name)
+          .Str("algo", core::AlgorithmName(algorithm))
+          .U64("threads", threads)
+          .U64("n", g.NumVertices())
+          .U64("m", g.NumEdges())
+          .F64("cold_us", cold_us)
+          .F64("warm_p50_us", p50)
+          .F64("warm_p99_us", p99)
+          .F64("warm_qps", qps)
+          .F64("batch_qps", batch_qps)
+          .F64("engine_p50_us", engine_p50)
+          .F64("engine_p99_us", engine_p99)
+          .U64("warm_queries", kWarmQueries)
+          .U64("skyline_size", cold.skyline.size())
+          .U64("aux_peak_bytes", cold.stats.aux_peak_bytes);
+    }
+  }
+
+  std::printf(
+      "\nExpectation: warm p50 well under the cold query (no artifact\n"
+      "builds), p99 close to p50 (allocation-free warm path), and the\n"
+      "engine's bucketed engine_p50/p99 within ~2x of the exact\n"
+      "nearest-rank percentiles.\n");
+  return report.Write() ? 0 : 1;
+}

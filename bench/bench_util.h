@@ -13,6 +13,7 @@
 #ifndef NSKY_BENCH_BENCH_UTIL_H_
 #define NSKY_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +96,20 @@ inline std::string FmtU(uint64_t v) {
   return buf;
 }
 
+// Nearest-rank percentile (q in [0, 1]) over raw samples; sorts a copy.
+// Exact on the measured data, unlike the bucketed estimates a histogram
+// gives -- latency benches report these and let the engine's own
+// EstimateQuantile numbers be cross-checked against them.
+inline double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(values.size() - 1) +
+                                    0.5);
+  return values[rank];
+}
+
 // Seconds with adaptive precision (benchmark tables).
 inline std::string FmtSecs(double s) {
   char buf[32];
@@ -145,7 +160,15 @@ class JsonReporter {
   };
 
   explicit JsonReporter(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+      : bench_name_(std::move(bench_name)), output_stem_(bench_name_) {}
+
+  // Same report, but the default output file is <output_stem>.json instead
+  // of <bench_name>.json -- the perf-trajectory files committed to the repo
+  // (BENCH_*.json) keep their own naming while "bench" stays the binary
+  // name. $NSKY_BENCH_JSON still overrides the full path.
+  JsonReporter(std::string bench_name, std::string output_stem)
+      : bench_name_(std::move(bench_name)),
+        output_stem_(std::move(output_stem)) {}
 
   JsonReporter(const JsonReporter&) = delete;
   JsonReporter& operator=(const JsonReporter&) = delete;
@@ -191,9 +214,9 @@ class JsonReporter {
   std::string OutputPath() const {
     if (const char* path = std::getenv("NSKY_BENCH_JSON")) return path;
     if (const char* dir = std::getenv("NSKY_BENCH_JSON_DIR")) {
-      return std::string(dir) + "/" + bench_name_ + ".json";
+      return std::string(dir) + "/" + output_stem_ + ".json";
     }
-    return bench_name_ + ".json";
+    return output_stem_ + ".json";
   }
 
   // Writes the report; on failure prints a warning to stderr (a bench run
@@ -217,6 +240,7 @@ class JsonReporter {
 
  private:
   std::string bench_name_;
+  std::string output_stem_;
   std::vector<Row> rows_;
   bool written_ = false;
 };

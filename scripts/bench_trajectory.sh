@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates the committed perf-trajectory reports (BENCH_*.json).
+#
+# Usage: scripts/bench_trajectory.sh [build-dir]
+#
+# Configures a Release build, builds the trajectory bench binaries, and runs
+# them from the repo root so each report lands next to the sources it
+# belongs to (bench_serving_latency -> ./BENCH_serving.json). Commit the
+# refreshed files with the change that moved the numbers; the diff IS the
+# perf trajectory.
+#
+# Numbers are machine-dependent: compare relative shape (warm vs cold,
+# p99/p50 spread) across commits from the same machine, not absolute
+# microseconds across machines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_serving_latency
+
+# Trajectory benches write their committed report into the repo root.
+unset NSKY_BENCH_JSON NSKY_BENCH_JSON_DIR
+"$BUILD_DIR"/bench/bench_serving_latency
+
+echo "bench_trajectory.sh: refreshed BENCH_serving.json"

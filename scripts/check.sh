@@ -2,7 +2,8 @@
 # One-command correctness gate: sanitizer Debug build + full ctest run +
 # a parallel-solver CLI smoke test.
 #
-# Usage: scripts/check.sh [--tsan | --faults | --engine] [build-dir]
+# Usage: scripts/check.sh [--tsan | --faults | --engine | --observability]
+#                         [build-dir]
 #
 # Default mode configures a Debug build with AddressSanitizer + UBSan
 # (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
@@ -29,6 +30,15 @@
 # --engine/--repeat serving path, asserting warm output equals the cold
 # solve. The right gate for changes to core/engine.*, core/prepared_graph.*
 # or core/workspace.*.
+#
+# --observability keeps the ASan build but runs only the
+# observability-labeled suites (ctest -L observability: engine stats, flight
+# recorder, quantile estimation, Prometheus exporter, metrics-JSON escaping)
+# plus the engine suites, then smoke-runs the CLI's introspection surface:
+# skyline --engine --stats (both schema documents present), the metrics
+# verb, and --metrics-out with a Prometheus-format lint of the output. The
+# right gate for changes to util/metrics.*, util/prom_export.*,
+# core/engine_stats.*, core/flight_recorder.* or the engine instrumentation.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,6 +61,10 @@ for arg in "$@"; do
     --engine)
       MODE=engine
       TEST_FILTER=(-L engine)
+      ;;
+    --observability)
+      MODE=observability
+      TEST_FILTER=(-L 'observability|engine')
       ;;
     *)
       BUILD_DIR="$arg"
@@ -135,6 +149,51 @@ if [[ "$MODE" == engine ]]; then
 
   echo "check.sh: engine smoke OK (--repeat 5 warm output identical to" \
        "cold solve, join+engine rejected)"
+  exit 0
+fi
+
+if [[ "$MODE" == observability ]]; then
+  GEN="pl:10000:2.6:8:7"
+
+  # skyline --engine --stats must embed both introspection documents, and
+  # the repeat loop must show up as exact cache accounting: one cold query
+  # then four warm ones.
+  OUT="$("$NSKY" skyline --generate "$GEN" --algo filter-refine --threads 2 \
+    --engine --repeat 5 --stats --json)"
+  echo "$OUT" | grep -q '"schema":"nsky.engine_stats.v1"'
+  echo "$OUT" | grep -q '"schema":"nsky.queries.v1"'
+  echo "$OUT" | grep -q '"queries_served":5'
+  echo "$OUT" | grep -q '"warm_queries":4'
+  echo "$OUT" | grep -q '"cold_queries":1'
+
+  # --stats without an engine is a usage error.
+  code=0
+  "$NSKY" skyline --generate ba:500:3:7 --stats 2>/dev/null >/dev/null || code=$?
+  [[ "$code" == 2 ]]
+
+  # The metrics verb emits the registry in both formats.
+  "$NSKY" metrics --format json | grep -q '"schema":"nsky.metrics.v1"'
+  "$NSKY" metrics --format prom >/dev/null
+
+  # --metrics-out writes Prometheus exposition text; lint the format: every
+  # line is a comment or `name{labels} value`, every metric has a # TYPE
+  # line, and histogram buckets end with +Inf.
+  TMP_METRICS="$(mktemp)"
+  "$NSKY" skyline --generate "$GEN" --algo 2hop --engine --repeat 3 \
+    --metrics-out "$TMP_METRICS" >/dev/null
+  awk '
+    /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$/ { next }
+    /^#/ { print "bad comment: " $0; bad = 1; next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*({[^}]*})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ { next }
+    { print "bad line: " $0; bad = 1 }
+    END { exit bad }
+  ' "$TMP_METRICS"
+  grep -q '^nsky_engine_queries_served 3$' "$TMP_METRICS"
+  grep -q 'le="+Inf"' "$TMP_METRICS"
+  rm -f "$TMP_METRICS"
+
+  echo "check.sh: observability smoke OK (engine stats + flight recorder" \
+       "schemas, metrics verb, Prometheus lint)"
   exit 0
 fi
 

@@ -1,15 +1,39 @@
 #include "core/engine.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <utility>
 
 #include "core/solver_internal.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace nsky::core {
 
+namespace {
+
+// Slow-query capture borrows the process-wide tracer; at most one engine at
+// a time may arm it, and never while the caller already has tracing on.
+std::atomic<bool> g_slow_trace_busy{false};
+
+uint64_t SlowQueryThresholdFromEnv() {
+  const char* env = std::getenv("NSKY_SLOW_QUERY_US");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') return 0;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
 Engine::Engine(Graph g, EngineOptions options)
-    : graph_(std::move(g)), options_(options), prepared_(&graph_) {}
+    : graph_(std::move(g)),
+      options_(options),
+      prepared_(&graph_),
+      slow_query_threshold_us_(SlowQueryThresholdFromEnv()) {}
 
 Engine::Resources& Engine::ResourcesFor(unsigned resolved_threads) {
   auto it = resources_.find(resolved_threads);
@@ -25,10 +49,71 @@ Engine::Resources& Engine::ResourcesFor(unsigned resolved_threads) {
 util::Status Engine::QueryInto(const SolverOptions& options,
                                const util::ExecutionContext& ctx,
                                SkylineResult* result) {
-  Resources& res = ResourcesFor(internal::ResolveThreads(options.threads));
+  const unsigned resolved = internal::ResolveThreads(options.threads);
+  Resources& res = ResourcesFor(resolved);
   internal::SolveEnv env{&ctx, &res.pool, &res.workspace, &prepared_};
+
+  // Arm the slow-query trace only when nobody else is tracing: the caller's
+  // own trace (CLI --trace) must never be clobbered, and a second engine in
+  // the process must not interleave spans into ours.
+  bool trace_armed = false;
+  if (slow_query_threshold_us_ > 0 && !util::trace::Enabled()) {
+    bool expected = false;
+    if (g_slow_trace_busy.compare_exchange_strong(expected, true)) {
+      util::trace::Reset();
+      util::trace::SetEnabled(true);
+      trace_armed = true;
+    }
+  }
+
+  const uint64_t builds_before = prepared_.builds();
+  util::Timer query_timer;
   util::Status status = internal::DispatchSolve(graph_, options, env, result);
+  const uint64_t duration_us = static_cast<uint64_t>(query_timer.Micros());
+  const bool warm = prepared_.builds() == builds_before;
+
   ++queries_served_;
+  if (warm) {
+    ++warm_queries_;
+  } else {
+    ++cold_queries_;
+  }
+
+  // Attribute latency to the algorithm that actually ran: a byte-budget
+  // degradation lands on filter-refine, with the requested algorithm kept
+  // as degraded_from.
+  Algorithm ran = options.algorithm;
+  int8_t degraded_from = -1;
+  if (!result->stats.degraded_from.empty()) {
+    if (std::optional<Algorithm> from =
+            ParseAlgorithm(result->stats.degraded_from)) {
+      degraded_from = static_cast<int8_t>(*from);
+    }
+    ran = Algorithm::kFilterRefine;
+  }
+  latency_us_[static_cast<int>(ran)].Observe(duration_us);
+
+  QueryRecord record;
+  record.algorithm = ran;
+  record.threads = resolved;
+  record.warm = warm;
+  record.duration_us = duration_us;
+  record.skyline_size = result->skyline.size();
+  record.aux_peak_bytes = result->stats.aux_peak_bytes;
+  record.status = status.code();
+  record.degraded_from = degraded_from;
+  record.seq = recorder_.Record(record);
+
+  if (trace_armed) {
+    util::trace::SetEnabled(false);
+    if (duration_us >= slow_query_threshold_us_) {
+      recorder_.RecordSlow(record, slow_query_threshold_us_,
+                           util::trace::FinishedRoots());
+    }
+    util::trace::Reset();
+    g_slow_trace_busy.store(false);
+  }
+
   if (util::metrics::Enabled()) {
     util::metrics::GetCounter("nsky.engine.queries").Add(1);
   }
@@ -103,6 +188,38 @@ void Engine::PoisonScratchForTesting() {
   for (auto& [threads, res] : resources_) {
     res->workspace.PoisonForTesting();
   }
+}
+
+EngineStats Engine::StatsSnapshot() const {
+  EngineStats s;
+  s.queries_served = queries_served_;
+  s.warm_queries = warm_queries_;
+  s.cold_queries = cold_queries_;
+  s.artifact_builds = prepared_.builds();
+  s.cache = prepared_.CacheStatsSnapshot();
+  for (const auto& [threads, res] : resources_) {
+    EngineStats::WorkspaceStats ws;
+    ws.threads = static_cast<uint32_t>(threads);
+    ws.allocation_events = res->workspace.allocation_events();
+    ws.allocated_bytes = res->workspace.allocated_bytes();
+    s.workspaces.push_back(ws);
+  }
+  for (int i = 0; i < kNumAlgorithms; ++i) {
+    if (latency_us_[i].Count() == 0) continue;
+    EngineStats::AlgorithmLatency al;
+    al.algorithm = AlgorithmName(static_cast<Algorithm>(i));
+    al.latency_us = latency_us_[i].Sample();
+    s.latency.push_back(std::move(al));
+  }
+  return s;
+}
+
+std::string Engine::StatsJson() const {
+  return EngineStatsToJson(StatsSnapshot());
+}
+
+std::string Engine::RecentQueriesJson(size_t max) const {
+  return recorder_.ToJson(max);
 }
 
 }  // namespace nsky::core

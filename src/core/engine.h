@@ -35,13 +35,17 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/engine_stats.h"
+#include "core/flight_recorder.h"
 #include "core/prepared_graph.h"
 #include "core/solver.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
 #include "util/execution_context.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -101,6 +105,41 @@ class Engine {
 
   uint64_t queries_served() const { return queries_served_; }
 
+  // --- Observability -----------------------------------------------------
+  //
+  // Everything below is observation-only: no solver reads any of it, and
+  // with instrumentation fully enabled every query result (including
+  // aux_peak_bytes) stays bit-identical to the uninstrumented path (pinned
+  // by the equivalence suite).
+
+  // Point-in-time copy of this engine's serving counters: cache hit/miss
+  // ledger per artifact, workspace high-water marks, per-algorithm latency
+  // distributions, warm/cold split. Latency histograms observe the
+  // algorithm that actually RAN (a degraded 2hop query counts under
+  // filter-refine, with the degradation visible in the flight recorder).
+  EngineStats StatsSnapshot() const;
+
+  // EngineStatsToJson(StatsSnapshot()): the nsky.engine_stats.v1 document.
+  std::string StatsJson() const;
+
+  // recorder().ToJson(max): the nsky.queries.v1 document.
+  std::string RecentQueriesJson(
+      size_t max = FlightRecorder::kDefaultCapacity) const;
+
+  // Ring of the most recent queries (always on; recording is a handful of
+  // relaxed stores). Safe to read concurrently with a running query.
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  // Slow-query hook: when a query's dispatch takes at least this many
+  // microseconds, its full phase trace is captured into the recorder's slow
+  // log. Parsed from $NSKY_SLOW_QUERY_US at construction (0 = off); the
+  // setter exists so tests need not mutate the environment. Capture borrows
+  // the global tracer, so it stays off while the caller is already tracing.
+  void set_slow_query_threshold_us(uint64_t us) {
+    slow_query_threshold_us_ = us;
+  }
+  uint64_t slow_query_threshold_us() const { return slow_query_threshold_us_; }
+
   // Workspace allocation ledger for the resources serving `threads`
   // (resolved as in SolverOptions). Tests assert these stay flat across
   // warm queries.
@@ -112,6 +151,8 @@ class Engine {
   void PoisonScratchForTesting();
 
  private:
+  static constexpr int kNumAlgorithms = 4;  // Algorithm enum arity
+
   struct Resources {
     explicit Resources(unsigned threads) : pool(threads) {}
     util::ThreadPool pool;
@@ -126,6 +167,18 @@ class Engine {
   std::vector<VertexId> skyline_cache_;
   bool has_skyline_cache_ = false;
   uint64_t queries_served_ = 0;
+  uint64_t warm_queries_ = 0;
+  uint64_t cold_queries_ = 0;
+  uint64_t slow_query_threshold_us_ = 0;
+  FlightRecorder recorder_;
+  // Indexed by Algorithm; named with the stable CLI algorithm names. These
+  // are engine-scoped (not in the global registry), but the global
+  // metrics::SetEnabled() switch still gates Observe().
+  util::metrics::Histogram latency_us_[kNumAlgorithms] = {
+      util::metrics::Histogram("filter-refine"),
+      util::metrics::Histogram("base"),
+      util::metrics::Histogram("cset"),
+      util::metrics::Histogram("2hop")};
 };
 
 }  // namespace nsky::core

@@ -1,0 +1,194 @@
+#include "core/engine_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "util/json_writer.h"
+#include "util/prom_export.h"
+
+namespace nsky::core {
+
+namespace {
+
+void WriteArtifactStats(const PreparedGraph::ArtifactStats& a,
+                        util::JsonWriter* w) {
+  w->BeginObject();
+  w->KV("hits", a.hits);
+  w->KV("misses", a.misses);
+  w->KV("build_us", a.build_us);
+  w->EndObject();
+}
+
+void WriteBloomStats(
+    const std::map<uint32_t, PreparedGraph::ArtifactStats>& by_bits,
+    util::JsonWriter* w) {
+  w->BeginObject();
+  for (const auto& [bits, a] : by_bits) {
+    w->Key(std::to_string(bits));
+    WriteArtifactStats(a, w);
+  }
+  w->EndObject();
+}
+
+void WriteHistogramObject(const util::metrics::HistogramSample& h,
+                          util::JsonWriter* w) {
+  w->BeginObject();
+  w->KV("count", h.count);
+  w->KV("sum", h.sum);
+  w->KV("max", h.max);
+  if (h.count > 0) {
+    w->KV("p50", util::metrics::EstimateQuantile(h, 0.50));
+    w->KV("p90", util::metrics::EstimateQuantile(h, 0.90));
+    w->KV("p99", util::metrics::EstimateQuantile(h, 0.99));
+  }
+  w->Key("buckets");
+  w->BeginObject();
+  for (const auto& [bucket, n] : h.nonzero_buckets) {
+    w->KV(std::to_string(bucket), n);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+void AppendCounterLine(const char* name, std::string_view labels, uint64_t v,
+                       std::string* out) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->append("{");
+    out->append(labels);
+    out->append("}");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+  out->append(buf);
+}
+
+void AppendCacheLines(const char* artifact, std::string_view extra_label,
+                      const PreparedGraph::ArtifactStats& a,
+                      std::string* hits, std::string* misses,
+                      std::string* build_us) {
+  std::string labels = std::string("artifact=\"") + artifact + "\"";
+  if (!extra_label.empty()) {
+    labels.append(",");
+    labels.append(extra_label);
+  }
+  AppendCounterLine("nsky_engine_artifact_hits", labels, a.hits, hits);
+  AppendCounterLine("nsky_engine_artifact_misses", labels, a.misses, misses);
+  AppendCounterLine("nsky_engine_artifact_build_us", labels, a.build_us,
+                    build_us);
+}
+
+}  // namespace
+
+void WriteEngineStatsJson(const EngineStats& stats, util::JsonWriter* w) {
+  w->BeginObject();
+  w->KV("schema", "nsky.engine_stats.v1");
+  w->KV("queries_served", stats.queries_served);
+  w->KV("warm_queries", stats.warm_queries);
+  w->KV("cold_queries", stats.cold_queries);
+  w->KV("artifact_builds", stats.artifact_builds);
+  w->Key("cache");
+  w->BeginObject();
+  w->Key("filter");
+  WriteArtifactStats(stats.cache.filter, w);
+  w->Key("two_hop");
+  WriteArtifactStats(stats.cache.two_hop, w);
+  w->Key("degree_order");
+  WriteArtifactStats(stats.cache.degree_order, w);
+  w->Key("cores");
+  WriteArtifactStats(stats.cache.cores, w);
+  w->Key("candidate_blooms");
+  WriteBloomStats(stats.cache.candidate_blooms, w);
+  w->Key("full_blooms");
+  WriteBloomStats(stats.cache.full_blooms, w);
+  w->EndObject();
+  w->Key("workspaces");
+  w->BeginArray();
+  for (const EngineStats::WorkspaceStats& ws : stats.workspaces) {
+    w->BeginObject();
+    w->KV("threads", static_cast<uint64_t>(ws.threads));
+    w->KV("allocation_events", ws.allocation_events);
+    w->KV("allocated_bytes", ws.allocated_bytes);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("latency_us");
+  w->BeginObject();
+  for (const EngineStats::AlgorithmLatency& al : stats.latency) {
+    w->Key(al.algorithm);
+    WriteHistogramObject(al.latency_us, w);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string EngineStatsToJson(const EngineStats& stats) {
+  util::JsonWriter w;
+  WriteEngineStatsJson(stats, &w);
+  return std::move(w).Take();
+}
+
+std::string EngineStatsToPrometheus(const EngineStats& stats) {
+  std::string out;
+  out.append("# TYPE nsky_engine_queries_served counter\n");
+  AppendCounterLine("nsky_engine_queries_served", "", stats.queries_served,
+                    &out);
+  out.append("# TYPE nsky_engine_warm_queries counter\n");
+  AppendCounterLine("nsky_engine_warm_queries", "", stats.warm_queries, &out);
+  out.append("# TYPE nsky_engine_cold_queries counter\n");
+  AppendCounterLine("nsky_engine_cold_queries", "", stats.cold_queries, &out);
+  out.append("# TYPE nsky_engine_artifact_builds counter\n");
+  AppendCounterLine("nsky_engine_artifact_builds", "", stats.artifact_builds,
+                    &out);
+
+  // Group each metric family under one # TYPE line, as the format requires.
+  std::string hits, misses, build_us;
+  AppendCacheLines("filter", "", stats.cache.filter, &hits, &misses,
+                   &build_us);
+  AppendCacheLines("two_hop", "", stats.cache.two_hop, &hits, &misses,
+                   &build_us);
+  AppendCacheLines("degree_order", "", stats.cache.degree_order, &hits,
+                   &misses, &build_us);
+  AppendCacheLines("cores", "", stats.cache.cores, &hits, &misses, &build_us);
+  for (const auto& [bits, a] : stats.cache.candidate_blooms) {
+    AppendCacheLines("candidate_blooms",
+                     "bits=\"" + std::to_string(bits) + "\"", a, &hits,
+                     &misses, &build_us);
+  }
+  for (const auto& [bits, a] : stats.cache.full_blooms) {
+    AppendCacheLines("full_blooms", "bits=\"" + std::to_string(bits) + "\"",
+                     a, &hits, &misses, &build_us);
+  }
+  out.append("# TYPE nsky_engine_artifact_hits counter\n");
+  out.append(hits);
+  out.append("# TYPE nsky_engine_artifact_misses counter\n");
+  out.append(misses);
+  out.append("# TYPE nsky_engine_artifact_build_us counter\n");
+  out.append(build_us);
+
+  std::string events, bytes;
+  for (const EngineStats::WorkspaceStats& ws : stats.workspaces) {
+    std::string labels = "threads=\"" + std::to_string(ws.threads) + "\"";
+    AppendCounterLine("nsky_engine_workspace_allocation_events", labels,
+                      ws.allocation_events, &events);
+    AppendCounterLine("nsky_engine_workspace_allocated_bytes", labels,
+                      ws.allocated_bytes, &bytes);
+  }
+  out.append("# TYPE nsky_engine_workspace_allocation_events counter\n");
+  out.append(events);
+  out.append("# TYPE nsky_engine_workspace_allocated_bytes gauge\n");
+  out.append(bytes);
+
+  if (!stats.latency.empty()) {
+    out.append("# TYPE nsky_engine_query_latency_us histogram\n");
+    for (const EngineStats::AlgorithmLatency& al : stats.latency) {
+      util::metrics::AppendPrometheusHistogram(
+          "nsky_engine_query_latency_us",
+          "algo=\"" + al.algorithm + "\"", al.latency_us, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace nsky::core

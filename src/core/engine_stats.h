@@ -1,0 +1,75 @@
+// Per-engine serving stats: the introspection side of core::Engine.
+//
+// Unlike the process-wide registry (util/metrics.h), these numbers are
+// scoped to ONE engine, so a process serving several graphs can tell their
+// cache behavior and latency profiles apart. Engine::StatsSnapshot() fills
+// an EngineStats; this header renders it as the stable
+// `nsky.engine_stats.v1` JSON document and as Prometheus exposition text.
+//
+// Everything here is observation-only: the snapshot is a copy, rendering
+// never touches the engine, and no solver reads any of these values.
+#ifndef NSKY_CORE_ENGINE_STATS_H_
+#define NSKY_CORE_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/prepared_graph.h"
+#include "util/metrics.h"
+
+namespace nsky::util {
+class JsonWriter;
+}  // namespace nsky::util
+
+namespace nsky::core {
+
+// Point-in-time copy of one engine's serving counters.
+struct EngineStats {
+  uint64_t queries_served = 0;
+  // A query is warm iff no artifact build happened while it ran
+  // (PreparedGraph::builds() unchanged across the dispatch).
+  uint64_t warm_queries = 0;
+  uint64_t cold_queries = 0;
+  uint64_t artifact_builds = 0;  // PreparedGraph::builds()
+
+  // Per-artifact hit / miss / build-time ledger of the artifact cache.
+  PreparedGraph::CacheStats cache;
+
+  // Allocation-ledger high-water marks of each pooled workspace, one entry
+  // per resolved thread count the engine has served.
+  struct WorkspaceStats {
+    uint32_t threads = 0;
+    uint64_t allocation_events = 0;
+    uint64_t allocated_bytes = 0;
+  };
+  std::vector<WorkspaceStats> workspaces;
+
+  // Query latency distribution (microseconds) per algorithm, in Algorithm
+  // enum order; algorithms never queried are omitted.
+  struct AlgorithmLatency {
+    std::string algorithm;  // stable CLI name (AlgorithmName)
+    util::metrics::HistogramSample latency_us;
+  };
+  std::vector<AlgorithmLatency> latency;
+};
+
+// nsky.engine_stats.v1:
+// {"schema":"nsky.engine_stats.v1","queries_served":..,"warm_queries":..,
+//  "cold_queries":..,"artifact_builds":..,
+//  "cache":{"filter":{"hits":..,"misses":..,"build_us":..},...,
+//           "candidate_blooms":{"<bits>":{...}},"full_blooms":{...}},
+//  "workspaces":[{"threads":..,"allocation_events":..,"allocated_bytes":..}],
+//  "latency_us":{"<algo>":{"count":..,"sum":..,"max":..,
+//                          "p50":..,"p90":..,"p99":..,"buckets":{..}}}}
+std::string EngineStatsToJson(const EngineStats& stats);
+void WriteEngineStatsJson(const EngineStats& stats, util::JsonWriter* w);
+
+// Prometheus exposition text for the same snapshot. Engine-scoped metrics
+// are prefixed nsky_engine_*; the cache ledger and latency histograms carry
+// artifact= / algo= labels.
+std::string EngineStatsToPrometheus(const EngineStats& stats);
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_ENGINE_STATS_H_

@@ -1,0 +1,163 @@
+#include "core/flight_recorder.h"
+
+#include <algorithm>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace nsky::core {
+
+namespace {
+
+// Flattens a span tree depth-first, parents before children.
+void FlattenSpans(const util::trace::SpanNode& node, uint32_t depth,
+                  std::vector<FlightRecorder::SpanSummary>* out) {
+  out->push_back({node.name, depth, node.dur_us, node.self_us});
+  for (const util::trace::SpanNode& child : node.children) {
+    FlattenSpans(child, depth + 1, out);
+  }
+}
+
+const char* DegradedFromName(int8_t degraded_from) {
+  if (degraded_from < 0) return "";
+  return AlgorithmName(static_cast<Algorithm>(degraded_from));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t FlightRecorder::Record(const QueryRecord& record) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(seq - 1) % slots_.size()];
+  // Seqlock publish: odd while the fields are in flux, even when stable.
+  const uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.duration_us.store(record.duration_us, std::memory_order_relaxed);
+  slot.skyline_size.store(record.skyline_size, std::memory_order_relaxed);
+  slot.aux_peak_bytes.store(record.aux_peak_bytes, std::memory_order_relaxed);
+  slot.threads.store(record.threads, std::memory_order_relaxed);
+  slot.algorithm.store(static_cast<int16_t>(record.algorithm),
+                       std::memory_order_relaxed);
+  slot.status.store(static_cast<int16_t>(record.status),
+                    std::memory_order_relaxed);
+  slot.degraded_from.store(record.degraded_from, std::memory_order_relaxed);
+  slot.warm.store(record.warm, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+  return seq;
+}
+
+bool FlightRecorder::ReadSlot(const Slot& slot, QueryRecord* out) const {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 % 2 != 0) continue;  // writer mid-publish
+    out->seq = slot.seq.load(std::memory_order_relaxed);
+    out->duration_us = slot.duration_us.load(std::memory_order_relaxed);
+    out->skyline_size = slot.skyline_size.load(std::memory_order_relaxed);
+    out->aux_peak_bytes = slot.aux_peak_bytes.load(std::memory_order_relaxed);
+    out->threads = slot.threads.load(std::memory_order_relaxed);
+    out->algorithm = static_cast<Algorithm>(
+        slot.algorithm.load(std::memory_order_relaxed));
+    out->status = static_cast<util::StatusCode>(
+        slot.status.load(std::memory_order_relaxed));
+    out->degraded_from = slot.degraded_from.load(std::memory_order_relaxed);
+    out->warm = slot.warm.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) == v1) return true;
+  }
+  return false;
+}
+
+std::vector<QueryRecord> FlightRecorder::Recent(size_t max_records) const {
+  const uint64_t total = total_recorded();
+  const uint64_t live = std::min<uint64_t>(total, slots_.size());
+  const uint64_t want = std::min<uint64_t>(live, max_records);
+  std::vector<QueryRecord> out;
+  out.reserve(want);
+  for (uint64_t seq = total - want + 1; seq <= total; ++seq) {
+    QueryRecord record;
+    if (!ReadSlot(slots_[(seq - 1) % slots_.size()], &record)) continue;
+    // A concurrent writer may have lapped this slot; keep only the record
+    // we came for (records stay in ascending-seq order either way).
+    if (record.seq == seq) out.push_back(record);
+  }
+  return out;
+}
+
+void FlightRecorder::RecordSlow(const QueryRecord& record,
+                                uint64_t threshold_us,
+                                const std::vector<util::trace::SpanNode>& roots) {
+  SlowQuery slow;
+  slow.record = record;
+  slow.threshold_us = threshold_us;
+  for (const util::trace::SpanNode& root : roots) {
+    FlattenSpans(root, 0, &slow.spans);
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (slow_.size() >= kMaxSlowQueries) slow_.erase(slow_.begin());
+  slow_.push_back(std::move(slow));
+}
+
+std::vector<FlightRecorder::SlowQuery> FlightRecorder::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return slow_;
+}
+
+void FlightRecorder::WriteJson(size_t max_records,
+                               util::JsonWriter* w) const {
+  const std::vector<QueryRecord> records = Recent(max_records);
+  const std::vector<SlowQuery> slow = SlowQueries();
+  w->BeginObject();
+  w->KV("schema", "nsky.queries.v1");
+  w->KV("capacity", static_cast<uint64_t>(capacity()));
+  w->KV("total", total_recorded());
+  w->Key("records");
+  w->BeginArray();
+  for (const QueryRecord& r : records) {
+    w->BeginObject();
+    w->KV("seq", r.seq);
+    w->KV("algorithm", AlgorithmName(r.algorithm));
+    w->KV("threads", static_cast<uint64_t>(r.threads));
+    w->KV("warm", r.warm);
+    w->KV("duration_us", r.duration_us);
+    w->KV("skyline_size", r.skyline_size);
+    w->KV("aux_peak_bytes", r.aux_peak_bytes);
+    w->KV("status", util::StatusCodeName(r.status));
+    w->KV("degraded_from", DegradedFromName(r.degraded_from));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("slow");
+  w->BeginArray();
+  for (const SlowQuery& s : slow) {
+    w->BeginObject();
+    w->KV("seq", s.record.seq);
+    w->KV("algorithm", AlgorithmName(s.record.algorithm));
+    w->KV("duration_us", s.record.duration_us);
+    w->KV("threshold_us", s.threshold_us);
+    w->Key("spans");
+    w->BeginArray();
+    for (const SpanSummary& span : s.spans) {
+      w->BeginObject();
+      w->KV("name", span.name);
+      w->KV("depth", static_cast<uint64_t>(span.depth));
+      w->KV("dur_us", span.dur_us);
+      w->KV("self_us", span.self_us);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string FlightRecorder::ToJson(size_t max_records) const {
+  util::JsonWriter w;
+  WriteJson(max_records, &w);
+  return std::move(w).Take();
+}
+
+}  // namespace nsky::core

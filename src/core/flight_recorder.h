@@ -1,0 +1,135 @@
+// Query flight recorder: a fixed-capacity lock-free ring of recent query
+// records, plus a bounded log of slow-query phase traces.
+//
+// A long-running engine needs to answer "what did you just serve?" without
+// a debugger attached: the recorder keeps the last `capacity` queries --
+// algorithm, thread count, warm/cold, duration, skyline size, status,
+// degradation -- and renders them as the stable `nsky.queries.v1` JSON
+// document. Recording is a handful of relaxed atomic stores per query; the
+// ring never allocates after construction, so it is safe on the
+// zero-allocation warm serving path.
+//
+// Concurrency model: ONE writer (the engine's serving thread -- Engine
+// serves one caller at a time) and any number of concurrent readers
+// (stats scrapers calling Recent()/ToJson()). Slots are published with a
+// per-slot version counter, seqlock style: the writer bumps the version to
+// odd, stores the fields, then bumps it to even; a reader retries a slot
+// whose version was odd or changed mid-copy. All fields are relaxed
+// atomics, so racing reads are well-defined (and TSan-clean) -- a torn
+// logical record is impossible because of the version protocol.
+//
+// Slow queries: when the engine's slow-query hook fires
+// (NSKY_SLOW_QUERY_US, see core/engine.h), the offending query's full
+// phase trace (flattened span tree with wall/self times) is kept in a
+// small mutex-guarded log of the most recent kMaxSlowQueries offenders.
+#ifndef NSKY_CORE_FLIGHT_RECORDER_H_
+#define NSKY_CORE_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace nsky::util {
+class JsonWriter;
+}  // namespace nsky::util
+
+namespace nsky::core {
+
+// One served query, as the recorder remembers it. Plain value type; the
+// ring stores the same fields as atomics internally.
+struct QueryRecord {
+  uint64_t seq = 0;  // 1-based position in the engine's query history
+  Algorithm algorithm = Algorithm::kFilterRefine;
+  uint32_t threads = 1;      // resolved worker count
+  bool warm = false;         // no artifact build happened during the query
+  uint64_t duration_us = 0;  // steady-clock wall time of the dispatch
+  uint64_t skyline_size = 0;
+  uint64_t aux_peak_bytes = 0;
+  util::StatusCode status = util::StatusCode::kOk;
+  // Algorithm the query degraded from (byte budget), or -1 when it ran as
+  // requested; mirrors SkylineStats::degraded_from as a fixed-size field so
+  // the ring slot stays allocation-free.
+  int8_t degraded_from = -1;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+  static constexpr size_t kMaxSlowQueries = 8;
+
+  // One flattened span of a slow query's phase trace.
+  struct SpanSummary {
+    std::string name;
+    uint32_t depth = 0;  // 0 for roots, parents above children
+    double dur_us = 0.0;
+    double self_us = 0.0;
+  };
+  struct SlowQuery {
+    QueryRecord record;
+    uint64_t threshold_us = 0;  // the armed NSKY_SLOW_QUERY_US value
+    std::vector<SpanSummary> spans;
+  };
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Writer side (single-threaded per recorder). `record.seq` is ignored;
+  // the recorder assigns the next sequence number and returns it.
+  uint64_t Record(const QueryRecord& record);
+
+  // Keeps `record` plus the flattened `roots` span forest in the slow log,
+  // evicting the oldest entry beyond kMaxSlowQueries.
+  void RecordSlow(const QueryRecord& record, uint64_t threshold_us,
+                  const std::vector<util::trace::SpanNode>& roots);
+
+  // Reader side: the most recent min(max_records, live) records, oldest
+  // first. Safe to call concurrently with Record().
+  std::vector<QueryRecord> Recent(size_t max_records = kDefaultCapacity) const;
+
+  std::vector<SlowQuery> SlowQueries() const;
+
+  size_t capacity() const { return slots_.size(); }
+  // Total queries ever recorded (>= capacity() once the ring has wrapped).
+  uint64_t total_recorded() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  // nsky.queries.v1: {"schema","capacity","total","records":[...],
+  // "slow":[...]}. Also available as a writer-embedded object for the CLI.
+  std::string ToJson(size_t max_records = kDefaultCapacity) const;
+  void WriteJson(size_t max_records, util::JsonWriter* w) const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> version{0};  // even = stable, odd = being written
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> duration_us{0};
+    std::atomic<uint64_t> skyline_size{0};
+    std::atomic<uint64_t> aux_peak_bytes{0};
+    std::atomic<uint32_t> threads{0};
+    std::atomic<int16_t> algorithm{0};
+    std::atomic<int16_t> status{0};
+    std::atomic<int8_t> degraded_from{-1};
+    std::atomic<bool> warm{false};
+  };
+
+  // One consistent copy of a slot, or false when the writer overtook us.
+  bool ReadSlot(const Slot& slot, QueryRecord* out) const;
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_seq_{0};
+
+  mutable std::mutex slow_mu_;
+  std::vector<SlowQuery> slow_;
+};
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_FLIGHT_RECORDER_H_

@@ -17,7 +17,9 @@
 #include "core/domination.h"
 #include "core/dynamic_skyline.h"
 #include "core/engine.h"
+#include "core/engine_stats.h"
 #include "core/filter_phase.h"
+#include "core/flight_recorder.h"
 #include "core/prepared_graph.h"
 #include "core/skyline.h"
 #include "core/solver.h"

@@ -9,6 +9,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace nsky::core {
@@ -28,10 +29,15 @@ void CountBuild(const char* artifact) {
 const PreparedGraph::FilterArtifacts& PreparedGraph::Filter(
     util::ThreadPool& pool) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (filter_.has_value()) return *filter_;
+  if (filter_.has_value()) {
+    ++cache_stats_.filter.hits;
+    return *filter_;
+  }
   NSKY_TRACE_SPAN("prepared.filter_build");
   CountBuild("filter");
   ++builds_;
+  ++cache_stats_.filter.misses;
+  util::Timer build_timer;
 
   // Built with the exact cold-path code (internal::RunFilterPhase) under an
   // unlimited context, so the cached counters / candidate_count /
@@ -51,6 +57,7 @@ const PreparedGraph::FilterArtifacts& PreparedGraph::Filter(
   fa.member.assign(g_->NumVertices(), 0);
   for (VertexId u : fa.candidates) fa.member[u] = 1;
   filter_ = std::move(fa);
+  cache_stats_.filter.build_us += static_cast<uint64_t>(build_timer.Micros());
   return *filter_;
 }
 
@@ -60,11 +67,18 @@ const NeighborhoodBlooms& PreparedGraph::CandidateBlooms(
   const std::vector<uint8_t>& member = Filter(pool).member;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = candidate_blooms_.find(bits);
-  if (it != candidate_blooms_.end()) return *it->second;
+  if (it != candidate_blooms_.end()) {
+    ++cache_stats_.candidate_blooms[bits].hits;
+    return *it->second;
+  }
   NSKY_TRACE_SPAN("prepared.bloom_build");
   CountBuild("candidate_blooms");
   ++builds_;
+  ++cache_stats_.candidate_blooms[bits].misses;
+  util::Timer build_timer;
   auto blooms = std::make_unique<NeighborhoodBlooms>(*g_, member, bits, &pool);
+  cache_stats_.candidate_blooms[bits].build_us +=
+      static_cast<uint64_t>(build_timer.Micros());
   return *candidate_blooms_.emplace(bits, std::move(blooms)).first->second;
 }
 
@@ -72,22 +86,34 @@ const NeighborhoodBlooms& PreparedGraph::FullBlooms(uint32_t bits,
                                                     util::ThreadPool& pool) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = full_blooms_.find(bits);
-  if (it != full_blooms_.end()) return *it->second;
+  if (it != full_blooms_.end()) {
+    ++cache_stats_.full_blooms[bits].hits;
+    return *it->second;
+  }
   NSKY_TRACE_SPAN("prepared.bloom_build");
   CountBuild("full_blooms");
   ++builds_;
+  ++cache_stats_.full_blooms[bits].misses;
+  util::Timer build_timer;
   std::vector<uint8_t> member(g_->NumVertices(), 1);
   auto blooms = std::make_unique<NeighborhoodBlooms>(*g_, member, bits, &pool);
+  cache_stats_.full_blooms[bits].build_us +=
+      static_cast<uint64_t>(build_timer.Micros());
   return *full_blooms_.emplace(bits, std::move(blooms)).first->second;
 }
 
 const PreparedGraph::TwoHopArtifacts& PreparedGraph::TwoHop(
     util::ThreadPool& pool) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (two_hop_.has_value()) return *two_hop_;
+  if (two_hop_.has_value()) {
+    ++cache_stats_.two_hop.hits;
+    return *two_hop_;
+  }
   NSKY_TRACE_SPAN("prepared.two_hop_build");
   CountBuild("two_hop");
   ++builds_;
+  ++cache_stats_.two_hop.misses;
+  util::Timer build_timer;
 
   // The same deterministic materialization RunBase2Hop performs cold: slot
   // u is written only by the worker owning u, and the recorded charge is
@@ -121,14 +147,20 @@ const PreparedGraph::TwoHopArtifacts& PreparedGraph::TwoHop(
   for (uint64_t bytes : bytes_per_worker) art.charged_bytes += bytes;
   art.charged_bytes += static_cast<uint64_t>(n) * sizeof(std::vector<VertexId>);
   two_hop_ = std::move(art);
+  cache_stats_.two_hop.build_us += static_cast<uint64_t>(build_timer.Micros());
   return *two_hop_;
 }
 
 const std::vector<VertexId>& PreparedGraph::DegreeOrder() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (degree_order_.has_value()) return *degree_order_;
+  if (degree_order_.has_value()) {
+    ++cache_stats_.degree_order.hits;
+    return *degree_order_;
+  }
   CountBuild("degree_order");
   ++builds_;
+  ++cache_stats_.degree_order.misses;
+  util::Timer build_timer;
   const VertexId n = g_->NumVertices();
   std::vector<VertexId> order(n);
   for (VertexId u = 0; u < n; ++u) order[u] = u;
@@ -136,15 +168,23 @@ const std::vector<VertexId>& PreparedGraph::DegreeOrder() {
     return g_->Degree(a) < g_->Degree(b);
   });
   degree_order_ = std::move(order);
+  cache_stats_.degree_order.build_us +=
+      static_cast<uint64_t>(build_timer.Micros());
   return *degree_order_;
 }
 
 const graph::CoreDecomposition& PreparedGraph::Cores() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (cores_.has_value()) return *cores_;
+  if (cores_.has_value()) {
+    ++cache_stats_.cores.hits;
+    return *cores_;
+  }
   CountBuild("cores");
   ++builds_;
+  ++cache_stats_.cores.misses;
+  util::Timer build_timer;
   cores_ = graph::ComputeCores(*g_);
+  cache_stats_.cores.build_us += static_cast<uint64_t>(build_timer.Micros());
   return *cores_;
 }
 
@@ -164,6 +204,11 @@ void PreparedGraph::Invalidate() {
 uint64_t PreparedGraph::builds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return builds_;
+}
+
+PreparedGraph::CacheStats PreparedGraph::CacheStatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_stats_;
 }
 
 bool PreparedGraph::has_filter() const {

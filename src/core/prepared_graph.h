@@ -71,6 +71,28 @@ class PreparedGraph {
     uint64_t charged_bytes = 0;
   };
 
+  // Per-artifact cache accounting. A "miss" is an accessor call that had to
+  // build (misses == times built since construction / last Invalidate-era
+  // counts are NOT reset -- the stats are cumulative over the object's
+  // lifetime); a "hit" is an accessor call served from the cache. build_us
+  // accumulates the wall time of the builds.
+  struct ArtifactStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t build_us = 0;
+  };
+
+  // Snapshot of every artifact's cache accounting; bloom blocks are keyed by
+  // their bit width, matching the cache itself.
+  struct CacheStats {
+    ArtifactStats filter;
+    ArtifactStats two_hop;
+    ArtifactStats degree_order;
+    ArtifactStats cores;
+    std::map<uint32_t, ArtifactStats> candidate_blooms;
+    std::map<uint32_t, ArtifactStats> full_blooms;
+  };
+
   // Non-owning: `g` must outlive this object (core/engine.h owns both).
   explicit PreparedGraph(const Graph* g) : g_(g) {}
   PreparedGraph(const PreparedGraph&) = delete;
@@ -108,6 +130,10 @@ class PreparedGraph {
   // loop should see this settle while queries_served keeps growing).
   uint64_t builds() const;
 
+  // Point-in-time copy of the per-artifact hit / miss / build-time ledger.
+  // Observation-only: nothing in the library reads these to make decisions.
+  CacheStats CacheStatsSnapshot() const;
+
   // Introspection for tests: which artifacts are currently materialized.
   bool has_filter() const;
   bool has_two_hop() const;
@@ -123,6 +149,7 @@ class PreparedGraph {
   std::optional<std::vector<VertexId>> degree_order_;
   std::optional<graph::CoreDecomposition> cores_;
   uint64_t builds_ = 0;
+  CacheStats cache_stats_;
 };
 
 }  // namespace nsky::core

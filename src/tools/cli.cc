@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "util/execution_context.h"
 #include "util/json_writer.h"
 #include "util/metrics.h"
+#include "util/prom_export.h"
 #include "util/status.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -49,7 +51,7 @@ struct Args {
 // Options that do not take a value.
 bool IsBareFlag(const std::string& key) {
   return key == "no-skyline-pruning" || key == "lazy" || key == "json" ||
-         key == "engine";
+         key == "engine" || key == "stats";
 }
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& raw,
@@ -309,7 +311,7 @@ bool ParseRepeat(const Args& args, uint64_t* repeat, std::ostream& err) {
 }
 
 int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
-               std::ostream& err) {
+               std::ostream& err, std::string* engine_prom) {
   // --algo is the preferred spelling; --algorithm stays as an alias.
   const std::string algo =
       args.Has("algo") ? args.Get("algo") : args.Get("algorithm", "filter-refine");
@@ -320,6 +322,14 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
   uint64_t repeat = 1;
   if (!ParseRepeat(args, &repeat, err)) return 2;
   const bool use_engine = args.Has("engine") || repeat > 1;
+  if (args.Has("stats") && !use_engine) {
+    err << "error: --stats reports engine introspection; add --engine "
+           "(or --repeat N)\n";
+    return 2;
+  }
+  // Kept alive past the query loop so --stats / --metrics-out can render
+  // its introspection documents after the results are written.
+  std::optional<core::Engine> engine;
   core::SkylineResult r;
   if (algo == "join") {
     // The set-containment-join adapter lives outside the core engine and
@@ -340,9 +350,9 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
       // Reuse one engine across all --repeat iterations: artifacts build on
       // the first query, later queries are warm. Results are bit-identical
       // to a single cold solve, so only the last one is rendered.
-      core::Engine engine(g);
+      engine.emplace(g);
       for (uint64_t i = 0; i < repeat; ++i) {
-        util::Status status = engine.QueryInto(options, ctx, &r);
+        util::Status status = engine->QueryInto(options, ctx, &r);
         if (!status.ok()) return EmitFailure(args, status, out, err);
       }
     } else {
@@ -353,13 +363,16 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     err << "error: unknown --algo '" << algo << "'\n";
     return 2;
   }
+  if (engine.has_value() && engine_prom != nullptr) {
+    *engine_prom = core::EngineStatsToPrometheus(engine->StatsSnapshot());
+  }
   if (args.Has("json")) {
     util::JsonWriter w;
     w.BeginObject();
     w.KV("schema", "nsky.skyline.v1");
     w.KV("command", "skyline");
     w.KV("algorithm", algo);
-    if (use_engine) {
+    if (engine.has_value()) {
       // Additive keys: absent in the classic single-solve output.
       w.KV("engine", true);
       w.KV("repeat", repeat);
@@ -374,6 +387,14 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     w.EndArray();
     w.EndObject();
     WriteStatsJson(r.stats, &w);
+    if (engine.has_value() && args.Has("stats")) {
+      // Additive keys: the engine's own introspection documents, each
+      // carrying its own schema tag.
+      w.Key("engine_stats");
+      core::WriteEngineStatsJson(engine->StatsSnapshot(), &w);
+      w.Key("recent_queries");
+      engine->recorder().WriteJson(core::FlightRecorder::kDefaultCapacity, &w);
+    }
     w.EndObject();
     out << std::move(w).Take() << "\n";
     return 0;
@@ -388,6 +409,36 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
   if (args.Get("print", "no") == "yes") {
     for (VertexId u : r.skyline) out << u << "\n";
   }
+  if (engine.has_value() && args.Has("stats")) {
+    // One self-describing document per line, greppable from scripts.
+    out << engine->StatsJson() << "\n";
+    out << engine->RecentQueriesJson() << "\n";
+  }
+  return 0;
+}
+
+// Self-report of the process-wide metrics registry (counters the solvers
+// and CLI mirrored during this process). --format json emits the stable
+// nsky.metrics.v1 document; --format prom emits Prometheus exposition text.
+int CmdMetrics(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string format = args.Get("format", "json");
+  util::metrics::Snapshot snap = util::metrics::Snap();
+  if (format == "prom") {
+    out << util::metrics::SnapshotToPrometheus(snap);
+    return 0;
+  }
+  if (format != "json") {
+    err << "error: --format must be json or prom, got '" << format << "'\n";
+    return 2;
+  }
+  util::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "nsky.metrics.v1");
+  w.KV("command", "metrics");
+  w.Key("metrics");
+  util::metrics::WriteSnapshotJson(snap, &w);
+  w.EndObject();
+  out << std::move(w).Take() << "\n";
   return 0;
 }
 
@@ -535,7 +586,7 @@ int CmdDatasets(std::ostream& out) {
 void PrintUsage(std::ostream& out) {
   out << "usage: nsky <command> [options]\n"
          "commands: stats skyline candidates generate centrality group-max\n"
-         "          clique topk-cliques datasets help\n"
+         "          clique topk-cliques datasets metrics help\n"
          "graph sources: --input FILE | --standin NAME [--scale small|full]\n"
          "               | --generate SPEC (er:N:P, ba:N:M, pl:N:BETA:AVG,\n"
          "                 social:N:AVG, clique:N, cycle:N, path:N, star:N,\n"
@@ -555,6 +606,14 @@ void PrintUsage(std::ostream& out) {
          "telemetry: --json (stats/skyline/candidates: JSON on stdout;\n"
          "             failures emit nsky.error.v1)\n"
          "           --trace FILE (write Chrome trace-event JSON)\n"
+         "           --stats (skyline with --engine: engine introspection --\n"
+         "             cache hits/misses, latency percentiles, recent\n"
+         "             queries -- as nsky.engine_stats.v1/nsky.queries.v1)\n"
+         "           --metrics-out FILE (write Prometheus exposition text\n"
+         "             of the metrics registry, plus engine stats when the\n"
+         "             command served through an engine)\n"
+         "           metrics [--format json|prom] (dump the process-wide\n"
+         "             metrics registry and exit)\n"
          "exit codes: 0 ok, 1 runtime/io, 2 usage, 4 deadline, 5 cancelled,\n"
          "            6 resource exhausted\n"
          "see src/tools/cli.h for per-command options and JSON schemas\n";
@@ -576,6 +635,7 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
     return 0;
   }
   if (args.command == "datasets") return CmdDatasets(out);
+  if (args.command == "metrics") return CmdMetrics(args, out, err);
 
   static const char* kGraphCommands[] = {
       "stats",      "skyline", "candidates",   "generate",
@@ -607,12 +667,14 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
   }
 
   int code;
+  std::string engine_prom;
   {
     NSKY_TRACE_SPAN(args.command.c_str());
     if (args.command == "stats") {
       code = CmdStats(args, *g, out);
     } else if (args.command == "skyline") {
-      code = CmdSkyline(args, *g, out, err);
+      code = CmdSkyline(args, *g, out, err,
+                        args.Has("metrics-out") ? &engine_prom : nullptr);
     } else if (args.command == "candidates") {
       code = CmdCandidates(args, *g, out, err);
     } else if (args.command == "generate") {
@@ -634,6 +696,21 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
     if (!status.ok()) {
       err << "error: " << status.ToString() << "\n";
       if (code == 0) code = 1;
+    }
+  }
+
+  // --metrics-out: Prometheus exposition text of the global registry plus,
+  // when the command served through an engine, that engine's scoped stats.
+  if (args.Has("metrics-out")) {
+    std::ofstream f(args.Get("metrics-out"),
+                    std::ios::binary | std::ios::trunc);
+    if (!f) {
+      err << "error: cannot open --metrics-out file '"
+          << args.Get("metrics-out") << "'\n";
+      if (code == 0) code = 1;
+    } else {
+      f << util::metrics::SnapshotToPrometheus(util::metrics::Snap());
+      f << engine_prom;
     }
   }
   return code;

@@ -17,6 +17,9 @@
 //   clique     (same inputs) [--no-skyline-pruning]
 //   topk-cliques (same inputs) --k K [--no-skyline-pruning]
 //   datasets   (no options)                       list stand-in registry
+//   metrics    [--format json|prom]               dump the process-wide
+//              metrics registry (nsky.metrics.v1 JSON, or Prometheus
+//              exposition text 0.0.4) and exit; no graph source needed
 //
 // Graph sources (exactly one):
 //   --input FILE       SNAP/KONECT edge list
@@ -56,6 +59,19 @@
 //                      chrome://tracing or Perfetto).
 //   --json             machine-readable output on stdout instead of the text
 //                      rendering; supported by stats, skyline and candidates.
+//   --stats            (skyline; requires --engine or --repeat) report the
+//                      serving engine's introspection after the queries: the
+//                      nsky.engine_stats.v1 document (artifact-cache
+//                      hit/miss/build-time ledger, workspace high-water
+//                      marks, per-algorithm latency percentiles) and the
+//                      nsky.queries.v1 flight-recorder dump. With --json
+//                      they embed as additive "engine_stats" /
+//                      "recent_queries" keys; in text mode each document is
+//                      printed on its own line after the summary.
+//   --metrics-out FILE write Prometheus exposition text (format 0.0.4) of
+//                      the process-wide metrics registry -- plus the
+//                      engine's scoped stats when the command served through
+//                      one -- to FILE after the command finishes.
 //
 // Stable JSON schemas (version bumps on breaking change):
 //   stats      {"schema":"nsky.stats.v1","command":"stats",
@@ -77,6 +93,15 @@
 //              emitted (alone, replacing the result document) when a
 //              --json skyline/candidates run fails; the process exits with
 //              the embedded exit_code.
+//   metrics    {"schema":"nsky.metrics.v1","command":"metrics",
+//               "metrics":{"counters":{...},"gauges":{...},
+//                          "histograms":{...}}}
+//   engine_stats (embedded under "engine_stats" by skyline --stats, or
+//              standalone from Engine::StatsJson): see core/engine_stats.h
+//              for the nsky.engine_stats.v1 layout.
+//   queries    (embedded under "recent_queries" by skyline --stats, or
+//              standalone from Engine::RecentQueriesJson): see
+//              core/flight_recorder.h for the nsky.queries.v1 layout.
 #ifndef NSKY_TOOLS_CLI_H_
 #define NSKY_TOOLS_CLI_H_
 

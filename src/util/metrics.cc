@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -158,6 +159,47 @@ void Histogram::Observe(uint64_t value) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+HistogramSample Histogram::Sample() const {
+  HistogramSample s;
+  s.name = name_;
+  s.count = Count();
+  s.sum = Sum();
+  s.max = Max();
+  for (int b = 0; b < kNumBuckets; ++b) {
+    uint64_t n = BucketCount(b);
+    if (n != 0) s.nonzero_buckets.emplace_back(b, n);
+  }
+  return s;
+}
+
+double EstimateQuantile(const HistogramSample& sample, double q) {
+  if (sample.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based.
+  double target = q * static_cast<double>(sample.count);
+  if (target < 1.0) target = 1.0;
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, n] : sample.nonzero_buckets) {
+    if (static_cast<double>(cumulative + n) >= target) {
+      // Bucket value range: [lo, hi) with lo = 2^(bucket-1), hi = 2^bucket
+      // (bucket 0 holds only the value 0).
+      double lo = bucket == 0 ? 0.0 : std::ldexp(1.0, bucket - 1);
+      double hi = bucket == 0 ? 1.0 : std::ldexp(1.0, bucket);
+      double max_bound = static_cast<double>(sample.max) + 1.0;
+      if (hi > max_bound) hi = max_bound;
+      if (hi < lo) hi = lo;
+      double frac = (target - static_cast<double>(cumulative)) /
+                    static_cast<double>(n);
+      double estimate = lo + (hi - lo) * frac;
+      double max_value = static_cast<double>(sample.max);
+      return estimate > max_value ? max_value : estimate;
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(sample.max);
+}
+
 void Histogram::ResetValue() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
@@ -198,35 +240,46 @@ const std::string& CounterName(size_t index) {
   return Registry::Instance().CounterName(index);
 }
 
+void WriteSnapshotJson(const Snapshot& snapshot, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& c : snapshot.counters) w->KV(c.name, c.value);
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& g : snapshot.gauges) {
+    w->KV(g.name, static_cast<int64_t>(g.value));
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& h : snapshot.histograms) {
+    w->Key(h.name);
+    w->BeginObject();
+    w->KV("count", h.count);
+    w->KV("sum", h.sum);
+    w->KV("max", h.max);
+    if (h.count > 0) {
+      w->KV("p50", EstimateQuantile(h, 0.50));
+      w->KV("p90", EstimateQuantile(h, 0.90));
+      w->KV("p99", EstimateQuantile(h, 0.99));
+    }
+    w->Key("buckets");
+    w->BeginObject();
+    for (const auto& [bucket, n] : h.nonzero_buckets) {
+      w->KV(std::to_string(bucket), n);
+    }
+    w->EndObject();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
 std::string SnapshotToJson(const Snapshot& snapshot) {
   JsonWriter w;
-  w.BeginObject();
-  w.Key("counters");
-  w.BeginObject();
-  for (const auto& c : snapshot.counters) w.KV(c.name, c.value);
-  w.EndObject();
-  w.Key("gauges");
-  w.BeginObject();
-  for (const auto& g : snapshot.gauges) w.KV(g.name, static_cast<int64_t>(g.value));
-  w.EndObject();
-  w.Key("histograms");
-  w.BeginObject();
-  for (const auto& h : snapshot.histograms) {
-    w.Key(h.name);
-    w.BeginObject();
-    w.KV("count", h.count);
-    w.KV("sum", h.sum);
-    w.KV("max", h.max);
-    w.Key("buckets");
-    w.BeginObject();
-    for (const auto& [bucket, n] : h.nonzero_buckets) {
-      w.KV(std::to_string(bucket), n);
-    }
-    w.EndObject();
-    w.EndObject();
-  }
-  w.EndObject();
-  w.EndObject();
+  WriteSnapshotJson(snapshot, &w);
   return std::move(w).Take();
 }
 

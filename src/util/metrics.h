@@ -25,6 +25,10 @@
 #include <string_view>
 #include <vector>
 
+namespace nsky::util {
+class JsonWriter;
+}  // namespace nsky::util
+
 namespace nsky::util::metrics {
 
 // Global instrumentation switch (default on). Disabling makes Add/Set/Observe
@@ -72,11 +76,25 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+struct HistogramSample;
+
 // Power-of-two bucketed distribution of non-negative integer samples.
 // Bucket i counts samples v with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0).
+//
+// Unlike Counter/Gauge, a Histogram can also be constructed directly --
+// outside the global registry -- so a component (e.g. core::Engine) can own
+// instance-scoped distributions that stay distinguishable when several
+// instances live in one process. Max tracking uses a compare-exchange loop,
+// so concurrent observers never lose the true maximum.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
+
+  // Unregistered histogram owned by the caller (engine-scoped stats). The
+  // global SetEnabled() switch still gates Observe().
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void Observe(uint64_t value);
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
@@ -86,11 +104,12 @@ class Histogram {
   uint64_t BucketCount(int bucket) const {
     return buckets_[bucket].load(std::memory_order_relaxed);
   }
+  // Point-in-time copy (count, sum, max, nonzero buckets).
+  HistogramSample Sample() const;
   const std::string& name() const { return name_; }
 
  private:
   friend class Registry;
-  explicit Histogram(std::string name) : name_(std::move(name)) {}
   void ResetValue();
 
   std::string name_;
@@ -124,6 +143,14 @@ struct HistogramSample {
   uint64_t max;
   std::vector<std::pair<int, uint64_t>> nonzero_buckets;  // (bucket, count)
 };
+
+// Quantile estimate (q in [0, 1]) from a histogram sample: the bucket
+// holding the rank-q observation is found by a cumulative walk, then the
+// position inside it is interpolated linearly in value space -- log-linear
+// overall, since bucket widths double. The estimate is clamped to the true
+// observed max (exact for the top of the distribution), and an empty sample
+// yields 0. Error is bounded by one bucket width (< 2x the true value).
+double EstimateQuantile(const HistogramSample& sample, double q);
 struct Snapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
@@ -149,8 +176,14 @@ const std::string& CounterName(size_t index);
 
 // JSON rendering of a snapshot:
 // {"counters":{name:value,...},"gauges":{...},
-//  "histograms":{name:{"count":..,"sum":..,"max":..,"buckets":{"i":n}}}}
+//  "histograms":{name:{"count":..,"sum":..,"max":..,
+//                      "p50":..,"p90":..,"p99":..,"buckets":{"i":n}}}}
+// The p* keys (EstimateQuantile) are present only when count > 0.
 std::string SnapshotToJson(const Snapshot& snapshot);
+
+// Same object written into an in-progress document (the CLI embeds the
+// snapshot under a key of a larger schema).
+void WriteSnapshotJson(const Snapshot& snapshot, JsonWriter* w);
 
 }  // namespace nsky::util::metrics
 

@@ -1,0 +1,120 @@
+#include "util/prom_export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace nsky::util::metrics {
+
+namespace {
+
+bool ValidNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+void AppendTypeLine(std::string_view name, const char* type,
+                    std::string* out) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->append(" ");
+  out->append(type);
+  out->append("\n");
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendSample(std::string_view name, std::string_view labels,
+                  std::string* out) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->append("{");
+    out->append(labels);
+    out->append("}");
+  }
+  out->append(" ");
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out.push_back(ValidNameChar(c, out.empty()) ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void AppendPrometheusHistogram(std::string_view metric_name,
+                               std::string_view labels,
+                               const HistogramSample& sample,
+                               std::string* out) {
+  const std::string name = PrometheusName(metric_name);
+  // Every _bucket line carries the caller's labels plus its le bound.
+  auto bucket_line = [&](std::string_view le, uint64_t value) {
+    out->append(name);
+    out->append("_bucket{");
+    if (!labels.empty()) {
+      out->append(labels);
+      out->append(",");
+    }
+    out->append("le=\"");
+    out->append(le);
+    out->append("\"} ");
+    AppendU64(value, out);
+    out->append("\n");
+  };
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, n] : sample.nonzero_buckets) {
+    cumulative += n;
+    // Bucket b covers integer values up to 2^b - 1 (bucket 0: the value 0).
+    uint64_t upper = bucket == 0 ? 0 : (uint64_t{1} << bucket) - 1;
+    char le[32];
+    std::snprintf(le, sizeof(le), "%" PRIu64, upper);
+    bucket_line(le, cumulative);
+  }
+  bucket_line("+Inf", sample.count);
+
+  AppendSample(name + "_sum", labels, out);
+  AppendU64(sample.sum, out);
+  out->append("\n");
+  AppendSample(name + "_count", labels, out);
+  AppendU64(sample.count, out);
+  out->append("\n");
+}
+
+std::string SnapshotToPrometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    AppendTypeLine(name, "counter", &out);
+    AppendSample(name, "", &out);
+    AppendU64(c.value, &out);
+    out.append("\n");
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    AppendTypeLine(name, "gauge", &out);
+    AppendSample(name, "", &out);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(g.value));
+    out.append(buf);
+    out.append("\n");
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    AppendTypeLine(name, "histogram", &out);
+    AppendPrometheusHistogram(h.name, "", h, &out);
+  }
+  return out;
+}
+
+}  // namespace nsky::util::metrics

@@ -1,0 +1,51 @@
+// Dependency-free Prometheus text-format exporter for metric snapshots.
+//
+// Renders a metrics::Snapshot as Prometheus exposition format 0.0.4 (the
+// plain-text format every Prometheus server scrapes), so a serving process
+// can expose its registry -- and, via core::EngineStatsToPrometheus, each
+// engine's scoped stats -- without linking any client library:
+//
+//   # TYPE nsky_cli_runs counter
+//   nsky_cli_runs 3
+//   # TYPE nsky_query_us histogram
+//   nsky_query_us_bucket{le="1023"} 4
+//   nsky_query_us_bucket{le="+Inf"} 5
+//   nsky_query_us_sum 3210
+//   nsky_query_us_count 5
+//
+// Metric names are sanitized to the [a-zA-Z_:][a-zA-Z0-9_:]* charset the
+// format requires (the registry's dotted names become underscored).
+// Histogram buckets are emitted cumulatively with inclusive integer upper
+// bounds (bucket b of the power-of-two histogram covers values up to
+// 2^b - 1); empty buckets are omitted, which the format permits.
+#ifndef NSKY_UTIL_PROM_EXPORT_H_
+#define NSKY_UTIL_PROM_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/metrics.h"
+
+namespace nsky::util::metrics {
+
+// Maps an arbitrary metric name onto the Prometheus name charset: every
+// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a
+// '_' prefix. Empty input yields "_".
+std::string PrometheusName(std::string_view name);
+
+// One # TYPE line plus the sample line(s) per metric, counters first, then
+// gauges, then histograms, each group in the snapshot's (sorted) order.
+std::string SnapshotToPrometheus(const Snapshot& snapshot);
+
+// Appends the exposition lines of a single histogram sample under
+// `metric_name` (already sanitized by the caller or not -- it is sanitized
+// again here), with an optional pre-rendered label set like
+// `algo="filter-refine"` applied to every sample line.
+void AppendPrometheusHistogram(std::string_view metric_name,
+                               std::string_view labels,
+                               const HistogramSample& sample,
+                               std::string* out);
+
+}  // namespace nsky::util::metrics
+
+#endif  // NSKY_UTIL_PROM_EXPORT_H_

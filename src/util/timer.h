@@ -8,8 +8,18 @@
 namespace nsky::util {
 
 // Monotonic wall-clock stopwatch. Starts running on construction.
+//
+// Every duration in the library -- solver stats.seconds, trace spans,
+// engine query latencies, bench rows -- is measured with this steady clock.
+// A non-steady clock (system_clock) can jump under NTP adjustments and
+// would corrupt latency percentiles; the static_assert keeps the choice
+// from regressing silently.
 class Timer {
  public:
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "durations must be measured on a monotonic clock");
+
   Timer() : start_(Clock::now()) {}
 
   // Restarts the stopwatch.
@@ -25,7 +35,6 @@ class Timer {
   double Micros() const { return Seconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

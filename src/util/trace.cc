@@ -15,6 +15,8 @@ namespace nsky::util::trace {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+static_assert(Clock::is_steady,
+              "span durations must be measured on a monotonic clock");
 
 std::atomic<bool> g_enabled{false};
 

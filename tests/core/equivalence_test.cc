@@ -140,6 +140,59 @@ TEST_P(SkylineEquivalence, StatsIdenticalWithTelemetryOnAndOff) {
   }
 }
 
+// Serving-path observability is observation-only too: an Engine with the
+// full instrumentation stack armed (metrics, latency histograms, flight
+// recorder, slow-query tracing) returns bit-identical results -- skyline,
+// dominator, every deterministic stat including the aux_peak_bytes ledger
+// -- to an uninstrumented engine, across algorithms and thread counts, on
+// cold and warm queries alike.
+TEST_P(SkylineEquivalence, EngineInstrumentationDoesNotChangeResults) {
+  namespace metrics = nsky::util::metrics;
+  constexpr Algorithm kAlgorithms[] = {
+      Algorithm::kFilterRefine, Algorithm::kBaseSky, Algorithm::kBaseCSet,
+      Algorithm::kBase2Hop};
+  constexpr uint32_t kThreads[] = {1, 2, 8};
+
+  graph::Graph g = GetParam().make(7);
+  Engine plain{graph::Graph(g)};
+  Engine instrumented{graph::Graph(g)};
+  instrumented.set_slow_query_threshold_us(1);  // trace every query
+
+  for (int round = 0; round < 2; ++round) {  // round 0 cold, round 1 warm
+    for (Algorithm algorithm : kAlgorithms) {
+      for (uint32_t threads : kThreads) {
+        SCOPED_TRACE(::testing::Message()
+                     << AlgorithmName(algorithm) << " threads " << threads
+                     << " round " << round);
+        SolverOptions options;
+        options.algorithm = algorithm;
+        options.threads = threads;
+
+        metrics::SetEnabled(false);
+        SkylineResult off = plain.Query(options);
+        metrics::SetEnabled(true);
+        SkylineResult on = instrumented.Query(options);
+
+        EXPECT_EQ(off.skyline, on.skyline);
+        EXPECT_EQ(off.dominator, on.dominator);
+        EXPECT_EQ(off.stats.candidate_count, on.stats.candidate_count);
+        EXPECT_EQ(off.stats.pairs_examined, on.stats.pairs_examined);
+        EXPECT_EQ(off.stats.bloom_prunes, on.stats.bloom_prunes);
+        EXPECT_EQ(off.stats.degree_prunes, on.stats.degree_prunes);
+        EXPECT_EQ(off.stats.inclusion_tests, on.stats.inclusion_tests);
+        EXPECT_EQ(off.stats.nbr_elements_scanned,
+                  on.stats.nbr_elements_scanned);
+        EXPECT_EQ(off.stats.aux_peak_bytes, on.stats.aux_peak_bytes);
+        EXPECT_EQ(off.stats.degraded_from, on.stats.degraded_from);
+      }
+    }
+  }
+  // The instrumented engine actually recorded everything while agreeing.
+  EXPECT_EQ(instrumented.recorder().total_recorded(),
+            2u * std::size(kAlgorithms) * std::size(kThreads));
+  EXPECT_FALSE(instrumented.recorder().SlowQueries().empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllGraphFamilies, SkylineEquivalence,
                          ::testing::ValuesIn(SmallGraphCases()),
                          GraphCaseName);

@@ -345,5 +345,86 @@ TEST(Cli, TraceBadPathFails) {
   EXPECT_NE(r.exit_code, 0);
 }
 
+TEST(Cli, MetricsVerbJsonAndProm) {
+  CliRun json = RunTool({"metrics", "--format", "json"});
+  EXPECT_EQ(json.exit_code, 0);
+  std::string error;
+  auto v = util::JsonParse(json.out, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->Find("schema")->str, "nsky.metrics.v1");
+  ASSERT_NE(v->Find("metrics"), nullptr);
+  ASSERT_NE(v->Find("metrics")->Find("counters"), nullptr);
+
+  CliRun prom = RunTool({"metrics", "--format", "prom"});
+  EXPECT_EQ(prom.exit_code, 0);
+  // Registry counters exist from earlier runs in this process; every line
+  // of the output is exposition format (comments or samples).
+  for (char c : prom.out) {
+    EXPECT_TRUE(c == '\n' || (c >= 0x20 && c <= 0x7e)) << int(c);
+  }
+
+  CliRun bad = RunTool({"metrics", "--format", "xml"});
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("--format"), std::string::npos);
+}
+
+TEST(Cli, SkylineStatsEmbedsEngineDocuments) {
+  CliRun r = RunTool({"skyline", "--generate", "ba:300:3:7", "--engine",
+                      "--repeat", "3", "--stats", "--json"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  std::string error;
+  auto v = util::JsonParse(r.out, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  const util::JsonValue* stats = v->Find("engine_stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->Find("schema")->str, "nsky.engine_stats.v1");
+  EXPECT_EQ(stats->Find("queries_served")->number, 3);
+  EXPECT_EQ(stats->Find("warm_queries")->number, 2);
+  EXPECT_EQ(stats->Find("cold_queries")->number, 1);
+  const util::JsonValue* recent = v->Find("recent_queries");
+  ASSERT_NE(recent, nullptr);
+  EXPECT_EQ(recent->Find("schema")->str, "nsky.queries.v1");
+  ASSERT_EQ(recent->Find("records")->array.size(), 3u);
+  EXPECT_EQ(recent->Find("records")->array[0].Find("seq")->number, 1);
+}
+
+TEST(Cli, SkylineStatsTextMode) {
+  CliRun r = RunTool({"skyline", "--generate", "ba:300:3:7", "--engine",
+                      "--repeat", "2", "--stats"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"schema\":\"nsky.engine_stats.v1\""),
+            std::string::npos);
+  EXPECT_NE(r.out.find("\"schema\":\"nsky.queries.v1\""), std::string::npos);
+}
+
+TEST(Cli, SkylineStatsRequiresEngine) {
+  CliRun r = RunTool({"skyline", "--generate", "ba:300:3:7", "--stats"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("--engine"), std::string::npos);
+}
+
+TEST(Cli, MetricsOutWritesPrometheusFile) {
+  std::string path = ::testing::TempDir() + "nsky_cli_metrics_out.prom";
+  std::remove(path.c_str());
+  CliRun r = RunTool({"skyline", "--generate", "ba:300:3:7", "--engine",
+                      "--repeat", "2", "--metrics-out", path});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  // Both the global registry and the engine-scoped stats are in the file.
+  EXPECT_NE(content.str().find("# TYPE "), std::string::npos);
+  EXPECT_NE(content.str().find("nsky_engine_queries_served 2\n"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MetricsOutBadPathFails) {
+  CliRun r = RunTool({"skyline", "--generate", "cycle:5", "--metrics-out",
+                      "/no/such/dir/m.prom"});
+  EXPECT_NE(r.exit_code, 0);
+}
+
 }  // namespace
 }  // namespace nsky::tools

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "util/json_writer.h"
 
 namespace nsky::util::metrics {
@@ -118,6 +122,130 @@ TEST(Metrics, SnapshotIsSortedAndRendersAsJson) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->Find("count")->number, 1);
   EXPECT_EQ(hist->Find("sum")->number, 3);
+}
+
+// Max tracking uses a CAS loop, so concurrent observers must never lose the
+// true maximum -- a plain relaxed store would let a smaller late writer
+// overwrite a larger earlier one. Each thread observes an increasing ramp
+// with a distinct per-thread peak; the histogram max must be the global
+// peak, exactly.
+TEST(Metrics, HistogramConcurrentObserveKeepsTrueMax) {
+  Histogram& h = GetHistogram("test.m9.mt_max");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kObservationsPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      // Thread t's peak is 1'000'000 + t; thread kThreads-1 owns the max.
+      for (uint64_t i = 0; i < kObservationsPerThread; ++i) h.Observe(i);
+      h.Observe(1000000 + static_cast<uint64_t>(t));
+    });
+  }
+  go.store(true);
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.Max(), 1000000u + kThreads - 1);
+  EXPECT_EQ(h.Count(), kThreads * (kObservationsPerThread + 1));
+}
+
+TEST(Metrics, EstimateQuantileEmptyAndSingle) {
+  HistogramSample empty;
+  empty.count = 0;
+  EXPECT_EQ(EstimateQuantile(empty, 0.5), 0.0);
+
+  Histogram& h = GetHistogram("test.m10.single");
+  h.Observe(100);
+  HistogramSample s = h.Sample();
+  // One sample: every quantile is clamped to the observed max.
+  EXPECT_EQ(EstimateQuantile(s, 0.0), 100.0);
+  EXPECT_EQ(EstimateQuantile(s, 0.5), 100.0);
+  EXPECT_EQ(EstimateQuantile(s, 1.0), 100.0);
+}
+
+TEST(Metrics, EstimateQuantileInterpolatesWithinBucket) {
+  Histogram& h = GetHistogram("test.m11.interp");
+  // 100 samples uniform in bucket 10 ([512, 1024)).
+  for (int i = 0; i < 100; ++i) h.Observe(512 + i * 5);
+  HistogramSample s = h.Sample();
+  double p50 = EstimateQuantile(s, 0.5);
+  double p99 = EstimateQuantile(s, 0.99);
+  // Estimates stay inside the bucket, are ordered, and the error bound is
+  // one bucket width.
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, static_cast<double>(s.max));
+}
+
+TEST(Metrics, EstimateQuantileSpansBuckets) {
+  Histogram& h = GetHistogram("test.m12.span");
+  // 90 small values, 10 large ones: p50 must sit with the small mass, p99
+  // with the large.
+  for (int i = 0; i < 90; ++i) h.Observe(4);
+  for (int i = 0; i < 10; ++i) h.Observe(5000);
+  HistogramSample s = h.Sample();
+  EXPECT_LE(EstimateQuantile(s, 0.5), 8.0);
+  EXPECT_GE(EstimateQuantile(s, 0.95), 4096.0);
+  EXPECT_EQ(EstimateQuantile(s, 1.0), 5000.0);
+}
+
+TEST(Metrics, SnapshotJsonIncludesQuantiles) {
+  Histogram& h = GetHistogram("test.m13.quant");
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<uint64_t>(i));
+  std::string json = SnapshotToJson(Snap());
+  auto v = JsonParse(json);
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* hist = v->Find("histograms")->Find("test.m13.quant");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->Find("p50"), nullptr);
+  ASSERT_NE(hist->Find("p90"), nullptr);
+  ASSERT_NE(hist->Find("p99"), nullptr);
+  EXPECT_LE(hist->Find("p50")->number, hist->Find("p90")->number);
+  EXPECT_LE(hist->Find("p90")->number, hist->Find("p99")->number);
+  EXPECT_LE(hist->Find("p99")->number, 100.0);
+}
+
+// Metric names pass through JsonEscape on the way into SnapshotToJson, so a
+// hostile name (quotes, backslashes, control characters) must yield a
+// parseable document with the name intact.
+TEST(Metrics, SnapshotJsonEscapesMetricNames) {
+  const std::string name = "test.m14.\"quoted\\name\"\twith\ncontrol";
+  GetCounter(name).Add(3);
+  std::string json = SnapshotToJson(Snap());
+  std::string error;
+  auto v = JsonParse(json, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  const JsonValue* counters = v->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find(name), nullptr);
+  EXPECT_EQ(counters->Find(name)->number, 3);
+}
+
+// Reset() racing Snap() and writers must never tear: every snapshot is
+// parseable and every sampled value is one the program could have produced
+// (between 0 and the writer's final total).
+TEST(Metrics, ResetVersusConcurrentSnapIsConsistent) {
+  Counter& c = GetCounter("test.m15.race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) c.Add(1);
+  });
+  std::thread resetter([&] {
+    for (int i = 0; i < 50; ++i) Reset();
+  });
+  for (int i = 0; i < 200; ++i) {
+    Snapshot snap = Snap();
+    uint64_t v = snap.CounterValue("test.m15.race");
+    EXPECT_LT(v, 1u << 30);  // sane: no torn/garbage read
+    std::string json = SnapshotToJson(snap);
+    EXPECT_TRUE(JsonParse(json).has_value());
+  }
+  stop.store(true);
+  writer.join();
+  resetter.join();
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+#include "util/prom_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace nsky::util::metrics {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Minimal exposition-format lint: every line is `# TYPE name kind`, or
+// `name value`, or `name{labels} value`, with names in the required
+// charset. Mirrors the awk lint in scripts/check.sh --observability.
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  auto ok_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!ok_first(name[0])) return false;
+  for (char c : name) {
+    if (!ok_first(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LintExposition(const std::string& text) {
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream in(line.substr(7));
+      std::string name, kind, extra;
+      in >> name >> kind;
+      EXPECT_TRUE(ValidName(name)) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      EXPECT_FALSE(in >> extra) << line;
+      continue;
+    }
+    ASSERT_NE(line.rfind("#", 0), 0u) << "unexpected comment: " << line;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    size_t brace = series.find('{');
+    std::string name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    EXPECT_TRUE(ValidName(name)) << line;
+    if (brace != std::string::npos) {
+      EXPECT_EQ(series.back(), '}') << line;
+    }
+    EXPECT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << line;
+  }
+}
+
+TEST(PromExport, SanitizesNames) {
+  EXPECT_EQ(PrometheusName("nsky.engine.queries"), "nsky_engine_queries");
+  EXPECT_EQ(PrometheusName("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(PrometheusName("9starts.with-digit"), "_starts_with_digit");
+  EXPECT_EQ(PrometheusName(""), "_");
+  EXPECT_EQ(PrometheusName("sp ace\"quote"), "sp_ace_quote");
+}
+
+TEST(PromExport, RendersCountersGaugesHistograms) {
+  GetCounter("test.prom.counter").Add(7);
+  GetGauge("test.prom.gauge").Set(-3);
+  Histogram& h = GetHistogram("test.prom.hist");
+  h.Observe(0);
+  h.Observe(3);
+  h.Observe(900);
+
+  std::string text = SnapshotToPrometheus(Snap());
+  LintExposition(text);
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: value 0 -> le="0" count 1; 3 -> le="3" cumulative 2;
+  // 900 (bucket 10) -> le="1023" cumulative 3; then +Inf and _sum/_count.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1023\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum 903\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 3\n"), std::string::npos);
+}
+
+TEST(PromExport, HistogramLabelsMergeWithBucketBounds) {
+  Histogram h("standalone");
+  h.Observe(5);
+  h.Observe(6);
+  std::string out;
+  AppendPrometheusHistogram("latency_us", "algo=\"cset\"", h.Sample(), &out);
+  LintExposition(out);
+  EXPECT_NE(out.find("latency_us_bucket{algo=\"cset\",le=\"7\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("latency_us_bucket{algo=\"cset\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("latency_us_sum{algo=\"cset\"} 11\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("latency_us_count{algo=\"cset\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(PromExport, BucketCountsAreCumulativeAndMonotone) {
+  Histogram h("mono");
+  for (uint64_t v = 1; v <= 4096; v *= 2) h.Observe(v);
+  std::string out;
+  AppendPrometheusHistogram("mono_us", "", h.Sample(), &out);
+  LintExposition(out);
+  uint64_t last = 0;
+  for (const std::string& line : Lines(out)) {
+    size_t le = line.find("le=\"");
+    if (le == std::string::npos) continue;
+    uint64_t count = std::strtoull(
+        line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    EXPECT_GE(count, last) << line;
+    last = count;
+  }
+  EXPECT_EQ(last, h.Count());
+}
+
+}  // namespace
+}  // namespace nsky::util::metrics

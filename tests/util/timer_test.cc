@@ -2,8 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
+#include "util/execution_context.h"
+
 namespace nsky::util {
 namespace {
+
+// Every duration in the library must come off a monotonic clock: a
+// system_clock jump (NTP) would corrupt latency percentiles and deadlines.
+// Compile-time guards so the clock choice cannot regress silently.
+static_assert(Timer::Clock::is_steady,
+              "Timer must measure on a monotonic clock");
+static_assert(ExecutionContext::Clock::is_steady,
+              "deadlines must be checked against a monotonic clock");
+static_assert(std::is_same_v<Timer::Clock, std::chrono::steady_clock>,
+              "Timer::Clock is the canonical steady_clock");
+
+TEST(Timer, ClockIsSteady) {
+  // Runtime echo of the static_asserts above, so the property shows up in
+  // the test report too.
+  EXPECT_TRUE(Timer::Clock::is_steady);
+  EXPECT_TRUE(ExecutionContext::Clock::is_steady);
+}
 
 TEST(Timer, MonotoneNonNegative) {
   Timer t;
