@@ -2,8 +2,8 @@
 # One-command correctness gate: sanitizer Debug build + full ctest run +
 # a parallel-solver CLI smoke test.
 #
-# Usage: scripts/check.sh [--tsan | --faults | --engine | --observability]
-#                         [build-dir]
+# Usage: scripts/check.sh [--tsan | --faults | --engine | --observability |
+#                          --server] [build-dir]
 #
 # Default mode configures a Debug build with AddressSanitizer + UBSan
 # (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
@@ -39,6 +39,15 @@
 # verb, and --metrics-out with a Prometheus-format lint of the output. The
 # right gate for changes to util/metrics.*, util/prom_export.*,
 # core/engine_stats.*, core/flight_recorder.* or the engine instrumentation.
+#
+# --server keeps the ASan build but runs only the server-labeled suites
+# (ctest -L server: HTTP parser corpus, loopback byte-identity with the CLI,
+# shedding/timeouts, concurrent stress) and then smoke-runs `nsky serve`
+# over a real loopback socket with plain bash /dev/tcp: skyline body parity
+# with the CLI, the nsky.error.v1 404 document, and signal-free shutdown via
+# --max-requests. The right gate for changes to src/server/* or the serve
+# verb. (--tsan also runs the server suites: the session workers and the
+# admission controller are thread-pool code.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,7 +61,11 @@ for arg in "$@"; do
     --tsan)
       SANITIZE=thread
       MODE=tsan
-      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness')
+      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness|^Server\.|^Service\.|^HttpParser\.')
+      ;;
+    --server)
+      MODE=server
+      TEST_FILTER=(-L server)
       ;;
     --faults)
       MODE=faults
@@ -149,6 +162,55 @@ if [[ "$MODE" == engine ]]; then
 
   echo "check.sh: engine smoke OK (--repeat 5 warm output identical to" \
        "cold solve, join+engine rejected)"
+  exit 0
+fi
+
+if [[ "$MODE" == server ]]; then
+  # Serving smoke over a real loopback socket, dependency-free: bash's
+  # /dev/tcp is the client. --max-requests makes the server exit on its own
+  # (no signals, works under set -e), --port-file removes the race between
+  # "server is up" and "client connects".
+  PORT_FILE="$(mktemp)"
+  : > "$PORT_FILE"
+  "$NSKY" serve --standin notredame --scale small --port 0 \
+    --port-file "$PORT_FILE" --max-requests 3 >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$PORT_FILE" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$PORT_FILE" ]]
+  PORT="$(cat "$PORT_FILE")"
+
+  http_get() {
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf 'GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+  }
+
+  # 1. The skyline body is the CLI's --engine --json document byte for byte
+  #    (wall time normalized away).
+  SERVED="$(http_get '/v1/skyline?algo=2hop&threads=2' | tr -d '\r' | sed '1,/^$/d')"
+  DIRECT="$("$NSKY" skyline --standin notredame --scale small --algo 2hop \
+    --threads 2 --engine --json)"
+  NORM_SERVED="$(echo "$SERVED" | sed -E 's/"seconds":[0-9.eE+-]+/"seconds":X/g')"
+  NORM_DIRECT="$(echo "$DIRECT" | sed -E 's/"seconds":[0-9.eE+-]+/"seconds":X/g')"
+  [[ "$NORM_SERVED" == "$NORM_DIRECT" ]]
+
+  # 2. An unknown route answers 404 with the nsky.error.v1 document.
+  MISS="$(http_get '/no/such/route')"
+  echo "$MISS" | grep -q '^HTTP/1.1 404 Not Found'
+  echo "$MISS" | grep -q '"schema":"nsky.error.v1"'
+  echo "$MISS" | grep -q '"code":"NOT_FOUND"'
+
+  # 3. The liveness probe, and the third request retires the server.
+  http_get '/healthz' | grep -q '^ok$'
+  wait "$SERVER_PID"
+  rm -f "$PORT_FILE"
+
+  echo "check.sh: server smoke OK (loopback body identical to CLI --json," \
+       "404 error schema, --max-requests shutdown)"
   exit 0
 fi
 

@@ -46,12 +46,14 @@ Engine::Resources& Engine::ResourcesFor(unsigned resolved_threads) {
   return *it->second;
 }
 
-util::Status Engine::QueryInto(const SolverOptions& options,
-                               const util::ExecutionContext& ctx,
-                               SkylineResult* result) {
+util::Status Engine::Execute(const QueryRequest& request,
+                             QueryResponse* response) {
+  const SolverOptions& options = request.options;
+  SkylineResult* result = &response->result;
   const unsigned resolved = internal::ResolveThreads(options.threads);
   Resources& res = ResourcesFor(resolved);
-  internal::SolveEnv env{&ctx, &res.pool, &res.workspace, &prepared_};
+  internal::SolveEnv env{&request.context, &res.pool, &res.workspace,
+                         &prepared_};
 
   // Arm the slow-query trace only when nobody else is tracing: the caller's
   // own trace (CLI --trace) must never be clobbered, and a second engine in
@@ -77,6 +79,11 @@ util::Status Engine::QueryInto(const SolverOptions& options,
     ++warm_queries_;
   } else {
     ++cold_queries_;
+  }
+  if (status.code() == util::StatusCode::kDeadlineExceeded) {
+    ++timeout_queries_;
+  } else if (status.code() == util::StatusCode::kCancelled) {
+    ++cancelled_queries_;
   }
 
   // Attribute latency to the algorithm that actually ran: a byte-budget
@@ -117,24 +124,30 @@ util::Status Engine::QueryInto(const SolverOptions& options,
   if (util::metrics::Enabled()) {
     util::metrics::GetCounter("nsky.engine.queries").Add(1);
   }
-  return status;
+
+  // Output trimming happens after recording so the flight recorder still
+  // sees the true skyline size and aux peak of the run.
+  if (!request.include_dominators) {
+    result->dominator.clear();
+  }
+  response->status = status;
+  response->warm = warm;
+  return response->status;
 }
 
-SkylineResult Engine::Query(const SolverOptions& options) {
-  SkylineResult result;
-  util::Status status =
-      QueryInto(options, util::ExecutionContext::Unlimited(), &result);
-  NSKY_CHECK_MSG(status.ok(),
-                 "Query with an unlimited context cannot fail");
-  return result;
-}
-
-util::Result<SkylineResult> Engine::QueryOrError(
-    const SolverOptions& options, const util::ExecutionContext& ctx) {
-  SkylineResult result;
-  util::Status status = QueryInto(options, ctx, &result);
-  if (!status.ok()) return status;
-  return result;
+void Engine::RecordRejection(const SolverOptions& options,
+                             const util::Status& status) {
+  shed_queries_.fetch_add(1, std::memory_order_relaxed);
+  QueryRecord record;
+  record.algorithm = options.algorithm;
+  record.threads = internal::ResolveThreads(options.threads);
+  record.warm = false;
+  record.duration_us = 0;
+  record.skyline_size = 0;
+  record.aux_peak_bytes = 0;
+  record.status = status.code();
+  record.degraded_from = -1;
+  record.seq = recorder_.Record(record);
 }
 
 std::vector<SkylineResult> Engine::QueryBatch(
@@ -195,6 +208,9 @@ EngineStats Engine::StatsSnapshot() const {
   s.queries_served = queries_served_;
   s.warm_queries = warm_queries_;
   s.cold_queries = cold_queries_;
+  s.timeout_queries = timeout_queries_;
+  s.cancelled_queries = cancelled_queries_;
+  s.shed_queries = shed_queries_.load(std::memory_order_relaxed);
   s.artifact_builds = prepared_.builds();
   s.cache = prepared_.CacheStatsSnapshot();
   for (const auto& [threads, res] : resources_) {

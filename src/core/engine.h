@@ -1,21 +1,26 @@
 // core::Engine: the serving entry point for repeated skyline queries.
 //
 //   nsky::core::Engine engine(std::move(g));
-//   nsky::core::SkylineResult a = engine.Query();            // cold: builds
-//   nsky::core::SkylineResult b = engine.Query(options);     // warm: cached
+//   nsky::core::QueryResponse response;
+//   engine.Execute({.options = options}, &response);         // cold: builds
+//   engine.Execute({.options = options}, &response);         // warm: cached
 //
 // An Engine owns a graph, a PreparedGraph artifact cache built from it, and
 // one {ThreadPool, SolverWorkspace} pair per distinct resolved thread
-// count. Query() routes through the same dispatch body as Solve(), so every
-// result -- skyline order, dominator array, every deterministic
-// SkylineStats counter including aux_peak_bytes -- is bit-identical to a
-// cold Solve() call with the same options at any thread count. What changes
-// is the cost profile: graph-derived artifacts (filter candidates, blooms,
-// 2-hop lists) are computed once and shared across queries, and per-query
-// scratch comes from the pooled workspace, so a warm query of a
-// previously-seen shape performs no heap allocation in the solver hot path
-// (QueryInto with a reused result extends that to the outputs; the
-// workspace allocation ledger verifies it in tests).
+// count. Execute() is the single query surface (core/query.h): every input
+// -- options, limits, output mode -- arrives in a QueryRequest, every
+// output -- result, status, warmth -- leaves in a QueryResponse, and the
+// historical Query / QueryOrError / QueryInto / QueryBatch entry points are
+// thin inline wrappers over it. Execute() routes through the same dispatch
+// body as Solve(), so every result -- skyline order, dominator array, every
+// deterministic SkylineStats counter including aux_peak_bytes -- is
+// bit-identical to a cold Solve() call with the same options at any thread
+// count. What changes is the cost profile: graph-derived artifacts (filter
+// candidates, blooms, 2-hop lists) are computed once and shared across
+// queries, and per-query scratch comes from the pooled workspace, so a warm
+// query of a previously-seen shape performs no heap allocation in the
+// solver hot path (Execute into a reused response extends that to the
+// outputs; the workspace allocation ledger verifies it in tests).
 //
 // Semantics that differ from cold Solve(), by design:
 //  * Artifact builds run under an unlimited context (shared state must not
@@ -38,9 +43,13 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <utility>
+
 #include "core/engine_stats.h"
 #include "core/flight_recorder.h"
 #include "core/prepared_graph.h"
+#include "core/query.h"
 #include "core/solver.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
@@ -67,23 +76,67 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   PreparedGraph& prepared() { return prepared_; }
 
+  // The single query surface (core/query.h): fills *response with the
+  // result, status and warmth of one query run under the request's options
+  // and limits. A query interrupted by its context leaves the engine fully
+  // serviceable: the next query re-initializes all scratch it reads. The
+  // response's buffers are recycled (capacity kept, contents replaced), so
+  // a serving loop that reuses one response stays allocation-free once
+  // warm. Returns response->status for call-site convenience.
+  util::Status Execute(const QueryRequest& request, QueryResponse* response);
+  QueryResponse Execute(const QueryRequest& request) {
+    QueryResponse response;
+    Execute(request, &response);
+    return response;
+  }
+
+  // Historical wrappers, all thin shims over Execute().
+  //
   // Unlimited-context queries; infallible like Solve().
   SkylineResult Query() { return Query(options_.defaults); }
-  SkylineResult Query(const SolverOptions& options);
+  SkylineResult Query(const SolverOptions& options) {
+    QueryResponse response;
+    Execute(QueryRequest{options, util::ExecutionContext::Unlimited(), true},
+            &response);
+    NSKY_CHECK_MSG(response.status.ok(),
+                   "Query with an unlimited context cannot fail");
+    return std::move(response.result);
+  }
 
-  // Context-honoring queries, mirroring SolveOrError / SolveInto. A query
-  // interrupted by its context leaves the engine fully serviceable: the
-  // next query re-initializes all scratch it reads.
+  // Context-honoring queries, mirroring SolveOrError / SolveInto.
   util::Result<SkylineResult> QueryOrError(
-      const SolverOptions& options, const util::ExecutionContext& ctx = {});
+      const SolverOptions& options, const util::ExecutionContext& ctx = {}) {
+    QueryResponse response;
+    Execute(QueryRequest{options, ctx, true}, &response);
+    if (!response.status.ok()) return response.status;
+    return std::move(response.result);
+  }
   util::Status QueryInto(const SolverOptions& options,
                          const util::ExecutionContext& ctx,
-                         SkylineResult* result);
+                         SkylineResult* result) {
+    // Donate the caller's buffers to the response so a reused result keeps
+    // its steady-state capacity through the round trip.
+    QueryResponse response;
+    response.result = std::move(*result);
+    Execute(QueryRequest{options, ctx, true}, &response);
+    *result = std::move(response.result);
+    return response.status;
+  }
 
   // Runs the batch serially in order against the shared artifacts; entry i
   // equals Query(batch[i]).
   std::vector<SkylineResult> QueryBatch(
       const std::vector<SolverOptions>& batch);
+
+  // Admission-control hook for serving front ends: accounts for a request
+  // that was rejected before reaching Execute() (load shedding, draining).
+  // Bumps the shed counter and files a flight-recorder entry carrying the
+  // rejection status, so shed traffic shows up in StatsSnapshot() and the
+  // nsky.queries.v1 document alongside served queries. Unlike Execute()
+  // this is safe to call concurrently with a running query -- rejection is
+  // precisely the moment the engine is busy.
+  void RecordRejection(const SolverOptions& options,
+                       const util::Status& status);
 
   // The skyline under the engine's default options, computed on first call
   // and cached. The shared pool the clique / centrality / setjoin
@@ -104,6 +157,9 @@ class Engine {
   void RefreshFrom(Graph g);
 
   uint64_t queries_served() const { return queries_served_; }
+  uint64_t shed_queries() const {
+    return shed_queries_.load(std::memory_order_relaxed);
+  }
 
   // --- Observability -----------------------------------------------------
   //
@@ -169,6 +225,10 @@ class Engine {
   uint64_t queries_served_ = 0;
   uint64_t warm_queries_ = 0;
   uint64_t cold_queries_ = 0;
+  uint64_t timeout_queries_ = 0;
+  uint64_t cancelled_queries_ = 0;
+  // Atomic because RecordRejection() runs concurrently with Execute().
+  std::atomic<uint64_t> shed_queries_{0};
   uint64_t slow_query_threshold_us_ = 0;
   FlightRecorder recorder_;
   // Indexed by Algorithm; named with the stable CLI algorithm names. These

@@ -87,6 +87,9 @@ void WriteEngineStatsJson(const EngineStats& stats, util::JsonWriter* w) {
   w->KV("queries_served", stats.queries_served);
   w->KV("warm_queries", stats.warm_queries);
   w->KV("cold_queries", stats.cold_queries);
+  w->KV("timeout_queries", stats.timeout_queries);
+  w->KV("cancelled_queries", stats.cancelled_queries);
+  w->KV("shed_queries", stats.shed_queries);
   w->KV("artifact_builds", stats.artifact_builds);
   w->Key("cache");
   w->BeginObject();
@@ -138,6 +141,14 @@ std::string EngineStatsToPrometheus(const EngineStats& stats) {
   AppendCounterLine("nsky_engine_warm_queries", "", stats.warm_queries, &out);
   out.append("# TYPE nsky_engine_cold_queries counter\n");
   AppendCounterLine("nsky_engine_cold_queries", "", stats.cold_queries, &out);
+  out.append("# TYPE nsky_engine_timeout_queries counter\n");
+  AppendCounterLine("nsky_engine_timeout_queries", "", stats.timeout_queries,
+                    &out);
+  out.append("# TYPE nsky_engine_cancelled_queries counter\n");
+  AppendCounterLine("nsky_engine_cancelled_queries", "",
+                    stats.cancelled_queries, &out);
+  out.append("# TYPE nsky_engine_shed_queries counter\n");
+  AppendCounterLine("nsky_engine_shed_queries", "", stats.shed_queries, &out);
   out.append("# TYPE nsky_engine_artifact_builds counter\n");
   AppendCounterLine("nsky_engine_artifact_builds", "", stats.artifact_builds,
                     &out);

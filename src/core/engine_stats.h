@@ -31,6 +31,13 @@ struct EngineStats {
   // (PreparedGraph::builds() unchanged across the dispatch).
   uint64_t warm_queries = 0;
   uint64_t cold_queries = 0;
+  // Disposition counters: queries stopped by their context (deadline /
+  // cancellation, counted inside queries_served) and requests shed by
+  // admission control before reaching the solver (NOT counted in
+  // queries_served -- no query ran).
+  uint64_t timeout_queries = 0;
+  uint64_t cancelled_queries = 0;
+  uint64_t shed_queries = 0;
   uint64_t artifact_builds = 0;  // PreparedGraph::builds()
 
   // Per-artifact hit / miss / build-time ledger of the artifact cache.
@@ -56,7 +63,8 @@ struct EngineStats {
 
 // nsky.engine_stats.v1:
 // {"schema":"nsky.engine_stats.v1","queries_served":..,"warm_queries":..,
-//  "cold_queries":..,"artifact_builds":..,
+//  "cold_queries":..,"timeout_queries":..,"cancelled_queries":..,
+//  "shed_queries":..,"artifact_builds":..,
 //  "cache":{"filter":{"hits":..,"misses":..,"build_us":..},...,
 //           "candidate_blooms":{"<bits>":{...}},"full_blooms":{...}},
 //  "workspaces":[{"threads":..,"allocation_events":..,"allocated_bytes":..}],

@@ -29,6 +29,7 @@ FlightRecorder::FlightRecorder(size_t capacity)
     : slots_(capacity == 0 ? 1 : capacity) {}
 
 uint64_t FlightRecorder::Record(const QueryRecord& record) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   Slot& slot = slots_[(seq - 1) % slots_.size()];
   // Seqlock publish: odd while the fields are in flux, even when stable.

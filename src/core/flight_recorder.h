@@ -9,14 +9,16 @@
 // ring never allocates after construction, so it is safe on the
 // zero-allocation warm serving path.
 //
-// Concurrency model: ONE writer (the engine's serving thread -- Engine
-// serves one caller at a time) and any number of concurrent readers
-// (stats scrapers calling Recent()/ToJson()). Slots are published with a
-// per-slot version counter, seqlock style: the writer bumps the version to
-// odd, stores the fields, then bumps it to even; a reader retries a slot
-// whose version was odd or changed mid-copy. All fields are relaxed
-// atomics, so racing reads are well-defined (and TSan-clean) -- a torn
-// logical record is impossible because of the version protocol.
+// Concurrency model: concurrent writers, serialized internally by a writer
+// mutex (the common writer is the engine's serving thread, but admission
+// control records rejections from other threads precisely while a query is
+// running -- see Engine::RecordRejection), and any number of concurrent
+// readers (stats scrapers calling Recent()/ToJson()). Slots are published
+// with a per-slot version counter, seqlock style: the writer bumps the
+// version to odd, stores the fields, then bumps it to even; a reader
+// retries a slot whose version was odd or changed mid-copy. All fields are
+// relaxed atomics, so racing reads are well-defined (and TSan-clean) -- a
+// torn logical record is impossible because of the version protocol.
 //
 // Slow queries: when the engine's slow-query hook fires
 // (NSKY_SLOW_QUERY_US, see core/engine.h), the offending query's full
@@ -80,8 +82,9 @@ class FlightRecorder {
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
-  // Writer side (single-threaded per recorder). `record.seq` is ignored;
-  // the recorder assigns the next sequence number and returns it.
+  // Writer side; safe to call from any thread (writers serialize on an
+  // internal mutex). `record.seq` is ignored; the recorder assigns the next
+  // sequence number and returns it.
   uint64_t Record(const QueryRecord& record);
 
   // Keeps `record` plus the flattened `roots` span forest in the slow log,
@@ -125,6 +128,9 @@ class FlightRecorder {
 
   std::vector<Slot> slots_;
   std::atomic<uint64_t> next_seq_{0};
+  // Serializes Record() callers; never held by readers, so recording stays
+  // wait-free with respect to scrapers.
+  std::mutex writer_mu_;
 
   mutable std::mutex slow_mu_;
   std::vector<SlowQuery> slow_;

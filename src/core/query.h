@@ -1,0 +1,73 @@
+// The unified request/response surface of the serving engine.
+//
+// Historically Engine grew four entry points (Query, QueryOrError,
+// QueryInto, QueryBatch) that each combined options, limits and output
+// handling differently. QueryRequest folds every per-query input into one
+// value -- solver options, execution limits, output mode -- and
+// QueryResponse folds every output into another -- result, status, warmth.
+// Engine::Execute(request, &response) is the single implementation; the
+// historical four remain as thin inline wrappers over it (core/engine.h),
+// and the network front end (src/server/) speaks this surface natively: one
+// HTTP request maps to one QueryRequest, one response to one QueryResponse.
+//
+// Both structs are plain values: a request can be built once and replayed,
+// a response can be reused across queries (Execute recycles its buffers, so
+// a warm serving loop stays allocation-free exactly like the historical
+// QueryInto-with-reused-result idiom).
+#ifndef NSKY_CORE_QUERY_H_
+#define NSKY_CORE_QUERY_H_
+
+#include <string>
+
+#include "core/skyline.h"
+#include "core/solver.h"
+#include "util/execution_context.h"
+#include "util/status.h"
+
+namespace nsky::core {
+
+// Everything a caller can say about one skyline query.
+struct QueryRequest {
+  // Algorithm, thread count, bloom sizing (core/solver.h).
+  SolverOptions options;
+
+  // Cooperative limits: deadline, cancellation, byte budget. The
+  // default-constructed context is unlimited, which keeps request-building
+  // terse and preserves the infallible Query() contract. The context only
+  // borrows a CancelToken; the caller keeps it alive for the query.
+  util::ExecutionContext context;
+
+  // Output mode. The dominator array is O(n) and most serving consumers
+  // (the CLI JSON document, the wire protocol) never read it; requests that
+  // do not need it skip materializing it into the response.
+  bool include_dominators = true;
+};
+
+// Everything one query produced.
+struct QueryResponse {
+  // OK, or why the run stopped early (kDeadlineExceeded / kCancelled /
+  // kResourceExhausted). On failure `result` follows the partial-results
+  // contract of core/solver.h: empty outputs, stats of the work actually
+  // performed.
+  util::Status status;
+
+  // Skyline, dominator array (unless the request opted out) and the
+  // deterministic stats counters.
+  SkylineResult result;
+
+  // True when the query was served entirely from cached artifacts (no
+  // PreparedGraph build ran during dispatch).
+  bool warm = false;
+
+  bool ok() const { return status.ok(); }
+  const SkylineStats& stats() const { return result.stats; }
+  // AlgorithmName of the requested algorithm when the runtime degraded the
+  // run to fit the byte budget; empty otherwise.
+  const std::string& degraded_from() const {
+    return result.stats.degraded_from;
+  }
+};
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_QUERY_H_

@@ -1,0 +1,74 @@
+#include "core/skyline_json.h"
+
+#include <utility>
+
+#include "core/engine_stats.h"
+#include "core/flight_recorder.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace nsky::core {
+
+void WriteSkylineStatsJson(const SkylineStats& stats, util::JsonWriter* w) {
+  w->Key("stats");
+  w->BeginObject();
+  w->KV("candidate_count", stats.candidate_count);
+  w->KV("pairs_examined", stats.pairs_examined);
+  w->KV("bloom_prunes", stats.bloom_prunes);
+  w->KV("degree_prunes", stats.degree_prunes);
+  w->KV("inclusion_tests", stats.inclusion_tests);
+  w->KV("nbr_elements_scanned", stats.nbr_elements_scanned);
+  w->KV("aux_peak_bytes", stats.aux_peak_bytes);
+  w->KV("threads", static_cast<uint64_t>(stats.threads));
+  w->KV("degraded_from", stats.degraded_from);
+  w->KV("seconds", stats.seconds);
+  w->EndObject();
+}
+
+void WriteSkylineDocJson(const graph::Graph& g, const SkylineResult& r,
+                         const SkylineDocOptions& doc, Engine* engine,
+                         util::JsonWriter* w) {
+  NSKY_CHECK_MSG(!doc.include_engine_docs || engine != nullptr,
+                 "include_engine_docs requires an engine");
+  w->BeginObject();
+  w->KV("schema", "nsky.skyline.v1");
+  w->KV("command", "skyline");
+  w->KV("algorithm", doc.algorithm);
+  if (doc.engine) {
+    // Additive keys: absent in the classic single-solve output.
+    w->KV("engine", true);
+    w->KV("repeat", doc.repeat);
+  }
+  w->Key("graph");
+  w->BeginObject();
+  w->KV("n", static_cast<uint64_t>(g.NumVertices()));
+  w->KV("m", g.NumEdges());
+  w->EndObject();
+  w->Key("skyline");
+  w->BeginObject();
+  w->KV("size", static_cast<uint64_t>(r.skyline.size()));
+  w->Key("members");
+  w->BeginArray();
+  for (graph::VertexId u : r.skyline) w->UInt(u);
+  w->EndArray();
+  w->EndObject();
+  WriteSkylineStatsJson(r.stats, w);
+  if (doc.include_engine_docs) {
+    // Additive keys: the engine's own introspection documents, each
+    // carrying its own schema tag.
+    w->Key("engine_stats");
+    WriteEngineStatsJson(engine->StatsSnapshot(), w);
+    w->Key("recent_queries");
+    engine->recorder().WriteJson(FlightRecorder::kDefaultCapacity, w);
+  }
+  w->EndObject();
+}
+
+std::string SkylineDocToJson(const graph::Graph& g, const SkylineResult& r,
+                             const SkylineDocOptions& doc, Engine* engine) {
+  util::JsonWriter w;
+  WriteSkylineDocJson(g, r, doc, engine, &w);
+  return std::move(w).Take();
+}
+
+}  // namespace nsky::core

@@ -1,0 +1,59 @@
+// Shared renderer of the stable `nsky.skyline.v1` JSON document.
+//
+// Two front ends emit this document: the CLI (`nsky skyline --json`,
+// src/tools/cli.cc) and the network server (`GET /v1/skyline`,
+// src/server/). The serving contract pins them byte-for-byte equal for the
+// same graph and options (tests/server/server_test.cc), which is only
+// maintainable if both render through one function -- so the renderer lives
+// here, next to the engine, and neither front end writes skyline keys by
+// hand.
+#ifndef NSKY_CORE_SKYLINE_JSON_H_
+#define NSKY_CORE_SKYLINE_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+#include "core/skyline.h"
+#include "graph/graph.h"
+
+namespace nsky::util {
+class JsonWriter;
+}  // namespace nsky::util
+
+namespace nsky::core {
+
+// Presentation knobs of one nsky.skyline.v1 document. The keys they control
+// are additive: a plain single-solve document carries neither the engine
+// markers nor the embedded introspection documents.
+struct SkylineDocOptions {
+  std::string algorithm;  // the requested algorithm, as the caller spelled it
+  bool engine = false;    // served through core::Engine ("engine","repeat")
+  uint64_t repeat = 1;
+  // Embed the engine's own documents ("engine_stats","recent_queries");
+  // requires a non-null engine argument.
+  bool include_engine_docs = false;
+};
+
+// The "stats" member object shared by nsky.skyline.v1 and
+// nsky.candidates.v1 (every deterministic SkylineStats counter plus the
+// wall-time "seconds" field -- the one key identity tests normalize away).
+void WriteSkylineStatsJson(const SkylineStats& stats, util::JsonWriter* w);
+
+// The full document: schema/command/algorithm, optional engine markers, the
+// graph shape, the skyline membership, the stats object, and optionally the
+// engine's introspection documents. `engine` may be null unless
+// doc.include_engine_docs is set.
+void WriteSkylineDocJson(const graph::Graph& g, const SkylineResult& r,
+                         const SkylineDocOptions& doc, Engine* engine,
+                         util::JsonWriter* w);
+
+// WriteSkylineDocJson into a fresh writer; returns the document text
+// (no trailing newline -- both front ends append their own).
+std::string SkylineDocToJson(const graph::Graph& g, const SkylineResult& r,
+                             const SkylineDocOptions& doc,
+                             Engine* engine = nullptr);
+
+}  // namespace nsky::core
+
+#endif  // NSKY_CORE_SKYLINE_JSON_H_

@@ -1,0 +1,185 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace nsky::server {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(uint16_t port) : port_(port) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status HttpClient::Connect() {
+  if (fd_ >= 0) return util::Status::Ok();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string msg = std::string("connect 127.0.0.1:") +
+                            std::to_string(port_) + ": " +
+                            std::strerror(errno);
+    Close();
+    return util::Status::IoError(msg);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<ClientResponse> HttpClient::ReadResponse() {
+  std::string data;
+  char buf[8192];
+  size_t head_end = std::string::npos;
+  // Head first.
+  while ((head_end = data.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return util::Status::IoError("connection closed before response head");
+    }
+    data.append(buf, static_cast<size_t>(n));
+  }
+
+  ClientResponse response;
+  const std::string head = data.substr(0, head_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) {
+    Close();
+    return util::Status::IoError("malformed status line: " + status_line);
+  }
+  response.status = std::atoi(status_line.c_str() + sp1 + 1);
+
+  std::string rest =
+      line_end == std::string::npos ? "" : head.substr(line_end + 2);
+  uint64_t content_length = 0;
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    const std::string line = rest.substr(0, eol);
+    rest = eol == std::string::npos ? "" : rest.substr(eol + 2);
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name =
+        ToLower(std::string(util::Trim(line.substr(0, colon))));
+    response.headers[name] = std::string(util::Trim(line.substr(colon + 1)));
+  }
+  if (auto it = response.headers.find("content-length");
+      it != response.headers.end()) {
+    if (!util::ParseUint64(it->second, &content_length)) {
+      Close();
+      return util::Status::IoError("malformed content-length");
+    }
+  }
+
+  const size_t body_begin = head_end + 4;
+  while (data.size() - body_begin < content_length) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return util::Status::IoError("connection closed mid-body");
+    }
+    data.append(buf, static_cast<size_t>(n));
+  }
+  response.body = data.substr(body_begin, content_length);
+
+  if (auto it = response.headers.find("connection");
+      it != response.headers.end() && ToLower(it->second) == "close") {
+    Close();
+  }
+  return response;
+}
+
+util::Result<ClientResponse> HttpClient::Get(const std::string& target) {
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool fresh = fd_ < 0;
+    if (util::Status s = Connect(); !s.ok()) return s;
+    size_t written = 0;
+    bool send_failed = false;
+    while (written < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + written,
+                               request.size() - written, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) {
+        send_failed = true;
+        break;
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (!send_failed) {
+      util::Result<ClientResponse> r = ReadResponse();
+      // A stale keep-alive connection (server closed between calls) fails
+      // the read; retry once on a fresh connection.
+      if (r.ok() || fresh) return r;
+    }
+    Close();
+    if (fresh) {
+      return util::Status::IoError("send failed on fresh connection");
+    }
+  }
+  return util::Status::IoError("unreachable");
+}
+
+util::Result<ClientResponse> HttpClient::Raw(const std::string& bytes) {
+  if (util::Status s = Connect(); !s.ok()) return s;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      Close();
+      return util::Status::IoError(std::string("send: ") +
+                                   std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return ReadResponse();
+}
+
+util::Result<ClientResponse> HttpGet(uint16_t port,
+                                     const std::string& target) {
+  HttpClient client(port);
+  return client.Get(target);
+}
+
+}  // namespace nsky::server

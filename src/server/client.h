@@ -1,0 +1,59 @@
+// Minimal blocking HTTP/1.1 client for loopback testing and benchmarking.
+//
+// This is the measurement side of the serving stack: the server tests drive
+// the real socket path through it, and bench/bench_server_load uses it as
+// the load generator, so it supports exactly what those need -- GET over a
+// keep-alive connection, status + headers + Content-Length body back.
+// It is not a general HTTP client and never follows redirects.
+#ifndef NSKY_SERVER_CLIENT_H_
+#define NSKY_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace nsky::server {
+
+struct ClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  // Connects lazily on the first Get().
+  explicit HttpClient(uint16_t port);
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  ~HttpClient();
+
+  // One GET round trip on the (kept-alive) connection. Reconnects once if
+  // the server closed the connection between calls.
+  util::Result<ClientResponse> Get(const std::string& target);
+
+  // Sends raw bytes and reads one response; for malformed-request tests.
+  util::Result<ClientResponse> Raw(const std::string& bytes);
+
+  // Opens the connection without sending anything; for slow-client tests.
+  util::Status Connect();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  util::Result<ClientResponse> ReadResponse();
+
+  uint16_t port_;
+  int fd_ = -1;
+};
+
+// Convenience: one-shot GET on a fresh connection.
+util::Result<ClientResponse> HttpGet(uint16_t port,
+                                     const std::string& target);
+
+}  // namespace nsky::server
+
+#endif  // NSKY_SERVER_CLIENT_H_

@@ -1,0 +1,217 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace nsky::server {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Percent-decoding; '+' means space in query strings. Malformed escapes are
+// kept verbatim (the route layer rejects values it cannot parse anyway).
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && HexDigit(s[i + 1]) >= 0 &&
+               HexDigit(s[i + 2]) >= 0) {
+      out.push_back(
+          static_cast<char>(HexDigit(s[i + 1]) * 16 + HexDigit(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SplitTarget(std::string_view target, std::string* path,
+                 std::map<std::string, std::string>* query) {
+  const size_t qmark = target.find('?');
+  *path = std::string(target.substr(0, qmark));
+  query->clear();
+  if (qmark == std::string_view::npos) return;
+  std::string_view rest = target.substr(qmark + 1);
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      (*query)[PercentDecode(pair)] = "";
+    } else {
+      (*query)[PercentDecode(pair.substr(0, eq))] =
+          PercentDecode(pair.substr(eq + 1));
+    }
+  }
+}
+
+HttpParser::State HttpParser::Fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+  return state_;
+}
+
+HttpParser::State HttpParser::Feed(std::string_view data) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(data);
+  return TryParse();
+}
+
+HttpParser::State HttpParser::TryParse() {
+  const size_t head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeadBytes) {
+      return Fail(400, "request head exceeds " +
+                           std::to_string(kMaxHeadBytes) + " bytes");
+    }
+    return state_;
+  }
+  if (head_end > kMaxHeadBytes) {
+    return Fail(400, "request head exceeds " + std::to_string(kMaxHeadBytes) +
+                         " bytes");
+  }
+
+  // Request line.
+  std::string_view head(buffer_.data(), head_end);
+  const size_t line_end = head.find("\r\n");
+  std::string_view request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(request_line.substr(sp2 + 1));
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    return Fail(400, "malformed request line");
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version '" + request_.version + "'");
+  }
+
+  // Headers: "name: value" lines, names lowercased.
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    std::string_view line = rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 2);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail(400, "malformed header line");
+    }
+    request_.headers[ToLower(util::Trim(line.substr(0, colon)))] =
+        std::string(util::Trim(line.substr(colon + 1)));
+  }
+
+  // Body: Content-Length only (no chunked encoding).
+  if (request_.headers.count("transfer-encoding") > 0) {
+    return Fail(400, "transfer-encoding is not supported");
+  }
+  uint64_t content_length = 0;
+  if (auto it = request_.headers.find("content-length");
+      it != request_.headers.end()) {
+    if (!util::ParseUint64(it->second, &content_length)) {
+      return Fail(400, "malformed content-length");
+    }
+    if (content_length > kMaxBodyBytes) {
+      return Fail(413, "request body exceeds " +
+                           std::to_string(kMaxBodyBytes) + " bytes");
+    }
+  }
+  const size_t body_begin = head_end + 4;
+  if (buffer_.size() - body_begin < content_length) return state_;
+  request_.body = buffer_.substr(body_begin, content_length);
+
+  SplitTarget(request_.target, &request_.path, &request_.query);
+
+  const std::string connection =
+      ToLower(request_.headers.count("connection") > 0
+                  ? request_.headers.at("connection")
+                  : "");
+  request_.keep_alive = request_.version == "HTTP/1.1"
+                            ? connection != "close"
+                            : connection == "keep-alive";
+
+  // Keep pipelined bytes for the next Reset()+Feed() round.
+  buffer_.erase(0, body_begin + content_length);
+  state_ = State::kDone;
+  return state_;
+}
+
+void HttpParser::Reset() {
+  state_ = State::kNeedMore;
+  request_ = HttpRequest{};
+  error_.clear();
+  error_status_ = 400;
+  if (!buffer_.empty()) TryParse();
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(status));
+  out.append(" ");
+  out.append(HttpReasonPhrase(status));
+  out.append("\r\nContent-Type: ");
+  out.append(content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append("\r\nConnection: ");
+  out.append(keep_alive ? "keep-alive" : "close");
+  out.append("\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace nsky::server

@@ -1,0 +1,99 @@
+// Minimal HTTP/1.1 message layer for the nsky network front end.
+//
+// This is deliberately a small, dependency-free subset of HTTP -- exactly
+// what the JSON serving endpoints need and nothing more:
+//  * requests: request line + headers + optional Content-Length body,
+//    incremental parsing so a session can read from a socket in chunks;
+//  * responses: status line + a fixed header set + body, keep-alive aware;
+//  * no chunked transfer encoding, no multipart, no TLS.
+//
+// The parser is defensive rather than general: hard byte limits on the
+// request head and body, a strict two-token-plus-version request line, and
+// a kError terminal state carrying a message suitable for a 400 body. It
+// never allocates proportionally to anything but the (bounded) input.
+#ifndef NSKY_SERVER_HTTP_H_
+#define NSKY_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace nsky::server {
+
+// One parsed request. Header names are lowercased; the query string is
+// split off the target and percent-decoded into `query`.
+struct HttpRequest {
+  std::string method;   // "GET", ...
+  std::string target;   // raw request target ("/v1/skyline?algo=base")
+  std::string version;  // "HTTP/1.1"
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string path;  // target up to '?' ("/v1/skyline")
+  std::map<std::string, std::string> query;
+
+  // True when the connection should stay open after the response:
+  // HTTP/1.1 without "Connection: close", or HTTP/1.0 with
+  // "Connection: keep-alive".
+  bool keep_alive = false;
+};
+
+// Incremental request parser. Feed() bytes as they arrive; once it returns
+// kDone, request() is valid and Reset() re-arms the parser for the next
+// request on the same connection (unconsumed pipelined bytes carry over).
+// kError is terminal for the connection: error() explains why, and
+// error_status() is the HTTP status to answer with (400 or 413).
+class HttpParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  // Guardrails against hostile or broken clients.
+  static constexpr size_t kMaxHeadBytes = 8 * 1024;
+  static constexpr size_t kMaxBodyBytes = 64 * 1024;
+
+  State Feed(std::string_view data);
+  State state() const { return state_; }
+
+  const HttpRequest& request() const { return request_; }
+  const std::string& error() const { return error_; }
+  int error_status() const { return error_status_; }
+
+  // True when Feed() has consumed any bytes of a not-yet-complete request
+  // (distinguishes "idle keep-alive connection went away" from "client
+  // stalled mid-request", which deserves a 408).
+  bool mid_request() const {
+    return state_ == State::kNeedMore && !buffer_.empty();
+  }
+
+  void Reset();
+
+ private:
+  State Fail(int status, std::string message);
+  State TryParse();
+
+  State state_ = State::kNeedMore;
+  std::string buffer_;
+  HttpRequest request_;
+  std::string error_;
+  int error_status_ = 400;
+};
+
+// Serializes a response with Content-Type, Content-Length and Connection
+// headers. `status` must be one of the codes the server emits (the reason
+// phrase table covers them).
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive);
+
+// Canonical reason phrase for the status codes this server emits;
+// "Unknown" for anything else.
+const char* HttpReasonPhrase(int status);
+
+// Splits "path?k=v&k2=v2" into path + percent-decoded key/value pairs.
+// Keys without '=' map to the empty string.
+void SplitTarget(std::string_view target, std::string* path,
+                 std::map<std::string, std::string>* query);
+
+}  // namespace nsky::server
+
+#endif  // NSKY_SERVER_HTTP_H_

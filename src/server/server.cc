@@ -1,0 +1,221 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+
+#include "server/http.h"
+
+namespace nsky::server {
+
+namespace {
+
+// Acceptor poll granularity: the latency bound on noticing Shutdown().
+constexpr int kAcceptPollMs = 20;
+
+}  // namespace
+
+Server::Server(SkylineService* service, ServerOptions options)
+    : service_(service),
+      options_(options),
+      // +1: chunk 0 of the Serve() ParallelFor is the acceptor, which the
+      // pool runs on the calling thread; the session workers need their own
+      // threads on top of it.
+      pool_(std::max<uint32_t>(options.session_threads, 1) + 1) {}
+
+Server::~Server() {
+  Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+util::Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return util::Status::IoError(std::string("bind 127.0.0.1:") +
+                                 std::to_string(options_.port) + ": " +
+                                 std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    return util::Status::IoError(std::string("listen: ") +
+                                 std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return util::Status::IoError(std::string("getsockname: ") +
+                                 std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  return util::Status::Ok();
+}
+
+void Server::Serve() {
+  const uint64_t lanes =
+      static_cast<uint64_t>(std::max<uint32_t>(options_.session_threads, 1)) +
+      1;
+  // n == num_threads(): every lane is exactly one chunk, so lane 0 (the
+  // acceptor) runs on this thread and each session worker owns one pool
+  // thread for the whole serve lifetime.
+  pool_.ParallelFor(lanes, [this](unsigned, uint64_t begin, uint64_t end) {
+    for (uint64_t lane = begin; lane < end; ++lane) {
+      if (lane == 0) {
+        AcceptLoop();
+      } else {
+        SessionLoop();
+      }
+    }
+  });
+}
+
+void Server::Shutdown() {
+  if (stop_.exchange(true)) return;
+  if (service_ != nullptr) service_->set_draining(true);
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_ready_.notify_all();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(fd);
+    }
+    conn_ready_.notify_one();
+  }
+  // Wake every worker so they can observe stop_ and drain the queue.
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_ready_.notify_all();
+}
+
+void Server::SessionLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      conn_ready_.wait(lock, [this] {
+        return !pending_.empty() || stop_.load(std::memory_order_relaxed);
+      });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else {
+        return;  // stopped and drained
+      }
+    }
+    HandleConnection(fd);
+  }
+}
+
+bool Server::WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void Server::HandleConnection(int fd) {
+  HttpParser parser;
+  char buf[8192];
+  const int read_timeout_ms =
+      options_.idle_timeout_ms == 0
+          ? -1
+          : static_cast<int>(options_.idle_timeout_ms);
+  bool keep_open = true;
+  while (keep_open) {
+    // Read until one full request is parsed (or the client goes away).
+    while (parser.state() == HttpParser::State::kNeedMore) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, read_timeout_ms);
+      if (ready == 0) {
+        // Slow client. Mid-request it earns a 408; an idle keep-alive
+        // connection is just closed.
+        if (parser.mid_request()) {
+          WriteAll(fd, SerializeResponse(
+                           408, "application/json",
+                           SkylineService::ErrorResponse(
+                               util::Status::DeadlineExceeded(
+                                   "timed out waiting for request bytes"))
+                               .body,
+                           false));
+        }
+        keep_open = false;
+        break;
+      }
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        keep_open = false;
+        break;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {  // client closed or reset
+        keep_open = false;
+        break;
+      }
+      parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+    if (!keep_open) break;
+
+    if (parser.state() == HttpParser::State::kError) {
+      const HttpResponse error = SkylineService::ErrorResponse(
+          util::Status::InvalidArgument(parser.error()));
+      WriteAll(fd, SerializeResponse(parser.error_status(),
+                                     error.content_type, error.body, false));
+      break;
+    }
+
+    const HttpRequest& request = parser.request();
+    const HttpResponse response = service_->Handle(request);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    const bool keep_alive =
+        request.keep_alive && !stop_.load(std::memory_order_relaxed);
+    if (!WriteAll(fd, SerializeResponse(response.status,
+                                        response.content_type, response.body,
+                                        keep_alive))) {
+      break;
+    }
+    if (options_.max_requests > 0 &&
+        requests_served_.load(std::memory_order_relaxed) >=
+            options_.max_requests) {
+      Shutdown();
+    }
+    if (!keep_alive) break;
+    parser.Reset();
+  }
+  ::close(fd);
+}
+
+}  // namespace nsky::server

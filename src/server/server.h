@@ -1,0 +1,102 @@
+// Server: the TCP/HTTP 1.1 transport of the nsky serving stack.
+//
+// Dependency-free (POSIX sockets + poll), loopback-oriented, and built on
+// the same util::ThreadPool the solvers use: Serve() runs one blocking
+// ParallelFor whose chunk 0 -- which the pool always executes on the
+// calling thread -- is the accept loop, and whose remaining chunks are the
+// session workers. There is no dynamic thread creation anywhere: the worker
+// count is fixed at construction, accepted connections queue between the
+// acceptor and the workers, and each worker owns one connection at a time
+// for its whole keep-alive lifetime.
+//
+//   SkylineService service(std::move(graph), service_options);
+//   Server server(&service, options);
+//   if (auto s = server.Listen(); !s.ok()) { ... }   // port() now bound
+//   server.Serve();                                   // blocks until stop
+//
+// Stopping: Shutdown() (any thread) flips the stop flag and flips the
+// service into draining; the acceptor stops accepting, queued connections
+// are still answered (with 503 for queries, by the service), and Serve()
+// returns once every worker has finished its connection. `max_requests`
+// (ServerOptions) self-arms Shutdown() after N requests have been served --
+// how tests and the check.sh smoke run the server without signals.
+//
+// Slow clients: a connection that stays silent for `idle_timeout_ms` is
+// closed; if it had sent part of a request, it is first answered with 408
+// and the nsky.error.v1 body (an idle keep-alive connection just closes).
+#ifndef NSKY_SERVER_SERVER_H_
+#define NSKY_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/service.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace nsky::server {
+
+struct ServerOptions {
+  // 0 binds an ephemeral port; read the result from port() after Listen().
+  uint16_t port = 0;
+  // Session workers (concurrent connections served); the acceptor runs on
+  // the Serve() caller's thread on top of these.
+  uint32_t session_threads = 4;
+  // Stop after this many HTTP requests have been served (0 = run until
+  // Shutdown()).
+  uint64_t max_requests = 0;
+  // Close connections idle longer than this mid-session; 0 disables.
+  uint64_t idle_timeout_ms = 5000;
+};
+
+class Server {
+ public:
+  // The service must outlive the server.
+  Server(SkylineService* service, ServerOptions options);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  // Binds and listens on 127.0.0.1; after OK, port() is the bound port.
+  util::Status Listen();
+  uint16_t port() const { return port_; }
+
+  // Blocks serving until Shutdown() (or max_requests). Call Listen() first.
+  void Serve();
+
+  // Thread-safe, idempotent. Makes Serve() return.
+  void Shutdown();
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void SessionLoop();
+  void HandleConnection(int fd);
+  // False once the client is gone (reset / short write).
+  bool WriteAll(int fd, std::string_view data);
+
+  SkylineService* service_;
+  ServerOptions options_;
+  util::ThreadPool pool_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::mutex mu_;
+  std::condition_variable conn_ready_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+};
+
+}  // namespace nsky::server
+
+#endif  // NSKY_SERVER_SERVER_H_

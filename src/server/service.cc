@@ -1,0 +1,204 @@
+#include "server/service.h"
+
+#include <utility>
+
+#include "core/engine_stats.h"
+#include "core/flight_recorder.h"
+#include "core/skyline_json.h"
+#include "core/solver.h"
+#include "util/execution_context.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
+#include "util/prom_export.h"
+#include "util/strings.h"
+
+namespace nsky::server {
+
+namespace {
+
+// Reads an optional non-negative integer query parameter. Returns false
+// (with a message) on malformed values; leaves *out untouched when absent.
+bool ReadUintParam(const HttpRequest& request, const char* name,
+                   uint64_t* out, std::string* error) {
+  auto it = request.query.find(name);
+  if (it == request.query.end()) return true;
+  if (!util::ParseUint64(it->second, out)) {
+    *error = std::string("query parameter '") + name +
+             "' must be a non-negative integer, got '" + it->second + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SkylineService::SkylineService(graph::Graph g, ServiceOptions options)
+    : options_(options), engine_(std::move(g)) {}
+
+HttpResponse SkylineService::ErrorResponse(const util::Status& status) {
+  return ErrorResponseWithHttpStatus(util::HttpStatusFor(status.code()),
+                                     status);
+}
+
+HttpResponse SkylineService::ErrorResponseWithHttpStatus(
+    int http_status, const util::Status& status) {
+  // Same shape as the CLI's failure document (tools/cli.cc EmitFailure):
+  // scripts can parse one schema no matter which front end produced it.
+  util::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "nsky.error.v1");
+  w.KV("command", "serve");
+  w.KV("code", util::StatusCodeName(status.code()));
+  w.KV("message", status.message());
+  w.KV("exit_code",
+       static_cast<uint64_t>(util::CliExitCode(status.code())));
+  w.EndObject();
+  HttpResponse response;
+  response.status = http_status;
+  response.body = std::move(w).Take() + "\n";
+  return response;
+}
+
+HttpResponse SkylineService::Handle(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return ErrorResponseWithHttpStatus(
+        405, util::Status::InvalidArgument("method '" + request.method +
+                                           "' is not supported; use GET"));
+  }
+  if (request.path == "/v1/skyline") return HandleSkyline(request);
+  if (request.path == "/v1/engine_stats") return HandleEngineStats();
+  if (request.path == "/v1/queries") return HandleQueries(request);
+  if (request.path == "/v1/metrics") return HandleMetrics();
+  if (request.path == "/healthz") {
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = "ok\n";
+    return response;
+  }
+  return ErrorResponse(
+      util::Status::NotFound("no route for '" + request.path + "'"));
+}
+
+HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
+  // Parse everything before admission: a malformed request must not count
+  // against capacity.
+  core::SolverOptions options;
+  std::string algo = "filter-refine";
+  if (auto it = request.query.find("algo"); it != request.query.end()) {
+    algo = it->second;
+  }
+  if (auto parsed = core::ParseAlgorithm(algo)) {
+    options.algorithm = *parsed;
+  } else {
+    return ErrorResponse(
+        util::Status::InvalidArgument("unknown algo '" + algo + "'"));
+  }
+  uint64_t threads = 1;
+  uint64_t repeat = 1;
+  uint64_t timeout_ms = options_.default_timeout_ms;
+  uint64_t max_memory_mb = options_.default_max_memory_mb;
+  uint64_t stats = 0;
+  std::string error;
+  if (!ReadUintParam(request, "threads", &threads, &error) ||
+      !ReadUintParam(request, "repeat", &repeat, &error) ||
+      !ReadUintParam(request, "timeout_ms", &timeout_ms, &error) ||
+      !ReadUintParam(request, "max_memory_mb", &max_memory_mb, &error) ||
+      !ReadUintParam(request, "stats", &stats, &error)) {
+    return ErrorResponse(util::Status::InvalidArgument(error));
+  }
+  if (threads > 4096) {
+    return ErrorResponse(
+        util::Status::InvalidArgument("threads must be in [0, 4096]"));
+  }
+  if (repeat == 0) repeat = 1;
+  options.threads = static_cast<uint32_t>(threads);
+
+  // Admission control. Deterministic by construction: the decision depends
+  // only on how many queries are admitted right now, never on timing inside
+  // the engine. Shed requests are accounted by the engine so they show up
+  // next to served ones.
+  if (draining_.load(std::memory_order_relaxed)) {
+    util::Status status = util::Status::Unavailable("server is draining");
+    engine_.RecordRejection(options, status);
+    return ErrorResponse(status);
+  }
+  uint32_t admitted = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (admitted >= options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    util::Status status = util::Status::ResourceExhausted(
+        "over capacity: " + std::to_string(options_.max_inflight) +
+        " queries already in flight");
+    engine_.RecordRejection(options, status);
+    return ErrorResponse(status);
+  }
+
+  core::QueryRequest query;
+  query.options = options;
+  if (timeout_ms > 0) query.context.set_timeout_ms(timeout_ms);
+  if (max_memory_mb > 0) {
+    query.context.set_byte_budget(max_memory_mb * 1024 * 1024);
+  }
+  // The document never renders the dominator array; skip materializing it.
+  query.include_dominators = false;
+
+  HttpResponse response;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    core::QueryResponse result;
+    for (uint64_t i = 0; i < repeat; ++i) {
+      engine_.Execute(query, &result);
+      if (!result.ok()) break;
+    }
+    if (!result.ok()) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      return ErrorResponse(result.status);
+    }
+    core::SkylineDocOptions doc;
+    doc.algorithm = algo;
+    doc.engine = true;
+    doc.repeat = repeat;
+    doc.include_engine_docs = stats != 0;
+    response.body =
+        core::SkylineDocToJson(engine_.graph(), result.result, doc,
+                               &engine_) +
+        "\n";
+  }
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return response;
+}
+
+HttpResponse SkylineService::HandleEngineStats() {
+  HttpResponse response;
+  // StatsSnapshot reads the same non-atomic counters Execute writes, so it
+  // takes its turn on the engine like a query does.
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  response.body = engine_.StatsJson() + "\n";
+  return response;
+}
+
+HttpResponse SkylineService::HandleQueries(const HttpRequest& request) {
+  uint64_t max = core::FlightRecorder::kDefaultCapacity;
+  std::string error;
+  if (!ReadUintParam(request, "max", &max, &error)) {
+    return ErrorResponse(util::Status::InvalidArgument(error));
+  }
+  HttpResponse response;
+  // The flight recorder is safe against concurrent writers; no lock.
+  response.body = engine_.RecentQueriesJson(max) + "\n";
+  return response;
+}
+
+HttpResponse SkylineService::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  std::string body =
+      util::metrics::SnapshotToPrometheus(util::metrics::Snap());
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    body += core::EngineStatsToPrometheus(engine_.StatsSnapshot());
+  }
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace nsky::server

@@ -1,0 +1,114 @@
+// SkylineService: the transport-independent request handler of the nsky
+// server.
+//
+// The service owns a core::Engine over one graph and maps HTTP requests to
+// engine calls; src/server/server.{h,cc} owns sockets and threads and calls
+// Handle() from its session workers. Keeping the two apart means every
+// route -- including admission control and error rendering -- is testable
+// without a socket, and the socket loop never touches JSON.
+//
+// Endpoints (all GET):
+//   /v1/skyline?algo=&threads=&repeat=&timeout_ms=&max_memory_mb=&stats=1
+//       One engine query; the body is the same nsky.skyline.v1 document
+//       `nsky skyline --engine --json` prints, byte-for-byte (both render
+//       through core/skyline_json.h). `stats=1` embeds the engine's
+//       introspection documents like the CLI's --stats.
+//   /v1/engine_stats    nsky.engine_stats.v1 snapshot
+//   /v1/queries?max=N   nsky.queries.v1 flight-recorder dump
+//   /v1/metrics         Prometheus text: process registry + engine stats
+//   /healthz            "ok" liveness probe
+//
+// Failures answer with the nsky.error.v1 document and the HTTP status from
+// the canonical table in util/status.h, so a request that times out inside
+// the solver returns 408 exactly where the CLI would exit 4.
+//
+// Admission control: at most `max_inflight` skyline queries may be admitted
+// at once (admitted = waiting for or holding the engine). Requests beyond
+// that are shed immediately -- RESOURCE_EXHAUSTED / 429, deterministic, no
+// queueing -- and recorded via Engine::RecordRejection so shed traffic is
+// visible in /v1/engine_stats and /v1/queries. A draining service (server
+// shutting down) answers UNAVAILABLE / 503 instead: the 429 asks the client
+// to back off, the 503 tells it to go elsewhere.
+//
+// Concurrency: Handle() may be called from any number of session workers.
+// The engine itself serves one caller at a time, so query and stats routes
+// serialize on an internal mutex; /v1/queries reads the flight recorder
+// lock-free (it is explicitly safe against concurrent writers).
+#ifndef NSKY_SERVER_SERVICE_H_
+#define NSKY_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/engine.h"
+#include "graph/graph.h"
+#include "server/http.h"
+#include "util/status.h"
+
+namespace nsky::server {
+
+struct ServiceOptions {
+  // Per-request defaults; a request's query parameters override them
+  // (timeout_ms= / max_memory_mb=, 0 meaning "unlimited").
+  uint64_t default_timeout_ms = 0;   // 0 = no deadline
+  uint64_t default_max_memory_mb = 0;  // 0 = no byte budget
+
+  // Skyline queries admitted (waiting or running) before shedding starts.
+  uint32_t max_inflight = 4;
+};
+
+// What the transport writes back: status + content type + body. The
+// Connection header stays with the transport.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class SkylineService {
+ public:
+  SkylineService(graph::Graph g, ServiceOptions options);
+
+  // Thread-safe; see the concurrency notes above.
+  HttpResponse Handle(const HttpRequest& request);
+
+  // The nsky.error.v1 document (plus trailing newline) for a failure, as a
+  // ready-to-send response. Shared with the transport so parse errors and
+  // slow-client timeouts use the same body shape as route errors.
+  static HttpResponse ErrorResponse(const util::Status& status);
+  // Same body, but served under an explicit HTTP status (405, 413, ...)
+  // that has no StatusCode of its own.
+  static HttpResponse ErrorResponseWithHttpStatus(int http_status,
+                                                  const util::Status& status);
+
+  // Flipped by the server when it begins shutting down; skyline queries are
+  // then refused with UNAVAILABLE/503.
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+
+  core::Engine& engine() { return engine_; }
+  uint32_t max_inflight() const { return options_.max_inflight; }
+  // Currently admitted skyline queries (tests poll this to time overload).
+  uint32_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpResponse HandleSkyline(const HttpRequest& request);
+  HttpResponse HandleEngineStats();
+  HttpResponse HandleQueries(const HttpRequest& request);
+  HttpResponse HandleMetrics();
+
+  ServiceOptions options_;
+  core::Engine engine_;
+  std::mutex engine_mu_;
+  std::atomic<uint32_t> inflight_{0};
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace nsky::server
+
+#endif  // NSKY_SERVER_SERVICE_H_

@@ -18,6 +18,9 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "core/skyline_json.h"
+#include "server/server.h"
+#include "server/service.h"
 #include "setjoin/skyline_via_join.h"
 #include "util/execution_context.h"
 #include "util/json_writer.h"
@@ -170,45 +173,13 @@ std::optional<Graph> LoadInput(const Args& args, std::ostream& err) {
   return ParseGenerateSpec(args.Get("generate"), err);
 }
 
-// Writes the SkylineStats object of the skyline/candidates schemas.
-void WriteStatsJson(const core::SkylineStats& stats, util::JsonWriter* w) {
-  w->Key("stats");
-  w->BeginObject();
-  w->KV("candidate_count", stats.candidate_count);
-  w->KV("pairs_examined", stats.pairs_examined);
-  w->KV("bloom_prunes", stats.bloom_prunes);
-  w->KV("degree_prunes", stats.degree_prunes);
-  w->KV("inclusion_tests", stats.inclusion_tests);
-  w->KV("nbr_elements_scanned", stats.nbr_elements_scanned);
-  w->KV("aux_peak_bytes", stats.aux_peak_bytes);
-  w->KV("threads", static_cast<uint64_t>(stats.threads));
-  w->KV("degraded_from", stats.degraded_from);
-  w->KV("seconds", stats.seconds);
-  w->EndObject();
-}
-
-// Exit codes: 0 ok, 1 runtime/IO error, 2 usage, then one code per
-// cooperative-limit status so scripts can distinguish them.
-int ExitCodeForStatus(const util::Status& status) {
-  switch (status.code()) {
-    case util::StatusCode::kOk:
-      return 0;
-    case util::StatusCode::kDeadlineExceeded:
-      return 4;
-    case util::StatusCode::kCancelled:
-      return 5;
-    case util::StatusCode::kResourceExhausted:
-      return 6;
-    default:
-      return 1;
-  }
-}
-
-// Renders a failed solver run: the stable nsky.error.v1 object on --json
-// (instead of partial output), a plain error line otherwise.
+// Renders a failed run: the stable nsky.error.v1 object on --json (instead
+// of partial output), a plain error line otherwise. The exit code (and the
+// document's exit_code key) come from the canonical status table in
+// util/status.h, the same table the network server maps HTTP statuses from.
 int EmitFailure(const Args& args, const util::Status& status,
                 std::ostream& out, std::ostream& err) {
-  const int code = ExitCodeForStatus(status);
+  const int code = util::CliExitCode(status.code());
   if (args.Has("json")) {
     util::JsonWriter w;
     w.BeginObject();
@@ -323,9 +294,14 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
   if (!ParseRepeat(args, &repeat, err)) return 2;
   const bool use_engine = args.Has("engine") || repeat > 1;
   if (args.Has("stats") && !use_engine) {
-    err << "error: --stats reports engine introspection; add --engine "
-           "(or --repeat N)\n";
-    return 2;
+    // Through EmitFailure so --json callers get the structured nsky.error.v1
+    // body instead of a bare stderr line (exit code 2 either way, from the
+    // status table's INVALID_ARGUMENT row).
+    return EmitFailure(args,
+                       util::Status::InvalidArgument(
+                           "--stats reports engine introspection; add "
+                           "--engine (or --repeat N)"),
+                       out, err);
   }
   // Kept alive past the query loop so --stats / --metrics-out can render
   // its introspection documents after the results are written.
@@ -351,10 +327,15 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
       // the first query, later queries are warm. Results are bit-identical
       // to a single cold solve, so only the last one is rendered.
       engine.emplace(g);
+      core::QueryRequest request{options, ctx};
+      core::QueryResponse response;
+      response.result = std::move(r);
       for (uint64_t i = 0; i < repeat; ++i) {
-        util::Status status = engine->QueryInto(options, ctx, &r);
-        if (!status.ok()) return EmitFailure(args, status, out, err);
+        if (!engine->Execute(request, &response).ok()) {
+          return EmitFailure(args, response.status, out, err);
+        }
       }
+      r = std::move(response.result);
     } else {
       util::Status status = core::SolveInto(g, options, ctx, &r);
       if (!status.ok()) return EmitFailure(args, status, out, err);
@@ -367,36 +348,17 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     *engine_prom = core::EngineStatsToPrometheus(engine->StatsSnapshot());
   }
   if (args.Has("json")) {
-    util::JsonWriter w;
-    w.BeginObject();
-    w.KV("schema", "nsky.skyline.v1");
-    w.KV("command", "skyline");
-    w.KV("algorithm", algo);
-    if (engine.has_value()) {
-      // Additive keys: absent in the classic single-solve output.
-      w.KV("engine", true);
-      w.KV("repeat", repeat);
-    }
-    WriteGraphJson(g, &w);
-    w.Key("skyline");
-    w.BeginObject();
-    w.KV("size", static_cast<uint64_t>(r.skyline.size()));
-    w.Key("members");
-    w.BeginArray();
-    for (VertexId u : r.skyline) w.UInt(u);
-    w.EndArray();
-    w.EndObject();
-    WriteStatsJson(r.stats, &w);
-    if (engine.has_value() && args.Has("stats")) {
-      // Additive keys: the engine's own introspection documents, each
-      // carrying its own schema tag.
-      w.Key("engine_stats");
-      core::WriteEngineStatsJson(engine->StatsSnapshot(), &w);
-      w.Key("recent_queries");
-      engine->recorder().WriteJson(core::FlightRecorder::kDefaultCapacity, &w);
-    }
-    w.EndObject();
-    out << std::move(w).Take() << "\n";
+    // Rendered by the shared core/skyline_json.h writer -- the same one the
+    // network server uses, which is what keeps `nsky skyline --engine
+    // --json` and `GET /v1/skyline` byte-identical.
+    core::SkylineDocOptions doc;
+    doc.algorithm = algo;
+    doc.engine = engine.has_value();
+    doc.repeat = repeat;
+    doc.include_engine_docs = engine.has_value() && args.Has("stats");
+    out << core::SkylineDocToJson(g, r, doc,
+                                  engine.has_value() ? &*engine : nullptr)
+        << "\n";
     return 0;
   }
   out << "skyline " << r.skyline.size() << " of " << g.NumVertices()
@@ -414,6 +376,89 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     out << engine->StatsJson() << "\n";
     out << engine->RecentQueriesJson() << "\n";
   }
+  return 0;
+}
+
+// Blocking network front end: serves the loaded graph over loopback
+// HTTP 1.1 through core::Engine until --max-requests is reached (or
+// forever). The per-request defaults (--timeout-ms / --max-memory-mb) and
+// the admission limit (--max-inflight) become the service's config; each
+// request may tighten but the endpoint set is fixed (see
+// src/server/service.h).
+int CmdServe(const Args& args, Graph g, std::ostream& out,
+             std::ostream& err) {
+  auto parse_u64 = [&](const char* key, uint64_t fallback, uint64_t* value) {
+    *value = fallback;
+    if (!args.Has(key)) return true;
+    if (!util::ParseUint64(args.Get(key), value)) {
+      err << "error: --" << key << " must be a non-negative integer, got '"
+          << args.Get(key) << "'\n";
+      return false;
+    }
+    return true;
+  };
+  uint64_t port = 0;
+  uint64_t server_threads = 0;
+  uint64_t max_inflight = 0;
+  uint64_t timeout_ms = 0;
+  uint64_t max_memory_mb = 0;
+  uint64_t max_requests = 0;
+  uint64_t idle_timeout_ms = 0;
+  if (!parse_u64("port", 0, &port) ||
+      !parse_u64("server-threads", 4, &server_threads) ||
+      !parse_u64("max-inflight", 4, &max_inflight) ||
+      !parse_u64("timeout-ms", 0, &timeout_ms) ||
+      !parse_u64("max-memory-mb", 0, &max_memory_mb) ||
+      !parse_u64("max-requests", 0, &max_requests) ||
+      !parse_u64("idle-timeout-ms", 5000, &idle_timeout_ms)) {
+    return 2;
+  }
+  if (port > 65535) {
+    err << "error: --port must be in [0, 65535]\n";
+    return 2;
+  }
+  if (server_threads == 0 || server_threads > 256) {
+    err << "error: --server-threads must be in [1, 256]\n";
+    return 2;
+  }
+  if (max_inflight == 0) {
+    err << "error: --max-inflight must be positive\n";
+    return 2;
+  }
+
+  server::ServiceOptions service_options;
+  service_options.default_timeout_ms = timeout_ms;
+  service_options.default_max_memory_mb = max_memory_mb;
+  service_options.max_inflight = static_cast<uint32_t>(max_inflight);
+  server::SkylineService service(std::move(g), service_options);
+
+  server::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.session_threads = static_cast<uint32_t>(server_threads);
+  server_options.max_requests = max_requests;
+  server_options.idle_timeout_ms = idle_timeout_ms;
+  server::Server server(&service, server_options);
+  if (util::Status s = server.Listen(); !s.ok()) {
+    err << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  // --port-file: how scripts and tests learn an ephemeral port. Written
+  // (and flushed) before serving starts so a watcher never races the bind.
+  if (args.Has("port-file")) {
+    std::ofstream f(args.Get("port-file"),
+                    std::ios::binary | std::ios::trunc);
+    if (!f) {
+      err << "error: cannot open --port-file '" << args.Get("port-file")
+          << "'\n";
+      return 1;
+    }
+    f << server.port() << "\n";
+  }
+  out << "serving 127.0.0.1:" << server.port() << " (workers "
+      << server_threads << ", max-inflight " << max_inflight << ")"
+      << std::endl;
+  server.Serve();
+  out << "served " << server.requests_served() << " request(s)\n";
   return 0;
 }
 
@@ -463,7 +508,7 @@ int CmdCandidates(const Args& args, const Graph& g, std::ostream& out,
     w.BeginObject();
     w.KV("size", static_cast<uint64_t>(r.skyline.size()));
     w.EndObject();
-    WriteStatsJson(r.stats, &w);
+    core::WriteSkylineStatsJson(r.stats, &w);
     w.EndObject();
     out << std::move(w).Take() << "\n";
     return 0;
@@ -586,7 +631,7 @@ int CmdDatasets(std::ostream& out) {
 void PrintUsage(std::ostream& out) {
   out << "usage: nsky <command> [options]\n"
          "commands: stats skyline candidates generate centrality group-max\n"
-         "          clique topk-cliques datasets metrics help\n"
+         "          clique topk-cliques serve datasets metrics help\n"
          "graph sources: --input FILE | --standin NAME [--scale small|full]\n"
          "               | --generate SPEC (er:N:P, ba:N:M, pl:N:BETA:AVG,\n"
          "                 social:N:AVG, clique:N, cycle:N, path:N, star:N,\n"
@@ -614,8 +659,14 @@ void PrintUsage(std::ostream& out) {
          "             command served through an engine)\n"
          "           metrics [--format json|prom] (dump the process-wide\n"
          "             metrics registry and exit)\n"
+         "serving:   serve [--port N] [--port-file FILE]\n"
+         "             [--server-threads N] [--max-inflight N]\n"
+         "             [--timeout-ms N] [--max-memory-mb N]\n"
+         "             [--max-requests N] [--idle-timeout-ms N]\n"
+         "             (loopback HTTP: /v1/skyline /v1/engine_stats\n"
+         "              /v1/queries /v1/metrics /healthz; shed -> 429)\n"
          "exit codes: 0 ok, 1 runtime/io, 2 usage, 4 deadline, 5 cancelled,\n"
-         "            6 resource exhausted\n"
+         "            6 resource exhausted, 7 unavailable (shed/draining)\n"
          "see src/tools/cli.h for per-command options and JSON schemas\n";
 }
 
@@ -638,8 +689,9 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
   if (args.command == "metrics") return CmdMetrics(args, out, err);
 
   static const char* kGraphCommands[] = {
-      "stats",      "skyline", "candidates",   "generate",
-      "centrality", "group-max", "clique", "topk-cliques"};
+      "stats",      "skyline",   "candidates", "generate",
+      "centrality", "group-max", "clique",     "topk-cliques",
+      "serve"};
   bool known = false;
   for (const char* c : kGraphCommands) known |= args.command == c;
   if (!known) {
@@ -677,6 +729,8 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
                         args.Has("metrics-out") ? &engine_prom : nullptr);
     } else if (args.command == "candidates") {
       code = CmdCandidates(args, *g, out, err);
+    } else if (args.command == "serve") {
+      code = CmdServe(args, std::move(*g), out, err);
     } else if (args.command == "generate") {
       code = CmdGenerate(args, *g, out, err);
     } else if (args.command == "centrality") {

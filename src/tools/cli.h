@@ -16,6 +16,15 @@
 //              [--no-skyline-pruning]
 //   clique     (same inputs) [--no-skyline-pruning]
 //   topk-cliques (same inputs) --k K [--no-skyline-pruning]
+//   serve      (same inputs) [--port N] [--server-threads N]
+//              [--max-inflight N] [--timeout-ms N] [--max-memory-mb N]
+//              [--max-requests N] [--idle-timeout-ms N] [--port-file FILE]
+//              serve the graph over loopback HTTP 1.1 (src/server/):
+//              /v1/skyline answers the nsky.skyline.v1 document
+//              byte-identically to `skyline --engine --json`, plus
+//              /v1/engine_stats, /v1/queries, /v1/metrics, /healthz.
+//              --port 0 binds an ephemeral port (written to --port-file);
+//              --max-requests N exits after N requests (0 = run forever).
 //   datasets   (no options)                       list stand-in registry
 //   metrics    [--format json|prom]               dump the process-wide
 //              metrics registry (nsky.metrics.v1 JSON, or Prometheus
@@ -49,9 +58,10 @@
 //                      line with a line-numbered error; "no" skips bad
 //                      lines, counts them, and notes the count on stderr.
 //
-// Exit codes:
+// Exit codes (canonical table in util/status.h, shared with the server's
+// HTTP statuses):
 //   0 success, 1 runtime/IO error, 2 usage or load error,
-//   4 deadline exceeded, 5 cancelled, 6 resource exhausted.
+//   4 deadline exceeded, 5 cancelled, 6 resource exhausted, 7 unavailable.
 //
 // Telemetry options (any graph command):
 //   --trace FILE       record RAII phase spans during the command and write

@@ -2,26 +2,48 @@
 
 namespace nsky::util {
 
+namespace {
+
+// Indexed by StatusCode value; the static_asserts in GetStatusCodeInfo keep
+// the table total over the enum.
+constexpr StatusCodeInfo kStatusCodeTable[] = {
+    {StatusCode::kOk, "OK", 0, 200, "OK"},
+    {StatusCode::kInvalidArgument, "INVALID_ARGUMENT", 2, 400, "Bad Request"},
+    {StatusCode::kNotFound, "NOT_FOUND", 1, 404, "Not Found"},
+    {StatusCode::kIoError, "IO_ERROR", 1, 500, "Internal Server Error"},
+    {StatusCode::kOutOfRange, "OUT_OF_RANGE", 1, 400, "Bad Request"},
+    {StatusCode::kDeadlineExceeded, "DEADLINE_EXCEEDED", 4, 408,
+     "Request Timeout"},
+    {StatusCode::kCancelled, "CANCELLED", 5, 499, "Client Closed Request"},
+    {StatusCode::kResourceExhausted, "RESOURCE_EXHAUSTED", 6, 429,
+     "Too Many Requests"},
+    {StatusCode::kUnavailable, "UNAVAILABLE", 7, 503, "Service Unavailable"},
+};
+
+constexpr size_t kNumStatusCodes =
+    sizeof(kStatusCodeTable) / sizeof(kStatusCodeTable[0]);
+
+}  // namespace
+
+const StatusCodeInfo& GetStatusCodeInfo(StatusCode code) {
+  static_assert(static_cast<int>(StatusCode::kUnavailable) + 1 ==
+                    static_cast<int>(kNumStatusCodes),
+                "kStatusCodeTable must cover every StatusCode");
+  const size_t index = static_cast<size_t>(code);
+  if (index >= kNumStatusCodes) return kStatusCodeTable[0];
+  return kStatusCodeTable[index];
+}
+
 const char* StatusCodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "OK";
-    case StatusCode::kInvalidArgument:
-      return "INVALID_ARGUMENT";
-    case StatusCode::kNotFound:
-      return "NOT_FOUND";
-    case StatusCode::kIoError:
-      return "IO_ERROR";
-    case StatusCode::kOutOfRange:
-      return "OUT_OF_RANGE";
-    case StatusCode::kDeadlineExceeded:
-      return "DEADLINE_EXCEEDED";
-    case StatusCode::kCancelled:
-      return "CANCELLED";
-    case StatusCode::kResourceExhausted:
-      return "RESOURCE_EXHAUSTED";
-  }
-  return "UNKNOWN";
+  return GetStatusCodeInfo(code).name;
+}
+
+int CliExitCode(StatusCode code) {
+  return GetStatusCodeInfo(code).cli_exit_code;
+}
+
+int HttpStatusFor(StatusCode code) {
+  return GetStatusCodeInfo(code).http_status;
 }
 
 std::string Status::ToString() const {

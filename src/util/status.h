@@ -25,10 +25,37 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kResourceExhausted,
+  // The service cannot take the work right now: admission control shed the
+  // request, or the server is draining. Retryable by construction -- nothing
+  // about the request itself was wrong.
+  kUnavailable,
 };
+
+// One row of the canonical status mapping. Every rendering of a StatusCode
+// on an external surface -- the wire name in nsky.error.v1 documents, the
+// `nsky` process exit code, the HTTP status of the network front end --
+// comes from this single table, so the surfaces cannot drift apart
+// (tools/cli.cc and src/server/ render exclusively through it; the pairing
+// is pinned by tests/util/status_test.cc).
+struct StatusCodeInfo {
+  StatusCode code;
+  const char* name;         // stable wire name ("DEADLINE_EXCEEDED", ...)
+  int cli_exit_code;        // `nsky` process exit code for this outcome
+  int http_status;          // HTTP status the server answers with
+  const char* http_reason;  // canonical reason phrase for http_status
+};
+
+// The table row for `code`; total over the enum.
+const StatusCodeInfo& GetStatusCodeInfo(StatusCode code);
 
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeName(StatusCode code);
+
+// Shorthands over GetStatusCodeInfo. Exit codes: 0 ok, 1 runtime/IO error,
+// 2 usage (invalid argument), 4 deadline, 5 cancelled, 6 resource
+// exhausted, 7 unavailable (shed). HTTP: 200/400/404/500/408/499/429/503.
+int CliExitCode(StatusCode code);
+int HttpStatusFor(StatusCode code);
 
 // A success-or-error value. Cheap to copy on the success path.
 class Status {
@@ -58,6 +85,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

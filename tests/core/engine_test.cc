@@ -331,5 +331,132 @@ TEST(DynamicSkylineBatch, BulkBatchMatchesIncrementalReplay) {
   EXPECT_EQ(batched.NumEdges(), incremental.NumEdges());
 }
 
+// --- Execute(): the unified request/response surface --------------------
+
+TEST(EngineExecute, MatchesLegacyQueryForEveryAlgorithmAndThreadCount) {
+  Graph g = graph::MakeErdosRenyi(300, 0.04, 9);
+  Engine via_execute{Graph(g)};
+  Engine via_query{Graph(g)};
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (uint32_t threads : kThreadCounts) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      QueryResponse response = via_execute.Execute({.options = options});
+      ASSERT_TRUE(response.ok());
+      SkylineResult legacy = via_query.Query(options);
+      ExpectSameResult(legacy, response.result, algorithm, threads);
+    }
+  }
+}
+
+TEST(EngineExecute, WarmFlagTracksArtifactBuilds) {
+  Graph g = graph::MakeErdosRenyi(200, 0.05, 3);
+  Engine engine{Graph(g)};
+  SolverOptions options;
+  options.algorithm = Algorithm::kFilterRefine;
+  QueryResponse first = engine.Execute({.options = options});
+  QueryResponse second = engine.Execute({.options = options});
+  EXPECT_FALSE(first.warm);  // filter artifacts built during the query
+  EXPECT_TRUE(second.warm);
+  ExpectSameResult(first.result, second.result, options.algorithm, 1);
+}
+
+TEST(EngineExecute, IncludeDominatorsFalseSkipsOnlyTheArray) {
+  Graph g = graph::MakeErdosRenyi(200, 0.05, 4);
+  Engine engine{Graph(g)};
+  SolverOptions options;
+  options.algorithm = Algorithm::kBaseSky;
+  QueryResponse full = engine.Execute({.options = options});
+  QueryRequest lean_request;
+  lean_request.options = options;
+  lean_request.include_dominators = false;
+  QueryResponse lean = engine.Execute(lean_request);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(lean.ok());
+  EXPECT_FALSE(full.result.dominator.empty());
+  EXPECT_TRUE(lean.result.dominator.empty());
+  // Everything else -- including the flight-recorder view of the query --
+  // is unaffected by the output mode.
+  EXPECT_EQ(full.result.skyline, lean.result.skyline);
+  EXPECT_EQ(full.stats().aux_peak_bytes, lean.stats().aux_peak_bytes);
+  std::vector<QueryRecord> records = engine.recorder().Recent();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].skyline_size, records[1].skyline_size);
+}
+
+TEST(EngineExecute, ResponseBuffersAreRecycledAcrossQueries) {
+  Graph g = graph::MakeErdosRenyi(300, 0.05, 5);
+  Engine engine{Graph(g)};
+  SolverOptions options;
+  options.algorithm = Algorithm::kFilterRefine;
+  QueryResponse response;
+  engine.Execute({.options = options}, &response);
+  engine.Execute({.options = options}, &response);  // outputs now at capacity
+  const uint64_t events = engine.WorkspaceAllocationEvents(options.threads);
+  for (int i = 0; i < 5; ++i) {
+    engine.Execute({.options = options}, &response);
+    ASSERT_TRUE(response.ok());
+  }
+  // Warm queries into a reused response allocate nothing anywhere: neither
+  // in the pooled workspace ledger nor for the response outputs.
+  EXPECT_EQ(engine.WorkspaceAllocationEvents(options.threads), events);
+}
+
+TEST(EngineExecute, DeadlineAndCancellationAreCountedInStats) {
+  Graph g = graph::MakeErdosRenyi(300, 0.05, 6);
+  Engine engine{Graph(g)};
+  SolverOptions options;
+  options.algorithm = Algorithm::kBaseSky;
+
+  QueryRequest timed;
+  timed.options = options;
+  timed.context.set_deadline(util::ExecutionContext::Clock::now() -
+                             std::chrono::milliseconds(1));
+  QueryResponse response = engine.Execute(timed);
+  EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+
+  util::CancelToken token;
+  token.Cancel();
+  QueryRequest cancelled;
+  cancelled.options = options;
+  cancelled.context.set_cancel_token(&token);
+  response = engine.Execute(cancelled);
+  EXPECT_EQ(response.status.code(), util::StatusCode::kCancelled);
+
+  EngineStats stats = engine.StatsSnapshot();
+  EXPECT_EQ(stats.timeout_queries, 1u);
+  EXPECT_EQ(stats.cancelled_queries, 1u);
+  EXPECT_EQ(stats.shed_queries, 0u);
+}
+
+TEST(EngineExecute, RecordRejectionFeedsStatsAndRecorder) {
+  Graph g = graph::MakeErdosRenyi(100, 0.05, 7);
+  Engine engine{Graph(g)};
+  SolverOptions options;
+  options.algorithm = Algorithm::kBase2Hop;
+  options.threads = 2;
+  engine.Query(options);  // one served query ahead of the rejection
+  engine.RecordRejection(options,
+                         util::Status::ResourceExhausted("over capacity"));
+
+  EXPECT_EQ(engine.shed_queries(), 1u);
+  EngineStats stats = engine.StatsSnapshot();
+  EXPECT_EQ(stats.shed_queries, 1u);
+  // Shed requests never ran, so they are not "served".
+  EXPECT_EQ(stats.queries_served, 1u);
+
+  std::vector<QueryRecord> records = engine.recorder().Recent();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].status, util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(records[1].duration_us, 0u);
+  EXPECT_EQ(records[1].skyline_size, 0u);
+  EXPECT_EQ(records[1].threads, 2u);
+
+  // The JSON document renders the rejection like any other record.
+  EXPECT_NE(engine.RecentQueriesJson().find("RESOURCE_EXHAUSTED"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace nsky::core

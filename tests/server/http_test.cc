@@ -1,0 +1,166 @@
+// HTTP layer unit tests: incremental parsing, limits, keep-alive
+// semantics, target splitting, response serialization. No sockets here --
+// the parser is fed byte strings directly.
+#include "server/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace nsky::server {
+namespace {
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpParser p;
+  ASSERT_EQ(p.Feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            HttpParser::State::kDone);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().target, "/healthz");
+  EXPECT_EQ(p.request().path, "/healthz");
+  EXPECT_EQ(p.request().version, "HTTP/1.1");
+  EXPECT_EQ(p.request().headers.at("host"), "x");
+  EXPECT_TRUE(p.request().keep_alive);
+}
+
+TEST(HttpParser, OneByteAtATime) {
+  const std::string raw =
+      "GET /v1/skyline?algo=base&threads=2 HTTP/1.1\r\n"
+      "Host: localhost\r\nConnection: close\r\n\r\n";
+  HttpParser p;
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    ASSERT_EQ(p.Feed(std::string_view(&raw[i], 1)),
+              HttpParser::State::kNeedMore)
+        << "byte " << i;
+    EXPECT_TRUE(p.mid_request());
+  }
+  ASSERT_EQ(p.Feed(std::string_view(&raw[raw.size() - 1], 1)),
+            HttpParser::State::kDone);
+  EXPECT_EQ(p.request().path, "/v1/skyline");
+  EXPECT_EQ(p.request().query.at("algo"), "base");
+  EXPECT_EQ(p.request().query.at("threads"), "2");
+  EXPECT_FALSE(p.request().keep_alive);  // Connection: close
+}
+
+TEST(HttpParser, QueryDecoding) {
+  HttpParser p;
+  ASSERT_EQ(p.Feed("GET /r?a=x%20y&b=1+2&flag&c= HTTP/1.1\r\n\r\n"),
+            HttpParser::State::kDone);
+  EXPECT_EQ(p.request().query.at("a"), "x y");
+  EXPECT_EQ(p.request().query.at("b"), "1 2");
+  EXPECT_EQ(p.request().query.at("flag"), "");
+  EXPECT_EQ(p.request().query.at("c"), "");
+}
+
+TEST(HttpParser, ContentLengthBody) {
+  HttpParser p;
+  ASSERT_EQ(p.Feed("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel"),
+            HttpParser::State::kNeedMore);
+  ASSERT_EQ(p.Feed("lo"), HttpParser::State::kDone);
+  EXPECT_EQ(p.request().body, "hello");
+}
+
+TEST(HttpParser, PipelinedRequestsCarryOver) {
+  HttpParser p;
+  ASSERT_EQ(p.Feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            HttpParser::State::kDone);
+  EXPECT_EQ(p.request().path, "/a");
+  p.Reset();
+  // The second request was already buffered; Reset() re-parses it.
+  ASSERT_EQ(p.state(), HttpParser::State::kDone);
+  EXPECT_EQ(p.request().path, "/b");
+}
+
+TEST(HttpParser, Http10DefaultsToClose) {
+  HttpParser p;
+  ASSERT_EQ(p.Feed("GET / HTTP/1.0\r\n\r\n"), HttpParser::State::kDone);
+  EXPECT_FALSE(p.request().keep_alive);
+  p.Reset();
+  ASSERT_EQ(p.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+            HttpParser::State::kDone);
+  EXPECT_TRUE(p.request().keep_alive);
+}
+
+TEST(HttpParser, MalformedRequestLines) {
+  for (const char* raw : {
+           "GARBAGE\r\n\r\n",
+           "GET /\r\n\r\n",                   // missing version
+           "GET / HTTP/1.1 extra\r\n\r\n",    // four tokens
+           "GET nopath HTTP/1.1\r\n\r\n",     // target must start with /
+           " / HTTP/1.1\r\n\r\n",             // empty method
+       }) {
+    HttpParser p;
+    EXPECT_EQ(p.Feed(raw), HttpParser::State::kError) << raw;
+    EXPECT_EQ(p.error_status(), 400) << raw;
+    EXPECT_FALSE(p.error().empty()) << raw;
+  }
+}
+
+TEST(HttpParser, UnsupportedVersion) {
+  HttpParser p;
+  EXPECT_EQ(p.Feed("GET / HTTP/2.0\r\n\r\n"), HttpParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, HeaderWithoutColon) {
+  HttpParser p;
+  EXPECT_EQ(p.Feed("GET / HTTP/1.1\r\nbogus header line\r\n\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, OversizedHeadIsRejected) {
+  HttpParser p;
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw.append(HttpParser::kMaxHeadBytes, 'a');
+  EXPECT_EQ(p.Feed(raw), HttpParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, OversizedBodyIsRejectedWith413) {
+  HttpParser p;
+  EXPECT_EQ(p.Feed("POST / HTTP/1.1\r\nContent-Length: " +
+                   std::to_string(HttpParser::kMaxBodyBytes + 1) +
+                   "\r\n\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(HttpParser, MalformedContentLength) {
+  HttpParser p;
+  EXPECT_EQ(p.Feed("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, TransferEncodingIsRejected) {
+  HttpParser p;
+  EXPECT_EQ(p.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(SerializeResponse, WellFormed) {
+  const std::string wire =
+      SerializeResponse(200, "application/json", "{}\n", true);
+  EXPECT_EQ(wire,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 3\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+            "{}\n");
+  EXPECT_NE(SerializeResponse(503, "application/json", "", false)
+                .find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos);
+}
+
+TEST(SerializeResponse, ReasonPhrasesCoverEmittedCodes) {
+  EXPECT_STREQ(HttpReasonPhrase(408), "Request Timeout");
+  EXPECT_STREQ(HttpReasonPhrase(429), "Too Many Requests");
+  EXPECT_STREQ(HttpReasonPhrase(499), "Client Closed Request");
+  EXPECT_STREQ(HttpReasonPhrase(405), "Method Not Allowed");
+  EXPECT_STREQ(HttpReasonPhrase(413), "Payload Too Large");
+}
+
+}  // namespace
+}  // namespace nsky::server

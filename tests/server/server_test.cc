@@ -1,0 +1,392 @@
+// End-to-end server tests over real loopback sockets: byte-identity with
+// the CLI, malformed-request handling, slow-client timeouts, deterministic
+// load shedding, draining, and concurrent-connection stress (run under TSan
+// by scripts/check.sh --tsan).
+#include "server/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/registry.h"
+#include "server/client.h"
+#include "server/service.h"
+#include "tools/cli.h"
+#include "util/fault_injection.h"
+#include "util/json_writer.h"
+
+namespace nsky::server {
+namespace {
+
+// Timing jitter lives only in the "seconds" measurements; everything else in
+// the documents is deterministic. Blank the numbers, keep the keys.
+std::string NormalizeSeconds(const std::string& json) {
+  static const std::regex kSeconds("\"seconds\":[0-9.eE+-]+");
+  return std::regex_replace(json, kSeconds, "\"seconds\":X");
+}
+
+// One service + server on an ephemeral loopback port, with Serve() running
+// on a helper thread for the fixture's lifetime.
+class TestServer {
+ public:
+  explicit TestServer(ServiceOptions service_options = {},
+                      ServerOptions server_options = {}) {
+    auto g = datasets::MakeStandin("notredame", datasets::StandinScale::kSmall);
+    service_ = std::make_unique<SkylineService>(std::move(g.value()),
+                                                service_options);
+    server_ = std::make_unique<Server>(service_.get(), server_options);
+    auto status = server_->Listen();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  ~TestServer() {
+    server_->Shutdown();
+    serve_thread_.join();
+  }
+
+  uint16_t port() const { return server_->port(); }
+  SkylineService& service() { return *service_; }
+  Server& server() { return *server_; }
+
+ private:
+  std::unique_ptr<SkylineService> service_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+};
+
+TEST(Server, HealthzAndNotFound) {
+  TestServer ts;
+  auto ok = HttpGet(ts.port(), "/healthz");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().status, 200);
+  EXPECT_EQ(ok.value().body, "ok\n");
+
+  auto missing = HttpGet(ts.port(), "/no/such/route");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().status, 404);
+  EXPECT_NE(missing.value().body.find("\"schema\":\"nsky.error.v1\""),
+            std::string::npos);
+  EXPECT_NE(missing.value().body.find("\"code\":\"NOT_FOUND\""),
+            std::string::npos);
+}
+
+// The acceptance bar of the serving PR: the loopback response body is the
+// CLI's --engine --json output, byte for byte, for every algorithm at 1, 2,
+// and 8 threads (seconds normalized -- wall time is the one honest
+// difference).
+TEST(Server, SkylineBodyIsByteIdenticalToCli) {
+  TestServer ts;
+  HttpClient client(ts.port());
+  for (const char* algo : {"base", "filter-refine", "cset", "2hop"}) {
+    for (const char* threads : {"1", "2", "8"}) {
+      std::ostringstream out, err;
+      int code = tools::RunCli({"skyline", "--standin", "notredame",
+                                "--scale", "small", "--algo", algo,
+                                "--threads", threads, "--engine", "--json"},
+                               out, err);
+      ASSERT_EQ(code, 0) << err.str();
+
+      auto served = client.Get(std::string("/v1/skyline?algo=") + algo +
+                               "&threads=" + threads);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      ASSERT_EQ(served.value().status, 200) << served.value().body;
+      EXPECT_EQ(NormalizeSeconds(served.value().body),
+                NormalizeSeconds(out.str()))
+          << "algo=" << algo << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Server, RepeatAndStatsParametersMatchCli) {
+  TestServer ts;
+  std::ostringstream out, err;
+  int code = tools::RunCli(
+      {"skyline", "--standin", "notredame", "--scale", "small", "--algo",
+       "filter-refine", "--threads", "2", "--engine", "--repeat", "3",
+       "--json"},
+      out, err);
+  ASSERT_EQ(code, 0) << err.str();
+  auto served = HttpGet(
+      ts.port(), "/v1/skyline?algo=filter-refine&threads=2&repeat=3");
+  ASSERT_TRUE(served.ok());
+  ASSERT_EQ(served.value().status, 200);
+  EXPECT_EQ(NormalizeSeconds(served.value().body),
+            NormalizeSeconds(out.str()));
+
+  // stats=1 embeds the engine documents, like the CLI's --stats.
+  auto with_stats = HttpGet(ts.port(), "/v1/skyline?stats=1");
+  ASSERT_TRUE(with_stats.ok());
+  ASSERT_EQ(with_stats.value().status, 200);
+  EXPECT_NE(with_stats.value().body.find("\"engine_stats\""),
+            std::string::npos);
+  EXPECT_NE(with_stats.value().body.find("\"recent_queries\""),
+            std::string::npos);
+}
+
+TEST(Server, IntrospectionEndpointsServeValidDocuments) {
+  TestServer ts;
+  HttpClient client(ts.port());
+  ASSERT_TRUE(client.Get("/v1/skyline").ok());
+
+  auto stats = client.Get("/v1/engine_stats");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().status, 200);
+  auto stats_doc = util::JsonParse(stats.value().body);
+  ASSERT_TRUE(stats_doc.has_value()) << stats.value().body;
+  EXPECT_NE(stats.value().body.find("\"schema\":\"nsky.engine_stats.v1\""),
+            std::string::npos);
+  EXPECT_NE(stats.value().body.find("\"queries_served\":1"),
+            std::string::npos);
+
+  auto queries = client.Get("/v1/queries?max=4");
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries.value().status, 200);
+  EXPECT_NE(queries.value().body.find("\"schema\":\"nsky.queries.v1\""),
+            std::string::npos);
+
+  auto metrics = client.Get("/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics.value().status, 200);
+  EXPECT_NE(metrics.value().headers.at("content-type").find("text/plain"),
+            std::string::npos);
+  EXPECT_NE(metrics.value().body.find("nsky_engine_queries_served"),
+            std::string::npos);
+}
+
+TEST(Server, BadParametersAnswer400WithErrorDocument) {
+  TestServer ts;
+  HttpClient client(ts.port());
+  for (const char* target : {
+           "/v1/skyline?algo=magic",
+           "/v1/skyline?threads=banana",
+           "/v1/skyline?threads=9999",
+           "/v1/skyline?repeat=-1",
+           "/v1/queries?max=x",
+       }) {
+    auto r = client.Get(target);
+    ASSERT_TRUE(r.ok()) << target;
+    EXPECT_EQ(r.value().status, 400) << target;
+    EXPECT_NE(r.value().body.find("\"code\":\"INVALID_ARGUMENT\""),
+              std::string::npos)
+        << target;
+    EXPECT_NE(r.value().body.find("\"exit_code\":2"), std::string::npos)
+        << target;
+  }
+}
+
+TEST(Server, MalformedRequestCorpusAnswers400AndCloses) {
+  TestServer ts;
+  for (const char* raw : {
+           "GARBAGE\r\n\r\n",
+           "GET /\r\n\r\n",
+           "GET / HTTP/2.0\r\n\r\n",
+           "GET / HTTP/1.1\r\nno colon here\r\n\r\n",
+           "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+           "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       }) {
+    HttpClient client(ts.port());
+    auto r = client.Raw(raw);
+    ASSERT_TRUE(r.ok()) << raw << ": " << r.status().ToString();
+    EXPECT_EQ(r.value().status, 400) << raw;
+    EXPECT_NE(r.value().body.find("\"schema\":\"nsky.error.v1\""),
+              std::string::npos)
+        << raw;
+    EXPECT_EQ(r.value().headers.at("connection"), "close") << raw;
+  }
+}
+
+TEST(Server, OversizedHeadAnswers400) {
+  TestServer ts;
+  HttpClient client(ts.port());
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw.append(HttpParser::kMaxHeadBytes, 'a');
+  raw += "\r\n\r\n";
+  auto r = client.Raw(raw);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 400);
+}
+
+TEST(Server, NonGetMethodAnswers405) {
+  TestServer ts;
+  HttpClient client(ts.port());
+  auto r = client.Raw("DELETE /v1/skyline HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 405);
+  EXPECT_NE(r.value().body.find("\"code\":\"INVALID_ARGUMENT\""),
+            std::string::npos);
+}
+
+// A client that sends half a request and stalls gets 408 with the
+// nsky.error.v1 body once idle_timeout_ms elapses.
+TEST(Server, SlowClientMidRequestAnswers408) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer ts({}, options);
+  HttpClient client(ts.port());
+  auto r = client.Raw("GET /healthz HTT");  // never finished
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 408);
+  EXPECT_NE(r.value().body.find("\"code\":\"DEADLINE_EXCEEDED\""),
+            std::string::npos);
+  EXPECT_NE(r.value().body.find("\"exit_code\":4"), std::string::npos);
+}
+
+// An idle keep-alive connection (no request in progress) is closed silently.
+TEST(Server, IdleKeepAliveConnectionIsClosedSilently) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer ts({}, options);
+  HttpClient client(ts.port());
+  ASSERT_TRUE(client.Connect().ok());
+  // The server closes without writing; reading one response fails cleanly.
+  auto r = client.Raw("");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Server, KeepAliveServesManyRequestsOnOneConnection) {
+  TestServer ts;
+  HttpClient client(ts.port());
+  for (int i = 0; i < 16; ++i) {
+    auto r = client.Get("/healthz");
+    ASSERT_TRUE(r.ok()) << "request " << i;
+    EXPECT_EQ(r.value().status, 200);
+  }
+  EXPECT_GE(ts.server().requests_served(), 16u);
+}
+
+// Overload sheds deterministically: with max_inflight=1 and one query
+// parked inside the engine (fault-injected slice delay), the next query is
+// refused with 429, counted in shed_queries, and visible in the flight
+// recorder. The decision depends only on the in-flight count, never on how
+// far the running query got.
+TEST(Server, OverloadShedsWith429AndAccountsIt) {
+  ServiceOptions service_options;
+  service_options.max_inflight = 1;
+  // A finite timeout makes the solver take the sliced (health-checked)
+  // parallel path, which is where pool.chunk_delay_ms fires. Far above the
+  // injected delays, so the parked query still succeeds.
+  service_options.default_timeout_ms = 30000;
+  TestServer ts(service_options);
+  // Warm the artifact cache first so the parked query is a plain solve.
+  ASSERT_TRUE(HttpGet(ts.port(), "/v1/skyline?algo=base&threads=2").ok());
+
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("pool.chunk_delay_ms=40"));
+  std::atomic<int> slow_status{0};
+  std::thread slow([&] {
+    auto r = HttpGet(ts.port(),
+                     "/v1/skyline?algo=base&threads=2&repeat=3");
+    slow_status.store(r.ok() ? r.value().status : -1);
+  });
+  // Wait until the slow query is admitted before firing the second one.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ts.service().inflight() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(ts.service().inflight(), 1u);
+
+  auto shed = HttpGet(ts.port(), "/v1/skyline?algo=base&threads=2");
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed.value().status, 429);
+  EXPECT_NE(shed.value().body.find("\"code\":\"RESOURCE_EXHAUSTED\""),
+            std::string::npos);
+  EXPECT_NE(shed.value().body.find("\"exit_code\":6"), std::string::npos);
+
+  slow.join();
+  util::FaultInjector::Disarm();
+  EXPECT_EQ(slow_status.load(), 200);
+
+  // The shed request shows up next to the served ones.
+  auto stats = HttpGet(ts.port(), "/v1/engine_stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("\"shed_queries\":1"), std::string::npos);
+  auto queries = HttpGet(ts.port(), "/v1/queries");
+  ASSERT_TRUE(queries.ok());
+  EXPECT_NE(queries.value().body.find("RESOURCE_EXHAUSTED"),
+            std::string::npos);
+}
+
+// Draining is a service-level decision; exercise it without the transport.
+TEST(Service, DrainingAnswers503Unavailable) {
+  auto g = datasets::MakeStandin("notredame", datasets::StandinScale::kSmall);
+  SkylineService service(std::move(g.value()), {});
+  service.set_draining(true);
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/skyline";
+  HttpResponse response = service.Handle(request);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("\"code\":\"UNAVAILABLE\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"exit_code\":7"), std::string::npos);
+  EXPECT_EQ(service.engine().StatsSnapshot().shed_queries, 1u);
+}
+
+TEST(Server, MaxRequestsStopsServeWithoutSignals) {
+  ServerOptions options;
+  options.max_requests = 3;
+  auto g = datasets::MakeStandin("notredame", datasets::StandinScale::kSmall);
+  SkylineService service(std::move(g.value()), {});
+  Server server(&service, options);
+  ASSERT_TRUE(server.Listen().ok());
+  std::thread serve([&] { server.Serve(); });
+  for (int i = 0; i < 3; ++i) {
+    auto r = HttpGet(server.port(), "/healthz");
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+  }
+  serve.join();  // returns on its own after the third request
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+// Many concurrent connections hammering mixed endpoints; every response is
+// either a success or a deterministic shed. This is the test TSan watches.
+TEST(Server, ConcurrentMixedTrafficStaysConsistent) {
+  ServiceOptions service_options;
+  service_options.max_inflight = 2;
+  ServerOptions server_options;
+  server_options.session_threads = 8;
+  TestServer ts(service_options, server_options);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 12;
+  const char* kTargets[] = {
+      "/v1/skyline?algo=filter-refine&threads=2",
+      "/v1/skyline?algo=2hop",
+      "/v1/engine_stats",
+      "/v1/queries?max=8",
+      "/v1/metrics",
+      "/healthz",
+  };
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client(ts.port());
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const char* target = kTargets[(c + i) % std::size(kTargets)];
+        auto r = client.Get(target);
+        if (!r.ok() ||
+            (r.value().status != 200 && r.value().status != 429)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(ts.server().requests_served(),
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+}
+
+}  // namespace
+}  // namespace nsky::server

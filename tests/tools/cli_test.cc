@@ -403,6 +403,21 @@ TEST(Cli, SkylineStatsRequiresEngine) {
   EXPECT_NE(r.err.find("--engine"), std::string::npos);
 }
 
+TEST(Cli, SkylineStatsRequiresEngineJsonBody) {
+  // With --json the usage error is a structured nsky.error.v1 document, not
+  // a bare stderr line, so scripted callers parse one schema everywhere.
+  CliRun r = RunTool(
+      {"skyline", "--generate", "ba:300:3:7", "--stats", "--json"});
+  EXPECT_EQ(r.exit_code, 2);
+  auto doc = util::JsonParse(r.out);
+  ASSERT_TRUE(doc.has_value()) << r.out;
+  ASSERT_NE(doc->Find("schema"), nullptr);
+  EXPECT_EQ(doc->Find("schema")->str, "nsky.error.v1");
+  EXPECT_EQ(doc->Find("code")->str, "INVALID_ARGUMENT");
+  EXPECT_EQ(doc->Find("exit_code")->number, 2.0);
+  EXPECT_NE(doc->Find("message")->str.find("--engine"), std::string::npos);
+}
+
 TEST(Cli, MetricsOutWritesPrometheusFile) {
   std::string path = ::testing::TempDir() + "nsky_cli_metrics_out.prom";
   std::remove(path.c_str());

@@ -42,6 +42,52 @@ TEST(StatusCodeName, AllNamed) {
                "RESOURCE_EXHAUSTED");
 }
 
+TEST(StatusCodeTable, PinsCliExitCodes) {
+  // The canonical mapping scripts depend on; a drift here is a breaking
+  // change to every consumer of `nsky` exit codes.
+  EXPECT_EQ(CliExitCode(StatusCode::kOk), 0);
+  EXPECT_EQ(CliExitCode(StatusCode::kInvalidArgument), 2);
+  EXPECT_EQ(CliExitCode(StatusCode::kNotFound), 1);
+  EXPECT_EQ(CliExitCode(StatusCode::kIoError), 1);
+  EXPECT_EQ(CliExitCode(StatusCode::kOutOfRange), 1);
+  EXPECT_EQ(CliExitCode(StatusCode::kDeadlineExceeded), 4);
+  EXPECT_EQ(CliExitCode(StatusCode::kCancelled), 5);
+  EXPECT_EQ(CliExitCode(StatusCode::kResourceExhausted), 6);
+  EXPECT_EQ(CliExitCode(StatusCode::kUnavailable), 7);
+}
+
+TEST(StatusCodeTable, PinsHttpStatuses) {
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kIoError), 500);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOutOfRange), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kDeadlineExceeded), 408);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kCancelled), 499);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnavailable), 503);
+}
+
+TEST(StatusCodeTable, RowsAreSelfConsistent) {
+  // Every row's embedded code matches the code used to look it up, and the
+  // name/exit/http shorthands all read the same row.
+  for (int i = 0; i <= static_cast<int>(StatusCode::kUnavailable); ++i) {
+    const StatusCode code = static_cast<StatusCode>(i);
+    const StatusCodeInfo& info = GetStatusCodeInfo(code);
+    EXPECT_EQ(info.code, code);
+    EXPECT_STREQ(info.name, StatusCodeName(code));
+    EXPECT_EQ(info.cli_exit_code, CliExitCode(code));
+    EXPECT_EQ(info.http_status, HttpStatusFor(code));
+    EXPECT_NE(info.http_reason[0], '\0');
+  }
+}
+
+TEST(Status, UnavailableFactory) {
+  Status s = Status::Unavailable("draining");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: draining");
+}
+
 TEST(Status, RuntimeErrorToString) {
   EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
             "DEADLINE_EXCEEDED: late");
