@@ -1,0 +1,124 @@
+// Snapshot cold-start trajectory: restoring a warm engine from a persisted
+// snapshot (persist::Load) versus building the same state from the graph.
+//
+// Perf-trajectory bench; its report is committed as BENCH_persist.json. For
+// each Table-1 stand-in it measures the cold path (construct an engine and
+// run one query per artifact-bearing algorithm, so every build the snapshot
+// carries is paid for), then Save, then Load, then one warm query from the
+// restored engine -- asserting the restored query is bit-identical to the
+// cold one before reporting. The headline column is speedup = cold build
+// time / load time; serving replicas restore a fleet-wide snapshot instead
+// of rebuilding per process, so this ratio is what a rollout buys.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/nsky.h"
+#include "datasets/registry.h"
+#include "persist/snapshot.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace nsky;
+  bench::Banner("Snapshot cold start",
+                "persist::Load vs cold artifact build, stand-in datasets");
+
+  const uint32_t threads = bench::BenchThreads(argc, argv);
+  constexpr core::Algorithm kAlgorithms[] = {core::Algorithm::kFilterRefine,
+                                             core::Algorithm::kBase2Hop,
+                                             core::Algorithm::kBaseCSet};
+
+  bench::JsonReporter report("bench_snapshot_cold_start", "BENCH_persist");
+  bench::Table table({"dataset", "build_ms", "save_ms", "load_ms", "speedup",
+                      "file_mb", "sections", "skyline"},
+                     12);
+  table.PrintHeader();
+
+  for (const auto& spec : datasets::AllStandins()) {
+    graph::Graph g =
+        datasets::MakeStandin(spec, datasets::StandinScale::kSmall);
+    const uint64_t n = g.NumVertices(), m = g.NumEdges();
+
+    // Cold path: every artifact the snapshot will carry gets built here.
+    core::Engine cold(std::move(g));
+    core::SkylineResult reference;
+    util::Timer build_timer;
+    for (core::Algorithm algorithm : kAlgorithms) {
+      core::SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      reference = cold.Query(options);
+    }
+    cold.prepared().DegreeOrder();
+    cold.prepared().Cores();
+    const double build_ms = build_timer.Micros() / 1000.0;
+
+    const std::string path = "/tmp/nsky_bench_" + spec.name + ".nsnap";
+    util::Timer save_timer;
+    util::Status saved = persist::Save(cold, path);
+    const double save_ms = save_timer.Micros() / 1000.0;
+    if (!saved.ok()) {
+      std::printf("ERROR: save failed on %s: %s\n", spec.name.c_str(),
+                  saved.ToString().c_str());
+      return 1;
+    }
+
+    util::Timer load_timer;
+    auto loaded = persist::Load(path);
+    const double load_ms = load_timer.Micros() / 1000.0;
+    if (!loaded.ok()) {
+      std::printf("ERROR: load failed on %s: %s\n", spec.name.c_str(),
+                  loaded.status().ToString().c_str());
+      return 1;
+    }
+
+    // The restored engine must answer bit-identically, warm, with zero
+    // artifact builds -- otherwise the speedup column is comparing wrong
+    // answers.
+    core::SolverOptions check;
+    check.algorithm = kAlgorithms[sizeof(kAlgorithms) /
+                                  sizeof(kAlgorithms[0]) - 1];
+    check.threads = threads;
+    core::SkylineResult warm = loaded.value()->Query(check);
+    if (warm.skyline != reference.skyline ||
+        warm.stats.aux_peak_bytes != reference.stats.aux_peak_bytes ||
+        loaded.value()->prepared().builds() != 0) {
+      std::printf("ERROR: restored engine diverged on %s\n",
+                  spec.name.c_str());
+      return 1;
+    }
+
+    auto manifest = persist::Inspect(path);
+    if (!manifest.ok()) return 1;
+    const double file_mb =
+        static_cast<double>(manifest.value().file_bytes) / (1024.0 * 1024.0);
+    const double speedup = load_ms > 0 ? build_ms / load_ms : 0.0;
+    std::remove(path.c_str());
+
+    table.PrintRow({spec.name, bench::Fmt(build_ms, "%.1f"),
+                    bench::Fmt(save_ms, "%.1f"), bench::Fmt(load_ms, "%.1f"),
+                    bench::Fmt(speedup, "%.1fx"), bench::Fmt(file_mb, "%.1f"),
+                    bench::FmtU(manifest.value().sections.size()),
+                    bench::FmtU(warm.skyline.size())});
+    report.AddRow()
+        .Str("dataset", spec.name)
+        .U64("threads", threads)
+        .U64("n", n)
+        .U64("m", m)
+        .F64("build_ms", build_ms)
+        .F64("save_ms", save_ms)
+        .F64("load_ms", load_ms)
+        .F64("speedup", speedup)
+        .U64("file_bytes", manifest.value().file_bytes)
+        .U64("sections", manifest.value().sections.size())
+        .U64("skyline_size", warm.skyline.size())
+        .U64("aux_peak_bytes", warm.stats.aux_peak_bytes);
+  }
+
+  std::printf(
+      "\nExpectation: load_ms a small fraction of build_ms (>=5x speedup on\n"
+      "the larger stand-ins: restoring arrays beats recomputing 2-hop\n"
+      "neighborhoods), save_ms comparable to load_ms, and bit-identical\n"
+      "warm answers with zero artifact builds after restore.\n");
+  return report.Write() ? 0 : 1;
+}

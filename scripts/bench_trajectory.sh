@@ -6,8 +6,9 @@
 # Configures a Release build, builds the trajectory bench binaries, and runs
 # them from the repo root so each report lands next to the sources it
 # belongs to (bench_serving_latency -> ./BENCH_serving.json,
-# bench_server_load -> ./BENCH_server.json). Commit the refreshed files with
-# the change that moved the numbers; the diff IS the perf trajectory.
+# bench_server_load -> ./BENCH_server.json, bench_snapshot_cold_start ->
+# ./BENCH_persist.json). Commit the refreshed files with the change that
+# moved the numbers; the diff IS the perf trajectory.
 #
 # Numbers are machine-dependent: compare relative shape (warm vs cold,
 # p99/p50 spread) across commits from the same machine, not absolute
@@ -20,11 +21,13 @@ BUILD_DIR="${1:-build-bench}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_serving_latency bench_server_load
+  --target bench_serving_latency bench_server_load bench_snapshot_cold_start
 
 # Trajectory benches write their committed report into the repo root.
 unset NSKY_BENCH_JSON NSKY_BENCH_JSON_DIR
 "$BUILD_DIR"/bench/bench_serving_latency
 "$BUILD_DIR"/bench/bench_server_load
+"$BUILD_DIR"/bench/bench_snapshot_cold_start
 
-echo "bench_trajectory.sh: refreshed BENCH_serving.json BENCH_server.json"
+echo "bench_trajectory.sh: refreshed BENCH_serving.json BENCH_server.json" \
+     "BENCH_persist.json"

@@ -3,7 +3,7 @@
 # a parallel-solver CLI smoke test.
 #
 # Usage: scripts/check.sh [--tsan | --faults | --engine | --observability |
-#                          --server] [build-dir]
+#                          --server | --persist] [build-dir]
 #
 # Default mode configures a Debug build with AddressSanitizer + UBSan
 # (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
@@ -17,12 +17,13 @@
 # parallel sections of the solvers. Data races in the engine surface here
 # even on a single-core host.
 #
-# --faults keeps the ASan build but runs only the robustness-labeled suites
-# (ctest -L robustness: execution context, fault injector, IO corpus,
-# interruption, degradation, CLI failure paths) and then smoke-runs the CLI
-# under NSKY_FAULTS-injected failures, asserting the documented exit codes
-# and the nsky.error.v1 schema. The right gate for changes to the hardened
-# runtime (deadlines, cancellation, byte budgets, fault sites).
+# --faults keeps the ASan build but runs the robustness- and persist-labeled
+# suites (ctest -L 'robustness|persist': execution context, fault injector,
+# IO corpus, interruption, degradation, CLI failure paths, snapshot
+# corruption corpus) and then smoke-runs the CLI under NSKY_FAULTS-injected
+# failures -- including the persist.* sites -- asserting the documented exit
+# codes and the nsky.error.v1 schema. The right gate for changes to the
+# hardened runtime (deadlines, cancellation, byte budgets, fault sites).
 #
 # --engine keeps the ASan build but runs only the engine-labeled suites
 # (ctest -L engine: PreparedGraph artifact reuse, pooled workspaces,
@@ -48,6 +49,16 @@
 # --max-requests. The right gate for changes to src/server/* or the serve
 # verb. (--tsan also runs the server suites: the session workers and the
 # admission controller are thread-pool code.)
+#
+# --persist keeps the ASan build but runs only the persist-labeled suites
+# (ctest -L persist: save/load round-trip determinism, corruption corpus,
+# persist.* fault sites, snapshot CLI verbs, served-from-snapshot parity)
+# and then smoke-runs the snapshot lifecycle through the CLI: save -> fsck
+# via `snapshot inspect` -> `skyline --snapshot` byte-parity with the cold
+# engine -> canonical re-save -> a bit-flipped file failing closed with the
+# documented exit code. The right gate for changes to src/persist/* or the
+# snapshot verbs. (--tsan also runs the persist suites; ASan covers the
+# corruption decoders.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,7 +72,7 @@ for arg in "$@"; do
     --tsan)
       SANITIZE=thread
       MODE=tsan
-      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness|^Server\.|^Service\.|^HttpParser\.')
+      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness|^Server\.|^Service\.|^HttpParser\.|^Snapshot')
       ;;
     --server)
       MODE=server
@@ -69,7 +80,11 @@ for arg in "$@"; do
       ;;
     --faults)
       MODE=faults
-      TEST_FILTER=(-L robustness)
+      TEST_FILTER=(-L 'robustness|persist')
+      ;;
+    --persist)
+      MODE=persist
+      TEST_FILTER=(-L persist)
       ;;
     --engine)
       MODE=engine
@@ -133,8 +148,68 @@ if [[ "$MODE" == faults ]]; then
     --max-memory-mb 1 --json)"
   echo "$OUT" | grep -q '"degraded_from":"2hop"'
 
+  # Persist: the persist.* sites drive save/load failures with the
+  # documented IO_ERROR exit (1) and error schema.
+  TMP_SNAP="$(mktemp -u)"
+  "$NSKY" snapshot save --generate ba:2000:3:7 --output "$TMP_SNAP" >/dev/null
+  code=0
+  NSKY_FAULTS=persist.short_write=1 "$NSKY" snapshot save \
+    --snapshot "$TMP_SNAP" --output "$TMP_SNAP.fail" 2>/dev/null >/dev/null \
+    || code=$?
+  [[ "$code" == 1 ]]
+  code=0
+  OUT="$(NSKY_FAULTS=persist.corrupt_section=1 "$NSKY" snapshot load \
+    --snapshot "$TMP_SNAP" --json)" || code=$?
+  [[ "$code" == 1 ]]
+  echo "$OUT" | grep -q '"schema":"nsky.error.v1"'
+  echo "$OUT" | grep -q '"code":"IO_ERROR"'
+  rm -f "$TMP_SNAP" "$TMP_SNAP.fail"
+
   echo "check.sh: fault-injection smoke OK (exit codes 4/6, error schema," \
-       "2hop degradation)"
+       "2hop degradation, persist.* sites)"
+  exit 0
+fi
+
+if [[ "$MODE" == persist ]]; then
+  # Snapshot lifecycle smoke through the CLI: save a warm engine, fsck it,
+  # query from it with byte-parity against a cold engine, re-save it
+  # canonically, then corrupt it and watch it fail closed.
+  GEN="pl:20000:2.6:10:7"
+  TMP_SNAP="$(mktemp -u)"
+  "$NSKY" snapshot save --generate "$GEN" --output "$TMP_SNAP" >/dev/null
+
+  # 1. fsck: inspect validates every checksum and reports the layout.
+  "$NSKY" snapshot inspect --snapshot "$TMP_SNAP" --json \
+    | grep -q '"schema":"nsky.snapshot.v1"'
+
+  # 2. A query served from the snapshot is byte-identical to the cold
+  #    engine's (wall time normalized away), for a parallel 2hop run.
+  WARM="$("$NSKY" skyline --snapshot "$TMP_SNAP" --algo 2hop --threads 4 --json)"
+  COLD="$("$NSKY" skyline --generate "$GEN" --engine --algo 2hop --threads 4 --json)"
+  NORM_WARM="$(echo "$WARM" | sed -E 's/"seconds":[0-9.eE+-]+/"seconds":X/g')"
+  NORM_COLD="$(echo "$COLD" | sed -E 's/"seconds":[0-9.eE+-]+/"seconds":X/g')"
+  [[ "$NORM_WARM" == "$NORM_COLD" ]]
+
+  # 3. Re-saving the loaded snapshot is byte-identical (canonical format).
+  "$NSKY" snapshot save --snapshot "$TMP_SNAP" --output "$TMP_SNAP.resave" \
+    >/dev/null
+  cmp -s "$TMP_SNAP" "$TMP_SNAP.resave"
+
+  # 4. A flipped bit anywhere fails closed with the documented exit code.
+  cp "$TMP_SNAP" "$TMP_SNAP.bad"
+  printf '\xff' | dd of="$TMP_SNAP.bad" bs=1 seek=$(( $(stat -c %s "$TMP_SNAP.bad") - 7 )) conv=notrunc 2>/dev/null
+  code=0
+  "$NSKY" snapshot load --snapshot "$TMP_SNAP.bad" 2>/dev/null >/dev/null \
+    || code=$?
+  [[ "$code" == 1 ]]
+  code=0
+  "$NSKY" snapshot inspect --snapshot "$TMP_SNAP.bad" 2>/dev/null >/dev/null \
+    || code=$?
+  [[ "$code" == 1 ]]
+  rm -f "$TMP_SNAP" "$TMP_SNAP.resave" "$TMP_SNAP.bad"
+
+  echo "check.sh: persist smoke OK (inspect fsck, snapshot query parity," \
+       "canonical re-save, bit-flip fails closed)"
   exit 0
 fi
 

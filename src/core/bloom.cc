@@ -65,6 +65,42 @@ NeighborhoodBlooms::NeighborhoodBlooms(const Graph& g,
   }
 }
 
+util::Result<std::unique_ptr<NeighborhoodBlooms>> NeighborhoodBlooms::FromParts(
+    uint32_t bits, std::vector<uint32_t> slots, std::vector<uint64_t> words) {
+  if (bits < 64 || !std::has_single_bit(bits)) {
+    return util::Status::InvalidArgument(
+        "bloom width " + std::to_string(bits) +
+        " is not a power of two >= 64");
+  }
+  const uint32_t words_per_filter = bits / 64;
+  uint64_t num_filters = 0;
+  for (uint32_t s : slots) {
+    if (s != kNoSlot) ++num_filters;
+  }
+  if (words.size() != num_filters * words_per_filter) {
+    return util::Status::InvalidArgument(
+        "bloom block holds " + std::to_string(words.size()) +
+        " words, expected " + std::to_string(num_filters * words_per_filter));
+  }
+  // Occupied slots must be a permutation of {0 .. k-1}: every filter row is
+  // referenced by exactly one vertex and lies inside the block.
+  std::vector<uint8_t> seen(num_filters, 0);
+  for (uint32_t s : slots) {
+    if (s == kNoSlot) continue;
+    if (s >= num_filters || seen[s]) {
+      return util::Status::InvalidArgument(
+          "bloom slot table is not a dense permutation");
+    }
+    seen[s] = 1;
+  }
+  auto out = std::unique_ptr<NeighborhoodBlooms>(new NeighborhoodBlooms());
+  out->bits_ = bits;
+  out->words_per_filter_ = words_per_filter;
+  out->slot_ = std::move(slots);
+  out->words_ = std::move(words);
+  return out;
+}
+
 uint64_t NeighborhoodBlooms::HashBit(VertexId x) const {
   return util::Mix64(x) & (bits_ - 1);
 }

@@ -16,9 +16,11 @@
 #define NSKY_CORE_BLOOM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace nsky::util {
 class ThreadPool;
@@ -55,6 +57,15 @@ class NeighborhoodBlooms {
   NeighborhoodBlooms(const Graph& g, const std::vector<uint8_t>& member,
                      uint32_t bits, util::ThreadPool* pool = nullptr);
 
+  // Reassembles a filter block from the raw arrays written by slots()/words()
+  // (the persistent-snapshot load path, src/persist/). Input comes from disk
+  // so shape invariants are checked rather than asserted: `bits` must be a
+  // power of two >= 64, occupied slots must be exactly {0 .. k-1} each used
+  // once, and words.size() must equal k * (bits / 64). Hash-bit contents are
+  // not re-derived; the snapshot layer's checksums cover byte integrity.
+  static util::Result<std::unique_ptr<NeighborhoodBlooms>> FromParts(
+      uint32_t bits, std::vector<uint32_t> slots, std::vector<uint64_t> words);
+
   // True when a filter was built for u.
   bool Has(VertexId u) const { return slot_[u] != kNoSlot; }
 
@@ -76,6 +87,13 @@ class NeighborhoodBlooms {
   // Bits per filter.
   uint32_t bits() const { return bits_; }
 
+  // Raw arrays for serialization (src/persist/). slots() maps vertex ->
+  // filter slot with kAbsent = 0xFFFFFFFF for vertices without a filter;
+  // words() is the contiguous filter block, bits()/64 words per slot.
+  static constexpr uint32_t kAbsent = static_cast<uint32_t>(-1);
+  const std::vector<uint32_t>& slots() const { return slot_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
   // Total heap bytes of all filters (for the memory ledger).
   uint64_t MemoryBytes() const;
 
@@ -89,7 +107,9 @@ class NeighborhoodBlooms {
   }
 
  private:
-  static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+  static constexpr uint32_t kNoSlot = kAbsent;
+
+  NeighborhoodBlooms() = default;
 
   uint64_t HashBit(VertexId x) const;
   const uint64_t* FilterOf(VertexId u) const {

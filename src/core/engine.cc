@@ -212,6 +212,7 @@ EngineStats Engine::StatsSnapshot() const {
   s.cancelled_queries = cancelled_queries_;
   s.shed_queries = shed_queries_.load(std::memory_order_relaxed);
   s.artifact_builds = prepared_.builds();
+  s.snapshot = snapshot_info_;
   s.cache = prepared_.CacheStatsSnapshot();
   for (const auto& [threads, res] : resources_) {
     EngineStats::WorkspaceStats ws;

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,18 @@ class Engine {
   const Graph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
   PreparedGraph& prepared() { return prepared_; }
+  const PreparedGraph& prepared() const { return prepared_; }
+
+  // Snapshot provenance (src/persist/). Load() stamps the engine it
+  // restores; cold-built engines have no snapshot info. Surfaced through
+  // StatsSnapshot(), the flight recorder origin and the server's /healthz.
+  void set_snapshot_info(SnapshotInfo info) {
+    snapshot_info_ = std::move(info);
+    recorder_.set_origin("snapshot:" + snapshot_info_->id);
+  }
+  const std::optional<SnapshotInfo>& snapshot_info() const {
+    return snapshot_info_;
+  }
 
   // The single query surface (core/query.h): fills *response with the
   // result, status and warmth of one query run under the request's options
@@ -222,6 +235,7 @@ class Engine {
   std::map<unsigned, std::unique_ptr<Resources>> resources_;
   std::vector<VertexId> skyline_cache_;
   bool has_skyline_cache_ = false;
+  std::optional<SnapshotInfo> snapshot_info_;
   uint64_t queries_served_ = 0;
   uint64_t warm_queries_ = 0;
   uint64_t cold_queries_ = 0;

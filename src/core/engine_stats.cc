@@ -91,6 +91,16 @@ void WriteEngineStatsJson(const EngineStats& stats, util::JsonWriter* w) {
   w->KV("cancelled_queries", stats.cancelled_queries);
   w->KV("shed_queries", stats.shed_queries);
   w->KV("artifact_builds", stats.artifact_builds);
+  if (stats.snapshot.has_value()) {
+    w->Key("snapshot");
+    w->BeginObject();
+    w->KV("id", stats.snapshot->id);
+    w->KV("format_version", static_cast<uint64_t>(stats.snapshot->format_version));
+    w->KV("file_bytes", stats.snapshot->file_bytes);
+    w->KV("sections", static_cast<uint64_t>(stats.snapshot->sections));
+    w->KV("path", stats.snapshot->path);
+    w->EndObject();
+  }
   w->Key("cache");
   w->BeginObject();
   w->Key("filter");
@@ -152,6 +162,18 @@ std::string EngineStatsToPrometheus(const EngineStats& stats) {
   out.append("# TYPE nsky_engine_artifact_builds counter\n");
   AppendCounterLine("nsky_engine_artifact_builds", "", stats.artifact_builds,
                     &out);
+  if (stats.snapshot.has_value()) {
+    out.append("# TYPE nsky_engine_snapshot_loaded gauge\n");
+    AppendCounterLine(
+        "nsky_engine_snapshot_loaded",
+        "id=\"" + stats.snapshot->id + "\",version=\"" +
+            std::to_string(stats.snapshot->format_version) + "\"",
+        1, &out);
+    out.append("# TYPE nsky_engine_snapshot_file_bytes gauge\n");
+    AppendCounterLine("nsky_engine_snapshot_file_bytes",
+                      "id=\"" + stats.snapshot->id + "\"",
+                      stats.snapshot->file_bytes, &out);
+  }
 
   // Group each metric family under one # TYPE line, as the format requires.
   std::string hits, misses, build_us;

@@ -12,6 +12,7 @@
 #define NSKY_CORE_ENGINE_STATS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,20 @@ class JsonWriter;
 }  // namespace nsky::util
 
 namespace nsky::core {
+
+// Provenance of an engine restored from a persistent snapshot
+// (src/persist/). `id` is the 16-hex-digit content hash of the section
+// table -- identical bytes on disk always yield the same id, so operators
+// can compare it across a fleet. Attached to the engine by persist::Load
+// and surfaced through /healthz, nsky.engine_stats.v1 and the flight
+// recorder; absent entirely for cold-built engines.
+struct SnapshotInfo {
+  std::string id;               // content hash, 16 lowercase hex digits
+  uint32_t format_version = 0;  // on-disk format version (currently 1)
+  uint64_t file_bytes = 0;      // snapshot file size
+  uint32_t sections = 0;        // sections restored
+  std::string path;             // file the engine was loaded from
+};
 
 // Point-in-time copy of one engine's serving counters.
 struct EngineStats {
@@ -39,6 +54,9 @@ struct EngineStats {
   uint64_t cancelled_queries = 0;
   uint64_t shed_queries = 0;
   uint64_t artifact_builds = 0;  // PreparedGraph::builds()
+
+  // Set iff the engine was restored from a persistent snapshot.
+  std::optional<SnapshotInfo> snapshot;
 
   // Per-artifact hit / miss / build-time ledger of the artifact cache.
   PreparedGraph::CacheStats cache;
@@ -65,6 +83,8 @@ struct EngineStats {
 // {"schema":"nsky.engine_stats.v1","queries_served":..,"warm_queries":..,
 //  "cold_queries":..,"timeout_queries":..,"cancelled_queries":..,
 //  "shed_queries":..,"artifact_builds":..,
+//  ["snapshot":{"id":"..","format_version":..,"file_bytes":..,
+//               "sections":..,"path":".."},]  -- only for loaded engines
 //  "cache":{"filter":{"hits":..,"misses":..,"build_us":..},...,
 //           "candidate_blooms":{"<bits>":{...}},"full_blooms":{...}},
 //  "workspaces":[{"threads":..,"allocation_events":..,"allocated_bytes":..}],

@@ -104,8 +104,17 @@ class FlightRecorder {
     return next_seq_.load(std::memory_order_relaxed);
   }
 
-  // nsky.queries.v1: {"schema","capacity","total","records":[...],
-  // "slow":[...]}. Also available as a writer-embedded object for the CLI.
+  // Engine provenance tag (e.g. "snapshot:<id>" for engines restored by
+  // persist::Load). When set, rendered as an "origin" key in the
+  // nsky.queries.v1 document so recorded queries can be traced back to the
+  // artifact that served them. Set once at engine construction/load, before
+  // concurrent readers exist.
+  void set_origin(std::string origin) { origin_ = std::move(origin); }
+  const std::string& origin() const { return origin_; }
+
+  // nsky.queries.v1: {"schema","capacity","total",["origin",]
+  // "records":[...],"slow":[...]}. Also available as a writer-embedded
+  // object for the CLI.
   std::string ToJson(size_t max_records = kDefaultCapacity) const;
   void WriteJson(size_t max_records, util::JsonWriter* w) const;
 
@@ -127,6 +136,7 @@ class FlightRecorder {
   bool ReadSlot(const Slot& slot, QueryRecord* out) const;
 
   std::vector<Slot> slots_;
+  std::string origin_;
   std::atomic<uint64_t> next_seq_{0};
   // Serializes Record() callers; never held by readers, so recording stays
   // wait-free with respect to scrapers.

@@ -221,4 +221,85 @@ bool PreparedGraph::has_two_hop() const {
   return two_hop_.has_value();
 }
 
+const PreparedGraph::FilterArtifacts* PreparedGraph::PeekFilter() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filter_.has_value() ? &*filter_ : nullptr;
+}
+
+const PreparedGraph::TwoHopArtifacts* PreparedGraph::PeekTwoHop() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return two_hop_.has_value() ? &*two_hop_ : nullptr;
+}
+
+const std::vector<VertexId>* PreparedGraph::PeekDegreeOrder() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degree_order_.has_value() ? &*degree_order_ : nullptr;
+}
+
+const graph::CoreDecomposition* PreparedGraph::PeekCores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cores_.has_value() ? &*cores_ : nullptr;
+}
+
+std::vector<uint32_t> PreparedGraph::CandidateBloomWidths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> widths;
+  widths.reserve(candidate_blooms_.size());
+  for (const auto& [bits, blooms] : candidate_blooms_) widths.push_back(bits);
+  return widths;
+}
+
+std::vector<uint32_t> PreparedGraph::FullBloomWidths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> widths;
+  widths.reserve(full_blooms_.size());
+  for (const auto& [bits, blooms] : full_blooms_) widths.push_back(bits);
+  return widths;
+}
+
+const NeighborhoodBlooms* PreparedGraph::PeekCandidateBlooms(
+    uint32_t bits) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = candidate_blooms_.find(bits);
+  return it != candidate_blooms_.end() ? it->second.get() : nullptr;
+}
+
+const NeighborhoodBlooms* PreparedGraph::PeekFullBlooms(uint32_t bits) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = full_blooms_.find(bits);
+  return it != full_blooms_.end() ? it->second.get() : nullptr;
+}
+
+void PreparedGraph::RestoreFilter(FilterArtifacts artifacts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  filter_ = std::move(artifacts);
+}
+
+void PreparedGraph::RestoreTwoHop(TwoHopArtifacts artifacts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  two_hop_ = std::move(artifacts);
+}
+
+void PreparedGraph::RestoreDegreeOrder(std::vector<VertexId> order) {
+  std::lock_guard<std::mutex> lock(mu_);
+  degree_order_ = std::move(order);
+}
+
+void PreparedGraph::RestoreCores(graph::CoreDecomposition cores) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cores_ = std::move(cores);
+}
+
+void PreparedGraph::RestoreCandidateBlooms(
+    uint32_t bits, std::unique_ptr<NeighborhoodBlooms> blooms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  candidate_blooms_[bits] = std::move(blooms);
+}
+
+void PreparedGraph::RestoreFullBlooms(
+    uint32_t bits, std::unique_ptr<NeighborhoodBlooms> blooms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  full_blooms_[bits] = std::move(blooms);
+}
+
 }  // namespace nsky::core

@@ -138,6 +138,32 @@ class PreparedGraph {
   bool has_filter() const;
   bool has_two_hop() const;
 
+  // --- Serialization surface (src/persist/) -------------------------------
+  //
+  // Peek* returns the artifact only if it is already materialized -- never
+  // builds, never counts a hit or miss. Restore* installs a previously
+  // serialized artifact without touching builds() or the miss counters, so
+  // queries against a snapshot-loaded engine register as warm (the loaded
+  // artifacts ARE the warm state, byte-for-byte). Restoring over an existing
+  // artifact replaces it; callers are expected to restore into a fresh
+  // PreparedGraph. Bloom blocks are keyed by bit width, like the cache.
+  const FilterArtifacts* PeekFilter() const;
+  const TwoHopArtifacts* PeekTwoHop() const;
+  const std::vector<VertexId>* PeekDegreeOrder() const;
+  const graph::CoreDecomposition* PeekCores() const;
+  std::vector<uint32_t> CandidateBloomWidths() const;
+  std::vector<uint32_t> FullBloomWidths() const;
+  const NeighborhoodBlooms* PeekCandidateBlooms(uint32_t bits) const;
+  const NeighborhoodBlooms* PeekFullBlooms(uint32_t bits) const;
+  void RestoreFilter(FilterArtifacts artifacts);
+  void RestoreTwoHop(TwoHopArtifacts artifacts);
+  void RestoreDegreeOrder(std::vector<VertexId> order);
+  void RestoreCores(graph::CoreDecomposition cores);
+  void RestoreCandidateBlooms(uint32_t bits,
+                              std::unique_ptr<NeighborhoodBlooms> blooms);
+  void RestoreFullBlooms(uint32_t bits,
+                         std::unique_ptr<NeighborhoodBlooms> blooms);
+
  private:
   const Graph* g_;
 

@@ -62,6 +62,59 @@ Graph Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
   return g;
 }
 
+util::Result<Graph> Graph::FromCsr(VertexId num_vertices,
+                                   std::vector<uint64_t> offsets,
+                                   std::vector<VertexId> adjacency) {
+  if (offsets.size() != static_cast<size_t>(num_vertices) + 1) {
+    return util::Status::InvalidArgument(
+        "CSR offsets array has " + std::to_string(offsets.size()) +
+        " entries, expected " + std::to_string(num_vertices + uint64_t{1}));
+  }
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    return util::Status::InvalidArgument(
+        "CSR offsets do not fence the adjacency array");
+  }
+  if (adjacency.size() % 2 != 0) {
+    return util::Status::InvalidArgument(
+        "CSR adjacency entry count is odd; undirected edges must appear in "
+        "both rows");
+  }
+  uint32_t max_degree = 0;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    const uint64_t begin = offsets[u];
+    const uint64_t end = offsets[u + 1];
+    if (begin > end || end > adjacency.size()) {
+      return util::Status::InvalidArgument(
+          "CSR offsets are not monotone at vertex " + std::to_string(u));
+    }
+    for (uint64_t i = begin; i < end; ++i) {
+      const VertexId v = adjacency[i];
+      if (v >= num_vertices) {
+        return util::Status::InvalidArgument(
+            "CSR neighbor " + std::to_string(v) + " of vertex " +
+            std::to_string(u) + " is out of range");
+      }
+      if (v == u) {
+        return util::Status::InvalidArgument(
+            "CSR row of vertex " + std::to_string(u) + " contains a "
+            "self-loop");
+      }
+      if (i > begin && adjacency[i - 1] >= v) {
+        return util::Status::InvalidArgument(
+            "CSR row of vertex " + std::to_string(u) +
+            " is not sorted/deduplicated");
+      }
+    }
+    max_degree = std::max(max_degree, static_cast<uint32_t>(end - begin));
+  }
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.max_degree_ = max_degree;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   auto nbrs = Neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);

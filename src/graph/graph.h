@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace nsky::graph {
 
 // Vertex identifier; vertices of a Graph are always [0, NumVertices()).
@@ -29,6 +31,20 @@ class Graph {
   // orientation of each pair is irrelevant. Endpoints must be
   // < num_vertices (checked).
   static Graph FromEdges(VertexId num_vertices, std::vector<Edge> edges);
+
+  // Rebuilds a graph from raw CSR arrays (the persistent-snapshot load
+  // path, src/persist/). Unlike FromEdges this takes untrusted input from
+  // disk, so every invariant the algorithms rely on is *checked* and a
+  // violation returns INVALID_ARGUMENT instead of crashing: offsets must be
+  // a monotone [0 .. adjacency.size()] fence array of length n + 1, every
+  // adjacency row must be sorted, duplicate-free, self-loop-free with
+  // endpoints < n, and the total entry count must be even (each undirected
+  // edge appears in both rows). Symmetry of individual edges is implied for
+  // data written by RawOffsets()/RawAdjacency() and is not re-verified (the
+  // snapshot layer's checksums cover byte integrity).
+  static util::Result<Graph> FromCsr(VertexId num_vertices,
+                                     std::vector<uint64_t> offsets,
+                                     std::vector<VertexId> adjacency);
 
   Graph(const Graph&) = default;
   Graph& operator=(const Graph&) = default;
@@ -63,6 +79,12 @@ class Graph {
 
   // Heap bytes of the CSR arrays ("graph size" row in Fig. 4).
   uint64_t MemoryBytes() const;
+
+  // Raw CSR arrays for serialization (src/persist/). offsets has
+  // NumVertices() + 1 entries; adjacency holds both directions of every
+  // edge, rows sorted ascending.
+  std::span<const uint64_t> RawOffsets() const { return offsets_; }
+  std::span<const VertexId> RawAdjacency() const { return adjacency_; }
 
  private:
   VertexId num_vertices_ = 0;

@@ -1,0 +1,76 @@
+// On-disk layout of nsky persistent snapshots (format version 1).
+//
+// A snapshot file is:
+//
+//   [ 64-byte header ][ section table ][ pad ][ section payloads ... ]
+//
+// Header (64 bytes, little-endian):
+//   offset  size  field
+//        0     8  magic "NSKYSNP1"
+//        8     4  format_version (uint32, currently 1)
+//       12     4  section_count  (uint32)
+//       16     8  file_bytes     (uint64, total size of the file)
+//       24     8  content_hash   (uint64, FNV-1a 64 over the section table
+//                                 bytes; doubles as the snapshot id)
+//       32     4  header_crc     (CRC-32 of header bytes [0, 32))
+//       36    28  zero padding
+//
+// Section table: section_count entries of 32 bytes each, sorted ascending
+// by (id, aux) with no duplicates -- the sort plus the absence of any
+// timestamp makes serialization canonical: saving the same engine state
+// twice produces byte-identical files, and content_hash is a stable id.
+//
+//   offset  size  field
+//        0     4  id        (SectionId)
+//        4     4  aux       (bloom bit width for bloom sections, else 0)
+//        8     8  offset    (file offset of the payload, 64-byte aligned)
+//       16     8  bytes     (payload size; not padded)
+//       24     4  crc32     (CRC-32 of the payload bytes)
+//       28     4  zero padding
+//
+// Every payload starts at a 64-byte-aligned offset (mmap/cacheline
+// friendly); the gap between payloads is zero-filled. Integrity is
+// checksummed per section so `nsky snapshot inspect` can pinpoint which
+// section of a damaged artifact is bad.
+//
+// Version / compatibility policy: a reader accepts files whose
+// format_version is <= its own kFormatVersion and rejects newer files
+// (INVALID_ARGUMENT -- upgrade the binary, the file is fine). Any change to
+// the header, the table layout, or an existing section's payload encoding
+// bumps kFormatVersion; adding a NEW section id does not (readers skip
+// unknown ids), which is the intended evolution path.
+//
+// Section payload encodings are implementation details of
+// persist/snapshot.cc and are documented field-by-field in DESIGN.md 2g.
+#ifndef NSKY_PERSIST_FORMAT_H_
+#define NSKY_PERSIST_FORMAT_H_
+
+#include <cstdint>
+
+namespace nsky::persist {
+
+inline constexpr char kMagic[8] = {'N', 'S', 'K', 'Y', 'S', 'N', 'P', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint64_t kAlignment = 64;
+inline constexpr uint64_t kHeaderBytes = 64;
+inline constexpr uint64_t kSectionEntryBytes = 32;
+
+// Section ids. Values are part of the on-disk format; never renumber.
+enum SectionId : uint32_t {
+  kSectionMeta = 1,         // graph shape summary (n, m)
+  kSectionGraph = 2,        // CSR offsets + adjacency
+  kSectionFilter = 3,       // filter-phase artifacts + stats
+  kSectionTwoHop = 4,       // materialized 2-hop lists (CSR encoded)
+  kSectionDegreeOrder = 5,  // degree-ascending vertex order
+  kSectionCores = 6,        // core decomposition
+  kSectionCandidateBloom = 7,  // candidate bloom block (aux = bit width)
+  kSectionFullBloom = 8,       // full bloom block (aux = bit width)
+};
+
+// Stable human-readable name of a section id ("meta", "graph", ...);
+// "unknown" for ids this build does not recognize.
+const char* SectionName(uint32_t id);
+
+}  // namespace nsky::persist
+
+#endif  // NSKY_PERSIST_FORMAT_H_

@@ -1,0 +1,756 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "persist/format.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/memory.h"
+
+namespace nsky::persist {
+
+// The encoders below write integers with memcpy in host order; the format
+// is defined little-endian.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot format requires a little-endian host");
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSectionMeta: return "meta";
+    case kSectionGraph: return "graph";
+    case kSectionFilter: return "filter";
+    case kSectionTwoHop: return "two_hop";
+    case kSectionDegreeOrder: return "degree_order";
+    case kSectionCores: return "cores";
+    case kSectionCandidateBloom: return "candidate_bloom";
+    case kSectionFullBloom: return "full_bloom";
+    default: return "unknown";
+  }
+}
+
+std::string SnapshotIdHex(uint64_t content_hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(content_hash));
+  return buf;
+}
+
+namespace {
+
+using core::Engine;
+using core::NeighborhoodBlooms;
+using core::PreparedGraph;
+using graph::Graph;
+using graph::VertexId;
+
+uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- payload encoding ------------------------------------------------------
+
+class Encoder {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+  template <typename T>
+  void Array(const T* data, uint64_t count) {
+    U64(count);
+    Raw(data, count * sizeof(T));
+  }
+  template <typename T>
+  void Array(const std::vector<T>& v) {
+    Array(v.data(), v.size());
+  }
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string Take() && { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+std::string EncodeMeta(const Graph& g) {
+  Encoder e;
+  e.U32(g.NumVertices());
+  e.U32(0);  // reserved
+  e.U64(g.NumEdges());
+  e.U64(0);  // flags, reserved
+  return std::move(e).Take();
+}
+
+std::string EncodeGraph(const Graph& g) {
+  Encoder e;
+  e.U32(g.NumVertices());
+  e.U32(0);  // reserved
+  auto offsets = g.RawOffsets();
+  auto adjacency = g.RawAdjacency();
+  e.Array(offsets.data(), offsets.size());
+  e.Array(adjacency.data(), adjacency.size());
+  return std::move(e).Take();
+}
+
+std::string EncodeFilter(const PreparedGraph::FilterArtifacts& fa) {
+  Encoder e;
+  e.Array(fa.candidates);
+  e.Array(fa.dominator);
+  e.Array(fa.member);
+  e.U64(fa.stats.candidate_count);
+  e.U64(fa.stats.pairs_examined);
+  e.U64(fa.stats.bloom_prunes);
+  e.U64(fa.stats.degree_prunes);
+  e.U64(fa.stats.inclusion_tests);
+  e.U64(fa.stats.nbr_elements_scanned);
+  e.U64(fa.stats.aux_peak_bytes);
+  e.U32(fa.stats.threads);
+  e.U32(0);  // reserved
+  e.Str(fa.stats.degraded_from);
+  e.F64(fa.stats.seconds);
+  return std::move(e).Take();
+}
+
+std::string EncodeTwoHop(const PreparedGraph::TwoHopArtifacts& th) {
+  Encoder e;
+  const uint64_t n = th.lists.size();
+  e.U64(th.charged_bytes);
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (uint64_t u = 0; u < n; ++u) {
+    offsets[u + 1] = offsets[u] + th.lists[u].size();
+  }
+  e.Array(offsets);
+  e.U64(offsets[n]);
+  for (const std::vector<VertexId>& row : th.lists) {
+    e.Raw(row.data(), row.size() * sizeof(VertexId));
+  }
+  return std::move(e).Take();
+}
+
+std::string EncodeDegreeOrder(const std::vector<VertexId>& order) {
+  Encoder e;
+  e.Array(order);
+  return std::move(e).Take();
+}
+
+std::string EncodeCores(const graph::CoreDecomposition& cores) {
+  Encoder e;
+  e.Array(cores.core);
+  e.Array(cores.order);
+  e.Array(cores.position);
+  e.U32(cores.degeneracy);
+  e.U32(0);  // reserved
+  return std::move(e).Take();
+}
+
+std::string EncodeBloom(const NeighborhoodBlooms& blooms) {
+  Encoder e;
+  e.Array(blooms.slots());
+  e.Array(blooms.words());
+  return std::move(e).Take();
+}
+
+// --- payload decoding ------------------------------------------------------
+
+// Bounds-checked cursor over one section's payload. Every read either
+// succeeds or flips the cursor into a sticky failed state; callers chain
+// reads and check ok() once. Array reads validate the stored count against
+// the remaining bytes BEFORE resizing, so a hostile count cannot trigger a
+// huge allocation.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, uint64_t size) : p_(data), size_(size) {}
+
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* out) {
+    uint64_t count = 0;
+    if (!U64(&count) || count > size_ - pos_) return Fail();
+    out->assign(reinterpret_cast<const char*>(p_ + pos_), count);
+    pos_ += count;
+    return true;
+  }
+  template <typename T>
+  bool Array(std::vector<T>* out) {
+    uint64_t count = 0;
+    if (!U64(&count) || count > (size_ - pos_) / sizeof(T)) return Fail();
+    out->resize(count);
+    return Raw(out->data(), count * sizeof(T));
+  }
+  bool Raw(void* out, uint64_t n) {
+    if (failed_ || n > size_ - pos_) return Fail();
+    std::memcpy(out, p_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool ok() const { return failed_ == false; }
+  bool AtEnd() const { return !failed_ && pos_ == size_; }
+  uint64_t remaining() const { return size_ - pos_; }
+  const uint8_t* cursor() const { return p_ + pos_; }
+  bool Skip(uint64_t n) {
+    if (failed_ || n > size_ - pos_) return Fail();
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+  const uint8_t* p_;
+  uint64_t size_;
+  uint64_t pos_ = 0;
+  bool failed_ = false;
+};
+
+util::Status Malformed(uint32_t id, const std::string& detail) {
+  return util::Status::IoError("snapshot section " +
+                               std::string(SectionName(id)) +
+                               " is malformed: " + detail);
+}
+
+// --- file-level parsing ----------------------------------------------------
+
+struct TableEntry {
+  uint32_t id = 0;
+  uint32_t aux = 0;
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint32_t crc32 = 0;
+};
+
+struct ParsedFile {
+  std::vector<uint8_t> data;
+  uint32_t format_version = 0;
+  uint64_t content_hash = 0;
+  std::vector<TableEntry> entries;
+
+  const uint8_t* payload(const TableEntry& e) const {
+    return data.data() + e.offset;
+  }
+};
+
+util::Status ReadFileBytes(const std::string& path,
+                           std::vector<uint8_t>* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open snapshot " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return util::Status::IoError("cannot determine size of snapshot " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<uint64_t>(end));
+  const size_t got = out->empty() ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) {
+    return util::Status::IoError("short read while loading snapshot " + path);
+  }
+  return util::Status::Ok();
+}
+
+// Header + section-table validation plus the per-section bounds and
+// checksum pass shared by Load() and Inspect(). `ctx` bounds the work: the
+// file bytes are charged to `tally` before the read and the health check
+// runs between section validations.
+util::Status ReadAndValidate(const std::string& path,
+                             const util::ExecutionContext& ctx,
+                             util::MemoryTally* tally, ParsedFile* out) {
+  const bool faults = util::FaultInjector::Enabled();
+
+  {
+    // Charge the file size before materializing the bytes, mirroring how
+    // the solvers precheck allocations against the ledger.
+    FILE* probe = std::fopen(path.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fseek(probe, 0, SEEK_END);
+      const long end = std::ftell(probe);
+      std::fclose(probe);
+      if (end > 0) {
+        tally->Add(static_cast<uint64_t>(end));
+        util::Status budget = ctx.CheckBudget(tally->live_bytes());
+        if (!budget.ok()) return budget;
+      }
+    }
+  }
+
+  util::Status read = ReadFileBytes(path, &out->data);
+  if (!read.ok()) return read;
+  const std::vector<uint8_t>& buf = out->data;
+
+  if (buf.size() < kHeaderBytes) {
+    return util::Status::IoError(
+        "snapshot truncated: file is " + std::to_string(buf.size()) +
+        " bytes, smaller than the " + std::to_string(kHeaderBytes) +
+        "-byte header");
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument(
+        "not a nsky snapshot: bad magic in " + path);
+  }
+  uint32_t header_crc = 0;
+  std::memcpy(&header_crc, buf.data() + 32, sizeof(header_crc));
+  if (util::Crc32(buf.data(), 32) != header_crc) {
+    return util::Status::IoError("snapshot header checksum mismatch");
+  }
+  std::memcpy(&out->format_version, buf.data() + 8, sizeof(uint32_t));
+  if (out->format_version == 0 || out->format_version > kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "snapshot format version " + std::to_string(out->format_version) +
+        " is not supported by this build (reads up to version " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  uint32_t section_count = 0;
+  uint64_t file_bytes = 0;
+  std::memcpy(&section_count, buf.data() + 12, sizeof(section_count));
+  std::memcpy(&file_bytes, buf.data() + 16, sizeof(file_bytes));
+  std::memcpy(&out->content_hash, buf.data() + 24, sizeof(uint64_t));
+  if (file_bytes != buf.size()) {
+    return util::Status::IoError(
+        "snapshot truncated: header records " + std::to_string(file_bytes) +
+        " bytes but the file has " + std::to_string(buf.size()));
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(section_count) * kSectionEntryBytes;
+  if (kHeaderBytes + table_bytes > buf.size()) {
+    return util::Status::IoError(
+        "snapshot truncated: section table extends past end of file");
+  }
+  if (Fnv1a64(buf.data() + kHeaderBytes, table_bytes) != out->content_hash) {
+    return util::Status::IoError("snapshot section table hash mismatch");
+  }
+
+  out->entries.resize(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint8_t* row = buf.data() + kHeaderBytes + i * kSectionEntryBytes;
+    TableEntry& e = out->entries[i];
+    std::memcpy(&e.id, row + 0, sizeof(e.id));
+    std::memcpy(&e.aux, row + 4, sizeof(e.aux));
+    std::memcpy(&e.offset, row + 8, sizeof(e.offset));
+    std::memcpy(&e.bytes, row + 16, sizeof(e.bytes));
+    std::memcpy(&e.crc32, row + 24, sizeof(e.crc32));
+    if (i > 0) {
+      const TableEntry& prev = out->entries[i - 1];
+      if (std::make_pair(e.id, e.aux) <= std::make_pair(prev.id, prev.aux)) {
+        return util::Status::IoError(
+            "snapshot section table is not canonically sorted");
+      }
+    }
+  }
+
+  for (const TableEntry& e : out->entries) {
+    util::Status health = ctx.CheckHealth();
+    if (!health.ok()) return health;
+    const char* name = SectionName(e.id);
+    if (e.offset % kAlignment != 0) {
+      return util::Status::IoError("snapshot section " + std::string(name) +
+                                   " payload is not 64-byte aligned");
+    }
+    if (e.offset > buf.size() || e.bytes > buf.size() - e.offset) {
+      return util::Status::IoError("snapshot truncated: section " +
+                                   std::string(name) +
+                                   " extends past end of file");
+    }
+    if (faults && util::FaultInjector::ShouldFail("persist.short_read")) {
+      return util::Status::IoError("snapshot truncated: short read in section " +
+                                   std::string(name));
+    }
+    uint32_t crc = util::Crc32(buf.data() + e.offset, e.bytes);
+    if (faults && util::FaultInjector::ShouldFail("persist.corrupt_section")) {
+      crc = ~crc;
+    }
+    if (crc != e.crc32) {
+      return util::Status::IoError("snapshot section " + std::string(name) +
+                                   " checksum mismatch");
+    }
+  }
+  return util::Status::Ok();
+}
+
+// --- section decoding into engine state ------------------------------------
+
+util::Status DecodeGraph(const TableEntry& e, const ParsedFile& file,
+                         Graph* out) {
+  Decoder d(file.payload(e), e.bytes);
+  uint32_t n = 0, reserved = 0;
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> adjacency;
+  if (!d.U32(&n) || !d.U32(&reserved) || !d.Array(&offsets) ||
+      !d.Array(&adjacency) || !d.AtEnd()) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  util::Result<Graph> g = Graph::FromCsr(n, std::move(offsets),
+                                         std::move(adjacency));
+  if (!g.ok()) return Malformed(e.id, g.status().message());
+  *out = std::move(g).value();
+  return util::Status::Ok();
+}
+
+util::Status DecodeMetaCheck(const TableEntry& e, const ParsedFile& file,
+                             const Graph& g) {
+  Decoder d(file.payload(e), e.bytes);
+  uint32_t n = 0, reserved = 0;
+  uint64_t m = 0, flags = 0;
+  if (!d.U32(&n) || !d.U32(&reserved) || !d.U64(&m) || !d.U64(&flags) ||
+      !d.AtEnd()) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  if (n != g.NumVertices() || m != g.NumEdges()) {
+    return util::Status::IoError(
+        "snapshot meta section does not match the graph section");
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeFilter(const TableEntry& e, const ParsedFile& file,
+                          VertexId n, PreparedGraph* prepared) {
+  Decoder d(file.payload(e), e.bytes);
+  PreparedGraph::FilterArtifacts fa;
+  uint32_t reserved = 0;
+  if (!d.Array(&fa.candidates) || !d.Array(&fa.dominator) ||
+      !d.Array(&fa.member) || !d.U64(&fa.stats.candidate_count) ||
+      !d.U64(&fa.stats.pairs_examined) || !d.U64(&fa.stats.bloom_prunes) ||
+      !d.U64(&fa.stats.degree_prunes) || !d.U64(&fa.stats.inclusion_tests) ||
+      !d.U64(&fa.stats.nbr_elements_scanned) ||
+      !d.U64(&fa.stats.aux_peak_bytes) || !d.U32(&fa.stats.threads) ||
+      !d.U32(&reserved) || !d.Str(&fa.stats.degraded_from) ||
+      !d.F64(&fa.stats.seconds) || !d.AtEnd()) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  if (fa.dominator.size() != n || fa.member.size() != n) {
+    return Malformed(e.id, "array sizes do not match the graph");
+  }
+  for (size_t i = 0; i < fa.candidates.size(); ++i) {
+    if (fa.candidates[i] >= n ||
+        (i > 0 && fa.candidates[i - 1] >= fa.candidates[i])) {
+      return Malformed(e.id, "candidate set is not a sorted vertex set");
+    }
+  }
+  for (VertexId v : fa.dominator) {
+    if (v >= n) return Malformed(e.id, "dominator entry out of range");
+  }
+  prepared->RestoreFilter(std::move(fa));
+  return util::Status::Ok();
+}
+
+util::Status DecodeTwoHop(const TableEntry& e, const ParsedFile& file,
+                          VertexId n, PreparedGraph* prepared) {
+  Decoder d(file.payload(e), e.bytes);
+  PreparedGraph::TwoHopArtifacts th;
+  std::vector<uint64_t> offsets;
+  uint64_t total = 0;
+  if (!d.U64(&th.charged_bytes) || !d.Array(&offsets) || !d.U64(&total)) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  if (offsets.size() != static_cast<size_t>(n) + 1 || offsets.front() != 0 ||
+      offsets.back() != total ||
+      total > d.remaining() / sizeof(VertexId)) {
+    return Malformed(e.id, "list offsets do not fence the payload");
+  }
+  const auto* values = reinterpret_cast<const VertexId*>(d.cursor());
+  if (!d.Skip(total * sizeof(VertexId)) || !d.AtEnd()) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  th.lists.resize(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Malformed(e.id, "list offsets are not monotone");
+    }
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      if (values[i] >= n) {
+        return Malformed(e.id, "list entry out of range");
+      }
+    }
+    th.lists[u].assign(values + offsets[u], values + offsets[u + 1]);
+  }
+  prepared->RestoreTwoHop(std::move(th));
+  return util::Status::Ok();
+}
+
+util::Status DecodeDegreeOrder(const TableEntry& e, const ParsedFile& file,
+                               VertexId n, PreparedGraph* prepared) {
+  Decoder d(file.payload(e), e.bytes);
+  std::vector<VertexId> order;
+  if (!d.Array(&order) || !d.AtEnd()) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  if (order.size() != n) {
+    return Malformed(e.id, "order length does not match the graph");
+  }
+  for (VertexId v : order) {
+    if (v >= n) return Malformed(e.id, "order entry out of range");
+  }
+  prepared->RestoreDegreeOrder(std::move(order));
+  return util::Status::Ok();
+}
+
+util::Status DecodeCores(const TableEntry& e, const ParsedFile& file,
+                         VertexId n, PreparedGraph* prepared) {
+  Decoder d(file.payload(e), e.bytes);
+  graph::CoreDecomposition cores;
+  uint32_t reserved = 0;
+  if (!d.Array(&cores.core) || !d.Array(&cores.order) ||
+      !d.Array(&cores.position) || !d.U32(&cores.degeneracy) ||
+      !d.U32(&reserved) || !d.AtEnd()) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  if (cores.core.size() != n || cores.order.size() != n ||
+      cores.position.size() != n) {
+    return Malformed(e.id, "array sizes do not match the graph");
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (cores.order[u] >= n || cores.position[u] >= n) {
+      return Malformed(e.id, "order/position entry out of range");
+    }
+  }
+  prepared->RestoreCores(std::move(cores));
+  return util::Status::Ok();
+}
+
+util::Status DecodeBloom(const TableEntry& e, const ParsedFile& file,
+                         VertexId n, PreparedGraph* prepared) {
+  Decoder d(file.payload(e), e.bytes);
+  std::vector<uint32_t> slots;
+  std::vector<uint64_t> words;
+  if (!d.Array(&slots) || !d.Array(&words) || !d.AtEnd()) {
+    return Malformed(e.id, "payload does not parse");
+  }
+  if (slots.size() != n) {
+    return Malformed(e.id, "slot table length does not match the graph");
+  }
+  util::Result<std::unique_ptr<NeighborhoodBlooms>> blooms =
+      NeighborhoodBlooms::FromParts(e.aux, std::move(slots), std::move(words));
+  if (!blooms.ok()) return Malformed(e.id, blooms.status().message());
+  if (e.id == kSectionCandidateBloom) {
+    prepared->RestoreCandidateBlooms(e.aux, std::move(blooms).value());
+  } else {
+    prepared->RestoreFullBlooms(e.aux, std::move(blooms).value());
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+// --- public API ------------------------------------------------------------
+
+util::Status Save(const Engine& engine, const std::string& path) {
+  const bool faults = util::FaultInjector::Enabled();
+  const Graph& g = engine.graph();
+  const PreparedGraph& prepared = engine.prepared();
+
+  struct Blob {
+    uint32_t id;
+    uint32_t aux;
+    std::string payload;
+  };
+  std::vector<Blob> blobs;
+  blobs.push_back({kSectionMeta, 0, EncodeMeta(g)});
+  blobs.push_back({kSectionGraph, 0, EncodeGraph(g)});
+  if (const auto* fa = prepared.PeekFilter()) {
+    blobs.push_back({kSectionFilter, 0, EncodeFilter(*fa)});
+  }
+  if (const auto* th = prepared.PeekTwoHop()) {
+    blobs.push_back({kSectionTwoHop, 0, EncodeTwoHop(*th)});
+  }
+  if (const auto* order = prepared.PeekDegreeOrder()) {
+    blobs.push_back({kSectionDegreeOrder, 0, EncodeDegreeOrder(*order)});
+  }
+  if (const auto* cores = prepared.PeekCores()) {
+    blobs.push_back({kSectionCores, 0, EncodeCores(*cores)});
+  }
+  for (uint32_t bits : prepared.CandidateBloomWidths()) {
+    blobs.push_back(
+        {kSectionCandidateBloom, bits,
+         EncodeBloom(*prepared.PeekCandidateBlooms(bits))});
+  }
+  for (uint32_t bits : prepared.FullBloomWidths()) {
+    blobs.push_back(
+        {kSectionFullBloom, bits, EncodeBloom(*prepared.PeekFullBlooms(bits))});
+  }
+  // Canonical order; the loops above already emit it, the sort pins it.
+  std::sort(blobs.begin(), blobs.end(), [](const Blob& a, const Blob& b) {
+    return std::make_pair(a.id, a.aux) < std::make_pair(b.id, b.aux);
+  });
+
+  // Lay out payloads and serialize the section table.
+  const uint64_t table_bytes = blobs.size() * kSectionEntryBytes;
+  uint64_t cursor = kHeaderBytes + table_bytes;
+  Encoder table;
+  std::vector<uint64_t> offsets(blobs.size());
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    cursor = AlignUp(cursor, kAlignment);
+    offsets[i] = cursor;
+    cursor += blobs[i].payload.size();
+    table.U32(blobs[i].id);
+    table.U32(blobs[i].aux);
+    table.U64(offsets[i]);
+    table.U64(blobs[i].payload.size());
+    table.U32(util::Crc32(blobs[i].payload.data(), blobs[i].payload.size()));
+    table.U32(0);  // reserved
+  }
+  const uint64_t file_bytes = cursor;
+  const std::string table_str = std::move(table).Take();
+  const uint64_t content_hash = Fnv1a64(table_str.data(), table_str.size());
+
+  uint8_t header[kHeaderBytes] = {0};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  const uint32_t version = kFormatVersion;
+  const uint32_t section_count = static_cast<uint32_t>(blobs.size());
+  std::memcpy(header + 8, &version, sizeof(version));
+  std::memcpy(header + 12, &section_count, sizeof(section_count));
+  std::memcpy(header + 16, &file_bytes, sizeof(file_bytes));
+  std::memcpy(header + 24, &content_hash, sizeof(content_hash));
+  const uint32_t header_crc = util::Crc32(header, 32);
+  std::memcpy(header + 32, &header_crc, sizeof(header_crc));
+
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  auto write = [&](const void* p, size_t n) {
+    return n == 0 || std::fwrite(p, 1, n, f) == n;
+  };
+  static const char kZeros[kAlignment] = {0};
+  bool ok = write(header, sizeof(header)) &&
+            write(table_str.data(), table_str.size());
+  uint64_t written = kHeaderBytes + table_bytes;
+  for (size_t i = 0; ok && i < blobs.size(); ++i) {
+    if (faults && util::FaultInjector::ShouldFail("persist.short_write")) {
+      std::fclose(f);
+      return util::Status::IoError(
+          "injected short write in snapshot section " +
+          std::string(SectionName(blobs[i].id)));
+    }
+    ok = write(kZeros, offsets[i] - written) &&
+         write(blobs[i].payload.data(), blobs[i].payload.size());
+    written = offsets[i] + blobs[i].payload.size();
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    return util::Status::IoError("write failed for snapshot " + path);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::unique_ptr<core::Engine>> Load(const std::string& path,
+                                                 const util::ExecutionContext& ctx,
+                                                 core::EngineOptions options) {
+  util::MemoryTally tally;
+  ParsedFile file;
+  util::Status status = ReadAndValidate(path, ctx, &tally, &file);
+  if (!status.ok()) return status;
+
+  // The graph section is the substrate every artifact validates against;
+  // decode it first (canonical order puts it before all artifacts anyway).
+  const TableEntry* graph_entry = nullptr;
+  for (const TableEntry& e : file.entries) {
+    if (e.id == kSectionGraph) graph_entry = &e;
+  }
+  if (graph_entry == nullptr) {
+    return util::Status::IoError("snapshot has no graph section");
+  }
+  Graph g;
+  status = DecodeGraph(*graph_entry, file, &g);
+  if (!status.ok()) return status;
+  const VertexId n = g.NumVertices();
+  tally.Add(g.MemoryBytes());
+  status = ctx.CheckBudget(tally.live_bytes());
+  if (!status.ok()) return status;
+
+  auto engine = std::make_unique<Engine>(std::move(g), std::move(options));
+  PreparedGraph* prepared = &engine->prepared();
+
+  for (const TableEntry& e : file.entries) {
+    status = ctx.CheckHealth();
+    if (!status.ok()) return status;
+    switch (e.id) {
+      case kSectionMeta:
+        status = DecodeMetaCheck(e, file, engine->graph());
+        break;
+      case kSectionGraph:
+        break;  // already decoded
+      case kSectionFilter:
+        status = DecodeFilter(e, file, n, prepared);
+        break;
+      case kSectionTwoHop:
+        status = DecodeTwoHop(e, file, n, prepared);
+        break;
+      case kSectionDegreeOrder:
+        status = DecodeDegreeOrder(e, file, n, prepared);
+        break;
+      case kSectionCores:
+        status = DecodeCores(e, file, n, prepared);
+        break;
+      case kSectionCandidateBloom:
+      case kSectionFullBloom:
+        status = DecodeBloom(e, file, n, prepared);
+        break;
+      default:
+        break;  // section from a newer writer; ignorable by design
+    }
+    if (!status.ok()) return status;
+    tally.Add(e.bytes);  // decoded artifact, conservatively at payload size
+    status = ctx.CheckBudget(tally.live_bytes());
+    if (!status.ok()) return status;
+  }
+
+  core::SnapshotInfo info;
+  info.id = SnapshotIdHex(file.content_hash);
+  info.format_version = file.format_version;
+  info.file_bytes = file.data.size();
+  info.sections = static_cast<uint32_t>(file.entries.size());
+  info.path = path;
+  engine->set_snapshot_info(std::move(info));
+  return engine;
+}
+
+util::Result<Manifest> Inspect(const std::string& path) {
+  util::MemoryTally tally;
+  ParsedFile file;
+  const util::ExecutionContext ctx;
+  util::Status status = ReadAndValidate(path, ctx, &tally, &file);
+  if (!status.ok()) return status;
+
+  Manifest manifest;
+  manifest.path = path;
+  manifest.id = SnapshotIdHex(file.content_hash);
+  manifest.format_version = file.format_version;
+  manifest.file_bytes = file.data.size();
+  manifest.sections.reserve(file.entries.size());
+  for (const TableEntry& e : file.entries) {
+    SectionInfo info;
+    info.id = e.id;
+    info.aux = e.aux;
+    info.offset = e.offset;
+    info.bytes = e.bytes;
+    info.crc32 = e.crc32;
+    info.name = SectionName(e.id);
+    manifest.sections.push_back(std::move(info));
+  }
+  return manifest;
+}
+
+}  // namespace nsky::persist

@@ -1,0 +1,92 @@
+// Persistent engine snapshots: save a warm core::Engine to one file, load
+// it back in O(read) instead of O(build).
+//
+// A snapshot serializes the engine's graph (CSR) plus every PreparedGraph
+// artifact that is currently materialized -- filter verdicts, bloom blocks
+// at every built width, 2-hop lists, degree order, core decomposition --
+// into the versioned, checksummed container described in persist/format.h.
+// Load() reverses it and returns an engine whose artifacts are
+// byte-identical to the saved ones, so its query results (skyline,
+// dominator array, every deterministic SkylineStats counter including
+// aux_peak_bytes) are bit-identical to the engine that was saved, and its
+// queries count as *warm* from the first request (no artifact builds run).
+//
+// Canonical serialization: the file contains no timestamps, sections are
+// sorted by (id, aux), and the snapshot id is a pure content hash --
+// saving the same engine state twice (including re-saving a loaded engine)
+// produces byte-identical files.
+//
+// Failure model: everything returns util::Status through the canonical
+// status table (util/status.h), never crashes on bad input. Wrong magic and
+// future format versions are INVALID_ARGUMENT (exit 2: the file is not for
+// this reader); truncation, checksum mismatches and malformed payloads are
+// IO_ERROR (exit 1: the file is damaged). A failed Load() returns no
+// engine -- there is no partially-restored state to observe.
+//
+// Fault injection (util/fault_injection.h): `persist.short_write` fails
+// Save at its Nth section write, `persist.short_read` truncates Load at its
+// Nth section, `persist.corrupt_section` makes the Nth section's checksum
+// validation fail. All are zero-cost when NSKY_FAULTS is unset.
+#ifndef NSKY_PERSIST_SNAPSHOT_H_
+#define NSKY_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/execution_context.h"
+#include "util/status.h"
+
+namespace nsky::persist {
+
+// One row of a snapshot's section table, as Inspect() reports it.
+struct SectionInfo {
+  uint32_t id = 0;
+  uint32_t aux = 0;       // bloom bit width for bloom sections, else 0
+  uint64_t offset = 0;    // file offset of the payload
+  uint64_t bytes = 0;     // payload size
+  uint32_t crc32 = 0;     // stored checksum (validated by Inspect/Load)
+  std::string name;       // SectionName(id)
+};
+
+// Everything Inspect() learns about a snapshot without building an engine.
+struct Manifest {
+  std::string path;
+  std::string id;  // content hash as 16 lowercase hex digits
+  uint32_t format_version = 0;
+  uint64_t file_bytes = 0;
+  std::vector<SectionInfo> sections;
+};
+
+// Serializes the engine's graph and all currently-materialized artifacts to
+// `path` (overwriting any existing file). The engine is read-only during
+// the save; callers must not run queries concurrently (an Engine serves one
+// caller at a time, see core/engine.h).
+util::Status Save(const core::Engine& engine, const std::string& path);
+
+// Reads, validates and restores a snapshot, returning a fully warm engine
+// stamped with SnapshotInfo provenance (surfaced via StatsSnapshot(), the
+// flight recorder origin and the server's /healthz). The load runs under
+// `ctx`: the byte budget is charged with the file bytes plus the decoded
+// artifact bytes as sections restore, and deadline/cancellation are honored
+// between sections. `options` becomes the engine's EngineOptions (defaults
+// are not persisted -- they are caller configuration, not graph state).
+util::Result<std::unique_ptr<core::Engine>> Load(
+    const std::string& path, const util::ExecutionContext& ctx = {},
+    core::EngineOptions options = {});
+
+// Offline integrity check (the `nsky snapshot inspect` fsck): validates the
+// header, the section table and every section checksum -- the same
+// validation Load() performs -- without decoding payloads or constructing
+// an engine, and reports per-section sizes. A snapshot that passes
+// Inspect() will not fail Load() for integrity reasons.
+util::Result<Manifest> Inspect(const std::string& path);
+
+// 16-lowercase-hex-digit rendering of a snapshot content hash.
+std::string SnapshotIdHex(uint64_t content_hash);
+
+}  // namespace nsky::persist
+
+#endif  // NSKY_PERSIST_SNAPSHOT_H_

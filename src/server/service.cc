@@ -8,6 +8,7 @@
 #include "core/solver.h"
 #include "util/execution_context.h"
 #include "util/json_writer.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/prom_export.h"
 #include "util/strings.h"
@@ -33,7 +34,14 @@ bool ReadUintParam(const HttpRequest& request, const char* name,
 }  // namespace
 
 SkylineService::SkylineService(graph::Graph g, ServiceOptions options)
-    : options_(options), engine_(std::move(g)) {}
+    : options_(options),
+      engine_(std::make_unique<core::Engine>(std::move(g))) {}
+
+SkylineService::SkylineService(std::unique_ptr<core::Engine> engine,
+                               ServiceOptions options)
+    : options_(options), engine_(std::move(engine)) {
+  NSKY_CHECK_MSG(engine_ != nullptr, "SkylineService requires an engine");
+}
 
 HttpResponse SkylineService::ErrorResponse(const util::Status& status) {
   return ErrorResponseWithHttpStatus(util::HttpStatusFor(status.code()),
@@ -73,6 +81,11 @@ HttpResponse SkylineService::Handle(const HttpRequest& request) {
     HttpResponse response;
     response.content_type = "text/plain";
     response.body = "ok\n";
+    // Snapshot-restored replicas advertise their artifact id so rollout
+    // tooling can confirm which snapshot a fleet member is serving from.
+    if (const auto& info = engine_->snapshot_info(); info.has_value()) {
+      response.body += "snapshot " + info->id + "\n";
+    }
     return response;
   }
   return ErrorResponse(
@@ -119,7 +132,7 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
   // next to served ones.
   if (draining_.load(std::memory_order_relaxed)) {
     util::Status status = util::Status::Unavailable("server is draining");
-    engine_.RecordRejection(options, status);
+    engine_->RecordRejection(options, status);
     return ErrorResponse(status);
   }
   uint32_t admitted = inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -128,7 +141,7 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
     util::Status status = util::Status::ResourceExhausted(
         "over capacity: " + std::to_string(options_.max_inflight) +
         " queries already in flight");
-    engine_.RecordRejection(options, status);
+    engine_->RecordRejection(options, status);
     return ErrorResponse(status);
   }
 
@@ -146,7 +159,7 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
     std::lock_guard<std::mutex> lock(engine_mu_);
     core::QueryResponse result;
     for (uint64_t i = 0; i < repeat; ++i) {
-      engine_.Execute(query, &result);
+      engine_->Execute(query, &result);
       if (!result.ok()) break;
     }
     if (!result.ok()) {
@@ -159,8 +172,8 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
     doc.repeat = repeat;
     doc.include_engine_docs = stats != 0;
     response.body =
-        core::SkylineDocToJson(engine_.graph(), result.result, doc,
-                               &engine_) +
+        core::SkylineDocToJson(engine_->graph(), result.result, doc,
+                               engine_.get()) +
         "\n";
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -172,7 +185,7 @@ HttpResponse SkylineService::HandleEngineStats() {
   // StatsSnapshot reads the same non-atomic counters Execute writes, so it
   // takes its turn on the engine like a query does.
   std::lock_guard<std::mutex> lock(engine_mu_);
-  response.body = engine_.StatsJson() + "\n";
+  response.body = engine_->StatsJson() + "\n";
   return response;
 }
 
@@ -184,7 +197,7 @@ HttpResponse SkylineService::HandleQueries(const HttpRequest& request) {
   }
   HttpResponse response;
   // The flight recorder is safe against concurrent writers; no lock.
-  response.body = engine_.RecentQueriesJson(max) + "\n";
+  response.body = engine_->RecentQueriesJson(max) + "\n";
   return response;
 }
 
@@ -195,7 +208,7 @@ HttpResponse SkylineService::HandleMetrics() {
       util::metrics::SnapshotToPrometheus(util::metrics::Snap());
   {
     std::lock_guard<std::mutex> lock(engine_mu_);
-    body += core::EngineStatsToPrometheus(engine_.StatsSnapshot());
+    body += core::EngineStatsToPrometheus(engine_->StatsSnapshot());
   }
   response.body = std::move(body);
   return response;

@@ -16,7 +16,9 @@
 //   /v1/engine_stats    nsky.engine_stats.v1 snapshot
 //   /v1/queries?max=N   nsky.queries.v1 flight-recorder dump
 //   /v1/metrics         Prometheus text: process registry + engine stats
-//   /healthz            "ok" liveness probe
+//   /healthz            "ok" liveness probe; a service whose engine was
+//                       restored from a persistent snapshot appends a
+//                       "snapshot <id>" line so probes can vet provenance
 //
 // Failures answer with the nsky.error.v1 document and the HTTP status from
 // the canonical table in util/status.h, so a request that times out inside
@@ -39,6 +41,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -71,6 +74,11 @@ class SkylineService {
  public:
   SkylineService(graph::Graph g, ServiceOptions options);
 
+  // Serves an engine built elsewhere -- the `nsky serve --snapshot` path
+  // hands over the engine persist::Load restored, so the replica answers
+  // its first query warm. `engine` must be non-null.
+  SkylineService(std::unique_ptr<core::Engine> engine, ServiceOptions options);
+
   // Thread-safe; see the concurrency notes above.
   HttpResponse Handle(const HttpRequest& request);
 
@@ -89,7 +97,7 @@ class SkylineService {
     draining_.store(draining, std::memory_order_relaxed);
   }
 
-  core::Engine& engine() { return engine_; }
+  core::Engine& engine() { return *engine_; }
   uint32_t max_inflight() const { return options_.max_inflight; }
   // Currently admitted skyline queries (tests poll this to time overload).
   uint32_t inflight() const {
@@ -103,7 +111,9 @@ class SkylineService {
   HttpResponse HandleMetrics();
 
   ServiceOptions options_;
-  core::Engine engine_;
+  // Owned via pointer because Engine is neither copyable nor movable and
+  // the snapshot path receives one ready-made from persist::Load.
+  std::unique_ptr<core::Engine> engine_;
   std::mutex engine_mu_;
   std::atomic<uint32_t> inflight_{0};
   std::atomic<bool> draining_{false};

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -19,6 +21,7 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "core/skyline_json.h"
+#include "persist/snapshot.h"
 #include "server/server.h"
 #include "server/service.h"
 #include "setjoin/skyline_via_join.h"
@@ -38,10 +41,12 @@ namespace {
 using graph::Graph;
 using graph::VertexId;
 
-// Parsed command line: command plus --key value options (flags that take no
+// Parsed command line: command, an optional positional subcommand (only the
+// `snapshot` verb has one), plus --key value options (flags that take no
 // value are stored with an empty string).
 struct Args {
   std::string command;
+  std::string subcommand;
   std::map<std::string, std::string> options;
 
   bool Has(const std::string& key) const { return options.count(key) > 0; }
@@ -68,6 +73,10 @@ std::optional<Args> ParseArgs(const std::vector<std::string>& raw,
   for (size_t i = 1; i < raw.size(); ++i) {
     const std::string& token = raw[i];
     if (token.rfind("--", 0) != 0) {
+      if (i == 1 && args.command == "snapshot") {
+        args.subcommand = token;
+        continue;
+      }
       err << "error: unexpected argument '" << token << "'\n";
       return std::nullopt;
     }
@@ -281,7 +290,7 @@ bool ParseRepeat(const Args& args, uint64_t* repeat, std::ostream& err) {
   return true;
 }
 
-int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
+int CmdSkyline(const Args& args, const Graph* g_in, std::ostream& out,
                std::ostream& err, std::string* engine_prom) {
   // --algo is the preferred spelling; --algorithm stays as an alias.
   const std::string algo =
@@ -292,7 +301,8 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
   if (!ParseContext(args, &ctx, err)) return 2;
   uint64_t repeat = 1;
   if (!ParseRepeat(args, &repeat, err)) return 2;
-  const bool use_engine = args.Has("engine") || repeat > 1;
+  const bool use_engine =
+      args.Has("engine") || repeat > 1 || args.Has("snapshot");
   if (args.Has("stats") && !use_engine) {
     // Through EmitFailure so --json callers get the structured nsky.error.v1
     // body instead of a bare stderr line (exit code 2 either way, from the
@@ -304,8 +314,22 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
                        out, err);
   }
   // Kept alive past the query loop so --stats / --metrics-out can render
-  // its introspection documents after the results are written.
-  std::optional<core::Engine> engine;
+  // its introspection documents after the results are written. Owned via
+  // pointer because --snapshot receives one ready-made from persist::Load.
+  std::unique_ptr<core::Engine> engine;
+  if (args.Has("snapshot")) {
+    if (algo == "join") {
+      err << "error: --snapshot is not supported for --algo join\n";
+      return 2;
+    }
+    // One context covers the load AND the queries: the deadline is
+    // absolute, so a replica that spends its whole budget reading the
+    // artifact times out before the first query, exactly as intended.
+    auto loaded = persist::Load(args.Get("snapshot"), ctx);
+    if (!loaded.ok()) return EmitFailure(args, loaded.status(), out, err);
+    engine = std::move(loaded).value();
+  }
+  const Graph& g = g_in != nullptr ? *g_in : engine->graph();
   core::SkylineResult r;
   if (algo == "join") {
     // The set-containment-join adapter lives outside the core engine and
@@ -325,8 +349,9 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     if (use_engine) {
       // Reuse one engine across all --repeat iterations: artifacts build on
       // the first query, later queries are warm. Results are bit-identical
-      // to a single cold solve, so only the last one is rendered.
-      engine.emplace(g);
+      // to a single cold solve, so only the last one is rendered. A
+      // snapshot-loaded engine starts warm: its first query builds nothing.
+      if (engine == nullptr) engine = std::make_unique<core::Engine>(g);
       core::QueryRequest request{options, ctx};
       core::QueryResponse response;
       response.result = std::move(r);
@@ -344,7 +369,7 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     err << "error: unknown --algo '" << algo << "'\n";
     return 2;
   }
-  if (engine.has_value() && engine_prom != nullptr) {
+  if (engine != nullptr && engine_prom != nullptr) {
     *engine_prom = core::EngineStatsToPrometheus(engine->StatsSnapshot());
   }
   if (args.Has("json")) {
@@ -353,12 +378,10 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
     // --json` and `GET /v1/skyline` byte-identical.
     core::SkylineDocOptions doc;
     doc.algorithm = algo;
-    doc.engine = engine.has_value();
+    doc.engine = engine != nullptr;
     doc.repeat = repeat;
-    doc.include_engine_docs = engine.has_value() && args.Has("stats");
-    out << core::SkylineDocToJson(g, r, doc,
-                                  engine.has_value() ? &*engine : nullptr)
-        << "\n";
+    doc.include_engine_docs = engine != nullptr && args.Has("stats");
+    out << core::SkylineDocToJson(g, r, doc, engine.get()) << "\n";
     return 0;
   }
   out << "skyline " << r.skyline.size() << " of " << g.NumVertices()
@@ -371,7 +394,7 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
   if (args.Get("print", "no") == "yes") {
     for (VertexId u : r.skyline) out << u << "\n";
   }
-  if (engine.has_value() && args.Has("stats")) {
+  if (engine != nullptr && args.Has("stats")) {
     // One self-describing document per line, greppable from scripts.
     out << engine->StatsJson() << "\n";
     out << engine->RecentQueriesJson() << "\n";
@@ -384,8 +407,10 @@ int CmdSkyline(const Args& args, const Graph& g, std::ostream& out,
 // forever). The per-request defaults (--timeout-ms / --max-memory-mb) and
 // the admission limit (--max-inflight) become the service's config; each
 // request may tighten but the endpoint set is fixed (see
-// src/server/service.h).
-int CmdServe(const Args& args, Graph g, std::ostream& out,
+// src/server/service.h). With --snapshot the engine is restored by
+// persist::Load instead of built from a graph source (`g` is then empty):
+// the replica cold-starts in O(read) and answers its first query warm.
+int CmdServe(const Args& args, std::optional<Graph> g, std::ostream& out,
              std::ostream& err) {
   auto parse_u64 = [&](const char* key, uint64_t fallback, uint64_t* value) {
     *value = fallback;
@@ -426,11 +451,23 @@ int CmdServe(const Args& args, Graph g, std::ostream& out,
     return 2;
   }
 
+  std::unique_ptr<core::Engine> engine;
+  if (args.Has("snapshot")) {
+    auto loaded = persist::Load(args.Get("snapshot"));
+    if (!loaded.ok()) {
+      err << "error: " << loaded.status().ToString() << "\n";
+      return util::CliExitCode(loaded.status().code());
+    }
+    engine = std::move(loaded).value();
+  } else {
+    engine = std::make_unique<core::Engine>(std::move(*g));
+  }
+
   server::ServiceOptions service_options;
   service_options.default_timeout_ms = timeout_ms;
   service_options.default_max_memory_mb = max_memory_mb;
   service_options.max_inflight = static_cast<uint32_t>(max_inflight);
-  server::SkylineService service(std::move(g), service_options);
+  server::SkylineService service(std::move(engine), service_options);
 
   server::ServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port);
@@ -455,11 +492,209 @@ int CmdServe(const Args& args, Graph g, std::ostream& out,
     f << server.port() << "\n";
   }
   out << "serving 127.0.0.1:" << server.port() << " (workers "
-      << server_threads << ", max-inflight " << max_inflight << ")"
-      << std::endl;
+      << server_threads << ", max-inflight " << max_inflight;
+  if (const auto& info = service.engine().snapshot_info(); info.has_value()) {
+    out << ", snapshot " << info->id;
+  }
+  out << ")" << std::endl;
   server.Serve();
   out << "served " << server.requests_served() << " request(s)\n";
   return 0;
+}
+
+// Renders a snapshot manifest as the stable nsky.snapshot.v1 document.
+void WriteManifestJson(const persist::Manifest& m, const std::string& action,
+                       util::JsonWriter* w) {
+  w->BeginObject();
+  w->KV("schema", "nsky.snapshot.v1");
+  w->KV("command", "snapshot");
+  w->KV("action", action);
+  w->KV("path", m.path);
+  w->KV("id", m.id);
+  w->KV("format_version", static_cast<uint64_t>(m.format_version));
+  w->KV("file_bytes", m.file_bytes);
+  w->Key("sections");
+  w->BeginArray();
+  for (const persist::SectionInfo& s : m.sections) {
+    w->BeginObject();
+    w->KV("name", s.name);
+    w->KV("id", static_cast<uint64_t>(s.id));
+    w->KV("aux", static_cast<uint64_t>(s.aux));
+    w->KV("offset", s.offset);
+    w->KV("bytes", s.bytes);
+    w->KV("crc32", static_cast<uint64_t>(s.crc32));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void PrintManifestText(const persist::Manifest& m, std::ostream& out) {
+  out << "snapshot " << m.path << "\n"
+      << "  id " << m.id << ", format v" << m.format_version << ", "
+      << m.file_bytes << " bytes, " << m.sections.size() << " section(s)\n";
+  for (const persist::SectionInfo& s : m.sections) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %10llu bytes at %-10llu crc32 %08x%s%s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.bytes),
+                  static_cast<unsigned long long>(s.offset), s.crc32,
+                  s.aux != 0 ? " bits " : "",
+                  s.aux != 0 ? std::to_string(s.aux).c_str() : "");
+    out << line;
+  }
+}
+
+// Parses the --warm spec: "all" (default), "none", or a comma-separated
+// list of engine algorithm names.
+bool ParseWarmSpec(const std::string& spec,
+                   std::vector<core::Algorithm>* algorithms,
+                   std::ostream& err) {
+  if (spec == "none") return true;
+  std::string list = spec == "all" ? "filter-refine,base,cset,2hop" : spec;
+  std::istringstream in(list);
+  std::string name;
+  while (std::getline(in, name, ',')) {
+    if (auto parsed = core::ParseAlgorithm(name)) {
+      algorithms->push_back(*parsed);
+    } else {
+      err << "error: unknown algorithm '" << name << "' in --warm\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// `nsky snapshot save`: build an engine (from a graph source, warmed by
+// running real queries so the saved artifact widths match what the solvers
+// request, or from an existing snapshot via --snapshot, the resave path)
+// and serialize it to --output.
+int CmdSnapshotSave(const Args& args, std::ostream& out, std::ostream& err) {
+  if (!args.Has("output")) {
+    err << "error: snapshot save requires --output FILE\n";
+    return 2;
+  }
+  std::unique_ptr<core::Engine> engine;
+  if (args.Has("snapshot")) {
+    if (args.Has("input") || args.Has("standin") || args.Has("generate")) {
+      err << "error: provide either --snapshot or a graph source, not both\n";
+      return 2;
+    }
+    auto loaded = persist::Load(args.Get("snapshot"));
+    if (!loaded.ok()) return EmitFailure(args, loaded.status(), out, err);
+    engine = std::move(loaded).value();
+  } else {
+    auto g = LoadInput(args, err);
+    if (!g.has_value()) return 2;
+    uint32_t threads = 1;
+    if (!ParseThreads(args, &threads, err)) return 2;
+    std::vector<core::Algorithm> algorithms;
+    if (!ParseWarmSpec(args.Get("warm", "all"), &algorithms, err)) return 2;
+    engine = std::make_unique<core::Engine>(std::move(*g));
+    core::SolverOptions options;
+    options.threads = threads;
+    for (core::Algorithm algorithm : algorithms) {
+      options.algorithm = algorithm;
+      engine->Query(options);
+    }
+    if (!algorithms.empty()) {
+      // Orderings the clique / centrality consumers share; cheap relative
+      // to the artifacts above and they complete the artifact coverage.
+      engine->prepared().DegreeOrder();
+      engine->prepared().Cores();
+    }
+  }
+  if (util::Status s = persist::Save(*engine, args.Get("output")); !s.ok()) {
+    return EmitFailure(args, s, out, err);
+  }
+  auto manifest = persist::Inspect(args.Get("output"));
+  if (!manifest.ok()) return EmitFailure(args, manifest.status(), out, err);
+  if (args.Has("json")) {
+    util::JsonWriter w;
+    WriteManifestJson(manifest.value(), "save", &w);
+    out << std::move(w).Take() << "\n";
+  } else {
+    out << "saved ";
+    PrintManifestText(manifest.value(), out);
+  }
+  return 0;
+}
+
+// `nsky snapshot load`: restore an engine under the CLI's execution limits
+// and report what came back. The smoke test for "will this artifact serve".
+int CmdSnapshotLoad(const Args& args, std::ostream& out, std::ostream& err) {
+  if (!args.Has("snapshot")) {
+    err << "error: snapshot load requires --snapshot FILE\n";
+    return 2;
+  }
+  util::ExecutionContext ctx;
+  if (!ParseContext(args, &ctx, err)) return 2;
+  auto loaded = persist::Load(args.Get("snapshot"), ctx);
+  if (!loaded.ok()) return EmitFailure(args, loaded.status(), out, err);
+  core::Engine& engine = *loaded.value();
+  const auto& info = engine.snapshot_info();
+  const core::PreparedGraph& prepared = engine.prepared();
+  if (args.Has("json")) {
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "nsky.snapshot.v1");
+    w.KV("command", "snapshot");
+    w.KV("action", "load");
+    w.KV("path", args.Get("snapshot"));
+    w.KV("id", info->id);
+    w.KV("format_version", static_cast<uint64_t>(info->format_version));
+    w.KV("file_bytes", info->file_bytes);
+    w.KV("sections", static_cast<uint64_t>(info->sections));
+    WriteGraphJson(engine.graph(), &w);
+    w.Key("artifacts");
+    w.BeginObject();
+    w.KV("filter", prepared.PeekFilter() != nullptr);
+    w.KV("two_hop", prepared.PeekTwoHop() != nullptr);
+    w.KV("degree_order", prepared.PeekDegreeOrder() != nullptr);
+    w.KV("cores", prepared.PeekCores() != nullptr);
+    w.KV("candidate_blooms",
+         static_cast<uint64_t>(prepared.CandidateBloomWidths().size()));
+    w.KV("full_blooms",
+         static_cast<uint64_t>(prepared.FullBloomWidths().size()));
+    w.EndObject();
+    w.EndObject();
+    out << std::move(w).Take() << "\n";
+  } else {
+    out << "loaded snapshot " << args.Get("snapshot") << ": id " << info->id
+        << ", n=" << engine.graph().NumVertices()
+        << ", m=" << engine.graph().NumEdges() << ", " << info->sections
+        << " section(s)\n";
+  }
+  return 0;
+}
+
+// `nsky snapshot inspect`: offline fsck. Validates the header, table and
+// every section checksum without constructing an engine, then reports the
+// per-section layout. Exit status mirrors what Load() would say.
+int CmdSnapshotInspect(const Args& args, std::ostream& out,
+                       std::ostream& err) {
+  if (!args.Has("snapshot")) {
+    err << "error: snapshot inspect requires --snapshot FILE\n";
+    return 2;
+  }
+  auto manifest = persist::Inspect(args.Get("snapshot"));
+  if (!manifest.ok()) return EmitFailure(args, manifest.status(), out, err);
+  if (args.Has("json")) {
+    util::JsonWriter w;
+    WriteManifestJson(manifest.value(), "inspect", &w);
+    out << std::move(w).Take() << "\n";
+  } else {
+    PrintManifestText(manifest.value(), out);
+  }
+  return 0;
+}
+
+int CmdSnapshot(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.subcommand == "save") return CmdSnapshotSave(args, out, err);
+  if (args.subcommand == "load") return CmdSnapshotLoad(args, out, err);
+  if (args.subcommand == "inspect") return CmdSnapshotInspect(args, out, err);
+  err << "error: snapshot requires a subcommand: save, load or inspect\n";
+  return 2;
 }
 
 // Self-report of the process-wide metrics registry (counters the solvers
@@ -631,7 +866,7 @@ int CmdDatasets(std::ostream& out) {
 void PrintUsage(std::ostream& out) {
   out << "usage: nsky <command> [options]\n"
          "commands: stats skyline candidates generate centrality group-max\n"
-         "          clique topk-cliques serve datasets metrics help\n"
+         "          clique topk-cliques serve snapshot datasets metrics help\n"
          "graph sources: --input FILE | --standin NAME [--scale small|full]\n"
          "               | --generate SPEC (er:N:P, ba:N:M, pl:N:BETA:AVG,\n"
          "                 social:N:AVG, clique:N, cycle:N, path:N, star:N,\n"
@@ -665,6 +900,15 @@ void PrintUsage(std::ostream& out) {
          "             [--max-requests N] [--idle-timeout-ms N]\n"
          "             (loopback HTTP: /v1/skyline /v1/engine_stats\n"
          "              /v1/queries /v1/metrics /healthz; shed -> 429)\n"
+         "snapshots: snapshot save <graph source> --output FILE\n"
+         "             [--warm all|none|ALGO,...] (build + warm an engine,\n"
+         "             serialize it; --snapshot IN instead of a graph\n"
+         "             source re-saves an existing snapshot canonically)\n"
+         "           snapshot load --snapshot FILE (restore + report)\n"
+         "           snapshot inspect --snapshot FILE (offline fsck:\n"
+         "             header/table/checksum validation, section layout)\n"
+         "           skyline/serve --snapshot FILE (query or serve from a\n"
+         "             restored engine; first query is warm)\n"
          "exit codes: 0 ok, 1 runtime/io, 2 usage, 4 deadline, 5 cancelled,\n"
          "            6 resource exhausted, 7 unavailable (shed/draining)\n"
          "see src/tools/cli.h for per-command options and JSON schemas\n";
@@ -687,6 +931,7 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
   }
   if (args.command == "datasets") return CmdDatasets(out);
   if (args.command == "metrics") return CmdMetrics(args, out, err);
+  if (args.command == "snapshot") return CmdSnapshot(args, out, err);
 
   static const char* kGraphCommands[] = {
       "stats",      "skyline",   "candidates", "generate",
@@ -707,8 +952,29 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
     return 2;
   }
 
-  auto g = LoadInput(args, err);
-  if (!g.has_value()) return 2;
+  // skyline/serve can start from a snapshot instead of a graph source; the
+  // two are mutually exclusive so there is never a question of which graph
+  // the command ran against.
+  const bool from_snapshot =
+      args.Has("snapshot") &&
+      (args.command == "skyline" || args.command == "serve");
+  if (from_snapshot &&
+      (args.Has("input") || args.Has("standin") || args.Has("generate"))) {
+    err << "error: --snapshot and graph sources "
+           "(--input/--standin/--generate) are mutually exclusive\n";
+    return 2;
+  }
+  if (args.Has("snapshot") && !from_snapshot) {
+    err << "error: --snapshot is not supported for command '" << args.command
+        << "'\n";
+    return 2;
+  }
+
+  std::optional<Graph> g;
+  if (!from_snapshot) {
+    g = LoadInput(args, err);
+    if (!g.has_value()) return 2;
+  }
   NSKY_COUNTER_INC("nsky.cli.runs");
 
   // --trace: collect phase spans for this command only, then dump them.
@@ -725,12 +991,12 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
     if (args.command == "stats") {
       code = CmdStats(args, *g, out);
     } else if (args.command == "skyline") {
-      code = CmdSkyline(args, *g, out, err,
+      code = CmdSkyline(args, g.has_value() ? &*g : nullptr, out, err,
                         args.Has("metrics-out") ? &engine_prom : nullptr);
     } else if (args.command == "candidates") {
       code = CmdCandidates(args, *g, out, err);
     } else if (args.command == "serve") {
-      code = CmdServe(args, std::move(*g), out, err);
+      code = CmdServe(args, std::move(g), out, err);
     } else if (args.command == "generate") {
       code = CmdGenerate(args, *g, out, err);
     } else if (args.command == "centrality") {

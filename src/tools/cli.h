@@ -25,6 +25,28 @@
 //              /v1/engine_stats, /v1/queries, /v1/metrics, /healthz.
 //              --port 0 binds an ephemeral port (written to --port-file);
 //              --max-requests N exits after N requests (0 = run forever).
+//   snapshot   save|load|inspect -- persistent engine snapshots
+//              (src/persist/, format in src/persist/format.h):
+//                snapshot save <graph source> --output FILE
+//                  [--warm all|none|ALGO,...] [--threads N]
+//                  build an engine, warm its artifact cache by running the
+//                  named algorithms (default "all" = filter-refine, base,
+//                  cset, 2hop, plus the degree/core orderings), then
+//                  serialize graph + artifacts to FILE. With --snapshot IN
+//                  instead of a graph source, re-saves an existing snapshot
+//                  (byte-identical output: the format is canonical).
+//                snapshot load --snapshot FILE
+//                  restore an engine (honouring --timeout-ms /
+//                  --max-memory-mb) and report what came back.
+//                snapshot inspect --snapshot FILE
+//                  offline fsck: validate header, section table and every
+//                  section checksum without building an engine; print the
+//                  per-section layout. Exit code matches what load would
+//                  report for the same damage.
+//              skyline/serve also accept --snapshot FILE in place of a
+//              graph source; the restored engine answers its first query
+//              warm and advertises the snapshot id (/healthz,
+//              /v1/engine_stats, flight-recorder origin).
 //   datasets   (no options)                       list stand-in registry
 //   metrics    [--format json|prom]               dump the process-wide
 //              metrics registry (nsky.metrics.v1 JSON, or Prometheus
@@ -112,6 +134,13 @@
 //   queries    (embedded under "recent_queries" by skyline --stats, or
 //              standalone from Engine::RecentQueriesJson): see
 //              core/flight_recorder.h for the nsky.queries.v1 layout.
+//   snapshot   {"schema":"nsky.snapshot.v1","command":"snapshot",
+//               "action":"save"|"inspect","path",<string>,"id",<16 hex>,
+//               "format_version",<uint>,"file_bytes",<uint>,
+//               "sections":[{"name","id","aux","offset","bytes","crc32"}]}
+//              ("action":"load" reports the same header fields plus the
+//              restored "graph" and an "artifacts" presence map instead of
+//              the section list). Emitted by `snapshot ... --json`.
 #ifndef NSKY_TOOLS_CLI_H_
 #define NSKY_TOOLS_CLI_H_
 

@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), dependency-free.
+//
+// Used by the persistent-snapshot subsystem (src/persist/) to checksum every
+// on-disk section so corruption fails closed instead of producing a wrong
+// engine. The implementation is the classic 256-entry table walk: not the
+// fastest possible, but byte-order independent, allocation-free, and fast
+// enough that section checksumming is a small fraction of the file IO it
+// protects.
+#ifndef NSKY_UTIL_CRC32_H_
+#define NSKY_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nsky::util {
+
+// CRC-32 of `data[0, size)`. Equivalent to Crc32Update(0, data, size).
+uint32_t Crc32(const void* data, size_t size);
+
+// Incremental form: feed chunks in order, starting from `crc = 0`. The
+// running value already includes the standard pre/post inversion, so any
+// prefix's value equals Crc32() over that prefix.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace nsky::util
+
+#endif  // NSKY_UTIL_CRC32_H_

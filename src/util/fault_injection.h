@@ -22,6 +22,14 @@
 //                       edge line on.
 //   pool.chunk_delay_ms every thread-pool slice sleeps N milliseconds
 //                       before running (drives deadline paths).
+//   persist.short_read  persist::Load/Inspect report a truncated snapshot
+//                       file (IO_ERROR) on the Nth read on.
+//   persist.short_write persist::Save reports a failed section write
+//                       (IO_ERROR) on the Nth section on.
+//   persist.corrupt_section
+//                       persist::Load/Inspect report a checksum mismatch
+//                       (IO_ERROR) for the Nth validated section on, as if
+//                       the bytes rotted on disk.
 //
 // Failure sites count their hits with ShouldFail(site): the site fires on
 // every call once the hit count reaches the armed value, so "=1" means

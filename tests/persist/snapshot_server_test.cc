@@ -1,0 +1,131 @@
+// Serving from a restored snapshot: the service built over persist::Load's
+// engine answers /v1/skyline byte-identically to one built cold from the
+// same graph, advertises the snapshot id on /healthz and /v1/engine_stats,
+// and serves its first query warm.
+#include <unistd.h>
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "persist/snapshot.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/service.h"
+
+namespace nsky::server {
+namespace {
+
+graph::Graph TestGraph() { return graph::MakeChungLuPowerLaw(300, 2.3, 5, 3); }
+
+std::string NormalizeSeconds(const std::string& json) {
+  static const std::regex kSeconds("\"seconds\":[0-9.eE+-]+");
+  return std::regex_replace(json, kSeconds, "\"seconds\":X");
+}
+
+// A server over a caller-supplied engine, Serve() on a helper thread.
+class EngineServer {
+ public:
+  explicit EngineServer(std::unique_ptr<core::Engine> engine) {
+    service_ = std::make_unique<SkylineService>(std::move(engine),
+                                                ServiceOptions{});
+    server_ = std::make_unique<Server>(service_.get(), ServerOptions{});
+    auto status = server_->Listen();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  ~EngineServer() {
+    server_->Shutdown();
+    serve_thread_.join();
+  }
+
+  uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<SkylineService> service_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+};
+
+// Saves a warm snapshot of TestGraph() and returns a loaded engine.
+std::unique_ptr<core::Engine> LoadedEngine(const std::string& name) {
+  core::Engine cold(TestGraph());
+  cold.Query();  // warm the default algorithm's artifacts
+  std::string path = ::testing::TempDir() + "/nsky_persist_srv_" +
+                     std::to_string(static_cast<long>(::getpid())) + "_" + name;
+  EXPECT_TRUE(persist::Save(cold, path).ok());
+  auto loaded = persist::Load(path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return std::move(loaded).value();
+}
+
+TEST(SnapshotServer, HealthzAdvertisesSnapshotId) {
+  auto engine = LoadedEngine("server_healthz.nsnap");
+  std::string id = engine->snapshot_info()->id;
+  EngineServer ts(std::move(engine));
+  auto r = HttpGet(ts.port(), "/healthz");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+  // First line stays "ok" (liveness probes keep working); the snapshot id
+  // rides on its own line.
+  EXPECT_EQ(r.value().body, "ok\nsnapshot " + id + "\n");
+}
+
+TEST(SnapshotServer, EngineStatsCarrySnapshotProvenance) {
+  auto engine = LoadedEngine("server_stats.nsnap");
+  std::string id = engine->snapshot_info()->id;
+  EngineServer ts(std::move(engine));
+  auto stats = HttpGet(ts.port(), "/v1/engine_stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("\"snapshot\":{\"id\":\"" + id + "\""),
+            std::string::npos)
+      << stats.value().body;
+  auto prom = HttpGet(ts.port(), "/v1/metrics");
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom.value().body.find("nsky_engine_snapshot_loaded{id=\"" + id),
+            std::string::npos);
+}
+
+TEST(SnapshotServer, SkylineByteIdenticalToColdBuiltService) {
+  EngineServer warm(LoadedEngine("server_parity.nsnap"));
+  EngineServer cold(std::make_unique<core::Engine>(TestGraph()));
+  for (const char* query :
+       {"/v1/skyline", "/v1/skyline?algo=base&threads=2",
+        "/v1/skyline?algo=2hop&threads=8"}) {
+    auto a = HttpGet(warm.port(), query);
+    auto b = HttpGet(cold.port(), query);
+    ASSERT_TRUE(a.ok() && b.ok()) << query;
+    EXPECT_EQ(a.value().status, 200) << query;
+    EXPECT_EQ(NormalizeSeconds(a.value().body),
+              NormalizeSeconds(b.value().body))
+        << query;
+  }
+}
+
+TEST(SnapshotServer, FirstQueryIsWarmAndRecorderCarriesOrigin) {
+  auto engine = LoadedEngine("server_warm.nsnap");
+  std::string id = engine->snapshot_info()->id;
+  EngineServer ts(std::move(engine));
+  auto r = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 200);
+  auto stats = HttpGet(ts.port(), "/v1/engine_stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("\"warm_queries\":1"), std::string::npos)
+      << stats.value().body;
+  EXPECT_NE(stats.value().body.find("\"cold_queries\":0"), std::string::npos);
+  auto queries = HttpGet(ts.port(), "/v1/queries");
+  ASSERT_TRUE(queries.ok());
+  EXPECT_NE(queries.value().body.find("\"origin\":\"snapshot:" + id + "\""),
+            std::string::npos)
+      << queries.value().body;
+}
+
+}  // namespace
+}  // namespace nsky::server

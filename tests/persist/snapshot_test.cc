@@ -1,0 +1,417 @@
+#include "persist/snapshot.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "persist/format.h"
+#include "util/crc32.h"
+#include "util/execution_context.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace nsky::persist {
+namespace {
+
+using core::Algorithm;
+using core::Engine;
+using core::SolverOptions;
+using graph::Graph;
+
+Graph TestGraph() { return graph::MakeChungLuPowerLaw(400, 2.2, 6, 7); }
+
+// The algorithm x thread grid every determinism assertion runs over.
+std::vector<Algorithm> Algorithms() {
+  return {Algorithm::kBaseSky, Algorithm::kFilterRefine, Algorithm::kBaseCSet,
+          Algorithm::kBase2Hop};
+}
+std::vector<uint32_t> ThreadCounts() { return {1, 2, 8}; }
+
+// Warms every artifact the solvers can request, so the snapshot carries the
+// full PreparedGraph population.
+void WarmEngine(Engine* engine) {
+  for (Algorithm algorithm : Algorithms()) {
+    for (uint32_t threads : ThreadCounts()) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      engine->Query(options);
+    }
+  }
+  engine->prepared().DegreeOrder();
+  engine->prepared().Cores();
+}
+
+// ctest runs each test as its own process, potentially in parallel; key the
+// scratch files by pid so concurrent tests never race on a shared path.
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/nsky_persist_" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Saves a warm engine over TestGraph() and returns the snapshot path.
+std::string SaveWarmSnapshot(const std::string& name) {
+  Engine engine(TestGraph());
+  WarmEngine(&engine);
+  std::string path = TempPath(name);
+  EXPECT_TRUE(Save(engine, path).ok());
+  return path;
+}
+
+// Everything deterministic in a query outcome: the result arrays plus every
+// SkylineStats counter except wall-clock seconds.
+void ExpectSameOutcome(const core::SkylineResult& cold,
+                       const core::SkylineResult& warm,
+                       const std::string& label) {
+  EXPECT_EQ(cold.skyline, warm.skyline) << label;
+  EXPECT_EQ(cold.dominator, warm.dominator) << label;
+  EXPECT_EQ(cold.stats.candidate_count, warm.stats.candidate_count) << label;
+  EXPECT_EQ(cold.stats.pairs_examined, warm.stats.pairs_examined) << label;
+  EXPECT_EQ(cold.stats.bloom_prunes, warm.stats.bloom_prunes) << label;
+  EXPECT_EQ(cold.stats.degree_prunes, warm.stats.degree_prunes) << label;
+  EXPECT_EQ(cold.stats.inclusion_tests, warm.stats.inclusion_tests) << label;
+  EXPECT_EQ(cold.stats.nbr_elements_scanned, warm.stats.nbr_elements_scanned)
+      << label;
+  EXPECT_EQ(cold.stats.aux_peak_bytes, warm.stats.aux_peak_bytes) << label;
+  EXPECT_EQ(cold.stats.threads, warm.stats.threads) << label;
+  EXPECT_EQ(cold.stats.degraded_from, warm.stats.degraded_from) << label;
+}
+
+TEST(SnapshotRoundTrip, LoadedEngineMatchesColdBitForBit) {
+  std::string path = SaveWarmSnapshot("roundtrip.nsnap");
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Engine& warm = *loaded.value();
+
+  // A fresh cold engine answers every (algorithm, threads) cell; the loaded
+  // engine must agree on every deterministic bit, aux_peak_bytes included.
+  Engine cold(TestGraph());
+  for (Algorithm algorithm : Algorithms()) {
+    for (uint32_t threads : ThreadCounts()) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      std::string label = std::string(core::AlgorithmName(algorithm)) + "/t" +
+                          std::to_string(threads);
+      ExpectSameOutcome(cold.Query(options), warm.Query(options), label);
+    }
+  }
+}
+
+TEST(SnapshotRoundTrip, LoadedEngineServesWarmFromFirstQuery) {
+  std::string path = SaveWarmSnapshot("warmth.nsnap");
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Engine& engine = *loaded.value();
+
+  EXPECT_EQ(engine.prepared().builds(), 0u);
+  for (Algorithm algorithm : Algorithms()) {
+    core::QueryRequest request;
+    request.options.algorithm = algorithm;
+    core::QueryResponse response = engine.Execute(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response.warm) << core::AlgorithmName(algorithm);
+  }
+  // Restored artifacts ARE the warm state: nothing was rebuilt.
+  EXPECT_EQ(engine.prepared().builds(), 0u);
+  core::EngineStats stats = engine.StatsSnapshot();
+  EXPECT_EQ(stats.cold_queries, 0u);
+  EXPECT_EQ(stats.warm_queries, static_cast<uint64_t>(Algorithms().size()));
+  EXPECT_EQ(stats.artifact_builds, 0u);
+}
+
+TEST(SnapshotRoundTrip, LoadStampsProvenance) {
+  std::string path = SaveWarmSnapshot("provenance.nsnap");
+  auto manifest = Inspect(path);
+  ASSERT_TRUE(manifest.ok());
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto& info = loaded.value()->snapshot_info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->id, manifest.value().id);
+  EXPECT_EQ(info->format_version, kFormatVersion);
+  EXPECT_EQ(info->sections, manifest.value().sections.size());
+  EXPECT_EQ(info->file_bytes, manifest.value().file_bytes);
+  auto stats = loaded.value()->StatsSnapshot();
+  ASSERT_TRUE(stats.snapshot.has_value());
+  EXPECT_EQ(stats.snapshot->id, manifest.value().id);
+}
+
+TEST(SnapshotRoundTrip, ResaveOfLoadedEngineIsByteIdentical) {
+  std::string path = SaveWarmSnapshot("resave_a.nsnap");
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok());
+  std::string path_b = TempPath("resave_b.nsnap");
+  ASSERT_TRUE(Save(*loaded.value(), path_b).ok());
+  EXPECT_EQ(ReadFile(path), ReadFile(path_b));
+}
+
+TEST(SnapshotRoundTrip, SavingTheSameStateTwiceIsByteIdentical) {
+  Engine engine(TestGraph());
+  WarmEngine(&engine);
+  std::string a = TempPath("same_a.nsnap");
+  std::string b = TempPath("same_b.nsnap");
+  ASSERT_TRUE(Save(engine, a).ok());
+  ASSERT_TRUE(Save(engine, b).ok());
+  EXPECT_EQ(ReadFile(a), ReadFile(b));
+}
+
+TEST(SnapshotRoundTrip, ColdEngineSavesGraphOnly) {
+  // No queries ran: only meta + graph are materialized, and the loaded
+  // engine still works (it just builds artifacts on demand).
+  Engine engine(TestGraph());
+  std::string path = TempPath("cold.nsnap");
+  ASSERT_TRUE(Save(engine, path).ok());
+  auto manifest = Inspect(path);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().sections.size(), 2u);
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok());
+  Engine cold(TestGraph());
+  ExpectSameOutcome(cold.Query(), loaded.value()->Query(), "cold-snapshot");
+}
+
+TEST(SnapshotInspect, ReportsEverySectionWithSizes) {
+  std::string path = SaveWarmSnapshot("inspect.nsnap");
+  auto manifest = Inspect(path);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  const Manifest& m = manifest.value();
+  EXPECT_EQ(m.format_version, kFormatVersion);
+  EXPECT_EQ(m.id.size(), 16u);
+  EXPECT_EQ(m.file_bytes, ReadFile(path).size());
+  ASSERT_GE(m.sections.size(), 6u);
+  // Sections come back in canonical (id, aux) order with aligned payloads.
+  for (size_t i = 0; i < m.sections.size(); ++i) {
+    const SectionInfo& s = m.sections[i];
+    EXPECT_EQ(s.offset % kAlignment, 0u) << s.name;
+    EXPECT_GT(s.bytes, 0u) << s.name;
+    if (i > 0) {
+      const SectionInfo& prev = m.sections[i - 1];
+      EXPECT_TRUE(prev.id < s.id || (prev.id == s.id && prev.aux < s.aux));
+    }
+  }
+  EXPECT_EQ(m.sections.front().name, "meta");
+  EXPECT_EQ(m.sections[1].name, "graph");
+}
+
+// ---------------------------------------------------------------------------
+// Corruption corpus: every damage pattern fails closed, with a distinct
+// message, through the canonical status table -- and Inspect() reports the
+// same verdict Load() does.
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = SaveWarmSnapshot("corpus.nsnap");
+    bytes_ = ReadFile(path_);
+    ASSERT_GT(bytes_.size(), kHeaderBytes);
+  }
+
+  // Writes `bytes` as a sibling snapshot and expects both Load and Inspect
+  // to fail with `code` and a message containing `needle`.
+  void ExpectFailsClosed(const std::string& bytes, util::StatusCode code,
+                         const std::string& needle) {
+    std::string path = TempPath("corrupt.nsnap");
+    WriteFile(path, bytes);
+    auto loaded = Load(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), code) << loaded.status().ToString();
+    EXPECT_NE(loaded.status().message().find(needle), std::string::npos)
+        << loaded.status().ToString();
+    auto manifest = Inspect(path);
+    ASSERT_FALSE(manifest.ok());
+    EXPECT_EQ(manifest.status().code(), code);
+    EXPECT_NE(manifest.status().message().find(needle), std::string::npos);
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruption, MissingFileIsNotFound) {
+  auto loaded = Load(TempPath("does_not_exist.nsnap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotCorruption, TruncatedBelowHeader) {
+  ExpectFailsClosed(bytes_.substr(0, 10), util::StatusCode::kIoError,
+                    "smaller than the 64-byte header");
+}
+
+TEST_F(SnapshotCorruption, TruncatedMidSection) {
+  ExpectFailsClosed(bytes_.substr(0, bytes_.size() - 100),
+                    util::StatusCode::kIoError, "snapshot truncated");
+}
+
+TEST_F(SnapshotCorruption, WrongMagic) {
+  std::string bytes = bytes_;
+  bytes[0] ^= 0x01;
+  ExpectFailsClosed(bytes, util::StatusCode::kInvalidArgument,
+                    "not a nsky snapshot");
+}
+
+TEST_F(SnapshotCorruption, FutureFormatVersionIsRejected) {
+  std::string bytes = bytes_;
+  uint32_t future = kFormatVersion + 1;
+  std::memcpy(bytes.data() + 8, &future, sizeof(future));
+  // Keep the header checksum valid so the *version* check is what fires.
+  uint32_t crc = util::Crc32(bytes.data(), 32);
+  std::memcpy(bytes.data() + 32, &crc, sizeof(crc));
+  ExpectFailsClosed(bytes, util::StatusCode::kInvalidArgument,
+                    "is not supported by this build");
+}
+
+TEST_F(SnapshotCorruption, HeaderBitFlip) {
+  std::string bytes = bytes_;
+  bytes[16] ^= 0x40;  // file_bytes field; header CRC no longer matches
+  ExpectFailsClosed(bytes, util::StatusCode::kIoError,
+                    "header checksum mismatch");
+}
+
+TEST_F(SnapshotCorruption, SectionTableBitFlip) {
+  std::string bytes = bytes_;
+  bytes[kHeaderBytes + 4] ^= 0x01;  // inside the first table entry
+  ExpectFailsClosed(bytes, util::StatusCode::kIoError,
+                    "section table hash mismatch");
+}
+
+TEST_F(SnapshotCorruption, PayloadBitFlip) {
+  auto manifest = Inspect(path_);
+  ASSERT_TRUE(manifest.ok());
+  std::string bytes = bytes_;
+  // Flip one bit in the middle of the last section's payload.
+  const SectionInfo& s = manifest.value().sections.back();
+  bytes[s.offset + s.bytes / 2] ^= 0x10;
+  ExpectFailsClosed(bytes, util::StatusCode::kIoError, "checksum mismatch");
+}
+
+TEST_F(SnapshotCorruption, EveryPayloadByteIsCovered) {
+  // Sparse sweep: a bit flip anywhere in any payload must be caught.
+  auto manifest = Inspect(path_);
+  ASSERT_TRUE(manifest.ok());
+  for (const SectionInfo& s : manifest.value().sections) {
+    for (uint64_t at : {uint64_t{0}, s.bytes / 3, s.bytes - 1}) {
+      std::string bytes = bytes_;
+      bytes[s.offset + at] ^= 0x80;
+      std::string path = TempPath("sweep.nsnap");
+      WriteFile(path, bytes);
+      EXPECT_FALSE(Load(path).ok()) << s.name << " byte " << at;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the persist.* sites drive the same failure paths without
+// touching the file.
+
+class SnapshotFaults : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Disarm(); }
+  void TearDown() override { util::FaultInjector::Disarm(); }
+};
+
+TEST_F(SnapshotFaults, ShortWriteFailsSave) {
+  Engine engine(TestGraph());
+  WarmEngine(&engine);
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("persist.short_write=1"));
+  util::Status status = Save(engine, TempPath("fault_write.nsnap"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+  EXPECT_NE(status.message().find("short write"), std::string::npos);
+}
+
+TEST_F(SnapshotFaults, ShortReadFailsLoad) {
+  std::string path = SaveWarmSnapshot("fault_read.nsnap");
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("persist.short_read=1"));
+  auto loaded = Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("short read"), std::string::npos);
+}
+
+TEST_F(SnapshotFaults, CorruptSectionFailsLoadAtNthSection) {
+  std::string path = SaveWarmSnapshot("fault_corrupt.nsnap");
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("persist.corrupt_section=3"));
+  auto loaded = Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos);
+  // Disarmed again, the same file loads fine: the damage was injected.
+  util::FaultInjector::Disarm();
+  EXPECT_TRUE(Load(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Execution limits: Load honors the context like any other engine entry
+// point.
+
+TEST(SnapshotLimits, ByteBudgetTooSmallIsResourceExhausted) {
+  std::string path = SaveWarmSnapshot("budget.nsnap");
+  util::ExecutionContext ctx;
+  ctx.set_byte_budget(1024);  // smaller than the file itself
+  auto loaded = Load(path, ctx);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(SnapshotLimits, GenerousBudgetSucceeds) {
+  std::string path = SaveWarmSnapshot("budget_ok.nsnap");
+  util::ExecutionContext ctx;
+  ctx.set_byte_budget(uint64_t{1} << 32);
+  EXPECT_TRUE(Load(path, ctx).ok());
+}
+
+TEST(SnapshotLimits, ExpiredDeadlineIsDeadlineExceeded) {
+  std::string path = SaveWarmSnapshot("deadline.nsnap");
+  util::ExecutionContext ctx;
+  ctx.set_deadline(util::ExecutionContext::Clock::now() -
+                   std::chrono::milliseconds(1));
+  auto loaded = Load(path, ctx);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDeadlineExceeded);
+}
+
+TEST(SnapshotLimits, CancelledTokenIsCancelled) {
+  std::string path = SaveWarmSnapshot("cancel.nsnap");
+  util::CancelToken token;
+  token.Cancel();
+  util::ExecutionContext ctx;
+  ctx.set_cancel_token(&token);
+  auto loaded = Load(path, ctx);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCancelled);
+}
+
+TEST(SnapshotIdHexTest, RendersSixteenLowercaseHexDigits) {
+  EXPECT_EQ(SnapshotIdHex(0), "0000000000000000");
+  EXPECT_EQ(SnapshotIdHex(0xDEADBEEF12345678ull), "deadbeef12345678");
+}
+
+}  // namespace
+}  // namespace nsky::persist
