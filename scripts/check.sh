@@ -3,7 +3,7 @@
 # a parallel-solver CLI smoke test.
 #
 # Usage: scripts/check.sh [--tsan | --faults | --engine | --observability |
-#                          --server | --persist] [build-dir]
+#                          --server | --persist | --chaos] [build-dir]
 #
 # Default mode configures a Debug build with AddressSanitizer + UBSan
 # (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
@@ -59,6 +59,16 @@
 # documented exit code. The right gate for changes to src/persist/* or the
 # snapshot verbs. (--tsan also runs the persist suites; ASan covers the
 # corruption decoders.)
+#
+# --chaos keeps the ASan build but runs the chaos- and server-labeled suites
+# (ctest -L 'chaos|server': crash-consistent saves, hot reload under
+# concurrent load, socket fault sites, client retry policy) and then
+# smoke-runs the serving stack with the server.* and persist.* fault sites
+# armed through NSKY_FAULTS: a save killed mid-write must leave the old
+# snapshot intact plus a partial temp, and a serve under an EINTR storm with
+# partial writes must still answer byte-identically to the CLI. The right
+# gate for changes to the crash-consistency protocol, the hot-reload path or
+# the socket hardening. (--tsan also runs the reload/drain/chaos suites.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -72,7 +82,7 @@ for arg in "$@"; do
     --tsan)
       SANITIZE=thread
       MODE=tsan
-      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness|^Server\.|^Service\.|^HttpParser\.|^Snapshot')
+      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness|^Server\.|^Service\.|^HttpParser\.|^Snapshot|^Reload|^Chaos\.|^CrashConsistency|^RetryPolicy|^RetryAfter|^ServeLifecycle')
       ;;
     --server)
       MODE=server
@@ -85,6 +95,10 @@ for arg in "$@"; do
     --persist)
       MODE=persist
       TEST_FILTER=(-L persist)
+      ;;
+    --chaos)
+      MODE=chaos
+      TEST_FILTER=(-L 'chaos|server')
       ;;
     --engine)
       MODE=engine
@@ -210,6 +224,61 @@ if [[ "$MODE" == persist ]]; then
 
   echo "check.sh: persist smoke OK (inspect fsck, snapshot query parity," \
        "canonical re-save, bit-flip fails closed)"
+  exit 0
+fi
+
+if [[ "$MODE" == chaos ]]; then
+  # 1. Crash-consistent save: a save killed mid-write (persist.crash_at_byte)
+  #    exits with IO_ERROR, leaves the destination bit-identical to the old
+  #    snapshot (inspect still passes) plus the partial temp a real kill -9
+  #    would leave behind.
+  TMP_SNAP="$(mktemp -u)"
+  "$NSKY" snapshot save --generate ba:2000:3:7 --output "$TMP_SNAP" >/dev/null
+  SUM_BEFORE="$(cksum < "$TMP_SNAP")"
+  code=0
+  NSKY_FAULTS=persist.crash_at_byte=128 "$NSKY" snapshot save \
+    --generate pl:3000:2.6:8:7 --output "$TMP_SNAP" 2>/dev/null >/dev/null \
+    || code=$?
+  [[ "$code" == 1 ]]
+  [[ "$(cksum < "$TMP_SNAP")" == "$SUM_BEFORE" ]]
+  [[ -f "$TMP_SNAP.tmp" ]]
+  "$NSKY" snapshot inspect --snapshot "$TMP_SNAP" >/dev/null
+  rm -f "$TMP_SNAP" "$TMP_SNAP.tmp"
+
+  # 2. Socket chaos: serve through an EINTR storm with every send capped at
+  #    7 bytes; the skyline body must still be byte-identical to the CLI's
+  #    and the liveness probe must still answer.
+  PORT_FILE="$(mktemp)"
+  : > "$PORT_FILE"
+  NSKY_FAULTS=server.eintr=8,server.partial_write=7 "$NSKY" serve \
+    --generate ba:2000:3:7 --port 0 --port-file "$PORT_FILE" \
+    --max-requests 2 >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$PORT_FILE" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$PORT_FILE" ]]
+  PORT="$(cat "$PORT_FILE")"
+
+  http_get() {
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf 'GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+  }
+
+  SERVED="$(http_get '/v1/skyline' | tr -d '\r' | sed '1,/^$/d')"
+  DIRECT="$("$NSKY" skyline --generate ba:2000:3:7 --engine --json)"
+  NORM_SERVED="$(echo "$SERVED" | sed -E 's/"seconds":[0-9.eE+-]+/"seconds":X/g')"
+  NORM_DIRECT="$(echo "$DIRECT" | sed -E 's/"seconds":[0-9.eE+-]+/"seconds":X/g')"
+  [[ "$NORM_SERVED" == "$NORM_DIRECT" ]]
+  http_get '/healthz' | grep -q '^ok'
+  wait "$SERVER_PID"
+  rm -f "$PORT_FILE"
+
+  echo "check.sh: chaos smoke OK (crash-at-byte leaves old snapshot +" \
+       "partial temp, serve correct under EINTR storm + partial writes)"
   exit 0
 fi
 

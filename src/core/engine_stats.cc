@@ -101,6 +101,14 @@ void WriteEngineStatsJson(const EngineStats& stats, util::JsonWriter* w) {
     w->KV("path", stats.snapshot->path);
     w->EndObject();
   }
+  if (stats.lifecycle.has_value()) {
+    w->Key("lifecycle");
+    w->BeginObject();
+    w->KV("reloads", stats.lifecycle->reloads);
+    w->KV("reload_failures", stats.lifecycle->reload_failures);
+    w->KV("cold_fallbacks", stats.lifecycle->cold_fallbacks);
+    w->EndObject();
+  }
   w->Key("cache");
   w->BeginObject();
   w->Key("filter");
@@ -173,6 +181,17 @@ std::string EngineStatsToPrometheus(const EngineStats& stats) {
     AppendCounterLine("nsky_engine_snapshot_file_bytes",
                       "id=\"" + stats.snapshot->id + "\"",
                       stats.snapshot->file_bytes, &out);
+  }
+  if (stats.lifecycle.has_value()) {
+    out.append("# TYPE nsky_engine_reloads counter\n");
+    AppendCounterLine("nsky_engine_reloads", "", stats.lifecycle->reloads,
+                      &out);
+    out.append("# TYPE nsky_engine_reload_failures counter\n");
+    AppendCounterLine("nsky_engine_reload_failures", "",
+                      stats.lifecycle->reload_failures, &out);
+    out.append("# TYPE nsky_engine_cold_fallbacks counter\n");
+    AppendCounterLine("nsky_engine_cold_fallbacks", "",
+                      stats.lifecycle->cold_fallbacks, &out);
   }
 
   // Group each metric family under one # TYPE line, as the format requires.

@@ -39,6 +39,16 @@ struct SnapshotInfo {
   std::string path;             // file the engine was loaded from
 };
 
+// Serving-lifecycle counters, owned by the serving front end (they must
+// survive engine hot-swaps, so they cannot live on the engine itself). The
+// front end stamps them onto a stats snapshot before rendering; absent for
+// engines that never reloaded or fell back.
+struct ServingLifecycle {
+  uint64_t reloads = 0;          // successful hot reloads
+  uint64_t reload_failures = 0;  // reload attempts that left the old engine
+  uint64_t cold_fallbacks = 0;   // startup snapshot failures -> cold build
+};
+
 // Point-in-time copy of one engine's serving counters.
 struct EngineStats {
   uint64_t queries_served = 0;
@@ -57,6 +67,10 @@ struct EngineStats {
 
   // Set iff the engine was restored from a persistent snapshot.
   std::optional<SnapshotInfo> snapshot;
+
+  // Set iff the serving front end recorded lifecycle events (hot reloads,
+  // cold fallbacks); see ServingLifecycle.
+  std::optional<ServingLifecycle> lifecycle;
 
   // Per-artifact hit / miss / build-time ledger of the artifact cache.
   PreparedGraph::CacheStats cache;
@@ -85,6 +99,8 @@ struct EngineStats {
 //  "shed_queries":..,"artifact_builds":..,
 //  ["snapshot":{"id":"..","format_version":..,"file_bytes":..,
 //               "sections":..,"path":".."},]  -- only for loaded engines
+//  ["lifecycle":{"reloads":..,"reload_failures":..,"cold_fallbacks":..},]
+//      -- only when the serving front end recorded lifecycle events
 //  "cache":{"filter":{"hits":..,"misses":..,"build_us":..},...,
 //           "candidate_blooms":{"<bits>":{...}},"full_blooms":{...}},
 //  "workspaces":[{"threads":..,"allocation_events":..,"allocated_bytes":..}],

@@ -23,10 +23,19 @@
 // IO_ERROR (exit 1: the file is damaged). A failed Load() returns no
 // engine -- there is no partially-restored state to observe.
 //
+// Crash consistency: Save() writes a same-directory temp file
+// (`path + ".tmp"`), fsyncs it, atomically renames it over `path`, then
+// fsyncs the directory. A crash (kill -9, power loss) at any byte offset
+// leaves either the previous snapshot or the new one at `path`, never a
+// torn file.
+//
 // Fault injection (util/fault_injection.h): `persist.short_write` fails
-// Save at its Nth section write, `persist.short_read` truncates Load at its
-// Nth section, `persist.corrupt_section` makes the Nth section's checksum
-// validation fail. All are zero-cost when NSKY_FAULTS is unset.
+// Save at its Nth section write (destination untouched, no temp file),
+// `persist.crash_at_byte=V` simulates a crash after at most V bytes of the
+// temp file (temp left behind un-fsynced, destination untouched),
+// `persist.short_read` truncates Load at its Nth section,
+// `persist.corrupt_section` makes the Nth section's checksum validation
+// fail. All are zero-cost when NSKY_FAULTS is unset.
 #ifndef NSKY_PERSIST_SNAPSHOT_H_
 #define NSKY_PERSIST_SNAPSHOT_H_
 
@@ -61,9 +70,10 @@ struct Manifest {
 };
 
 // Serializes the engine's graph and all currently-materialized artifacts to
-// `path` (overwriting any existing file). The engine is read-only during
-// the save; callers must not run queries concurrently (an Engine serves one
-// caller at a time, see core/engine.h).
+// `path` (atomically replacing any existing file via the temp+fsync+rename
+// protocol above). The engine is read-only during the save; callers must
+// not run queries concurrently (an Engine serves one caller at a time, see
+// core/engine.h).
 util::Status Save(const core::Engine& engine, const std::string& path);
 
 // Reads, validates and restores a snapshot, returning a fully warm engine
@@ -83,6 +93,12 @@ util::Result<std::unique_ptr<core::Engine>> Load(
 // an engine, and reports per-section sizes. A snapshot that passes
 // Inspect() will not fail Load() for integrity reasons.
 util::Result<Manifest> Inspect(const std::string& path);
+
+// Reads just the 64-byte header (magic + header CRC validated) and returns
+// the snapshot id without touching the section table or payloads. Cheap
+// enough to poll (`serve --watch-snapshot-ms`): one small read, no
+// allocation proportional to the file.
+util::Result<std::string> PeekSnapshotId(const std::string& path);
 
 // 16-lowercase-hex-digit rendering of a snapshot content hash.
 std::string SnapshotIdHex(uint64_t content_hash);

@@ -9,7 +9,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/strings.h"
 
@@ -157,6 +159,52 @@ util::Result<ClientResponse> HttpClient::Get(const std::string& target) {
     }
   }
   return util::Status::IoError("unreachable");
+}
+
+uint64_t HttpClient::BackoffMs(const RetryPolicy& policy, uint32_t attempt,
+                               uint64_t retry_after_s) {
+  if (policy.respect_retry_after && retry_after_s != ~uint64_t{0}) {
+    const uint64_t ms = retry_after_s > policy.max_backoff_ms / 1000
+                            ? policy.max_backoff_ms
+                            : retry_after_s * 1000;
+    return ms;
+  }
+  // Exponential: base << attempt, saturating at the cap.
+  uint64_t ms = policy.base_backoff_ms;
+  for (uint32_t i = 0; i < attempt && ms < policy.max_backoff_ms; ++i) {
+    ms *= 2;
+  }
+  return ms < policy.max_backoff_ms ? ms : policy.max_backoff_ms;
+}
+
+util::Result<ClientResponse> HttpClient::GetWithRetry(
+    const std::string& target, const RetryPolicy& policy) {
+  const uint32_t attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  util::Result<ClientResponse> last =
+      util::Status::IoError("no attempts made");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    last = Get(target);
+    // Retry transport errors and explicit backpressure; anything else --
+    // success or a non-retryable status -- is the answer.
+    if (last.ok() && last.value().status != 429 &&
+        last.value().status != 503) {
+      return last;
+    }
+    if (attempt + 1 == attempts) break;
+    uint64_t retry_after_s = ~uint64_t{0};
+    if (last.ok()) {
+      if (auto it = last.value().headers.find("retry-after");
+          it != last.value().headers.end()) {
+        uint64_t parsed = 0;
+        if (util::ParseUint64(it->second, &parsed)) retry_after_s = parsed;
+      }
+    }
+    const uint64_t sleep_ms = BackoffMs(policy, attempt, retry_after_s);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+  return last;
 }
 
 util::Result<ClientResponse> HttpClient::Raw(const std::string& bytes) {

@@ -22,6 +22,19 @@ struct ClientResponse {
   std::string body;
 };
 
+// Deterministic bounded retry with exponential backoff for GetWithRetry().
+// Transport errors and backpressure statuses (429 shed, 503 draining) are
+// retried; any other response returns immediately. When the response
+// carries a Retry-After header (seconds) and `respect_retry_after` is set,
+// that value -- capped at max_backoff_ms -- replaces the computed backoff,
+// so the client sleeps exactly as long as the server asked.
+struct RetryPolicy {
+  uint32_t max_attempts = 3;       // total tries, including the first
+  uint64_t base_backoff_ms = 10;   // backoff before retry k is base << k
+  uint64_t max_backoff_ms = 2000;  // cap for both computed and Retry-After
+  bool respect_retry_after = true;
+};
+
 class HttpClient {
  public:
   // Connects lazily on the first Get().
@@ -33,6 +46,19 @@ class HttpClient {
   // One GET round trip on the (kept-alive) connection. Reconnects once if
   // the server closed the connection between calls.
   util::Result<ClientResponse> Get(const std::string& target);
+
+  // Get() under a retry policy: transport failures and 429/503 responses
+  // are retried up to policy.max_attempts with exponential backoff (or the
+  // server's Retry-After, see RetryPolicy). Returns the last response or
+  // transport error once attempts are exhausted.
+  util::Result<ClientResponse> GetWithRetry(const std::string& target,
+                                            const RetryPolicy& policy = {});
+
+  // The backoff GetWithRetry sleeps before retry `attempt` (0-based) given
+  // a response's Retry-After seconds (SIZE_MAX when absent). Exposed so
+  // tests can pin the schedule without sleeping through it.
+  static uint64_t BackoffMs(const RetryPolicy& policy, uint32_t attempt,
+                            uint64_t retry_after_s);
 
   // Sends raw bytes and reads one response; for malformed-request tests.
   util::Result<ClientResponse> Raw(const std::string& bytes);

@@ -197,8 +197,15 @@ const char* HttpReasonPhrase(int status) {
 
 std::string SerializeResponse(int status, std::string_view content_type,
                               std::string_view body, bool keep_alive) {
+  return SerializeResponse(status, content_type, body, keep_alive, {});
+}
+
+std::string SerializeResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out;
-  out.reserve(body.size() + 128);
+  out.reserve(body.size() + 128 + extra_headers.size() * 32);
   out.append("HTTP/1.1 ");
   out.append(std::to_string(status));
   out.append(" ");
@@ -209,6 +216,12 @@ std::string SerializeResponse(int status, std::string_view content_type,
   out.append(std::to_string(body.size()));
   out.append("\r\nConnection: ");
   out.append(keep_alive ? "keep-alive" : "close");
+  for (const auto& [name, value] : extra_headers) {
+    out.append("\r\n");
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+  }
   out.append("\r\n\r\n");
   out.append(body);
   return out;

@@ -18,6 +18,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace nsky::server {
 
@@ -81,9 +83,16 @@ class HttpParser {
 
 // Serializes a response with Content-Type, Content-Length and Connection
 // headers. `status` must be one of the codes the server emits (the reason
-// phrase table covers them).
+// phrase table covers them). `extra_headers` rides between the fixed set
+// and the blank line: response metadata like Retry-After on 429/503 and
+// X-Nsky-Snapshot provenance, which must NOT perturb the body (the skyline
+// body is pinned byte-identical to the CLI's --json output).
 std::string SerializeResponse(int status, std::string_view content_type,
                               std::string_view body, bool keep_alive);
+std::string SerializeResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers);
 
 // Canonical reason phrase for the status codes this server emits;
 // "Unknown" for anything else.

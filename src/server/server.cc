@@ -9,10 +9,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <string_view>
+#include <thread>
 
 #include "server/http.h"
+#include "util/fault_injection.h"
 
 namespace nsky::server {
 
@@ -20,6 +24,10 @@ namespace {
 
 // Acceptor poll granularity: the latency bound on noticing Shutdown().
 constexpr int kAcceptPollMs = 20;
+
+// Backoff when accept() reports descriptor exhaustion: the pending
+// connection stays in the listen backlog, so waiting beats spinning.
+constexpr auto kAcceptBackoff = std::chrono::milliseconds(1);
 
 }  // namespace
 
@@ -37,6 +45,10 @@ Server::~Server() {
 }
 
 util::Status Server::Listen() {
+  // A peer that resets mid-response must surface as an EPIPE/ECONNRESET
+  // error on the worker, never as a process-killing signal. send() already
+  // passes MSG_NOSIGNAL; this covers every other write path.
+  std::signal(SIGPIPE, SIG_IGN);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return util::Status::IoError(std::string("socket: ") +
@@ -99,8 +111,20 @@ void Server::AcceptLoop() {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kAcceptPollMs);
     if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+    if (util::FaultInjector::Enabled() &&
+        util::FaultInjector::ShouldFailBurst("server.accept_fail")) {
+      // Injected EMFILE: exercise the same backoff as the real exhaustion
+      // path below. Burst semantics, so the loop converges.
+      std::this_thread::sleep_for(kAcceptBackoff);
+      continue;
+    }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(kAcceptBackoff);
+      }
+      continue;  // EINTR / ECONNABORTED / exhaustion: re-poll and retry
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
@@ -134,10 +158,22 @@ void Server::SessionLoop() {
 }
 
 bool Server::WriteAll(int fd, std::string_view data) {
+  const bool faults = util::FaultInjector::Enabled();
+  // server.partial_write caps each send() at N bytes, forcing the
+  // continuation loop below to carry the response across many syscalls.
+  const uint64_t cap =
+      faults ? util::FaultInjector::Value("server.partial_write") : 0;
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
-                             MSG_NOSIGNAL);
+    size_t chunk = data.size() - written;
+    if (cap > 0 && chunk > cap) chunk = static_cast<size_t>(cap);
+    ssize_t n;
+    if (faults && util::FaultInjector::ShouldFailBurst("server.eintr")) {
+      n = -1;
+      errno = EINTR;
+    } else {
+      n = ::send(fd, data.data() + written, chunk, MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -158,8 +194,15 @@ void Server::HandleConnection(int fd) {
   while (keep_open) {
     // Read until one full request is parsed (or the client goes away).
     while (parser.state() == HttpParser::State::kNeedMore) {
+      const bool faults = util::FaultInjector::Enabled();
+      int ready;
       pollfd pfd{fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, read_timeout_ms);
+      if (faults && util::FaultInjector::ShouldFailBurst("server.eintr")) {
+        ready = -1;
+        errno = EINTR;
+      } else {
+        ready = ::poll(&pfd, 1, read_timeout_ms);
+      }
       if (ready == 0) {
         // Slow client. Mid-request it earns a 408; an idle keep-alive
         // connection is just closed.
@@ -180,7 +223,14 @@ void Server::HandleConnection(int fd) {
         keep_open = false;
         break;
       }
-      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      ssize_t n;
+      if (faults && util::FaultInjector::ShouldFailBurst("server.eintr")) {
+        n = -1;
+        errno = EINTR;
+      } else {
+        n = ::recv(fd, buf, sizeof(buf), 0);
+      }
+      if (n < 0 && errno == EINTR) continue;  // signal: retry the read
       if (n <= 0) {  // client closed or reset
         keep_open = false;
         break;
@@ -204,7 +254,7 @@ void Server::HandleConnection(int fd) {
         request.keep_alive && !stop_.load(std::memory_order_relaxed);
     if (!WriteAll(fd, SerializeResponse(response.status,
                                         response.content_type, response.body,
-                                        keep_alive))) {
+                                        keep_alive, response.headers))) {
       break;
     }
     if (options_.max_requests > 0 &&

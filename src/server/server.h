@@ -24,6 +24,14 @@
 // Slow clients: a connection that stays silent for `idle_timeout_ms` is
 // closed; if it had sent part of a request, it is first answered with 408
 // and the nsky.error.v1 body (an idle keep-alive connection just closes).
+//
+// Hostile-environment hardening: SIGPIPE is ignored on the serve path (a
+// peer resetting mid-response surfaces as a send error, never a signal),
+// EINTR is retried on poll/accept/recv/send, and accept() backs off briefly
+// on descriptor exhaustion (EMFILE/ENFILE) instead of spinning. The
+// `server.accept_fail`, `server.eintr` and `server.partial_write` fault
+// sites (util/fault_injection.h) drive these paths deterministically in the
+// chaos suite.
 #ifndef NSKY_SERVER_SERVER_H_
 #define NSKY_SERVER_SERVER_H_
 

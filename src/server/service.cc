@@ -6,6 +6,7 @@
 #include "core/flight_recorder.h"
 #include "core/skyline_json.h"
 #include "core/solver.h"
+#include "persist/snapshot.h"
 #include "util/execution_context.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
@@ -35,12 +36,57 @@ bool ReadUintParam(const HttpRequest& request, const char* name,
 
 SkylineService::SkylineService(graph::Graph g, ServiceOptions options)
     : options_(options),
-      engine_(std::make_unique<core::Engine>(std::move(g))) {}
+      serving_(std::make_shared<ServingEngine>(
+          std::make_unique<core::Engine>(std::move(g)))) {}
 
 SkylineService::SkylineService(std::unique_ptr<core::Engine> engine,
                                ServiceOptions options)
-    : options_(options), engine_(std::move(engine)) {
-  NSKY_CHECK_MSG(engine_ != nullptr, "SkylineService requires an engine");
+    : options_(options) {
+  NSKY_CHECK_MSG(engine != nullptr, "SkylineService requires an engine");
+  serving_ = std::make_shared<ServingEngine>(std::move(engine));
+}
+
+std::shared_ptr<SkylineService::ServingEngine> SkylineService::Serving()
+    const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return serving_;
+}
+
+util::Result<core::SnapshotInfo> SkylineService::Reload(
+    const std::string& path, const util::ExecutionContext& ctx) {
+  // One reload at a time; queries keep flowing on the current engine while
+  // the new one loads and validates.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  util::Result<std::unique_ptr<core::Engine>> loaded =
+      persist::Load(path, ctx);
+  if (!loaded.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return loaded.status();
+  }
+  core::SnapshotInfo info = *loaded.value()->snapshot_info();
+  auto fresh = std::make_shared<ServingEngine>(std::move(loaded).value());
+  std::shared_ptr<ServingEngine> old;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    old = std::move(serving_);
+    serving_ = std::move(fresh);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  // `old` drops here; the engine it owns is destroyed now if idle, or when
+  // the last in-flight request that pinned it completes.
+  return info;
+}
+
+void SkylineService::StampLifecycle(core::EngineStats* stats) const {
+  const uint64_t reloads = reloads_.load(std::memory_order_relaxed);
+  const uint64_t failures = reload_failures_.load(std::memory_order_relaxed);
+  const uint64_t fallbacks = cold_fallbacks_.load(std::memory_order_relaxed);
+  if (reloads == 0 && failures == 0 && fallbacks == 0) return;
+  core::ServingLifecycle lifecycle;
+  lifecycle.reloads = reloads;
+  lifecycle.reload_failures = failures;
+  lifecycle.cold_fallbacks = fallbacks;
+  stats->lifecycle = lifecycle;
 }
 
 HttpResponse SkylineService::ErrorResponse(const util::Status& status) {
@@ -68,6 +114,14 @@ HttpResponse SkylineService::ErrorResponseWithHttpStatus(
 }
 
 HttpResponse SkylineService::Handle(const HttpRequest& request) {
+  if (request.path == "/v1/admin/reload") {
+    if (request.method != "POST") {
+      return ErrorResponseWithHttpStatus(
+          405, util::Status::InvalidArgument(
+                   "reload requires POST, got '" + request.method + "'"));
+    }
+    return HandleReload(request);
+  }
   if (request.method != "GET") {
     return ErrorResponseWithHttpStatus(
         405, util::Status::InvalidArgument("method '" + request.method +
@@ -83,13 +137,66 @@ HttpResponse SkylineService::Handle(const HttpRequest& request) {
     response.body = "ok\n";
     // Snapshot-restored replicas advertise their artifact id so rollout
     // tooling can confirm which snapshot a fleet member is serving from.
-    if (const auto& info = engine_->snapshot_info(); info.has_value()) {
+    // The id lives on the engine, so a hot reload flips it with the swap.
+    std::shared_ptr<ServingEngine> serving = Serving();
+    if (const auto& info = serving->engine->snapshot_info();
+        info.has_value()) {
       response.body += "snapshot " + info->id + "\n";
     }
     return response;
   }
   return ErrorResponse(
       util::Status::NotFound("no route for '" + request.path + "'"));
+}
+
+HttpResponse SkylineService::HandleReload(const HttpRequest& request) {
+  auto it = request.query.find("snapshot");
+  if (it == request.query.end() || it->second.empty()) {
+    return ErrorResponse(util::Status::InvalidArgument(
+        "reload requires a snapshot=PATH query parameter"));
+  }
+  const std::string& path = it->second;
+  uint64_t timeout_ms = 0;
+  uint64_t max_memory_mb = 0;
+  std::string error;
+  if (!ReadUintParam(request, "timeout_ms", &timeout_ms, &error) ||
+      !ReadUintParam(request, "max_memory_mb", &max_memory_mb, &error)) {
+    return ErrorResponse(util::Status::InvalidArgument(error));
+  }
+  util::ExecutionContext ctx;
+  if (timeout_ms > 0) ctx.set_timeout_ms(timeout_ms);
+  if (max_memory_mb > 0) ctx.set_byte_budget(max_memory_mb * 1024 * 1024);
+
+  std::string previous_id;
+  {
+    std::shared_ptr<ServingEngine> serving = Serving();
+    if (const auto& info = serving->engine->snapshot_info();
+        info.has_value()) {
+      previous_id = info->id;
+    }
+  }
+
+  util::Result<core::SnapshotInfo> swapped = Reload(path, ctx);
+  if (!swapped.ok()) return ErrorResponse(swapped.status());
+
+  util::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "nsky.reload.v1");
+  w.Key("snapshot");
+  w.BeginObject();
+  w.KV("id", swapped.value().id);
+  w.KV("format_version",
+       static_cast<uint64_t>(swapped.value().format_version));
+  w.KV("file_bytes", swapped.value().file_bytes);
+  w.KV("sections", static_cast<uint64_t>(swapped.value().sections));
+  w.KV("path", swapped.value().path);
+  w.EndObject();
+  w.KV("previous_id", previous_id);
+  w.KV("reloads", reloads_.load(std::memory_order_relaxed));
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take() + "\n";
+  return response;
 }
 
 HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
@@ -126,14 +233,23 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
   if (repeat == 0) repeat = 1;
   options.threads = static_cast<uint32_t>(threads);
 
+  // Pin the serving epoch for the whole request: a concurrent hot reload
+  // swaps the pointer, but this request keeps querying -- and accounting
+  // against -- the engine it started with.
+  std::shared_ptr<ServingEngine> serving = Serving();
+  core::Engine* engine = serving->engine.get();
+
   // Admission control. Deterministic by construction: the decision depends
   // only on how many queries are admitted right now, never on timing inside
   // the engine. Shed requests are accounted by the engine so they show up
   // next to served ones.
   if (draining_.load(std::memory_order_relaxed)) {
     util::Status status = util::Status::Unavailable("server is draining");
-    engine_->RecordRejection(options, status);
-    return ErrorResponse(status);
+    engine->RecordRejection(options, status);
+    HttpResponse response = ErrorResponse(status);
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(options_.retry_after_drain_s));
+    return response;
   }
   uint32_t admitted = inflight_.fetch_add(1, std::memory_order_acq_rel);
   if (admitted >= options_.max_inflight) {
@@ -141,8 +257,11 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
     util::Status status = util::Status::ResourceExhausted(
         "over capacity: " + std::to_string(options_.max_inflight) +
         " queries already in flight");
-    engine_->RecordRejection(options, status);
-    return ErrorResponse(status);
+    engine->RecordRejection(options, status);
+    HttpResponse response = ErrorResponse(status);
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(options_.retry_after_shed_s));
+    return response;
   }
 
   core::QueryRequest query;
@@ -156,10 +275,10 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
 
   HttpResponse response;
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    std::lock_guard<std::mutex> lock(serving->mu);
     core::QueryResponse result;
     for (uint64_t i = 0; i < repeat; ++i) {
-      engine_->Execute(query, &result);
+      engine->Execute(query, &result);
       if (!result.ok()) break;
     }
     if (!result.ok()) {
@@ -172,9 +291,14 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
     doc.repeat = repeat;
     doc.include_engine_docs = stats != 0;
     response.body =
-        core::SkylineDocToJson(engine_->graph(), result.result, doc,
-                               engine_.get()) +
+        core::SkylineDocToJson(engine->graph(), result.result, doc, engine) +
         "\n";
+  }
+  // Provenance rides in a header, never the body: the body stays
+  // byte-identical to the CLI's --engine --json output, and concurrency
+  // tests match each response to the snapshot that produced it.
+  if (const auto& info = engine->snapshot_info(); info.has_value()) {
+    response.headers.emplace_back("X-Nsky-Snapshot", info->id);
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
   return response;
@@ -182,10 +306,16 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
 
 HttpResponse SkylineService::HandleEngineStats() {
   HttpResponse response;
-  // StatsSnapshot reads the same non-atomic counters Execute writes, so it
-  // takes its turn on the engine like a query does.
-  std::lock_guard<std::mutex> lock(engine_mu_);
-  response.body = engine_->StatsJson() + "\n";
+  std::shared_ptr<ServingEngine> serving = Serving();
+  core::EngineStats stats;
+  {
+    // StatsSnapshot reads the same non-atomic counters Execute writes, so
+    // it takes its turn on the engine like a query does.
+    std::lock_guard<std::mutex> lock(serving->mu);
+    stats = serving->engine->StatsSnapshot();
+  }
+  StampLifecycle(&stats);
+  response.body = core::EngineStatsToJson(stats) + "\n";
   return response;
 }
 
@@ -197,7 +327,8 @@ HttpResponse SkylineService::HandleQueries(const HttpRequest& request) {
   }
   HttpResponse response;
   // The flight recorder is safe against concurrent writers; no lock.
-  response.body = engine_->RecentQueriesJson(max) + "\n";
+  std::shared_ptr<ServingEngine> serving = Serving();
+  response.body = serving->engine->RecentQueriesJson(max) + "\n";
   return response;
 }
 
@@ -206,10 +337,14 @@ HttpResponse SkylineService::HandleMetrics() {
   response.content_type = "text/plain; version=0.0.4";
   std::string body =
       util::metrics::SnapshotToPrometheus(util::metrics::Snap());
+  std::shared_ptr<ServingEngine> serving = Serving();
+  core::EngineStats stats;
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
-    body += core::EngineStatsToPrometheus(engine_->StatsSnapshot());
+    std::lock_guard<std::mutex> lock(serving->mu);
+    stats = serving->engine->StatsSnapshot();
   }
+  StampLifecycle(&stats);
+  body += core::EngineStatsToPrometheus(stats);
   response.body = std::move(body);
   return response;
 }

@@ -1,6 +1,8 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "centrality/centrality.h"
 #include "centrality/greedy.h"
@@ -59,7 +62,7 @@ struct Args {
 // Options that do not take a value.
 bool IsBareFlag(const std::string& key) {
   return key == "no-skyline-pruning" || key == "lazy" || key == "json" ||
-         key == "engine" || key == "stats";
+         key == "engine" || key == "stats" || key == "fallback-cold-build";
 }
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& raw,
@@ -410,6 +413,10 @@ int CmdSkyline(const Args& args, const Graph* g_in, std::ostream& out,
 // src/server/service.h). With --snapshot the engine is restored by
 // persist::Load instead of built from a graph source (`g` is then empty):
 // the replica cold-starts in O(read) and answers its first query warm.
+// --fallback-cold-build degrades a failed snapshot load to a cold build
+// from the graph source instead of exiting; --watch-snapshot-ms N polls the
+// snapshot file's id and hot-reloads on change (same swap as the
+// POST /v1/admin/reload endpoint).
 int CmdServe(const Args& args, std::optional<Graph> g, std::ostream& out,
              std::ostream& err) {
   auto parse_u64 = [&](const char* key, uint64_t fallback, uint64_t* value) {
@@ -429,13 +436,23 @@ int CmdServe(const Args& args, std::optional<Graph> g, std::ostream& out,
   uint64_t max_memory_mb = 0;
   uint64_t max_requests = 0;
   uint64_t idle_timeout_ms = 0;
+  uint64_t watch_snapshot_ms = 0;
   if (!parse_u64("port", 0, &port) ||
       !parse_u64("server-threads", 4, &server_threads) ||
       !parse_u64("max-inflight", 4, &max_inflight) ||
       !parse_u64("timeout-ms", 0, &timeout_ms) ||
       !parse_u64("max-memory-mb", 0, &max_memory_mb) ||
       !parse_u64("max-requests", 0, &max_requests) ||
-      !parse_u64("idle-timeout-ms", 5000, &idle_timeout_ms)) {
+      !parse_u64("idle-timeout-ms", 5000, &idle_timeout_ms) ||
+      !parse_u64("watch-snapshot-ms", 0, &watch_snapshot_ms)) {
+    return 2;
+  }
+  if (watch_snapshot_ms > 0 && !args.Has("snapshot")) {
+    err << "error: --watch-snapshot-ms requires --snapshot\n";
+    return 2;
+  }
+  if (args.Has("fallback-cold-build") && !args.Has("snapshot")) {
+    err << "error: --fallback-cold-build requires --snapshot\n";
     return 2;
   }
   if (port > 65535) {
@@ -452,13 +469,28 @@ int CmdServe(const Args& args, std::optional<Graph> g, std::ostream& out,
   }
 
   std::unique_ptr<core::Engine> engine;
+  bool cold_fallback = false;
   if (args.Has("snapshot")) {
     auto loaded = persist::Load(args.Get("snapshot"));
-    if (!loaded.ok()) {
+    if (loaded.ok()) {
+      engine = std::move(loaded).value();
+    } else if (args.Has("fallback-cold-build")) {
+      // Graceful startup degradation: a corrupt/missing snapshot demotes
+      // the replica to a cold build from the graph source (loaded lazily,
+      // only now that it is needed) instead of refusing to start.
+      err << "warning: snapshot load failed ("
+          << loaded.status().ToString()
+          << "); falling back to a cold build\n";
+      if (!g.has_value()) {
+        g = LoadInput(args, err);
+        if (!g.has_value()) return 2;
+      }
+      engine = std::make_unique<core::Engine>(std::move(*g));
+      cold_fallback = true;
+    } else {
       err << "error: " << loaded.status().ToString() << "\n";
       return util::CliExitCode(loaded.status().code());
     }
-    engine = std::move(loaded).value();
   } else {
     engine = std::make_unique<core::Engine>(std::move(*g));
   }
@@ -468,6 +500,7 @@ int CmdServe(const Args& args, std::optional<Graph> g, std::ostream& out,
   service_options.default_max_memory_mb = max_memory_mb;
   service_options.max_inflight = static_cast<uint32_t>(max_inflight);
   server::SkylineService service(std::move(engine), service_options);
+  if (cold_fallback) service.RecordColdFallback();
 
   server::ServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port);
@@ -480,24 +513,65 @@ int CmdServe(const Args& args, std::optional<Graph> g, std::ostream& out,
     return 1;
   }
   // --port-file: how scripts and tests learn an ephemeral port. Written
-  // (and flushed) before serving starts so a watcher never races the bind.
+  // only after the socket is bound, and published atomically (temp +
+  // rename), so a reader never observes an empty or partial file.
   if (args.Has("port-file")) {
-    std::ofstream f(args.Get("port-file"),
-                    std::ios::binary | std::ios::trunc);
-    if (!f) {
-      err << "error: cannot open --port-file '" << args.Get("port-file")
-          << "'\n";
+    const std::string port_path = args.Get("port-file");
+    const std::string port_tmp = port_path + ".tmp";
+    {
+      std::ofstream f(port_tmp, std::ios::binary | std::ios::trunc);
+      if (!f) {
+        err << "error: cannot open --port-file '" << port_path << "'\n";
+        return 1;
+      }
+      f << server.port() << "\n";
+      if (!f) {
+        err << "error: cannot write --port-file '" << port_path << "'\n";
+        return 1;
+      }
+    }
+    if (std::rename(port_tmp.c_str(), port_path.c_str()) != 0) {
+      err << "error: cannot publish --port-file '" << port_path << "'\n";
       return 1;
     }
-    f << server.port() << "\n";
   }
   out << "serving 127.0.0.1:" << server.port() << " (workers "
       << server_threads << ", max-inflight " << max_inflight;
   if (const auto& info = service.engine().snapshot_info(); info.has_value()) {
     out << ", snapshot " << info->id;
   }
+  if (cold_fallback) out << ", cold-fallback";
   out << ")" << std::endl;
+
+  // --watch-snapshot-ms: poll the snapshot file's id (header-only read;
+  // safe because Save publishes atomically) and hot-reload on change.
+  std::atomic<bool> stop_watching{false};
+  std::thread watcher;
+  if (watch_snapshot_ms > 0) {
+    const std::string snapshot_path = args.Get("snapshot");
+    std::string last_id;
+    if (const auto& info = service.engine().snapshot_info();
+        info.has_value()) {
+      last_id = info->id;
+    }
+    watcher = std::thread([&service, &stop_watching, snapshot_path,
+                           watch_snapshot_ms, last_id]() mutable {
+      while (!stop_watching.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(watch_snapshot_ms));
+        auto id = persist::PeekSnapshotId(snapshot_path);
+        if (!id.ok() || id.value() == last_id) continue;
+        auto swapped = service.Reload(snapshot_path);
+        // A failed reload leaves the serving engine untouched and counts
+        // in the lifecycle stats; keep last_id so the next poll retries.
+        if (swapped.ok()) last_id = swapped.value().id;
+      }
+    });
+  }
+
   server.Serve();
+  stop_watching.store(true, std::memory_order_relaxed);
+  if (watcher.joinable()) watcher.join();
   out << "served " << server.requests_served() << " request(s)\n";
   return 0;
 }
@@ -898,8 +972,12 @@ void PrintUsage(std::ostream& out) {
          "             [--server-threads N] [--max-inflight N]\n"
          "             [--timeout-ms N] [--max-memory-mb N]\n"
          "             [--max-requests N] [--idle-timeout-ms N]\n"
+         "             [--watch-snapshot-ms N] [--fallback-cold-build]\n"
          "             (loopback HTTP: /v1/skyline /v1/engine_stats\n"
-         "              /v1/queries /v1/metrics /healthz; shed -> 429)\n"
+         "              /v1/queries /v1/metrics /healthz, plus\n"
+         "              POST /v1/admin/reload?snapshot=PATH for\n"
+         "              zero-downtime engine swaps; shed -> 429 and\n"
+         "              draining -> 503 both carry Retry-After)\n"
          "snapshots: snapshot save <graph source> --output FILE\n"
          "             [--warm all|none|ALGO,...] (build + warm an engine,\n"
          "             serialize it; --snapshot IN instead of a graph\n"
@@ -954,14 +1032,23 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
 
   // skyline/serve can start from a snapshot instead of a graph source; the
   // two are mutually exclusive so there is never a question of which graph
-  // the command ran against.
+  // the command ran against. Exception: `serve --fallback-cold-build` names
+  // both on purpose -- the graph source is the degraded-startup fallback
+  // when the snapshot fails to load (CmdServe loads it lazily).
   const bool from_snapshot =
       args.Has("snapshot") &&
       (args.command == "skyline" || args.command == "serve");
-  if (from_snapshot &&
+  const bool fallback_serve =
+      args.command == "serve" && args.Has("fallback-cold-build");
+  if (from_snapshot && !fallback_serve &&
       (args.Has("input") || args.Has("standin") || args.Has("generate"))) {
     err << "error: --snapshot and graph sources "
            "(--input/--standin/--generate) are mutually exclusive\n";
+    return 2;
+  }
+  if (args.Has("fallback-cold-build") && args.command != "serve") {
+    err << "error: --fallback-cold-build is not supported for command '"
+        << args.command << "'\n";
     return 2;
   }
   if (args.Has("snapshot") && !from_snapshot) {

@@ -19,12 +19,20 @@
 //   serve      (same inputs) [--port N] [--server-threads N]
 //              [--max-inflight N] [--timeout-ms N] [--max-memory-mb N]
 //              [--max-requests N] [--idle-timeout-ms N] [--port-file FILE]
+//              [--watch-snapshot-ms N] [--fallback-cold-build]
 //              serve the graph over loopback HTTP 1.1 (src/server/):
 //              /v1/skyline answers the nsky.skyline.v1 document
 //              byte-identically to `skyline --engine --json`, plus
-//              /v1/engine_stats, /v1/queries, /v1/metrics, /healthz.
-//              --port 0 binds an ephemeral port (written to --port-file);
-//              --max-requests N exits after N requests (0 = run forever).
+//              /v1/engine_stats, /v1/queries, /v1/metrics, /healthz, and
+//              POST /v1/admin/reload?snapshot=PATH (zero-downtime engine
+//              hot-swap; answers nsky.reload.v1).
+//              --port 0 binds an ephemeral port (written atomically to
+//              --port-file after the bind); --max-requests N exits after N
+//              requests (0 = run forever). With --snapshot,
+//              --watch-snapshot-ms N polls the file's snapshot id and
+//              hot-reloads on change, and --fallback-cold-build degrades a
+//              failed load to a cold build from the graph source (which is
+//              then allowed alongside --snapshot).
 //   snapshot   save|load|inspect -- persistent engine snapshots
 //              (src/persist/, format in src/persist/format.h):
 //                snapshot save <graph source> --output FILE

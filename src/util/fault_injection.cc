@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "util/strings.h"
@@ -22,11 +24,13 @@ struct Site {
   Site(std::string n, uint64_t v) : name(std::move(n)), value(v) {}
 };
 
+// One arming epoch. Immutable after publication except the atomic hit
+// counters, so readers may scan it concurrently with a re-arm: armers
+// publish a fresh Config and never touch an old one.
 struct Config {
   // A handful of sites at most: linear scan beats a map and keeps lookup
   // allocation-free. A deque because Site holds an atomic (not movable).
   std::deque<Site> sites;
-  std::atomic<bool> enabled{false};
 
   Site* Find(const char* name) {
     for (Site& s : sites) {
@@ -36,56 +40,91 @@ struct Config {
   }
 };
 
-bool Arm(Config& config, const std::string& spec) {
-  config.enabled.store(false, std::memory_order_release);
-  config.sites.clear();
-  if (spec.empty()) return true;
+// Parses the spec into a fresh Config. Returns nullptr when the spec does
+// not parse; an empty spec parses to an empty (disarmed) Config.
+std::unique_ptr<Config> Parse(const std::string& spec) {
+  auto config = std::make_unique<Config>();
+  if (spec.empty()) return config;
   for (std::string_view entry : SplitFields(spec, ",")) {
     entry = Trim(entry);
     size_t eq = entry.find('=');
-    if (eq == std::string_view::npos || eq == 0) return false;
+    if (eq == std::string_view::npos || eq == 0) return nullptr;
     uint64_t value = 0;
     if (!ParseUint64(Trim(entry.substr(eq + 1)), &value) || value == 0) {
-      return false;
+      return nullptr;
     }
-    config.sites.emplace_back(std::string(Trim(entry.substr(0, eq))), value);
+    config->sites.emplace_back(std::string(Trim(entry.substr(0, eq))),
+                               value);
   }
-  config.enabled.store(!config.sites.empty(), std::memory_order_release);
-  return true;
+  return config;
 }
 
-Config& GetConfig() {
-  static Config* config = [] {
-    auto* c = new Config();
+struct Global {
+  std::atomic<bool> enabled{false};
+  // The current epoch; readers load it with acquire and scan without any
+  // lock. Old epochs are parked in `retired` rather than freed: a reader
+  // that loaded a pointer just before a re-arm may still be scanning it,
+  // and tests arm a handful of times at most, so retiring is both safe
+  // and cheap (and keeps LeakSanitizer quiet).
+  std::atomic<Config*> config{nullptr};
+  std::mutex arm_mu;  // serializes armers; readers never take it
+  std::deque<std::unique_ptr<Config>> retired;
+};
+
+Global& GetGlobal() {
+  static Global* global = [] {
+    auto* g = new Global();
     const char* env = std::getenv("NSKY_FAULTS");
     if (env != nullptr && env[0] != '\0') {
       // A malformed env spec silently disarms; callers are tests/operators
       // who can check with ArmForTest() directly.
-      if (!Arm(*c, env)) c->sites.clear();
+      std::unique_ptr<Config> config = Parse(env);
+      if (config != nullptr && !config->sites.empty()) {
+        g->config.store(config.get(), std::memory_order_release);
+        g->retired.push_back(std::move(config));
+        g->enabled.store(true, std::memory_order_release);
+      }
     }
-    return c;
+    return g;
   }();
-  return *config;
+  return *global;
+}
+
+// The site entry for `name` in the current epoch, or nullptr when disarmed
+// or unarmed. The returned Site stays valid for the life of the process
+// (epochs are retired, never freed).
+Site* FindSite(const char* name) {
+  Global& global = GetGlobal();
+  if (!global.enabled.load(std::memory_order_acquire)) return nullptr;
+  Config* config = global.config.load(std::memory_order_acquire);
+  return config == nullptr ? nullptr : config->Find(name);
 }
 
 }  // namespace
 
 bool FaultInjector::Enabled() {
-  return GetConfig().enabled.load(std::memory_order_acquire);
+  return GetGlobal().enabled.load(std::memory_order_acquire);
 }
 
 bool FaultInjector::ShouldFail(const char* site) {
-  Config& config = GetConfig();
-  if (!config.enabled.load(std::memory_order_acquire)) return false;
-  Site* s = config.Find(site);
+  Site* s = FindSite(site);
   if (s == nullptr) return false;
   return s->hits.fetch_add(1, std::memory_order_relaxed) + 1 >= s->value;
 }
 
+bool FaultInjector::ShouldFailBurst(const char* site) {
+  Site* s = FindSite(site);
+  if (s == nullptr) return false;
+  return s->hits.fetch_add(1, std::memory_order_relaxed) + 1 <= s->value;
+}
+
+uint64_t FaultInjector::Value(const char* site) {
+  Site* s = FindSite(site);
+  return s == nullptr ? 0 : s->value;
+}
+
 uint64_t FaultInjector::DelayMs(const char* site) {
-  Config& config = GetConfig();
-  if (!config.enabled.load(std::memory_order_acquire)) return 0;
-  Site* s = config.Find(site);
+  Site* s = FindSite(site);
   return s == nullptr ? 0 : s->value;
 }
 
@@ -95,13 +134,19 @@ void FaultInjector::MaybeDelay(const char* site) {
 }
 
 bool FaultInjector::ArmForTest(const std::string& spec) {
-  Config& config = GetConfig();
-  if (!Arm(config, spec)) {
-    config.sites.clear();
-    config.enabled.store(false, std::memory_order_release);
-    return false;
-  }
-  return true;
+  Global& global = GetGlobal();
+  std::lock_guard<std::mutex> lock(global.arm_mu);
+  std::unique_ptr<Config> config = Parse(spec);
+  const bool ok = config != nullptr;
+  if (!ok) config = std::make_unique<Config>();
+  // Disable first so no reader starts a scan between the pointer swap and
+  // the enabled flip; readers mid-scan keep their (retired) epoch.
+  global.enabled.store(false, std::memory_order_release);
+  const bool armed = !config->sites.empty();
+  global.config.store(config.get(), std::memory_order_release);
+  global.retired.push_back(std::move(config));
+  global.enabled.store(ok && armed, std::memory_order_release);
+  return ok;
 }
 
 void FaultInjector::Disarm() { ArmForTest(""); }

@@ -30,15 +30,37 @@
 //                       persist::Load/Inspect report a checksum mismatch
 //                       (IO_ERROR) for the Nth validated section on, as if
 //                       the bytes rotted on disk.
+//   persist.crash_at_byte
+//                       persist::Save stops writing the temp file after at
+//                       most N bytes and returns without cleanup, as if the
+//                       process was killed mid-write. The destination file
+//                       is never touched.
+//   server.accept_fail  the server's accept() reports EMFILE for the first
+//                       N accepts (burst semantics), as if the process ran
+//                       out of file descriptors.
+//   server.eintr        the server's poll/recv/send calls report EINTR for
+//                       the first N calls (burst semantics), simulating a
+//                       signal storm.
+//   server.partial_write
+//                       the server's response writer sends at most N bytes
+//                       per send() call, forcing the partial-write
+//                       continuation path.
 //
 // Failure sites count their hits with ShouldFail(site): the site fires on
 // every call once the hit count reaches the armed value, so "=1" means
-// "always fail" and "=3" means "the third and later calls fail". Delay
-// sites read their value with DelayMs(site) on every call.
+// "always fail" and "=3" means "the third and later calls fail". Burst
+// sites use ShouldFailBurst(site): the site fires on the FIRST N calls and
+// then stays quiet, so retry loops eventually succeed. Delay sites read
+// their value with DelayMs(site) on every call; Value(site) exposes the
+// armed integer directly for sites that parameterize behavior (byte caps,
+// offsets).
 //
 // Tests arm sites programmatically with ArmForTest()/Disarm(); arming
-// resets all hit counters. Arming is not thread-safe and must happen while
-// no instrumented code runs (hit counting itself is thread-safe).
+// resets all hit counters. Arming is thread-safe and may run concurrently
+// with instrumented code (server workers consult server.* sites on live
+// connections): each (re)arm publishes a fresh immutable epoch, a reader
+// mid-scan keeps the epoch it loaded, and instrumented calls observe
+// either the old or the new arming, never a torn one.
 #ifndef NSKY_UTIL_FAULT_INJECTION_H_
 #define NSKY_UTIL_FAULT_INJECTION_H_
 
@@ -57,6 +79,15 @@ class FaultInjector {
   // has reached the armed threshold. Unarmed sites never fail and do not
   // count.
   static bool ShouldFail(const char* site);
+
+  // Burst variant: true while the hit count (incremented by this call) is
+  // still <= the armed value, i.e. the first N calls fail and later calls
+  // succeed. Use for sites inside retry loops that must converge.
+  static bool ShouldFailBurst(const char* site);
+
+  // Armed integer for `site`, 0 when unarmed. Does not count a hit; use for
+  // sites whose value parameterizes behavior (byte caps, offsets).
+  static uint64_t Value(const char* site);
 
   // Armed delay in milliseconds for `site`, 0 when unarmed.
   static uint64_t DelayMs(const char* site);

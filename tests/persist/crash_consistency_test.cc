@@ -1,0 +1,221 @@
+// Crash consistency of persist::Save's temp+fsync+rename protocol.
+//
+// The `persist.crash_at_byte=V` fault site simulates kill -9 / power loss
+// after at most V bytes of the temp file: Save returns IoError without
+// cleaning up, fsyncing or renaming. These tests sweep V across every
+// region of the file (header, section table, payloads, past the end) and
+// assert the invariants the protocol promises:
+//   * the destination is bit-identical to the previous snapshot -- Inspect
+//     passes, Load restores the pre-save state, and re-saving that state
+//     reproduces the old file byte for byte;
+//   * Inspect and Load always agree on the surviving temp file's verdict
+//     (never inspect-accepts-but-load-rejects or vice versa);
+//   * a crash after the full image leaves a complete, loadable temp.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "persist/snapshot.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace nsky::persist {
+namespace {
+
+using core::Engine;
+using graph::Graph;
+
+// Two distinct engine states, so the interrupted save writes genuinely
+// different bytes than the snapshot it would replace.
+Graph OldGraph() { return graph::MakeChungLuPowerLaw(300, 2.3, 5, 3); }
+Graph NewGraph() { return graph::MakeChungLuPowerLaw(250, 2.2, 4, 11); }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/nsky_crash_" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+class CrashConsistency : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::Disarm();
+    old_engine_ = std::make_unique<Engine>(OldGraph());
+    old_engine_->Query();
+    new_engine_ = std::make_unique<Engine>(NewGraph());
+    new_engine_->Query();
+    core::SolverOptions base;
+    base.algorithm = core::Algorithm::kBaseSky;
+    new_engine_->Query(base);  // extra artifact: new image differs in shape
+  }
+  void TearDown() override { util::FaultInjector::Disarm(); }
+
+  // The byte offsets the crash sweep probes, spanning every file region:
+  // first byte, inside the 64-byte header, the header boundary, inside the
+  // section table, inside payloads, and the last byte.
+  static std::vector<uint64_t> SweepOffsets(uint64_t file_bytes) {
+    std::vector<uint64_t> offsets = {1, 16, 63, 64, 65, 200, 1024};
+    offsets.push_back(file_bytes / 2);
+    offsets.push_back(file_bytes - 1);
+    return offsets;
+  }
+
+  std::unique_ptr<Engine> old_engine_;
+  std::unique_ptr<Engine> new_engine_;
+};
+
+TEST_F(CrashConsistency, KillMidSaveSweepNeverTearsDestination) {
+  const std::string path = TempPath("sweep.nsnap");
+  const std::string tmp = path + ".tmp";
+  ASSERT_TRUE(Save(*old_engine_, path).ok());
+  const std::string old_bytes = ReadFile(path);
+  ASSERT_FALSE(old_bytes.empty());
+  auto old_manifest = Inspect(path);
+  ASSERT_TRUE(old_manifest.ok());
+  const std::string old_id = old_manifest.value().id;
+
+  // Size the sweep by the image the interrupted save would have written.
+  const std::string probe = TempPath("sweep_probe.nsnap");
+  ASSERT_TRUE(Save(*new_engine_, probe).ok());
+  const uint64_t new_bytes = ReadFile(probe).size();
+  ASSERT_GT(new_bytes, 64u);
+  std::remove(probe.c_str());
+
+  for (uint64_t v : SweepOffsets(new_bytes)) {
+    SCOPED_TRACE("crash_at_byte=" + std::to_string(v));
+    std::remove(tmp.c_str());
+    ASSERT_TRUE(util::FaultInjector::ArmForTest("persist.crash_at_byte=" +
+                                                std::to_string(v)));
+    util::Status status = Save(*new_engine_, path);
+    util::FaultInjector::Disarm();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+    EXPECT_NE(status.message().find("injected crash"), std::string::npos)
+        << status.ToString();
+
+    // The destination never changed: same bytes, same verdicts.
+    EXPECT_EQ(ReadFile(path), old_bytes);
+    auto manifest = Inspect(path);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    EXPECT_EQ(manifest.value().id, old_id);
+
+    // The simulated crash leaves the partial temp behind (no cleanup ran,
+    // exactly like a killed process). Whatever survived, the offline fsck
+    // and the loader must agree about it.
+    ASSERT_TRUE(FileExists(tmp));
+    EXPECT_LE(ReadFile(tmp).size(), v);
+    const bool inspect_ok = Inspect(tmp).ok();
+    const bool load_ok = Load(tmp).ok();
+    EXPECT_EQ(inspect_ok, load_ok)
+        << "inspect and load disagree on the surviving temp file";
+    // A temp truncated strictly inside the image can never pass: the
+    // header's file_bytes field no longer matches.
+    if (v < new_bytes) EXPECT_FALSE(inspect_ok);
+  }
+  std::remove(tmp.c_str());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashConsistency, LoadAfterCrashYieldsPreSaveStateBitIdentically) {
+  const std::string path = TempPath("presave.nsnap");
+  ASSERT_TRUE(Save(*old_engine_, path).ok());
+  const std::string old_bytes = ReadFile(path);
+
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("persist.crash_at_byte=100"));
+  ASSERT_FALSE(Save(*new_engine_, path).ok());
+  util::FaultInjector::Disarm();
+
+  // The survivor restores, and re-saving the restored engine reproduces the
+  // pre-crash file exactly (the format is canonical, so bit-identical bytes
+  // mean bit-identical engine state).
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::string resaved = TempPath("presave_again.nsnap");
+  ASSERT_TRUE(Save(*loaded.value(), resaved).ok());
+  EXPECT_EQ(ReadFile(resaved), old_bytes);
+
+  std::remove((path + ".tmp").c_str());
+  std::remove(resaved.c_str());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashConsistency, CrashAfterFullImageLeavesCompleteTemp) {
+  const std::string path = TempPath("full.nsnap");
+  const std::string tmp = path + ".tmp";
+  ASSERT_TRUE(Save(*old_engine_, path).ok());
+  const std::string old_bytes = ReadFile(path);
+
+  // A crash between the last write and the rename: the temp is a complete,
+  // valid snapshot, and the destination still holds the old one. Recovery
+  // tooling may adopt either -- both load.
+  ASSERT_TRUE(
+      util::FaultInjector::ArmForTest("persist.crash_at_byte=1000000000"));
+  ASSERT_FALSE(Save(*new_engine_, path).ok());
+  util::FaultInjector::Disarm();
+
+  EXPECT_EQ(ReadFile(path), old_bytes);
+  auto tmp_manifest = Inspect(tmp);
+  ASSERT_TRUE(tmp_manifest.ok()) << tmp_manifest.status().ToString();
+  auto tmp_loaded = Load(tmp);
+  ASSERT_TRUE(tmp_loaded.ok()) << tmp_loaded.status().ToString();
+  EXPECT_EQ(tmp_loaded.value()->snapshot_info()->id, tmp_manifest.value().id);
+
+  std::remove(tmp.c_str());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashConsistency, CompletedSaveReplacesAtomicallyAndRemovesTemp) {
+  const std::string path = TempPath("replace.nsnap");
+  ASSERT_TRUE(Save(*old_engine_, path).ok());
+  const std::string old_bytes = ReadFile(path);
+
+  ASSERT_TRUE(Save(*new_engine_, path).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  const std::string new_bytes = ReadFile(path);
+  EXPECT_NE(new_bytes, old_bytes);
+  auto manifest = Inspect(path);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_TRUE(Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashConsistency, PeekSnapshotIdMatchesManifestAndFlipsOnResave) {
+  const std::string path = TempPath("peek.nsnap");
+  ASSERT_TRUE(Save(*old_engine_, path).ok());
+  auto manifest = Inspect(path);
+  ASSERT_TRUE(manifest.ok());
+  auto peeked = PeekSnapshotId(path);
+  ASSERT_TRUE(peeked.ok()) << peeked.status().ToString();
+  EXPECT_EQ(peeked.value(), manifest.value().id);
+
+  ASSERT_TRUE(Save(*new_engine_, path).ok());
+  auto peeked_new = PeekSnapshotId(path);
+  ASSERT_TRUE(peeked_new.ok());
+  EXPECT_NE(peeked_new.value(), peeked.value());
+
+  EXPECT_FALSE(PeekSnapshotId(path + ".does-not-exist").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nsky::persist

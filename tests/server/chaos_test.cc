@@ -1,0 +1,247 @@
+// Socket chaos: the server keeps serving through injected accept failures,
+// EINTR storms and partial writes (`server.*` fault sites), and through
+// real peer resets mid-response; responses stay byte-correct throughout.
+// Also pins the client's deterministic retry/backoff policy and the
+// Retry-After contract on 429/503 backpressure.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <regex>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "server/client.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "util/fault_injection.h"
+
+namespace nsky::server {
+namespace {
+
+graph::Graph TestGraph() { return graph::MakeChungLuPowerLaw(300, 2.3, 5, 3); }
+
+std::string NormalizeSeconds(const std::string& json) {
+  static const std::regex kSeconds("\"seconds\":[0-9.eE+-]+");
+  return std::regex_replace(json, kSeconds, "\"seconds\":X");
+}
+
+class ChaosServer {
+ public:
+  explicit ChaosServer(ServiceOptions options = ServiceOptions{}) {
+    service_ = std::make_unique<SkylineService>(TestGraph(), options);
+    server_ = std::make_unique<Server>(service_.get(), ServerOptions{});
+    auto status = server_->Listen();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  ~ChaosServer() {
+    server_->Shutdown();
+    serve_thread_.join();
+  }
+
+  uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<SkylineService> service_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+};
+
+class Chaos : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Disarm(); }
+  void TearDown() override { util::FaultInjector::Disarm(); }
+};
+
+TEST_F(Chaos, AcceptFailureBurstDelaysButServes) {
+  ChaosServer ts;
+  // The acceptor skips its next 3 accept rounds; the pending connection
+  // waits in the listen backlog and is served once the burst passes.
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("server.accept_fail=3"));
+  auto r = HttpGet(ts.port(), "/healthz");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+  EXPECT_EQ(r.value().body, "ok\n");
+  util::FaultInjector::Disarm();
+  EXPECT_TRUE(HttpGet(ts.port(), "/healthz").ok());
+}
+
+TEST_F(Chaos, EintrStormStillServes) {
+  ChaosServer ts;
+  // The first 8 poll/recv/send calls on the serve path report EINTR; every
+  // one must be retried, not treated as a dead connection.
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("server.eintr=8"));
+  auto r = HttpGet(ts.port(), "/healthz");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+  EXPECT_EQ(r.value().body, "ok\n");
+}
+
+TEST_F(Chaos, PartialWritesStayByteCorrect) {
+  ChaosServer ts;
+  auto expected = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected.value().status, 200);
+
+  // Every send is capped at 7 bytes: the multi-kilobyte document goes out
+  // in hundreds of fragments and must reassemble identically.
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("server.partial_write=7"));
+  auto fragged = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(fragged.ok()) << fragged.status().ToString();
+  EXPECT_EQ(fragged.value().status, 200);
+  EXPECT_EQ(NormalizeSeconds(fragged.value().body),
+            NormalizeSeconds(expected.value().body));
+}
+
+// Connects, fires one request, and slams the connection shut with an RST
+// (SO_LINGER 0) without reading a byte -- the worker's response write lands
+// on a reset peer.
+void SendAndSlam(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+TEST_F(Chaos, PeerResetMidResponseDoesNotKillWorkers) {
+  ChaosServer ts;
+  // 1-byte sends guarantee the worker is still mid-write when the RST
+  // arrives; without SIGPIPE ignored and EPIPE handling, this kills the
+  // process (and with it, this test binary).
+  ASSERT_TRUE(util::FaultInjector::ArmForTest("server.partial_write=1"));
+  const std::string request =
+      "GET /v1/skyline HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  for (int i = 0; i < 5; ++i) SendAndSlam(ts.port(), request);
+  util::FaultInjector::Disarm();
+
+  // Every worker survived: a well-behaved request still answers.
+  auto r = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure headers: 429/503 carry Retry-After per ServiceOptions.
+
+HttpRequest SkylineRequest() {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/v1/skyline";
+  request.path = "/v1/skyline";
+  return request;
+}
+
+TEST(RetryAfter, ShedResponseCarriesConfiguredDelay) {
+  ServiceOptions options;
+  options.max_inflight = 0;  // everything sheds
+  options.retry_after_shed_s = 7;
+  SkylineService service(TestGraph(), options);
+  HttpResponse response = service.Handle(SkylineRequest());
+  EXPECT_EQ(response.status, 429);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].first, "Retry-After");
+  EXPECT_EQ(response.headers[0].second, "7");
+}
+
+TEST(RetryAfter, DrainResponseCarriesConfiguredDelay) {
+  SkylineService service(TestGraph(), ServiceOptions{});
+  service.set_draining(true);
+  HttpResponse response = service.Handle(SkylineRequest());
+  EXPECT_EQ(response.status, 503);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].first, "Retry-After");
+  EXPECT_EQ(response.headers[0].second, "2");  // default drain delay
+}
+
+// ---------------------------------------------------------------------------
+// Client retry policy: deterministic schedule, Retry-After honored.
+
+TEST(RetryPolicy, BackoffScheduleIsExponentialAndCapped) {
+  RetryPolicy policy;  // base 10ms, cap 2000ms
+  constexpr uint64_t kNoRetryAfter = ~uint64_t{0};
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 0, kNoRetryAfter), 10u);
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 1, kNoRetryAfter), 20u);
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 2, kNoRetryAfter), 40u);
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 20, kNoRetryAfter), 2000u);
+}
+
+TEST(RetryPolicy, RetryAfterOverridesScheduleWhenRespected) {
+  RetryPolicy policy;
+  // The server's ask wins over the computed backoff, capped at the
+  // client's own ceiling.
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 0, 1), 1000u);
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 3, 1), 1000u);
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 0, 60), 2000u);  // capped
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 0, 0), 0u);
+  policy.respect_retry_after = false;
+  EXPECT_EQ(HttpClient::BackoffMs(policy, 0, 1), 10u);
+}
+
+TEST(RetryPolicy, GetWithRetryReturnsImmediatelyOnSuccess) {
+  ChaosServer ts;
+  HttpClient client(ts.port());
+  auto r = client.GetWithRetry("/healthz");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+}
+
+TEST(RetryPolicy, GetWithRetryRetriesShedsAndSurfacesRetryAfter) {
+  ServiceOptions options;
+  options.max_inflight = 0;  // every skyline query sheds with 429
+  ChaosServer ts(options);
+  HttpClient client(ts.port());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1;
+  policy.respect_retry_after = false;  // keep the test fast
+  auto r = client.GetWithRetry("/v1/skyline", policy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 429);
+  EXPECT_EQ(r.value().headers.at("retry-after"), "1");
+
+  // All three attempts really hit the server: the engine recorded each
+  // shed in the flight recorder.
+  auto queries = HttpGet(ts.port(), "/v1/queries");
+  ASSERT_TRUE(queries.ok());
+  size_t rejections = 0;
+  const std::string& body = queries.value().body;
+  for (size_t pos = body.find("RESOURCE_EXHAUSTED"); pos != std::string::npos;
+       pos = body.find("RESOURCE_EXHAUSTED", pos + 1)) {
+    ++rejections;
+  }
+  EXPECT_EQ(rejections, 3u) << body;
+}
+
+TEST(RetryPolicy, NonRetryableStatusReturnsWithoutRetry) {
+  ChaosServer ts;
+  HttpClient client(ts.port());
+  auto r = client.GetWithRetry("/no/such/route");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 404);
+}
+
+}  // namespace
+}  // namespace nsky::server

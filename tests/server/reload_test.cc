@@ -1,0 +1,476 @@
+// Zero-downtime hot reload: POST /v1/admin/reload epoch-swaps the serving
+// engine between snapshots while queries keep flowing; failed reloads leave
+// the serving engine untouched; provenance (/healthz, engine stats, flight
+// recorder) flips atomically with the swap. Also covers the CLI sides:
+// `serve --watch-snapshot-ms` hot-reloads when the snapshot file's id
+// changes, and `serve --snapshot --fallback-cold-build` degrades a failed
+// load to a cold build.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "persist/snapshot.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "tools/cli.h"
+
+namespace nsky::server {
+namespace {
+
+graph::Graph GraphA() { return graph::MakeChungLuPowerLaw(300, 2.3, 5, 3); }
+graph::Graph GraphB() { return graph::MakeChungLuPowerLaw(250, 2.2, 4, 11); }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/nsky_reload_" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
+
+std::string NormalizeSeconds(const std::string& json) {
+  static const std::regex kSeconds("\"seconds\":[0-9.eE+-]+");
+  return std::regex_replace(json, kSeconds, "\"seconds\":X");
+}
+
+// Saves a warm snapshot of `g` at TempPath(name); returns the path.
+std::string SaveSnapshot(graph::Graph g, const std::string& name) {
+  core::Engine engine(std::move(g));
+  engine.Query();
+  std::string path = TempPath(name);
+  EXPECT_TRUE(persist::Save(engine, path).ok());
+  return path;
+}
+
+std::unique_ptr<core::Engine> LoadEngine(const std::string& path) {
+  auto loaded = persist::Load(path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return std::move(loaded).value();
+}
+
+// One POST round trip (HttpClient only speaks GET natively).
+util::Result<ClientResponse> HttpPost(uint16_t port,
+                                      const std::string& target) {
+  HttpClient client(port);
+  return client.Raw("POST " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+// A server whose service stays reachable, so tests can Reload() directly
+// and read the lifecycle counters.
+class ReloadServer {
+ public:
+  explicit ReloadServer(std::unique_ptr<core::Engine> engine,
+                        ServiceOptions options = ServiceOptions{}) {
+    service_ =
+        std::make_unique<SkylineService>(std::move(engine), options);
+    server_ = std::make_unique<Server>(service_.get(), ServerOptions{});
+    auto status = server_->Listen();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  ~ReloadServer() {
+    server_->Shutdown();
+    serve_thread_.join();
+  }
+
+  uint16_t port() const { return server_->port(); }
+  SkylineService& service() { return *service_; }
+
+ private:
+  std::unique_ptr<SkylineService> service_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+};
+
+TEST(Reload, PostSwapsEngineAndFlipsProvenance) {
+  std::string path_a = SaveSnapshot(GraphA(), "swap_a.nsnap");
+  std::string path_b = SaveSnapshot(GraphB(), "swap_b.nsnap");
+  auto engine = LoadEngine(path_a);
+  std::string id_a = engine->snapshot_info()->id;
+  ReloadServer ts(std::move(engine));
+
+  // Pin the pre-reload answer, then reload over the wire.
+  auto before = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().status, 200);
+  EXPECT_EQ(before.value().headers.at("x-nsky-snapshot"), id_a);
+
+  auto reload = HttpPost(ts.port(), "/v1/admin/reload?snapshot=" + path_b);
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  ASSERT_EQ(reload.value().status, 200) << reload.value().body;
+  EXPECT_NE(reload.value().body.find("\"schema\":\"nsky.reload.v1\""),
+            std::string::npos);
+  EXPECT_NE(reload.value().body.find("\"previous_id\":\"" + id_a + "\""),
+            std::string::npos);
+  EXPECT_NE(reload.value().body.find("\"reloads\":1"), std::string::npos);
+
+  std::string id_b = persist::PeekSnapshotId(path_b).value();
+  ASSERT_NE(id_a, id_b);
+
+  // Every provenance surface now reports the new snapshot.
+  auto health = HttpGet(ts.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().body, "ok\nsnapshot " + id_b + "\n");
+
+  auto after = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().status, 200);
+  EXPECT_EQ(after.value().headers.at("x-nsky-snapshot"), id_b);
+  EXPECT_NE(NormalizeSeconds(after.value().body),
+            NormalizeSeconds(before.value().body))
+      << "distinct graphs must answer distinct documents";
+
+  auto stats = HttpGet(ts.port(), "/v1/engine_stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("\"snapshot\":{\"id\":\"" + id_b + "\""),
+            std::string::npos);
+  EXPECT_NE(stats.value().body.find("\"lifecycle\":{\"reloads\":1"),
+            std::string::npos)
+      << stats.value().body;
+
+  // The flight recorder keeps both epochs: the pre-reload query is stamped
+  // with A's origin, the post-reload one with B's.
+  auto queries = HttpGet(ts.port(), "/v1/queries");
+  ASSERT_TRUE(queries.ok());
+  EXPECT_NE(queries.value().body.find("\"origin\":\"snapshot:" + id_b + "\""),
+            std::string::npos)
+      << queries.value().body;
+
+  auto prom = HttpGet(ts.port(), "/v1/metrics");
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom.value().body.find("nsky_engine_reloads 1"),
+            std::string::npos)
+      << prom.value().body;
+}
+
+TEST(Reload, FailedReloadLeavesServingEngineUntouched) {
+  std::string path_a = SaveSnapshot(GraphA(), "fail_a.nsnap");
+  auto engine = LoadEngine(path_a);
+  std::string id_a = engine->snapshot_info()->id;
+  ReloadServer ts(std::move(engine));
+
+  // Missing file: NOT_FOUND, structured body, engine untouched.
+  auto missing = HttpPost(ts.port(), "/v1/admin/reload?snapshot=" +
+                                         TempPath("missing.nsnap"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().status, 404);
+  EXPECT_NE(missing.value().body.find("\"schema\":\"nsky.error.v1\""),
+            std::string::npos);
+
+  // Garbage file (full header's worth of non-snapshot bytes): bad magic,
+  // invalid-argument, engine untouched.
+  std::string garbage = TempPath("garbage.nsnap");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << std::string(80, 'x');
+  }
+  auto bad = HttpPost(ts.port(), "/v1/admin/reload?snapshot=" + garbage);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, 400);
+  EXPECT_NE(bad.value().body.find("\"schema\":\"nsky.error.v1\""),
+            std::string::npos);
+  std::remove(garbage.c_str());
+
+  EXPECT_EQ(ts.service().reloads(), 0u);
+  EXPECT_EQ(ts.service().reload_failures(), 2u);
+
+  // Still serving snapshot A, and the failures are on the books.
+  auto health = HttpGet(ts.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().body, "ok\nsnapshot " + id_a + "\n");
+  auto stats = HttpGet(ts.port(), "/v1/engine_stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("\"reload_failures\":2"),
+            std::string::npos)
+      << stats.value().body;
+  auto query = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().status, 200);
+  EXPECT_EQ(query.value().headers.at("x-nsky-snapshot"), id_a);
+}
+
+TEST(Reload, RouteValidation) {
+  std::string path_a = SaveSnapshot(GraphA(), "route_a.nsnap");
+  ReloadServer ts(LoadEngine(path_a));
+
+  auto get = HttpGet(ts.port(), "/v1/admin/reload?snapshot=" + path_a);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get.value().status, 405);
+
+  auto no_param = HttpPost(ts.port(), "/v1/admin/reload");
+  ASSERT_TRUE(no_param.ok());
+  EXPECT_EQ(no_param.value().status, 400);
+  EXPECT_NE(no_param.value().body.find("snapshot=PATH"), std::string::npos);
+
+  auto bad_budget = HttpPost(
+      ts.port(),
+      "/v1/admin/reload?snapshot=" + path_a + "&timeout_ms=banana");
+  ASSERT_TRUE(bad_budget.ok());
+  EXPECT_EQ(bad_budget.value().status, 400);
+
+  // POST on a query route stays unsupported.
+  auto post_query = HttpPost(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(post_query.ok());
+  EXPECT_EQ(post_query.value().status, 405);
+}
+
+// The acceptance drill: >= 100 queries race >= 3 hot reloads between two
+// distinct snapshots. Zero failed or dropped requests, and every response
+// body is byte-identical (modulo wall-clock seconds) to the canonical
+// answer of the engine its X-Nsky-Snapshot header names.
+TEST(ReloadStress, ConcurrentQueriesAcrossReloads) {
+  std::string path_a = SaveSnapshot(GraphA(), "stress_a.nsnap");
+  std::string path_b = SaveSnapshot(GraphB(), "stress_b.nsnap");
+  std::string id_a = persist::PeekSnapshotId(path_a).value();
+  std::string id_b = persist::PeekSnapshotId(path_b).value();
+  ASSERT_NE(id_a, id_b);
+
+  ServiceOptions options;
+  options.max_inflight = 64;  // nothing sheds; every request must answer
+  ReloadServer ts(LoadEngine(path_a), options);
+
+  // Canonical answer per snapshot id, captured before the race.
+  std::map<std::string, std::string> expected;
+  auto first = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().status, 200);
+  expected[id_a] = NormalizeSeconds(first.value().body);
+  ASSERT_TRUE(ts.service().Reload(path_b).ok());
+  auto second = HttpGet(ts.port(), "/v1/skyline");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.value().status, 200);
+  expected[id_b] = NormalizeSeconds(second.value().body);
+  ASSERT_NE(expected[id_a], expected[id_b]);
+  ASSERT_TRUE(ts.service().Reload(path_a).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;  // 120 queries total
+  std::atomic<int> completed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::string> first_error(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client(ts.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        auto r = client.Get("/v1/skyline");
+        std::string error;
+        if (!r.ok()) {
+          error = "transport: " + r.status().ToString();
+        } else if (r.value().status != 200) {
+          error = "status " + std::to_string(r.value().status) + ": " +
+                  r.value().body;
+        } else {
+          auto it = r.value().headers.find("x-nsky-snapshot");
+          auto want = it == r.value().headers.end()
+                          ? expected.end()
+                          : expected.find(it->second);
+          if (it == r.value().headers.end()) {
+            error = "missing X-Nsky-Snapshot header";
+          } else if (want == expected.end()) {
+            error = "unknown snapshot id " + it->second;
+          } else if (NormalizeSeconds(r.value().body) != want->second) {
+            error = "body does not match engine " + it->second;
+          }
+        }
+        if (!error.empty()) {
+          failures.fetch_add(1);
+          if (first_error[t].empty()) first_error[t] = error;
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  // Reload back and forth while the clients hammer: four swaps, each one
+  // required to succeed while queries are in flight.
+  const std::string* flips[] = {&path_b, &path_a, &path_b, &path_a};
+  int reloads_done = 0;
+  for (const std::string* path : flips) {
+    // Spread the swaps across the request stream rather than doing them
+    // all before the clients ramp up.
+    while (completed.load() < reloads_done * 25 &&
+           completed.load() < kThreads * kPerThread) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto swapped = ts.service().Reload(*path);
+    EXPECT_TRUE(swapped.ok()) << swapped.status().ToString();
+    ++reloads_done;
+  }
+
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(completed.load(), kThreads * kPerThread);
+  EXPECT_EQ(failures.load(), 0)
+      << "first errors per thread: " << first_error[0] << " | "
+      << first_error[1] << " | " << first_error[2] << " | " << first_error[3];
+  EXPECT_EQ(ts.service().reloads(), 6u);  // 2 in setup + 4 in the race
+}
+
+// ---------------------------------------------------------------------------
+// CLI lifecycle: --watch-snapshot-ms and --fallback-cold-build.
+
+// Polls `port_file` until the serve thread publishes its bound port.
+uint16_t WaitForPortFile(const std::string& port_file) {
+  for (int i = 0; i < 1500; ++i) {
+    std::ifstream in(port_file);
+    uint64_t port = 0;
+    if (in >> port && port > 0) return static_cast<uint16_t>(port);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+TEST(ServeLifecycleCli, WatchSnapshotHotReloadsOnIdChange) {
+  std::string snap = SaveSnapshot(GraphA(), "watch.nsnap");
+  std::string id_a = persist::PeekSnapshotId(snap).value();
+  std::string port_file = TempPath("watch.port");
+  std::remove(port_file.c_str());
+
+  constexpr uint64_t kBudget = 60;  // total requests the server will answer
+  std::ostringstream out, err;
+  int code = -1;
+  std::thread serve([&] {
+    code = tools::RunCli(
+        {"serve", "--snapshot", snap, "--watch-snapshot-ms", "20", "--port",
+         "0", "--port-file", port_file, "--max-requests",
+         std::to_string(kBudget)},
+        out, err);
+  });
+
+  uint16_t port = WaitForPortFile(port_file);
+  uint64_t used = 0;
+  std::string flipped_to;
+  if (port != 0) {
+    auto health = HttpGet(port, "/healthz");
+    ++used;
+    EXPECT_TRUE(health.ok() &&
+                health.value().body == "ok\nsnapshot " + id_a + "\n");
+
+    // Atomically replace the snapshot file with a different engine's; the
+    // watcher must notice the id change and swap, with the server up the
+    // whole time.
+    SaveSnapshot(GraphB(), "watch.nsnap");
+    std::string id_b = persist::PeekSnapshotId(snap).value();
+    EXPECT_NE(id_a, id_b);
+    const std::string want = "ok\nsnapshot " + id_b + "\n";
+    while (used + 1 < kBudget) {
+      auto h = HttpGet(port, "/healthz");
+      ++used;
+      if (h.ok() && h.value().body == want) {
+        flipped_to = id_b;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  // Burn the rest of the request budget so Serve() returns and the CLI
+  // thread can be joined even when an expectation above failed.
+  for (; used < kBudget && port != 0; ++used) HttpGet(port, "/healthz");
+  serve.join();
+
+  ASSERT_NE(port, 0) << "server never published its port: " << err.str();
+  EXPECT_FALSE(flipped_to.empty())
+      << "watcher never reloaded onto the new snapshot id";
+  EXPECT_EQ(code, 0) << err.str();
+  std::remove(port_file.c_str());
+  std::remove(snap.c_str());
+}
+
+TEST(ServeLifecycleCli, FallbackColdBuildServesWhenSnapshotMissing) {
+  std::string port_file = TempPath("fallback.port");
+  std::remove(port_file.c_str());
+  std::ostringstream out, err;
+  int code = -1;
+  std::thread serve([&] {
+    code = tools::RunCli(
+        {"serve", "--snapshot", TempPath("nope.nsnap"),
+         "--fallback-cold-build", "--generate", "star:64", "--port", "0",
+         "--port-file", port_file, "--max-requests", "2"},
+        out, err);
+  });
+
+  uint16_t port = WaitForPortFile(port_file);
+  std::string health_body, stats_body;
+  if (port != 0) {
+    // The port file was written atomically: no temp remnant alongside it.
+    EXPECT_FALSE(std::ifstream(port_file + ".tmp").good());
+    auto health = HttpGet(port, "/healthz");
+    if (health.ok()) health_body = health.value().body;
+    auto stats = HttpGet(port, "/v1/engine_stats");
+    if (stats.ok()) stats_body = stats.value().body;
+  }
+  serve.join();
+
+  ASSERT_NE(port, 0) << "server never published its port: " << err.str();
+  EXPECT_EQ(code, 0) << err.str();
+  // Cold-built replica: no snapshot provenance, but the fallback is on the
+  // books in the lifecycle block and on stderr.
+  EXPECT_EQ(health_body, "ok\n");
+  EXPECT_NE(stats_body.find("\"cold_fallbacks\":1"), std::string::npos)
+      << stats_body;
+  EXPECT_NE(err.str().find("cold build"), std::string::npos) << err.str();
+  std::remove(port_file.c_str());
+}
+
+TEST(ServeLifecycleCli, FallbackColdBuildServesWhenSnapshotCorrupt) {
+  std::string snap = TempPath("corrupt.nsnap");
+  {
+    std::ofstream f(snap, std::ios::binary);
+    f << "NOT A SNAPSHOT";
+  }
+  std::string port_file = TempPath("corrupt.port");
+  std::remove(port_file.c_str());
+  std::ostringstream out, err;
+  int code = -1;
+  std::thread serve([&] {
+    code = tools::RunCli({"serve", "--snapshot", snap, "--fallback-cold-build",
+                          "--generate", "star:64", "--port", "0",
+                          "--port-file", port_file, "--max-requests", "1"},
+                         out, err);
+  });
+  uint16_t port = WaitForPortFile(port_file);
+  std::string health_body;
+  if (port != 0) {
+    auto health = HttpGet(port, "/healthz");
+    if (health.ok()) health_body = health.value().body;
+  }
+  serve.join();
+  ASSERT_NE(port, 0) << err.str();
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_EQ(health_body, "ok\n");
+  std::remove(snap.c_str());
+  std::remove(port_file.c_str());
+}
+
+TEST(ServeLifecycleCli, FallbackFlagRequiresSnapshotAndServe) {
+  std::ostringstream out, err;
+  EXPECT_EQ(tools::RunCli({"serve", "--generate", "star:8",
+                           "--fallback-cold-build"},
+                          out, err),
+            2);
+  EXPECT_EQ(tools::RunCli({"skyline", "--generate", "star:8",
+                           "--fallback-cold-build"},
+                          out, err),
+            2);
+  EXPECT_EQ(tools::RunCli({"serve", "--generate", "star:8",
+                           "--watch-snapshot-ms", "50"},
+                          out, err),
+            2);
+}
+
+}  // namespace
+}  // namespace nsky::server
