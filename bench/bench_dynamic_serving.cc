@@ -1,0 +1,220 @@
+// Dynamic-serving trajectory: Engine::ApplyUpdates (epoch commit +
+// incremental artifact repair + skyline maintenance) versus the wholesale
+// alternative a mutating replica would otherwise run -- RefreshFrom(new
+// graph) followed by rebuilding every artifact the replica held.
+//
+// Perf-trajectory bench; its report is committed as BENCH_dynamic.json. For
+// each Table-1 stand-in it warms an engine (filter-refine + 2-hop queries
+// plus the maintained skyline cache), then drives rounds of random
+// edge-toggle batches down both paths in lockstep:
+//
+//   incremental -- ApplyUpdates(batch): commit the epoch, repair the dirty
+//     vertices' artifacts in place, maintain the cached skyline.
+//   rebuild -- RefreshFrom(mutated graph), then rebuild exactly the
+//     artifact set the incremental engine holds, then recompute the
+//     skyline cache.
+//
+// After each timed round both engines answer the full query surface
+// untimed and the answers are asserted bit-identical (including
+// aux_peak_bytes) -- a speedup over wrong answers is worthless. The warm
+// filter-refine query after each mutation is also timed as the
+// query-availability probe: its p50/p99 is what a caller sees while the
+// replica sustains mutations. The sub-32 rows are the small-batch serving
+// regime (single edges and small bursts) where incremental repair wins;
+// the 48-row crosses DynamicSkyline's bulk threshold (32) and shows the
+// bulk re-solve + fallback-drop floor. Note the repaired column: on
+// hub-heavy batches PreparedGraph's volume-based fallback may choose to
+// drop artifacts instead of patching (repair cost would approach rebuild
+// cost), shifting the rebuild into the next warm query -- visible as the
+// q_p50 step on fallback-dominated rows.
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/bloom.h"
+#include "core/engine.h"
+#include "core/solver.h"
+#include "datasets/registry.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using nsky::core::Engine;
+using nsky::core::SkylineResult;
+using nsky::core::SolverOptions;
+using nsky::graph::EdgeUpdate;
+using nsky::graph::Graph;
+using nsky::graph::VertexId;
+
+// A batch of `size` random edge toggles: insert when absent, delete when
+// present -- every update is effective, so the two paths see identical
+// graphs.
+std::vector<EdgeUpdate> RandomBatch(const Graph& g, size_t size,
+                                    nsky::util::Rng* rng) {
+  std::vector<EdgeUpdate> updates;
+  const VertexId n = g.NumVertices();
+  while (updates.size() < size) {
+    VertexId u = static_cast<VertexId>(rng->NextUint64(n));
+    VertexId v = static_cast<VertexId>(rng->NextUint64(n));
+    if (u == v) continue;
+    updates.push_back({u, v, !g.HasEdge(u, v)});
+  }
+  return updates;
+}
+
+bool BitIdentical(const SkylineResult& a, const SkylineResult& b) {
+  return a.skyline == b.skyline && a.dominator == b.dominator &&
+         a.stats.pairs_examined == b.stats.pairs_examined &&
+         a.stats.aux_peak_bytes == b.stats.aux_peak_bytes;
+}
+
+// Rebuilds on `engine` (post-RefreshFrom) the artifact set `held_by`
+// currently holds, using the same pool width the serving engine resolves.
+void RebuildHeldArtifacts(Engine* engine, Engine* held_by,
+                          nsky::util::ThreadPool* pool) {
+  nsky::core::PreparedGraph& held = held_by->prepared();
+  nsky::core::PreparedGraph& fresh = engine->prepared();
+  if (held.PeekFilter() != nullptr) fresh.Filter(*pool);
+  for (uint32_t bits : held.CandidateBloomWidths()) {
+    fresh.CandidateBlooms(bits, *pool);
+  }
+  for (uint32_t bits : held.FullBloomWidths()) {
+    fresh.FullBlooms(bits, *pool);
+  }
+  if (held.PeekTwoHop() != nullptr) fresh.TwoHop(*pool);
+  if (held.PeekDegreeOrder() != nullptr) fresh.DegreeOrder();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nsky;
+  bench::Banner("Dynamic serving",
+                "Engine::ApplyUpdates vs RefreshFrom + artifact rebuild");
+
+  const uint32_t threads = bench::BenchThreads(argc, argv);
+  constexpr size_t kBatchSizes[] = {1, 4, 8, 48};  // 48 crosses bulk=32
+  constexpr int kRounds = 8;
+
+  bench::JsonReporter report("bench_dynamic_serving", "BENCH_dynamic");
+  bench::Table table({"dataset", "batch", "incr_ms", "rebuild_ms", "speedup",
+                      "upd/s", "q_p50_ms", "q_p99_ms", "dirty", "repaired"},
+                     12);
+  table.PrintHeader();
+
+  util::ThreadPool pool(threads == 0 ? 1 : threads);
+
+  for (const auto& spec : datasets::AllStandins()) {
+    Graph base =
+        datasets::MakeStandin(spec, datasets::StandinScale::kSmall);
+
+    for (size_t batch_size : kBatchSizes) {
+      util::Rng rng(spec.seed + batch_size);
+      SolverOptions fr_options;
+      fr_options.threads = threads;
+      SolverOptions hop_options;
+      hop_options.algorithm = core::Algorithm::kBase2Hop;
+      hop_options.threads = threads;
+
+      // The serving replica under test: filter/bloom + 2-hop artifacts
+      // warm, skyline cache maintained across mutations.
+      Engine engine{Graph(base)};
+      engine.Query(fr_options);
+      engine.Query(hop_options);
+      engine.SkylineCache();
+      // The rebuild-path replica, kept in lockstep via RefreshFrom.
+      Engine rebuilt{Graph(base)};
+
+      double incr_ms = 0.0;
+      double rebuild_ms = 0.0;
+      uint64_t updates_applied = 0;
+      uint64_t dirty = 0;
+      uint64_t repaired_rounds = 0;
+      std::vector<double> query_ms;
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<EdgeUpdate> batch =
+            RandomBatch(engine.graph(), batch_size, &rng);
+
+        util::Timer incr_timer;
+        Engine::MutationResult outcome = engine.ApplyUpdates(batch);
+        incr_ms += incr_timer.Micros() / 1000.0;
+        updates_applied += outcome.applied;
+        dirty += outcome.dirty_vertices;
+        repaired_rounds += outcome.repaired;
+
+        // Query-availability probe: the warm query a caller issues while
+        // the replica sustains mutations.
+        util::Timer query_timer;
+        SkylineResult warm_fr = engine.Query(fr_options);
+        query_ms.push_back(query_timer.Micros() / 1000.0);
+        SkylineResult warm_hop = engine.Query(hop_options);
+
+        // Rebuild path: wholesale replacement plus rebuilding the same
+        // artifact set and the skyline cache.
+        util::Timer rebuild_timer;
+        rebuilt.RefreshFrom(Graph(engine.graph()));
+        RebuildHeldArtifacts(&rebuilt, &engine, &pool);
+        rebuilt.SkylineCache();
+        rebuild_ms += rebuild_timer.Micros() / 1000.0;
+
+        SkylineResult fresh_fr = rebuilt.Query(fr_options);
+        SkylineResult fresh_hop = rebuilt.Query(hop_options);
+        if (!BitIdentical(warm_fr, fresh_fr) ||
+            !BitIdentical(warm_hop, fresh_hop) ||
+            engine.SkylineCache() != rebuilt.SkylineCache()) {
+          std::printf("ERROR: warm result diverged on %s batch %zu\n",
+                      spec.name.c_str(), batch_size);
+          return 1;
+        }
+      }
+      incr_ms /= kRounds;
+      rebuild_ms /= kRounds;
+      const double speedup = incr_ms > 0 ? rebuild_ms / incr_ms : 0.0;
+      const double upd_per_s =
+          incr_ms > 0 ? (static_cast<double>(updates_applied) / kRounds) /
+                            (incr_ms / 1000.0)
+                      : 0.0;
+      const double q_p50 = bench::Percentile(query_ms, 0.50);
+      const double q_p99 = bench::Percentile(query_ms, 0.99);
+
+      table.PrintRow({spec.name, bench::FmtU(batch_size),
+                      bench::Fmt(incr_ms, "%.2f"),
+                      bench::Fmt(rebuild_ms, "%.2f"),
+                      bench::Fmt(speedup, "%.1fx"),
+                      bench::Fmt(upd_per_s, "%.0f"),
+                      bench::Fmt(q_p50, "%.2f"), bench::Fmt(q_p99, "%.2f"),
+                      bench::FmtU(dirty / kRounds),
+                      bench::FmtU(repaired_rounds)});
+      report.AddRow()
+          .Str("dataset", spec.name)
+          .U64("threads", threads)
+          .U64("n", base.NumVertices())
+          .U64("m", base.NumEdges())
+          .U64("batch", batch_size)
+          .U64("rounds", kRounds)
+          .F64("incr_ms", incr_ms)
+          .F64("rebuild_ms", rebuild_ms)
+          .F64("speedup", speedup)
+          .F64("updates_per_sec", upd_per_s)
+          .F64("query_p50_ms", q_p50)
+          .F64("query_p99_ms", q_p99)
+          .U64("dirty_mean", dirty / kRounds)
+          .U64("repaired_rounds", repaired_rounds);
+    }
+  }
+
+  std::printf(
+      "\nExpectation: >=5x speedup on the sub-32 rows with repaired == rounds\n"
+      "(patching the dirty set and maintaining the skyline incrementally\n"
+      "beats rebuilding the filter/bloom/2-hop artifacts wholesale) and\n"
+      "q_p50 at warm-solve cost. On the 48-row the maintenance path flips\n"
+      "to bulk re-solve + fallback drop (repaired ~0): the op itself is\n"
+      "cheap but q_p50 steps up as the next warm query rebuilds artifacts.\n"
+      "Every round's warm answers are bit-identical to the rebuilt\n"
+      "engine's.\n");
+  return report.Write() ? 0 : 1;
+}

@@ -7,8 +7,9 @@
 # them from the repo root so each report lands next to the sources it
 # belongs to (bench_serving_latency -> ./BENCH_serving.json,
 # bench_server_load -> ./BENCH_server.json, bench_snapshot_cold_start ->
-# ./BENCH_persist.json). Commit the refreshed files with the change that
-# moved the numbers; the diff IS the perf trajectory.
+# ./BENCH_persist.json, bench_dynamic_serving -> ./BENCH_dynamic.json).
+# Commit the refreshed files with the change that moved the numbers; the
+# diff IS the perf trajectory.
 #
 # Numbers are machine-dependent: compare relative shape (warm vs cold,
 # p99/p50 spread) across commits from the same machine, not absolute
@@ -21,13 +22,15 @@ BUILD_DIR="${1:-build-bench}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_serving_latency bench_server_load bench_snapshot_cold_start
+  --target bench_serving_latency bench_server_load bench_snapshot_cold_start \
+           bench_dynamic_serving
 
 # Trajectory benches write their committed report into the repo root.
 unset NSKY_BENCH_JSON NSKY_BENCH_JSON_DIR
 "$BUILD_DIR"/bench/bench_serving_latency
 "$BUILD_DIR"/bench/bench_server_load
 "$BUILD_DIR"/bench/bench_snapshot_cold_start
+"$BUILD_DIR"/bench/bench_dynamic_serving
 
 echo "bench_trajectory.sh: refreshed BENCH_serving.json BENCH_server.json" \
-     "BENCH_persist.json"
+     "BENCH_persist.json BENCH_dynamic.json"

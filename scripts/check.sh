@@ -3,7 +3,8 @@
 # a parallel-solver CLI smoke test.
 #
 # Usage: scripts/check.sh [--tsan | --faults | --engine | --observability |
-#                          --server | --persist | --chaos] [build-dir]
+#                          --server | --persist | --chaos | --dynamic]
+#                         [build-dir]
 #
 # Default mode configures a Debug build with AddressSanitizer + UBSan
 # (-DNSKY_SANITIZE=address), builds everything, runs the whole test suite,
@@ -69,6 +70,16 @@
 # partial writes must still answer byte-identically to the CLI. The right
 # gate for changes to the crash-consistency protocol, the hot-reload path or
 # the socket hardening. (--tsan also runs the reload/drain/chaos suites.)
+#
+# --dynamic keeps the ASan build but runs only the dynamic-labeled suites
+# (ctest -L dynamic: versioned graph epochs, incremental artifact repair,
+# the Engine::ApplyUpdates oracle matrix, POST /v1/edges drills) and then
+# smoke-runs `nsky mutate --verify`: a mixed update batch applied to a warm
+# engine must advance the epoch, repair the artifacts, and produce a warm
+# result bit-identical to a cold rebuild. The right gate for changes to
+# graph/versioned_graph.*, core/dynamic_skyline.*, the repair path in
+# core/prepared_graph.* or Engine::ApplyUpdates. (--tsan also runs the
+# dynamic suites: mutation and queries race across epochs there.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -82,7 +93,7 @@ for arg in "$@"; do
     --tsan)
       SANITIZE=thread
       MODE=tsan
-      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness|^Server\.|^Service\.|^HttpParser\.|^Snapshot|^Reload|^Chaos\.|^CrashConsistency|^RetryPolicy|^RetryAfter|^ServeLifecycle')
+      TEST_FILTER=(-R 'util_tests|core_tests|tools_tests|ParallelDeterminism|ThreadPool|ExecutionContext|FaultInjection|Interruption|Degradation|CliRobustness|^Server\.|^Service\.|^HttpParser\.|^Snapshot|^Reload|^Chaos\.|^CrashConsistency|^RetryPolicy|^RetryAfter|^ServeLifecycle|^VersionedGraph|^RepairForUpdates|^MutationOracle|^MutateEndpoint|^MutateStress')
       ;;
     --server)
       MODE=server
@@ -103,6 +114,10 @@ for arg in "$@"; do
     --engine)
       MODE=engine
       TEST_FILTER=(-L engine)
+      ;;
+    --dynamic)
+      MODE=dynamic
+      TEST_FILTER=(-L dynamic)
       ;;
     --observability)
       MODE=observability
@@ -279,6 +294,66 @@ if [[ "$MODE" == chaos ]]; then
 
   echo "check.sh: chaos smoke OK (crash-at-byte leaves old snapshot +" \
        "partial temp, serve correct under EINTR storm + partial writes)"
+  exit 0
+fi
+
+if [[ "$MODE" == dynamic ]]; then
+  # 1. Mutate-then-query smoke through the CLI: a small mixed batch against
+  #    a warm engine must advance the epoch, repair (not drop) the
+  #    artifacts, and --verify must prove the warm result bit-identical to
+  #    a cold rebuild on the post-mutation graph.
+  TMP_UPDATES="$(mktemp)"
+  printf '+ 0 190\n+ 1 191\n- 0 190\n+ 0 190\n' > "$TMP_UPDATES"
+  OUT="$("$NSKY" mutate --generate er:200:0.05:7 --updates "$TMP_UPDATES" \
+    --threads 2 --verify --json)"
+  echo "$OUT" | grep -q '"schema":"nsky.mutate.v1"'
+  echo "$OUT" | grep -q '"epoch":1'
+  echo "$OUT" | grep -q '"repaired":true'
+  echo "$OUT" | grep -q '"verified":true'
+
+  # 2. A malformed update file is a usage error with the documented code.
+  printf 'x 1 2\n' > "$TMP_UPDATES"
+  code=0
+  "$NSKY" mutate --generate er:50:0.1:7 --updates "$TMP_UPDATES" \
+    2>/dev/null >/dev/null || code=$?
+  [[ "$code" == 2 ]]
+  rm -f "$TMP_UPDATES"
+
+  # 3. POST /v1/edges over a real loopback socket: the mutation answers
+  #    with the nsky.mutate.v1 document and stamps the new epoch in the
+  #    X-Nsky-Epoch header; a second request observes the mutated graph.
+  PORT_FILE="$(mktemp)"
+  : > "$PORT_FILE"
+  "$NSKY" serve --generate er:200:0.05:7 --port 0 --port-file "$PORT_FILE" \
+    --max-requests 2 >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$PORT_FILE" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$PORT_FILE" ]]
+  PORT="$(cat "$PORT_FILE")"
+
+  BODY='{"updates":[{"op":"insert","u":0,"v":190}]}'
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'POST /v1/edges HTTP/1.1\r\nHost: x\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "${#BODY}" "$BODY" >&3
+  MUTATED="$(cat <&3)"
+  exec 3<&- 3>&-
+  echo "$MUTATED" | grep -q '^HTTP/1.1 200 OK'
+  echo "$MUTATED" | grep -qi '^X-Nsky-Epoch: 1'
+  echo "$MUTATED" | grep -q '"schema":"nsky.mutate.v1"'
+
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'GET /v1/skyline HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' >&3
+  SERVED="$(cat <&3)"
+  exec 3<&- 3>&-
+  echo "$SERVED" | grep -qi '^X-Nsky-Epoch: 1'
+  wait "$SERVER_PID"
+  rm -f "$PORT_FILE"
+
+  echo "check.sh: dynamic smoke OK (mutate --verify bit-identity, bad" \
+       "update file rejected, POST /v1/edges advances the served epoch)"
   exit 0
 fi
 

@@ -1,5 +1,6 @@
 #include "core/bloom.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.h"
@@ -98,6 +99,59 @@ util::Result<std::unique_ptr<NeighborhoodBlooms>> NeighborhoodBlooms::FromParts(
   out->words_per_filter_ = words_per_filter;
   out->slot_ = std::move(slots);
   out->words_ = std::move(words);
+  return out;
+}
+
+void NeighborhoodBlooms::RehashRows(const Graph& g,
+                                    std::span<const VertexId> vertices) {
+  NSKY_CHECK(slot_.size() == g.NumVertices());
+  for (VertexId u : vertices) {
+    if (slot_[u] == kNoSlot) continue;
+    uint64_t* filter =
+        words_.data() + static_cast<size_t>(slot_[u]) * words_per_filter_;
+    std::fill(filter, filter + words_per_filter_, 0);
+    for (VertexId x : g.Neighbors(u)) {
+      uint64_t h = HashBit(x);
+      filter[(h >> 6) & (words_per_filter_ - 1)] |= uint64_t{1} << (h & 63);
+    }
+  }
+}
+
+std::unique_ptr<NeighborhoodBlooms> NeighborhoodBlooms::RepairedCopy(
+    const Graph& g, const std::vector<uint8_t>& member,
+    const NeighborhoodBlooms& old, const std::vector<uint8_t>& row_dirty) {
+  NSKY_CHECK(member.size() == g.NumVertices());
+  NSKY_CHECK(old.slot_.size() == g.NumVertices());
+  NSKY_CHECK(row_dirty.size() == g.NumVertices());
+  auto out = std::unique_ptr<NeighborhoodBlooms>(new NeighborhoodBlooms());
+  out->bits_ = old.bits_;
+  out->words_per_filter_ = old.words_per_filter_;
+  const VertexId n = g.NumVertices();
+  out->slot_.assign(n, kNoSlot);
+  uint32_t num_filters = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (member[u]) out->slot_[u] = num_filters++;
+  }
+  out->words_.assign(
+      static_cast<size_t>(num_filters) * out->words_per_filter_, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    if (out->slot_[u] == kNoSlot) continue;
+    uint64_t* filter = out->words_.data() +
+                       static_cast<size_t>(out->slot_[u]) *
+                           out->words_per_filter_;
+    if (old.Has(u) && !row_dirty[u]) {
+      // Clean surviving row: the words are a pure function of N(u), which
+      // did not change, so the old block's row is exactly right.
+      std::copy(old.FilterOf(u), old.FilterOf(u) + old.words_per_filter_,
+                filter);
+      continue;
+    }
+    for (VertexId x : g.Neighbors(u)) {
+      uint64_t h = out->HashBit(x);
+      filter[(h >> 6) & (out->words_per_filter_ - 1)] |=
+          uint64_t{1} << (h & 63);
+    }
+  }
   return out;
 }
 

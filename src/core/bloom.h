@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -83,6 +84,26 @@ class NeighborhoodBlooms {
   // Per-element test (BFcheck): true when the bit of x is set in BF(w).
   // False proves x is not in N(w).
   bool TestBit(VertexId w, VertexId x) const;
+
+  // --- Incremental repair (core/prepared_graph.h RepairForUpdates) -------
+  //
+  // A filter row is a pure function of N(u), so after an edge batch only
+  // the rows of vertices whose adjacency changed need re-hashing.
+
+  // Re-hashes the rows of `vertices` in place from g's current adjacency.
+  // Only valid while the membership set is unchanged (the slot table is
+  // kept); vertices without a filter are skipped. The result is
+  // bit-identical to a fresh build over the same membership.
+  void RehashRows(const Graph& g, std::span<const VertexId> vertices);
+
+  // Builds the filter block for the new membership map by reusing `old`:
+  // rows of vertices that are members in both maps and whose adjacency did
+  // not change (row_dirty[u] == 0) are copied; everything else is hashed
+  // from g. Bit-identical to NeighborhoodBlooms(g, member, old.bits()).
+  // `old` must have the same width and cover the same vertex count.
+  static std::unique_ptr<NeighborhoodBlooms> RepairedCopy(
+      const Graph& g, const std::vector<uint8_t>& member,
+      const NeighborhoodBlooms& old, const std::vector<uint8_t>& row_dirty);
 
   // Bits per filter.
   uint32_t bits() const { return bits_; }

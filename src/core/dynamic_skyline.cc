@@ -1,6 +1,8 @@
 #include "core/dynamic_skyline.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "core/solver.h"
 #include "core/subset_check.h"
@@ -21,6 +23,20 @@ DynamicSkyline::DynamicSkyline(const Graph& g)
   }
   num_edges_ = g.NumEdges();
   for (VertexId u : Solve(g).skyline) in_skyline_[u] = 1;
+}
+
+DynamicSkyline::DynamicSkyline(const Graph& g,
+                               std::span<const VertexId> skyline)
+    : adj_(g.NumVertices()), in_skyline_(g.NumVertices(), 0) {
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    adj_[u].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = g.NumEdges();
+  for (VertexId u : skyline) {
+    NSKY_CHECK(u < g.NumVertices());
+    in_skyline_[u] = 1;
+  }
 }
 
 bool DynamicSkyline::HasEdge(VertexId u, VertexId v) const {
@@ -62,19 +78,38 @@ void DynamicSkyline::Recheck(VertexId x) {
   }
 }
 
-void DynamicSkyline::Collect2Hop(VertexId x, std::vector<VertexId>* out) const {
-  out->push_back(x);
-  for (VertexId y : adj_[x]) {
-    out->push_back(y);
-    for (VertexId z : adj_[y]) out->push_back(z);
+void DynamicSkyline::BeginAffected() {
+  scratch_affected_.clear();
+  if (seen_stamp_.size() != adj_.size()) {
+    seen_stamp_.assign(adj_.size(), 0);
+    current_stamp_ = 0;
+  }
+  if (++current_stamp_ == 0) {
+    // Stamp wrapped: clear once and restart; correctness never depends on
+    // stale stamps matching.
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    current_stamp_ = 1;
   }
 }
 
-void DynamicSkyline::RecheckAll(std::vector<VertexId>* affected) {
-  std::sort(affected->begin(), affected->end());
-  affected->erase(std::unique(affected->begin(), affected->end()),
-                  affected->end());
-  for (VertexId x : *affected) Recheck(x);
+void DynamicSkyline::Collect2Hop(VertexId x) {
+  auto mark = [&](VertexId w) {
+    if (seen_stamp_[w] != current_stamp_) {
+      seen_stamp_[w] = current_stamp_;
+      scratch_affected_.push_back(w);
+    }
+  };
+  mark(x);
+  for (VertexId y : adj_[x]) {
+    mark(y);
+    for (VertexId z : adj_[y]) mark(z);
+  }
+}
+
+void DynamicSkyline::RecheckCollected() {
+  // Rechecks are independent (each reads only the adjacency and writes its
+  // own in_skyline_ slot), so collection order is as good as sorted order.
+  for (VertexId x : scratch_affected_) Recheck(x);
 }
 
 bool DynamicSkyline::AddEdge(VertexId u, VertexId v) {
@@ -89,10 +124,10 @@ bool DynamicSkyline::AddEdge(VertexId u, VertexId v) {
   adj_[u].insert(std::upper_bound(adj_[u].begin(), adj_[u].end(), v), v);
   adj_[v].insert(std::upper_bound(adj_[v].begin(), adj_[v].end(), u), u);
   ++num_edges_;
-  std::vector<VertexId> affected;
-  Collect2Hop(u, &affected);
-  Collect2Hop(v, &affected);
-  RecheckAll(&affected);
+  BeginAffected();
+  Collect2Hop(u);
+  Collect2Hop(v);
+  RecheckCollected();
   NotifyInvalidation(/*bulk=*/false);
   return true;
 }
@@ -103,16 +138,16 @@ bool DynamicSkyline::RemoveEdge(VertexId u, VertexId v) {
   if (u == v || !HasEdge(u, v)) return false;
   NSKY_COUNTER_INC("nsky.dynamic.edges_removed");
   // Collect before deletion: the old 2-hop sets are the larger ones here.
-  std::vector<VertexId> affected;
-  Collect2Hop(u, &affected);
-  Collect2Hop(v, &affected);
+  BeginAffected();
+  Collect2Hop(u);
+  Collect2Hop(v);
   auto erase_from = [](std::vector<VertexId>& list, VertexId value) {
     list.erase(std::lower_bound(list.begin(), list.end(), value));
   };
   erase_from(adj_[u], v);
   erase_from(adj_[v], u);
   --num_edges_;
-  RecheckAll(&affected);
+  RecheckCollected();
   NotifyInvalidation(/*bulk=*/false);
   return true;
 }
@@ -139,28 +174,84 @@ bool DynamicSkyline::ApplyStructural(const EdgeUpdate& update) {
   return true;
 }
 
+bool DynamicSkyline::ShouldBulkRebuild(
+    const std::vector<EdgeUpdate>& net) const {
+  if (net.size() >= kBulkThreshold) return true;  // historical hard cap
+  // Incremental cost of one update (u, v): collect + recheck the 2-hop
+  // neighborhoods of both endpoints, roughly their 2-hop volumes. A full
+  // solve is one O(n + 2m) filter scan plus a narrow refine, so rebuild
+  // when the summed estimate exceeds a small multiple of that. The factor
+  // 2 is calibrated so a handful of updates on a sparse graph stays firmly
+  // incremental while tens of updates tip over -- both deterministic
+  // functions of the pre-batch adjacency.
+  const uint64_t full_solve_cost =
+      2 * (static_cast<uint64_t>(NumVertices()) + 2 * num_edges_);
+  auto vol2 = [&](VertexId x) {
+    uint64_t volume = adj_[x].size();
+    for (VertexId y : adj_[x]) volume += adj_[y].size();
+    return volume;
+  };
+  uint64_t estimate = 0;
+  for (const EdgeUpdate& e : net) {
+    estimate += 2 + vol2(e.u) + vol2(e.v);
+    if (estimate > full_solve_cost) return true;
+  }
+  return false;
+}
+
 size_t DynamicSkyline::ApplyBatch(std::span<const EdgeUpdate> updates) {
   NSKY_TRACE_SPAN("dyn_apply_batch");
-  if (updates.size() < kBulkThreshold) {
-    // Small batch: incremental repair per update, as for single edges. Each
-    // applied update fires the hook with bulk=false through Add/RemoveEdge.
-    size_t applied = 0;
-    for (const EdgeUpdate& e : updates) {
-      const bool changed = e.insert ? AddEdge(e.u, e.v)
-                                    : RemoveEdge(e.u, e.v);
-      if (changed) ++applied;
+  // Pass 1: simulate the stream against a toggle map to count the updates
+  // that are effective at their point in the sequence (the documented
+  // return value) and reduce the batch to its net effect. An edge
+  // inserted then deleted in one batch never touches the structure.
+  std::map<std::pair<VertexId, VertexId>, std::pair<bool, bool>> state;
+  size_t applied = 0;
+  for (const EdgeUpdate& e : updates) {
+    NSKY_CHECK(e.u < NumVertices() && e.v < NumVertices());
+    if (e.u == e.v) continue;
+    const auto key = std::minmax(e.u, e.v);
+    auto it = state.find(key);
+    const bool present =
+        it != state.end() ? it->second.second : HasEdge(e.u, e.v);
+    if (present == e.insert) continue;  // duplicate insert / absent delete
+    if (it == state.end()) {
+      state.emplace(key, std::make_pair(present, e.insert));
+    } else {
+      it->second.second = e.insert;
+    }
+    ++applied;
+  }
+  std::vector<EdgeUpdate> net;
+  net.reserve(state.size());
+  for (const auto& [key, presence] : state) {
+    if (presence.first != presence.second) {
+      net.push_back({key.first, key.second, presence.second});
+    }
+  }
+  if (net.empty()) return applied;  // structurally a no-op: nothing stale
+
+  if (!ShouldBulkRebuild(net)) {
+    // Incremental: each net update repairs its 2-hop neighborhood and
+    // fires the hook with bulk=false through Add/RemoveEdge.
+    for (const EdgeUpdate& e : net) {
+      const bool changed =
+          e.insert ? AddEdge(e.u, e.v) : RemoveEdge(e.u, e.v);
+      NSKY_DCHECK(changed);
+      (void)changed;
     }
     return applied;
   }
 
   // Bulk: per-update 2-hop rechecks would dwarf one full solve, so mutate
   // the adjacency structurally and recompute the skyline once.
-  size_t applied = 0;
-  for (const EdgeUpdate& e : updates) {
-    if (ApplyStructural(e)) ++applied;
+  for (const EdgeUpdate& e : net) {
+    const bool changed = ApplyStructural(e);
+    NSKY_DCHECK(changed);
+    (void)changed;
   }
-  if (applied == 0) return 0;
   NSKY_COUNTER_INC("nsky.dynamic.bulk_rebuilds");
+  ++bulk_rebuilds_;
   std::fill(in_skyline_.begin(), in_skyline_.end(), 0);
   for (VertexId u : Solve(ToGraph()).skyline) in_skyline_[u] = 1;
   NotifyInvalidation(/*bulk=*/true);

@@ -12,7 +12,8 @@
 // cheap pivot-narrowed recheck per affected vertex. Suited to maintaining
 // the skyline across streams of updates without full recomputation; a full
 // recompute remains the better choice after bulk changes -- ApplyBatch
-// switches between the two automatically.
+// deduplicates the stream to its net effect, estimates the affected
+// volume, and switches between the two regimes from that cost model.
 //
 // Invalidation contract with the artifact caches: anything derived from the
 // graph (a core::Engine / PreparedGraph serving this graph's queries) goes
@@ -20,6 +21,9 @@
 // fired after each applied update -- with bulk=false for single-edge
 // incremental updates and bulk=true when ApplyBatch recomputed from scratch
 // -- so the owner can invalidate (and lazily rebuild) its artifacts.
+// Engine::ApplyUpdates supersedes that wiring for engine-owned instances:
+// it repairs the artifact cache in place instead of dropping it
+// (core/prepared_graph.h RepairForUpdates).
 #ifndef NSKY_CORE_DYNAMIC_SKYLINE_H_
 #define NSKY_CORE_DYNAMIC_SKYLINE_H_
 
@@ -30,15 +34,15 @@
 
 #include "core/skyline.h"
 #include "graph/graph.h"
+#include "graph/versioned_graph.h"
 
 namespace nsky::core {
 
-// One undirected edge update for DynamicSkyline::ApplyBatch.
-struct EdgeUpdate {
-  VertexId u = 0;
-  VertexId v = 0;
-  bool insert = true;  // false = delete
-};
+// One undirected edge update. The canonical definition lives in
+// graph/versioned_graph.h so VersionedGraph, DynamicSkyline and
+// Engine::ApplyUpdates share one vocabulary type; this alias keeps the
+// historical core::EdgeUpdate spelling working.
+using EdgeUpdate = graph::EdgeUpdate;
 
 class DynamicSkyline {
  public:
@@ -48,6 +52,11 @@ class DynamicSkyline {
   // Starts from an existing graph (skyline computed once up front).
   explicit DynamicSkyline(const Graph& g);
 
+  // Starts from an existing graph whose skyline the caller already knows
+  // (e.g. Engine's cached default-options skyline), skipping the up-front
+  // Solve(). `skyline` must be exactly Solve(g).skyline.
+  DynamicSkyline(const Graph& g, std::span<const VertexId> skyline);
+
   // Inserts the undirected edge (u, v); returns false (and changes nothing)
   // when the edge already exists or u == v.
   bool AddEdge(VertexId u, VertexId v);
@@ -56,12 +65,17 @@ class DynamicSkyline {
   bool RemoveEdge(VertexId u, VertexId v);
 
   // Applies a stream of updates and returns how many actually changed the
-  // graph (duplicates / absent edges are skipped, as in AddEdge /
-  // RemoveEdge). Below kBulkThreshold updates the stream is applied
-  // incrementally; at or above it the edges are applied structurally and
-  // the skyline recomputed once via Solve() -- the documented
-  // bulk-update-rebuild half of the invalidation contract. The hook fires
-  // once per incremental update (bulk=false) or once per batch (bulk=true).
+  // graph at their point in the stream (duplicates / absent edges are
+  // skipped, as in AddEdge / RemoveEdge). The stream is first reduced to
+  // its NET effect -- an edge inserted then deleted in the same batch
+  // touches nothing -- and the incremental-vs-rebuild choice is a cost
+  // model over that net batch: the estimated affected 2-hop volume of the
+  // net updates against (a small multiple of) one full solve's O(n + m)
+  // scan volume. Batches of kBulkThreshold or more net updates always
+  // rebuild (the historical cliff survives as a hard cap; the cost model
+  // governs everything below it). The hook fires once per incremental
+  // update (bulk=false) or once per batch rebuild (bulk=true); a batch
+  // whose net effect is empty fires no hook at all.
   static constexpr size_t kBulkThreshold = 32;
   size_t ApplyBatch(std::span<const EdgeUpdate> updates);
 
@@ -92,14 +106,28 @@ class DynamicSkyline {
   // Vertices re-verified over the lifetime (instrumentation).
   uint64_t total_rechecks() const { return total_rechecks_; }
 
+  // Batches ApplyBatch resolved with a full recompute (instrumentation;
+  // Engine::ApplyUpdates reports the per-batch choice from the delta).
+  uint64_t bulk_rebuilds() const { return bulk_rebuilds_; }
+
  private:
   // Re-derives in_skyline_[x] from scratch (pivot-narrowed scan).
   void Recheck(VertexId x);
-  // Appends x's 2-hop reachable vertices plus x itself to `out`.
-  void Collect2Hop(VertexId x, std::vector<VertexId>* out) const;
-  // Applies Recheck to every distinct vertex in `affected`.
-  void RecheckAll(std::vector<VertexId>* affected);
+
+  // Affected-set scratch, reused across updates: BeginAffected() opens a
+  // collection round (bumps the seen-stamp), Collect2Hop() appends x's
+  // 2-hop reachable vertices plus x itself -- each vertex at most once per
+  // round -- and RecheckCollected() rechecks what was gathered. Replaces
+  // the historical fresh-vector-plus-sort-unique per update.
+  void BeginAffected();
+  void Collect2Hop(VertexId x);
+  void RecheckCollected();
+
   bool Dominates(VertexId w, VertexId x) const;
+
+  // Estimated recheck volume of applying `net`, against the cost of one
+  // full solve; true = rebuild once.
+  bool ShouldBulkRebuild(const std::vector<EdgeUpdate>& net) const;
 
   // Mutates adjacency only (no recheck); returns false for no-op updates.
   bool ApplyStructural(const EdgeUpdate& update);
@@ -111,7 +139,12 @@ class DynamicSkyline {
   std::vector<uint8_t> in_skyline_;
   uint64_t num_edges_ = 0;
   uint64_t total_rechecks_ = 0;
+  uint64_t bulk_rebuilds_ = 0;
   InvalidationHook invalidation_hook_;
+  // Affected-set scratch (see BeginAffected).
+  std::vector<VertexId> scratch_affected_;
+  std::vector<uint32_t> seen_stamp_;
+  uint32_t current_stamp_ = 0;
 };
 
 }  // namespace nsky::core

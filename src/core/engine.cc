@@ -30,10 +30,19 @@ uint64_t SlowQueryThresholdFromEnv() {
 }  // namespace
 
 Engine::Engine(Graph g, EngineOptions options)
-    : graph_(std::move(g)),
+    : versioned_(std::move(g)),
       options_(options),
-      prepared_(&graph_),
+      prepared_(&versioned_.Current()),
       slow_query_threshold_us_(SlowQueryThresholdFromEnv()) {}
+
+std::optional<SnapshotInfo> Engine::EffectiveSnapshotInfo() const {
+  if (!snapshot_info_.has_value() || versioned_.epoch() == 0) {
+    return snapshot_info_;
+  }
+  SnapshotInfo info = *snapshot_info_;
+  info.id += "+dirty@epoch" + std::to_string(versioned_.epoch());
+  return info;
+}
 
 Engine::Resources& Engine::ResourcesFor(unsigned resolved_threads) {
   auto it = resources_.find(resolved_threads);
@@ -70,7 +79,8 @@ util::Status Engine::Execute(const QueryRequest& request,
 
   const uint64_t builds_before = prepared_.builds();
   util::Timer query_timer;
-  util::Status status = internal::DispatchSolve(graph_, options, env, result);
+  util::Status status =
+      internal::DispatchSolve(versioned_.Current(), options, env, result);
   const uint64_t duration_us = static_cast<uint64_t>(query_timer.Micros());
   const bool warm = prepared_.builds() == builds_before;
 
@@ -178,13 +188,80 @@ void Engine::InvalidateArtifacts() {
   prepared_.Invalidate();
   skyline_cache_.clear();
   has_skyline_cache_ = false;
+  dynamic_.reset();
 }
 
 void Engine::RefreshFrom(Graph g) {
-  // graph_ is a member, so its address -- the pointer prepared_ holds --
-  // stays valid across the move-assign; only the contents change.
-  graph_ = std::move(g);
+  // A wholesale replacement: the new epoch-0 Graph is a fresh object, so
+  // the prepared view must be repointed before anything rebuilds.
+  versioned_.Reset(std::move(g));
+  prepared_.Rebind(&versioned_.Current());
   InvalidateArtifacts();
+  if (snapshot_info_.has_value()) {
+    recorder_.set_origin("snapshot:" + snapshot_info_->id);
+  }
+}
+
+Engine::MutationResult Engine::ApplyUpdates(
+    std::span<const graph::EdgeUpdate> updates) {
+  NSKY_TRACE_SPAN("engine.apply_updates");
+  MutationResult out;
+  ++mutation_batches_;
+  for (const graph::EdgeUpdate& e : updates) {
+    if (versioned_.Stage(e)) {
+      ++out.applied;
+    } else {
+      ++out.skipped;
+    }
+  }
+  updates_applied_ += out.applied;
+  updates_skipped_ += out.skipped;
+  if (versioned_.staged_edits() == 0) {
+    // The batch cancelled itself out (or was all no-ops): no commit, no
+    // epoch transition, nothing stale.
+    versioned_.DiscardStaged();
+    out.epoch = versioned_.epoch();
+    out.repaired = true;
+    return out;
+  }
+
+  std::shared_ptr<const Graph> old_snap = versioned_.Snapshot();
+  const std::vector<graph::EdgeUpdate> net = versioned_.StagedUpdates();
+  std::shared_ptr<const Graph> new_snap = versioned_.Commit();
+  out.epoch = versioned_.epoch();
+
+  // Maintain the cached default-options skyline incrementally instead of
+  // dropping it; DynamicSkyline's cost model decides incremental vs bulk.
+  if (has_skyline_cache_) {
+    if (dynamic_ == nullptr) {
+      dynamic_ = std::make_unique<DynamicSkyline>(*old_snap, skyline_cache_);
+    }
+    const uint64_t bulk_before = dynamic_->bulk_rebuilds();
+    dynamic_->ApplyBatch(net);
+    out.bulk_solve = dynamic_->bulk_rebuilds() != bulk_before;
+    skyline_cache_ = dynamic_->Skyline();
+  }
+
+  const PreparedGraph::RepairOutcome repair =
+      prepared_.RepairForUpdates(*old_snap, *new_snap, net);
+  out.dirty_vertices = repair.dirty_vertices;
+  out.repaired = repair.repaired;
+  if (repair.repaired) {
+    artifact_repairs_ += repair.patched_artifacts;
+  } else {
+    ++repair_fallbacks_;
+  }
+  dirty_last_ = repair.dirty_vertices;
+  dirty_total_ += repair.dirty_vertices;
+
+  // Served results now come from a mutated graph; stamp the provenance.
+  if (snapshot_info_.has_value()) {
+    recorder_.set_origin("snapshot:" + EffectiveSnapshotInfo()->id);
+  }
+  if (util::metrics::Enabled()) {
+    util::metrics::GetCounter("nsky.engine.mutation_batches").Add(1);
+  }
+  return out;
 }
 
 uint64_t Engine::WorkspaceAllocationEvents(uint32_t threads) {
@@ -212,7 +289,20 @@ EngineStats Engine::StatsSnapshot() const {
   s.cancelled_queries = cancelled_queries_;
   s.shed_queries = shed_queries_.load(std::memory_order_relaxed);
   s.artifact_builds = prepared_.builds();
-  s.snapshot = snapshot_info_;
+  s.snapshot = EffectiveSnapshotInfo();
+  s.epoch = versioned_.epoch();
+  if (mutation_batches_ > 0) {
+    EngineStats::MutationStats ms;
+    ms.epoch = versioned_.epoch();
+    ms.batches = mutation_batches_;
+    ms.updates_applied = updates_applied_;
+    ms.updates_skipped = updates_skipped_;
+    ms.artifact_repairs = artifact_repairs_;
+    ms.repair_fallbacks = repair_fallbacks_;
+    ms.dirty_last = dirty_last_;
+    ms.dirty_total = dirty_total_;
+    s.mutation = ms;
+  }
   s.cache = prepared_.CacheStatsSnapshot();
   for (const auto& [threads, res] : resources_) {
     EngineStats::WorkspaceStats ws;

@@ -41,12 +41,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include <atomic>
 #include <utility>
 
+#include "core/dynamic_skyline.h"
 #include "core/engine_stats.h"
 #include "core/flight_recorder.h"
 #include "core/prepared_graph.h"
@@ -54,6 +56,7 @@
 #include "core/solver.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "graph/versioned_graph.h"
 #include "util/execution_context.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -73,7 +76,17 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  const Graph& graph() const { return graph_; }
+  // The current epoch's graph. The reference is stable until the next
+  // ApplyUpdates() commit or RefreshFrom(); in-flight readers that must
+  // survive either pin graph_snapshot() instead.
+  const Graph& graph() const { return versioned_.Current(); }
+  std::shared_ptr<const Graph> graph_snapshot() const {
+    return versioned_.Snapshot();
+  }
+
+  // Epochs committed by ApplyUpdates since construction / last RefreshFrom.
+  uint64_t epoch() const { return versioned_.epoch(); }
+
   const EngineOptions& options() const { return options_; }
   PreparedGraph& prepared() { return prepared_; }
   const PreparedGraph& prepared() const { return prepared_; }
@@ -88,6 +101,12 @@ class Engine {
   const std::optional<SnapshotInfo>& snapshot_info() const {
     return snapshot_info_;
   }
+
+  // snapshot_info() with mutation provenance: once ApplyUpdates has
+  // committed an epoch the served graph no longer matches the snapshot
+  // file, so the id gains a "+dirty@epoch<N>" suffix. What StatsSnapshot(),
+  // /healthz and the X-Nsky-Snapshot header report.
+  std::optional<SnapshotInfo> EffectiveSnapshotInfo() const;
 
   // The single query surface (core/query.h): fills *response with the
   // result, status and warmth of one query run under the request's options
@@ -165,9 +184,35 @@ class Engine {
   // unchanged. Next query rebuilds.
   void InvalidateArtifacts();
 
-  // Replaces the graph (e.g. after a DynamicSkyline bulk update) and
-  // invalidates everything derived from the old one.
+  // Replaces the graph wholesale (a different dataset, not an edit of this
+  // one) and invalidates everything derived from the old graph. Rewinds
+  // the epoch to 0; for in-place edits ApplyUpdates is strictly better.
   void RefreshFrom(Graph g);
+
+  // --- Mutation (the tentpole of the dynamic-serving path) ----------------
+
+  // Outcome of one ApplyUpdates batch, echoed by the nsky.mutate.v1
+  // document.
+  struct MutationResult {
+    size_t applied = 0;        // updates that changed the staged view
+    size_t skipped = 0;        // self loops / out-of-range / no-ops
+    uint64_t epoch = 0;        // epoch after the call
+    uint64_t dirty_vertices = 0;  // |D| the artifact repair re-verified
+    bool repaired = false;     // artifacts patched in place (vs dropped)
+    bool bulk_solve = false;   // skyline maintenance chose a full re-solve
+  };
+
+  // Applies one edge batch as a single epoch transition: stages every
+  // update against the versioned graph, commits the net batch into the
+  // next immutable CSR epoch, maintains the cached skyline through
+  // DynamicSkyline (incremental or bulk, by its cost model) and locally
+  // repairs the PreparedGraph artifacts (PreparedGraph::RepairForUpdates).
+  // A batch whose net effect is empty commits nothing and keeps the epoch.
+  // After the call, warm queries are bit-identical -- including
+  // aux_peak_bytes -- to a cold-built engine on the post-mutation graph.
+  // Readers holding graph_snapshot() keep the pre-commit epoch; like
+  // Execute(), this must be serialized with queries by the caller.
+  MutationResult ApplyUpdates(std::span<const graph::EdgeUpdate> updates);
 
   uint64_t queries_served() const { return queries_served_; }
   uint64_t shed_queries() const {
@@ -229,12 +274,24 @@ class Engine {
   };
   Resources& ResourcesFor(unsigned resolved_threads);
 
-  Graph graph_;
+  graph::VersionedGraph versioned_;
   EngineOptions options_;
   PreparedGraph prepared_;
   std::map<unsigned, std::unique_ptr<Resources>> resources_;
   std::vector<VertexId> skyline_cache_;
   bool has_skyline_cache_ = false;
+  // Maintains skyline_cache_ across ApplyUpdates batches; created lazily on
+  // the first mutation that finds a cached skyline, dropped whenever the
+  // cache is (InvalidateArtifacts / RefreshFrom).
+  std::unique_ptr<DynamicSkyline> dynamic_;
+  // Mutation telemetry (EngineStats::MutationStats).
+  uint64_t mutation_batches_ = 0;
+  uint64_t updates_applied_ = 0;
+  uint64_t updates_skipped_ = 0;
+  uint64_t artifact_repairs_ = 0;
+  uint64_t repair_fallbacks_ = 0;
+  uint64_t dirty_last_ = 0;
+  uint64_t dirty_total_ = 0;
   std::optional<SnapshotInfo> snapshot_info_;
   uint64_t queries_served_ = 0;
   uint64_t warm_queries_ = 0;

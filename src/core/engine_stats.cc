@@ -17,6 +17,7 @@ void WriteArtifactStats(const PreparedGraph::ArtifactStats& a,
   w->KV("hits", a.hits);
   w->KV("misses", a.misses);
   w->KV("build_us", a.build_us);
+  w->KV("repairs", a.repairs);
   w->EndObject();
 }
 
@@ -67,7 +68,7 @@ void AppendCounterLine(const char* name, std::string_view labels, uint64_t v,
 void AppendCacheLines(const char* artifact, std::string_view extra_label,
                       const PreparedGraph::ArtifactStats& a,
                       std::string* hits, std::string* misses,
-                      std::string* build_us) {
+                      std::string* build_us, std::string* repairs) {
   std::string labels = std::string("artifact=\"") + artifact + "\"";
   if (!extra_label.empty()) {
     labels.append(",");
@@ -77,6 +78,8 @@ void AppendCacheLines(const char* artifact, std::string_view extra_label,
   AppendCounterLine("nsky_engine_artifact_misses", labels, a.misses, misses);
   AppendCounterLine("nsky_engine_artifact_build_us", labels, a.build_us,
                     build_us);
+  AppendCounterLine("nsky_engine_artifact_repairs", labels, a.repairs,
+                    repairs);
 }
 
 }  // namespace
@@ -107,6 +110,19 @@ void WriteEngineStatsJson(const EngineStats& stats, util::JsonWriter* w) {
     w->KV("reloads", stats.lifecycle->reloads);
     w->KV("reload_failures", stats.lifecycle->reload_failures);
     w->KV("cold_fallbacks", stats.lifecycle->cold_fallbacks);
+    w->EndObject();
+  }
+  if (stats.mutation.has_value()) {
+    w->Key("mutation");
+    w->BeginObject();
+    w->KV("epoch", stats.mutation->epoch);
+    w->KV("batches", stats.mutation->batches);
+    w->KV("updates_applied", stats.mutation->updates_applied);
+    w->KV("updates_skipped", stats.mutation->updates_skipped);
+    w->KV("artifact_repairs", stats.mutation->artifact_repairs);
+    w->KV("repair_fallbacks", stats.mutation->repair_fallbacks);
+    w->KV("dirty_last", stats.mutation->dirty_last);
+    w->KV("dirty_total", stats.mutation->dirty_total);
     w->EndObject();
   }
   w->Key("cache");
@@ -193,24 +209,47 @@ std::string EngineStatsToPrometheus(const EngineStats& stats) {
     AppendCounterLine("nsky_engine_cold_fallbacks", "",
                       stats.lifecycle->cold_fallbacks, &out);
   }
+  out.append("# TYPE nsky_engine_epoch gauge\n");
+  AppendCounterLine("nsky_engine_epoch", "", stats.epoch, &out);
+  if (stats.mutation.has_value()) {
+    out.append("# TYPE nsky_engine_mutation_batches counter\n");
+    AppendCounterLine("nsky_engine_mutation_batches", "",
+                      stats.mutation->batches, &out);
+    out.append("# TYPE nsky_engine_mutation_updates_applied counter\n");
+    AppendCounterLine("nsky_engine_mutation_updates_applied", "",
+                      stats.mutation->updates_applied, &out);
+    out.append("# TYPE nsky_engine_mutation_updates_skipped counter\n");
+    AppendCounterLine("nsky_engine_mutation_updates_skipped", "",
+                      stats.mutation->updates_skipped, &out);
+    out.append("# TYPE nsky_engine_mutation_artifact_repairs counter\n");
+    AppendCounterLine("nsky_engine_mutation_artifact_repairs", "",
+                      stats.mutation->artifact_repairs, &out);
+    out.append("# TYPE nsky_engine_mutation_repair_fallbacks counter\n");
+    AppendCounterLine("nsky_engine_mutation_repair_fallbacks", "",
+                      stats.mutation->repair_fallbacks, &out);
+    out.append("# TYPE nsky_engine_mutation_dirty_vertices counter\n");
+    AppendCounterLine("nsky_engine_mutation_dirty_vertices", "",
+                      stats.mutation->dirty_total, &out);
+  }
 
   // Group each metric family under one # TYPE line, as the format requires.
-  std::string hits, misses, build_us;
+  std::string hits, misses, build_us, repairs;
   AppendCacheLines("filter", "", stats.cache.filter, &hits, &misses,
-                   &build_us);
+                   &build_us, &repairs);
   AppendCacheLines("two_hop", "", stats.cache.two_hop, &hits, &misses,
-                   &build_us);
+                   &build_us, &repairs);
   AppendCacheLines("degree_order", "", stats.cache.degree_order, &hits,
-                   &misses, &build_us);
-  AppendCacheLines("cores", "", stats.cache.cores, &hits, &misses, &build_us);
+                   &misses, &build_us, &repairs);
+  AppendCacheLines("cores", "", stats.cache.cores, &hits, &misses, &build_us,
+                   &repairs);
   for (const auto& [bits, a] : stats.cache.candidate_blooms) {
     AppendCacheLines("candidate_blooms",
                      "bits=\"" + std::to_string(bits) + "\"", a, &hits,
-                     &misses, &build_us);
+                     &misses, &build_us, &repairs);
   }
   for (const auto& [bits, a] : stats.cache.full_blooms) {
     AppendCacheLines("full_blooms", "bits=\"" + std::to_string(bits) + "\"",
-                     a, &hits, &misses, &build_us);
+                     a, &hits, &misses, &build_us, &repairs);
   }
   out.append("# TYPE nsky_engine_artifact_hits counter\n");
   out.append(hits);
@@ -218,6 +257,8 @@ std::string EngineStatsToPrometheus(const EngineStats& stats) {
   out.append(misses);
   out.append("# TYPE nsky_engine_artifact_build_us counter\n");
   out.append(build_us);
+  out.append("# TYPE nsky_engine_artifact_repairs counter\n");
+  out.append(repairs);
 
   std::string events, bytes;
   for (const EngineStats::WorkspaceStats& ws : stats.workspaces) {

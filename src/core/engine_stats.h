@@ -72,6 +72,22 @@ struct EngineStats {
   // cold fallbacks); see ServingLifecycle.
   std::optional<ServingLifecycle> lifecycle;
 
+  // Graph epochs committed by Engine::ApplyUpdates (0 = never mutated).
+  uint64_t epoch = 0;
+
+  // Mutation-path counters; set iff ApplyUpdates was ever called.
+  struct MutationStats {
+    uint64_t epoch = 0;             // current epoch (mirrors EngineStats::epoch)
+    uint64_t batches = 0;           // ApplyUpdates calls
+    uint64_t updates_applied = 0;   // staged successfully, across batches
+    uint64_t updates_skipped = 0;   // no-ops / self loops / out of range
+    uint64_t artifact_repairs = 0;  // artifacts patched in place
+    uint64_t repair_fallbacks = 0;  // batches that dropped the cache instead
+    uint64_t dirty_last = 0;        // dirty-set size of the last commit
+    uint64_t dirty_total = 0;       // dirty-set sizes summed over commits
+  };
+  std::optional<MutationStats> mutation;
+
   // Per-artifact hit / miss / build-time ledger of the artifact cache.
   PreparedGraph::CacheStats cache;
 
@@ -101,7 +117,11 @@ struct EngineStats {
 //               "sections":..,"path":".."},]  -- only for loaded engines
 //  ["lifecycle":{"reloads":..,"reload_failures":..,"cold_fallbacks":..},]
 //      -- only when the serving front end recorded lifecycle events
-//  "cache":{"filter":{"hits":..,"misses":..,"build_us":..},...,
+//  ["mutation":{"epoch":..,"batches":..,"updates_applied":..,
+//               "updates_skipped":..,"artifact_repairs":..,
+//               "repair_fallbacks":..,"dirty_last":..,"dirty_total":..},]
+//      -- only for engines that served Engine::ApplyUpdates batches
+//  "cache":{"filter":{"hits":..,"misses":..,"build_us":..,"repairs":..},...,
 //           "candidate_blooms":{"<bits>":{...}},"full_blooms":{...}},
 //  "workspaces":[{"threads":..,"allocation_events":..,"allocated_bytes":..}],
 //  "latency_us":{"<algo>":{"count":..,"sum":..,"max":..,

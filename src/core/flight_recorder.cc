@@ -114,7 +114,7 @@ void FlightRecorder::WriteJson(size_t max_records,
   w->KV("schema", "nsky.queries.v1");
   w->KV("capacity", static_cast<uint64_t>(capacity()));
   w->KV("total", total_recorded());
-  if (!origin_.empty()) w->KV("origin", origin_);
+  if (const std::string tag = origin(); !tag.empty()) w->KV("origin", tag);
   w->Key("records");
   w->BeginArray();
   for (const QueryRecord& r : records) {

@@ -105,12 +105,19 @@ class FlightRecorder {
   }
 
   // Engine provenance tag (e.g. "snapshot:<id>" for engines restored by
-  // persist::Load). When set, rendered as an "origin" key in the
+  // persist::Load, gaining a "+dirty@epoch<N>" suffix once the served graph
+  // is mutated). When set, rendered as an "origin" key in the
   // nsky.queries.v1 document so recorded queries can be traced back to the
-  // artifact that served them. Set once at engine construction/load, before
-  // concurrent readers exist.
-  void set_origin(std::string origin) { origin_ = std::move(origin); }
-  const std::string& origin() const { return origin_; }
+  // artifact that served them. Mutex-guarded: Engine::ApplyUpdates restamps
+  // it while scrapers may be rendering the document.
+  void set_origin(std::string origin) {
+    std::lock_guard<std::mutex> lock(origin_mu_);
+    origin_ = std::move(origin);
+  }
+  std::string origin() const {
+    std::lock_guard<std::mutex> lock(origin_mu_);
+    return origin_;
+  }
 
   // nsky.queries.v1: {"schema","capacity","total",["origin",]
   // "records":[...],"slow":[...]}. Also available as a writer-embedded
@@ -136,6 +143,7 @@ class FlightRecorder {
   bool ReadSlot(const Slot& slot, QueryRecord* out) const;
 
   std::vector<Slot> slots_;
+  mutable std::mutex origin_mu_;  // guards origin_ (see set_origin)
   std::string origin_;
   std::atomic<uint64_t> next_seq_{0};
   // Serializes Record() callers; never held by readers, so recording stays

@@ -39,12 +39,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/bloom.h"
 #include "core/skyline.h"
 #include "graph/cores.h"
 #include "graph/graph.h"
+#include "graph/versioned_graph.h"
 
 namespace nsky::util {
 class ThreadPool;
@@ -80,6 +82,9 @@ class PreparedGraph {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t build_us = 0;
+    // Times the artifact was patched in place by RepairForUpdates (never
+    // counted as a hit, miss or build; warm detection stays intact).
+    uint64_t repairs = 0;
   };
 
   // Snapshot of every artifact's cache accounting; bloom blocks are keyed by
@@ -125,6 +130,53 @@ class PreparedGraph {
   // Drops every cached artifact; the next request rebuilds from the current
   // graph. Wired to DynamicSkyline's invalidation hook for bulk updates.
   void Invalidate();
+
+  // --- Incremental repair (Engine::ApplyUpdates) ---------------------------
+
+  // Repoints the prepared view at a new Graph object without touching the
+  // artifact cache. Only correct when the new object is structurally
+  // identical to the old one, or when every artifact is dropped in the same
+  // breath (Engine::RefreshFrom pairs this with Invalidate()).
+  void Rebind(const Graph* g);
+
+  struct RepairOutcome {
+    bool repaired = false;          // false = fell back to a full drop
+    uint64_t dirty_vertices = 0;    // |D|: vertices whose verdicts were redone
+    uint64_t patched_artifacts = 0;
+    uint64_t dropped_artifacts = 0;
+  };
+
+  // Fallback policy: when the dirty set's 2-hop volume (sum over dirty u of
+  // deg(u) + degree sum of N(u) -- the traversal cost of re-deriving u's
+  // verdict and 2-hop list) exceeds this percentage of the whole graph's,
+  // a local patch would cost a rebuild anyway, so every artifact is dropped
+  // instead (deterministic function of the update batch). Volume, not
+  // vertex count: neighbors enter the dirty set with probability
+  // proportional to their degree, so on skewed graphs a small dirty SET is
+  // routinely a large dirty VOLUME.
+  static constexpr uint32_t kRepairMaxDirtyPercent = 25;
+
+  // Locally patches every materialized artifact after the edge batch
+  // `updates` turned `old_g` (the epoch the artifacts were built against)
+  // into `new_g`, and rebinds the prepared view to `new_g`. `updates` must
+  // be the NET batch (graph::VersionedGraph::StagedUpdates()); old_g and
+  // new_g must have the same vertex count.
+  //
+  // Only vertices within the dirty set D = endpoints union their open
+  // neighborhoods (in old_g and new_g) can change any artifact row:
+  //  * filter verdict / dominator[u] reads N(u), deg of N(u) and rows of
+  //    N(u) -- all unchanged outside D;
+  //  * 2-hop lists aggregate exactly those rows;
+  //  * bloom rows are pure functions of N(u), dirty only for endpoints;
+  //  * the degree order moves only endpoints (their degree changed);
+  //  * cores have no local repair (global peeling) and are dropped.
+  // Patched artifacts are bit-identical to a fresh build on new_g,
+  // including the replayed filter stats and ledger charges. Absent
+  // artifacts stay absent. When D's 2-hop volume exceeds
+  // kRepairMaxDirtyPercent% of the graph's, the cache is dropped wholesale
+  // instead (repaired=false in the outcome).
+  RepairOutcome RepairForUpdates(const Graph& old_g, const Graph& new_g,
+                                 std::span<const graph::EdgeUpdate> updates);
 
   // Artifact builds performed since construction (telemetry; a warm serving
   // loop should see this settle while queries_served keeps growing).

@@ -1,0 +1,173 @@
+#include "graph/versioned_graph.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace nsky::graph {
+
+namespace {
+
+// Sorted-vector membership / insert / erase helpers for the tiny per-row
+// delta lists (typically a handful of entries).
+bool Contains(const std::vector<VertexId>& sorted, VertexId x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+void InsertSorted(std::vector<VertexId>* sorted, VertexId x) {
+  sorted->insert(std::upper_bound(sorted->begin(), sorted->end(), x), x);
+}
+
+void EraseSorted(std::vector<VertexId>* sorted, VertexId x) {
+  sorted->erase(std::lower_bound(sorted->begin(), sorted->end(), x));
+}
+
+}  // namespace
+
+VersionedGraph::VersionedGraph(Graph base)
+    : base_(std::make_shared<const Graph>(std::move(base))) {}
+
+bool VersionedGraph::StagedViewHasEdge(VertexId u, VertexId v) const {
+  auto it = overlay_.find(u);
+  if (it != overlay_.end()) {
+    if (Contains(it->second.adds, v)) return true;
+    if (Contains(it->second.dels, v)) return false;
+  }
+  return base_->HasEdge(u, v);
+}
+
+void VersionedGraph::ToggleHalf(VertexId row, VertexId other, bool insert) {
+  RowDelta& delta = overlay_[row];
+  std::vector<VertexId>& same = insert ? delta.adds : delta.dels;
+  std::vector<VertexId>& opposite = insert ? delta.dels : delta.adds;
+  if (Contains(opposite, other)) {
+    // The update cancels a staged one; the row reverts to its base state.
+    EraseSorted(&opposite, other);
+  } else {
+    InsertSorted(&same, other);
+  }
+  if (delta.adds.empty() && delta.dels.empty()) overlay_.erase(row);
+}
+
+bool VersionedGraph::Stage(const EdgeUpdate& update) {
+  const VertexId u = update.u;
+  const VertexId v = update.v;
+  if (u == v) return false;
+  const VertexId n = base_->NumVertices();
+  if (u >= n || v >= n) return false;
+  if (StagedViewHasEdge(u, v) == update.insert) return false;  // no-op
+  const bool was_staged =
+      base_->HasEdge(u, v) != StagedViewHasEdge(u, v);
+  ToggleHalf(u, v, update.insert);
+  ToggleHalf(v, u, update.insert);
+  // Either the edge's staged presence now differs from the base (one more
+  // net edit) or the update cancelled a staged edit (one fewer).
+  if (was_staged) {
+    --staged_edits_;
+  } else {
+    ++staged_edits_;
+  }
+  return true;
+}
+
+std::vector<EdgeUpdate> VersionedGraph::StagedUpdates() const {
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(staged_edits_);
+  // The overlay map iterates rows ascending and each row's lists are
+  // sorted, so emitting only the u < v half yields (u, v)-ascending order.
+  for (const auto& [row, delta] : overlay_) {
+    size_t ai = 0;
+    size_t di = 0;
+    // Merge adds and dels so mixed updates still come out v-ascending.
+    while (ai < delta.adds.size() || di < delta.dels.size()) {
+      const bool take_add =
+          di >= delta.dels.size() ||
+          (ai < delta.adds.size() && delta.adds[ai] < delta.dels[di]);
+      const VertexId other = take_add ? delta.adds[ai++] : delta.dels[di++];
+      if (row < other) updates.push_back({row, other, take_add});
+    }
+  }
+  return updates;
+}
+
+std::shared_ptr<const Graph> VersionedGraph::Commit() {
+  NSKY_CHECK_MSG(staged_edits_ > 0, "Commit() requires staged edits");
+  const Graph& base = *base_;
+  const VertexId n = base.NumVertices();
+  const std::span<const uint64_t> base_offsets = base.RawOffsets();
+  const std::span<const VertexId> base_adj = base.RawAdjacency();
+
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1);
+  offsets[0] = 0;
+  auto next_delta = overlay_.begin();
+  for (VertexId u = 0; u < n; ++u) {
+    uint64_t degree = base_offsets[u + 1] - base_offsets[u];
+    if (next_delta != overlay_.end() && next_delta->first == u) {
+      degree += next_delta->second.adds.size();
+      degree -= next_delta->second.dels.size();
+      ++next_delta;
+    }
+    offsets[u + 1] = offsets[u] + degree;
+  }
+
+  std::vector<VertexId> adjacency(offsets[n]);
+  next_delta = overlay_.begin();
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId* row = base_adj.data() + base_offsets[u];
+    const size_t row_len =
+        static_cast<size_t>(base_offsets[u + 1] - base_offsets[u]);
+    VertexId* out = adjacency.data() + offsets[u];
+    if (next_delta == overlay_.end() || next_delta->first != u) {
+      // Untouched row: straight copy.
+      std::memcpy(out, row, row_len * sizeof(VertexId));
+      continue;
+    }
+    // Touched row: merge (base - dels) with adds, all three sorted.
+    const RowDelta& delta = next_delta->second;
+    ++next_delta;
+    size_t bi = 0;
+    size_t di = 0;
+    size_t ai = 0;
+    while (bi < row_len || ai < delta.adds.size()) {
+      if (bi < row_len && di < delta.dels.size() &&
+          row[bi] == delta.dels[di]) {
+        ++bi;
+        ++di;
+        continue;
+      }
+      if (ai >= delta.adds.size() ||
+          (bi < row_len && row[bi] < delta.adds[ai])) {
+        *out++ = row[bi++];
+      } else {
+        *out++ = delta.adds[ai++];
+      }
+    }
+    NSKY_DCHECK(di == delta.dels.size());
+    NSKY_DCHECK(out == adjacency.data() + offsets[u + 1]);
+  }
+
+  util::Result<Graph> merged =
+      Graph::FromCsr(n, std::move(offsets), std::move(adjacency));
+  NSKY_CHECK_MSG(merged.ok(), "overlay merge produced invalid CSR");
+  base_ = std::make_shared<const Graph>(std::move(merged).value());
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  overlay_.clear();
+  staged_edits_ = 0;
+  return base_;
+}
+
+void VersionedGraph::DiscardStaged() {
+  overlay_.clear();
+  staged_edits_ = 0;
+}
+
+void VersionedGraph::Reset(Graph base) {
+  base_ = std::make_shared<const Graph>(std::move(base));
+  epoch_.store(0, std::memory_order_relaxed);
+  overlay_.clear();
+  staged_edits_ = 0;
+}
+
+}  // namespace nsky::graph

@@ -1,0 +1,120 @@
+// VersionedGraph: epoch/RCU-style mutable view over immutable CSR graphs.
+//
+// The serving stack treats Graph as immutable -- every artifact cache and
+// every in-flight query assumes the adjacency it reads never moves under
+// it. VersionedGraph keeps that invariant while making mutation first
+// class: the current graph is an immutable CSR snapshot held by
+// shared_ptr, edits accumulate in an overlay of sorted per-vertex edge
+// deltas, and Commit() merges base + overlay into the NEXT immutable CSR
+// epoch in a single pass. Readers that pinned the old snapshot keep a
+// fully consistent graph until they drop their reference; new readers see
+// the new epoch. Nothing is ever patched in place.
+//
+// Usage (the writer side of core::Engine::ApplyUpdates):
+//   VersionedGraph vg(std::move(g));               // epoch 0
+//   vg.Stage({u, v, /*insert=*/true});             // buffered, not visible
+//   auto old_snap = vg.Snapshot();                 // pin epoch N
+//   auto new_snap = vg.Commit();                   // epoch N+1 published
+//   // old_snap still reads the pre-commit adjacency.
+//
+// Staging is idempotent against the *staged view* (base + overlay): a
+// duplicate insert, an absent delete, or a self loop returns false and
+// stages nothing; an insert that cancels a staged delete (or vice versa)
+// removes the overlay entry instead of stacking a second one, so
+// StagedUpdates() always describes the NET difference between the base
+// epoch and the staged view. Commit() with an empty overlay is forbidden
+// (callers check staged_edits() first); epochs only advance when the graph
+// actually changed.
+//
+// Not thread-safe: one writer at a time (core::Engine serializes callers).
+// Snapshots handed out are safe to read from any thread.
+#ifndef NSKY_GRAPH_VERSIONED_GRAPH_H_
+#define NSKY_GRAPH_VERSIONED_GRAPH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nsky::graph {
+
+// One undirected edge update. Used by VersionedGraph::Stage, by
+// core::DynamicSkyline::ApplyBatch and by core::Engine::ApplyUpdates (the
+// three layers of the mutation path share one vocabulary type).
+struct EdgeUpdate {
+  VertexId u = 0;
+  VertexId v = 0;
+  bool insert = true;  // false = delete
+};
+
+class VersionedGraph {
+ public:
+  // Epoch 0 is the construction-time graph.
+  explicit VersionedGraph(Graph base);
+
+  // The current epoch's graph. The reference is stable until the next
+  // Commit() or Reset(); callers that outlive either must pin Snapshot().
+  const Graph& Current() const { return *base_; }
+
+  // Shared ownership of the current epoch; survives any later Commit().
+  std::shared_ptr<const Graph> Snapshot() const { return base_; }
+
+  // Epochs committed since construction (Reset() rewinds to 0). Atomic so
+  // observers (/healthz, stats scrapers) may read it concurrently with the
+  // single writer; everything else here still requires external
+  // serialization.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // Stages one edge update against the staged view. Returns false -- and
+  // stages nothing -- for self loops, out-of-range endpoints, inserts of
+  // edges already present in the staged view, and deletes of edges absent
+  // from it. An update that exactly cancels a staged one removes the
+  // overlay entry.
+  bool Stage(const EdgeUpdate& update);
+
+  // Number of edges whose presence differs between the base epoch and the
+  // staged view (the size of the net batch Commit() will apply).
+  size_t staged_edits() const { return staged_edits_; }
+
+  // The net staged batch, normalized: u < v, sorted ascending by (u, v),
+  // inserts and deletes interleaved in that order. Applying these to the
+  // base epoch (in any order -- they touch distinct edges) yields the
+  // staged view; repair code derives its dirty sets from exactly this.
+  std::vector<EdgeUpdate> StagedUpdates() const;
+
+  // Merges base + overlay into the next epoch's CSR in one pass, publishes
+  // it as Current(), clears the overlay and returns the new snapshot.
+  // Requires staged_edits() > 0.
+  std::shared_ptr<const Graph> Commit();
+
+  // Drops every staged update; the current epoch is untouched.
+  void DiscardStaged();
+
+  // Replaces the base graph wholesale (Engine::RefreshFrom). Drops staged
+  // updates and rewinds the epoch to 0: the counter tracks in-place
+  // mutation history of one base, not unrelated graphs.
+  void Reset(Graph base);
+
+ private:
+  // Per-row staged deltas; both endpoint rows of a staged edge carry an
+  // entry, mirroring CSR's both-directions storage. Sorted ascending.
+  struct RowDelta {
+    std::vector<VertexId> adds;
+    std::vector<VertexId> dels;
+  };
+
+  bool StagedViewHasEdge(VertexId u, VertexId v) const;
+  void ToggleHalf(VertexId row, VertexId other, bool insert);
+
+  std::shared_ptr<const Graph> base_;
+  std::atomic<uint64_t> epoch_{0};
+  std::map<VertexId, RowDelta> overlay_;
+  size_t staged_edits_ = 0;
+};
+
+}  // namespace nsky::graph
+
+#endif  // NSKY_GRAPH_VERSIONED_GRAPH_H_

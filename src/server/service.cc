@@ -1,7 +1,9 @@
 #include "server/service.h"
 
+#include <optional>
 #include <utility>
 
+#include "graph/versioned_graph.h"
 #include "core/engine_stats.h"
 #include "core/flight_recorder.h"
 #include "core/skyline_json.h"
@@ -122,6 +124,15 @@ HttpResponse SkylineService::Handle(const HttpRequest& request) {
     }
     return HandleReload(request);
   }
+  if (request.path == "/v1/edges") {
+    if (request.method != "POST") {
+      return ErrorResponseWithHttpStatus(
+          405, util::Status::InvalidArgument(
+                   "edge mutation requires POST, got '" + request.method +
+                   "'"));
+    }
+    return HandleMutate(request);
+  }
   if (request.method != "GET") {
     return ErrorResponseWithHttpStatus(
         405, util::Status::InvalidArgument("method '" + request.method +
@@ -139,7 +150,7 @@ HttpResponse SkylineService::Handle(const HttpRequest& request) {
     // tooling can confirm which snapshot a fleet member is serving from.
     // The id lives on the engine, so a hot reload flips it with the swap.
     std::shared_ptr<ServingEngine> serving = Serving();
-    if (const auto& info = serving->engine->snapshot_info();
+    if (const auto info = serving->engine->EffectiveSnapshotInfo();
         info.has_value()) {
       response.body += "snapshot " + info->id + "\n";
     }
@@ -169,8 +180,10 @@ HttpResponse SkylineService::HandleReload(const HttpRequest& request) {
 
   std::string previous_id;
   {
+    // Effective info: a mutated replica reports the "+dirty@epoch<N>" id it
+    // was actually serving under as the previous one.
     std::shared_ptr<ServingEngine> serving = Serving();
-    if (const auto& info = serving->engine->snapshot_info();
+    if (const auto info = serving->engine->EffectiveSnapshotInfo();
         info.has_value()) {
       previous_id = info->id;
     }
@@ -274,6 +287,8 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
   query.include_dominators = false;
 
   HttpResponse response;
+  uint64_t epoch = 0;
+  std::optional<core::SnapshotInfo> provenance;
   {
     std::lock_guard<std::mutex> lock(serving->mu);
     core::QueryResponse result;
@@ -293,14 +308,122 @@ HttpResponse SkylineService::HandleSkyline(const HttpRequest& request) {
     response.body =
         core::SkylineDocToJson(engine->graph(), result.result, doc, engine) +
         "\n";
+    // Read under the same lock the body was computed under: mutations also
+    // serialize on the cell mutex, so the epoch header always names the
+    // exact epoch this response was computed against.
+    epoch = engine->epoch();
+    provenance = engine->EffectiveSnapshotInfo();
   }
   // Provenance rides in a header, never the body: the body stays
   // byte-identical to the CLI's --engine --json output, and concurrency
   // tests match each response to the snapshot that produced it.
-  if (const auto& info = engine->snapshot_info(); info.has_value()) {
-    response.headers.emplace_back("X-Nsky-Snapshot", info->id);
+  if (provenance.has_value()) {
+    response.headers.emplace_back("X-Nsky-Snapshot", provenance->id);
   }
+  response.headers.emplace_back("X-Nsky-Epoch", std::to_string(epoch));
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return response;
+}
+
+HttpResponse SkylineService::HandleMutate(const HttpRequest& request) {
+  // Parse and validate the whole batch before touching the engine: a
+  // malformed document mutates nothing.
+  std::string parse_error;
+  std::optional<util::JsonValue> doc =
+      util::JsonParse(request.body, &parse_error);
+  if (!doc.has_value()) {
+    return ErrorResponse(
+        util::Status::InvalidArgument("mutation body: " + parse_error));
+  }
+  if (!doc->is_object()) {
+    return ErrorResponse(util::Status::InvalidArgument(
+        "mutation body must be a JSON object with an 'updates' array"));
+  }
+  const util::JsonValue* updates_value = doc->Find("updates");
+  if (updates_value == nullptr || !updates_value->is_array()) {
+    return ErrorResponse(util::Status::InvalidArgument(
+        "mutation body requires an 'updates' array"));
+  }
+  std::vector<graph::EdgeUpdate> updates;
+  updates.reserve(updates_value->array.size());
+  for (size_t i = 0; i < updates_value->array.size(); ++i) {
+    const util::JsonValue& entry = updates_value->array[i];
+    const std::string where = "updates[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return ErrorResponse(
+          util::Status::InvalidArgument(where + " must be an object"));
+    }
+    graph::EdgeUpdate update;
+    for (const char* key : {"u", "v"}) {
+      const util::JsonValue* endpoint = entry.Find(key);
+      if (endpoint == nullptr || !endpoint->is_number() ||
+          endpoint->number < 0 ||
+          endpoint->number != static_cast<double>(
+                                  static_cast<uint64_t>(endpoint->number)) ||
+          endpoint->number >= 4294967296.0) {
+        return ErrorResponse(util::Status::InvalidArgument(
+            where + "." + key + " must be an integer vertex id in [0, 2^32)"));
+      }
+      const graph::VertexId id =
+          static_cast<graph::VertexId>(endpoint->number);
+      if (key[0] == 'u') {
+        update.u = id;
+      } else {
+        update.v = id;
+      }
+    }
+    const util::JsonValue* op = entry.Find("op");
+    if (op == nullptr || !op->is_string() ||
+        (op->str != "insert" && op->str != "delete")) {
+      return ErrorResponse(util::Status::InvalidArgument(
+          where + ".op must be \"insert\" or \"delete\""));
+    }
+    update.insert = op->str == "insert";
+    updates.push_back(update);
+  }
+
+  if (draining_.load(std::memory_order_relaxed)) {
+    util::Status status = util::Status::Unavailable("server is draining");
+    HttpResponse response = ErrorResponse(status);
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(options_.retry_after_drain_s));
+    return response;
+  }
+
+  // Pin the serving cell and take the engine's turn: the mutation and any
+  // concurrent query serialize on the same mutex, so every query response
+  // is computed against exactly one epoch.
+  std::shared_ptr<ServingEngine> serving = Serving();
+  core::Engine::MutationResult outcome;
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  {
+    std::lock_guard<std::mutex> lock(serving->mu);
+    outcome = serving->engine->ApplyUpdates(updates);
+    vertices = serving->engine->graph().NumVertices();
+    edges = serving->engine->graph().NumEdges();
+  }
+
+  util::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "nsky.mutate.v1");
+  w.KV("command", "mutate");
+  w.KV("applied", static_cast<uint64_t>(outcome.applied));
+  w.KV("skipped", static_cast<uint64_t>(outcome.skipped));
+  w.KV("epoch", outcome.epoch);
+  w.KV("dirty_vertices", outcome.dirty_vertices);
+  w.KV("repaired", outcome.repaired);
+  w.KV("bulk_solve", outcome.bulk_solve);
+  w.Key("graph");
+  w.BeginObject();
+  w.KV("vertices", vertices);
+  w.KV("edges", edges);
+  w.EndObject();
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take() + "\n";
+  response.headers.emplace_back("X-Nsky-Epoch",
+                                std::to_string(outcome.epoch));
   return response;
 }
 

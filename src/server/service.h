@@ -22,6 +22,15 @@
 //   GET /healthz            "ok" liveness probe; a service whose engine was
 //                           restored from a persistent snapshot appends a
 //                           "snapshot <id>" line so probes can vet provenance
+//   POST /v1/edges
+//       Applies one edge batch to the served graph as a single epoch
+//       transition (Engine::ApplyUpdates). Body:
+//         {"updates":[{"u":0,"v":1,"op":"insert"|"delete"},...]}
+//       Answers nsky.mutate.v1 with applied/skipped counts, the new epoch
+//       and the repair outcome; mutations serialize with queries on the
+//       serving cell's mutex, so every query response is computed against
+//       exactly one epoch. Responses (here and on /v1/skyline) carry an
+//       `X-Nsky-Epoch` header.
 //   POST /v1/admin/reload?snapshot=PATH[&timeout_ms=&max_memory_mb=]
 //       Zero-downtime hot reload (see below); answers nsky.reload.v1.
 //
@@ -176,6 +185,7 @@ class SkylineService {
   std::shared_ptr<ServingEngine> Serving() const;
 
   HttpResponse HandleSkyline(const HttpRequest& request);
+  HttpResponse HandleMutate(const HttpRequest& request);
   HttpResponse HandleEngineStats();
   HttpResponse HandleQueries(const HttpRequest& request);
   HttpResponse HandleMetrics();

@@ -62,7 +62,8 @@ struct Args {
 // Options that do not take a value.
 bool IsBareFlag(const std::string& key) {
   return key == "no-skyline-pruning" || key == "lazy" || key == "json" ||
-         key == "engine" || key == "stats" || key == "fallback-cold-build";
+         key == "engine" || key == "stats" || key == "fallback-cold-build" ||
+         key == "verify";
 }
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& raw,
@@ -401,6 +402,147 @@ int CmdSkyline(const Args& args, const Graph* g_in, std::ostream& out,
     // One self-describing document per line, greppable from scripts.
     out << engine->StatsJson() << "\n";
     out << engine->RecentQueriesJson() << "\n";
+  }
+  return 0;
+}
+
+// Parses one --updates file: one update per line, `+ U V` inserts the
+// undirected edge {U, V} and `- U V` deletes it. Blank lines and lines
+// starting with '#' are skipped; anything else is a usage error (the whole
+// batch is rejected before the engine is touched, like the server's body
+// validation).
+bool LoadUpdatesFile(const std::string& path,
+                     std::vector<graph::EdgeUpdate>* updates,
+                     std::ostream& err) {
+  std::ifstream f(path);
+  if (!f) {
+    err << "error: cannot open --updates file '" << path << "'\n";
+    return false;
+  }
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(f, line)) {
+    ++line_no;
+    std::istringstream in(line);
+    std::string op;
+    if (!(in >> op) || op[0] == '#') continue;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    std::string extra;
+    if ((op != "+" && op != "-") || !(in >> u >> v) || (in >> extra) ||
+        u > 0xffffffffULL || v > 0xffffffffULL) {
+      err << "error: " << path << ":" << line_no
+          << ": expected '+ U V' or '- U V' with vertex ids in [0, 2^32)\n";
+      return false;
+    }
+    updates->push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
+                        op == "+"});
+  }
+  return true;
+}
+
+// `nsky mutate`: apply an edge-update batch to a warm engine and report the
+// epoch transition as the stable nsky.mutate.v1 document -- the CLI face of
+// Engine::ApplyUpdates, and the offline twin of POST /v1/edges. The engine
+// is warmed with one cold query (plus the shared skyline pool) before the
+// batch lands, so the mutation exercises the same incremental machinery a
+// served replica would: DynamicSkyline maintenance of the cached skyline
+// and PreparedGraph::RepairForUpdates on the artifacts. --verify
+// cross-checks the post-mutation warm query bit-for-bit -- skyline,
+// dominators, every deterministic counter including aux_peak_bytes --
+// against a cold-built engine on the mutated graph, and fails the command
+// when they diverge.
+int CmdMutate(const Args& args, Graph g, std::ostream& out,
+              std::ostream& err) {
+  if (!args.Has("updates")) {
+    err << "error: mutate requires --updates FILE\n";
+    return 2;
+  }
+  std::vector<graph::EdgeUpdate> updates;
+  if (!LoadUpdatesFile(args.Get("updates"), &updates, err)) return 2;
+  core::SolverOptions options;
+  if (!ParseThreads(args, &options.threads, err)) return 2;
+  const std::string algo =
+      args.Has("algo") ? args.Get("algo") : args.Get("algorithm", "filter-refine");
+  auto parsed_algo = core::ParseAlgorithm(algo);
+  if (!parsed_algo.has_value()) {
+    err << "error: unknown --algo '" << algo
+        << "' (mutate serves through the engine; join is not supported)\n";
+    return 2;
+  }
+  options.algorithm = *parsed_algo;
+
+  core::Engine engine(std::move(g));
+  engine.Query(options);  // cold: builds this query shape's artifacts
+  engine.SkylineCache();  // and the shared skyline pool, so the batch
+                          // maintains it through DynamicSkyline
+  const core::Engine::MutationResult outcome = engine.ApplyUpdates(updates);
+  core::SkylineResult warm = engine.Query(options);  // post-mutation, warm
+
+  bool verified = false;
+  if (args.Has("verify")) {
+    core::Engine oracle{Graph(engine.graph())};
+    core::SkylineResult cold = oracle.Query(options);
+    verified =
+        warm.skyline == cold.skyline && warm.dominator == cold.dominator &&
+        warm.stats.candidate_count == cold.stats.candidate_count &&
+        warm.stats.pairs_examined == cold.stats.pairs_examined &&
+        warm.stats.bloom_prunes == cold.stats.bloom_prunes &&
+        warm.stats.degree_prunes == cold.stats.degree_prunes &&
+        warm.stats.inclusion_tests == cold.stats.inclusion_tests &&
+        warm.stats.nbr_elements_scanned == cold.stats.nbr_elements_scanned &&
+        warm.stats.aux_peak_bytes == cold.stats.aux_peak_bytes;
+    if (!verified) {
+      return EmitFailure(
+          args,
+          util::Status::IoError(
+              "post-mutation warm result diverged from a cold rebuild "
+              "(repair bug: run with --json for the counters)"),
+          out, err);
+    }
+  }
+
+  if (args.Has("json")) {
+    // Same keys as the server's POST /v1/edges response, plus the CLI-only
+    // skyline/verified trailers.
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "nsky.mutate.v1");
+    w.KV("command", "mutate");
+    w.KV("applied", static_cast<uint64_t>(outcome.applied));
+    w.KV("skipped", static_cast<uint64_t>(outcome.skipped));
+    w.KV("epoch", outcome.epoch);
+    w.KV("dirty_vertices", outcome.dirty_vertices);
+    w.KV("repaired", outcome.repaired);
+    w.KV("bulk_solve", outcome.bulk_solve);
+    w.Key("graph");
+    w.BeginObject();
+    w.KV("vertices", static_cast<uint64_t>(engine.graph().NumVertices()));
+    w.KV("edges", engine.graph().NumEdges());
+    w.EndObject();
+    w.Key("skyline");
+    w.BeginObject();
+    w.KV("size", static_cast<uint64_t>(warm.skyline.size()));
+    w.EndObject();
+    core::WriteSkylineStatsJson(warm.stats, &w);
+    if (args.Has("verify")) w.KV("verified", verified);
+    w.EndObject();
+    out << std::move(w).Take() << "\n";
+    return 0;
+  }
+  out << "applied " << outcome.applied << " update(s), skipped "
+      << outcome.skipped << "; epoch " << outcome.epoch << ", dirty "
+      << outcome.dirty_vertices << " vertex(es), "
+      << (outcome.repaired ? "artifacts repaired" : "artifacts rebuilt")
+      << (outcome.bulk_solve ? ", bulk skyline solve" : "") << "\n";
+  out << "skyline " << warm.skyline.size() << " of "
+      << engine.graph().NumVertices() << " vertices (" << algo
+      << ", warm, " << util::FormatSeconds(warm.stats.seconds) << ")\n";
+  if (args.Has("verify")) {
+    out << "verify: warm result matches a cold rebuild bit-for-bit\n";
+  }
+  if (args.Get("print", "no") == "yes") {
+    for (VertexId u : warm.skyline) out << u << "\n";
   }
   return 0;
 }
@@ -940,7 +1082,8 @@ int CmdDatasets(std::ostream& out) {
 void PrintUsage(std::ostream& out) {
   out << "usage: nsky <command> [options]\n"
          "commands: stats skyline candidates generate centrality group-max\n"
-         "          clique topk-cliques serve snapshot datasets metrics help\n"
+         "          clique topk-cliques serve mutate snapshot datasets\n"
+         "          metrics help\n"
          "graph sources: --input FILE | --standin NAME [--scale small|full]\n"
          "               | --generate SPEC (er:N:P, ba:N:M, pl:N:BETA:AVG,\n"
          "                 social:N:AVG, clique:N, cycle:N, path:N, star:N,\n"
@@ -976,8 +1119,16 @@ void PrintUsage(std::ostream& out) {
          "             (loopback HTTP: /v1/skyline /v1/engine_stats\n"
          "              /v1/queries /v1/metrics /healthz, plus\n"
          "              POST /v1/admin/reload?snapshot=PATH for\n"
-         "              zero-downtime engine swaps; shed -> 429 and\n"
+         "              zero-downtime engine swaps, and POST /v1/edges\n"
+         "              for in-place edge mutation with incremental\n"
+         "              artifact repair -- nsky.mutate.v1; shed -> 429 and\n"
          "              draining -> 503 both carry Retry-After)\n"
+         "mutation:  mutate <graph source> --updates FILE [--algo A]\n"
+         "             [--threads N] [--json] [--verify] (apply an edge\n"
+         "             batch -- lines '+ U V' / '- U V' -- to a warm\n"
+         "             engine: one epoch commit + incremental artifact\n"
+         "             repair; --verify cross-checks the warm result\n"
+         "             bit-for-bit against a cold rebuild)\n"
          "snapshots: snapshot save <graph source> --output FILE\n"
          "             [--warm all|none|ALGO,...] (build + warm an engine,\n"
          "             serialize it; --snapshot IN instead of a graph\n"
@@ -1014,7 +1165,7 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
   static const char* kGraphCommands[] = {
       "stats",      "skyline",   "candidates", "generate",
       "centrality", "group-max", "clique",     "topk-cliques",
-      "serve"};
+      "serve",      "mutate"};
   bool known = false;
   for (const char* c : kGraphCommands) known |= args.command == c;
   if (!known) {
@@ -1024,7 +1175,8 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
   }
 
   if (args.Has("json") && args.command != "stats" &&
-      args.command != "skyline" && args.command != "candidates") {
+      args.command != "skyline" && args.command != "candidates" &&
+      args.command != "mutate") {
     err << "error: --json is not supported for command '" << args.command
         << "'\n";
     return 2;
@@ -1084,6 +1236,8 @@ int RunCli(const std::vector<std::string>& args_raw, std::ostream& out,
       code = CmdCandidates(args, *g, out, err);
     } else if (args.command == "serve") {
       code = CmdServe(args, std::move(g), out, err);
+    } else if (args.command == "mutate") {
+      code = CmdMutate(args, std::move(*g), out, err);
     } else if (args.command == "generate") {
       code = CmdGenerate(args, *g, out, err);
     } else if (args.command == "centrality") {

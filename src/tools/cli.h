@@ -25,7 +25,10 @@
 //              byte-identically to `skyline --engine --json`, plus
 //              /v1/engine_stats, /v1/queries, /v1/metrics, /healthz, and
 //              POST /v1/admin/reload?snapshot=PATH (zero-downtime engine
-//              hot-swap; answers nsky.reload.v1).
+//              hot-swap; answers nsky.reload.v1) and POST /v1/edges
+//              (in-place edge mutation: one epoch commit + incremental
+//              artifact repair; answers nsky.mutate.v1 and stamps
+//              X-Nsky-Epoch).
 //              --port 0 binds an ephemeral port (written atomically to
 //              --port-file after the bind); --max-requests N exits after N
 //              requests (0 = run forever). With --snapshot,
@@ -33,6 +36,21 @@
 //              hot-reloads on change, and --fallback-cold-build degrades a
 //              failed load to a cold build from the graph source (which is
 //              then allowed alongside --snapshot).
+//   mutate     (same inputs) --updates FILE [--algo A] [--threads N]
+//              [--json] [--verify]
+//              apply an edge-update batch to a warm engine as one epoch
+//              transition (core::Engine::ApplyUpdates): the update file
+//              has one update per line, `+ U V` inserts the undirected
+//              edge {U, V} and `- U V` deletes it ('#' comments and blank
+//              lines are skipped; a malformed line rejects the whole batch
+//              before anything mutates). The engine runs one cold query
+//              first so the batch exercises the incremental serving path:
+//              DynamicSkyline maintains the cached skyline and
+//              PreparedGraph::RepairForUpdates locally patches the
+//              artifacts (or drops them past the dirty-fraction cap).
+//              --verify rebuilds a cold engine on the mutated graph and
+//              fails (exit 1) unless the warm result matches bit-for-bit,
+//              aux_peak_bytes included.
 //   snapshot   save|load|inspect -- persistent engine snapshots
 //              (src/persist/, format in src/persist/format.h):
 //                snapshot save <graph source> --output FILE
@@ -98,7 +116,8 @@
 //                      them to FILE as Chrome trace-event JSON (loadable in
 //                      chrome://tracing or Perfetto).
 //   --json             machine-readable output on stdout instead of the text
-//                      rendering; supported by stats, skyline and candidates.
+//                      rendering; supported by stats, skyline, candidates
+//                      and mutate.
 //   --stats            (skyline; requires --engine or --repeat) report the
 //                      serving engine's introspection after the queries: the
 //                      nsky.engine_stats.v1 document (artifact-cache
@@ -142,6 +161,16 @@
 //   queries    (embedded under "recent_queries" by skyline --stats, or
 //              standalone from Engine::RecentQueriesJson): see
 //              core/flight_recorder.h for the nsky.queries.v1 layout.
+//   mutate     {"schema":"nsky.mutate.v1","command":"mutate",
+//               "applied",<uint>,"skipped",<uint>,"epoch",<uint>,
+//               "dirty_vertices",<uint>,"repaired",<bool>,
+//               "bulk_solve",<bool>,"graph":{"vertices","edges"},
+//               "skyline":{"size"},"stats":{...same as skyline...}
+//               [,"verified":<bool>]}
+//              the same leading keys as the server's POST /v1/edges
+//              response body; the CLI appends the post-mutation warm
+//              query's skyline/stats and, with --verify, the oracle
+//              verdict.
 //   snapshot   {"schema":"nsky.snapshot.v1","command":"snapshot",
 //               "action":"save"|"inspect","path",<string>,"id",<16 hex>,
 //               "format_version",<uint>,"file_bytes",<uint>,

@@ -1,0 +1,230 @@
+// Engine::ApplyUpdates oracle suite: after any mutation batch, a warm
+// query must be bit-identical -- skyline, dominator array, every
+// deterministic SkylineStats counter including aux_peak_bytes -- to a
+// cold-built engine on the post-mutation graph, for every algorithm at
+// every thread count. Batch sizes straddle DynamicSkyline's bulk threshold
+// (31/32/33) so both the incremental and the bulk maintenance paths are
+// exercised, and the cached skyline is additionally cross-checked against
+// the brute-force definition.
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/domination.h"
+#include "core/engine.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "graph/versioned_graph.h"
+#include "util/rng.h"
+
+namespace nsky::core {
+namespace {
+
+using graph::EdgeUpdate;
+using graph::Graph;
+using graph::VertexId;
+
+constexpr Algorithm kAlgorithms[] = {Algorithm::kFilterRefine,
+                                     Algorithm::kBaseSky, Algorithm::kBaseCSet,
+                                     Algorithm::kBase2Hop};
+constexpr uint32_t kThreadCounts[] = {1, 2, 8};
+
+// Asserts two results agree on everything deterministic.
+void ExpectBitIdentical(const SkylineResult& warm, const SkylineResult& cold,
+                        const char* what) {
+  EXPECT_EQ(warm.skyline, cold.skyline) << what;
+  EXPECT_EQ(warm.dominator, cold.dominator) << what;
+  EXPECT_EQ(warm.stats.candidate_count, cold.stats.candidate_count) << what;
+  EXPECT_EQ(warm.stats.pairs_examined, cold.stats.pairs_examined) << what;
+  EXPECT_EQ(warm.stats.bloom_prunes, cold.stats.bloom_prunes) << what;
+  EXPECT_EQ(warm.stats.degree_prunes, cold.stats.degree_prunes) << what;
+  EXPECT_EQ(warm.stats.inclusion_tests, cold.stats.inclusion_tests) << what;
+  EXPECT_EQ(warm.stats.nbr_elements_scanned, cold.stats.nbr_elements_scanned)
+      << what;
+  EXPECT_EQ(warm.stats.aux_peak_bytes, cold.stats.aux_peak_bytes) << what;
+}
+
+// Warm queries of `engine` vs cold queries of a fresh engine on the same
+// (post-mutation) graph, across the full algorithm x thread matrix.
+void ExpectWarmMatchesColdRebuild(Engine* engine, const char* what) {
+  Engine cold_engine{Graph(engine->graph())};
+  for (Algorithm algorithm : kAlgorithms) {
+    for (uint32_t threads : kThreadCounts) {
+      SolverOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      SkylineResult warm = engine->Query(options);
+      SkylineResult cold = cold_engine.Query(options);
+      // The oracle engine is warm after its own first query per shape;
+      // pin against a genuinely cold solve too.
+      SkylineResult solo = Solve(engine->graph(), options);
+      ExpectBitIdentical(warm, cold, what);
+      ExpectBitIdentical(warm, solo, what);
+    }
+  }
+}
+
+// A random batch of `size` updates against `g`: mixed inserts of absent
+// edges and deletes of present ones, self-loop and duplicate pollution
+// included so skip accounting is exercised.
+std::vector<EdgeUpdate> RandomBatch(const Graph& g, size_t size,
+                                    util::Rng* rng) {
+  std::vector<EdgeUpdate> updates;
+  const VertexId n = g.NumVertices();
+  while (updates.size() < size) {
+    VertexId u = static_cast<VertexId>(rng->NextUint64(n));
+    VertexId v = static_cast<VertexId>(rng->NextUint64(n));
+    if (u == v && rng->NextBool(0.9)) continue;  // keep a few self loops
+    updates.push_back({u, v, u == v ? true : !g.HasEdge(u, v)});
+  }
+  return updates;
+}
+
+// The canonical drill: warm the engine, apply `batch_size` random updates,
+// interleave warm queries, verify against cold rebuilds and brute force.
+void RunOracleDrill(Graph g, size_t batch_size, uint64_t seed) {
+  util::Rng rng(seed);
+  Engine engine(std::move(g));
+  engine.Query();         // cold query: builds artifacts
+  engine.SkylineCache();  // cached skyline: mutation maintains it
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<EdgeUpdate> batch =
+        RandomBatch(engine.graph(), batch_size, &rng);
+    const uint64_t epoch_before = engine.epoch();
+    Engine::MutationResult outcome = engine.ApplyUpdates(batch);
+    EXPECT_EQ(outcome.applied + outcome.skipped, batch.size());
+    if (outcome.applied > 0) {
+      EXPECT_EQ(outcome.epoch, epoch_before + 1);
+    } else {
+      EXPECT_EQ(outcome.epoch, epoch_before);
+    }
+
+    ExpectWarmMatchesColdRebuild(&engine, "post-mutation round");
+
+    // The maintained skyline cache equals the definitional skyline.
+    EXPECT_EQ(engine.SkylineCache(),
+              BruteForceSkyline(engine.graph()).skyline)
+        << "round " << round << " batch " << batch_size;
+  }
+}
+
+TEST(MutationOracle, BatchBelowBulkThreshold) {
+  RunOracleDrill(graph::MakeChungLuPowerLaw(220, 2.4, 5, 3), 31, 101);
+}
+
+TEST(MutationOracle, BatchAtBulkThreshold) {
+  RunOracleDrill(graph::MakeChungLuPowerLaw(220, 2.4, 5, 4), 32, 102);
+}
+
+TEST(MutationOracle, BatchAboveBulkThreshold) {
+  RunOracleDrill(graph::MakeChungLuPowerLaw(220, 2.4, 5, 5), 33, 103);
+}
+
+TEST(MutationOracle, SocialGraphMixedBatches) {
+  RunOracleDrill(graph::MakeSocialGraph(300, 5.0, 0.6, 0.4, 7, 0.3), 12, 104);
+}
+
+TEST(MutationOracle, EmptyNetBatchKeepsEpochAndWarmth) {
+  Engine engine(graph::MakeErdosRenyi(150, 0.05, 9));
+  engine.Query();
+  SkylineResult before = engine.Query();
+
+  // Insert + delete of the same absent edge nets to nothing.
+  std::vector<EdgeUpdate> batch = {{1, 100, true}, {1, 100, false}};
+  Engine::MutationResult outcome = engine.ApplyUpdates(batch);
+  EXPECT_EQ(outcome.epoch, 0u);
+  EXPECT_EQ(outcome.applied, 2u);  // both changed the staged view
+  SkylineResult after = engine.Query();
+  ExpectBitIdentical(after, before, "empty net batch");
+}
+
+TEST(MutationOracle, PureSkipBatchIsANoop) {
+  Engine engine(graph::MakeErdosRenyi(100, 0.05, 13));
+  engine.Query();
+  std::vector<EdgeUpdate> batch = {
+      {5, 5, true},     // self loop
+      {0, 5000, true},  // out of range
+  };
+  Engine::MutationResult outcome = engine.ApplyUpdates(batch);
+  EXPECT_EQ(outcome.applied, 0u);
+  EXPECT_EQ(outcome.skipped, 2u);
+  EXPECT_EQ(outcome.epoch, 0u);
+}
+
+TEST(MutationOracle, SnapshotIdGainsDirtySuffixAfterMutation) {
+  Engine engine(graph::MakeErdosRenyi(120, 0.05, 21));
+  engine.set_snapshot_info({.id = "cafebabecafebabe"});
+  EXPECT_EQ(engine.EffectiveSnapshotInfo()->id, "cafebabecafebabe");
+
+  std::vector<EdgeUpdate> batch = {{0, 100, !engine.graph().HasEdge(0, 100)}};
+  Engine::MutationResult outcome = engine.ApplyUpdates(batch);
+  ASSERT_EQ(outcome.applied, 1u);
+  EXPECT_EQ(engine.EffectiveSnapshotInfo()->id,
+            "cafebabecafebabe+dirty@epoch1");
+  EXPECT_EQ(engine.StatsSnapshot().snapshot->id,
+            "cafebabecafebabe+dirty@epoch1");
+  EXPECT_EQ(engine.recorder().origin(),
+            "snapshot:cafebabecafebabe+dirty@epoch1");
+}
+
+TEST(MutationOracle, MutationStatsAppearInEngineStats) {
+  Engine engine(graph::MakeErdosRenyi(150, 0.04, 33));
+  engine.Query();
+  EXPECT_FALSE(engine.StatsSnapshot().mutation.has_value());
+
+  std::vector<EdgeUpdate> batch = {{2, 2, true},  // skipped
+                                   {0, 140, !engine.graph().HasEdge(0, 140)}};
+  engine.ApplyUpdates(batch);
+  EngineStats stats = engine.StatsSnapshot();
+  EXPECT_EQ(stats.epoch, 1u);
+  ASSERT_TRUE(stats.mutation.has_value());
+  EXPECT_EQ(stats.mutation->batches, 1u);
+  EXPECT_EQ(stats.mutation->updates_applied, 1u);
+  EXPECT_EQ(stats.mutation->updates_skipped, 1u);
+  EXPECT_GT(stats.mutation->dirty_last, 0u);
+}
+
+// Epoch snapshots pinned before a mutation stay fully readable after it.
+TEST(MutationOracle, PinnedSnapshotSurvivesCommit) {
+  Engine engine(graph::MakeErdosRenyi(100, 0.06, 55));
+  std::shared_ptr<const Graph> pinned = engine.graph_snapshot();
+  const uint64_t edges_before = pinned->NumEdges();
+
+  std::vector<EdgeUpdate> batch = {{0, 50, !pinned->HasEdge(0, 50)}};
+  engine.ApplyUpdates(batch);
+  EXPECT_EQ(pinned->NumEdges(), edges_before);
+  EXPECT_NE(pinned.get(), engine.graph_snapshot().get());
+}
+
+// Long randomized soak across many epochs: every epoch's cached skyline
+// matches brute force and warm queries stay bit-identical.
+TEST(MutationOracle, MultiEpochRandomSoak) {
+  util::Rng rng(77);
+  Engine engine(graph::MakeChungLuPowerLaw(180, 2.5, 4, 9));
+  engine.Query();
+  engine.SkylineCache();
+  for (int round = 0; round < 10; ++round) {
+    const size_t batch_size = 1 + rng.NextUint64(40);  // straddles 32
+    std::vector<EdgeUpdate> batch =
+        RandomBatch(engine.graph(), batch_size, &rng);
+    engine.ApplyUpdates(batch);
+    EXPECT_EQ(engine.SkylineCache(),
+              BruteForceSkyline(engine.graph()).skyline)
+        << "round " << round;
+    SolverOptions options;
+    options.threads = 1 + static_cast<uint32_t>(rng.NextUint64(8));
+    SkylineResult warm = engine.Query(options);
+    ExpectBitIdentical(warm, Solve(engine.graph(), options), "soak");
+  }
+  EngineStats stats = engine.StatsSnapshot();
+  ASSERT_TRUE(stats.mutation.has_value());
+  EXPECT_EQ(stats.mutation->batches, 10u);
+  EXPECT_EQ(stats.epoch, engine.epoch());
+}
+
+}  // namespace
+}  // namespace nsky::core

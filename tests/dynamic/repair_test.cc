@@ -1,0 +1,303 @@
+// PreparedGraph::RepairForUpdates: locally patched artifacts must be
+// bit-identical to a fresh build on the post-mutation graph -- filter
+// verdicts and replayed stats, bloom rows, 2-hop lists and ledger charges,
+// the degree order -- and the fallback drop must trigger deterministically
+// when the dirty set's 2-hop volume exceeds kRepairMaxDirtyPercent of the
+// graph's (volume, not vertex count: hubs enter the dirty set often).
+#include "core/prepared_graph.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bloom.h"
+#include "graph/generators.h"
+#include "graph/versioned_graph.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace nsky::core {
+namespace {
+
+using graph::EdgeUpdate;
+using graph::Graph;
+using graph::VersionedGraph;
+using graph::VertexId;
+
+constexpr uint32_t kBloomBits = 256;
+
+// Builds every repairable artifact of `prepared` (filter, both bloom
+// blocks, 2-hop, degree order, cores).
+void WarmAllArtifacts(PreparedGraph* prepared, util::ThreadPool* pool) {
+  prepared->Filter(*pool);
+  prepared->CandidateBlooms(kBloomBits, *pool);
+  prepared->FullBlooms(kBloomBits, *pool);
+  prepared->TwoHop(*pool);
+  prepared->DegreeOrder();
+  prepared->Cores();
+}
+
+void ExpectBloomsEqual(const NeighborhoodBlooms& got,
+                       const NeighborhoodBlooms& want, const char* what) {
+  EXPECT_EQ(got.bits(), want.bits()) << what;
+  EXPECT_EQ(got.slots(), want.slots()) << what;
+  EXPECT_EQ(got.words(), want.words()) << what;
+}
+
+// The oracle: every artifact still materialized after the repair must be
+// bit-identical to a fresh PreparedGraph's build on `new_g`.
+void ExpectRepairedMatchesFreshBuild(const PreparedGraph& repaired,
+                                     const Graph& new_g,
+                                     util::ThreadPool* pool) {
+  PreparedGraph fresh(&new_g);
+  const PreparedGraph::FilterArtifacts* got_filter = repaired.PeekFilter();
+  ASSERT_NE(got_filter, nullptr);
+  const PreparedGraph::FilterArtifacts& want_filter = fresh.Filter(*pool);
+  EXPECT_EQ(got_filter->candidates, want_filter.candidates);
+  EXPECT_EQ(got_filter->dominator, want_filter.dominator);
+  EXPECT_EQ(got_filter->member, want_filter.member);
+  EXPECT_EQ(got_filter->stats.candidate_count,
+            want_filter.stats.candidate_count);
+  EXPECT_EQ(got_filter->stats.pairs_examined,
+            want_filter.stats.pairs_examined);
+  EXPECT_EQ(got_filter->stats.degree_prunes, want_filter.stats.degree_prunes);
+  EXPECT_EQ(got_filter->stats.inclusion_tests,
+            want_filter.stats.inclusion_tests);
+  EXPECT_EQ(got_filter->stats.nbr_elements_scanned,
+            want_filter.stats.nbr_elements_scanned);
+  EXPECT_EQ(got_filter->stats.aux_peak_bytes,
+            want_filter.stats.aux_peak_bytes);
+
+  const NeighborhoodBlooms* got_cand =
+      repaired.PeekCandidateBlooms(kBloomBits);
+  ASSERT_NE(got_cand, nullptr);
+  ExpectBloomsEqual(*got_cand, fresh.CandidateBlooms(kBloomBits, *pool),
+                    "candidate blooms");
+  const NeighborhoodBlooms* got_full = repaired.PeekFullBlooms(kBloomBits);
+  ASSERT_NE(got_full, nullptr);
+  ExpectBloomsEqual(*got_full, fresh.FullBlooms(kBloomBits, *pool),
+                    "full blooms");
+
+  const PreparedGraph::TwoHopArtifacts* got_two_hop = repaired.PeekTwoHop();
+  ASSERT_NE(got_two_hop, nullptr);
+  const PreparedGraph::TwoHopArtifacts& want_two_hop = fresh.TwoHop(*pool);
+  EXPECT_EQ(got_two_hop->lists, want_two_hop.lists);
+  EXPECT_EQ(got_two_hop->charged_bytes, want_two_hop.charged_bytes);
+
+  const std::vector<VertexId>* got_order = repaired.PeekDegreeOrder();
+  ASSERT_NE(got_order, nullptr);
+  EXPECT_EQ(*got_order, fresh.DegreeOrder());
+}
+
+// Stages `updates` on a copy of `g`, commits, runs RepairForUpdates against
+// the artifacts previously built on `g`, and cross-checks every artifact.
+// Returns the outcome for policy assertions.
+PreparedGraph::RepairOutcome RepairAndCheck(
+    Graph g, const std::vector<EdgeUpdate>& updates) {
+  util::ThreadPool pool(1);
+  VersionedGraph vg(std::move(g));
+  std::shared_ptr<const Graph> old_snap = vg.Snapshot();
+  PreparedGraph prepared(old_snap.get());
+  WarmAllArtifacts(&prepared, &pool);
+
+  size_t staged = 0;
+  for (const EdgeUpdate& update : updates) staged += vg.Stage(update);
+  EXPECT_GT(staged, 0u) << "test batch must change the graph";
+  std::vector<EdgeUpdate> net = vg.StagedUpdates();
+  std::shared_ptr<const Graph> new_snap = vg.Commit();
+
+  PreparedGraph::RepairOutcome outcome =
+      prepared.RepairForUpdates(*old_snap, *new_snap, net);
+  EXPECT_EQ(&prepared.graph(), new_snap.get());
+  if (outcome.repaired) {
+    // Cores have no local repair: always dropped, never stale.
+    EXPECT_EQ(prepared.PeekCores(), nullptr);
+    ExpectRepairedMatchesFreshBuild(prepared, *new_snap, &pool);
+  } else {
+    EXPECT_EQ(prepared.PeekFilter(), nullptr);
+    EXPECT_EQ(prepared.PeekTwoHop(), nullptr);
+    EXPECT_EQ(prepared.PeekDegreeOrder(), nullptr);
+    EXPECT_EQ(prepared.PeekCores(), nullptr);
+    EXPECT_TRUE(prepared.CandidateBloomWidths().empty());
+    EXPECT_TRUE(prepared.FullBloomWidths().empty());
+  }
+  return outcome;
+}
+
+// Two non-adjacent moderate-degree vertices (hub endpoints would trip the
+// volume fallback instead of exercising the patch path).
+std::pair<VertexId, VertexId> ModerateNonEdge(const Graph& g) {
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (g.Degree(u) < 2 || g.Degree(u) > 8) continue;
+    for (VertexId v = u + 1; v < g.NumVertices(); ++v) {
+      if (g.Degree(v) < 2 || g.Degree(v) > 8) continue;
+      if (!g.HasEdge(u, v)) return {u, v};
+    }
+  }
+  return {0, 0};
+}
+
+TEST(RepairForUpdates, SingleInsertPatchesAllArtifacts) {
+  Graph g = graph::MakeChungLuPowerLaw(400, 2.4, 6, 5);
+  auto [u, v] = ModerateNonEdge(g);
+  ASSERT_NE(u, v);
+  auto outcome = RepairAndCheck(std::move(g), {{u, v, true}});
+  EXPECT_TRUE(outcome.repaired);
+  EXPECT_GT(outcome.dirty_vertices, 0u);
+  EXPECT_GT(outcome.patched_artifacts, 0u);
+}
+
+TEST(RepairForUpdates, SingleDeletePatchesAllArtifacts) {
+  Graph g = graph::MakeChungLuPowerLaw(400, 2.4, 6, 5);
+  // Delete an edge between two moderate-degree endpoints.
+  VertexId u = 0, v = 0;
+  for (VertexId a = 0; a < g.NumVertices() && u == v; ++a) {
+    if (g.Degree(a) < 2 || g.Degree(a) > 8) continue;
+    for (VertexId b : g.Neighbors(a)) {
+      if (g.Degree(b) >= 2 && g.Degree(b) <= 8) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(u, v);
+  auto outcome = RepairAndCheck(std::move(g), {{u, v, false}});
+  EXPECT_TRUE(outcome.repaired);
+}
+
+TEST(RepairForUpdates, HubInsertFallsBackOnVolumeNotCount) {
+  // Vertex 0 is the Chung-Lu hub (degree ~41 of n=400): one insert dirties
+  // only ~11% of the VERTICES but ~32% of the graph's 2-hop VOLUME --
+  // exactly the skew the volume-based fallback exists to catch. A
+  // count-based policy would wrongly attempt the near-rebuild-cost patch.
+  Graph g = graph::MakeChungLuPowerLaw(400, 2.4, 6, 5);
+  ASSERT_GT(g.Degree(0), 30u);
+  ASSERT_FALSE(g.HasEdge(0, 200));
+  const VertexId n = g.NumVertices();
+  auto outcome = RepairAndCheck(std::move(g), {{0, 200, true}});
+  EXPECT_FALSE(outcome.repaired);
+  EXPECT_LT(outcome.dirty_vertices * 100, uint64_t{n} *
+                                              PreparedGraph::kRepairMaxDirtyPercent)
+      << "hub dirty set should be small by count; only volume trips it";
+  EXPECT_GT(outcome.dropped_artifacts, 0u);
+}
+
+TEST(RepairForUpdates, MixedBatchOnSocialGraph) {
+  Graph g = graph::MakeSocialGraph(500, 6.0, 0.6, 0.4, 11, 0.3);
+  std::vector<EdgeUpdate> updates;
+  // Mixed inserts and deletes confined to low-degree endpoints: touching a
+  // hub dirties its whole neighborhood, which would trip the fallback
+  // instead of exercising the patch path this test is about.
+  std::vector<VertexId> quiet;
+  for (VertexId u = 0; u < g.NumVertices() && quiet.size() < 40; ++u) {
+    if (g.Degree(u) >= 1 && g.Degree(u) <= 3) quiet.push_back(u);
+  }
+  ASSERT_GE(quiet.size(), 10u);
+  size_t inserts = 0;
+  for (size_t i = 0; i + 1 < quiet.size() && inserts < 5; i += 2) {
+    if (g.HasEdge(quiet[i], quiet[i + 1])) continue;
+    updates.push_back({quiet[i], quiet[i + 1], true});
+    ++inserts;
+  }
+  EXPECT_GE(inserts, 4u);
+  size_t deletes = 0;
+  for (VertexId u : quiet) {
+    if (deletes >= 3) break;
+    for (VertexId v : g.Neighbors(u)) {
+      if (g.Degree(v) > 15) continue;  // skip hub partners
+      updates.push_back({u, v, false});
+      ++deletes;
+      break;
+    }
+  }
+  EXPECT_GE(deletes, 2u);
+  auto outcome = RepairAndCheck(std::move(g), updates);
+  EXPECT_TRUE(outcome.repaired);
+}
+
+TEST(RepairForUpdates, HubEdgeFallsBackWhenDirtySetExplodes) {
+  // A star's center neighbors every vertex: touching the center dirties
+  // n-1 vertices, far past kRepairMaxDirtyPercent, so the repair must
+  // deterministically drop everything instead of patching.
+  Graph g = graph::MakeStar(64);
+  auto outcome = RepairAndCheck(std::move(g), {{0, 1, false}});
+  EXPECT_FALSE(outcome.repaired);
+  EXPECT_GT(outcome.dropped_artifacts, 0u);
+  EXPECT_EQ(outcome.patched_artifacts, 0u);
+}
+
+TEST(RepairForUpdates, RepairsCountInCacheStatsNotHitsOrMisses) {
+  util::ThreadPool pool(1);
+  VersionedGraph vg(graph::MakeErdosRenyi(300, 0.03, 23));
+  std::shared_ptr<const Graph> old_snap = vg.Snapshot();
+  PreparedGraph prepared(old_snap.get());
+  WarmAllArtifacts(&prepared, &pool);
+  const uint64_t builds_before = prepared.builds();
+  PreparedGraph::CacheStats before = prepared.CacheStatsSnapshot();
+
+  ASSERT_TRUE(vg.Stage({7, 250, true}));
+  std::vector<EdgeUpdate> net = vg.StagedUpdates();
+  std::shared_ptr<const Graph> new_snap = vg.Commit();
+  auto outcome = prepared.RepairForUpdates(*old_snap, *new_snap, net);
+  ASSERT_TRUE(outcome.repaired);
+
+  PreparedGraph::CacheStats after = prepared.CacheStatsSnapshot();
+  EXPECT_EQ(prepared.builds(), builds_before) << "a repair is not a build";
+  EXPECT_EQ(after.filter.misses, before.filter.misses);
+  EXPECT_EQ(after.filter.hits, before.filter.hits);
+  EXPECT_EQ(after.filter.repairs, before.filter.repairs + 1);
+  EXPECT_EQ(after.two_hop.repairs, before.two_hop.repairs + 1);
+  EXPECT_EQ(after.degree_order.repairs, before.degree_order.repairs + 1);
+  EXPECT_EQ(after.full_blooms.at(kBloomBits).repairs,
+            before.full_blooms.at(kBloomBits).repairs + 1);
+}
+
+TEST(RepairForUpdates, AbsentArtifactsStayAbsent) {
+  util::ThreadPool pool(1);
+  VersionedGraph vg(graph::MakeErdosRenyi(200, 0.04, 31));
+  std::shared_ptr<const Graph> old_snap = vg.Snapshot();
+  PreparedGraph prepared(old_snap.get());
+  prepared.Filter(pool);  // only the filter is materialized
+
+  ASSERT_TRUE(vg.Stage({3, 150, true}));
+  std::vector<EdgeUpdate> net = vg.StagedUpdates();
+  std::shared_ptr<const Graph> new_snap = vg.Commit();
+  auto outcome = prepared.RepairForUpdates(*old_snap, *new_snap, net);
+  ASSERT_TRUE(outcome.repaired);
+  EXPECT_NE(prepared.PeekFilter(), nullptr);
+  EXPECT_EQ(prepared.PeekTwoHop(), nullptr);
+  EXPECT_EQ(prepared.PeekDegreeOrder(), nullptr);
+  EXPECT_TRUE(prepared.FullBloomWidths().empty());
+}
+
+// Randomized sweep: repeated random batches, each repair oracle-checked.
+TEST(RepairForUpdates, RandomizedBatchesStayBitIdentical) {
+  util::Rng rng(41);
+  const VertexId n = 250;
+  Graph current = graph::MakeChungLuPowerLaw(n, 2.5, 5, 7);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<EdgeUpdate> updates;
+    for (int i = 0; i < 6; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextUint64(n));
+      VertexId v = static_cast<VertexId>(rng.NextUint64(n));
+      if (u == v) continue;
+      updates.push_back({u, v, !current.HasEdge(u, v)});
+    }
+    if (updates.empty()) continue;
+    Graph next = current;  // keep evolving the same graph across rounds
+    RepairAndCheck(std::move(current), updates);
+    VersionedGraph vg(std::move(next));
+    for (const EdgeUpdate& update : updates) vg.Stage(update);
+    if (vg.staged_edits() > 0) {
+      current = *vg.Commit();
+    } else {
+      current = vg.Current();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsky::core
